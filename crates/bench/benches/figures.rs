@@ -1,0 +1,166 @@
+//! One bench per paper *figure*: each measured body is a smoke-scale
+//! version of the corresponding experiment (the full-size reproductions
+//! are produced by `rsls-run --experiment figN`), so regressions in any
+//! figure's code path show up as criterion deltas.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use rsls_bench::{small_irregular, small_regular, small_stencil};
+use rsls_core::driver::{run, RunConfig};
+use rsls_core::{DvfsPolicy, ForwardKind, Scheme};
+use rsls_faults::{FaultClass, FaultSchedule, MtbfEstimator, SystemScale};
+use rsls_models::{project_scheme, ProjectionConfig, ProjectionScheme};
+
+const RANKS: usize = 8;
+
+fn schedule(k: usize, ff_iters: usize) -> FaultSchedule {
+    FaultSchedule::evenly_spaced(k, ff_iters, RANKS, FaultClass::Snf, 5)
+}
+
+fn ff_of(a: &rsls_sparse::CsrMatrix, b: &[f64]) -> rsls_core::RunReport {
+    run(a, b, &RunConfig::new(Scheme::FaultFree, RANKS))
+}
+
+/// Figure 1 — MTBF projection.
+fn fig1_mtbf(c: &mut Criterion) {
+    c.bench_function("fig1_mtbf", |bch| {
+        bch.iter(|| {
+            let est = MtbfEstimator::default();
+            black_box(est.combined_system_mtbf_h(SystemScale::exascale()))
+        });
+    });
+}
+
+/// Figure 3 — scheme cost comparison under a fault rate.
+fn fig3_overhead(c: &mut Criterion) {
+    let (a, b) = small_regular();
+    let ff = ff_of(&a, &b);
+    c.bench_function("fig3_overhead", |bch| {
+        bch.iter(|| {
+            let cfg = RunConfig::new(Scheme::li_local_cg(), RANKS)
+                .with_faults(schedule(3, ff.iterations))
+                .with_dvfs(DvfsPolicy::ThrottleWaiters);
+            black_box(run(&a, &b, &cfg).energy_j)
+        });
+    });
+}
+
+/// Figure 4 — CG-based vs exact construction.
+fn fig4_construction(c: &mut Criterion) {
+    let (a, b) = small_regular();
+    let ff = ff_of(&a, &b);
+    let mut g = c.benchmark_group("fig4_construction");
+    for (name, scheme) in [
+        ("li_exact", Scheme::li_exact()),
+        ("li_cg", Scheme::li_local_cg()),
+        ("lsi_exact", Scheme::lsi_exact()),
+        ("lsi_cg", Scheme::lsi_local_cg()),
+    ] {
+        g.bench_function(name, |bch| {
+            bch.iter(|| {
+                let cfg =
+                    RunConfig::new(scheme, RANKS).with_faults(schedule(3, ff.iterations));
+                black_box(run(&a, &b, &cfg).time_s)
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Figure 5 — iterations per scheme (one matrix per structure class).
+fn fig5_iterations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_iterations");
+    for (name, (a, b)) in [
+        ("regular", small_regular()),
+        ("irregular", small_irregular()),
+    ] {
+        let ff = ff_of(&a, &b);
+        g.bench_function(name, |bch| {
+            bch.iter(|| {
+                let cfg = RunConfig::new(Scheme::Forward(ForwardKind::Zero), RANKS)
+                    .with_faults(schedule(5, ff.iterations));
+                black_box(run(&a, &b, &cfg).iterations)
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Figure 6 — residual-history recording.
+fn fig6_residual(c: &mut Criterion) {
+    let (a, b) = small_stencil();
+    let ff = ff_of(&a, &b);
+    c.bench_function("fig6_residual", |bch| {
+        bch.iter(|| {
+            let mut cfg = RunConfig::new(Scheme::li_local_cg(), RANKS)
+                .with_faults(schedule(3, ff.iterations));
+            cfg.record_history = true;
+            black_box(run(&a, &b, &cfg).history.len())
+        });
+    });
+}
+
+/// Figure 7 — DVFS power optimization.
+fn fig7_dvfs(c: &mut Criterion) {
+    let (a, b) = small_regular();
+    let ff = ff_of(&a, &b);
+    let mut g = c.benchmark_group("fig7_dvfs");
+    for (name, dvfs) in [
+        ("os_default", DvfsPolicy::OsDefault),
+        ("throttle", DvfsPolicy::ThrottleWaiters),
+    ] {
+        g.bench_function(name, |bch| {
+            bch.iter(|| {
+                let cfg = RunConfig::new(Scheme::li_local_cg(), RANKS)
+                    .with_faults(schedule(3, ff.iterations))
+                    .with_dvfs(dvfs);
+                black_box(run(&a, &b, &cfg).avg_power_w)
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Figure 8 — full scheme line-up on one workload.
+fn fig8_tradeoff(c: &mut Criterion) {
+    let (a, b) = small_irregular();
+    let ff = ff_of(&a, &b);
+    c.bench_function("fig8_tradeoff", |bch| {
+        bch.iter(|| {
+            let mut total = 0.0;
+            for scheme in [Scheme::Dmr, Scheme::li_local_cg(), Scheme::cr_memory()] {
+                let cfg = RunConfig::new(scheme, RANKS).with_faults(schedule(2, ff.iterations));
+                total += run(&a, &b, &cfg).energy_j;
+            }
+            black_box(total)
+        });
+    });
+}
+
+/// Figure 9 — weak-scaling projection.
+fn fig9_projection(c: &mut Criterion) {
+    c.bench_function("fig9_projection", |bch| {
+        let cfg = ProjectionConfig::default();
+        bch.iter(|| {
+            let mut acc = 0.0;
+            for n in [1_000usize, 32_000, 1_000_000] {
+                for s in ProjectionScheme::ALL {
+                    let p = project_scheme(s, &cfg, n);
+                    if p.t_res_norm.is_finite() {
+                        acc += p.t_res_norm;
+                    }
+                }
+            }
+            black_box(acc)
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = fig1_mtbf, fig3_overhead, fig4_construction, fig5_iterations,
+              fig6_residual, fig7_dvfs, fig8_tradeoff, fig9_projection
+}
+criterion_main!(benches);

@@ -1,0 +1,121 @@
+//! Microbenchmarks of the numerical kernels underlying every experiment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use rsls_bench::rhs;
+use rsls_solvers::{Cg, CgConfig};
+use rsls_sparse::dense::{Cholesky, Lu, Qr};
+use rsls_sparse::generators::{banded_spd, stencil_2d, BandedConfig};
+use rsls_sparse::vector::{axpy, dot};
+use rsls_sparse::DenseMatrix;
+
+fn bench_spmv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spmv");
+    for side in [50usize, 100, 200] {
+        let a = stencil_2d(side, side);
+        let x = vec![1.0; a.ncols()];
+        let mut y = vec![0.0; a.nrows()];
+        g.throughput(Throughput::Elements(a.nnz() as u64));
+        g.bench_with_input(BenchmarkId::new("serial", side * side), &a, |bch, a| {
+            bch.iter(|| a.spmv(black_box(&x), black_box(&mut y)));
+        });
+        g.bench_with_input(BenchmarkId::new("rayon", side * side), &a, |bch, a| {
+            bch.iter(|| a.par_spmv(black_box(&x), black_box(&mut y)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_blas1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("blas1");
+    let n = 100_000;
+    let x = vec![1.5; n];
+    let mut y = vec![0.5; n];
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("dot", |b| {
+        b.iter(|| dot(black_box(&x), black_box(&y)));
+    });
+    g.bench_function("axpy", |b| {
+        b.iter(|| axpy(black_box(0.1), black_box(&x), black_box(&mut y)));
+    });
+    g.finish();
+}
+
+fn bench_factorizations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dense-factor");
+    for m in [50usize, 100, 200] {
+        // An SPD dense block like the LI diagonal blocks.
+        let sp = banded_spd(&BandedConfig::regular(m, 9, 0.2, 3));
+        let dense = sp.to_dense();
+        g.bench_with_input(BenchmarkId::new("lu", m), &dense, |b, d| {
+            b.iter(|| Lu::factor(black_box(d)).unwrap());
+        });
+        g.bench_with_input(BenchmarkId::new("cholesky", m), &dense, |b, d| {
+            b.iter(|| Cholesky::factor(black_box(d)).unwrap());
+        });
+        // Tall matrix for QR (the LSI panel shape).
+        let mut tall = DenseMatrix::zeros(2 * m, m);
+        for i in 0..2 * m {
+            for j in 0..m {
+                if (i + j) % 3 == 0 {
+                    tall[(i, j)] = 1.0 + ((i * 7 + j) % 10) as f64;
+                }
+            }
+            tall[(i, i.min(m - 1))] += 10.0;
+        }
+        g.bench_with_input(BenchmarkId::new("qr", m), &tall, |b, d| {
+            b.iter(|| Qr::factor(black_box(d)).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_cg_iteration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cg");
+    let a = stencil_2d(60, 60);
+    let b = rhs(&a);
+    g.bench_function("step-3600", |bch| {
+        let mut cg = Cg::from_zero(&a, &b);
+        bch.iter(|| {
+            black_box(cg.step());
+        });
+    });
+    g.bench_function("solve-stencil-40x40", |bch| {
+        let a = stencil_2d(40, 40);
+        let b = rhs(&a);
+        bch.iter(|| {
+            let mut cg = Cg::from_zero(&a, &b);
+            cg.solve(&CgConfig {
+                tolerance: 1e-8,
+                max_iterations: 10_000,
+            })
+        });
+    });
+    g.finish();
+}
+
+fn bench_distributed_cg(c: &mut Criterion) {
+    use rsls_solvers::DistCg;
+    use rsls_sparse::Partition;
+    let mut g = c.benchmark_group("dist-cg");
+    let a = stencil_2d(60, 60);
+    let b = rhs(&a);
+    for p in [1usize, 4, 16] {
+        g.bench_with_input(BenchmarkId::new("step", p), &p, |bch, &p| {
+            let mut dist = DistCg::new(&a, &b, Partition::balanced(a.nrows(), p));
+            bch.iter(|| black_box(dist.step()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_spmv,
+    bench_blas1,
+    bench_factorizations,
+    bench_cg_iteration,
+    bench_distributed_cg
+);
+criterion_main!(benches);

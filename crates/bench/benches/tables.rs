@@ -1,0 +1,95 @@
+//! One bench per paper *table* (smoke scale; full reproductions via
+//! `rsls-run --experiment tableN`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use rsls_bench::{rhs, small_regular};
+use rsls_core::driver::{run, RunConfig};
+use rsls_core::{DvfsPolicy, Scheme};
+use rsls_faults::{FaultClass, FaultSchedule};
+use rsls_models::validate;
+use rsls_sparse::generators::wathen;
+
+const RANKS: usize = 8;
+
+fn schedule(k: usize, ff_iters: usize) -> FaultSchedule {
+    FaultSchedule::evenly_spaced(k, ff_iters, RANKS, FaultClass::Snf, 5)
+}
+
+/// Table 3 — suite generation + fault-free characterization.
+fn table3_properties(c: &mut Criterion) {
+    c.bench_function("table3_properties", |bch| {
+        bch.iter(|| {
+            let a = wathen(8, 8, 3);
+            let b = rhs(&a);
+            let ff = run(&a, &b, &RunConfig::new(Scheme::FaultFree, RANKS));
+            black_box((a.nnz_per_row(), ff.iterations))
+        });
+    });
+}
+
+/// Table 4 — iterations vs process count.
+fn table4_scaling(c: &mut Criterion) {
+    let (a, b) = small_regular();
+    let mut g = c.benchmark_group("table4_scaling");
+    for p in [4usize, 16, 64] {
+        g.bench_function(format!("p{p}"), |bch| {
+            let ff = run(&a, &b, &RunConfig::new(Scheme::FaultFree, p));
+            bch.iter(|| {
+                let cfg = RunConfig::new(Scheme::li_local_cg(), p).with_faults(
+                    FaultSchedule::evenly_spaced(3, ff.iterations, p, FaultClass::Snf, 5),
+                );
+                black_box(run(&a, &b, &cfg).iterations)
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Table 5 — time/power/energy per scheme.
+fn table5_costs(c: &mut Criterion) {
+    let (a, b) = small_regular();
+    let ff = run(&a, &b, &RunConfig::new(Scheme::FaultFree, RANKS));
+    let mut g = c.benchmark_group("table5_costs");
+    for (name, scheme, dvfs) in [
+        ("rd", Scheme::Dmr, DvfsPolicy::OsDefault),
+        ("li_dvfs", Scheme::li_local_cg(), DvfsPolicy::ThrottleWaiters),
+        ("cr_m", Scheme::cr_memory(), DvfsPolicy::OsDefault),
+        ("cr_d", Scheme::cr_disk(), DvfsPolicy::OsDefault),
+    ] {
+        g.bench_function(name, |bch| {
+            bch.iter(|| {
+                let mut cfg = RunConfig::new(scheme, RANKS)
+                    .with_faults(schedule(3, ff.iterations))
+                    .with_dvfs(dvfs);
+                cfg.mtbf_s = Some(ff.time_s / 3.0);
+                cfg.run_tag = format!("bench-t5-{name}");
+                let r = run(&a, &b, &cfg);
+                black_box((r.time_s, r.avg_power_w, r.energy_j))
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Table 6 — model-vs-experiment validation.
+fn table6_validation(c: &mut Criterion) {
+    let (a, b) = small_regular();
+    let ff = run(&a, &b, &RunConfig::new(Scheme::FaultFree, RANKS));
+    let mut cfg = RunConfig::new(Scheme::li_local_cg(), RANKS)
+        .with_faults(schedule(3, ff.iterations))
+        .with_dvfs(DvfsPolicy::ThrottleWaiters);
+    cfg.mtbf_s = Some(ff.time_s / 3.0);
+    let li = run(&a, &b, &cfg);
+    c.bench_function("table6_validation", |bch| {
+        bch.iter(|| black_box(validate(&li, &ff)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = table3_properties, table4_scaling, table5_costs, table6_validation
+}
+criterion_main!(benches);

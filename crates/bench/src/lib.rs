@@ -1,0 +1,53 @@
+#![warn(missing_docs)]
+//! Shared workloads for the criterion benches.
+//!
+//! The benches regenerate every table and figure of the paper at a
+//! smoke scale (criterion needs many repetitions, so each measured body
+//! is a scaled-down — but structurally identical — version of the full
+//! experiment run by `rsls-run`).
+
+use rsls_sparse::generators::{banded_spd, stencil_2d, BandedConfig};
+use rsls_sparse::CsrMatrix;
+
+/// A small regular SPD system exercising the differentiating recovery
+/// regime (thin band, delocalized spectrum).
+pub fn small_regular() -> (CsrMatrix, Vec<f64>) {
+    let a = banded_spd(&BandedConfig::regular(1200, 7, 5e-4, 99).with_band_decay(0.3));
+    let b = rhs(&a);
+    (a, b)
+}
+
+/// A small irregular SPD system (long-range couplings).
+pub fn small_irregular() -> (CsrMatrix, Vec<f64>) {
+    let a = banded_spd(&BandedConfig::irregular(1200, 13, 1e-4, 0.35, 99).with_scaling_decades(1.0));
+    let b = rhs(&a);
+    (a, b)
+}
+
+/// A small 5-point stencil system.
+pub fn small_stencil() -> (CsrMatrix, Vec<f64>) {
+    let a = stencil_2d(40, 40);
+    let b = rhs(&a);
+    (a, b)
+}
+
+/// Right-hand side with the all-ones solution.
+pub fn rhs(a: &CsrMatrix) -> Vec<f64> {
+    let ones = vec![1.0; a.nrows()];
+    let mut b = vec![0.0; a.nrows()];
+    a.spmv(&ones, &mut b);
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_are_well_formed() {
+        for (a, b) in [small_regular(), small_irregular(), small_stencil()] {
+            assert_eq!(a.nrows(), b.len());
+            assert!(a.is_symmetric(1e-9));
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Machine model parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// Performance parameters of the modeled machine.
+///
+/// Defaults approximate the paper's platform: dual-socket Xeon E5-2670v3
+/// nodes (24 cores, 2.3 GHz), DDR4 memory, FDR-class interconnect, and a
+/// shared parallel file system. The absolute values matter less than the
+/// *ratios* (compute vs network vs memory vs disk), which drive every
+/// relative overhead the paper reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Cores per node (the paper's nodes have 2 × 12).
+    pub cores_per_node: usize,
+    /// Sustained flop rate of one core at nominal frequency, in flop/s.
+    /// Sparse kernels sustain a small fraction of peak; 2 Gflop/s is a
+    /// realistic SpMV-bound figure for this class of core.
+    pub flops_per_sec: f64,
+    /// Node-local memory bandwidth available to one rank, bytes/s.
+    pub mem_bw_bytes_per_sec: f64,
+    /// Aggregate shared parallel-file-system bandwidth, bytes/s.
+    pub disk_bw_bytes_per_sec: f64,
+    /// Per-operation latency of the shared file system, seconds.
+    pub disk_latency_s: f64,
+    /// Network point-to-point latency α, seconds.
+    pub net_latency_s: f64,
+    /// Network bandwidth 1/β, bytes/s.
+    pub net_bw_bytes_per_sec: f64,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            cores_per_node: 24,
+            flops_per_sec: 2.0e9,
+            mem_bw_bytes_per_sec: 8.0e9,
+            disk_bw_bytes_per_sec: 1.0e9,
+            disk_latency_s: 5.0e-3,
+            net_latency_s: 2.0e-6,
+            net_bw_bytes_per_sec: 5.0e9,
+        }
+    }
+}
+
+impl MachineConfig {
+    /// Number of nodes needed to host `ranks` ranks (one rank per core).
+    pub fn nodes_for(&self, ranks: usize) -> usize {
+        ranks.div_ceil(self.cores_per_node)
+    }
+
+    /// Time of one point-to-point message of `bytes`.
+    pub fn p2p_time(&self, bytes: u64) -> f64 {
+        self.net_latency_s + bytes as f64 / self.net_bw_bytes_per_sec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_ratios_are_sane() {
+        let c = MachineConfig::default();
+        assert!(c.mem_bw_bytes_per_sec > c.disk_bw_bytes_per_sec);
+        assert!(c.net_bw_bytes_per_sec > c.disk_bw_bytes_per_sec);
+        assert!(c.net_latency_s < c.disk_latency_s);
+    }
+
+    #[test]
+    fn nodes_for_rounds_up() {
+        let c = MachineConfig::default();
+        assert_eq!(c.nodes_for(24), 1);
+        assert_eq!(c.nodes_for(25), 2);
+        assert_eq!(c.nodes_for(192), 8);
+    }
+
+    #[test]
+    fn p2p_time_includes_latency() {
+        let c = MachineConfig::default();
+        assert!(c.p2p_time(0) == c.net_latency_s);
+        assert!(c.p2p_time(1 << 20) > c.net_latency_s);
+    }
+}

@@ -1,0 +1,131 @@
+//! Per-rank activity-time accounting.
+
+use serde::{Deserialize, Serialize};
+
+/// What a rank spends virtual time on.
+///
+/// The power model assigns a different power level to each kind (e.g. a
+/// rank that is `Idle` at a synchronization point draws idle power; a rank
+/// doing `Reconstruct` work draws full compute power).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ActivityKind {
+    /// Floating-point computation (SpMV, BLAS-1, factorization).
+    Compute,
+    /// Network communication (point-to-point or collective).
+    Communicate,
+    /// Checkpoint/restart storage traffic.
+    Checkpoint,
+    /// Forward-recovery reconstruction work.
+    Reconstruct,
+    /// Waiting at a synchronization point.
+    Idle,
+}
+
+impl ActivityKind {
+    /// All kinds, for iteration/reporting.
+    pub const ALL: [ActivityKind; 5] = [
+        ActivityKind::Compute,
+        ActivityKind::Communicate,
+        ActivityKind::Checkpoint,
+        ActivityKind::Reconstruct,
+        ActivityKind::Idle,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            ActivityKind::Compute => 0,
+            ActivityKind::Communicate => 1,
+            ActivityKind::Checkpoint => 2,
+            ActivityKind::Reconstruct => 3,
+            ActivityKind::Idle => 4,
+        }
+    }
+}
+
+/// Aggregated activity times per rank, plus total communication volume.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ledger {
+    /// `times[rank][kind]` in seconds.
+    times: Vec<[f64; 5]>,
+    bytes_moved: u64,
+}
+
+impl Ledger {
+    /// A zeroed ledger for `num_ranks` ranks.
+    pub fn new(num_ranks: usize) -> Self {
+        Ledger {
+            times: vec![[0.0; 5]; num_ranks],
+            bytes_moved: 0,
+        }
+    }
+
+    /// Adds `dt` seconds of `kind` to `rank`.
+    pub fn add(&mut self, rank: usize, kind: ActivityKind, dt: f64) {
+        self.times[rank][kind.index()] += dt;
+    }
+
+    /// Records `bytes` of network traffic.
+    pub fn add_bytes(&mut self, bytes: u64) {
+        self.bytes_moved += bytes;
+    }
+
+    /// Seconds `rank` spent on `kind`.
+    pub fn rank_total(&self, rank: usize, kind: ActivityKind) -> f64 {
+        self.times[rank][kind.index()]
+    }
+
+    /// Seconds summed over ranks for `kind`.
+    pub fn total(&self, kind: ActivityKind) -> f64 {
+        self.times.iter().map(|t| t[kind.index()]).sum()
+    }
+
+    /// Total rank-seconds over all kinds.
+    pub fn grand_total(&self) -> f64 {
+        self.times.iter().flatten().sum()
+    }
+
+    /// Total network traffic in bytes.
+    pub fn bytes_moved(&self) -> u64 {
+        self.bytes_moved
+    }
+
+    /// Number of ranks tracked.
+    pub fn num_ranks(&self) -> usize {
+        self.times.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_aggregate_over_ranks() {
+        let mut l = Ledger::new(3);
+        l.add(0, ActivityKind::Compute, 1.0);
+        l.add(1, ActivityKind::Compute, 2.0);
+        l.add(2, ActivityKind::Idle, 0.5);
+        assert_eq!(l.total(ActivityKind::Compute), 3.0);
+        assert_eq!(l.total(ActivityKind::Idle), 0.5);
+        assert_eq!(l.grand_total(), 3.5);
+    }
+
+    #[test]
+    fn bytes_accumulate() {
+        let mut l = Ledger::new(1);
+        l.add_bytes(10);
+        l.add_bytes(32);
+        assert_eq!(l.bytes_moved(), 42);
+    }
+
+    #[test]
+    fn all_kinds_are_distinct_slots() {
+        let mut l = Ledger::new(1);
+        for (i, k) in ActivityKind::ALL.iter().enumerate() {
+            l.add(0, *k, (i + 1) as f64);
+        }
+        for (i, k) in ActivityKind::ALL.iter().enumerate() {
+            assert_eq!(l.rank_total(0, *k), (i + 1) as f64);
+        }
+    }
+}

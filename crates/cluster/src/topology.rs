@@ -1,0 +1,82 @@
+//! Rank-to-node topology helpers.
+
+use serde::{Deserialize, Serialize};
+
+/// Maps ranks onto nodes (dense fill: ranks `0..cores_per_node` on node 0,
+/// the next block on node 1, and so on — the paper's process-core binding).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    num_ranks: usize,
+    cores_per_node: usize,
+}
+
+impl Topology {
+    /// Creates a topology for `num_ranks` ranks with `cores_per_node`
+    /// cores on each node.
+    ///
+    /// # Panics
+    /// Panics if either argument is zero.
+    pub fn new(num_ranks: usize, cores_per_node: usize) -> Self {
+        assert!(num_ranks > 0 && cores_per_node > 0);
+        Topology {
+            num_ranks,
+            cores_per_node,
+        }
+    }
+
+    /// Number of ranks.
+    pub fn num_ranks(&self) -> usize {
+        self.num_ranks
+    }
+
+    /// Cores per node.
+    pub fn cores_per_node(&self) -> usize {
+        self.cores_per_node
+    }
+
+    /// Number of (partially or fully) occupied nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_ranks.div_ceil(self.cores_per_node)
+    }
+
+    /// Node hosting `rank`.
+    pub fn node_of(&self, rank: usize) -> usize {
+        assert!(rank < self.num_ranks);
+        rank / self.cores_per_node
+    }
+
+    /// Ranks hosted on `node`.
+    pub fn ranks_on(&self, node: usize) -> std::ops::Range<usize> {
+        let lo = node * self.cores_per_node;
+        let hi = ((node + 1) * self.cores_per_node).min(self.num_ranks);
+        lo..hi
+    }
+
+    /// True when `a` and `b` share a node (intra-node communication).
+    pub fn same_node(&self, a: usize, b: usize) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_mapping_is_dense() {
+        let t = Topology::new(50, 24);
+        assert_eq!(t.num_nodes(), 3);
+        assert_eq!(t.node_of(0), 0);
+        assert_eq!(t.node_of(23), 0);
+        assert_eq!(t.node_of(24), 1);
+        assert_eq!(t.node_of(49), 2);
+        assert_eq!(t.ranks_on(2), 48..50);
+    }
+
+    #[test]
+    fn same_node_detects_colocated_ranks() {
+        let t = Topology::new(48, 24);
+        assert!(t.same_node(0, 23));
+        assert!(!t.same_node(23, 24));
+    }
+}

@@ -1,0 +1,114 @@
+//! Optional bounded event tracing for debugging and visualization.
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// `rank` executed `flops` of computation.
+    Compute {
+        /// Executing rank.
+        rank: usize,
+        /// Flops charged.
+        flops: u64,
+    },
+    /// Point-to-point message.
+    Send {
+        /// Sender.
+        src: usize,
+        /// Receiver.
+        dst: usize,
+        /// Payload size.
+        bytes: u64,
+    },
+    /// A collective operation over all ranks.
+    Collective {
+        /// Operation name (`"allreduce"`, `"barrier"`, ...).
+        name: &'static str,
+        /// Per-rank payload size.
+        bytes: u64,
+    },
+    /// Storage-tier traffic (checkpointing).
+    Storage {
+        /// `"memory"` or `"disk"`.
+        tier: &'static str,
+        /// Bytes written or read.
+        bytes: u64,
+    },
+}
+
+/// A timestamped trace event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Virtual time at which the operation completed.
+    pub time: f64,
+    /// Operation description.
+    pub kind: TraceKind,
+}
+
+/// Bounded event buffer; drops (and counts) events beyond capacity.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Trace {
+    /// A trace that records nothing.
+    pub fn disabled() -> Self {
+        Trace::default()
+    }
+
+    /// A trace that keeps up to `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Trace {
+            events: Vec::with_capacity(capacity.min(4096)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Records an event (no-op when disabled or full).
+    pub fn push(&mut self, kind: TraceKind, time: f64) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.events.len() >= self.capacity {
+            self.dropped += 1;
+            return;
+        }
+        self.events.push(TraceEvent { time, kind });
+    }
+
+    /// Recorded events.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of events dropped after the buffer filled.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::disabled();
+        t.push(TraceKind::Compute { rank: 0, flops: 1 }, 0.0);
+        assert!(t.events().is_empty());
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn full_trace_counts_drops() {
+        let mut t = Trace::with_capacity(2);
+        for i in 0..5 {
+            t.push(TraceKind::Compute { rank: 0, flops: i }, i as f64);
+        }
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.dropped(), 3);
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based tests of the virtual-cluster time model.
+
+use proptest::prelude::*;
+use rsls_cluster::{ActivityKind, Cluster, MachineConfig};
+
+fn cluster(p: usize) -> Cluster {
+    Cluster::new(MachineConfig::default(), p)
+}
+
+proptest! {
+    #[test]
+    fn clocks_never_run_backwards(
+        p in 1usize..32,
+        ops in proptest::collection::vec((0u8..6, 0usize..32, 1u64..1_000_000), 1..50),
+    ) {
+        let mut c = cluster(p);
+        let mut prev_max = 0.0f64;
+        for (op, rank, amount) in ops {
+            let rank = rank % p;
+            match op {
+                0 => c.compute(rank, amount),
+                1 => c.allreduce(amount % 4096),
+                2 => c.halo_exchange(amount % 4096, 2),
+                3 => c.memory_write(amount % 65536),
+                4 => c.disk_write(amount % 65536),
+                _ => c.exclusive_compute(rank, amount),
+            }
+            let m = c.max_clock();
+            prop_assert!(m >= prev_max);
+            prop_assert!(m.is_finite());
+            prev_max = m;
+        }
+        // Ledger accounts exactly the sum of all per-rank clocks.
+        let clock_sum: f64 = (0..p).map(|r| c.clock(r)).sum();
+        prop_assert!((clock_sum - c.ledger().grand_total()).abs() < 1e-6 * clock_sum.max(1.0));
+    }
+
+    #[test]
+    fn collectives_synchronize_all_ranks(p in 2usize..64, skew in 1u64..100_000_000) {
+        let mut c = cluster(p);
+        c.compute(0, skew);
+        c.allreduce(8);
+        let t0 = c.clock(0);
+        for r in 1..p {
+            prop_assert!((c.clock(r) - t0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn compute_time_is_linear_in_flops(flops in 1u64..1_000_000_000) {
+        let mut c1 = cluster(1);
+        let mut c2 = cluster(1);
+        c1.compute(0, flops);
+        c2.compute(0, 2 * flops);
+        prop_assert!((c2.clock(0) / c1.clock(0) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speed_factor_dilates_time_exactly(flops in 1u64..1_000_000, factor in 0.1f64..1.0) {
+        let mut base = cluster(1);
+        base.compute(0, flops);
+        let mut slow = cluster(1);
+        slow.set_speed_factor(0, factor);
+        slow.compute(0, flops);
+        prop_assert!((slow.clock(0) * factor - base.clock(0)).abs() < 1e-9 * base.clock(0));
+    }
+
+    #[test]
+    fn disk_scales_with_ranks_memory_does_not(p in 2usize..64, bytes in 1u64..10_000_000) {
+        let t_disk = |p: usize| {
+            let mut c = cluster(p);
+            c.disk_write(bytes);
+            c.max_clock()
+        };
+        let t_mem = |p: usize| {
+            let mut c = cluster(p);
+            c.memory_write(bytes);
+            c.max_clock()
+        };
+        prop_assert!(t_disk(p) > t_disk(1) || bytes < 16);
+        prop_assert!((t_mem(p) - t_mem(1)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn idle_time_is_only_created_by_waiting(p in 2usize..16, flops in 1u64..10_000_000) {
+        let mut c = cluster(p);
+        // Balanced work creates no idle time.
+        c.compute_all(flops);
+        prop_assert_eq!(c.ledger().total(ActivityKind::Idle), 0.0);
+        // Imbalance followed by a collective converts the skew to idle.
+        c.compute(0, flops);
+        c.allreduce(8);
+        let idle = c.ledger().total(ActivityKind::Idle);
+        let skew = flops as f64 / c.config().flops_per_sec * (p - 1) as f64;
+        prop_assert!((idle - skew).abs() < 1e-9 * skew.max(1.0));
+    }
+}

@@ -1,0 +1,496 @@
+//! LI / LSI reconstruction algorithms (§3.2, §4.1).
+//!
+//! Both interpolation schemes replace the failed process's block
+//! `x_{p_i}` with an approximation built from the surviving data:
+//!
+//! * **LI** (Eq. 17/19) solves the diagonal-block system
+//!   `A_{p_i,p_i} x_i = b_i − Σ_{j≠i} A_{p_i,p_j} x_j`,
+//! * **LSI** (Eq. 18/20) solves the least-squares problem
+//!   `min ‖β − A_{:,p_i} x_i‖` with `β = b − Σ_{j≠i} A_{:,p_j} x_j`,
+//!   which for SPD `A` transposes into the local form of Eq. 21.
+//!
+//! The *exact* constructions are the baselines from Agullo et al. —
+//! sequential LU for LI, parallel sparse QR for LSI (here realized as
+//! normal equations + Cholesky with the parallel-QR cost charged; see
+//! DESIGN.md). The *local-CG* constructions are the paper's §4.1
+//! optimization: an inexact local solve that is cheaper and avoids the
+//! communication of the parallel baseline.
+
+use serde::{Deserialize, Serialize};
+
+use rsls_solvers::{Cg, CgConfig, Cgls, CglsConfig};
+use rsls_sparse::dense::{Cholesky, Lu, Qr};
+use rsls_sparse::{CsrMatrix, Partition};
+
+/// How the LI/LSI linear systems are solved.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ConstructionMethod {
+    /// Exact solve — sequential LU for LI (the Agullo et al. baseline),
+    /// parallel-QR-equivalent for LSI.
+    Exact,
+    /// The paper's optimization: local CG (LI) / CGLS (LSI) to a loose
+    /// tolerance on the failed process only.
+    LocalCg {
+        /// Relative tolerance of the inner solve (a ceiling when
+        /// `adaptive` is set).
+        tolerance: f64,
+        /// Iteration cap of the inner solve.
+        max_iterations: usize,
+        /// Scale the tolerance with the solver's pre-fault residual: a
+        /// reconstruction need only be as accurate as the progress it is
+        /// protecting (early faults get cheap loose solves, late faults
+        /// get tight ones). This realizes the trade-off the paper sweeps
+        /// in Figure 4 automatically.
+        adaptive: bool,
+    },
+}
+
+impl ConstructionMethod {
+    /// The default inner-solve setting used throughout the experiments:
+    /// adaptive tolerance with a loose ceiling.
+    pub fn local_cg_default() -> Self {
+        ConstructionMethod::LocalCg {
+            tolerance: 1e-4,
+            max_iterations: 2000,
+            adaptive: true,
+        }
+    }
+
+    /// A fixed-tolerance local solve (the Figure 4 sweep points).
+    pub fn local_cg_fixed(tolerance: f64, max_iterations: usize) -> Self {
+        ConstructionMethod::LocalCg {
+            tolerance,
+            max_iterations,
+            adaptive: false,
+        }
+    }
+
+    /// The tolerance actually used for a fault at outer relative residual
+    /// `outer_relres`.
+    pub fn effective_tolerance(&self, outer_relres: f64) -> f64 {
+        match self {
+            ConstructionMethod::Exact => 0.0,
+            ConstructionMethod::LocalCg {
+                tolerance,
+                adaptive,
+                ..
+            } => {
+                if *adaptive {
+                    // The inner solvers guard against unreachable accuracy
+                    // themselves (CGLS stall detection), so the adaptive
+                    // target may go as deep as the outer solve needs.
+                    (outer_relres * 0.1).clamp(1e-12, *tolerance)
+                } else {
+                    *tolerance
+                }
+            }
+        }
+    }
+
+    /// Short label ("LU/QR" vs "CG").
+    pub fn label(&self) -> &'static str {
+        match self {
+            ConstructionMethod::Exact => "exact",
+            ConstructionMethod::LocalCg { .. } => "CG",
+        }
+    }
+}
+
+/// The outcome of a reconstruction, with everything the driver needs to
+/// charge time, communication, and power.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstructionResult {
+    /// The reconstructed block (length = failed rank's range).
+    pub x_block: Vec<f64>,
+    /// Flops executed *on the failed rank only* (sequential part).
+    pub local_flops: u64,
+    /// Flops spread evenly over *all* ranks (parallel part — β assembly,
+    /// parallel QR).
+    pub parallel_flops: u64,
+    /// Bytes gathered to the failed rank before the local solve.
+    pub gather_bytes: u64,
+    /// Extra synchronizing collective rounds (the parallel-QR baseline's
+    /// communication; zero for the localized §4.1 constructions).
+    pub comm_rounds: u64,
+    /// Inner-solve iterations (0 for direct solves).
+    pub inner_iterations: usize,
+}
+
+/// Builds the LI right-hand side `y = b_i − Σ_{j≠i} A_{p_i,p_j} x_j` and
+/// counts the flops spent on it.
+fn li_rhs(
+    a: &CsrMatrix,
+    part: &Partition,
+    rank: usize,
+    x: &[f64],
+    b: &[f64],
+) -> (Vec<f64>, u64) {
+    let range = part.range(rank);
+    let mut y = Vec::with_capacity(range.len());
+    let mut flops = 0u64;
+    for r in range.clone() {
+        let mut acc = b[r];
+        let cols = a.row_cols(r);
+        let vals = a.row_vals(r);
+        for (&c, &v) in cols.iter().zip(vals) {
+            if !range.contains(&c) {
+                acc -= v * x[c];
+                flops += 2;
+            }
+        }
+        y.push(acc);
+    }
+    (y, flops)
+}
+
+/// Builds the LSI residual `β = b − Σ_{j≠i} A_{:,p_j} x_j` (a full-length
+/// vector: everything `A x` explains *without* the failed block).
+fn lsi_beta(
+    a: &CsrMatrix,
+    part: &Partition,
+    rank: usize,
+    x: &[f64],
+    b: &[f64],
+) -> (Vec<f64>, u64) {
+    let range = part.range(rank);
+    let mut x_zeroed = x.to_vec();
+    for v in &mut x_zeroed[range] {
+        *v = 0.0;
+    }
+    let mut ax = vec![0.0; a.nrows()];
+    a.spmv(&x_zeroed, &mut ax);
+    let beta: Vec<f64> = b.iter().zip(&ax).map(|(bi, axi)| bi - axi).collect();
+    (beta, a.spmv_flops() + a.nrows() as u64)
+}
+
+/// LI reconstruction of the failed rank's block.
+///
+/// # Panics
+/// Panics on dimension mismatches. Returns an all-zero block if the
+/// diagonal block is singular under the exact method (falls back to F0
+/// semantics rather than crashing mid-run).
+pub fn li(
+    a: &CsrMatrix,
+    part: &Partition,
+    rank: usize,
+    x: &[f64],
+    b: &[f64],
+    method: ConstructionMethod,
+    outer_relres: f64,
+) -> ConstructionResult {
+    assert_eq!(x.len(), a.nrows());
+    assert_eq!(b.len(), a.nrows());
+    let range = part.range(rank);
+    let m = range.len();
+    let (y, rhs_flops) = li_rhs(a, part, rank, x, b);
+    // The failed rank must fetch the off-block entries of x it references.
+    let gather_bytes = a.off_block_nnz(range.clone(), range.clone()) as u64 * 8;
+
+    match method {
+        ConstructionMethod::Exact => {
+            let block = a.dense_block(range.clone(), range.clone());
+            let (x_block, flops) = match Lu::factor(&block) {
+                Ok(lu) => (
+                    lu.solve(&y),
+                    Lu::factor_flops(m) + Lu::solve_flops(m),
+                ),
+                Err(_) => (vec![0.0; m], 0),
+            };
+            ConstructionResult {
+                x_block,
+                local_flops: flops + rhs_flops,
+                parallel_flops: 0,
+                gather_bytes,
+                comm_rounds: 0,
+                inner_iterations: 0,
+            }
+        }
+        ConstructionMethod::LocalCg { max_iterations, .. } => {
+            let block = a.sparse_block(range.clone(), range.clone());
+            let mut cg = Cg::from_zero(&block, &y);
+            let (iters, _) = cg.solve(&CgConfig {
+                tolerance: method.effective_tolerance(outer_relres),
+                max_iterations,
+            });
+            let flops = iters as u64 * Cg::step_flops(&block) + block.spmv_flops();
+            ConstructionResult {
+                x_block: cg.x().to_vec(),
+                local_flops: flops + rhs_flops,
+                parallel_flops: 0,
+                gather_bytes,
+                comm_rounds: 0,
+                inner_iterations: iters,
+            }
+        }
+    }
+}
+
+/// LSI reconstruction of the failed rank's block.
+pub fn lsi(
+    a: &CsrMatrix,
+    part: &Partition,
+    rank: usize,
+    x: &[f64],
+    b: &[f64],
+    method: ConstructionMethod,
+    outer_relres: f64,
+) -> ConstructionResult {
+    assert_eq!(x.len(), a.nrows());
+    assert_eq!(b.len(), a.nrows());
+    let range = part.range(rank);
+    let m = range.len();
+    let n = a.nrows();
+    // β is assembled in parallel (each rank computes its local rows of
+    // A·x_zeroed) and gathered to the failed rank.
+    let (beta, beta_flops) = lsi_beta(a, part, rank, x, b);
+    let gather_bytes = (n as u64) * 8;
+    let panel = a.row_panel(range.clone());
+
+    match method {
+        ConstructionMethod::Exact => {
+            // Exact minimizer via the normal equations
+            // (A_{p_i,:} A_{p_i,:}ᵀ) x = A_{p_i,:} β, SPD whenever the
+            // panel has full row rank. The *cost charged* is that of the
+            // parallel sparse QR the original work uses.
+            let gram = panel_gram(&panel);
+            let mut rhs = vec![0.0; m];
+            panel.spmv(&beta, &mut rhs);
+            let x_block = match Cholesky::factor(&gram) {
+                Ok(ch) => ch.solve(&rhs),
+                Err(_) => vec![0.0; m],
+            };
+            ConstructionResult {
+                x_block,
+                local_flops: Cholesky::factor_flops(m) + Cholesky::solve_flops(m),
+                parallel_flops: beta_flops + Qr::factor_flops(n, m),
+                gather_bytes,
+                comm_rounds: 2 * rsls_cluster::ceil_log2(part.num_ranks()) as u64,
+                inner_iterations: 0,
+            }
+        }
+        ConstructionMethod::LocalCg { max_iterations, .. } => {
+            // §4.1: local CGLS on A_{:,p_i} = A_{p_i,:}ᵀ — no further
+            // communication after the gather.
+            //
+            // CGLS works through the normal equations and therefore sees
+            // the *squared* panel conditioning; started from zero it can
+            // stall on thick blocks. The robust localized construction
+            // warm-starts it from the (cheap, reliably convergent) LI
+            // diagonal-block solve and polishes toward the least-squares
+            // minimizer with a bounded budget — the CGLS residual is
+            // monotone, so the result is never worse than the LI guess.
+            let tolerance = method.effective_tolerance(outer_relres);
+            let (y, rhs_flops) = li_rhs(a, part, rank, x, b);
+            let block = a.sparse_block(range.clone(), range.clone());
+            let mut guess_cg = Cg::from_zero(&block, &y);
+            let (guess_iters, _) = guess_cg.solve(&CgConfig {
+                tolerance,
+                max_iterations,
+            });
+            let guess_flops =
+                guess_iters as u64 * Cg::step_flops(&block) + block.spmv_flops() + rhs_flops;
+
+            // The panel references only ~m + halo rows of the full
+            // domain; restricting the least-squares problem to that row
+            // support is exact (zero rows contribute a constant residual)
+            // and keeps the CGLS vector work proportional to the block.
+            let (tall, beta_sup) = compressed_tall(&panel, &beta);
+            let polish_budget = max_iterations.min(300);
+            let mut cgls = Cgls::with_initial_guess(&tall, &beta_sup, guess_cg.x().to_vec());
+            let (polish_iters, _) = cgls.solve(&CglsConfig {
+                tolerance,
+                max_iterations: polish_budget,
+            });
+            let flops = guess_flops
+                + polish_iters as u64 * Cgls::step_flops(&tall)
+                + tall.spmv_flops();
+            ConstructionResult {
+                x_block: cgls.x().to_vec(),
+                local_flops: flops,
+                parallel_flops: beta_flops,
+                gather_bytes,
+                comm_rounds: 0,
+                inner_iterations: guess_iters + polish_iters,
+            }
+        }
+    }
+}
+
+/// Transposes a row panel onto its nonzero-column support: returns the
+/// `(support × m)` operator `A_{:,p_i}` restricted to referenced rows and
+/// the right-hand side restricted likewise.
+fn compressed_tall(panel: &CsrMatrix, beta: &[f64]) -> (CsrMatrix, Vec<f64>) {
+    let full = panel.transpose(); // n × m
+    let mut support = Vec::new();
+    let mut beta_sup = Vec::new();
+    let mut row_ptr = vec![0usize];
+    let mut col_idx = Vec::with_capacity(full.nnz());
+    let mut values = Vec::with_capacity(full.nnz());
+    for r in 0..full.nrows() {
+        if full.row_cols(r).is_empty() {
+            continue;
+        }
+        support.push(r);
+        beta_sup.push(beta[r]);
+        col_idx.extend_from_slice(full.row_cols(r));
+        values.extend_from_slice(full.row_vals(r));
+        row_ptr.push(col_idx.len());
+    }
+    let tall = CsrMatrix::from_raw_parts(support.len(), full.ncols(), row_ptr, col_idx, values)
+        .expect("support restriction preserves CSR invariants");
+    (tall, beta_sup)
+}
+
+/// Gram matrix `P Pᵀ` of a sparse row panel, computed column-by-column
+/// (`Σ_k p_k p_kᵀ` over the panel's columns), which costs
+/// `Σ_k d_k²` instead of `m²` sparse dot products.
+fn panel_gram(panel: &CsrMatrix) -> rsls_sparse::DenseMatrix {
+    let m = panel.nrows();
+    let mut gram = rsls_sparse::DenseMatrix::zeros(m, m);
+    let pt = panel.transpose(); // columns of the panel as rows
+    for k in 0..pt.nrows() {
+        let rows = pt.row_cols(k);
+        let vals = pt.row_vals(k);
+        for (i, &ri) in rows.iter().enumerate() {
+            let vi = vals[i];
+            for (j, &rj) in rows.iter().enumerate().skip(i) {
+                let contrib = vi * vals[j];
+                gram[(ri, rj)] += contrib;
+                if ri != rj {
+                    gram[(rj, ri)] += contrib;
+                }
+            }
+        }
+    }
+    gram
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsls_sparse::generators::{banded_spd, BandedConfig};
+    use rsls_sparse::vector::dist2;
+
+    /// Small well-conditioned SPD system with known solution.
+    fn setup(n: usize, p: usize) -> (CsrMatrix, Partition, Vec<f64>, Vec<f64>) {
+        let a = banded_spd(&BandedConfig::regular(n, 5, 0.3, 11));
+        let part = Partition::balanced(n, p);
+        let xstar: Vec<f64> = (0..n).map(|i| ((i * 7) % 5) as f64 - 2.0).collect();
+        let mut b = vec![0.0; n];
+        a.spmv(&xstar, &mut b);
+        (a, part, xstar, b)
+    }
+
+    #[test]
+    fn li_exact_recovers_converged_solution_exactly() {
+        // If x is the exact solution everywhere else, LI's interpolation is
+        // exact: the diagonal-block solve reproduces x* on the failed block.
+        let (a, part, xstar, b) = setup(60, 4);
+        let res = li(&a, &part, 1, &xstar, &b, ConstructionMethod::Exact, 1e-8);
+        let range = part.range(1);
+        assert!(dist2(&res.x_block, &xstar[range]) < 1e-10);
+        assert_eq!(res.comm_rounds, 0);
+        assert!(res.local_flops > 0);
+    }
+
+    #[test]
+    fn lsi_exact_recovers_converged_solution_exactly() {
+        let (a, part, xstar, b) = setup(60, 4);
+        let res = lsi(&a, &part, 2, &xstar, &b, ConstructionMethod::Exact, 1e-8);
+        let range = part.range(2);
+        assert!(dist2(&res.x_block, &xstar[range]) < 1e-8);
+        assert!(res.comm_rounds > 0, "parallel QR baseline must communicate");
+    }
+
+    #[test]
+    fn local_cg_approximates_the_exact_construction() {
+        let (a, part, xstar, b) = setup(80, 4);
+        let exact = li(&a, &part, 1, &xstar, &b, ConstructionMethod::Exact, 1e-8);
+        let inexact = li(
+            &a,
+            &part,
+            1,
+            &xstar,
+            &b,
+            ConstructionMethod::local_cg_fixed(1e-10, 500), 1e-8);
+        assert!(dist2(&exact.x_block, &inexact.x_block) < 1e-6);
+        assert!(inexact.inner_iterations > 0);
+    }
+
+    #[test]
+    fn li_beats_zero_fill_mid_solve() {
+        // Mid-solve (x not yet converged), LI must approximate the lost
+        // block much better than filling zeros does.
+        let (a, part, xstar, b) = setup(100, 4);
+        // A crude mid-solve iterate: x* plus noise.
+        let x_mid: Vec<f64> = xstar
+            .iter()
+            .enumerate()
+            .map(|(i, v)| v + 0.01 * ((i % 3) as f64 - 1.0))
+            .collect();
+        let range = part.range(2);
+        let res = li(&a, &part, 2, &x_mid, &b, ConstructionMethod::Exact, 1e-8);
+        let li_err = dist2(&res.x_block, &xstar[range.clone()]);
+        let zero_err = dist2(&vec![0.0; range.len()], &xstar[range]);
+        assert!(
+            li_err < 0.1 * zero_err,
+            "LI error {li_err} should beat F0 error {zero_err}"
+        );
+    }
+
+    #[test]
+    fn lsi_local_cgls_matches_exact_lsi() {
+        let (a, part, xstar, b) = setup(60, 3);
+        let exact = lsi(&a, &part, 0, &xstar, &b, ConstructionMethod::Exact, 1e-8);
+        let local = lsi(
+            &a,
+            &part,
+            0,
+            &xstar,
+            &b,
+            ConstructionMethod::local_cg_fixed(1e-12, 2000), 1e-8);
+        assert!(dist2(&exact.x_block, &local.x_block) < 1e-6);
+        assert_eq!(local.comm_rounds, 0, "§4.1: local CGLS avoids QR comm");
+    }
+
+    #[test]
+    fn looser_tolerance_costs_fewer_inner_iterations() {
+        let (a, part, xstar, b) = setup(120, 4);
+        let loose = li(
+            &a,
+            &part,
+            1,
+            &xstar,
+            &b,
+            ConstructionMethod::local_cg_fixed(1e-2, 1000), 1e-8);
+        let tight = li(
+            &a,
+            &part,
+            1,
+            &xstar,
+            &b,
+            ConstructionMethod::local_cg_fixed(1e-12, 1000), 1e-8);
+        assert!(loose.inner_iterations <= tight.inner_iterations);
+        assert!(loose.local_flops <= tight.local_flops);
+    }
+
+    #[test]
+    fn panel_gram_matches_dense_reference() {
+        let (a, part, _, _) = setup(40, 4);
+        let panel = a.row_panel(part.range(1));
+        let gram = panel_gram(&panel);
+        let dense = panel.to_dense();
+        // P Pᵀ = (Pᵀ)ᵀ(Pᵀ) = gram of Pᵀ.
+        let mut pt = rsls_sparse::DenseMatrix::zeros(panel.ncols(), panel.nrows());
+        for (r, c, v) in panel.iter() {
+            pt[(c, r)] = v;
+        }
+        let reference = pt.gram();
+        for i in 0..gram.nrows() {
+            for j in 0..gram.ncols() {
+                assert!((gram[(i, j)] - reference[(i, j)]).abs() < 1e-9);
+            }
+        }
+        let _ = dense;
+    }
+}

@@ -1,0 +1,562 @@
+//! The resilient-CG driver: solver × faults × recovery × cluster × power.
+//!
+//! [`run`] executes one deterministic experiment: a step-wise CG on the
+//! virtual cluster, with faults injected per the schedule and repaired per
+//! the configured [`Scheme`], while the [`EnergyMeter`] integrates power
+//! over every phase. The result is a [`RunReport`] carrying the paper's
+//! three metrics (`T`, `P`, `E`), the phase breakdown, the residual
+//! history, and the power profile.
+
+use rsls_cluster::{Cluster, MachineConfig};
+use rsls_faults::{inject, FaultEffect, FaultSchedule};
+use rsls_power::{CoreState, EnergyMeter, PowerModel, PowerModelConfig};
+use rsls_solvers::{Cg, ResidualHistory};
+use rsls_sparse::{CsrMatrix, Partition};
+
+use crate::checkpoint::{CheckpointStore, CompressionModel, DiskStore, MemoryStore};
+use crate::construction::{self, ConstructionMethod};
+use crate::report::{PhaseBreakdown, RunReport};
+use crate::scheme::{CheckpointStorage, ForwardKind, Scheme};
+use crate::DvfsPolicy;
+
+/// Configuration of one resilient run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Recovery scheme under test.
+    pub scheme: Scheme,
+    /// DVFS policy during forward-recovery construction (§4.2). Ignored
+    /// by non-forward schemes.
+    pub dvfs: DvfsPolicy,
+    /// Number of ranks (one rank per core).
+    pub num_ranks: usize,
+    /// CG relative-residual tolerance (the paper uses 1e-12).
+    pub tolerance: f64,
+    /// Iteration cap (safety net for non-converging configurations).
+    pub max_iterations: usize,
+    /// Fault injection plan.
+    pub faults: FaultSchedule,
+    /// Machine performance model.
+    pub machine: MachineConfig,
+    /// Power calibration.
+    pub power: PowerModelConfig,
+    /// MTBF in seconds, used to resolve Young/Daly checkpoint intervals.
+    pub mtbf_s: Option<f64>,
+    /// Record the residual history (Figure 6 runs).
+    pub record_history: bool,
+    /// Initial guess (`None` = zeros). FI restores this slice.
+    pub initial_guess: Option<Vec<f64>>,
+    /// Distinguishing tag for on-disk checkpoint files.
+    pub run_tag: String,
+    /// Pin every core to this frequency (GHz, quantized to the DVFS
+    /// ladder). `None` runs at the nominal maximum. Used for power-capped
+    /// operation: compute time dilates by the model's speed factor and
+    /// the power accounting uses the pinned frequency.
+    pub frequency_ghz: Option<f64>,
+    /// Compress checkpoints before writing them (CPU time for storage
+    /// traffic — worthwhile on the shared-disk tier).
+    pub checkpoint_compression: Option<CompressionModel>,
+}
+
+impl RunConfig {
+    /// A config with the paper's defaults: tolerance 1e-12, generous
+    /// iteration cap, OS-default DVFS, no faults.
+    pub fn new(scheme: Scheme, num_ranks: usize) -> Self {
+        RunConfig {
+            scheme,
+            dvfs: DvfsPolicy::OsDefault,
+            num_ranks,
+            tolerance: 1e-12,
+            max_iterations: 2_000_000,
+            faults: FaultSchedule::fault_free(),
+            machine: MachineConfig::default(),
+            power: PowerModelConfig::default(),
+            mtbf_s: None,
+            record_history: false,
+            initial_guess: None,
+            run_tag: "run".to_string(),
+            frequency_ghz: None,
+            checkpoint_compression: None,
+        }
+    }
+
+    /// Builder-style fault schedule.
+    pub fn with_faults(mut self, faults: FaultSchedule) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Builder-style DVFS policy.
+    pub fn with_dvfs(mut self, dvfs: DvfsPolicy) -> Self {
+        self.dvfs = dvfs;
+        self
+    }
+}
+
+/// Per-iteration cost constants, precomputed once per run.
+struct IterCosts {
+    /// Flops charged to each rank per CG iteration.
+    flops_per_rank: u64,
+    /// Halo bytes exchanged with each neighbor per iteration.
+    halo_bytes: u64,
+    /// Checkpoint payload per rank (checkpoint schemes).
+    ckpt_bytes_per_rank: u64,
+}
+
+fn iteration_costs(a: &CsrMatrix, part: &Partition) -> IterCosts {
+    let p = part.num_ranks();
+    let mut max_flops = 0u64;
+    let mut total_off = 0u64;
+    for (_, range) in part.iter() {
+        let local_nnz: usize = range.clone().map(|r| a.row_cols(r).len()).sum();
+        let flops = 2 * local_nnz as u64 + 10 * range.len() as u64;
+        max_flops = max_flops.max(flops);
+        total_off += a.off_block_nnz(range.clone(), range) as u64;
+    }
+    IterCosts {
+        flops_per_rank: max_flops,
+        halo_bytes: (total_off / p as u64 / 2).max(8) * 8,
+        ckpt_bytes_per_rank: (part.max_len() * 8 + 16) as u64,
+    }
+}
+
+/// Charges one CG iteration's compute + communication to the cluster.
+fn charge_iteration(cluster: &mut Cluster, costs: &IterCosts) {
+    cluster.compute_all(costs.flops_per_rank);
+    cluster.halo_exchange(costs.halo_bytes, 2);
+    cluster.allreduce(8);
+    cluster.allreduce(8);
+}
+
+/// Charges the post-recovery state repair (recompute `r = b − Ax`,
+/// reset `p`): one SpMV + vector work + one reduction.
+fn charge_repair(cluster: &mut Cluster, costs: &IterCosts) {
+    cluster.compute_all(costs.flops_per_rank);
+    cluster.halo_exchange(costs.halo_bytes, 2);
+    cluster.allreduce(8);
+}
+
+/// Executes one resilient run. Deterministic: identical inputs produce a
+/// bit-identical [`RunReport`].
+pub fn run(a: &CsrMatrix, b: &[f64], cfg: &RunConfig) -> RunReport {
+    assert_eq!(a.nrows(), a.ncols(), "driver requires a square system");
+    assert_eq!(b.len(), a.nrows(), "rhs length mismatch");
+    assert!(cfg.num_ranks >= 1);
+    let n = a.nrows();
+    let p = cfg.num_ranks;
+    let part = Partition::balanced(n, p);
+    let costs = iteration_costs(a, &part);
+
+    let mut cluster = Cluster::new(cfg.machine.clone(), p);
+    let model = PowerModel::new(cfg.power.clone());
+    let mut meter = EnergyMeter::new(model.clone());
+    let fmax = model.freq_table().max();
+    // Power-capped operation: pin all cores to the requested frequency.
+    let f_run = cfg
+        .frequency_ghz
+        .map(|f| model.freq_table().quantize(f))
+        .unwrap_or(fmax);
+    let run_speed = model.speed_factor(f_run);
+    if run_speed != 1.0 {
+        for r in 0..p {
+            cluster.set_speed_factor(r, run_speed);
+        }
+    }
+
+    // DMR runs a full replica (TMR two) — multiply powered cores for the
+    // entire run.
+    let core_count = match cfg.scheme {
+        Scheme::Dmr => 2 * p,
+        Scheme::Tmr => 3 * p,
+        _ => p,
+    };
+    let normal_mix = [(CoreState::Compute, f_run, core_count)];
+
+    let x0 = cfg
+        .initial_guess
+        .clone()
+        .unwrap_or_else(|| vec![0.0; n]);
+    assert_eq!(x0.len(), n, "initial guess length mismatch");
+    let mut cg = Cg::new(a, b, x0.clone());
+
+    // Checkpoint machinery.
+    let mut mem_store = MemoryStore::new();
+    let mut disk_store = DiskStore::in_temp_dir(&cfg.run_tag);
+    let interval_iters = if let Scheme::Checkpoint { storage, interval } = &cfg.scheme {
+        // Estimate per-iteration and per-checkpoint virtual cost on a
+        // scratch cluster to resolve Young/Daly intervals.
+        let mut scratch = Cluster::new(cfg.machine.clone(), p);
+        charge_iteration(&mut scratch, &costs);
+        let t_iter = scratch.max_clock();
+        let before = scratch.max_clock();
+        match storage {
+            // Multilevel's frequent level is memory; the (amortized) disk
+            // copies are charged when they happen.
+            CheckpointStorage::Memory | CheckpointStorage::Multilevel { .. } => {
+                scratch.memory_write(costs.ckpt_bytes_per_rank)
+            }
+            CheckpointStorage::Disk => scratch.disk_write(costs.ckpt_bytes_per_rank),
+        }
+        let t_ckpt = scratch.max_clock() - before;
+        // Checkpoint-phase power relative to compute power (feeds the
+        // energy-optimal interval variant).
+        let p_ckpt_frac = (model.core_power(CoreState::StorageWait, f_run)
+            / model.core_power(CoreState::Compute, f_run))
+        .min(1.0);
+        Some(interval.resolve_iterations(t_iter, t_ckpt, cfg.mtbf_s, p_ckpt_frac))
+    } else {
+        None
+    };
+
+    // Compression shrinks the stored bytes but charges per-rank CPU time.
+    let (stored_ckpt_bytes, compress_cpu_s) = match &cfg.checkpoint_compression {
+        Some(c) => (
+            c.compressed_bytes(costs.ckpt_bytes_per_rank),
+            c.cpu_seconds(costs.ckpt_bytes_per_rank),
+        ),
+        None => (costs.ckpt_bytes_per_rank, 0.0),
+    };
+    let compress_flops = (compress_cpu_s * cfg.machine.flops_per_sec) as u64;
+
+    let mut history = ResidualHistory::new();
+    let mut breakdown = PhaseBreakdown::default();
+    let mut seg_start = 0.0f64;
+    let mut fault_cursor = 0usize;
+    let mut faults_injected = 0usize;
+    let mut last_ckpt_iter = usize::MAX; // no checkpoint taken yet
+    let mut checkpoints_taken = 0usize;
+
+    if cfg.record_history {
+        history.push(0, cg.relative_residual());
+    }
+
+    loop {
+        if cg.converged(cfg.tolerance) || cg.iteration() >= cfg.max_iterations {
+            break;
+        }
+        let iter = cg.iteration();
+        let now = cluster.max_clock();
+
+        // --- Periodic checkpoint (before the iteration, like the paper's
+        // "checkpointed after the m-th iteration"). -----------------------
+        if let (Some(interval), Scheme::Checkpoint { storage, .. }) =
+            (interval_iters, &cfg.scheme)
+        {
+            if iter > 0 && iter.is_multiple_of(interval) && last_ckpt_iter != iter {
+                meter.account(seg_start, now, &normal_mix);
+                checkpoints_taken += 1;
+                if compress_flops > 0 {
+                    cluster.compute_all(compress_flops);
+                }
+                match storage {
+                    CheckpointStorage::Memory => {
+                        cluster.memory_write(stored_ckpt_bytes);
+                        mem_store
+                            .save(iter, cg.x())
+                            .expect("in-memory checkpoint cannot fail");
+                    }
+                    CheckpointStorage::Disk => {
+                        cluster.disk_write(stored_ckpt_bytes);
+                        disk_store
+                            .save(iter, cg.x())
+                            .expect("disk checkpoint failed — temp dir unwritable?");
+                    }
+                    CheckpointStorage::Multilevel { disk_every } => {
+                        cluster.memory_write(stored_ckpt_bytes);
+                        mem_store
+                            .save(iter, cg.x())
+                            .expect("in-memory checkpoint cannot fail");
+                        if checkpoints_taken.is_multiple_of((*disk_every).max(1)) {
+                            cluster.disk_write(stored_ckpt_bytes);
+                            disk_store
+                                .save(iter, cg.x())
+                                .expect("disk checkpoint failed — temp dir unwritable?");
+                        }
+                    }
+                }
+                let after = cluster.max_clock();
+                meter.account(now, after, &[(CoreState::StorageWait, f_run, core_count)]);
+                breakdown.checkpoint_s += after - now;
+                seg_start = after;
+                last_ckpt_iter = iter;
+            }
+        }
+
+        // --- Faults due at this iteration / time. -------------------------
+        let due = cfg
+            .faults
+            .due(&mut fault_cursor, iter, cluster.max_clock());
+        for ev in due {
+            faults_injected += 1;
+            if cfg.record_history {
+                history.mark_fault(iter, cg.relative_residual());
+            }
+            // System-wide outage: *all* dynamic data is lost, including any
+            // replica (DMR) and any in-memory checkpoint. Only a persistent
+            // (disk) checkpoint retains progress — the paper's point that
+            // CR-M "is not practical to common fault situations with lost
+            // data in memory", taken to its system-level extreme.
+            if ev.class == rsls_faults::FaultClass::Swo && cfg.scheme != Scheme::FaultFree {
+                let n_all = cg.x().len();
+                inject(
+                    cg.x_slice_mut(0..n_all),
+                    FaultEffect::Lost,
+                    iter as u64 ^ 0x5105,
+                );
+                let t0 = cluster.max_clock();
+                meter.account(seg_start, t0, &normal_mix);
+                // Restarting the environment reloads static data from the
+                // shared file system regardless of scheme.
+                cluster.disk_read(costs.ckpt_bytes_per_rank);
+                let survives = matches!(
+                    &cfg.scheme,
+                    Scheme::Checkpoint {
+                        storage: CheckpointStorage::Disk | CheckpointStorage::Multilevel { .. },
+                        ..
+                    }
+                );
+                if survives {
+                    match disk_store.load().expect("disk checkpoint unreadable") {
+                        Some(ckpt) => cg.set_x(&ckpt.x),
+                        None => cg.set_x(&x0),
+                    }
+                } else {
+                    cg.set_x(&x0);
+                }
+                let t1 = cluster.max_clock();
+                meter.account(t0, t1, &[(CoreState::StorageWait, f_run, core_count)]);
+                breakdown.restore_s += t1 - t0;
+                charge_repair(&mut cluster, &costs);
+                cg.restart();
+                let t2 = cluster.max_clock();
+                meter.account(t1, t2, &normal_mix);
+                breakdown.repair_s += t2 - t1;
+                seg_start = t2;
+                if cfg.record_history {
+                    history.mark_recovery(iter, cg.relative_residual());
+                }
+                continue;
+            }
+            match &cfg.scheme {
+                // The FF baseline measures the fault-free cost: faults in
+                // the schedule are not applied.
+                Scheme::FaultFree => {}
+                // DMR/TMR mask the fault: a replica's state is intact; only
+                // a local copy (DMR) or majority vote (TMR) is charged.
+                Scheme::Dmr | Scheme::Tmr => {
+                    let t0 = cluster.max_clock();
+                    meter.account(seg_start, t0, &normal_mix);
+                    cluster.memory_read((part.len(ev.rank) * 8) as u64);
+                    let t1 = cluster.max_clock();
+                    meter.account(t0, t1, &normal_mix);
+                    breakdown.restore_s += t1 - t0;
+                    seg_start = t1;
+                }
+                Scheme::Checkpoint { storage, .. } => {
+                    let rank_range = part.range(ev.rank);
+                    inject(
+                        cg.x_slice_mut(rank_range),
+                        FaultEffect::for_class(ev.class),
+                        ev.rank as u64 ^ iter as u64,
+                    );
+                    let t0 = cluster.max_clock();
+                    meter.account(seg_start, t0, &normal_mix);
+                    // Restore the most recent checkpoint (or the initial
+                    // guess when none exists yet).
+                    let restored = match storage {
+                        // Multilevel restores node faults from the cheap
+                        // memory level.
+                        CheckpointStorage::Memory | CheckpointStorage::Multilevel { .. } => {
+                            cluster.memory_read(stored_ckpt_bytes);
+                            mem_store.load().expect("memory load cannot fail")
+                        }
+                        CheckpointStorage::Disk => {
+                            cluster.disk_read(stored_ckpt_bytes);
+                            disk_store.load().expect("disk checkpoint unreadable")
+                        }
+                    };
+                    if compress_flops > 0 {
+                        cluster.compute_all(compress_flops); // decompression
+                    }
+                    match restored {
+                        Some(ckpt) => cg.set_x(&ckpt.x),
+                        None => cg.set_x(&x0),
+                    }
+                    let t1 = cluster.max_clock();
+                    meter.account(t0, t1, &[(CoreState::StorageWait, f_run, core_count)]);
+                    breakdown.restore_s += t1 - t0;
+                    // Repair CG state.
+                    charge_repair(&mut cluster, &costs);
+                    cg.restart();
+                    let t2 = cluster.max_clock();
+                    meter.account(t1, t2, &normal_mix);
+                    breakdown.repair_s += t2 - t1;
+                    seg_start = t2;
+                }
+                Scheme::Forward(kind) => {
+                    let rank_range = part.range(ev.rank);
+                    inject(
+                        cg.x_slice_mut(rank_range.clone()),
+                        FaultEffect::for_class(ev.class),
+                        ev.rank as u64 ^ iter as u64,
+                    );
+                    let t0 = cluster.max_clock();
+                    meter.account(seg_start, t0, &normal_mix);
+                    match kind {
+                        ForwardKind::Zero => {
+                            cg.x_slice_mut(rank_range).fill(0.0);
+                        }
+                        ForwardKind::InitialGuess => {
+                            let src = x0[rank_range.clone()].to_vec();
+                            cg.x_slice_mut(rank_range).copy_from_slice(&src);
+                        }
+                        ForwardKind::Linear(method) | ForwardKind::LeastSquares(method) => {
+                            reconstruct(
+                                a,
+                                &part,
+                                ev.rank,
+                                b,
+                                &mut cg,
+                                *kind,
+                                *method,
+                                &mut cluster,
+                                &mut meter,
+                                &cfg.dvfs,
+                                &model,
+                                &mut breakdown,
+                                p,
+                                f_run,
+                            );
+                        }
+                    }
+                    // Repair CG state (all schemes). The interpolation path
+                    // accounted its own reconstruction phases; assignment
+                    // schemes (F0/FI) reach here with the clock still at t0.
+                    let t1 = cluster.max_clock();
+                    charge_repair(&mut cluster, &costs);
+                    cg.restart();
+                    let t2 = cluster.max_clock();
+                    meter.account(t1, t2, &normal_mix);
+                    breakdown.repair_s += t2 - t1;
+                    seg_start = t2;
+                }
+            }
+            if cfg.record_history {
+                history.mark_recovery(iter, cg.relative_residual());
+            }
+        }
+
+        // --- One normal CG iteration. --------------------------------------
+        charge_iteration(&mut cluster, &costs);
+        let relres = cg.step();
+        if cfg.record_history {
+            history.push(cg.iteration(), relres);
+        }
+    }
+
+    let end = cluster.max_clock();
+    meter.account(seg_start, end, &normal_mix);
+    breakdown.solve_s = end - breakdown.resilience_s();
+
+    RunReport {
+        scheme: format!(
+            "{}{}",
+            cfg.scheme.label(),
+            if cfg.scheme.is_forward() && uses_dvfs_label(&cfg.scheme) {
+                cfg.dvfs.label_suffix()
+            } else {
+                ""
+            }
+        ),
+        num_ranks: p,
+        iterations: cg.iteration(),
+        converged: cg.converged(cfg.tolerance),
+        final_relative_residual: cg.relative_residual(),
+        time_s: end,
+        energy_j: meter.joules(),
+        avg_power_w: meter.average_power(),
+        faults_injected,
+        checkpoint_interval_iters: interval_iters,
+        breakdown,
+        history,
+        power_profile: meter.profile().to_vec(),
+    }
+}
+
+/// Only the interpolation-based schemes get the "-DVFS" suffix (F0/FI
+/// have no construction phase to throttle).
+fn uses_dvfs_label(scheme: &Scheme) -> bool {
+    matches!(
+        scheme,
+        Scheme::Forward(ForwardKind::Linear(_)) | Scheme::Forward(ForwardKind::LeastSquares(_))
+    )
+}
+
+/// Runs an LI/LSI reconstruction and charges gather, parallel work, and
+/// the single-rank local solve (with DVFS-dependent waiter power).
+#[allow(clippy::too_many_arguments)]
+fn reconstruct(
+    a: &CsrMatrix,
+    part: &Partition,
+    rank: usize,
+    b: &[f64],
+    cg: &mut Cg<'_>,
+    kind: ForwardKind,
+    method: ConstructionMethod,
+    cluster: &mut Cluster,
+    meter: &mut EnergyMeter,
+    dvfs: &DvfsPolicy,
+    model: &PowerModel,
+    breakdown: &mut PhaseBreakdown,
+    p: usize,
+    f_run: f64,
+) {
+    let f_wait = dvfs.waiter_frequency(model.freq_table()).min(f_run);
+    let t0 = cluster.max_clock();
+
+    // The adaptive inner tolerance keys off the pre-fault progress: the
+    // recurrence residual still reflects the state before corruption.
+    let outer_relres = cg.relative_residual();
+    let res = match kind {
+        ForwardKind::Linear(_) => construction::li(a, part, rank, cg.x(), b, method, outer_relres),
+        ForwardKind::LeastSquares(_) => {
+            construction::lsi(a, part, rank, cg.x(), b, method, outer_relres)
+        }
+        _ => unreachable!("reconstruct called for an assignment scheme"),
+    };
+
+    // Phase 1 — gather inputs to the failed rank + any parallel work
+    // (β assembly, parallel-QR rounds). All cores active: compute power.
+    let per_rank_gather = (res.gather_bytes / p as u64).max(8);
+    cluster.gather(rank, per_rank_gather);
+    if res.parallel_flops > 0 {
+        cluster.compute_all(res.parallel_flops / p as u64);
+    }
+    let local_len = part.len(rank) as u64;
+    for _ in 0..res.comm_rounds {
+        cluster.allreduce(local_len * 8);
+    }
+    let t1 = cluster.max_clock();
+    meter.account(t0, t1, &[(CoreState::Compute, f_run, p)]);
+
+    // Phase 2 — the local solve on the failed rank; everyone else waits
+    // (busy-wait at f_max under the OS policy, throttled to f_min under
+    // the paper's DVFS optimization).
+    cluster.exclusive_compute(rank, res.local_flops);
+    cluster.sync_to_max();
+    let t2 = cluster.max_clock();
+    if t2 > t1 {
+        meter.account(
+            t1,
+            t2,
+            &[
+                (CoreState::Compute, f_run, 1),
+                (CoreState::BusyWait, f_wait, p.saturating_sub(1)),
+            ],
+        );
+    }
+    breakdown.reconstruct_s += t2 - t0;
+
+    // Install the reconstructed block.
+    let range = part.range(rank);
+    cg.x_slice_mut(range).copy_from_slice(&res.x_block);
+}

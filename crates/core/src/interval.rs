@@ -1,0 +1,185 @@
+//! Optimal checkpoint intervals (Young '74, Daly '06).
+
+use serde::{Deserialize, Serialize};
+
+/// How the checkpoint interval is chosen (Eq. 10: "commonly approximated
+/// with Young's and Daly's approaches").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CheckpointInterval {
+    /// A fixed interval in solver iterations (the §5.2 experiments use
+    /// every 100 iterations).
+    EveryIterations(usize),
+    /// Young's first-order optimum `I = √(2 · t_C · MTBF)`.
+    Young,
+    /// Daly's higher-order estimate.
+    Daly,
+    /// Energy-optimal interval (Aupy et al., cited by the paper):
+    /// checkpointing draws less power than computing, so the
+    /// energy-minimizing period is *shorter* than Young's time-optimal
+    /// one by `√(P_ckpt / P_compute)`.
+    EnergyOptimal,
+}
+
+/// Young's first-order optimal interval in seconds:
+/// `I_C = sqrt(2 · t_C · MTBF)`.
+///
+/// # Panics
+/// Panics unless both arguments are positive.
+pub fn young_interval_s(checkpoint_cost_s: f64, mtbf_s: f64) -> f64 {
+    assert!(checkpoint_cost_s > 0.0 && mtbf_s > 0.0);
+    (2.0 * checkpoint_cost_s * mtbf_s).sqrt()
+}
+
+/// Daly's higher-order optimal interval in seconds:
+///
+/// ```text
+/// I = sqrt(2 δ M) · [1 + ⅓·sqrt(δ/2M) + (1/9)·(δ/2M)] − δ   for δ < 2M
+/// I = M                                                      otherwise
+/// ```
+///
+/// where `δ` is the checkpoint cost and `M` the MTBF.
+///
+/// # Panics
+/// Panics unless both arguments are positive.
+pub fn daly_interval_s(checkpoint_cost_s: f64, mtbf_s: f64) -> f64 {
+    assert!(checkpoint_cost_s > 0.0 && mtbf_s > 0.0);
+    let delta = checkpoint_cost_s;
+    let m = mtbf_s;
+    if delta >= 2.0 * m {
+        return m;
+    }
+    let ratio = delta / (2.0 * m);
+    (2.0 * delta * m).sqrt() * (1.0 + ratio.sqrt() / 3.0 + ratio / 9.0) - delta
+}
+
+/// Energy-optimal interval in seconds (Aupy et al. '13):
+///
+/// minimizing `E ∝ (t_C/I)·ρ + λ·I/2` over `I` — where `ρ < 1` is the
+/// checkpoint-phase power relative to compute power — gives
+/// `I_E = √(2·t_C·ρ·MTBF) = I_Young · √ρ`.
+///
+/// # Panics
+/// Panics unless all arguments are positive and `p_ckpt_frac <= 1`.
+pub fn energy_optimal_interval_s(checkpoint_cost_s: f64, mtbf_s: f64, p_ckpt_frac: f64) -> f64 {
+    assert!(p_ckpt_frac > 0.0 && p_ckpt_frac <= 1.0);
+    young_interval_s(checkpoint_cost_s, mtbf_s) * p_ckpt_frac.sqrt()
+}
+
+impl CheckpointInterval {
+    /// Resolves the interval to a number of solver iterations.
+    ///
+    /// * `iteration_time_s` — virtual time of one CG iteration,
+    /// * `checkpoint_cost_s` — virtual time of one checkpoint,
+    /// * `mtbf_s` — mean time between failures (`None` when the run is
+    ///   driven by an explicit fault schedule without a rate; the Young /
+    ///   Daly / energy-optimal variants then fall back to 100 iterations,
+    ///   the paper's §5.2 fixed setting).
+    /// * `p_ckpt_frac` — checkpoint-phase power relative to compute power
+    ///   (used by the energy-optimal variant; pass 1.0 otherwise).
+    pub fn resolve_iterations(
+        &self,
+        iteration_time_s: f64,
+        checkpoint_cost_s: f64,
+        mtbf_s: Option<f64>,
+        p_ckpt_frac: f64,
+    ) -> usize {
+        match self {
+            CheckpointInterval::EveryIterations(k) => (*k).max(1),
+            CheckpointInterval::Young
+            | CheckpointInterval::Daly
+            | CheckpointInterval::EnergyOptimal => {
+                let Some(m) = mtbf_s else {
+                    return 100;
+                };
+                let interval_s = match self {
+                    CheckpointInterval::Young => young_interval_s(checkpoint_cost_s, m),
+                    CheckpointInterval::Daly => daly_interval_s(checkpoint_cost_s, m),
+                    _ => energy_optimal_interval_s(checkpoint_cost_s, m, p_ckpt_frac),
+                };
+                ((interval_s / iteration_time_s).round() as usize).max(1)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn young_matches_closed_form() {
+        assert!((young_interval_s(2.0, 100.0) - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn young_interval_grows_with_mtbf() {
+        let a = young_interval_s(1.0, 100.0);
+        let b = young_interval_s(1.0, 10_000.0);
+        assert!((b / a - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn daly_approaches_young_for_cheap_checkpoints() {
+        // δ ≪ M: Daly's corrections vanish.
+        let y = young_interval_s(1e-4, 1e4);
+        let d = daly_interval_s(1e-4, 1e4);
+        assert!((d - y).abs() / y < 1e-2, "young {y} daly {d}");
+    }
+
+    #[test]
+    fn daly_caps_at_mtbf_for_expensive_checkpoints() {
+        assert_eq!(daly_interval_s(500.0, 100.0), 100.0);
+    }
+
+    #[test]
+    fn resolve_fixed_interval() {
+        let i = CheckpointInterval::EveryIterations(100);
+        assert_eq!(i.resolve_iterations(1.0, 1.0, None, 1.0), 100);
+        assert_eq!(
+            CheckpointInterval::EveryIterations(0).resolve_iterations(1.0, 1.0, None, 1.0),
+            1
+        );
+    }
+
+    #[test]
+    fn resolve_young_uses_iteration_time() {
+        // I = sqrt(2*2*100) = 20 s; at 0.5 s/iter that is 40 iterations.
+        let i = CheckpointInterval::Young;
+        assert_eq!(i.resolve_iterations(0.5, 2.0, Some(100.0), 1.0), 40);
+    }
+
+    #[test]
+    fn resolve_without_mtbf_falls_back_to_100() {
+        assert_eq!(CheckpointInterval::Young.resolve_iterations(1.0, 1.0, None, 1.0), 100);
+        assert_eq!(CheckpointInterval::Daly.resolve_iterations(1.0, 1.0, None, 1.0), 100);
+    }
+
+    #[test]
+    fn energy_optimal_is_shorter_than_young() {
+        // Cheap checkpoint power -> checkpoint more often.
+        let y = young_interval_s(2.0, 1000.0);
+        let e = energy_optimal_interval_s(2.0, 1000.0, 0.64);
+        assert!((e - 0.8 * y).abs() < 1e-12);
+        assert!(e < y);
+        // Identical power -> identical interval.
+        assert_eq!(energy_optimal_interval_s(2.0, 1000.0, 1.0), y);
+    }
+
+    #[test]
+    fn energy_optimal_resolution_uses_the_fraction() {
+        let i = CheckpointInterval::EnergyOptimal;
+        let full = i.resolve_iterations(0.5, 2.0, Some(100.0), 1.0);
+        let cheap = i.resolve_iterations(0.5, 2.0, Some(100.0), 0.25);
+        assert_eq!(full, 40);
+        assert_eq!(cheap, 20);
+    }
+
+    #[test]
+    fn daly_interval_is_positive_for_sane_inputs() {
+        for delta in [0.01, 0.1, 1.0, 10.0] {
+            for m in [60.0, 360.0, 3600.0] {
+                assert!(daly_interval_s(delta, m) > 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Run reports and normalization helpers.
+
+use serde::{Deserialize, Serialize};
+
+use rsls_power::PowerSample;
+use rsls_solvers::ResidualHistory;
+
+/// Wall-clock (virtual) time spent in each phase of a resilient run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PhaseBreakdown {
+    /// Normal CG iterations (compute + communication).
+    pub solve_s: f64,
+    /// Writing checkpoints.
+    pub checkpoint_s: f64,
+    /// Restoring checkpoints after faults.
+    pub restore_s: f64,
+    /// Forward-recovery reconstruction (gather + construction).
+    pub reconstruct_s: f64,
+    /// State repair after recovery (residual recomputation).
+    pub repair_s: f64,
+}
+
+impl PhaseBreakdown {
+    /// Total resilience overhead time (everything but solving).
+    pub fn resilience_s(&self) -> f64 {
+        self.checkpoint_s + self.restore_s + self.reconstruct_s + self.repair_s
+    }
+
+    /// Total accounted wall time.
+    pub fn total_s(&self) -> f64 {
+        self.solve_s + self.resilience_s()
+    }
+}
+
+/// Everything a resilient run produces — the raw material for every table
+/// and figure in the paper.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Scheme label (e.g. "LI (CG)-DVFS").
+    pub scheme: String,
+    /// Ranks used.
+    pub num_ranks: usize,
+    /// CG iterations executed.
+    pub iterations: usize,
+    /// Whether the tolerance was reached.
+    pub converged: bool,
+    /// Final relative residual.
+    pub final_relative_residual: f64,
+    /// Virtual time-to-solution, seconds (metric `T`).
+    pub time_s: f64,
+    /// Energy-to-solution, joules (metric `E`).
+    pub energy_j: f64,
+    /// Average power over the run, watts (metric `P`).
+    pub avg_power_w: f64,
+    /// Faults that fired during the run.
+    pub faults_injected: usize,
+    /// Checkpoint interval actually used (checkpoint schemes only).
+    pub checkpoint_interval_iters: Option<usize>,
+    /// Per-phase wall-time breakdown.
+    pub breakdown: PhaseBreakdown,
+    /// Residual history (empty unless recording was enabled).
+    pub history: ResidualHistory,
+    /// Piecewise power profile (Figure 7a material).
+    pub power_profile: Vec<PowerSample>,
+}
+
+/// A report normalized against a fault-free baseline — the
+/// representation used by Tables 4–6 and Figures 3, 5, 7, 8.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NormalizedReport {
+    /// `T / T_FF`.
+    pub time: f64,
+    /// `P_avg / P_avg,FF`.
+    pub power: f64,
+    /// `E / E_FF`.
+    pub energy: f64,
+    /// `iterations / iterations_FF`.
+    pub iterations: f64,
+    /// `T_res / T_FF` — resilience *overhead* time relative to FF total.
+    pub t_res: f64,
+    /// `E_res / E_FF` — resilience overhead energy relative to FF total.
+    pub e_res: f64,
+}
+
+impl RunReport {
+    /// Normalizes this run against the fault-free baseline `ff`.
+    ///
+    /// `t_res`/`e_res` follow the paper's Table 6 convention: the overhead
+    /// beyond the fault-free cost, normalized by the fault-free cost.
+    pub fn normalized_vs(&self, ff: &RunReport) -> NormalizedReport {
+        NormalizedReport {
+            time: self.time_s / ff.time_s,
+            power: self.avg_power_w / ff.avg_power_w,
+            energy: self.energy_j / ff.energy_j,
+            iterations: self.iterations as f64 / ff.iterations.max(1) as f64,
+            t_res: (self.time_s - ff.time_s).max(0.0) / ff.time_s,
+            e_res: (self.energy_j - ff.energy_j).max(0.0) / ff.energy_j,
+        }
+    }
+
+    /// Energy spent on resilience as a fraction of total energy, using the
+    /// phase breakdown and average power (the `E_res / E_solve` bar of
+    /// Figure 7b).
+    pub fn resilience_energy_fraction(&self) -> f64 {
+        if self.time_s == 0.0 {
+            return 0.0;
+        }
+        self.breakdown.resilience_s() / self.time_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(time: f64, energy: f64, iters: usize) -> RunReport {
+        RunReport {
+            scheme: "test".to_string(),
+            num_ranks: 4,
+            iterations: iters,
+            converged: true,
+            final_relative_residual: 1e-13,
+            time_s: time,
+            energy_j: energy,
+            avg_power_w: energy / time,
+            faults_injected: 0,
+            checkpoint_interval_iters: None,
+            breakdown: PhaseBreakdown::default(),
+            history: ResidualHistory::new(),
+            power_profile: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn normalization_against_self_is_unity() {
+        let r = report(10.0, 100.0, 50);
+        let n = r.normalized_vs(&r);
+        assert_eq!(n.time, 1.0);
+        assert_eq!(n.energy, 1.0);
+        assert_eq!(n.power, 1.0);
+        assert_eq!(n.iterations, 1.0);
+        assert_eq!(n.t_res, 0.0);
+        assert_eq!(n.e_res, 0.0);
+    }
+
+    #[test]
+    fn overheads_are_relative_to_baseline() {
+        let ff = report(10.0, 100.0, 50);
+        let r = report(15.0, 180.0, 75);
+        let n = r.normalized_vs(&ff);
+        assert!((n.time - 1.5).abs() < 1e-12);
+        assert!((n.energy - 1.8).abs() < 1e-12);
+        assert!((n.t_res - 0.5).abs() < 1e-12);
+        assert!((n.e_res - 0.8).abs() < 1e-12);
+        assert!((n.iterations - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakdown_totals() {
+        let b = PhaseBreakdown {
+            solve_s: 10.0,
+            checkpoint_s: 1.0,
+            restore_s: 0.5,
+            reconstruct_s: 2.0,
+            repair_s: 0.5,
+        };
+        assert_eq!(b.resilience_s(), 4.0);
+        assert_eq!(b.total_s(), 14.0);
+    }
+}

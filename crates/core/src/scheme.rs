@@ -1,0 +1,174 @@
+//! Recovery-scheme taxonomy (paper Table 2).
+
+use serde::{Deserialize, Serialize};
+
+use crate::construction::ConstructionMethod;
+use crate::interval::CheckpointInterval;
+
+/// Where checkpoints are stored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CheckpointStorage {
+    /// SCR-style multilevel checkpointing (Moody et al., cited in the
+    /// paper's related work): every checkpoint goes to node-local memory,
+    /// and every `disk_every`-th additionally to the shared file system.
+    /// Node faults restore cheaply from memory; system-wide outages fall
+    /// back to the last disk copy.
+    Multilevel {
+        /// Cadence of disk copies, in checkpoints (≥ 1).
+        disk_every: usize,
+    },
+    /// Node-local memory (CR-M): cheap, constant cost with system size,
+    /// but not survivable for real node losses — the paper notes it "is
+    /// not practical to common fault situations with lost data in memory".
+    Memory,
+    /// Shared parallel file system (CR-D): expensive, cost grows linearly
+    /// with system size.
+    Disk,
+}
+
+/// Forward-recovery variants (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ForwardKind {
+    /// F0 — assign zeros to the lost block of `x`.
+    Zero,
+    /// FI — assign the initial guess to the lost block.
+    InitialGuess,
+    /// LI — linear interpolation: solve `A_{p_i,p_i} x_i = b_i − Σ A_ij x_j`
+    /// (Eq. 17/19).
+    Linear(ConstructionMethod),
+    /// LSI — least-squares interpolation: solve
+    /// `min ‖b − Σ_{j≠i} A_{:,j} x_j − A_{:,i} x_i‖` (Eq. 18/20/21).
+    LeastSquares(ConstructionMethod),
+}
+
+/// A complete recovery scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Scheme {
+    /// Fault-free baseline (no resilience; faults in the schedule are
+    /// ignored — used only as the normalization base).
+    FaultFree,
+    /// Dual modular redundancy: a full replica runs concurrently. No time
+    /// overhead, double power (Eq. 12).
+    Dmr,
+    /// Triple modular redundancy (paper §7): two extra replicas with
+    /// majority voting — masks any single-replica fault *including SDC
+    /// without a detector*, at triple power. Included as the extension the
+    /// paper's related work discusses.
+    Tmr,
+    /// Checkpoint/restart.
+    Checkpoint {
+        /// Checkpoint destination (memory vs disk).
+        storage: CheckpointStorage,
+        /// How the checkpoint interval is chosen.
+        interval: CheckpointInterval,
+    },
+    /// Forward recovery.
+    Forward(ForwardKind),
+}
+
+impl Scheme {
+    /// CR-M with the Young-formula interval.
+    pub fn cr_memory() -> Self {
+        Scheme::Checkpoint {
+            storage: CheckpointStorage::Memory,
+            interval: CheckpointInterval::Young,
+        }
+    }
+
+    /// CR-D with the Young-formula interval.
+    pub fn cr_disk() -> Self {
+        Scheme::Checkpoint {
+            storage: CheckpointStorage::Disk,
+            interval: CheckpointInterval::Young,
+        }
+    }
+
+    /// SCR-style multilevel checkpointing: memory every interval, disk
+    /// every fourth checkpoint.
+    pub fn cr_multilevel() -> Self {
+        Scheme::Checkpoint {
+            storage: CheckpointStorage::Multilevel { disk_every: 4 },
+            interval: CheckpointInterval::Young,
+        }
+    }
+
+    /// LI with the paper's optimized local-CG construction.
+    pub fn li_local_cg() -> Self {
+        Scheme::Forward(ForwardKind::Linear(ConstructionMethod::local_cg_default()))
+    }
+
+    /// LSI with the paper's optimized local-CGLS construction.
+    pub fn lsi_local_cg() -> Self {
+        Scheme::Forward(ForwardKind::LeastSquares(
+            ConstructionMethod::local_cg_default(),
+        ))
+    }
+
+    /// LI with the baseline exact LU construction.
+    pub fn li_exact() -> Self {
+        Scheme::Forward(ForwardKind::Linear(ConstructionMethod::Exact))
+    }
+
+    /// LSI with the baseline exact (parallel-QR-style) construction.
+    pub fn lsi_exact() -> Self {
+        Scheme::Forward(ForwardKind::LeastSquares(ConstructionMethod::Exact))
+    }
+
+    /// Short label used in tables and reports (FF, RD, CR-M, CR-D, F0,
+    /// FI, LI, LSI).
+    pub fn label(&self) -> String {
+        match self {
+            Scheme::FaultFree => "FF".to_string(),
+            Scheme::Dmr => "RD".to_string(),
+            Scheme::Tmr => "TMR".to_string(),
+            Scheme::Checkpoint { storage, .. } => match storage {
+                CheckpointStorage::Memory => "CR-M".to_string(),
+                CheckpointStorage::Disk => "CR-D".to_string(),
+                CheckpointStorage::Multilevel { .. } => "CR-ML".to_string(),
+            },
+            Scheme::Forward(kind) => match kind {
+                ForwardKind::Zero => "F0".to_string(),
+                ForwardKind::InitialGuess => "FI".to_string(),
+                ForwardKind::Linear(m) => format!("LI ({})", m.label()),
+                ForwardKind::LeastSquares(m) => format!("LSI ({})", m.label()),
+            },
+        }
+    }
+
+    /// True for forward-recovery schemes (F0/FI/LI/LSI).
+    pub fn is_forward(&self) -> bool {
+        matches!(self, Scheme::Forward(_))
+    }
+
+    /// True for schemes that take periodic checkpoints.
+    pub fn is_checkpoint(&self) -> bool {
+        matches!(self, Scheme::Checkpoint { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_the_paper() {
+        assert_eq!(Scheme::FaultFree.label(), "FF");
+        assert_eq!(Scheme::Dmr.label(), "RD");
+        assert_eq!(Scheme::cr_memory().label(), "CR-M");
+        assert_eq!(Scheme::cr_disk().label(), "CR-D");
+        assert_eq!(Scheme::Tmr.label(), "TMR");
+        assert_eq!(Scheme::cr_multilevel().label(), "CR-ML");
+        assert_eq!(Scheme::Forward(ForwardKind::Zero).label(), "F0");
+        assert_eq!(Scheme::Forward(ForwardKind::InitialGuess).label(), "FI");
+        assert!(Scheme::li_local_cg().label().starts_with("LI"));
+        assert!(Scheme::lsi_exact().label().starts_with("LSI"));
+    }
+
+    #[test]
+    fn class_predicates() {
+        assert!(Scheme::li_local_cg().is_forward());
+        assert!(!Scheme::cr_disk().is_forward());
+        assert!(Scheme::cr_memory().is_checkpoint());
+        assert!(!Scheme::Dmr.is_checkpoint());
+    }
+}

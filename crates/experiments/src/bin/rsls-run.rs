@@ -1,0 +1,124 @@
+//! Command-line entry point for the paper-reproduction harnesses.
+//!
+//! ```text
+//! rsls-run --list                 list available experiments
+//! rsls-run --experiment fig5      run one experiment
+//! rsls-run --all                  run every experiment
+//! rsls-run --all --csv out/       additionally dump CSV files
+//! RSLS_SCALE=full rsls-run --all  paper-sized matrices (slow)
+//! ```
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use rsls_experiments::experiments::{by_name, ALL};
+use rsls_experiments::Scale;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: rsls-run [--list] [--all] [--experiment <name>] [--csv <dir>] [--svg <dir>]\n\
+         experiments: {}",
+        ALL.iter().map(|e| e.name).collect::<Vec<_>>().join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let mut run_all = false;
+    let mut names: Vec<String> = Vec::new();
+    let mut csv_dir: Option<PathBuf> = None;
+    let mut svg_dir: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--list" => {
+                for e in ALL {
+                    println!("{:<8} {}", e.name, e.description);
+                }
+                return;
+            }
+            "--all" => run_all = true,
+            "--experiment" | "-e" => {
+                i += 1;
+                if i >= args.len() {
+                    usage();
+                }
+                names.push(args[i].clone());
+            }
+            "--csv" => {
+                i += 1;
+                if i >= args.len() {
+                    usage();
+                }
+                csv_dir = Some(PathBuf::from(&args[i]));
+            }
+            "--svg" => {
+                i += 1;
+                if i >= args.len() {
+                    usage();
+                }
+                svg_dir = Some(PathBuf::from(&args[i]));
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+
+    let scale = Scale::from_env();
+    println!(
+        "scale: {:?} (set RSLS_SCALE=full for paper-sized matrices)\n",
+        scale
+    );
+
+    let selected: Vec<_> = if run_all {
+        ALL.iter().collect()
+    } else {
+        names
+            .iter()
+            .map(|n| by_name(n).unwrap_or_else(|| {
+                eprintln!("unknown experiment '{n}'");
+                usage();
+            }))
+            .collect()
+    };
+    if selected.is_empty() {
+        usage();
+    }
+
+    for e in selected {
+        let start = Instant::now();
+        println!(">>> {} — {}", e.name, e.description);
+        let tables = (e.run)(scale);
+        for (i, t) in tables.iter().enumerate() {
+            println!("{}", t.render());
+            if let Some(dir) = &csv_dir {
+                let path = dir.join(format!("{}-{}.csv", e.name, i));
+                if let Err(err) = t.write_csv(&path) {
+                    eprintln!("warning: failed to write {}: {err}", path.display());
+                } else {
+                    println!("csv: {}", path.display());
+                }
+            }
+            if let Some(dir) = &svg_dir {
+                if let Some(svg) = rsls_experiments::plot::render_auto(t) {
+                    let path = dir.join(format!("{}-{}.svg", e.name, i));
+                    if let Err(err) = std::fs::create_dir_all(dir)
+                        .and_then(|_| std::fs::write(&path, svg))
+                    {
+                        eprintln!("warning: failed to write {}: {err}", path.display());
+                    } else {
+                        println!("svg: {}", path.display());
+                    }
+                }
+            }
+        }
+        println!("<<< {} done in {:.1?}\n", e.name, start.elapsed());
+    }
+}

@@ -1,0 +1,62 @@
+//! Figure 1 — estimated MTBF for exascale systems from petascale systems.
+
+use rsls_faults::{FaultClass, MtbfEstimator, SystemScale};
+
+use crate::output::{sci, Table};
+use crate::Scale;
+
+/// Reproduces Figure 1: per-class system MTBF at petascale (20K nodes,
+/// today's technology) and exascale (1M nodes, 11 nm).
+pub fn run(_scale: Scale) -> Vec<Table> {
+    let est = MtbfEstimator::default();
+    let pet = SystemScale::petascale();
+    let exa = SystemScale::exascale();
+
+    let mut t = Table::new(
+        "Figure 1 — estimated system MTBF (hours) per fault class",
+        &[
+            "class",
+            "kind",
+            "node MTBF (today, h)",
+            "petascale 20K nodes (h)",
+            "exascale 1M nodes (h)",
+        ],
+    );
+    for class in FaultClass::ALL {
+        t.push_row(vec![
+            class.abbrev().to_string(),
+            format!("{:?}", class.category()),
+            sci(est.node_mtbf_h(class, pet)),
+            sci(est.system_mtbf_h(class, pet)),
+            sci(est.system_mtbf_h(class, exa)),
+        ]);
+    }
+    t.push_row(vec![
+        "ALL".to_string(),
+        "combined".to_string(),
+        "-".to_string(),
+        sci(est.combined_system_mtbf_h(pet)),
+        sci(est.combined_system_mtbf_h(exa)),
+    ]);
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_one_table_with_seven_rows() {
+        let tables = run(Scale::Quick);
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].rows.len(), 7);
+    }
+
+    #[test]
+    fn exascale_combined_mtbf_is_below_one_hour() {
+        // The paper's headline: "MTBF of an exascale system is within an
+        // hour if projected from Petascale systems".
+        let est = MtbfEstimator::default();
+        assert!(est.combined_system_mtbf_h(SystemScale::exascale()) < 1.0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Figure 4 — CG-based construction vs LU/QR baselines (Kuu, 5 faults).
+
+use rsls_core::{ConstructionMethod, DvfsPolicy, ForwardKind, Scheme};
+
+use crate::output::{f2, sci, Table};
+use crate::runners::{evenly_spaced_faults, run_fault_free, run_scheme, workload};
+use crate::Scale;
+
+/// Construction tolerances swept for the CG-based schemes (the paper's
+/// x-axis).
+const TOLERANCES: [f64; 5] = [1e-2, 1e-4, 1e-6, 1e-8, 1e-10];
+
+/// Reproduces Figure 4: time-to-solution of LI/LSI with the optimized
+/// local-CG construction (one point per inner tolerance) against the
+/// exact LU-based LI and QR-based LSI baselines.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let ranks = scale.default_ranks();
+    let (a, b) = workload("Kuu", scale);
+    let ff = run_fault_free(&a, &b, ranks);
+    let faults = evenly_spaced_faults(5, ff.iterations, ranks, "fig4");
+
+    let mut t = Table::new(
+        "Figure 4 — time-to-solution with CG-based construction (Kuu, 5 faults)",
+        &["scheme", "inner tol", "iters", "time (s)", "norm time"],
+    );
+
+    // Exact baselines first.
+    for (label, scheme) in [
+        ("LI (LU)", Scheme::li_exact()),
+        ("LSI (QR)", Scheme::lsi_exact()),
+    ] {
+        let r = run_scheme(
+            &a,
+            &b,
+            ranks,
+            scheme,
+            DvfsPolicy::OsDefault,
+            faults.clone(),
+            "fig4",
+            None,
+        );
+        t.push_row(vec![
+            label.to_string(),
+            "exact".to_string(),
+            r.iterations.to_string(),
+            sci(r.time_s),
+            f2(r.time_s / ff.time_s),
+        ]);
+    }
+
+    // CG-based sweeps.
+    for tol in TOLERANCES {
+        for (label, kind) in [
+            ("LI (CG)", ForwardKind::Linear as fn(ConstructionMethod) -> ForwardKind),
+            ("LSI (CG)", ForwardKind::LeastSquares as fn(ConstructionMethod) -> ForwardKind),
+        ] {
+            let scheme = Scheme::Forward(kind(ConstructionMethod::local_cg_fixed(tol, 2000)));
+            let r = run_scheme(
+                &a,
+                &b,
+                ranks,
+                scheme,
+                DvfsPolicy::OsDefault,
+                faults.clone(),
+                "fig4",
+                None,
+            );
+            t.push_row(vec![
+                label.to_string(),
+                sci(tol),
+                r.iterations.to_string(),
+                sci(r.time_s),
+                f2(r.time_s / ff.time_s),
+            ]);
+        }
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cg_based_li_is_no_slower_than_lu_based() {
+        // Figure 4's claim: "using CG has a shorter time-to-solution than
+        // previous solutions for both LI and LSI" (4–15%).
+        let ranks = 8;
+        let (a, b) = workload("Kuu", Scale::Quick);
+        let ff = run_fault_free(&a, &b, ranks);
+        let faults = evenly_spaced_faults(5, ff.iterations, ranks, "fig4-test");
+        let lu = run_scheme(
+            &a,
+            &b,
+            ranks,
+            Scheme::li_exact(),
+            DvfsPolicy::OsDefault,
+            faults.clone(),
+            "f4t",
+            None,
+        );
+        let cg = run_scheme(
+            &a,
+            &b,
+            ranks,
+            Scheme::Forward(ForwardKind::Linear(ConstructionMethod::local_cg_fixed(1e-6, 2000))),
+            DvfsPolicy::OsDefault,
+            faults,
+            "f4t",
+            None,
+        );
+        assert!(lu.converged && cg.converged);
+        assert!(
+            cg.time_s <= lu.time_s * 1.001,
+            "CG-based LI ({}) must not lose to LU-based ({})",
+            cg.time_s,
+            lu.time_s
+        );
+    }
+
+    #[test]
+    fn qr_baseline_pays_for_communication() {
+        // The parallel-QR baseline must carry visible reconstruction cost.
+        let ranks = 8;
+        let (a, b) = workload("Kuu", Scale::Quick);
+        let ff = run_fault_free(&a, &b, ranks);
+        let faults = evenly_spaced_faults(5, ff.iterations, ranks, "fig4-test2");
+        let qr = run_scheme(
+            &a,
+            &b,
+            ranks,
+            Scheme::lsi_exact(),
+            DvfsPolicy::OsDefault,
+            faults.clone(),
+            "f4t2",
+            None,
+        );
+        let cgls = run_scheme(
+            &a,
+            &b,
+            ranks,
+            Scheme::lsi_local_cg(),
+            DvfsPolicy::OsDefault,
+            faults,
+            "f4t2",
+            None,
+        );
+        assert!(qr.breakdown.reconstruct_s > 0.0);
+        assert!(
+            cgls.time_s <= qr.time_s * 1.001,
+            "local CGLS ({}) must not lose to parallel QR ({})",
+            cgls.time_s,
+            qr.time_s
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! Figure 9 — projected resilience overhead under weak scaling.
+
+use rsls_models::{project_scheme, ProjectionConfig, ProjectionScheme};
+
+use crate::output::{f2, sci, Table};
+use crate::Scale;
+
+/// System sizes projected (processes).
+const SIZES: [usize; 7] = [192, 1_000, 4_000, 16_000, 64_000, 256_000, 1_000_000];
+
+/// Reproduces Figure 9: normalized `T_res`, `E_res` and power for RD,
+/// CR-D, CR-M and FW under weak scaling (50K nnz/process, per-process
+/// MTBF 6K hours ⇒ linearly decreasing system MTBF).
+pub fn run(_scale: Scale) -> Vec<Table> {
+    let cfg = ProjectionConfig::default();
+    let mut tables = Vec::new();
+    for metric in ["T_res", "E_res", "P"] {
+        let mut t = Table::new(
+            format!("Figure 9 — projected {metric} (normalized to fault-free)"),
+            &["#processes", "MTBF (h)", "RD", "CR-D", "CR-M", "FW"],
+        );
+        for &n in &SIZES {
+            let mtbf_h = cfg.per_process_mtbf_h / n as f64;
+            let mut row = vec![n.to_string(), sci(mtbf_h)];
+            for scheme in [
+                ProjectionScheme::Rd,
+                ProjectionScheme::CrDisk,
+                ProjectionScheme::CrMemory,
+                ProjectionScheme::Forward,
+            ] {
+                let p = project_scheme(scheme, &cfg, n);
+                let v = match metric {
+                    "T_res" => p.t_res_norm,
+                    "E_res" => p.e_res_norm,
+                    _ => p.p_norm,
+                };
+                row.push(if v.abs() < 0.01 && v != 0.0 { sci(v) } else { f2(v) });
+            }
+            t.push_row(row);
+        }
+        tables.push(t);
+    }
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn projection_tables_cover_all_sizes() {
+        let tables = run(Scale::Quick);
+        assert_eq!(tables.len(), 3);
+        for t in &tables {
+            assert_eq!(t.rows.len(), SIZES.len());
+        }
+    }
+
+    #[test]
+    fn fig9_trends_hold() {
+        // CR-D overhead grows fastest; FW grows; CR-M stays negligible;
+        // RD flat; FW/CR-D power drops with scale.
+        let cfg = ProjectionConfig::default();
+        let t = |s, n| project_scheme(s, &cfg, n).t_res_norm;
+        assert!(t(ProjectionScheme::CrDisk, 1_000_000) > t(ProjectionScheme::Forward, 1_000_000));
+        assert!(t(ProjectionScheme::Forward, 1_000_000) > t(ProjectionScheme::Forward, 1_000));
+        assert!(t(ProjectionScheme::CrMemory, 1_000_000) < 0.05);
+        assert_eq!(t(ProjectionScheme::Rd, 1_000_000), 0.0);
+        let p = |s, n| project_scheme(s, &cfg, n).p_norm;
+        assert!(p(ProjectionScheme::Forward, 1_000_000) < p(ProjectionScheme::Forward, 1_000));
+    }
+}

@@ -1,0 +1,109 @@
+//! One harness per paper figure/table.
+//!
+//! Every harness has the signature `run(scale: Scale) -> Vec<Table>` and
+//! is registered in [`ALL`] so `rsls-run --all` can iterate them.
+
+pub mod extensions;
+pub mod fig1;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+pub mod table6;
+
+use crate::{Scale, Table};
+
+/// A registered experiment.
+pub struct Experiment {
+    /// CLI name (`fig5`, `table6`, ...).
+    pub name: &'static str,
+    /// What the experiment reproduces.
+    pub description: &'static str,
+    /// The harness entry point.
+    pub run: fn(Scale) -> Vec<Table>,
+}
+
+/// All experiments in paper order.
+pub static ALL: &[Experiment] = &[
+    Experiment {
+        name: "fig1",
+        description: "Estimated MTBF for exascale systems from petascale systems",
+        run: fig1::run,
+    },
+    Experiment {
+        name: "fig3",
+        description: "Accuracy and cost of different recovery mechanisms (Andrews)",
+        run: fig3::run,
+    },
+    Experiment {
+        name: "fig4",
+        description: "CG-based LI/LSI construction vs LU/QR baselines (Kuu, 5 faults)",
+        run: fig4::run,
+    },
+    Experiment {
+        name: "fig5",
+        description: "Iterations to convergence, 14 matrices, 10 faults",
+        run: fig5::run,
+    },
+    Experiment {
+        name: "fig6",
+        description: "Residual histories under faults and recovery",
+        run: fig6::run,
+    },
+    Experiment {
+        name: "fig7a",
+        description: "Power profile of nd24k with LI vs LI-DVFS",
+        run: fig7::run_a,
+    },
+    Experiment {
+        name: "fig7b",
+        description: "Average T/P/E for the suite with and without DVFS",
+        run: fig7::run_b,
+    },
+    Experiment {
+        name: "fig8",
+        description: "Time/energy/power trade-offs for x104, nd24k, cvxbqp1",
+        run: fig8::run,
+    },
+    Experiment {
+        name: "fig9",
+        description: "Projected resilience overhead under weak scaling",
+        run: fig9::run,
+    },
+    Experiment {
+        name: "extensions",
+        description: "Beyond-paper: TMR, multilevel CR, interval policies, SWO",
+        run: extensions::run,
+    },
+    Experiment {
+        name: "table3",
+        description: "Matrix suite properties",
+        run: table3::run,
+    },
+    Experiment {
+        name: "table4",
+        description: "Normalized iterations vs process count (crystm02)",
+        run: table4::run,
+    },
+    Experiment {
+        name: "table5",
+        description: "Normalized time/power/energy cost of resilience",
+        run: table5::run,
+    },
+    Experiment {
+        name: "table6",
+        description: "Model validation for x104",
+        run: table6::run,
+    },
+];
+
+/// Looks up an experiment by CLI name.
+pub fn by_name(name: &str) -> Option<&'static Experiment> {
+    ALL.iter().find(|e| e.name == name)
+}

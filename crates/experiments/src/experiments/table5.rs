@@ -1,0 +1,111 @@
+//! Table 5 — suite-average normalized time/power/energy per scheme.
+
+use rsls_core::interval::CheckpointInterval;
+use rsls_core::{CheckpointStorage, DvfsPolicy, Scheme};
+
+use crate::output::{f2, Table};
+use crate::runners::{poisson_faults_for, run_fault_free, run_scheme, workload};
+use crate::{Scale, SUITE};
+
+/// Reproduces Table 5: time, power, and energy cost of resilience per
+/// scheme, averaged over all suite matrices and normalized to FF.
+/// Checkpoint intervals follow Young's formula (the §5.3 methodology);
+/// fault arrivals are Poisson at the same per-run rate for every scheme.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let ranks = scale.default_ranks();
+    let schemes: [(Scheme, DvfsPolicy); 5] = [
+        (Scheme::Dmr, DvfsPolicy::OsDefault),
+        (Scheme::li_local_cg(), DvfsPolicy::ThrottleWaiters),
+        (Scheme::lsi_local_cg(), DvfsPolicy::ThrottleWaiters),
+        (
+            Scheme::Checkpoint {
+                storage: CheckpointStorage::Memory,
+                interval: CheckpointInterval::Young,
+            },
+            DvfsPolicy::OsDefault,
+        ),
+        (
+            Scheme::Checkpoint {
+                storage: CheckpointStorage::Disk,
+                interval: CheckpointInterval::Young,
+            },
+            DvfsPolicy::OsDefault,
+        ),
+    ];
+
+    let mut labels: Vec<String> = Vec::new();
+    let mut sums = vec![(0.0f64, 0.0f64, 0.0f64); schemes.len()];
+    let mut count = 0usize;
+    for spec in SUITE {
+        let (a, b) = workload(spec.name, scale);
+        let ff = run_fault_free(&a, &b, ranks);
+        let (faults, mtbf_s) = poisson_faults_for(&ff, 4.0, ranks, spec.name);
+        for (i, (scheme, dvfs)) in schemes.iter().enumerate() {
+            let r = run_scheme(
+                &a,
+                &b,
+                ranks,
+                *scheme,
+                *dvfs,
+                faults.clone(),
+                &format!("t5-{}", spec.name),
+                Some(mtbf_s),
+            );
+            let n = r.normalized_vs(&ff);
+            sums[i].0 += n.time;
+            sums[i].1 += n.power;
+            sums[i].2 += n.energy;
+            if count == 0 {
+                labels.push(r.scheme.clone());
+            }
+        }
+        count += 1;
+    }
+
+    let mut t = Table::new(
+        format!("Table 5 — normalized cost of resilience (suite average, {count} matrices)"),
+        &["scheme", "Time", "Power", "Energy"],
+    );
+    t.push_row(vec!["FF".into(), f2(1.0), f2(1.0), f2(1.0)]);
+    for (i, label) in labels.iter().enumerate() {
+        let c = count as f64;
+        t.push_row(vec![
+            label.clone(),
+            f2(sums[i].0 / c),
+            f2(sums[i].1 / c),
+            f2(sums[i].2 / c),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table5_shape_holds_on_one_matrix() {
+        // The cheap slice of Table 5's ordering: RD power 2x;
+        // CR-D time > CR-M time; LI-DVFS power < 1.
+        let ranks = 8;
+        let (a, b) = workload("crystm02", Scale::Quick);
+        let ff = run_fault_free(&a, &b, ranks);
+        let (faults, mtbf) = poisson_faults_for(&ff, 4.0, ranks, "t5-test");
+        let rd = run_scheme(&a, &b, ranks, Scheme::Dmr, DvfsPolicy::OsDefault, faults.clone(), "t5t", Some(mtbf));
+        let li = run_scheme(
+            &a,
+            &b,
+            ranks,
+            Scheme::li_local_cg(),
+            DvfsPolicy::ThrottleWaiters,
+            faults.clone(),
+            "t5t",
+            Some(mtbf),
+        );
+        let crm = run_scheme(&a, &b, ranks, Scheme::cr_memory(), DvfsPolicy::OsDefault, faults.clone(), "t5t", Some(mtbf));
+        let crd = run_scheme(&a, &b, ranks, Scheme::cr_disk(), DvfsPolicy::OsDefault, faults, "t5t", Some(mtbf));
+        assert!((rd.avg_power_w / ff.avg_power_w - 2.0).abs() < 0.05);
+        assert!(crd.time_s > crm.time_s, "CR-D must cost more time than CR-M");
+        assert!(li.avg_power_w < ff.avg_power_w, "LI-DVFS reduces average power");
+    }
+}

@@ -1,0 +1,106 @@
+//! Table 6 — model validation for x104.
+
+use rsls_core::interval::CheckpointInterval;
+use rsls_core::{CheckpointStorage, DvfsPolicy, Scheme};
+use rsls_models::validate;
+
+use crate::output::{f2, Table};
+use crate::runners::{poisson_faults_for, run_fault_free, run_scheme, workload};
+use crate::Scale;
+
+/// Reproduces Table 6: for matrix x104, the §3 models' predicted
+/// `T_res`, `P`, and `E_res` (normalized to FF) against the measured
+/// values, per scheme.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let ranks = scale.default_ranks();
+    let (a, b) = workload("x104", scale);
+    let ff = run_fault_free(&a, &b, ranks);
+    let (faults, mtbf_s) = poisson_faults_for(&ff, 4.0, ranks, "table6");
+
+    let schemes: [(Scheme, DvfsPolicy); 5] = [
+        (Scheme::Dmr, DvfsPolicy::OsDefault),
+        (Scheme::li_local_cg(), DvfsPolicy::ThrottleWaiters),
+        (Scheme::lsi_local_cg(), DvfsPolicy::ThrottleWaiters),
+        (
+            Scheme::Checkpoint {
+                storage: CheckpointStorage::Memory,
+                interval: CheckpointInterval::Young,
+            },
+            DvfsPolicy::OsDefault,
+        ),
+        (
+            Scheme::Checkpoint {
+                storage: CheckpointStorage::Disk,
+                interval: CheckpointInterval::Young,
+            },
+            DvfsPolicy::OsDefault,
+        ),
+    ];
+
+    let mut t = Table::new(
+        "Table 6 — model vs experiment for x104 (normalized to FF)",
+        &[
+            "scheme",
+            "model T_res",
+            "model P",
+            "model E_res",
+            "exp T_res",
+            "exp P",
+            "exp E_res",
+        ],
+    );
+    t.push_row(vec![
+        "FF".into(),
+        f2(0.0),
+        f2(1.0),
+        f2(0.0),
+        f2(0.0),
+        f2(1.0),
+        f2(0.0),
+    ]);
+    for (scheme, dvfs) in schemes {
+        let r = run_scheme(
+            &a,
+            &b,
+            ranks,
+            scheme,
+            dvfs,
+            faults.clone(),
+            "table6",
+            Some(mtbf_s),
+        );
+        let row = validate(&r, &ff);
+        t.push_row(vec![
+            row.scheme.clone(),
+            f2(row.model_t_res),
+            f2(row.model_p),
+            f2(row.model_e_res),
+            f2(row.exp_t_res),
+            f2(row.exp_p),
+            f2(row.exp_e_res),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_and_experiment_agree_on_scheme_ordering() {
+        // Table 6's purpose: "our main goal is to provide comparison and
+        // relative order between the schemes". Check that model and
+        // experiment order CR-D vs CR-M the same way.
+        let ranks = 8;
+        let (a, b) = workload("x104", Scale::Quick);
+        let ff = run_fault_free(&a, &b, ranks);
+        let (faults, mtbf) = poisson_faults_for(&ff, 4.0, ranks, "t6-test");
+        let crm = run_scheme(&a, &b, ranks, Scheme::cr_memory(), DvfsPolicy::OsDefault, faults.clone(), "t6t", Some(mtbf));
+        let crd = run_scheme(&a, &b, ranks, Scheme::cr_disk(), DvfsPolicy::OsDefault, faults, "t6t", Some(mtbf));
+        let vm = validate(&crm, &ff);
+        let vd = validate(&crd, &ff);
+        assert!(vd.exp_t_res > vm.exp_t_res, "measured: CR-D > CR-M");
+        assert!(vd.model_t_res > vm.model_t_res, "modeled: CR-D > CR-M");
+    }
+}

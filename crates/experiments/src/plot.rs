@@ -1,0 +1,326 @@
+//! Minimal self-contained SVG charts for the experiment tables.
+//!
+//! `rsls-run --svg <dir>` renders each experiment's tables into simple,
+//! dependency-free SVG files: grouped bar charts for scheme comparisons,
+//! log-scale line charts for residual curves (Figure 6), and step lines
+//! for power traces (Figure 7a). The goal is paper-figure-shaped output
+//! straight from the harness, not a plotting framework.
+
+use std::fmt::Write as _;
+
+use crate::Table;
+
+/// Chart canvas constants.
+const W: f64 = 860.0;
+const H: f64 = 420.0;
+const MARGIN_L: f64 = 70.0;
+const MARGIN_R: f64 = 160.0;
+const MARGIN_T: f64 = 48.0;
+const MARGIN_B: f64 = 80.0;
+
+/// A muted categorical palette (10 series).
+const PALETTE: [&str; 10] = [
+    "#4878d0", "#ee854a", "#6acc64", "#d65f5f", "#956cb4", "#8c613c", "#dc7ec0", "#797979",
+    "#d5bb67", "#82c6e2",
+];
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+fn svg_header(title: &str) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{W}" height="{H}" viewBox="0 0 {W} {H}" font-family="sans-serif">"#
+    );
+    let _ = writeln!(s, r#"<rect width="{W}" height="{H}" fill="white"/>"#);
+    let _ = writeln!(
+        s,
+        r#"<text x="{}" y="24" font-size="15" font-weight="bold">{}</text>"#,
+        MARGIN_L,
+        esc(title)
+    );
+    s
+}
+
+fn legend(s: &mut String, labels: &[String]) {
+    for (i, label) in labels.iter().enumerate() {
+        let y = MARGIN_T + 16.0 * i as f64;
+        let x = W - MARGIN_R + 12.0;
+        let _ = writeln!(
+            s,
+            r#"<rect x="{x}" y="{}" width="10" height="10" fill="{}"/>"#,
+            y - 9.0,
+            PALETTE[i % PALETTE.len()]
+        );
+        let _ = writeln!(
+            s,
+            r#"<text x="{}" y="{y}" font-size="11">{}</text>"#,
+            x + 14.0,
+            esc(label)
+        );
+    }
+}
+
+/// Renders a table whose first column is a category and whose remaining
+/// numeric columns are series, as a grouped bar chart (the Figure 5 /
+/// Table 5 shape). Non-numeric cells are skipped.
+pub fn grouped_bars(table: &Table) -> String {
+    let categories: Vec<String> = table.rows.iter().map(|r| r[0].clone()).collect();
+    let series: Vec<String> = table.headers[1..].to_vec();
+    let values: Vec<Vec<Option<f64>>> = table
+        .rows
+        .iter()
+        .map(|r| r[1..].iter().map(|c| c.parse::<f64>().ok()).collect())
+        .collect();
+    let max = values
+        .iter()
+        .flatten()
+        .flatten()
+        .fold(1.0f64, |m, &v| m.max(v));
+
+    let plot_w = W - MARGIN_L - MARGIN_R;
+    let plot_h = H - MARGIN_T - MARGIN_B;
+    let group_w = plot_w / categories.len().max(1) as f64;
+    let bar_w = (group_w * 0.8) / series.len().max(1) as f64;
+
+    let mut s = svg_header(&table.title);
+    // Y grid lines + labels.
+    for k in 0..=4 {
+        let v = max * k as f64 / 4.0;
+        let y = MARGIN_T + plot_h * (1.0 - k as f64 / 4.0);
+        let _ = writeln!(
+            s,
+            r##"<line x1="{MARGIN_L}" y1="{y}" x2="{}" y2="{y}" stroke="#ddd"/>"##,
+            W - MARGIN_R
+        );
+        let _ = writeln!(
+            s,
+            r#"<text x="{}" y="{}" font-size="10" text-anchor="end">{v:.1}</text>"#,
+            MARGIN_L - 6.0,
+            y + 3.0
+        );
+    }
+    // Bars.
+    for (ci, row) in values.iter().enumerate() {
+        let gx = MARGIN_L + group_w * ci as f64 + group_w * 0.1;
+        for (si, v) in row.iter().enumerate() {
+            let Some(v) = v else { continue };
+            let h = plot_h * (v / max).clamp(0.0, 1.0);
+            let x = gx + bar_w * si as f64;
+            let y = MARGIN_T + plot_h - h;
+            let _ = writeln!(
+                s,
+                r#"<rect x="{x:.1}" y="{y:.1}" width="{:.1}" height="{h:.1}" fill="{}"/>"#,
+                bar_w.max(1.0) - 1.0,
+                PALETTE[si % PALETTE.len()]
+            );
+        }
+        // Category label, rotated for long names.
+        let lx = gx + group_w * 0.4;
+        let ly = MARGIN_T + plot_h + 12.0;
+        let _ = writeln!(
+            s,
+            r#"<text x="{lx:.1}" y="{ly:.1}" font-size="10" text-anchor="end" transform="rotate(-35 {lx:.1} {ly:.1})">{}</text>"#,
+            esc(&categories[ci])
+        );
+    }
+    legend(&mut s, &series);
+    s.push_str("</svg>\n");
+    s
+}
+
+/// Renders a long-format table `(series, x, y)` as a line chart with an
+/// optional log-scale y axis (the Figure 6 residual curves and Figure 7a
+/// power traces).
+pub fn lines(table: &Table, log_y: bool) -> String {
+    // Group rows by series label.
+    let mut series: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
+    for row in &table.rows {
+        let (Ok(x), Ok(y)) = (row[1].parse::<f64>(), row[2].parse::<f64>()) else {
+            continue;
+        };
+        if y <= 0.0 && log_y {
+            continue;
+        }
+        match series.iter_mut().find(|(l, _)| *l == row[0]) {
+            Some((_, pts)) => pts.push((x, y)),
+            None => series.push((row[0].clone(), vec![(x, y)])),
+        }
+    }
+    let tx = |v: f64| v;
+    let ty = move |v: f64| if log_y { v.log10() } else { v };
+
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|(_, pts)| pts.iter().map(|&(x, y)| (tx(x), ty(y))))
+        .collect();
+    let (mut x0, mut x1, mut y0, mut y1) = (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
+    for &(x, y) in &all {
+        x0 = x0.min(x);
+        x1 = x1.max(x);
+        y0 = y0.min(y);
+        y1 = y1.max(y);
+    }
+    if all.is_empty() || !(x1 > x0) {
+        return svg_header(&table.title) + "</svg>\n";
+    }
+    if !(y1 > y0) {
+        y1 = y0 + 1.0;
+    }
+
+    let plot_w = W - MARGIN_L - MARGIN_R;
+    let plot_h = H - MARGIN_T - MARGIN_B;
+    let px = move |x: f64| MARGIN_L + plot_w * (tx(x) - x0) / (x1 - x0);
+    let py = move |y: f64| MARGIN_T + plot_h * (1.0 - (ty(y) - y0) / (y1 - y0));
+
+    let mut s = svg_header(&table.title);
+    // Y grid.
+    for k in 0..=4 {
+        let yv = y0 + (y1 - y0) * k as f64 / 4.0;
+        let y = MARGIN_T + plot_h * (1.0 - k as f64 / 4.0);
+        let label = if log_y {
+            format!("1e{yv:.0}")
+        } else {
+            format!("{yv:.1}")
+        };
+        let _ = writeln!(
+            s,
+            r##"<line x1="{MARGIN_L}" y1="{y}" x2="{}" y2="{y}" stroke="#ddd"/>"##,
+            W - MARGIN_R
+        );
+        let _ = writeln!(
+            s,
+            r#"<text x="{}" y="{}" font-size="10" text-anchor="end">{label}</text>"#,
+            MARGIN_L - 6.0,
+            y + 3.0
+        );
+    }
+    // X axis labels (min/mid/max).
+    for xv in [x0, (x0 + x1) / 2.0, x1] {
+        let _ = writeln!(
+            s,
+            r#"<text x="{:.1}" y="{}" font-size="10" text-anchor="middle">{xv:.3}</text>"#,
+            MARGIN_L + plot_w * (xv - x0) / (x1 - x0),
+            MARGIN_T + plot_h + 16.0
+        );
+    }
+    // Poly-lines.
+    let mut labels = Vec::new();
+    for (si, (label, pts)) in series.iter().enumerate() {
+        let mut path = String::new();
+        for (k, &(x, y)) in pts.iter().enumerate() {
+            let _ = write!(
+                path,
+                "{}{:.1},{:.1} ",
+                if k == 0 { "M" } else { "L" },
+                px(x),
+                py(y)
+            );
+        }
+        let _ = writeln!(
+            s,
+            r#"<path d="{path}" fill="none" stroke="{}" stroke-width="1.6"/>"#,
+            PALETTE[si % PALETTE.len()]
+        );
+        labels.push(label.clone());
+    }
+    legend(&mut s, &labels);
+    s.push_str("</svg>\n");
+    s
+}
+
+/// Picks a renderer for a table by its shape and writes `<name>.svg`;
+/// returns `None` when the table is not chartable (e.g. all-text cells).
+pub fn render_auto(table: &Table) -> Option<String> {
+    if table.headers.len() == 3
+        && table
+            .rows
+            .iter()
+            .take(8)
+            .all(|r| r[1].parse::<f64>().is_ok() && r[2].parse::<f64>().is_ok())
+        && table.rows.len() >= 8
+    {
+        // Long-format (series, x, y): residual curves / power traces.
+        let log_y = table.title.to_lowercase().contains("residual");
+        return Some(lines(table, log_y));
+    }
+    // Grouped bars need at least one numeric series column.
+    let numeric_cols = table
+        .rows
+        .first()
+        .map(|r| r[1..].iter().filter(|c| c.parse::<f64>().is_ok()).count())
+        .unwrap_or(0);
+    if numeric_cols >= 1 && !table.rows.is_empty() {
+        return Some(grouped_bars(table));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bar_table() -> Table {
+        let mut t = Table::new("Demo bars", &["matrix", "LI", "F0"]);
+        t.push_row(vec!["a".into(), "1.2".into(), "2.4".into()]);
+        t.push_row(vec!["b".into(), "1.1".into(), "2.0".into()]);
+        t
+    }
+
+    fn line_table(n: usize) -> Table {
+        let mut t = Table::new("Demo residual", &["scheme", "iteration", "relative residual"]);
+        for i in 0..n {
+            t.push_row(vec![
+                "FF".into(),
+                i.to_string(),
+                format!("{:.3e}", 10f64.powi(-(i as i32))),
+            ]);
+        }
+        t
+    }
+
+    #[test]
+    fn bar_chart_is_valid_svg_with_all_series() {
+        let svg = grouped_bars(&bar_table());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        // 2 categories x 2 series = 4 bars + background rect.
+        assert_eq!(svg.matches("<rect").count(), 1 + 4 + 2 /* legend swatches */);
+        assert!(svg.contains("Demo bars"));
+    }
+
+    #[test]
+    fn line_chart_handles_log_scale() {
+        let svg = lines(&line_table(12), true);
+        assert!(svg.contains("<path"));
+        assert!(svg.contains("1e"));
+    }
+
+    #[test]
+    fn render_auto_picks_the_right_chart() {
+        assert!(render_auto(&bar_table()).unwrap().contains("<rect"));
+        assert!(render_auto(&line_table(12)).unwrap().contains("<path"));
+        // Un-chartable: all-text columns.
+        let mut t = Table::new("Text", &["a", "b"]);
+        t.push_row(vec!["x".into(), "y".into()]);
+        assert!(render_auto(&t).is_none());
+    }
+
+    #[test]
+    fn empty_series_degrades_gracefully() {
+        let t = Table::new("Empty", &["scheme", "x", "y"]);
+        let svg = lines(&t, false);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+    }
+
+    #[test]
+    fn titles_are_escaped() {
+        let mut t = Table::new("a < b & c", &["k", "v"]);
+        t.push_row(vec!["x".into(), "1.0".into()]);
+        let svg = grouped_bars(&t);
+        assert!(svg.contains("a &lt; b &amp; c"));
+    }
+}

@@ -1,0 +1,99 @@
+//! Applying faults to the solver's dynamic data.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::{FaultCategory, FaultClass};
+
+/// How a fault manifests in the failed rank's slice of the solution
+/// vector `x` (Figure 2b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultEffect {
+    /// Memory content is gone (hard fault / DUE): the slice is poisoned so
+    /// that any read before recovery is visible as NaN.
+    Lost,
+    /// Silent corruption: a random bit of one entry is flipped.
+    BitFlip,
+}
+
+impl FaultEffect {
+    /// The effect implied by a fault class.
+    pub fn for_class(class: FaultClass) -> FaultEffect {
+        match (class, class.category()) {
+            (FaultClass::Sdc, _) => FaultEffect::BitFlip,
+            (_, FaultCategory::Hard) => FaultEffect::Lost,
+            // DUE: detected but uncorrected — data unusable, treated as lost.
+            _ => FaultEffect::Lost,
+        }
+    }
+}
+
+/// Injects a fault into `slice` (the failed rank's part of `x`).
+///
+/// Deterministic for a given `seed`. Returns the number of entries
+/// affected.
+pub fn inject(slice: &mut [f64], effect: FaultEffect, seed: u64) -> usize {
+    if slice.is_empty() {
+        return 0;
+    }
+    match effect {
+        FaultEffect::Lost => {
+            slice.fill(f64::NAN);
+            slice.len()
+        }
+        FaultEffect::BitFlip => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let idx = rng.random_range(0..slice.len());
+            // Flip one of the high mantissa / low exponent bits so the
+            // corruption is material but usually leaves a finite value.
+            let bit = rng.random_range(40..62);
+            let bits = slice[idx].to_bits() ^ (1u64 << bit);
+            slice[idx] = f64::from_bits(bits);
+            1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lost_poisons_whole_slice() {
+        let mut x = vec![1.0, 2.0, 3.0];
+        let n = inject(&mut x, FaultEffect::Lost, 0);
+        assert_eq!(n, 3);
+        assert!(x.iter().all(|v| v.is_nan()));
+    }
+
+    #[test]
+    fn bitflip_changes_exactly_one_entry() {
+        let mut x = vec![1.0; 16];
+        let n = inject(&mut x, FaultEffect::BitFlip, 5);
+        assert_eq!(n, 1);
+        let changed = x.iter().filter(|&&v| v != 1.0).count();
+        assert_eq!(changed, 1);
+    }
+
+    #[test]
+    fn bitflip_is_deterministic_per_seed() {
+        let mut a = vec![1.0; 16];
+        let mut b = vec![1.0; 16];
+        inject(&mut a, FaultEffect::BitFlip, 5);
+        inject(&mut b, FaultEffect::BitFlip, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_slice_is_a_noop() {
+        let mut x: Vec<f64> = vec![];
+        assert_eq!(inject(&mut x, FaultEffect::Lost, 0), 0);
+    }
+
+    #[test]
+    fn class_mapping_matches_taxonomy() {
+        assert_eq!(FaultEffect::for_class(FaultClass::Sdc), FaultEffect::BitFlip);
+        assert_eq!(FaultEffect::for_class(FaultClass::Snf), FaultEffect::Lost);
+        assert_eq!(FaultEffect::for_class(FaultClass::Due), FaultEffect::Lost);
+    }
+}

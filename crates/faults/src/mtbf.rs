@@ -1,0 +1,188 @@
+//! MTBF estimation and system-size projection (Figure 1).
+//!
+//! The paper projects exascale MTBF from petascale observations assuming
+//! the failure rate scales with the number of nodes and with a node-level
+//! technology degradation factor (11 nm, near-threshold operation). The
+//! per-node baselines below are engineering estimates in the spirit of the
+//! Blue Waters analysis the paper cites (Di Martino et al., DSN'14); the
+//! *projection machinery* is what Figure 1 demonstrates.
+
+use serde::{Deserialize, Serialize};
+
+use crate::FaultClass;
+
+/// System size and node technology for an MTBF projection.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SystemScale {
+    /// Number of compute nodes.
+    pub nodes: u64,
+    /// Multiplier on every per-node failure *rate* due to feature-size and
+    /// voltage scaling (1.0 = today's technology; the paper assumes 11 nm
+    /// nodes fail more often).
+    pub tech_degradation: f64,
+}
+
+impl SystemScale {
+    /// The paper's petascale reference: 20K nodes, today's technology.
+    pub fn petascale() -> Self {
+        SystemScale {
+            nodes: 20_000,
+            tech_degradation: 1.0,
+        }
+    }
+
+    /// The paper's exascale projection: 1M nodes at 11 nm (taken here as
+    /// a 2× per-node rate degradation).
+    pub fn exascale() -> Self {
+        SystemScale {
+            nodes: 1_000_000,
+            tech_degradation: 2.0,
+        }
+    }
+}
+
+/// Projects MTBF per fault class across system scales.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MtbfEstimator {
+    /// Per-node MTBF in hours for each class at today's technology,
+    /// indexed in `FaultClass::ALL` order.
+    per_node_mtbf_h: [f64; 6],
+}
+
+impl Default for MtbfEstimator {
+    fn default() -> Self {
+        // Engineering estimates per node at today's technology (hours):
+        //  - DCE: corrected ECC events are by far the most frequent,
+        //  - DUE/SDC: orders of magnitude rarer,
+        //  - SNF: one node failure every ~18 years per node reproduces the
+        //    observed hours-scale system MTBF of petascale machines,
+        //  - LNF/SWO: rarer still.
+        MtbfEstimator {
+            per_node_mtbf_h: [
+                10_000.0,    // DCE
+                150_000.0,   // DUE
+                500_000.0,   // SDC
+                2_000_000.0, // SWO
+                160_000.0,   // SNF
+                300_000.0,   // LNF
+            ],
+        }
+    }
+}
+
+impl MtbfEstimator {
+    /// Builds from explicit per-node MTBFs (hours, today's technology),
+    /// indexed in [`FaultClass::ALL`] order.
+    ///
+    /// # Panics
+    /// Panics if any MTBF is not positive.
+    pub fn new(per_node_mtbf_h: [f64; 6]) -> Self {
+        assert!(per_node_mtbf_h.iter().all(|&v| v > 0.0));
+        MtbfEstimator { per_node_mtbf_h }
+    }
+
+    fn idx(class: FaultClass) -> usize {
+        FaultClass::ALL.iter().position(|&c| c == class).unwrap()
+    }
+
+    /// MTBF of a *single node* for `class` at the given scale's
+    /// technology, hours.
+    pub fn node_mtbf_h(&self, class: FaultClass, scale: SystemScale) -> f64 {
+        self.per_node_mtbf_h[Self::idx(class)] / scale.tech_degradation
+    }
+
+    /// MTBF of the *whole system* for `class`, hours: per-node rate times
+    /// node count.
+    pub fn system_mtbf_h(&self, class: FaultClass, scale: SystemScale) -> f64 {
+        self.node_mtbf_h(class, scale) / scale.nodes as f64
+    }
+
+    /// System failure rate for `class`, events per hour.
+    pub fn system_rate_per_h(&self, class: FaultClass, scale: SystemScale) -> f64 {
+        1.0 / self.system_mtbf_h(class, scale)
+    }
+
+    /// Combined system MTBF over all classes (rates add), hours.
+    pub fn combined_system_mtbf_h(&self, scale: SystemScale) -> f64 {
+        let rate: f64 = FaultClass::ALL
+            .iter()
+            .map(|&c| self.system_rate_per_h(c, scale))
+            .sum();
+        1.0 / rate
+    }
+
+    /// Combined system MTBF over the classes that need recovery
+    /// (everything but DCE), hours.
+    pub fn recovery_relevant_mtbf_h(&self, scale: SystemScale) -> f64 {
+        let rate: f64 = FaultClass::ALL
+            .iter()
+            .filter(|c| c.needs_recovery())
+            .map(|&c| self.system_rate_per_h(c, scale))
+            .sum();
+        1.0 / rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_mtbf_scales_inversely_with_nodes() {
+        let e = MtbfEstimator::default();
+        let small = SystemScale {
+            nodes: 1_000,
+            tech_degradation: 1.0,
+        };
+        let large = SystemScale {
+            nodes: 10_000,
+            tech_degradation: 1.0,
+        };
+        for c in FaultClass::ALL {
+            let ratio = e.system_mtbf_h(c, small) / e.system_mtbf_h(c, large);
+            assert!((ratio - 10.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn tech_degradation_reduces_node_mtbf() {
+        let e = MtbfEstimator::default();
+        let pet = SystemScale::petascale();
+        let exa = SystemScale::exascale();
+        for c in FaultClass::ALL {
+            assert!(e.node_mtbf_h(c, exa) < e.node_mtbf_h(c, pet));
+        }
+    }
+
+    #[test]
+    fn exascale_mtbf_is_within_an_hour() {
+        // The paper's headline claim for Figure 1.
+        let e = MtbfEstimator::default();
+        let exa = SystemScale::exascale();
+        assert!(e.combined_system_mtbf_h(exa) < 1.0);
+        // ... while recovery-relevant petascale MTBF is hours-to-days.
+        let pet = e.recovery_relevant_mtbf_h(SystemScale::petascale());
+        assert!(pet > 1.0 && pet < 24.0 * 7.0, "petascale MTBF {pet} h");
+    }
+
+    #[test]
+    fn combined_rate_is_sum_of_rates() {
+        let e = MtbfEstimator::default();
+        let s = SystemScale::petascale();
+        let sum: f64 = FaultClass::ALL
+            .iter()
+            .map(|&c| e.system_rate_per_h(c, s))
+            .sum();
+        assert!((1.0 / e.combined_system_mtbf_h(s) - sum).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dce_is_most_frequent_class() {
+        let e = MtbfEstimator::default();
+        let s = SystemScale::petascale();
+        let dce = e.system_mtbf_h(FaultClass::Dce, s);
+        for c in FaultClass::ALL.iter().skip(1) {
+            assert!(e.system_mtbf_h(*c, s) > dce);
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! Deterministic fault schedules.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::FaultClass;
+
+/// When a scheduled fault fires.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Trigger {
+    /// At the start of the given solver iteration (the §5.2 methodology:
+    /// faults are inserted at iteration granularity).
+    AtIteration(usize),
+    /// At the given virtual time in seconds (the §5.3/§6 methodology:
+    /// exponential arrivals from an MTBF).
+    AtTime(f64),
+}
+
+/// One scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// When the fault fires.
+    pub trigger: Trigger,
+    /// The rank whose dynamic data is lost/corrupted (Figure 2b).
+    pub rank: usize,
+    /// Fault class (determines the injected effect).
+    pub class: FaultClass,
+}
+
+/// An ordered plan of fault injections.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultSchedule {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultSchedule {
+    /// No faults — the fault-free (FF) baseline.
+    pub fn fault_free() -> Self {
+        FaultSchedule { events: Vec::new() }
+    }
+
+    /// The §5.2 plan: `k` faults spread evenly over the iterations of the
+    /// fault-free execution (`ff_iterations`), each hitting a
+    /// deterministic pseudo-random rank. No fault is scheduled at
+    /// iteration 0, and none after `ff_iterations`.
+    pub fn evenly_spaced(
+        k: usize,
+        ff_iterations: usize,
+        num_ranks: usize,
+        class: FaultClass,
+        seed: u64,
+    ) -> Self {
+        assert!(num_ranks > 0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut events = Vec::with_capacity(k);
+        if k == 0 || ff_iterations == 0 {
+            return FaultSchedule { events };
+        }
+        for i in 1..=k {
+            let iter = (i * ff_iterations) / (k + 1);
+            if iter == 0 || iter >= ff_iterations {
+                continue;
+            }
+            events.push(FaultEvent {
+                trigger: Trigger::AtIteration(iter),
+                rank: rng.random_range(0..num_ranks),
+                class,
+            });
+        }
+        FaultSchedule { events }
+    }
+
+    /// A single fault at iteration `iteration` on `rank` (Figure 6a uses
+    /// one fault at iteration 200).
+    pub fn single_at_iteration(iteration: usize, rank: usize, class: FaultClass) -> Self {
+        FaultSchedule {
+            events: vec![FaultEvent {
+                trigger: Trigger::AtIteration(iteration),
+                rank,
+                class,
+            }],
+        }
+    }
+
+    /// Deterministic arrivals at the MTBF rate: one fault every `mtbf_s`
+    /// seconds (at `0.5·mtbf, 1.5·mtbf, …`) over `[0, horizon_s)`, each
+    /// targeting a deterministic pseudo-random rank. This is the §5.2
+    /// evenly-spaced methodology applied to time: the *rate* matches an
+    /// MTBF exactly, without sampling variance distorting small runs.
+    pub fn periodic_time(
+        mtbf_s: f64,
+        horizon_s: f64,
+        num_ranks: usize,
+        class: FaultClass,
+        seed: u64,
+    ) -> Self {
+        assert!(mtbf_s > 0.0 && horizon_s >= 0.0 && num_ranks > 0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut events = Vec::new();
+        let mut t = 0.5 * mtbf_s;
+        while t < horizon_s {
+            events.push(FaultEvent {
+                trigger: Trigger::AtTime(t),
+                rank: rng.random_range(0..num_ranks),
+                class,
+            });
+            t += mtbf_s;
+        }
+        FaultSchedule { events }
+    }
+
+    /// Poisson arrivals with the given MTBF (exponential inter-arrival
+    /// times) over `[0, horizon_s)`, each targeting a random rank.
+    pub fn poisson(
+        mtbf_s: f64,
+        horizon_s: f64,
+        num_ranks: usize,
+        class: FaultClass,
+        seed: u64,
+    ) -> Self {
+        assert!(mtbf_s > 0.0 && horizon_s >= 0.0 && num_ranks > 0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut events = Vec::new();
+        let mut t = 0.0;
+        loop {
+            // Inverse-CDF sampling of Exp(1/mtbf).
+            let u: f64 = rng.random();
+            t += -mtbf_s * (1.0 - u).ln();
+            if t >= horizon_s {
+                break;
+            }
+            events.push(FaultEvent {
+                trigger: Trigger::AtTime(t),
+                rank: rng.random_range(0..num_ranks),
+                class,
+            });
+        }
+        FaultSchedule { events }
+    }
+
+    /// The scheduled events, in firing order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no faults are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Faults firing at exactly `iteration` that have index `>= cursor`,
+    /// advancing `cursor` past them. Time-triggered events fire when
+    /// `now_s` has passed their timestamp.
+    pub fn due(&self, cursor: &mut usize, iteration: usize, now_s: f64) -> Vec<FaultEvent> {
+        let mut fired = Vec::new();
+        while *cursor < self.events.len() {
+            let ev = self.events[*cursor];
+            let fires = match ev.trigger {
+                Trigger::AtIteration(it) => it <= iteration,
+                Trigger::AtTime(t) => t <= now_s,
+            };
+            if fires {
+                fired.push(ev);
+                *cursor += 1;
+            } else {
+                break;
+            }
+        }
+        fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evenly_spaced_produces_k_interior_events() {
+        let s = FaultSchedule::evenly_spaced(10, 1100, 8, FaultClass::Snf, 1);
+        assert_eq!(s.len(), 10);
+        for ev in s.events() {
+            match ev.trigger {
+                Trigger::AtIteration(i) => assert!(i > 0 && i < 1100),
+                _ => panic!("expected iteration trigger"),
+            }
+            assert!(ev.rank < 8);
+        }
+        // Triggers are non-decreasing.
+        let iters: Vec<usize> = s
+            .events()
+            .iter()
+            .map(|e| match e.trigger {
+                Trigger::AtIteration(i) => i,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert!(iters.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn evenly_spaced_is_deterministic_per_seed() {
+        let a = FaultSchedule::evenly_spaced(5, 500, 16, FaultClass::Sdc, 7);
+        let b = FaultSchedule::evenly_spaced(5, 500, 16, FaultClass::Sdc, 7);
+        assert_eq!(a, b);
+        let c = FaultSchedule::evenly_spaced(5, 500, 16, FaultClass::Sdc, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zero_faults_yields_empty_schedule() {
+        assert!(FaultSchedule::evenly_spaced(0, 100, 4, FaultClass::Snf, 0).is_empty());
+        assert!(FaultSchedule::fault_free().is_empty());
+    }
+
+    #[test]
+    fn poisson_interarrivals_average_near_mtbf() {
+        let mtbf = 10.0;
+        let s = FaultSchedule::poisson(mtbf, 100_000.0, 4, FaultClass::Snf, 42);
+        assert!(s.len() > 5000);
+        let times: Vec<f64> = s
+            .events()
+            .iter()
+            .map(|e| match e.trigger {
+                Trigger::AtTime(t) => t,
+                _ => unreachable!(),
+            })
+            .collect();
+        let mean_gap = times.last().unwrap() / times.len() as f64;
+        assert!((mean_gap - mtbf).abs() < 0.5, "mean gap {mean_gap}");
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn due_fires_events_in_order() {
+        let s = FaultSchedule::evenly_spaced(3, 100, 4, FaultClass::Snf, 3);
+        let mut cursor = 0;
+        let mut fired = 0;
+        for it in 0..=100 {
+            fired += s.due(&mut cursor, it, 0.0).len();
+        }
+        assert_eq!(fired, 3);
+        assert!(s.due(&mut cursor, 1000, 0.0).is_empty());
+    }
+
+    #[test]
+    fn due_honors_time_triggers() {
+        let s = FaultSchedule::poisson(5.0, 50.0, 2, FaultClass::Snf, 9);
+        let mut cursor = 0;
+        let early = s.due(&mut cursor, 0, 0.0).len();
+        assert_eq!(early, 0);
+        let all = s.due(&mut cursor, 0, 1e9).len();
+        assert_eq!(all, s.len());
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests of fault scheduling and injection.
+
+use proptest::prelude::*;
+use rsls_faults::schedule::Trigger;
+use rsls_faults::{inject, FaultClass, FaultEffect, FaultSchedule, MtbfEstimator, SystemScale};
+
+proptest! {
+    #[test]
+    fn evenly_spaced_events_are_in_bounds_and_ordered(
+        k in 0usize..50,
+        ff in 1usize..10_000,
+        ranks in 1usize..512,
+        seed in 0u64..1000,
+    ) {
+        let s = FaultSchedule::evenly_spaced(k, ff, ranks, FaultClass::Snf, seed);
+        prop_assert!(s.len() <= k);
+        let mut prev = 0usize;
+        for ev in s.events() {
+            let Trigger::AtIteration(i) = ev.trigger else {
+                return Err(TestCaseError::fail("wrong trigger kind"));
+            };
+            prop_assert!(i > 0 && i < ff);
+            prop_assert!(i >= prev);
+            prop_assert!(ev.rank < ranks);
+            prev = i;
+        }
+    }
+
+    #[test]
+    fn periodic_time_matches_rate_exactly(
+        mtbf in 0.01f64..100.0,
+        horizon_mult in 1.0f64..20.0,
+        ranks in 1usize..64,
+    ) {
+        let horizon = mtbf * horizon_mult;
+        let s = FaultSchedule::periodic_time(mtbf, horizon, ranks, FaultClass::Snf, 3);
+        // One event per MTBF window (first at 0.5·mtbf).
+        let expected = ((horizon / mtbf) + 0.5).floor() as usize;
+        prop_assert!(s.len().abs_diff(expected) <= 1, "{} vs {expected}", s.len());
+    }
+
+    #[test]
+    fn due_never_skips_or_duplicates(
+        k in 1usize..20,
+        ff in 10usize..500,
+        seed in 0u64..100,
+    ) {
+        let s = FaultSchedule::evenly_spaced(k, ff, 8, FaultClass::Snf, seed);
+        let mut cursor = 0;
+        let mut total = 0;
+        for it in 0..ff + 10 {
+            total += s.due(&mut cursor, it, 0.0).len();
+        }
+        prop_assert_eq!(total, s.len());
+        prop_assert!(s.due(&mut cursor, ff + 100, 1e12).is_empty());
+    }
+
+    #[test]
+    fn injection_is_deterministic_and_contained(
+        len in 1usize..200,
+        seed in 0u64..500,
+    ) {
+        let mut a = vec![1.5f64; len];
+        let mut b = vec![1.5f64; len];
+        inject(&mut a, FaultEffect::BitFlip, seed);
+        inject(&mut b, FaultEffect::BitFlip, seed);
+        prop_assert_eq!(&a, &b);
+        let changed = a.iter().filter(|&&v| v != 1.5).count();
+        prop_assert!(changed <= 1);
+    }
+
+    #[test]
+    fn lost_injection_poisons_everything(len in 1usize..200) {
+        let mut x = vec![2.0f64; len];
+        let n = inject(&mut x, FaultEffect::Lost, 0);
+        prop_assert_eq!(n, len);
+        prop_assert!(x.iter().all(|v| v.is_nan()));
+    }
+
+    #[test]
+    fn mtbf_projection_scales_linearly(nodes in 1u64..10_000_000, degr in 1.0f64..10.0) {
+        let est = MtbfEstimator::default();
+        let scale = SystemScale { nodes, tech_degradation: degr };
+        let double = SystemScale { nodes: nodes * 2, tech_degradation: degr };
+        for class in FaultClass::ALL {
+            let ratio = est.system_mtbf_h(class, scale) / est.system_mtbf_h(class, double);
+            prop_assert!((ratio - 2.0).abs() < 1e-9);
+        }
+        // Combined MTBF is below every individual class MTBF.
+        let combined = est.combined_system_mtbf_h(scale);
+        for class in FaultClass::ALL {
+            prop_assert!(combined <= est.system_mtbf_h(class, scale) + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! Scheme recommendation — the paper's research question 4.
+//!
+//! "Which recovery mechanism is most energy efficient for a given
+//! workload? The solution to this question lies in the workload
+//! properties and fault situation." (§5.3). The advisor encodes that
+//! answer: given the fitted per-scheme unit costs of a workload and a
+//! fault rate, it evaluates the §3.2 models for every candidate scheme
+//! and ranks them under a chosen objective.
+
+use serde::{Deserialize, Serialize};
+
+use crate::fit::FittedParams;
+use crate::schemes::{CrModel, FwModel, RdModel};
+
+/// What to optimize for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Objective {
+    /// Minimize time-to-solution (the classical HPC objective).
+    Time,
+    /// Minimize energy-to-solution (the paper's focus).
+    Energy,
+    /// Minimize average power draw (for power-capped operation).
+    Power,
+}
+
+/// Model-predicted normalized costs of one candidate scheme.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SchemeEstimate {
+    /// Scheme label ("RD", "CR-M", "CR-D", "FW").
+    pub label: String,
+    /// Predicted `T / T_FF` (∞ when the scheme cannot make progress).
+    pub t_norm: f64,
+    /// Predicted average power relative to `N·P_1`.
+    pub p_norm: f64,
+    /// Predicted `E / E_FF`.
+    pub e_norm: f64,
+}
+
+impl SchemeEstimate {
+    /// The estimate's cost under `objective`.
+    pub fn cost(&self, objective: Objective) -> f64 {
+        match objective {
+            Objective::Time => self.t_norm,
+            Objective::Energy => self.e_norm,
+            Objective::Power => self.p_norm,
+        }
+    }
+}
+
+/// Workload-and-fault situation the advisor reasons about.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Situation {
+    /// Fault-free time-to-solution, seconds.
+    pub t_ff_s: f64,
+    /// Failure rate λ, per second.
+    pub lambda_per_s: f64,
+    /// Per-checkpoint cost to memory, seconds.
+    pub tc_mem_s: f64,
+    /// Per-checkpoint cost to disk, seconds.
+    pub tc_disk_s: f64,
+    /// Per-fault reconstruction cost of the (best) FW scheme, seconds.
+    pub t_const_s: f64,
+    /// Per-fault extra-iteration time of the FW scheme, seconds.
+    pub t_extra_per_fault_s: f64,
+    /// Number of cores (for the FW construction power mix).
+    pub num_cores: usize,
+    /// Whether in-memory state survives the expected fault class (false
+    /// for system-wide outages — disqualifies CR-M and plain FW).
+    pub memory_survives: bool,
+}
+
+impl Situation {
+    /// Builds a situation from fitted measurement parameters of an FW run
+    /// and a CR-D run against the same fault-free baseline.
+    pub fn from_fits(
+        t_ff_s: f64,
+        lambda_per_s: f64,
+        fw: &FittedParams,
+        cr_disk: &FittedParams,
+        num_cores: usize,
+    ) -> Self {
+        Situation {
+            t_ff_s,
+            lambda_per_s,
+            tc_mem_s: (cr_disk.t_c_s / 50.0).max(1e-6), // memory ≫ cheaper than shared disk
+            tc_disk_s: cr_disk.t_c_s.max(1e-6),
+            t_const_s: fw.t_const_s,
+            t_extra_per_fault_s: fw.t_extra_per_fault_s,
+            num_cores,
+            memory_survives: true,
+        }
+    }
+}
+
+/// Evaluates the §3.2 models for every candidate scheme.
+pub fn estimate_all(s: &Situation) -> Vec<SchemeEstimate> {
+    let mut out = Vec::new();
+    let lambda = s.lambda_per_s;
+
+    // RD — Eq. 12. A system-wide outage wipes the replica too, so RD is
+    // only a candidate when in-memory state survives the fault class.
+    if s.memory_survives {
+        let rd = RdModel;
+        out.push(SchemeEstimate {
+            label: "RD".to_string(),
+            t_norm: 1.0,
+            p_norm: rd.power_multiplier(),
+            e_norm: 1.0 + rd.e_res_j(1.0),
+        });
+    }
+
+    // CR-M / CR-D — Eqs. 9–11 with Young's interval.
+    for (label, tc, p_frac, survives) in [
+        ("CR-M", s.tc_mem_s, 0.98, s.memory_survives),
+        ("CR-D", s.tc_disk_s, 0.88, true),
+    ] {
+        if !survives {
+            continue;
+        }
+        let interval = crate::young_interval_for(tc, lambda);
+        let m = CrModel {
+            t_c_s: tc,
+            interval_s: interval,
+            p_ckpt_frac: p_frac,
+        };
+        let (t_norm, e_norm) = match m.total_time_s(s.t_ff_s, lambda) {
+            Some(total) => {
+                let e_res = m.e_res_j(s.t_ff_s, lambda, 1.0).unwrap_or(0.0);
+                (total / s.t_ff_s, 1.0 + e_res / s.t_ff_s)
+            }
+            None => (f64::INFINITY, f64::INFINITY),
+        };
+        out.push(SchemeEstimate {
+            label: label.to_string(),
+            t_norm,
+            p_norm: m.avg_power_frac(lambda),
+            e_norm,
+        });
+    }
+
+    // FW — Eqs. 13–16 (only applicable when surviving data exists).
+    if s.memory_survives {
+        let m = FwModel {
+            t_const_s: s.t_const_s,
+            t_extra_per_fault_s: s.t_extra_per_fault_s,
+            active_frac: 1.0 / s.num_cores.max(1) as f64,
+            p_idle_frac: 0.45,
+        };
+        let (t_norm, e_norm, p_norm) = match m.total_time_s(s.t_ff_s, lambda) {
+            Some(total) => {
+                let e_res = m.e_res_j(s.t_ff_s, lambda, 1.0).unwrap_or(0.0);
+                (
+                    total / s.t_ff_s,
+                    1.0 + e_res / s.t_ff_s,
+                    m.avg_power_frac(s.t_ff_s, lambda).unwrap_or(1.0),
+                )
+            }
+            None => (f64::INFINITY, f64::INFINITY, 1.0),
+        };
+        out.push(SchemeEstimate {
+            label: "FW".to_string(),
+            t_norm,
+            p_norm,
+            e_norm,
+        });
+    }
+
+    out
+}
+
+/// Ranks the candidates under `objective` (best first; ties broken by
+/// energy, then time).
+///
+/// # Example
+///
+/// ```
+/// use rsls_models::{recommend, Objective, Situation};
+///
+/// let situation = Situation {
+///     t_ff_s: 1000.0,
+///     lambda_per_s: 1e-3,
+///     tc_mem_s: 0.01,
+///     tc_disk_s: 2.0,
+///     t_const_s: 1.0,
+///     t_extra_per_fault_s: 20.0,
+///     num_cores: 64,
+///     memory_survives: true,
+/// };
+/// let ranked = recommend(&situation, Objective::Time);
+/// // RD is the only scheme with zero time overhead (Eq. 12).
+/// assert_eq!(ranked[0].label, "RD");
+/// ```
+pub fn recommend(s: &Situation, objective: Objective) -> Vec<SchemeEstimate> {
+    let mut estimates = estimate_all(s);
+    estimates.sort_by(|a, b| {
+        a.cost(objective)
+            .partial_cmp(&b.cost(objective))
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.e_norm.partial_cmp(&b.e_norm).unwrap_or(std::cmp::Ordering::Equal))
+            .then(a.t_norm.partial_cmp(&b.t_norm).unwrap_or(std::cmp::Ordering::Equal))
+    });
+    estimates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn situation() -> Situation {
+        Situation {
+            t_ff_s: 1000.0,
+            lambda_per_s: 1e-3,
+            tc_mem_s: 0.01,
+            tc_disk_s: 2.0,
+            t_const_s: 1.0,
+            t_extra_per_fault_s: 20.0,
+            num_cores: 64,
+            memory_survives: true,
+        }
+    }
+
+    #[test]
+    fn time_objective_prefers_rd() {
+        // RD is the only scheme with zero time overhead (Eq. 12).
+        let ranked = recommend(&situation(), Objective::Time);
+        assert_eq!(ranked[0].label, "RD");
+    }
+
+    #[test]
+    fn rd_is_never_the_power_winner() {
+        let ranked = recommend(&situation(), Objective::Power);
+        assert_ne!(ranked[0].label, "RD");
+        assert_eq!(ranked.last().unwrap().label, "RD");
+    }
+
+    #[test]
+    fn energy_objective_depends_on_reconstruction_cost() {
+        // Cheap accurate reconstruction: FW wins energy.
+        let cheap = Situation {
+            t_const_s: 0.1,
+            t_extra_per_fault_s: 1.0,
+            ..situation()
+        };
+        let best_cheap = &recommend(&cheap, Objective::Energy)[0];
+        assert!(
+            best_cheap.label == "FW" || best_cheap.label == "CR-M",
+            "cheap recovery should beat RD: {best_cheap:?}"
+        );
+        assert!(best_cheap.e_norm < 2.0);
+
+        // Expensive inaccurate reconstruction (the nd24k situation): the
+        // ranking flips toward RD.
+        let expensive = Situation {
+            t_const_s: 100.0,
+            t_extra_per_fault_s: 800.0,
+            tc_mem_s: 300.0,
+            tc_disk_s: 600.0,
+            ..situation()
+        };
+        let ranked = recommend(&expensive, Objective::Energy);
+        assert_eq!(ranked[0].label, "RD", "{ranked:?}");
+    }
+
+    #[test]
+    fn swo_situation_disqualifies_memory_based_schemes() {
+        let swo = Situation {
+            memory_survives: false,
+            ..situation()
+        };
+        let estimates = estimate_all(&swo);
+        assert!(estimates
+            .iter()
+            .all(|e| e.label != "CR-M" && e.label != "FW" && e.label != "RD"));
+        assert!(estimates.iter().any(|e| e.label == "CR-D"));
+    }
+
+    #[test]
+    fn estimates_cover_all_objectives() {
+        let s = situation();
+        for e in estimate_all(&s) {
+            for o in [Objective::Time, Objective::Energy, Objective::Power] {
+                assert!(e.cost(o) > 0.0);
+            }
+        }
+    }
+}

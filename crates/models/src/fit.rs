@@ -1,0 +1,131 @@
+//! Model-parameter extraction from measured runs.
+//!
+//! The paper derives model parameters "from experimental data" (§3, §5.3):
+//! `t_C` from measured checkpoint phases, `t_const` from measured
+//! reconstruction phases, extra-iteration cost from the iteration delta
+//! against the fault-free run. [`FittedParams`] performs exactly those
+//! extractions from [`RunReport`]s.
+
+use serde::{Deserialize, Serialize};
+
+use rsls_core::RunReport;
+
+/// Parameters fitted from one (scheme, workload) pair of measured runs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FittedParams {
+    /// Time of one fault-free CG iteration, seconds.
+    pub t_iter_s: f64,
+    /// Observed failure rate λ, per second.
+    pub lambda_per_s: f64,
+    /// Per-checkpoint cost `t_C`, seconds (checkpoint schemes; 0 otherwise).
+    pub t_c_s: f64,
+    /// Per-fault reconstruction cost `t_const`, seconds (FW; 0 otherwise).
+    pub t_const_s: f64,
+    /// Per-fault extra-iteration time `t_extra`, seconds.
+    pub t_extra_per_fault_s: f64,
+    /// Per-fault restore + repair cost, seconds.
+    pub t_restore_per_fault_s: f64,
+}
+
+impl FittedParams {
+    /// Fits parameters from a scheme run and its fault-free reference.
+    ///
+    /// # Panics
+    /// Panics if the fault-free run has zero iterations.
+    pub fn from_reports(scheme_run: &RunReport, ff: &RunReport) -> Self {
+        assert!(ff.iterations > 0, "fault-free reference has no iterations");
+        let t_iter_s = ff.time_s / ff.iterations as f64;
+        let faults = scheme_run.faults_injected.max(1) as f64;
+        let lambda_per_s = if scheme_run.faults_injected == 0 {
+            0.0
+        } else {
+            scheme_run.faults_injected as f64 / scheme_run.time_s
+        };
+        let num_checkpoints = scheme_run
+            .checkpoint_interval_iters
+            .map(|i| (scheme_run.iterations / i.max(1)).max(1))
+            .unwrap_or(1);
+        let t_c_s = scheme_run.breakdown.checkpoint_s / num_checkpoints as f64;
+        let t_const_s = scheme_run.breakdown.reconstruct_s / faults;
+        let extra_iters = scheme_run.iterations.saturating_sub(ff.iterations) as f64;
+        FittedParams {
+            t_iter_s,
+            lambda_per_s,
+            t_c_s,
+            t_const_s,
+            t_extra_per_fault_s: extra_iters * t_iter_s / faults,
+            t_restore_per_fault_s: (scheme_run.breakdown.restore_s
+                + scheme_run.breakdown.repair_s)
+                / faults,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsls_core::report::PhaseBreakdown;
+    use rsls_solvers::ResidualHistory;
+
+    fn report(iters: usize, time: f64, faults: usize, breakdown: PhaseBreakdown) -> RunReport {
+        RunReport {
+            scheme: "t".into(),
+            num_ranks: 4,
+            iterations: iters,
+            converged: true,
+            final_relative_residual: 0.0,
+            time_s: time,
+            energy_j: time * 10.0,
+            avg_power_w: 10.0,
+            faults_injected: faults,
+            checkpoint_interval_iters: Some(100),
+            breakdown,
+            history: ResidualHistory::new(),
+            power_profile: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn iteration_time_comes_from_ff() {
+        let ff = report(1000, 100.0, 0, PhaseBreakdown::default());
+        let run = report(1500, 170.0, 5, PhaseBreakdown::default());
+        let p = FittedParams::from_reports(&run, &ff);
+        assert!((p.t_iter_s - 0.1).abs() < 1e-12);
+        assert!((p.lambda_per_s - 5.0 / 170.0).abs() < 1e-12);
+        // 500 extra iterations over 5 faults at 0.1 s each.
+        assert!((p.t_extra_per_fault_s - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn checkpoint_cost_is_per_checkpoint() {
+        let ff = report(1000, 100.0, 0, PhaseBreakdown::default());
+        let bd = PhaseBreakdown {
+            checkpoint_s: 30.0,
+            ..Default::default()
+        };
+        let run = report(1500, 170.0, 5, bd);
+        let p = FittedParams::from_reports(&run, &ff);
+        // 1500 iterations / interval 100 = 15 checkpoints.
+        assert!((p.t_c_s - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconstruction_cost_is_per_fault() {
+        let ff = report(1000, 100.0, 0, PhaseBreakdown::default());
+        let bd = PhaseBreakdown {
+            reconstruct_s: 25.0,
+            ..Default::default()
+        };
+        let run = report(1200, 140.0, 5, bd);
+        let p = FittedParams::from_reports(&run, &ff);
+        assert!((p.t_const_s - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_free_run_fits_zero_rate() {
+        let ff = report(1000, 100.0, 0, PhaseBreakdown::default());
+        let p = FittedParams::from_reports(&ff, &ff);
+        assert_eq!(p.lambda_per_s, 0.0);
+        assert_eq!(p.t_extra_per_fault_s, 0.0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Generalized time/power/energy models (§3.1, Eqs. 1–8).
+
+use serde::{Deserialize, Serialize};
+
+/// Parallel-overhead model `T_O(N)` for the fixed-time-scaled workload.
+///
+/// Each CG iteration communicates for the SpMV halo (roughly constant per
+/// process under weak scaling with banded structure — the paper uses
+/// measured node-aware SpMV data) and for the two inner products
+/// (`log₂ N` reduction depth). Totals are per-solve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OverheadModel {
+    /// Per-solve SpMV communication at the reference scale, seconds.
+    pub spmv_comm_s: f64,
+    /// Mild growth of SpMV communication with scale: multiplier per
+    /// doubling of N beyond the reference (0 = perfectly scalable).
+    pub spmv_growth_per_doubling: f64,
+    /// Per-solve inner-product cost per `log₂ N` level, seconds.
+    pub dot_comm_per_level_s: f64,
+    /// Reference process count at which `spmv_comm_s` was measured.
+    pub reference_n: usize,
+}
+
+impl OverheadModel {
+    /// `T_O(N)` in seconds.
+    pub fn overhead_s(&self, n: usize) -> f64 {
+        assert!(n >= 1);
+        let levels = (n as f64).log2().max(0.0);
+        let doublings = (n as f64 / self.reference_n as f64).log2().max(0.0);
+        self.spmv_comm_s * (1.0 + self.spmv_growth_per_doubling * doublings)
+            + self.dot_comm_per_level_s * levels
+    }
+}
+
+/// The fault-free workload model (Eqs. 1, 2, 4, 6, 7).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultFreeModel {
+    /// `T_solve`: time to complete the (per-process constant) workload,
+    /// seconds. Under fixed-time scaling this does not change with N.
+    pub t_solve_s: f64,
+    /// Per-core power `P_1(w)`, watts.
+    pub p1_w: f64,
+    /// Parallel overhead model.
+    pub overhead: OverheadModel,
+}
+
+impl FaultFreeModel {
+    /// Eq. 2: `T_N(w') = T_solve + T_O(N)`.
+    pub fn time_s(&self, n: usize) -> f64 {
+        self.t_solve_s + self.overhead.overhead_s(n)
+    }
+
+    /// Eq. 4: `P_N(w') = N · P_1(w)`.
+    pub fn power_w(&self, n: usize) -> f64 {
+        n as f64 * self.p1_w
+    }
+
+    /// Eq. 7: `E_N(w') = N · P_1 · (T_solve + T_O(N))`.
+    pub fn energy_j(&self, n: usize) -> f64 {
+        self.power_w(n) * self.time_s(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> FaultFreeModel {
+        FaultFreeModel {
+            t_solve_s: 100.0,
+            p1_w: 8.0,
+            overhead: OverheadModel {
+                spmv_comm_s: 5.0,
+                spmv_growth_per_doubling: 0.05,
+                dot_comm_per_level_s: 0.5,
+                reference_n: 64,
+            },
+        }
+    }
+
+    #[test]
+    fn sequential_case_reduces_to_t_solve_plus_small_overhead() {
+        let m = model();
+        // N=1: log2(1)=0 levels, no doublings below reference.
+        assert!((m.time_s(1) - 105.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fixed_time_scaling_keeps_time_nearly_constant() {
+        let m = model();
+        let t64 = m.time_s(64);
+        let t4096 = m.time_s(4096);
+        // Only the (mild) overhead grows.
+        assert!(t4096 > t64);
+        assert!(t4096 < 1.1 * t64);
+    }
+
+    #[test]
+    fn power_scales_linearly_with_cores() {
+        let m = model();
+        assert_eq!(m.power_w(100), 800.0);
+        assert_eq!(m.power_w(200), 1600.0);
+    }
+
+    #[test]
+    fn energy_is_power_times_time() {
+        let m = model();
+        for n in [1usize, 16, 1024] {
+            assert!((m.energy_j(n) - m.power_w(n) * m.time_s(n)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn overhead_is_monotone_in_n() {
+        let m = model();
+        let mut prev = 0.0;
+        for n in [1usize, 2, 8, 64, 512, 4096] {
+            let o = m.overhead.overhead_s(n);
+            assert!(o >= prev);
+            prev = o;
+        }
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+//! Analytical performance–energy–resilience models (paper §3 and §6).
+//!
+//! The crate mirrors the paper's modeling structure:
+//!
+//! * [`general`] — the generalized metrics of §3.1 (Eqs. 1–8):
+//!   time/power/energy for original and fixed-time-scaled workloads,
+//! * [`schemes`] — the per-scheme refinements of §3.2 (Eqs. 9–16):
+//!   checkpoint/restart, redundancy, and forward recovery,
+//! * [`fit`] — extraction of model parameters (`t_C`, `t_const`,
+//!   `t_extra`, λ, per-iteration time) from measured [`RunReport`]s,
+//! * [`validation`] — model-vs-experiment comparison rows (Table 6),
+//! * [`projection`] — weak-scaling projection to very large systems with
+//!   decreasing MTBF (§6, Figure 9),
+//! * [`advisor`] — scheme recommendation from the models (the paper's
+//!   research question 4).
+//!
+//! [`RunReport`]: rsls_core::RunReport
+
+pub mod advisor;
+pub mod fit;
+pub mod general;
+pub mod projection;
+pub mod schemes;
+pub mod validation;
+
+pub use advisor::{estimate_all, recommend, Objective, SchemeEstimate, Situation};
+pub use fit::FittedParams;
+pub use general::FaultFreeModel;
+pub use projection::{project_scheme, ProjectionConfig, ProjectionPoint, ProjectionScheme};
+pub use schemes::{CrModel, FwModel, RdModel};
+pub use validation::{validate, ValidationRow};
+
+/// Young's interval from a checkpoint cost and a failure *rate*
+/// (`MTBF = 1/λ`) — convenience for the advisor and projection.
+pub fn young_interval_for(checkpoint_cost_s: f64, lambda_per_s: f64) -> f64 {
+    rsls_core::young_interval_s(checkpoint_cost_s, 1.0 / lambda_per_s)
+}

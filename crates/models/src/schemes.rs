@@ -1,0 +1,268 @@
+//! Per-scheme resilience cost models (§3.2, Eqs. 9–16).
+
+use serde::{Deserialize, Serialize};
+
+/// Checkpoint/restart cost model (Eqs. 9–11).
+///
+/// The paper's `T_chkpt = t_C · T_N / I_C` and `T_lost ≈ (I_C/2) · λ · T_N`
+/// both reference the *total* run time on the right-hand side, so the
+/// total is the fixed point
+/// `T = T_base / (1 − t_C/I_C − λ·I_C/2)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CrModel {
+    /// Per-checkpoint cost `t_C`, seconds.
+    pub t_c_s: f64,
+    /// Checkpoint interval `I_C`, seconds.
+    pub interval_s: f64,
+    /// Power during checkpoint/restore phases relative to `N·P_1`
+    /// (< 1: "CPUs are not highly utilized during checkpointing").
+    pub p_ckpt_frac: f64,
+}
+
+impl CrModel {
+    /// The checkpointing + lost-work overhead fraction
+    /// `t_C/I_C + λ·I_C/2` of total time.
+    pub fn overhead_fraction(&self, lambda_per_s: f64) -> f64 {
+        self.t_c_s / self.interval_s + lambda_per_s * self.interval_s / 2.0
+    }
+
+    /// Total time including resilience (fixed point of Eqs. 9–11), or
+    /// `None` when the overhead fraction reaches 1 (no forward progress —
+    /// the §6 "workload progress can possibly halt" regime).
+    pub fn total_time_s(&self, t_base_s: f64, lambda_per_s: f64) -> Option<f64> {
+        let frac = self.overhead_fraction(lambda_per_s);
+        if frac >= 1.0 {
+            None
+        } else {
+            Some(t_base_s / (1.0 - frac))
+        }
+    }
+
+    /// `T_res` (Eq. 9): total minus base time.
+    pub fn t_res_s(&self, t_base_s: f64, lambda_per_s: f64) -> Option<f64> {
+        self.total_time_s(t_base_s, lambda_per_s)
+            .map(|t| t - t_base_s)
+    }
+
+    /// Average power over the run relative to `N·P_1`: checkpoint phases
+    /// at `p_ckpt_frac`, everything else at 1. (Lost-work recomputation is
+    /// normal execution, hence full power.)
+    pub fn avg_power_frac(&self, lambda_per_s: f64) -> f64 {
+        let ckpt_share = self.t_c_s / self.interval_s;
+        let total_share = 1.0; // normalized
+        let frac = self.overhead_fraction(lambda_per_s).min(0.999_999);
+        // Share of *total* time spent checkpointing: t_C/I_C of total.
+        let ckpt_of_total = ckpt_share / (1.0 - frac) * (1.0 - frac); // = ckpt_share
+        (ckpt_of_total * self.p_ckpt_frac + (total_share - ckpt_of_total)) / total_share
+    }
+
+    /// Resilience energy overhead `E_res` in joules for a system drawing
+    /// `full_power_w` during execution.
+    pub fn e_res_j(&self, t_base_s: f64, lambda_per_s: f64, full_power_w: f64) -> Option<f64> {
+        let total = self.total_time_s(t_base_s, lambda_per_s)?;
+        let ckpt_time = total * self.t_c_s / self.interval_s;
+        let lost_time = total - t_base_s - ckpt_time;
+        Some(ckpt_time * self.p_ckpt_frac * full_power_w + lost_time.max(0.0) * full_power_w)
+    }
+}
+
+/// Dual modular redundancy (Eq. 12): no time overhead, double power.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RdModel;
+
+impl RdModel {
+    /// `T_res = 0`.
+    pub fn t_res_s(&self) -> f64 {
+        0.0
+    }
+
+    /// `P_N,res = N · P_1` (Eq. 12): total power is 2×.
+    pub fn power_multiplier(&self) -> f64 {
+        2.0
+    }
+
+    /// `E_res = E_base` (the replica's energy).
+    pub fn e_res_j(&self, e_base_j: f64) -> f64 {
+        e_base_j
+    }
+}
+
+/// Forward-recovery cost model (Eqs. 13–16).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FwModel {
+    /// Per-reconstruction cost `t_const`, seconds (0 for F0/FI).
+    pub t_const_s: f64,
+    /// Extra-iteration time per fault, seconds (workload/matrix dependent;
+    /// fitted from experiments).
+    pub t_extra_per_fault_s: f64,
+    /// Fraction of cores active during construction (`Ñ/N`; the §4.1
+    /// localized constructions have `Ñ = 1`).
+    pub active_frac: f64,
+    /// Idle/busy-wait core power during construction relative to `P_1`
+    /// (0.45 with DVFS throttling per §6, ~0.74 without).
+    pub p_idle_frac: f64,
+}
+
+impl FwModel {
+    /// Total time fixed point of
+    /// `T = T_base + λ·T·(t_const + t_extra)` (Eqs. 13–14), or `None`
+    /// when recovery work outpaces progress.
+    pub fn total_time_s(&self, t_base_s: f64, lambda_per_s: f64) -> Option<f64> {
+        let frac = lambda_per_s * (self.t_const_s + self.t_extra_per_fault_s);
+        if frac >= 1.0 {
+            None
+        } else {
+            Some(t_base_s / (1.0 - frac))
+        }
+    }
+
+    /// `T_res = T_const + T_extra` (Eq. 13).
+    pub fn t_res_s(&self, t_base_s: f64, lambda_per_s: f64) -> Option<f64> {
+        self.total_time_s(t_base_s, lambda_per_s)
+            .map(|t| t - t_base_s)
+    }
+
+    /// Power during construction relative to `N·P_1` (Eq. 15):
+    /// `(Ñ + (N−Ñ)·P_idle/P_1) / N`.
+    pub fn construction_power_frac(&self) -> f64 {
+        self.active_frac + (1.0 - self.active_frac) * self.p_idle_frac
+    }
+
+    /// Average power over the whole run relative to `N·P_1`.
+    pub fn avg_power_frac(&self, t_base_s: f64, lambda_per_s: f64) -> Option<f64> {
+        let total = self.total_time_s(t_base_s, lambda_per_s)?;
+        let construct_time = total * lambda_per_s * self.t_const_s;
+        let other = total - construct_time;
+        Some((construct_time * self.construction_power_frac() + other) / total)
+    }
+
+    /// `E_res` (Eq. 16): construction at reduced power plus extra
+    /// iterations at full power.
+    pub fn e_res_j(&self, t_base_s: f64, lambda_per_s: f64, full_power_w: f64) -> Option<f64> {
+        let total = self.total_time_s(t_base_s, lambda_per_s)?;
+        let construct_time = total * lambda_per_s * self.t_const_s;
+        let extra_time = total * lambda_per_s * self.t_extra_per_fault_s;
+        Some(
+            construct_time * self.construction_power_frac() * full_power_w
+                + extra_time * full_power_w,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cr_overhead_has_a_minimum_at_youngs_interval() {
+        // d/dI (tc/I + λI/2) = 0 at I = sqrt(2 tc / λ) — Young's formula.
+        let tc = 2.0f64;
+        let lambda = 1.0f64 / 1000.0;
+        let opt = (2.0 * tc / lambda).sqrt();
+        let at = |i: f64| CrModel {
+            t_c_s: tc,
+            interval_s: i,
+            p_ckpt_frac: 0.8,
+        }
+        .overhead_fraction(lambda);
+        assert!(at(opt) < at(opt / 2.0));
+        assert!(at(opt) < at(opt * 2.0));
+    }
+
+    #[test]
+    fn cr_total_time_exceeds_base() {
+        let m = CrModel {
+            t_c_s: 1.0,
+            interval_s: 50.0,
+            p_ckpt_frac: 0.8,
+        };
+        let total = m.total_time_s(1000.0, 1e-3).unwrap();
+        assert!(total > 1000.0);
+        assert!((m.t_res_s(1000.0, 1e-3).unwrap() - (total - 1000.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cr_halts_when_overhead_reaches_unity() {
+        let m = CrModel {
+            t_c_s: 30.0,
+            interval_s: 50.0,
+            p_ckpt_frac: 0.8,
+        };
+        // tc/I = 0.6; λI/2 = 0.5 → 1.1 ≥ 1: no progress.
+        assert!(m.total_time_s(1000.0, 0.02).is_none());
+    }
+
+    #[test]
+    fn cr_average_power_is_below_full() {
+        let m = CrModel {
+            t_c_s: 5.0,
+            interval_s: 50.0,
+            p_ckpt_frac: 0.5,
+        };
+        let p = m.avg_power_frac(1e-4);
+        assert!(p < 1.0 && p > 0.9, "p = {p}");
+    }
+
+    #[test]
+    fn rd_model_matches_eq_12() {
+        let rd = RdModel;
+        assert_eq!(rd.t_res_s(), 0.0);
+        assert_eq!(rd.power_multiplier(), 2.0);
+        assert_eq!(rd.e_res_j(123.0), 123.0);
+    }
+
+    #[test]
+    fn fw_localized_construction_drops_power() {
+        // Ñ = 1 of 24 cores, DVFS-throttled waiters at 0.45·P1.
+        let m = FwModel {
+            t_const_s: 3.0,
+            t_extra_per_fault_s: 10.0,
+            active_frac: 1.0 / 24.0,
+            p_idle_frac: 0.45,
+        };
+        let frac = m.construction_power_frac();
+        assert!((frac - (1.0 / 24.0 + 23.0 / 24.0 * 0.45)).abs() < 1e-12);
+        assert!(frac < 0.5);
+    }
+
+    #[test]
+    fn fw_time_overhead_grows_with_fault_rate() {
+        let m = FwModel {
+            t_const_s: 2.0,
+            t_extra_per_fault_s: 8.0,
+            active_frac: 1.0 / 24.0,
+            p_idle_frac: 0.45,
+        };
+        let lo = m.t_res_s(1000.0, 1e-4).unwrap();
+        let hi = m.t_res_s(1000.0, 1e-3).unwrap();
+        assert!(hi > 5.0 * lo, "lo {lo} hi {hi}");
+    }
+
+    #[test]
+    fn fw_average_power_sits_between_construction_and_full() {
+        let m = FwModel {
+            t_const_s: 5.0,
+            t_extra_per_fault_s: 5.0,
+            active_frac: 1.0 / 24.0,
+            p_idle_frac: 0.45,
+        };
+        let avg = m.avg_power_frac(100.0, 1e-3).unwrap();
+        assert!(avg < 1.0);
+        assert!(avg > m.construction_power_frac());
+    }
+
+    #[test]
+    fn fw_energy_overhead_accounts_both_phases() {
+        let m = FwModel {
+            t_const_s: 4.0,
+            t_extra_per_fault_s: 6.0,
+            active_frac: 1.0 / 24.0,
+            p_idle_frac: 0.45,
+        };
+        let e = m.e_res_j(1000.0, 1e-3, 100.0).unwrap();
+        let total = m.total_time_s(1000.0, 1e-3).unwrap();
+        // Upper bound: everything at full power.
+        assert!(e < total * 1e-3 * 10.0 * 100.0 + 1e-9);
+        assert!(e > 0.0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Model-vs-experiment validation (Table 6).
+
+use serde::{Deserialize, Serialize};
+
+use rsls_core::RunReport;
+
+use crate::fit::FittedParams;
+use crate::schemes::{CrModel, FwModel};
+
+/// One row of the Table 6 comparison: modeled and measured resilience
+/// overheads, both normalized to the fault-free baseline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ValidationRow {
+    /// Scheme label.
+    pub scheme: String,
+    /// Modeled `T_res / T_FF`.
+    pub model_t_res: f64,
+    /// Modeled average power relative to FF.
+    pub model_p: f64,
+    /// Modeled `E_res / E_FF`.
+    pub model_e_res: f64,
+    /// Measured `T_res / T_FF`.
+    pub exp_t_res: f64,
+    /// Measured average power relative to FF.
+    pub exp_p: f64,
+    /// Measured `E_res / E_FF`.
+    pub exp_e_res: f64,
+}
+
+/// Builds a Table 6 row for a measured scheme run.
+///
+/// The model parameters (`t_C`, `t_const`, `t_extra`, λ) are fitted from
+/// the *measured* run — the paper's §5.3 methodology ("the unit time for
+/// reconstruction t_const is measured") — and then plugged back into the
+/// §3.2 closed forms. Model and measurement therefore agree on inputs and
+/// differ only by the model's structural simplifications, which is exactly
+/// what Table 6 quantifies.
+pub fn validate(scheme_run: &RunReport, ff: &RunReport) -> ValidationRow {
+    let params = FittedParams::from_reports(scheme_run, ff);
+    let norm = scheme_run.normalized_vs(ff);
+    let label = scheme_run.scheme.clone();
+
+    let (model_t_res, model_p, model_e_res) = if label == "FF" {
+        (0.0, 1.0, 0.0)
+    } else if label == "RD" {
+        // Eq. 12: no time overhead, double power and energy.
+        (0.0, 2.0, 1.0)
+    } else if label.starts_with("CR") {
+        let interval_s = scheme_run
+            .checkpoint_interval_iters
+            .map(|i| i as f64 * params.t_iter_s)
+            .unwrap_or(100.0 * params.t_iter_s);
+        // Fold the measured restore cost into the effective per-checkpoint
+        // overhead so the model sees all storage traffic.
+        let m = CrModel {
+            t_c_s: params.t_c_s + params.t_restore_per_fault_s * params.lambda_per_s * interval_s,
+            interval_s,
+            p_ckpt_frac: 0.8,
+        };
+        match m.total_time_s(ff.time_s, params.lambda_per_s) {
+            Some(total) => {
+                let t_res = (total - ff.time_s) / ff.time_s;
+                let p = m.avg_power_frac(params.lambda_per_s);
+                let e_res = m
+                    .e_res_j(ff.time_s, params.lambda_per_s, ff.avg_power_w)
+                    .unwrap_or(0.0)
+                    / ff.energy_j;
+                (t_res, p, e_res)
+            }
+            None => (f64::INFINITY, 1.0, f64::INFINITY),
+        }
+    } else {
+        // Forward recovery.
+        let n = scheme_run.num_ranks as f64;
+        let p_idle = if label.contains("DVFS") { 0.45 } else { 0.74 };
+        let m = FwModel {
+            t_const_s: params.t_const_s + params.t_restore_per_fault_s,
+            t_extra_per_fault_s: params.t_extra_per_fault_s,
+            active_frac: 1.0 / n,
+            p_idle_frac: p_idle,
+        };
+        match m.total_time_s(ff.time_s, params.lambda_per_s) {
+            Some(total) => {
+                let t_res = (total - ff.time_s) / ff.time_s;
+                let p = m.avg_power_frac(ff.time_s, params.lambda_per_s).unwrap_or(1.0);
+                let e_res = m
+                    .e_res_j(ff.time_s, params.lambda_per_s, ff.avg_power_w)
+                    .unwrap_or(0.0)
+                    / ff.energy_j;
+                (t_res, p, e_res)
+            }
+            None => (f64::INFINITY, 1.0, f64::INFINITY),
+        }
+    };
+
+    ValidationRow {
+        scheme: label,
+        model_t_res,
+        model_p,
+        model_e_res,
+        exp_t_res: norm.t_res,
+        exp_p: norm.power,
+        exp_e_res: norm.e_res,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsls_core::report::PhaseBreakdown;
+    use rsls_solvers::ResidualHistory;
+
+    fn report(scheme: &str, iters: usize, time: f64, energy: f64, faults: usize) -> RunReport {
+        RunReport {
+            scheme: scheme.into(),
+            num_ranks: 24,
+            iterations: iters,
+            converged: true,
+            final_relative_residual: 0.0,
+            time_s: time,
+            energy_j: energy,
+            avg_power_w: energy / time,
+            faults_injected: faults,
+            checkpoint_interval_iters: if scheme.starts_with("CR") {
+                Some(100)
+            } else {
+                None
+            },
+            breakdown: PhaseBreakdown {
+                solve_s: time * 0.9,
+                checkpoint_s: if scheme.starts_with("CR") { time * 0.05 } else { 0.0 },
+                restore_s: 0.0,
+                reconstruct_s: if scheme.starts_with("L") { time * 0.1 } else { 0.0 },
+                repair_s: 0.0,
+            },
+            history: ResidualHistory::new(),
+            power_profile: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn rd_row_matches_eq_12_exactly() {
+        let ff = report("FF", 1000, 100.0, 1000.0, 0);
+        let rd = report("RD", 1000, 100.0, 2000.0, 3);
+        let row = validate(&rd, &ff);
+        assert_eq!(row.model_t_res, 0.0);
+        assert_eq!(row.model_p, 2.0);
+        assert_eq!(row.model_e_res, 1.0);
+        assert_eq!(row.exp_t_res, 0.0);
+        assert!((row.exp_p - 2.0).abs() < 1e-12);
+        assert!((row.exp_e_res - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cr_row_has_positive_overheads() {
+        let ff = report("FF", 1000, 100.0, 1000.0, 0);
+        let cr = report("CR-M", 1400, 150.0, 1450.0, 5);
+        let row = validate(&cr, &ff);
+        assert!(row.model_t_res > 0.0);
+        assert!(row.exp_t_res > 0.0);
+        assert!(row.model_p <= 1.0);
+    }
+
+    #[test]
+    fn fw_dvfs_rows_use_lower_idle_power() {
+        let ff = report("FF", 1000, 100.0, 1000.0, 0);
+        let li = report("LI (CG)", 1300, 150.0, 1500.0, 5);
+        let li_dvfs = report("LI (CG)-DVFS", 1300, 150.0, 1400.0, 5);
+        let plain = validate(&li, &ff);
+        let dvfs = validate(&li_dvfs, &ff);
+        assert!(dvfs.model_p <= plain.model_p);
+        assert!(dvfs.model_e_res <= plain.model_e_res);
+    }
+}

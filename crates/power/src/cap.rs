@@ -1,0 +1,104 @@
+//! Node power capping.
+
+use crate::{CoreState, PowerModel};
+
+/// Picks frequencies that respect a node-level power budget.
+///
+/// The paper's motivation (§2.3) notes that "the additional power required
+/// to provide resilience reduces the power available for computation".
+/// `PowerCap` makes that concrete: given a budget in watts, it returns the
+/// highest DVFS level at which `n_cores` computing cores stay within it.
+#[derive(Debug, Clone)]
+pub struct PowerCap {
+    budget_w: f64,
+}
+
+impl PowerCap {
+    /// A cap of `budget_w` watts.
+    ///
+    /// # Panics
+    /// Panics if the budget is not positive.
+    pub fn new(budget_w: f64) -> Self {
+        assert!(budget_w > 0.0, "power budget must be positive");
+        PowerCap { budget_w }
+    }
+
+    /// The budget in watts.
+    pub fn budget_w(&self) -> f64 {
+        self.budget_w
+    }
+
+    /// Highest frequency at which `n_cores` cores in `state` fit the
+    /// budget, or `None` when even the lowest level exceeds it.
+    pub fn max_frequency(&self, model: &PowerModel, state: CoreState, n_cores: usize) -> Option<f64> {
+        model
+            .freq_table()
+            .levels()
+            .iter()
+            .rev()
+            .find(|&&f| model.core_power(state, f) * n_cores as f64 <= self.budget_w)
+            .copied()
+    }
+
+    /// True when the mixed core group fits the budget.
+    pub fn admits(&self, model: &PowerModel, groups: &[(CoreState, f64, usize)]) -> bool {
+        model.group_power(groups) <= self.budget_w
+    }
+
+    /// Headroom left by the group, watts (negative when over budget).
+    pub fn headroom(&self, model: &PowerModel, groups: &[(CoreState, f64, usize)]) -> f64 {
+        self.budget_w - model.group_power(groups)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generous_budget_allows_max_frequency() {
+        let m = PowerModel::default();
+        let cap = PowerCap::new(1e6);
+        assert_eq!(
+            cap.max_frequency(&m, CoreState::Compute, 24),
+            Some(m.freq_table().max())
+        );
+    }
+
+    #[test]
+    fn tight_budget_forces_throttling() {
+        let m = PowerModel::default();
+        // 24 cores at max draw 24 * 8 = 192 W; give only 150 W.
+        let cap = PowerCap::new(150.0);
+        let f = cap.max_frequency(&m, CoreState::Compute, 24).unwrap();
+        assert!(f < m.freq_table().max());
+        assert!(cap.admits(&m, &[(CoreState::Compute, f, 24)]));
+        // One level up must violate the cap.
+        let idx = m
+            .freq_table()
+            .levels()
+            .iter()
+            .position(|&l| l == f)
+            .unwrap();
+        if idx + 1 < m.freq_table().len() {
+            let f_up = m.freq_table().levels()[idx + 1];
+            assert!(!cap.admits(&m, &[(CoreState::Compute, f_up, 24)]));
+        }
+    }
+
+    #[test]
+    fn impossible_budget_returns_none() {
+        let m = PowerModel::default();
+        let cap = PowerCap::new(1.0);
+        assert_eq!(cap.max_frequency(&m, CoreState::Compute, 24), None);
+    }
+
+    #[test]
+    fn headroom_is_signed() {
+        let m = PowerModel::default();
+        let f = m.freq_table().max();
+        let cap = PowerCap::new(100.0);
+        assert!(cap.headroom(&m, &[(CoreState::Compute, f, 1)]) > 0.0);
+        assert!(cap.headroom(&m, &[(CoreState::Compute, f, 24)]) < 0.0);
+    }
+}

@@ -1,0 +1,112 @@
+//! DVFS frequency ladder.
+
+use serde::{Deserialize, Serialize};
+
+/// The discrete frequency steps a core can run at, in GHz.
+///
+/// Defaults to the paper's platform: 1.2 GHz to 2.3 GHz in 0.1 GHz steps
+/// (12 levels), each core independently settable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FreqTable {
+    levels: Vec<f64>,
+}
+
+impl Default for FreqTable {
+    fn default() -> Self {
+        FreqTable::new(1.2, 2.3, 0.1)
+    }
+}
+
+impl FreqTable {
+    /// Builds the ladder `min, min+step, ..., max` (inclusive, with a
+    /// half-step tolerance on the endpoint).
+    ///
+    /// # Panics
+    /// Panics unless `0 < min <= max` and `step > 0`.
+    pub fn new(min_ghz: f64, max_ghz: f64, step_ghz: f64) -> Self {
+        assert!(min_ghz > 0.0 && max_ghz >= min_ghz && step_ghz > 0.0);
+        let mut levels = Vec::new();
+        let mut f = min_ghz;
+        while f <= max_ghz + step_ghz / 2.0 {
+            levels.push((f * 1000.0).round() / 1000.0);
+            f += step_ghz;
+        }
+        FreqTable { levels }
+    }
+
+    /// All levels, ascending, in GHz.
+    pub fn levels(&self) -> &[f64] {
+        &self.levels
+    }
+
+    /// Lowest frequency.
+    pub fn min(&self) -> f64 {
+        self.levels[0]
+    }
+
+    /// Highest (nominal) frequency.
+    pub fn max(&self) -> f64 {
+        *self.levels.last().unwrap()
+    }
+
+    /// Number of levels.
+    pub fn len(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// True when the ladder has no levels (never true for a constructed
+    /// table; present for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.levels.is_empty()
+    }
+
+    /// Clamps `f` to the nearest available level.
+    pub fn quantize(&self, f: f64) -> f64 {
+        *self
+            .levels
+            .iter()
+            .min_by(|a, b| {
+                (*a - f)
+                    .abs()
+                    .partial_cmp(&(*b - f).abs())
+                    .expect("frequency levels are finite")
+            })
+            .unwrap()
+    }
+
+    /// True when `f` is (within rounding) one of the levels.
+    pub fn contains(&self, f: f64) -> bool {
+        self.levels.iter().any(|&l| (l - f).abs() < 1e-9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_table_matches_the_papers_cpu() {
+        let t = FreqTable::default();
+        assert_eq!(t.len(), 12);
+        assert_eq!(t.min(), 1.2);
+        assert_eq!(t.max(), 2.3);
+        assert!(t.contains(1.8));
+        assert!(!t.contains(1.85));
+    }
+
+    #[test]
+    fn quantize_snaps_to_nearest() {
+        let t = FreqTable::default();
+        assert_eq!(t.quantize(1.84), 1.8);
+        assert_eq!(t.quantize(1.86), 1.9);
+        assert_eq!(t.quantize(0.5), 1.2);
+        assert_eq!(t.quantize(9.9), 2.3);
+    }
+
+    #[test]
+    fn single_level_table_works() {
+        let t = FreqTable::new(2.0, 2.0, 0.1);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.quantize(1.0), 2.0);
+    }
+}

@@ -1,0 +1,109 @@
+//! CPUfreq-style frequency governors.
+
+use serde::{Deserialize, Serialize};
+
+use crate::FreqTable;
+
+/// A CPUfreq governor deciding a core's frequency from its utilization.
+///
+/// The paper's baseline uses the OS `ondemand` governor; the proposed
+/// LI-DVFS/LSI-DVFS optimization uses `userspace` with explicit frequency
+/// control (§5.3, Figure 7a).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Governor {
+    /// Always the highest frequency.
+    Performance,
+    /// Always the lowest frequency.
+    Powersave,
+    /// Scale up when utilization exceeds `up_threshold`, down to the
+    /// proportionally matching level otherwise (simplified kernel policy).
+    Ondemand {
+        /// Utilization in `[0,1]` above which the max frequency is chosen.
+        up_threshold: f64,
+    },
+    /// Explicit application-controlled frequency.
+    Userspace {
+        /// The pinned frequency in GHz.
+        freq_ghz: f64,
+    },
+}
+
+impl Governor {
+    /// The kernel default `ondemand` configuration (95% up-threshold,
+    /// matching the common `up_threshold=95` sysfs default).
+    pub fn ondemand_default() -> Self {
+        Governor::Ondemand { up_threshold: 0.95 }
+    }
+
+    /// Frequency chosen for a core with the given `utilization ∈ [0,1]`.
+    pub fn frequency_for(&self, table: &FreqTable, utilization: f64) -> f64 {
+        let u = utilization.clamp(0.0, 1.0);
+        match self {
+            Governor::Performance => table.max(),
+            Governor::Powersave => table.min(),
+            Governor::Ondemand { up_threshold } => {
+                if u >= *up_threshold {
+                    table.max()
+                } else {
+                    // Proportional scaling: pick the lowest level that still
+                    // covers the demand `u * f_max`.
+                    let target = u * table.max();
+                    *table
+                        .levels()
+                        .iter()
+                        .find(|&&f| f >= target)
+                        .unwrap_or(&table.max())
+                }
+            }
+            Governor::Userspace { freq_ghz } => table.quantize(*freq_ghz),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn performance_pins_max() {
+        let t = FreqTable::default();
+        assert_eq!(Governor::Performance.frequency_for(&t, 0.0), 2.3);
+    }
+
+    #[test]
+    fn powersave_pins_min() {
+        let t = FreqTable::default();
+        assert_eq!(Governor::Powersave.frequency_for(&t, 1.0), 1.2);
+    }
+
+    #[test]
+    fn ondemand_scales_with_utilization() {
+        let t = FreqTable::default();
+        let g = Governor::ondemand_default();
+        assert_eq!(g.frequency_for(&t, 1.0), 2.3);
+        assert_eq!(g.frequency_for(&t, 0.99), 2.3);
+        // Low utilization drops to a low level, but never below min.
+        assert_eq!(g.frequency_for(&t, 0.0), 1.2);
+        let mid = g.frequency_for(&t, 0.6);
+        assert!(mid > 1.2 && mid < 2.3, "mid = {mid}");
+    }
+
+    #[test]
+    fn ondemand_is_monotone_in_utilization() {
+        let t = FreqTable::default();
+        let g = Governor::ondemand_default();
+        let mut prev = 0.0;
+        for i in 0..=20 {
+            let f = g.frequency_for(&t, i as f64 / 20.0);
+            assert!(f >= prev);
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn userspace_quantizes_to_ladder() {
+        let t = FreqTable::default();
+        let g = Governor::Userspace { freq_ghz: 1.84 };
+        assert_eq!(g.frequency_for(&t, 0.5), 1.8);
+    }
+}

@@ -1,0 +1,226 @@
+//! Per-core power model calibrated to the paper's observations.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{CoreState, FreqTable};
+
+/// Calibration constants of the power model.
+///
+/// Each active state splits into a static part (leakage + uncore share,
+/// frequency-independent) and a dynamic part scaling as `(f/f_max)³`
+/// (the classical `C·f·V²` law with voltage roughly linear in frequency).
+///
+/// The defaults are calibrated so the paper's §4.2 node-level ratios hold
+/// on a 24-core node:
+///
+/// * all cores computing at f_max → node power `24 · p_active_max` (the 1×
+///   reference),
+/// * 1 core computing + 23 busy-waiting at f_max → `0.75×` the reference,
+/// * 1 core computing + 23 busy-waiting at f_min (1.2/2.3 GHz) → `0.45×`.
+///
+/// Solving those two busy-wait points gives static ≈ 0.385 and dynamic ≈
+/// 0.354 of `p_active_max`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerModelConfig {
+    /// Power of one core computing at the nominal (max) frequency, watts.
+    /// 95 W TDP per 12-core socket ≈ 7.9 W per core; rounded to 8.
+    pub p_active_max_w: f64,
+    /// Static fraction of compute power (does not scale with frequency).
+    pub compute_static_frac: f64,
+    /// Static fraction of busy-wait power.
+    pub busywait_static_frac: f64,
+    /// Dynamic fraction of busy-wait power (at f_max the busy-wait core
+    /// draws `static + dynamic` of `p_active_max_w`).
+    pub busywait_dynamic_frac: f64,
+    /// Power of a core stalled on storage traffic, as a fraction of
+    /// `p_active_max_w` (frequency-insensitive: the core is in the memory
+    /// or I/O subsystem's hands).
+    pub storage_wait_frac: f64,
+    /// Power of a halted (C-state) core, fraction of `p_active_max_w`.
+    pub idle_frac: f64,
+    /// The DVFS ladder.
+    pub freq_table: FreqTable,
+    /// Frequency-sensitivity exponent γ of *execution time*:
+    /// `time ∝ (f_max/f)^γ`. CG is memory-bound, so γ < 1; γ = 0 would be
+    /// fully memory-bound, γ = 1 fully compute-bound.
+    pub time_freq_exponent: f64,
+}
+
+impl Default for PowerModelConfig {
+    fn default() -> Self {
+        PowerModelConfig {
+            p_active_max_w: 8.0,
+            compute_static_frac: 0.30,
+            busywait_static_frac: 0.385,
+            busywait_dynamic_frac: 0.354,
+            storage_wait_frac: 0.70,
+            idle_frac: 0.15,
+            freq_table: FreqTable::default(),
+            time_freq_exponent: 0.5,
+        }
+    }
+}
+
+/// Evaluates core power for (state, frequency) pairs.
+///
+/// # Example
+///
+/// ```
+/// use rsls_power::{CoreState, PowerModel};
+///
+/// let model = PowerModel::default();
+/// let fmax = model.freq_table().max();
+/// let fmin = model.freq_table().min();
+/// // The §4.2 calibration: a 24-core node during reconstruction draws
+/// // 0.75x of compute power without DVFS, 0.45x with it.
+/// let full = model.group_power(&[(CoreState::Compute, fmax, 24)]);
+/// let plain = model.group_power(&[
+///     (CoreState::Compute, fmax, 1),
+///     (CoreState::BusyWait, fmax, 23),
+/// ]);
+/// let dvfs = model.group_power(&[
+///     (CoreState::Compute, fmax, 1),
+///     (CoreState::BusyWait, fmin, 23),
+/// ]);
+/// assert!((plain / full - 0.75).abs() < 0.01);
+/// assert!((dvfs / full - 0.45).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    cfg: PowerModelConfig,
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        PowerModel::new(PowerModelConfig::default())
+    }
+}
+
+impl PowerModel {
+    /// Builds the model from calibration constants.
+    pub fn new(cfg: PowerModelConfig) -> Self {
+        PowerModel { cfg }
+    }
+
+    /// The calibration constants.
+    pub fn config(&self) -> &PowerModelConfig {
+        &self.cfg
+    }
+
+    /// The DVFS ladder.
+    pub fn freq_table(&self) -> &FreqTable {
+        &self.cfg.freq_table
+    }
+
+    /// Power in watts of one core in `state` at frequency `f_ghz`.
+    pub fn core_power(&self, state: CoreState, f_ghz: f64) -> f64 {
+        let fmax = self.cfg.freq_table.max();
+        let cube = (f_ghz / fmax).powi(3);
+        let p = self.cfg.p_active_max_w;
+        match state {
+            CoreState::Compute => {
+                p * (self.cfg.compute_static_frac + (1.0 - self.cfg.compute_static_frac) * cube)
+            }
+            CoreState::BusyWait => {
+                p * (self.cfg.busywait_static_frac + self.cfg.busywait_dynamic_frac * cube)
+            }
+            CoreState::StorageWait => p * self.cfg.storage_wait_frac,
+            CoreState::Idle => p * self.cfg.idle_frac,
+        }
+    }
+
+    /// Total power of a mixed group of cores:
+    /// `Σ count · core_power(state, f)`.
+    pub fn group_power(&self, groups: &[(CoreState, f64, usize)]) -> f64 {
+        groups
+            .iter()
+            .map(|&(s, f, n)| self.core_power(s, f) * n as f64)
+            .sum()
+    }
+
+    /// Relative execution-speed factor at frequency `f_ghz`
+    /// (`1.0` at f_max): `(f/f_max)^γ`.
+    pub fn speed_factor(&self, f_ghz: f64) -> f64 {
+        (f_ghz / self.cfg.freq_table.max()).powf(self.cfg.time_freq_exponent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_power_at_fmax_is_nominal() {
+        let m = PowerModel::default();
+        let p = m.core_power(CoreState::Compute, m.freq_table().max());
+        assert!((p - m.config().p_active_max_w).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconstruction_node_ratio_without_dvfs_is_075() {
+        // 1 compute + 23 busy-wait at f_max vs 24 compute at f_max (§4.2).
+        let m = PowerModel::default();
+        let fmax = m.freq_table().max();
+        let full = m.group_power(&[(CoreState::Compute, fmax, 24)]);
+        let recon = m.group_power(&[(CoreState::Compute, fmax, 1), (CoreState::BusyWait, fmax, 23)]);
+        let ratio = recon / full;
+        assert!((ratio - 0.75).abs() < 0.01, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn reconstruction_node_ratio_with_dvfs_is_045() {
+        // 1 compute at f_max + 23 busy-wait at f_min (§4.2, LI-DVFS).
+        let m = PowerModel::default();
+        let (fmin, fmax) = (m.freq_table().min(), m.freq_table().max());
+        let full = m.group_power(&[(CoreState::Compute, fmax, 24)]);
+        let recon = m.group_power(&[(CoreState::Compute, fmax, 1), (CoreState::BusyWait, fmin, 23)]);
+        let ratio = recon / full;
+        assert!((ratio - 0.45).abs() < 0.01, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn dvfs_saves_about_40_percent_during_reconstruction() {
+        // §4.2 / Figure 7a: LI-DVFS reduces construction-phase power by ~39-40%.
+        let m = PowerModel::default();
+        let (fmin, fmax) = (m.freq_table().min(), m.freq_table().max());
+        let plain = m.group_power(&[(CoreState::Compute, fmax, 1), (CoreState::BusyWait, fmax, 23)]);
+        let dvfs = m.group_power(&[(CoreState::Compute, fmax, 1), (CoreState::BusyWait, fmin, 23)]);
+        let saving = 1.0 - dvfs / plain;
+        assert!((saving - 0.40).abs() < 0.02, "saving = {saving}");
+    }
+
+    #[test]
+    fn power_is_monotone_in_frequency() {
+        let m = PowerModel::default();
+        for pair in m.freq_table().levels().windows(2) {
+            assert!(
+                m.core_power(CoreState::Compute, pair[0])
+                    < m.core_power(CoreState::Compute, pair[1])
+            );
+            assert!(
+                m.core_power(CoreState::BusyWait, pair[0])
+                    < m.core_power(CoreState::BusyWait, pair[1])
+            );
+        }
+    }
+
+    #[test]
+    fn idle_is_the_cheapest_state() {
+        let m = PowerModel::default();
+        let f = m.freq_table().min();
+        let idle = m.core_power(CoreState::Idle, f);
+        for s in [CoreState::Compute, CoreState::BusyWait, CoreState::StorageWait] {
+            assert!(idle < m.core_power(s, f));
+        }
+    }
+
+    #[test]
+    fn speed_factor_is_one_at_fmax_and_below_one_elsewhere() {
+        let m = PowerModel::default();
+        assert!((m.speed_factor(m.freq_table().max()) - 1.0).abs() < 1e-12);
+        let s = m.speed_factor(m.freq_table().min());
+        assert!(s > 0.0 && s < 1.0);
+        // γ = 0.5: speed at 1.2/2.3 GHz ≈ sqrt(0.52) ≈ 0.72.
+        assert!((s - (1.2f64 / 2.3).sqrt()).abs() < 1e-12);
+    }
+}

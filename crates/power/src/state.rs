@@ -1,0 +1,44 @@
+//! Core activity states for power accounting.
+
+use serde::{Deserialize, Serialize};
+
+/// What a core is doing, from the power model's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CoreState {
+    /// Executing application floating-point work (SpMV, BLAS-1,
+    /// factorization, reconstruction).
+    Compute,
+    /// Spinning in the MPI progress engine waiting for a peer — what the
+    /// paper's "other 23 cores" do during reconstruction when no DVFS
+    /// scheduling is applied (§4.2: node at 0.75× of compute power).
+    BusyWait,
+    /// Stalled on storage traffic during checkpoint/restart ("CPUs are not
+    /// highly utilized during checkpointing", §3.2).
+    StorageWait,
+    /// Halted in a C-state (deep idle).
+    Idle,
+}
+
+impl CoreState {
+    /// All states, for iteration/reporting.
+    pub const ALL: [CoreState; 4] = [
+        CoreState::Compute,
+        CoreState::BusyWait,
+        CoreState::StorageWait,
+        CoreState::Idle,
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn states_are_distinct() {
+        for (i, a) in CoreState::ALL.iter().enumerate() {
+            for b in CoreState::ALL.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests of the power substrate.
+
+use proptest::prelude::*;
+use rsls_power::{CoreState, EnergyMeter, FreqTable, Governor, PowerModel, RaplCounter};
+
+fn freq_strategy() -> impl Strategy<Value = f64> {
+    (12u32..=23).prop_map(|f| f as f64 / 10.0)
+}
+
+proptest! {
+    #[test]
+    fn core_power_is_positive_and_bounded(f in freq_strategy()) {
+        let m = PowerModel::default();
+        let pmax = m.config().p_active_max_w;
+        for s in CoreState::ALL {
+            let p = m.core_power(s, f);
+            prop_assert!(p > 0.0);
+            prop_assert!(p <= pmax * 1.0001, "{s:?} at {f} GHz draws {p} W");
+        }
+    }
+
+    #[test]
+    fn idle_is_cheapest_and_busywait_below_compute_at_fmax(f in freq_strategy()) {
+        let m = PowerModel::default();
+        // Idle is the floor at any frequency.
+        prop_assert!(m.core_power(CoreState::Idle, f) <= m.core_power(CoreState::Compute, f));
+        // Busy-wait draws less than compute at the nominal frequency (it
+        // can exceed a *throttled* compute core: spinning runs at full
+        // IPC, which is exactly why the paper throttles the waiters).
+        let fmax = m.freq_table().max();
+        prop_assert!(
+            m.core_power(CoreState::BusyWait, fmax) <= m.core_power(CoreState::Compute, fmax)
+        );
+    }
+
+    #[test]
+    fn group_power_is_additive(f in freq_strategy(), a in 1usize..32, b in 1usize..32) {
+        let m = PowerModel::default();
+        let together = m.group_power(&[(CoreState::Compute, f, a + b)]);
+        let split = m.group_power(&[(CoreState::Compute, f, a)])
+            + m.group_power(&[(CoreState::Compute, f, b)]);
+        prop_assert!((together - split).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_accumulates_monotonically(durations in proptest::collection::vec(0.001f64..10.0, 1..20)) {
+        let m = PowerModel::default();
+        let f = m.freq_table().max();
+        let mut meter = EnergyMeter::new(m);
+        let mut t = 0.0;
+        let mut last = 0.0;
+        for d in durations {
+            meter.account(t, t + d, &[(CoreState::Compute, f, 4)]);
+            t += d;
+            prop_assert!(meter.joules() >= last);
+            last = meter.joules();
+        }
+        // Average power equals the constant group power.
+        let expected = meter.model().group_power(&[(CoreState::Compute, f, 4)]);
+        prop_assert!((meter.average_power() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn governor_frequency_is_always_on_the_ladder(u in 0.0f64..1.0, pinned in freq_strategy()) {
+        let t = FreqTable::default();
+        for g in [
+            Governor::Performance,
+            Governor::Powersave,
+            Governor::ondemand_default(),
+            Governor::Userspace { freq_ghz: pinned },
+        ] {
+            let f = g.frequency_for(&t, u);
+            prop_assert!(t.contains(f), "{g:?} produced off-ladder {f}");
+        }
+    }
+
+    #[test]
+    fn quantize_is_idempotent(f in 0.1f64..5.0) {
+        let t = FreqTable::default();
+        let q = t.quantize(f);
+        prop_assert_eq!(t.quantize(q), q);
+        prop_assert!(t.contains(q));
+    }
+
+    #[test]
+    fn rapl_delta_recovers_consumption(j1 in 0.0f64..5000.0, j2 in 0.0f64..4000.0) {
+        let mut c = RaplCounter::new();
+        c.add_joules(j1);
+        let before = c.read_uj();
+        c.add_joules(j2);
+        let after = c.read_uj();
+        let delta = RaplCounter::delta_uj(before, after);
+        // j2 < 4000 J < 2^32 µJ, so at most one wraparound occurred.
+        prop_assert!((delta as f64 - j2 * 1e6).abs() < 2.0);
+    }
+
+    #[test]
+    fn speed_factor_is_monotone(f1 in freq_strategy(), f2 in freq_strategy()) {
+        let m = PowerModel::default();
+        if f1 <= f2 {
+            prop_assert!(m.speed_factor(f1) <= m.speed_factor(f2));
+        } else {
+            prop_assert!(m.speed_factor(f1) >= m.speed_factor(f2));
+        }
+    }
+}

@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+//! Instrumented iterative solvers.
+//!
+//! * [`Cg`] — a resumable, step-at-a-time Conjugate Gradient state
+//!   machine. The resilient driver in `rsls-core` advances it one
+//!   iteration at a time, injects faults between iterations, repairs the
+//!   state after recovery ([`Cg::restart`], the Langou et al. recovery
+//!   pattern), and charges virtual time per step.
+//! * [`Cgls`] — CGLS/CGNR for least-squares systems, used by the paper's
+//!   optimized LSI reconstruction (§4.1, Eq. 21: solve
+//!   `(A_{p_i,:} A_{p_i,:}ᵀ) x = A_{p_i,:} β` locally with CG).
+//! * [`jacobi`] — Jacobi-preconditioned CG (an extension beyond the
+//!   paper's plain-CG evaluation; used by ablation benches).
+//! * [`dist`] — a distributed-memory (SPMD) CG with explicit halo
+//!   exchange plans, the physical counterpart of the driver's logical
+//!   distribution model.
+//! * [`convergence`] — residual histories and outcome summaries.
+
+pub mod cg;
+pub mod cgls;
+pub mod dist;
+pub mod convergence;
+pub mod jacobi;
+
+pub use cg::{Cg, CgConfig};
+pub use cgls::{Cgls, CglsConfig};
+pub use dist::{DistCg, HaloPlan};
+pub use convergence::{ResidualHistory, SolveOutcome};

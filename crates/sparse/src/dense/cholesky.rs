@@ -1,0 +1,136 @@
+//! Cholesky factorization of symmetric positive-definite matrices.
+
+use crate::dense::DenseMatrix;
+use crate::{LinalgError, Result};
+
+/// Cholesky factorization `A = L Lᵀ` of an SPD matrix.
+///
+/// Used by the normal-equations formulation of the exact LSI baseline:
+/// `(AᵀA) x = Aᵀβ` (Eq. 20) is SPD whenever `A` has full column rank.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    /// Lower-triangular factor (upper triangle is junk and never read).
+    l: DenseMatrix,
+}
+
+impl Cholesky {
+    /// Factors the SPD matrix `a`.
+    ///
+    /// Returns [`LinalgError::NotPositiveDefinite`] when a pivot becomes
+    /// non-positive, which also catches asymmetric input in practice.
+    pub fn factor(a: &DenseMatrix) -> Result<Self> {
+        if a.nrows() != a.ncols() {
+            return Err(LinalgError::DimensionMismatch {
+                context: format!(
+                    "Cholesky requires square matrix, got {}x{}",
+                    a.nrows(),
+                    a.ncols()
+                ),
+            });
+        }
+        let n = a.nrows();
+        let mut l = a.clone();
+        for j in 0..n {
+            let mut d = l[(j, j)];
+            for k in 0..j {
+                let v = l[(j, k)];
+                d -= v * v;
+            }
+            if d <= 0.0 {
+                return Err(LinalgError::NotPositiveDefinite { pivot: j });
+            }
+            let d = d.sqrt();
+            l[(j, j)] = d;
+            for i in j + 1..n {
+                let mut v = l[(i, j)];
+                for k in 0..j {
+                    v -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = v / d;
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.nrows()
+    }
+
+    /// Solves `A x = b` via two triangular solves.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), self.dim(), "Cholesky solve: rhs length mismatch");
+        let n = self.dim();
+        let mut x = b.to_vec();
+        // L y = b
+        for i in 0..n {
+            let mut acc = x[i];
+            for j in 0..i {
+                acc -= self.l[(i, j)] * x[j];
+            }
+            x[i] = acc / self.l[(i, i)];
+        }
+        // Lᵀ x = y
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in i + 1..n {
+                acc -= self.l[(j, i)] * x[j];
+            }
+            x[i] = acc / self.l[(i, i)];
+        }
+        x
+    }
+
+    /// Flop count of the factorization: `n^3 / 3` to first order.
+    pub fn factor_flops(n: usize) -> u64 {
+        let n = n as u64;
+        n * n * n / 3
+    }
+
+    /// Flop count of one solve: `2 n^2`.
+    pub fn solve_flops(n: usize) -> u64 {
+        2 * (n as u64) * (n as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_spd_system() {
+        let a = DenseMatrix::from_row_major(3, 3, vec![4.0, 1.0, 0.0, 1.0, 3.0, 1.0, 0.0, 1.0, 2.0]);
+        let chol = Cholesky::factor(&a).unwrap();
+        let b = vec![1.0, 2.0, 3.0];
+        let x = chol.solve(&b);
+        let mut ax = vec![0.0; 3];
+        a.matvec(&x, &mut ax);
+        for (l, r) in ax.iter().zip(&b) {
+            assert!((l - r).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn indefinite_matrix_is_rejected() {
+        let a = DenseMatrix::from_row_major(2, 2, vec![1.0, 2.0, 2.0, 1.0]);
+        assert!(matches!(
+            Cholesky::factor(&a),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn non_square_is_rejected() {
+        assert!(Cholesky::factor(&DenseMatrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn factor_reconstructs_matrix() {
+        let a = DenseMatrix::from_row_major(2, 2, vec![4.0, 2.0, 2.0, 5.0]);
+        let chol = Cholesky::factor(&a).unwrap();
+        // L = [2 0; 1 2]
+        assert!((chol.l[(0, 0)] - 2.0).abs() < 1e-14);
+        assert!((chol.l[(1, 0)] - 1.0).abs() < 1e-14);
+        assert!((chol.l[(1, 1)] - 2.0).abs() < 1e-14);
+    }
+}

@@ -1,0 +1,16 @@
+//! Dense linear algebra used by the exact reconstruction baselines.
+//!
+//! The paper's exact LI baseline factors the diagonal block `A_{p_i,p_i}`
+//! with LU; the exact LSI baseline solves a least-squares system (with
+//! sparse QR in the original work — here via Householder QR or
+//! normal-equations Cholesky, see DESIGN.md §4.4).
+
+mod cholesky;
+mod lu;
+mod matrix;
+mod qr;
+
+pub use cholesky::Cholesky;
+pub use lu::Lu;
+pub use matrix::DenseMatrix;
+pub use qr::{Qr, lstsq};

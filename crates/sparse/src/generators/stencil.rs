@@ -1,0 +1,107 @@
+//! Finite-difference Laplacian stencils.
+
+use crate::{CooMatrix, CsrMatrix};
+
+/// 2D 5-point Laplacian on an `nx x ny` grid (Dirichlet boundaries).
+///
+/// The matrix is SPD with rows `nx * ny` and at most 5 nonzeros per row —
+/// the "5-point stencil" workload of the paper's Table 3 (with
+/// `nx = ny = 800` giving 640,000 rows).
+pub fn stencil_2d(nx: usize, ny: usize) -> CsrMatrix {
+    let n = nx * ny;
+    let mut coo = CooMatrix::with_capacity(n, n, 5 * n);
+    let idx = |i: usize, j: usize| i * ny + j;
+    for i in 0..nx {
+        for j in 0..ny {
+            let r = idx(i, j);
+            coo.push(r, r, 4.0).unwrap();
+            if i > 0 {
+                coo.push(r, idx(i - 1, j), -1.0).unwrap();
+            }
+            if i + 1 < nx {
+                coo.push(r, idx(i + 1, j), -1.0).unwrap();
+            }
+            if j > 0 {
+                coo.push(r, idx(i, j - 1), -1.0).unwrap();
+            }
+            if j + 1 < ny {
+                coo.push(r, idx(i, j + 1), -1.0).unwrap();
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// 3D 7-point Laplacian on an `nx x ny x nz` grid (Dirichlet boundaries).
+pub fn stencil_3d(nx: usize, ny: usize, nz: usize) -> CsrMatrix {
+    let n = nx * ny * nz;
+    let mut coo = CooMatrix::with_capacity(n, n, 7 * n);
+    let idx = |i: usize, j: usize, k: usize| (i * ny + j) * nz + k;
+    for i in 0..nx {
+        for j in 0..ny {
+            for k in 0..nz {
+                let r = idx(i, j, k);
+                coo.push(r, r, 6.0).unwrap();
+                if i > 0 {
+                    coo.push(r, idx(i - 1, j, k), -1.0).unwrap();
+                }
+                if i + 1 < nx {
+                    coo.push(r, idx(i + 1, j, k), -1.0).unwrap();
+                }
+                if j > 0 {
+                    coo.push(r, idx(i, j - 1, k), -1.0).unwrap();
+                }
+                if j + 1 < ny {
+                    coo.push(r, idx(i, j + 1, k), -1.0).unwrap();
+                }
+                if k > 0 {
+                    coo.push(r, idx(i, j, k - 1), -1.0).unwrap();
+                }
+                if k + 1 < nz {
+                    coo.push(r, idx(i, j, k + 1), -1.0).unwrap();
+                }
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stencil_2d_shape_and_symmetry() {
+        let a = stencil_2d(4, 5);
+        assert_eq!(a.nrows(), 20);
+        assert!(a.is_symmetric(0.0));
+        // Interior rows have 5 entries, corners 3.
+        assert_eq!(a.row_cols(0).len(), 3);
+        let interior = 5 + 2; // (i=1, j=2)
+        assert_eq!(a.row_cols(interior).len(), 5);
+    }
+
+    #[test]
+    fn stencil_2d_is_diagonally_dominant() {
+        let a = stencil_2d(6, 6);
+        for r in 0..a.nrows() {
+            let off: f64 = a
+                .row_cols(r)
+                .iter()
+                .zip(a.row_vals(r))
+                .filter(|(&c, _)| c != r)
+                .map(|(_, v)| v.abs())
+                .sum();
+            assert!(a.get(r, r) >= off);
+        }
+    }
+
+    #[test]
+    fn stencil_3d_shape() {
+        let a = stencil_3d(3, 3, 3);
+        assert_eq!(a.nrows(), 27);
+        assert!(a.is_symmetric(0.0));
+        // Center of the cube has 7 entries.
+        assert_eq!(a.row_cols(13).len(), 7);
+    }
+}

@@ -1,0 +1,108 @@
+//! The Wathen finite-element matrix.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::{CooMatrix, CsrMatrix};
+
+/// Element contribution matrix of the Wathen discretization (scaled by 45).
+const E1: [[f64; 4]; 4] = [
+    [6.0, -6.0, 2.0, -8.0],
+    [-6.0, 32.0, -6.0, 20.0],
+    [2.0, -6.0, 6.0, -6.0],
+    [-8.0, 20.0, -6.0, 32.0],
+];
+const E2: [[f64; 4]; 4] = [
+    [3.0, -8.0, 2.0, -6.0],
+    [-8.0, 16.0, -8.0, 20.0],
+    [2.0, -8.0, 3.0, -8.0],
+    [-6.0, 20.0, -8.0, 16.0],
+];
+
+/// Generates the Wathen matrix on an `nx x ny` element grid.
+///
+/// This is the classic SPD test matrix of A. J. Wathen (the consistent mass
+/// matrix of an `nx x ny` grid of 8-node serendipity elements with random
+/// element densities), matching MATLAB's `gallery('wathen', nx, ny)`.
+/// The dimension is `3 nx ny + 2 nx + 2 ny + 1`; with `nx = ny = 100` this
+/// is 30,401 — the paper's `wathen100` (Table 3).
+///
+/// `seed` fixes the random element densities for reproducibility.
+pub fn wathen(nx: usize, ny: usize, seed: u64) -> CsrMatrix {
+    assert!(nx > 0 && ny > 0, "wathen requires a non-empty element grid");
+    let n = 3 * nx * ny + 2 * nx + 2 * ny + 1;
+    // 8x8 element matrix e = [E1 E2; E2ᵀ E1] / 45.
+    let mut e = [[0.0f64; 8]; 8];
+    for i in 0..4 {
+        for j in 0..4 {
+            e[i][j] = E1[i][j] / 45.0;
+            e[i][j + 4] = E2[i][j] / 45.0;
+            e[i + 4][j] = E2[j][i] / 45.0;
+            e[i + 4][j + 4] = E1[i][j] / 45.0;
+        }
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coo = CooMatrix::with_capacity(n, n, 64 * nx * ny);
+    let mut nn = [0usize; 8];
+    for j in 1..=ny {
+        for i in 1..=nx {
+            // Global node numbers of the 8 element nodes (1-based as in the
+            // reference implementation, converted to 0-based on insertion).
+            nn[0] = 3 * j * nx + 2 * i + 2 * j + 1;
+            nn[1] = nn[0] - 1;
+            nn[2] = nn[1] - 1;
+            nn[3] = (3 * j - 1) * nx + 2 * j + i - 1;
+            nn[4] = 3 * (j - 1) * nx + 2 * i + 2 * j - 3;
+            nn[5] = nn[4] + 1;
+            nn[6] = nn[5] + 1;
+            nn[7] = nn[3] + 1;
+            let rho: f64 = 100.0 * rng.random::<f64>();
+            for (kr, &gr) in nn.iter().enumerate() {
+                for (kc, &gc) in nn.iter().enumerate() {
+                    coo.push(gr - 1, gc - 1, rho * e[kr][kc])
+                        .expect("wathen node index out of bounds; this is a bug");
+                }
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::Cholesky;
+
+    #[test]
+    fn dimension_matches_formula() {
+        let a = wathen(3, 4, 1);
+        assert_eq!(a.nrows(), 3 * 12 + 2 * 3 + 2 * 4 + 1);
+    }
+
+    #[test]
+    fn matrix_is_symmetric() {
+        let a = wathen(4, 4, 7);
+        assert!(a.is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn small_wathen_is_positive_definite() {
+        let a = wathen(2, 2, 3);
+        let d = a.to_dense();
+        assert!(Cholesky::factor(&d).is_ok());
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        assert_eq!(wathen(3, 3, 11), wathen(3, 3, 11));
+        assert_ne!(wathen(3, 3, 11), wathen(3, 3, 12));
+    }
+
+    #[test]
+    fn wathen100_has_the_papers_row_count() {
+        // Table 3: wathen100 has 30,401 rows. Use the formula rather than
+        // generating the full matrix in a unit test.
+        assert_eq!(3 * 100 * 100 + 2 * 100 + 2 * 100 + 1, 30_401);
+    }
+}

@@ -1,0 +1,178 @@
+//! Matrix Market (`.mtx`) serialization.
+//!
+//! Supports the `matrix coordinate real {general|symmetric}` flavor used by
+//! the SuiteSparse collection the paper draws its matrices from, so locally
+//! generated analogs can be exported and real SuiteSparse files imported
+//! when available.
+
+use std::io::{BufRead, Write};
+
+use crate::{CooMatrix, CsrMatrix, LinalgError, Result};
+
+/// Reads a Matrix Market coordinate stream into a CSR matrix.
+///
+/// Symmetric files are expanded to full storage.
+pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<CsrMatrix> {
+    let mut lines = reader.lines().enumerate();
+
+    let (idx, header) = lines.next().ok_or_else(|| parse_err(1, "empty stream"))?;
+    let lineno = idx + 1;
+    let header = header.map_err(|e| parse_err(lineno, &e.to_string()))?;
+    let header_lc = header.to_ascii_lowercase();
+    let fields: Vec<&str> = header_lc.split_whitespace().collect();
+    if fields.len() < 4 || fields[0] != "%%matrixmarket" || fields[1] != "matrix" {
+        return Err(parse_err(lineno, "missing %%MatrixMarket matrix header"));
+    }
+    if fields[2] != "coordinate" {
+        return Err(parse_err(lineno, "only coordinate format is supported"));
+    }
+    if fields[3] != "real" && fields[3] != "integer" {
+        return Err(parse_err(lineno, "only real/integer fields are supported"));
+    }
+    let symmetric = match fields.get(4).copied().unwrap_or("general") {
+        "general" => false,
+        "symmetric" => true,
+        other => {
+            return Err(parse_err(
+                lineno,
+                &format!("unsupported symmetry kind '{other}'"),
+            ))
+        }
+    };
+
+    // Skip comments, read the size line.
+    let mut size_line = None;
+    let mut size_lineno = lineno;
+    for (i, line) in lines.by_ref() {
+        let line = line.map_err(|e| parse_err(i + 1, &e.to_string()))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        size_line = Some(trimmed.to_string());
+        size_lineno = i + 1;
+        break;
+    }
+    let size_line = size_line.ok_or_else(|| parse_err(size_lineno, "missing size line"))?;
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| t.parse::<usize>())
+        .collect::<std::result::Result<_, _>>()
+        .map_err(|e| parse_err(size_lineno, &e.to_string()))?;
+    if dims.len() != 3 {
+        return Err(parse_err(size_lineno, "size line must be 'rows cols nnz'"));
+    }
+    let (nrows, ncols, nnz) = (dims[0], dims[1], dims[2]);
+
+    let mut coo = CooMatrix::with_capacity(nrows, ncols, if symmetric { 2 * nnz } else { nnz });
+    let mut seen = 0usize;
+    for (i, line) in lines {
+        let line = line.map_err(|e| parse_err(i + 1, &e.to_string()))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut toks = trimmed.split_whitespace();
+        let r: usize = toks
+            .next()
+            .ok_or_else(|| parse_err(i + 1, "missing row"))?
+            .parse()
+            .map_err(|_| parse_err(i + 1, "bad row index"))?;
+        let c: usize = toks
+            .next()
+            .ok_or_else(|| parse_err(i + 1, "missing col"))?
+            .parse()
+            .map_err(|_| parse_err(i + 1, "bad col index"))?;
+        let v: f64 = toks
+            .next()
+            .map(|t| t.parse().map_err(|_| parse_err(i + 1, "bad value")))
+            .transpose()?
+            .unwrap_or(1.0); // pattern entries default to 1
+        if r == 0 || c == 0 {
+            return Err(parse_err(i + 1, "indices are 1-based"));
+        }
+        let (r, c) = (r - 1, c - 1);
+        if symmetric {
+            coo.push_sym(r, c, v)?;
+        } else {
+            coo.push(r, c, v)?;
+        }
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(parse_err(
+            size_lineno,
+            &format!("expected {nnz} entries, found {seen}"),
+        ));
+    }
+    Ok(coo.to_csr())
+}
+
+/// Writes `a` as `matrix coordinate real general`.
+pub fn write_matrix_market<W: Write>(a: &CsrMatrix, mut writer: W) -> std::io::Result<()> {
+    writeln!(writer, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(writer, "{} {} {}", a.nrows(), a.ncols(), a.nnz())?;
+    for (r, c, v) in a.iter() {
+        writeln!(writer, "{} {} {:.17e}", r + 1, c + 1, v)?;
+    }
+    Ok(())
+}
+
+fn parse_err(line: usize, message: &str) -> LinalgError {
+    LinalgError::Parse {
+        line,
+        message: message.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn round_trip_preserves_matrix() {
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(0, 0, 2.0).unwrap();
+        coo.push_sym(0, 2, -0.5).unwrap();
+        coo.push(1, 1, 1.25).unwrap();
+        let a = coo.to_csr();
+
+        let mut buf = Vec::new();
+        write_matrix_market(&a, &mut buf).unwrap();
+        let b = read_matrix_market(BufReader::new(buf.as_slice())).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn symmetric_file_is_expanded() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n\
+                    % a comment\n\
+                    2 2 2\n\
+                    1 1 4.0\n\
+                    2 1 -1.0\n";
+        let a = read_matrix_market(BufReader::new(text.as_bytes())).unwrap();
+        assert_eq!(a.get(0, 0), 4.0);
+        assert_eq!(a.get(0, 1), -1.0);
+        assert_eq!(a.get(1, 0), -1.0);
+        assert_eq!(a.nnz(), 3);
+    }
+
+    #[test]
+    fn bad_header_is_rejected() {
+        let text = "%%NotMM matrix coordinate real general\n1 1 0\n";
+        assert!(read_matrix_market(BufReader::new(text.as_bytes())).is_err());
+    }
+
+    #[test]
+    fn entry_count_mismatch_is_rejected() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n";
+        assert!(read_matrix_market(BufReader::new(text.as_bytes())).is_err());
+    }
+
+    #[test]
+    fn zero_based_indices_are_rejected() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n";
+        assert!(read_matrix_market(BufReader::new(text.as_bytes())).is_err());
+    }
+}

@@ -1,0 +1,171 @@
+//! Contiguous block-row partitions.
+//!
+//! The paper distributes `A`, `x` and `b` over MPI processes by block rows
+//! (Figure 2). [`Partition`] captures that mapping: rank `i` owns the
+//! contiguous row range `ranges[i]`, and a fault on rank `i` corrupts
+//! exactly `x[ranges[i]]`.
+
+use serde::{Deserialize, Serialize};
+
+/// A partition of `0..n` into `p` contiguous, balanced, disjoint ranges.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Partition {
+    n: usize,
+    /// `bounds[i]..bounds[i+1]` is rank i's range; `bounds.len() == p + 1`.
+    bounds: Vec<usize>,
+}
+
+impl Partition {
+    /// Splits `0..n` into `p` balanced contiguous ranges (the first
+    /// `n % p` ranks get one extra row).
+    ///
+    /// # Panics
+    /// Panics if `p == 0`.
+    pub fn balanced(n: usize, p: usize) -> Self {
+        assert!(p > 0, "partition must have at least one rank");
+        let base = n / p;
+        let extra = n % p;
+        let mut bounds = Vec::with_capacity(p + 1);
+        let mut acc = 0;
+        bounds.push(0);
+        for i in 0..p {
+            acc += base + usize::from(i < extra);
+            bounds.push(acc);
+        }
+        Partition { n, bounds }
+    }
+
+    /// Builds from explicit range boundaries.
+    ///
+    /// # Panics
+    /// Panics unless `bounds` starts at 0, ends at `n`, and is
+    /// non-decreasing.
+    pub fn from_bounds(n: usize, bounds: Vec<usize>) -> Self {
+        assert!(bounds.len() >= 2, "partition needs at least one range");
+        assert_eq!(bounds[0], 0, "partition must start at row 0");
+        assert_eq!(*bounds.last().unwrap(), n, "partition must end at row n");
+        assert!(
+            bounds.windows(2).all(|w| w[0] <= w[1]),
+            "partition bounds must be non-decreasing"
+        );
+        Partition { n, bounds }
+    }
+
+    /// Total number of rows.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of ranks.
+    pub fn num_ranks(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// Row range owned by `rank`.
+    pub fn range(&self, rank: usize) -> std::ops::Range<usize> {
+        self.bounds[rank]..self.bounds[rank + 1]
+    }
+
+    /// Number of rows owned by `rank`.
+    pub fn len(&self, rank: usize) -> usize {
+        self.bounds[rank + 1] - self.bounds[rank]
+    }
+
+    /// True when some rank owns zero rows.
+    pub fn has_empty_rank(&self) -> bool {
+        (0..self.num_ranks()).any(|r| self.len(r) == 0)
+    }
+
+    /// The rank owning `row`.
+    ///
+    /// # Panics
+    /// Panics if `row >= n`.
+    pub fn owner(&self, row: usize) -> usize {
+        assert!(row < self.n, "row {row} out of range");
+        // bounds is sorted; find the last bound <= row.
+        match self.bounds.binary_search(&row) {
+            Ok(mut i) => {
+                // Skip empty ranges that share this boundary.
+                while i + 1 < self.bounds.len() - 1 && self.bounds[i + 1] == row {
+                    i += 1;
+                }
+                i
+            }
+            Err(i) => i - 1,
+        }
+    }
+
+    /// Iterates over `(rank, range)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, std::ops::Range<usize>)> + '_ {
+        (0..self.num_ranks()).map(move |r| (r, self.range(r)))
+    }
+
+    /// Maximum rows owned by any rank (load imbalance indicator).
+    pub fn max_len(&self) -> usize {
+        (0..self.num_ranks()).map(|r| self.len(r)).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_partition_covers_all_rows_disjointly() {
+        let p = Partition::balanced(10, 3);
+        assert_eq!(p.num_ranks(), 3);
+        assert_eq!(p.range(0), 0..4);
+        assert_eq!(p.range(1), 4..7);
+        assert_eq!(p.range(2), 7..10);
+        let total: usize = (0..3).map(|r| p.len(r)).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn owner_is_consistent_with_ranges() {
+        let p = Partition::balanced(100, 7);
+        for row in 0..100 {
+            let o = p.owner(row);
+            assert!(p.range(o).contains(&row), "row {row} owner {o}");
+        }
+    }
+
+    #[test]
+    fn single_rank_owns_everything() {
+        let p = Partition::balanced(5, 1);
+        assert_eq!(p.range(0), 0..5);
+        assert_eq!(p.owner(4), 0);
+    }
+
+    #[test]
+    fn more_ranks_than_rows_yields_empty_ranks() {
+        let p = Partition::balanced(2, 4);
+        assert!(p.has_empty_rank());
+        let total: usize = (0..4).map(|r| p.len(r)).sum();
+        assert_eq!(total, 2);
+        // Every row still has exactly one owner.
+        for row in 0..2 {
+            let o = p.owner(row);
+            assert!(p.range(o).contains(&row));
+        }
+    }
+
+    #[test]
+    fn from_bounds_validates_shape() {
+        let p = Partition::from_bounds(6, vec![0, 2, 6]);
+        assert_eq!(p.num_ranks(), 2);
+        assert_eq!(p.owner(5), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_bounds_rejects_wrong_endpoint() {
+        Partition::from_bounds(6, vec![0, 2, 5]);
+    }
+
+    #[test]
+    fn max_len_reports_largest_block() {
+        let p = Partition::balanced(10, 3);
+        assert_eq!(p.max_len(), 4);
+    }
+}

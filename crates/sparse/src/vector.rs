@@ -1,0 +1,106 @@
+//! BLAS-1 vector kernels.
+//!
+//! All kernels are plain slices-in, slices-out so the solver crates can use
+//! them on globally stored vectors or on per-rank slices alike. Flop-count
+//! helpers feed the cluster performance model.
+
+/// Dot product `xᵀ y`.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// `y += alpha * x`.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `y = x + beta * y` (the CG direction update `p = r + beta p`).
+pub fn xpby(x: &[f64], beta: f64, y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "xpby: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi = xi + beta * *yi;
+    }
+}
+
+/// Scales `x` in place by `alpha`.
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for xi in x {
+        *xi *= alpha;
+    }
+}
+
+/// Euclidean norm `||x||₂`.
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// Infinity norm `||x||∞`.
+pub fn norm_inf(x: &[f64]) -> f64 {
+    x.iter().fold(0.0f64, |m, v| m.max(v.abs()))
+}
+
+/// `||x - y||₂`.
+pub fn dist2(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dist2: length mismatch");
+    x.iter()
+        .zip(y)
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Flops of a dot product over `n` elements.
+pub fn dot_flops(n: usize) -> u64 {
+    2 * n as u64
+}
+
+/// Flops of an axpy over `n` elements.
+pub fn axpy_flops(n: usize) -> u64 {
+    2 * n as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_of_orthogonal_vectors_is_zero() {
+        assert_eq!(dot(&[1.0, 0.0], &[0.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, -1.0], &mut y);
+        assert_eq!(y, vec![7.0, -1.0]);
+    }
+
+    #[test]
+    fn xpby_matches_cg_direction_update() {
+        let mut p = vec![1.0, 2.0];
+        xpby(&[10.0, 20.0], 0.5, &mut p);
+        assert_eq!(p, vec![10.5, 21.0]);
+    }
+
+    #[test]
+    fn norms_are_consistent() {
+        let x = vec![3.0, -4.0];
+        assert_eq!(norm2(&x), 5.0);
+        assert_eq!(norm_inf(&x), 4.0);
+        assert_eq!(dist2(&x, &x), 0.0);
+    }
+
+    #[test]
+    fn scale_multiplies_in_place() {
+        let mut x = vec![1.0, -2.0];
+        scale(-3.0, &mut x);
+        assert_eq!(x, vec![-3.0, 6.0]);
+    }
+}

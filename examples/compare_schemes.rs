@@ -1,0 +1,67 @@
+//! Compare every recovery scheme on one suite matrix.
+//!
+//! ```text
+//! cargo run --release --example compare_schemes [matrix] [faults]
+//! # e.g.
+//! cargo run --release --example compare_schemes crystm02 10
+//! ```
+//!
+//! Prints a Table 5-style normalized comparison: time, power, energy,
+//! and iterations per scheme, normalized to the fault-free run.
+
+use rsls_core::{DvfsPolicy, Scheme};
+use rsls_experiments::output::{f2, Table};
+use rsls_experiments::runners::{
+    cr_interval_for, evenly_spaced_faults, run_fault_free, run_scheme, standard_schemes, workload,
+};
+use rsls_experiments::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let matrix = args.first().map(String::as_str).unwrap_or("crystm02");
+    let k_faults: usize = args
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    let scale = Scale::from_env();
+    let ranks = scale.default_ranks();
+
+    let (a, b) = workload(matrix, scale);
+    println!(
+        "matrix {matrix}: {} rows, {:.1} nnz/row, {ranks} ranks, {k_faults} faults\n",
+        a.nrows(),
+        a.nnz_per_row()
+    );
+
+    let ff = run_fault_free(&a, &b, ranks);
+    let interval = cr_interval_for(scale, ff.iterations);
+
+    let mut table = Table::new(
+        format!("Recovery-scheme comparison on {matrix}"),
+        &["scheme", "iters", "T", "P", "E", "converged"],
+    );
+    for (scheme, _) in standard_schemes(interval) {
+        // Interpolating schemes get the paper's DVFS optimization.
+        let dvfs = if scheme.is_forward() {
+            DvfsPolicy::ThrottleWaiters
+        } else {
+            DvfsPolicy::OsDefault
+        };
+        let r = if scheme == Scheme::FaultFree {
+            ff.clone()
+        } else {
+            let faults = evenly_spaced_faults(k_faults, ff.iterations, ranks, matrix);
+            run_scheme(&a, &b, ranks, scheme, dvfs, faults, "compare", None)
+        };
+        let n = r.normalized_vs(&ff);
+        table.push_row(vec![
+            r.scheme.clone(),
+            r.iterations.to_string(),
+            f2(n.time),
+            f2(n.power),
+            f2(n.energy),
+            r.converged.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+}

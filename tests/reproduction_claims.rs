@@ -1,0 +1,194 @@
+//! End-to-end assertions of the paper's headline claims, spanning every
+//! crate in the workspace. Each test is a compact version of one claim
+//! from the evaluation (the full-size reproductions are produced by
+//! `rsls-run`).
+
+use rsls_core::driver::{run, RunConfig};
+use rsls_core::{DvfsPolicy, ForwardKind, Scheme};
+use rsls_faults::{FaultClass, FaultSchedule, MtbfEstimator, SystemScale};
+use rsls_models::{project_scheme, validate, ProjectionConfig, ProjectionScheme};
+use rsls_sparse::generators::{banded_spd, BandedConfig};
+use rsls_sparse::CsrMatrix;
+
+const RANKS: usize = 16;
+
+fn workload() -> (CsrMatrix, Vec<f64>) {
+    let a = banded_spd(&BandedConfig::regular(2000, 9, 4e-4, 31).with_band_decay(0.3));
+    let ones = vec![1.0; a.nrows()];
+    let mut b = vec![0.0; a.nrows()];
+    a.spmv(&ones, &mut b);
+    (a, b)
+}
+
+fn faults(k: usize, ff_iters: usize) -> FaultSchedule {
+    FaultSchedule::evenly_spaced(k, ff_iters, RANKS, FaultClass::Snf, 77)
+}
+
+/// §1 / Figure 1: exascale MTBF is within an hour.
+#[test]
+fn claim_exascale_mtbf_within_an_hour() {
+    let est = MtbfEstimator::default();
+    assert!(est.combined_system_mtbf_h(SystemScale::exascale()) < 1.0);
+    assert!(est.combined_system_mtbf_h(SystemScale::petascale()) > 0.1);
+}
+
+/// §2.2 / Figure 3: every mechanism costs something; FW costs the least
+/// energy; RD doubles power without a time overhead.
+#[test]
+fn claim_recovery_mechanisms_cost_time_or_energy() {
+    let (a, b) = workload();
+    let ff = run(&a, &b, &RunConfig::new(Scheme::FaultFree, RANKS));
+    let sched = faults(5, ff.iterations);
+
+    let rd = run(
+        &a,
+        &b,
+        &RunConfig::new(Scheme::Dmr, RANKS).with_faults(sched.clone()),
+    );
+    let fw = run(
+        &a,
+        &b,
+        &RunConfig::new(Scheme::li_local_cg(), RANKS)
+            .with_faults(sched.clone())
+            .with_dvfs(DvfsPolicy::ThrottleWaiters),
+    );
+    let mut cr_cfg = RunConfig::new(Scheme::cr_disk(), RANKS).with_faults(sched);
+    cr_cfg.mtbf_s = Some(ff.time_s / 5.0);
+    cr_cfg.run_tag = "claims-crd".into();
+    let cr = run(&a, &b, &cr_cfg);
+
+    // RD: no time overhead, 2x power and energy.
+    assert!(rd.time_s <= ff.time_s * 1.02);
+    assert!((rd.energy_j / ff.energy_j - 2.0).abs() < 0.05);
+    // FW: least energy among the recovery mechanisms.
+    assert!(fw.energy_j < rd.energy_j);
+    assert!(fw.energy_j < cr.energy_j);
+    // Every mechanism converges despite the faults.
+    assert!(rd.converged && fw.converged && cr.converged);
+}
+
+/// §5.2 / Figure 5 + Table 4: F0/FI worst, LI/LSI better, CR between;
+/// RD tracks FF exactly.
+#[test]
+fn claim_recovery_accuracy_ordering() {
+    let (a, b) = workload();
+    let ff = run(&a, &b, &RunConfig::new(Scheme::FaultFree, RANKS));
+    let sched = faults(5, ff.iterations);
+    let iters_of = |scheme: Scheme| {
+        let mut cfg = RunConfig::new(scheme, RANKS).with_faults(sched.clone());
+        cfg.run_tag = format!("claims-{}", scheme.label().replace([' ', '(', ')'], ""));
+        let r = run(&a, &b, &cfg);
+        assert!(r.converged, "{} failed to converge", r.scheme);
+        r.iterations
+    };
+    let rd = iters_of(Scheme::Dmr);
+    let f0 = iters_of(Scheme::Forward(ForwardKind::Zero));
+    let fi = iters_of(Scheme::Forward(ForwardKind::InitialGuess));
+    let li = iters_of(Scheme::li_local_cg());
+    let lsi = iters_of(Scheme::lsi_local_cg());
+    let cr = iters_of(Scheme::cr_memory());
+
+    assert_eq!(rd, ff.iterations, "RD must track FF");
+    assert!(f0 > ff.iterations && fi > ff.iterations);
+    assert!(li < f0, "LI ({li}) must beat F0 ({f0})");
+    assert!(lsi < f0, "LSI ({lsi}) must beat F0 ({f0})");
+    assert!(cr > ff.iterations, "CR rolls back and recomputes");
+}
+
+/// §4.2 / Figure 7: DVFS cuts power/energy at identical performance.
+#[test]
+fn claim_dvfs_is_performance_neutral() {
+    let (a, b) = workload();
+    let ff = run(&a, &b, &RunConfig::new(Scheme::FaultFree, RANKS));
+    let sched = faults(5, ff.iterations);
+    let base = run(
+        &a,
+        &b,
+        &RunConfig::new(Scheme::lsi_local_cg(), RANKS).with_faults(sched.clone()),
+    );
+    let dvfs = run(
+        &a,
+        &b,
+        &RunConfig::new(Scheme::lsi_local_cg(), RANKS)
+            .with_faults(sched)
+            .with_dvfs(DvfsPolicy::ThrottleWaiters),
+    );
+    assert_eq!(base.iterations, dvfs.iterations);
+    assert!((base.time_s - dvfs.time_s).abs() < 1e-9);
+    assert!(dvfs.energy_j < base.energy_j);
+}
+
+/// §5.3 / Table 6: the analytical models order the schemes like the
+/// measurements do.
+///
+/// The §3 CR model assumes the Young regime `t_C ≪ MTBF` (as on the
+/// paper's testbed); the virtual machine's disk latency is scaled down so
+/// the miniature test workload sits in that regime too.
+#[test]
+fn claim_models_match_experiment_ordering() {
+    let (a, b) = workload();
+    let machine = rsls_cluster::MachineConfig {
+        disk_latency_s: 5.0e-5,
+        ..Default::default()
+    };
+    let mut ff_cfg = RunConfig::new(Scheme::FaultFree, RANKS);
+    ff_cfg.machine = machine.clone();
+    let ff = run(&a, &b, &ff_cfg);
+    let sched = faults(4, ff.iterations);
+
+    let mut crm_cfg = RunConfig::new(Scheme::cr_memory(), RANKS).with_faults(sched.clone());
+    crm_cfg.machine = machine.clone();
+    crm_cfg.mtbf_s = Some(ff.time_s / 4.0);
+    let crm = run(&a, &b, &crm_cfg);
+    let mut crd_cfg = RunConfig::new(Scheme::cr_disk(), RANKS).with_faults(sched);
+    crd_cfg.machine = machine;
+    crd_cfg.mtbf_s = Some(ff.time_s / 4.0);
+    crd_cfg.run_tag = "claims-t6".into();
+    let crd = run(&a, &b, &crd_cfg);
+
+    let row_m = validate(&crm, &ff);
+    let row_d = validate(&crd, &ff);
+    // Model and experiment agree: CR-D costs more than CR-M.
+    assert!(row_d.exp_t_res >= row_m.exp_t_res);
+    assert!(row_d.model_t_res >= row_m.model_t_res);
+    // The CR-D prediction lands in the right ballpark (the paper accepts
+    // over-estimation: "such estimation is acceptable").
+    if row_d.exp_t_res > 0.01 {
+        let ratio = row_d.model_t_res / row_d.exp_t_res;
+        assert!((0.1..=10.0).contains(&ratio), "CR-D model/exp ratio {ratio}");
+    }
+}
+
+/// §6 / Figure 9: projected trends — RD flat, CR-D fastest-growing,
+/// CR-M negligible, FW in between; FW/CR-D power drops with scale.
+#[test]
+fn claim_projection_trends() {
+    let cfg = ProjectionConfig::default();
+    let t = |s, n| project_scheme(s, &cfg, n).t_res_norm;
+    let big = 1_000_000;
+    assert_eq!(t(ProjectionScheme::Rd, big), 0.0);
+    assert!(t(ProjectionScheme::CrMemory, big) < 0.05);
+    assert!(t(ProjectionScheme::Forward, big) > t(ProjectionScheme::Forward, 1_000));
+    assert!(t(ProjectionScheme::CrDisk, big) > t(ProjectionScheme::Forward, big));
+    let p = |s, n| project_scheme(s, &cfg, n).p_norm;
+    assert!(p(ProjectionScheme::CrDisk, big) < p(ProjectionScheme::CrDisk, 1_000));
+    assert!(p(ProjectionScheme::Forward, big) < p(ProjectionScheme::Forward, 1_000));
+}
+
+/// §4.1 / Figure 4: the localized CG construction is never slower than
+/// the exact baselines end-to-end. LI wins outright; LSI's advantage over
+/// the parallel-QR baseline comes from avoided *communication*, which
+/// only dominates at scale — at 16 ranks we allow a small slack.
+#[test]
+fn claim_localized_construction_wins() {
+    let (a, b) = workload();
+    let ff = run(&a, &b, &RunConfig::new(Scheme::FaultFree, RANKS));
+    let sched = faults(4, ff.iterations);
+    let t_of = |scheme: Scheme| {
+        let r = run(&a, &b, &RunConfig::new(scheme, RANKS).with_faults(sched.clone()));
+        assert!(r.converged);
+        r.time_s
+    };
+    assert!(t_of(Scheme::li_local_cg()) <= t_of(Scheme::li_exact()) * 1.001);
+    assert!(t_of(Scheme::lsi_local_cg()) <= t_of(Scheme::lsi_exact()) * 1.15);
+}
