@@ -59,8 +59,7 @@ fn fig4_construction(c: &mut Criterion) {
     ] {
         g.bench_function(name, |bch| {
             bch.iter(|| {
-                let cfg =
-                    RunConfig::new(scheme, RANKS).with_faults(schedule(3, ff.iterations));
+                let cfg = RunConfig::new(scheme, RANKS).with_faults(schedule(3, ff.iterations));
                 black_box(run(&a, &b, &cfg).time_s)
             });
         });

@@ -54,7 +54,11 @@ fn table5_costs(c: &mut Criterion) {
     let mut g = c.benchmark_group("table5_costs");
     for (name, scheme, dvfs) in [
         ("rd", Scheme::Dmr, DvfsPolicy::OsDefault),
-        ("li_dvfs", Scheme::li_local_cg(), DvfsPolicy::ThrottleWaiters),
+        (
+            "li_dvfs",
+            Scheme::li_local_cg(),
+            DvfsPolicy::ThrottleWaiters,
+        ),
         ("cr_m", Scheme::cr_memory(), DvfsPolicy::OsDefault),
         ("cr_d", Scheme::cr_disk(), DvfsPolicy::OsDefault),
     ] {

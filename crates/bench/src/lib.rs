@@ -19,7 +19,8 @@ pub fn small_regular() -> (CsrMatrix, Vec<f64>) {
 
 /// A small irregular SPD system (long-range couplings).
 pub fn small_irregular() -> (CsrMatrix, Vec<f64>) {
-    let a = banded_spd(&BandedConfig::irregular(1200, 13, 1e-4, 0.35, 99).with_scaling_decades(1.0));
+    let a =
+        banded_spd(&BandedConfig::irregular(1200, 13, 1e-4, 0.35, 99).with_scaling_decades(1.0));
     let b = rhs(&a);
     (a, b)
 }

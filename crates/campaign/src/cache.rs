@@ -1,0 +1,125 @@
+//! Content-addressed result cache: `<dir>/<hash>.json`.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use rsls_core::RunReport;
+
+/// On-disk store of completed [`RunReport`]s, keyed by unit content hash.
+///
+/// Lookups are forgiving by design: a missing, truncated, or otherwise
+/// unparsable cache file is a *miss*, never an error — the unit simply
+/// re-runs and overwrites the bad entry. Writes go through a temp file in
+/// the same directory followed by a rename, so a killed campaign can
+/// leave at most a stray `*.tmp`, not a half-written addressable entry.
+#[derive(Debug)]
+pub struct ResultCache {
+    dir: PathBuf,
+}
+
+impl ResultCache {
+    /// Opens (and creates, if needed) a cache rooted at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(ResultCache { dir })
+    }
+
+    /// The cache root.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the entry for `hash`.
+    pub fn entry_path(&self, hash: &str) -> PathBuf {
+        self.dir.join(format!("{hash}.json"))
+    }
+
+    /// Loads the report cached for `hash`, if a valid one exists.
+    pub fn load(&self, hash: &str) -> Option<RunReport> {
+        let bytes = fs::read(self.entry_path(hash)).ok()?;
+        serde_json::from_slice(&bytes).ok()
+    }
+
+    /// Persists `report` under `hash` (atomic temp + rename).
+    ///
+    /// The serialized form is byte-deterministic for a given report, so
+    /// re-storing an identical result rewrites identical bytes.
+    pub fn store(&self, hash: &str, report: &RunReport) -> io::Result<()> {
+        let json = serde_json::to_string(report)
+            .map_err(|e| io::Error::other(format!("report serialization failed: {e}")))?;
+        let tmp = self.dir.join(format!("{hash}.json.tmp"));
+        fs::write(&tmp, json.as_bytes())?;
+        fs::rename(&tmp, self.entry_path(hash))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsls_core::report::RunReport;
+
+    fn report() -> RunReport {
+        RunReport {
+            scheme: "FF".into(),
+            num_ranks: 8,
+            iterations: 120,
+            converged: true,
+            final_relative_residual: 3.25e-13,
+            time_s: 1.5,
+            energy_j: 300.0,
+            avg_power_w: 200.0,
+            faults_injected: 0,
+            checkpoint_interval_iters: None,
+            breakdown: Default::default(),
+            history: Default::default(),
+            power_profile: Vec::new(),
+        }
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("rsls-cache-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn round_trips_and_is_byte_stable() {
+        let dir = tmp_dir("roundtrip");
+        let cache = ResultCache::open(&dir).unwrap();
+        let r = report();
+        cache.store("abc123", &r).unwrap();
+        let first = fs::read(cache.entry_path("abc123")).unwrap();
+        assert_eq!(cache.load("abc123").unwrap(), r);
+        cache.store("abc123", &r).unwrap();
+        let second = fs::read(cache.entry_path("abc123")).unwrap();
+        assert_eq!(first, second, "same report must serialize byte-identically");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entries_are_misses() {
+        let dir = tmp_dir("corrupt");
+        let cache = ResultCache::open(&dir).unwrap();
+        assert!(cache.load("missing").is_none());
+
+        cache.store("t1", &report()).unwrap();
+        // Truncate to half its length.
+        let path = cache.entry_path("t1");
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(cache.load("t1").is_none(), "truncated entry must be a miss");
+
+        fs::write(cache.entry_path("t2"), b"not json at all {{{").unwrap();
+        assert!(cache.load("t2").is_none(), "garbage entry must be a miss");
+
+        fs::write(cache.entry_path("t3"), b"{\"scheme\": \"FF\"}").unwrap();
+        assert!(
+            cache.load("t3").is_none(),
+            "schema-mismatched entry must be a miss"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

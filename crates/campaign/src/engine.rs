@@ -1,0 +1,352 @@
+//! The campaign engine: parallel, cached, resumable unit execution.
+
+use std::io;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use rsls_core::RunReport;
+
+use crate::cache::ResultCache;
+use crate::journal::{Journal, JournalEvent};
+use crate::spec::UnitSpec;
+
+/// How the engine executes a batch of units.
+#[derive(Debug, Clone)]
+pub struct EngineOptions {
+    /// Worker threads (1 = run inline on the calling thread). Results
+    /// are bit-identical for any job count: units are independent and
+    /// outcomes are collected in spec order.
+    pub jobs: usize,
+    /// Cache directory. Ignored when `use_cache` is false.
+    pub cache_dir: std::path::PathBuf,
+    /// Consult and populate the content-addressed result cache.
+    pub use_cache: bool,
+    /// Continue the previous campaign: append to its journal instead of
+    /// starting a fresh one. Units the previous campaign completed are
+    /// served from the cache (they were stored under their content
+    /// address when they finished); units that were in flight — a
+    /// `start` record with no `done` — re-run. Requires `use_cache` for
+    /// completed units to be skipped; without the cache there is
+    /// nothing to resume *from*.
+    pub resume: bool,
+    /// Journal file (JSONL). `None` disables journaling.
+    pub journal_path: Option<std::path::PathBuf>,
+    /// Re-execution attempts for a unit that panics (0 = fail fast on
+    /// the first panic). Retries target transient environmental
+    /// failures; a deterministically panicking unit fails all attempts.
+    pub retries: usize,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            jobs: 1,
+            cache_dir: std::path::PathBuf::from("results/cache"),
+            use_cache: false,
+            resume: false,
+            journal_path: None,
+            retries: 0,
+        }
+    }
+}
+
+/// Terminal state of one unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnitStatus {
+    /// Executed in this campaign.
+    Executed,
+    /// Served from the result cache (or journal resume).
+    Cached,
+    /// Panicked or did not produce a report.
+    Failed,
+}
+
+/// Result of one unit, in the order the specs were submitted.
+#[derive(Debug, Clone)]
+pub struct UnitOutcome {
+    /// Qualified unit name (`experiment/unit`).
+    pub name: String,
+    /// Content address of the spec.
+    pub hash: String,
+    /// The run's report; `None` iff the unit failed.
+    pub report: Option<RunReport>,
+    /// How the outcome was obtained.
+    pub status: UnitStatus,
+    /// Wall-clock seconds spent on this unit in this campaign (cache
+    /// hits report the lookup time, i.e. ~0).
+    pub wall_s: f64,
+    /// Panic payload of the last attempt, for failed units.
+    pub error: Option<String>,
+}
+
+/// Running totals across every batch an [`Engine`] has executed.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CampaignSummary {
+    /// Units submitted.
+    pub total: usize,
+    /// Units actually executed (solver ran).
+    pub executed: usize,
+    /// Units served from the cache or journal.
+    pub cache_hits: usize,
+    /// Units that failed every attempt.
+    pub failed: usize,
+    /// Wall-clock seconds summed over units (not elapsed time; with
+    /// `jobs > 1` units overlap).
+    pub unit_wall_s: f64,
+}
+
+impl CampaignSummary {
+    /// Cache hits as a fraction of submitted units (0 when empty).
+    pub fn hit_rate(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.total as f64
+        }
+    }
+}
+
+/// Executes batches of [`UnitSpec`]s.
+///
+/// The engine owns the cache, the journal, and a thread pool; the
+/// *caller* owns the science — `run_units` takes a closure that maps a
+/// spec to a [`RunReport`], so the engine never needs to know how to
+/// find matrices or drive solvers (and `rsls-campaign` stays below
+/// `rsls-experiments` in the crate graph).
+pub struct Engine {
+    opts: EngineOptions,
+    cache: Option<ResultCache>,
+    journal: Option<Journal>,
+    pool: rayon::ThreadPool,
+    stats: Stats,
+    records: Mutex<Vec<UnitRecord>>,
+}
+
+#[derive(Debug, Default)]
+struct Stats {
+    total: AtomicUsize,
+    executed: AtomicUsize,
+    cache_hits: AtomicUsize,
+    failed: AtomicUsize,
+    unit_wall_us: AtomicUsize,
+}
+
+#[derive(Debug, Clone)]
+struct UnitRecord {
+    name: String,
+    status: UnitStatus,
+    wall_s: f64,
+}
+
+impl Engine {
+    /// Builds an engine, opening the cache and journal as configured.
+    pub fn new(opts: EngineOptions) -> io::Result<Self> {
+        let cache = if opts.use_cache {
+            Some(ResultCache::open(&opts.cache_dir)?)
+        } else {
+            None
+        };
+        let journal = match &opts.journal_path {
+            Some(path) if opts.resume => Some(Journal::open(path)?),
+            Some(path) => Some(Journal::create(path)?),
+            None => None,
+        };
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(opts.jobs.max(1))
+            .build()
+            .map_err(|e| io::Error::other(format!("thread pool: {e}")))?;
+        Ok(Engine {
+            opts,
+            cache,
+            journal,
+            pool,
+            stats: Stats::default(),
+            records: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// The options this engine was built with.
+    pub fn options(&self) -> &EngineOptions {
+        &self.opts
+    }
+
+    /// Executes `units`, returning outcomes in submission order.
+    ///
+    /// Per unit: consult the cache (hit → done), else run `runner`
+    /// under `catch_unwind` (with up to `retries` re-attempts on
+    /// panic), store the report, and journal the transition. A failed
+    /// unit is isolated: it is recorded and the rest of the campaign
+    /// completes normally.
+    pub fn run_units<F>(&self, units: &[UnitSpec], runner: F) -> Vec<UnitOutcome>
+    where
+        F: Fn(&UnitSpec) -> RunReport + Sync,
+    {
+        let hashes: Vec<String> = units.iter().map(UnitSpec::content_hash).collect();
+        let outcomes = self.pool.install(|| {
+            rayon::run_indexed(units.len(), |i| {
+                self.run_one(&units[i], &hashes[i], &runner)
+            })
+        });
+
+        let mut records = self.records.lock().expect("records lock poisoned");
+        for o in &outcomes {
+            self.stats.total.fetch_add(1, Ordering::Relaxed);
+            let counter = match o.status {
+                UnitStatus::Executed => &self.stats.executed,
+                UnitStatus::Cached => &self.stats.cache_hits,
+                UnitStatus::Failed => &self.stats.failed,
+            };
+            counter.fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .unit_wall_us
+                .fetch_add((o.wall_s * 1e6) as usize, Ordering::Relaxed);
+            records.push(UnitRecord {
+                name: o.name.clone(),
+                status: o.status,
+                wall_s: o.wall_s,
+            });
+        }
+        outcomes
+    }
+
+    fn run_one<F>(&self, spec: &UnitSpec, hash: &str, runner: &F) -> UnitOutcome
+    where
+        F: Fn(&UnitSpec) -> RunReport + Sync,
+    {
+        let name = spec.qualified_name();
+        let start = Instant::now();
+
+        // Cache consultation covers both plain re-runs and --resume: a
+        // completed unit's report loads from its content address; a
+        // corrupt or truncated entry is a miss and the unit re-runs.
+        if let Some(cache) = &self.cache {
+            if let Some(report) = cache.load(hash) {
+                return UnitOutcome {
+                    name,
+                    hash: hash.to_string(),
+                    report: Some(report),
+                    status: UnitStatus::Cached,
+                    wall_s: start.elapsed().as_secs_f64(),
+                    error: None,
+                };
+            }
+        }
+
+        self.journal_record(&JournalEvent::Start {
+            hash: hash.to_string(),
+            unit: name.clone(),
+        });
+
+        let mut last_error = String::new();
+        for _attempt in 0..=self.opts.retries {
+            match panic::catch_unwind(AssertUnwindSafe(|| runner(spec))) {
+                Ok(report) => {
+                    if let Some(cache) = &self.cache {
+                        if let Err(e) = cache.store(hash, &report) {
+                            eprintln!("warning: failed to cache {name}: {e}");
+                        }
+                    }
+                    let wall_s = start.elapsed().as_secs_f64();
+                    self.journal_record(&JournalEvent::Done {
+                        hash: hash.to_string(),
+                        unit: name.clone(),
+                        wall_s,
+                    });
+                    return UnitOutcome {
+                        name,
+                        hash: hash.to_string(),
+                        report: Some(report),
+                        status: UnitStatus::Executed,
+                        wall_s,
+                        error: None,
+                    };
+                }
+                Err(payload) => {
+                    // `&*payload`, not `&payload`: coercing the Box itself
+                    // to `&dyn Any` would make every downcast miss.
+                    last_error = panic_message(&*payload);
+                }
+            }
+        }
+
+        self.journal_record(&JournalEvent::Failed {
+            hash: hash.to_string(),
+            unit: name.clone(),
+            error: last_error.clone(),
+        });
+        UnitOutcome {
+            name,
+            hash: hash.to_string(),
+            report: None,
+            status: UnitStatus::Failed,
+            wall_s: start.elapsed().as_secs_f64(),
+            error: Some(last_error),
+        }
+    }
+
+    fn journal_record(&self, event: &JournalEvent) {
+        if let Some(journal) = &self.journal {
+            if let Err(e) = journal.record(event) {
+                eprintln!("warning: journal write failed: {e}");
+            }
+        }
+    }
+
+    /// Totals accumulated across every `run_units` call so far.
+    pub fn summary(&self) -> CampaignSummary {
+        CampaignSummary {
+            total: self.stats.total.load(Ordering::Relaxed),
+            executed: self.stats.executed.load(Ordering::Relaxed),
+            cache_hits: self.stats.cache_hits.load(Ordering::Relaxed),
+            failed: self.stats.failed.load(Ordering::Relaxed),
+            unit_wall_s: self.stats.unit_wall_us.load(Ordering::Relaxed) as f64 / 1e6,
+        }
+    }
+
+    /// Renders the campaign summary table: one row per unit (slowest
+    /// first), then the totals line.
+    pub fn summary_table(&self) -> String {
+        let mut records = self.records.lock().expect("records lock poisoned").clone();
+        records.sort_by(|a, b| b.wall_s.total_cmp(&a.wall_s));
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<44} {:>9} {:>10}\n",
+            "unit", "status", "wall [s]"
+        ));
+        for r in &records {
+            let status = match r.status {
+                UnitStatus::Executed => "ran",
+                UnitStatus::Cached => "cached",
+                UnitStatus::Failed => "FAILED",
+            };
+            out.push_str(&format!(
+                "{:<44} {:>9} {:>10.3}\n",
+                r.name, status, r.wall_s
+            ));
+        }
+        let s = self.summary();
+        out.push_str(&format!(
+            "campaign: {} units — {} ran, {} cached ({:.0}% hit rate), {} failed, {:.2}s unit wall time\n",
+            s.total,
+            s.executed,
+            s.cache_hits,
+            s.hit_rate() * 100.0,
+            s.failed,
+            s.unit_wall_s,
+        ));
+        out
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}

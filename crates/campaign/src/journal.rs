@@ -1,0 +1,246 @@
+//! Append-only JSONL campaign journal.
+//!
+//! Every unit transition is one JSON object on its own line:
+//!
+//! ```text
+//! {"event":"start","hash":"ab12…","unit":"fig5/crystm02/FF"}
+//! {"event":"done","hash":"ab12…","unit":"fig5/crystm02/FF","wall_s":0.84}
+//! {"event":"failed","hash":"cd34…","unit":"fig5/crystm02/CR-D","error":"…"}
+//! ```
+//!
+//! The format is crash-tolerant by construction: a campaign killed
+//! mid-write leaves at most one truncated trailing line, which the
+//! reader skips. On `--resume`, units whose hash has a `done` record
+//! are skipped (their reports come from the cache); units with only a
+//! `start` — i.e. in flight when the process died — re-run.
+
+use std::collections::HashSet;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use serde_json::Value;
+
+/// One journal record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalEvent {
+    /// Unit execution began.
+    Start {
+        /// Unit content hash.
+        hash: String,
+        /// Qualified unit name.
+        unit: String,
+    },
+    /// Unit finished and its report was cached.
+    Done {
+        /// Unit content hash.
+        hash: String,
+        /// Qualified unit name.
+        unit: String,
+        /// Wall-clock execution time in seconds.
+        wall_s: f64,
+    },
+    /// Unit panicked or was otherwise lost.
+    Failed {
+        /// Unit content hash.
+        hash: String,
+        /// Qualified unit name.
+        unit: String,
+        /// Panic payload or error description.
+        error: String,
+    },
+}
+
+impl JournalEvent {
+    fn to_line(&self) -> String {
+        fn obj(fields: &[(&str, Value)]) -> String {
+            serde_json::to_string(&Value::Object(
+                fields
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.clone()))
+                    .collect(),
+            ))
+            .expect("journal value serialization cannot fail")
+        }
+        match self {
+            JournalEvent::Start { hash, unit } => obj(&[
+                ("event", Value::Str("start".into())),
+                ("hash", Value::Str(hash.clone())),
+                ("unit", Value::Str(unit.clone())),
+            ]),
+            JournalEvent::Done { hash, unit, wall_s } => obj(&[
+                ("event", Value::Str("done".into())),
+                ("hash", Value::Str(hash.clone())),
+                ("unit", Value::Str(unit.clone())),
+                ("wall_s", Value::Float(*wall_s)),
+            ]),
+            JournalEvent::Failed { hash, unit, error } => obj(&[
+                ("event", Value::Str("failed".into())),
+                ("hash", Value::Str(hash.clone())),
+                ("unit", Value::Str(unit.clone())),
+                ("error", Value::Str(error.clone())),
+            ]),
+        }
+    }
+}
+
+/// Thread-safe appender for the campaign journal.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: Mutex<File>,
+}
+
+impl Journal {
+    /// Opens `path` for appending, creating it (and parent directories)
+    /// if needed. Existing records are preserved — this is the `--resume`
+    /// mode; a fresh campaign uses [`Journal::create`].
+    pub fn open(path: impl Into<PathBuf>) -> io::Result<Self> {
+        Self::open_with(path, false)
+    }
+
+    /// Starts a fresh journal at `path`, discarding any previous one.
+    pub fn create(path: impl Into<PathBuf>) -> io::Result<Self> {
+        Self::open_with(path, true)
+    }
+
+    fn open_with(path: impl Into<PathBuf>, truncate: bool) -> io::Result<Self> {
+        let path = path.into();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut options = OpenOptions::new();
+        options.create(true);
+        if truncate {
+            options.write(true).truncate(true);
+        } else {
+            options.append(true);
+        }
+        let file = options.open(&path)?;
+        Ok(Journal {
+            path,
+            file: Mutex::new(file),
+        })
+    }
+
+    /// The journal file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one event and flushes it to the OS.
+    pub fn record(&self, event: &JournalEvent) -> io::Result<()> {
+        let mut line = event.to_line();
+        line.push('\n');
+        let mut file = self.file.lock().expect("journal lock poisoned");
+        file.write_all(line.as_bytes())?;
+        file.flush()
+    }
+
+    /// Reads the set of unit hashes recorded `done` in the journal at
+    /// `path`. Missing files mean an empty set; unparsable (e.g.
+    /// truncated-by-a-crash) lines are skipped.
+    pub fn completed_hashes(path: impl AsRef<Path>) -> io::Result<HashSet<String>> {
+        let file = match File::open(path.as_ref()) {
+            Ok(f) => f,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(HashSet::new()),
+            Err(e) => return Err(e),
+        };
+        let mut done = HashSet::new();
+        for line in BufReader::new(file).lines() {
+            let line = line?;
+            let Ok(v) = serde_json::from_str::<Value>(&line) else {
+                continue;
+            };
+            let event = v.get("event").and_then(|e| match e {
+                Value::Str(s) => Some(s.as_str()),
+                _ => None,
+            });
+            let hash = v.get("hash").and_then(|h| match h {
+                Value::Str(s) => Some(s.clone()),
+                _ => None,
+            });
+            if let (Some("done"), Some(hash)) = (event, hash) {
+                done.insert(hash);
+            }
+        }
+        Ok(done)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "rsls-journal-test-{tag}-{}.jsonl",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn records_and_reads_back_done_set() {
+        let path = tmp_path("basic");
+        let _ = std::fs::remove_file(&path);
+        let j = Journal::open(&path).unwrap();
+        j.record(&JournalEvent::Start {
+            hash: "h1".into(),
+            unit: "e/u1".into(),
+        })
+        .unwrap();
+        j.record(&JournalEvent::Done {
+            hash: "h1".into(),
+            unit: "e/u1".into(),
+            wall_s: 0.25,
+        })
+        .unwrap();
+        j.record(&JournalEvent::Start {
+            hash: "h2".into(),
+            unit: "e/u2".into(),
+        })
+        .unwrap();
+        j.record(&JournalEvent::Failed {
+            hash: "h3".into(),
+            unit: "e/u3".into(),
+            error: "boom".into(),
+        })
+        .unwrap();
+        let done = Journal::completed_hashes(&path).unwrap();
+        assert!(done.contains("h1"));
+        assert!(!done.contains("h2"), "started-but-unfinished is not done");
+        assert!(!done.contains("h3"), "failed is not done");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncated_trailing_line_is_tolerated() {
+        let path = tmp_path("truncated");
+        let _ = std::fs::remove_file(&path);
+        let j = Journal::open(&path).unwrap();
+        j.record(&JournalEvent::Done {
+            hash: "ok".into(),
+            unit: "e/u".into(),
+            wall_s: 1.0,
+        })
+        .unwrap();
+        drop(j);
+        // Simulate a crash mid-append.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"event\":\"done\",\"hash\":\"half").unwrap();
+        drop(f);
+        let done = Journal::completed_hashes(&path).unwrap();
+        assert_eq!(done.len(), 1);
+        assert!(done.contains("ok"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_journal_is_empty() {
+        let done = Journal::completed_hashes("/definitely/not/a/real/path.jsonl").unwrap();
+        assert!(done.is_empty());
+    }
+}

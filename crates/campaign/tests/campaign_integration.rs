@@ -1,0 +1,274 @@
+//! End-to-end engine behavior: caching across campaigns, resume after an
+//! interrupted run, failure isolation, retries, and parallel determinism.
+//!
+//! These tests drive the real CG solver (tiny stencil systems — each unit
+//! runs in milliseconds) through `Engine::run_units`, the same path
+//! `rsls-run` uses.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use rsls_campaign::{
+    matrix_fingerprint, Engine, EngineOptions, Journal, UnitSpec, UnitStatus, ENGINE_VERSION,
+};
+use rsls_core::driver::{run, RunConfig};
+use rsls_core::Scheme;
+use rsls_sparse::generators::stencil_2d;
+use rsls_sparse::CsrMatrix;
+
+fn workload() -> (CsrMatrix, Vec<f64>) {
+    let a = stencil_2d(12, 12);
+    let ones = vec![1.0; a.nrows()];
+    let mut b = vec![0.0; a.nrows()];
+    a.spmv(&ones, &mut b);
+    (a, b)
+}
+
+/// One spec per rank count — distinct content addresses, same workload.
+fn specs(a: &CsrMatrix, b: &[f64], ranks: &[usize]) -> Vec<UnitSpec> {
+    let fp = matrix_fingerprint(
+        a.nrows(),
+        a.ncols(),
+        a.row_ptr(),
+        a.col_idx(),
+        a.values(),
+        b,
+    );
+    ranks
+        .iter()
+        .map(|&r| UnitSpec {
+            experiment: "it".into(),
+            unit: format!("stencil/r{r}"),
+            matrix: "stencil".into(),
+            matrix_fingerprint: fp,
+            scale: "quick".into(),
+            engine_version: ENGINE_VERSION,
+            config: RunConfig::new(Scheme::FaultFree, r),
+        })
+        .collect()
+}
+
+/// Fresh scratch directory for one test.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rsls-campaign-it-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn cached_options(dir: &Path, resume: bool) -> EngineOptions {
+    EngineOptions {
+        jobs: 1,
+        cache_dir: dir.join("cache"),
+        use_cache: true,
+        resume,
+        journal_path: Some(dir.join("campaign.journal")),
+        retries: 0,
+    }
+}
+
+#[test]
+fn second_campaign_is_all_cache_hits_with_byte_identical_reports() {
+    let dir = scratch("rerun");
+    let (a, b) = workload();
+    let units = specs(&a, &b, &[2, 4, 8]);
+
+    let solves = AtomicUsize::new(0);
+    let runner = |spec: &UnitSpec| {
+        solves.fetch_add(1, Ordering::SeqCst);
+        run(&a, &b, &spec.config)
+    };
+
+    let first = Engine::new(cached_options(&dir, false)).unwrap();
+    let out1 = first.run_units(&units, runner);
+    assert_eq!(solves.load(Ordering::SeqCst), 3);
+    assert!(out1.iter().all(|o| o.status == UnitStatus::Executed));
+    drop(first);
+
+    // A brand-new engine over the same cache: zero solves, identical bytes.
+    let second = Engine::new(cached_options(&dir, false)).unwrap();
+    let out2 = second.run_units(&units, runner);
+    assert_eq!(solves.load(Ordering::SeqCst), 3, "no unit may re-solve");
+    assert!(out2.iter().all(|o| o.status == UnitStatus::Cached));
+    assert_eq!(second.summary().hit_rate(), 1.0);
+    for (o1, o2) in out1.iter().zip(&out2) {
+        let j1 = serde_json::to_string(o1.report.as_ref().unwrap()).unwrap();
+        let j2 = serde_json::to_string(o2.report.as_ref().unwrap()).unwrap();
+        assert_eq!(
+            j1, j2,
+            "cached report must be byte-identical for {}",
+            o1.name
+        );
+    }
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_reruns_only_unfinished_units() {
+    let dir = scratch("resume");
+    let (a, b) = workload();
+    let units = specs(&a, &b, &[2, 4, 6, 8]);
+
+    // Campaign one is "killed" after completing the first two units: run
+    // them for real, then hand-append a dangling `start` for the third —
+    // exactly what the journal of an interrupted campaign looks like.
+    let solves = AtomicUsize::new(0);
+    let runner = |spec: &UnitSpec| {
+        solves.fetch_add(1, Ordering::SeqCst);
+        run(&a, &b, &spec.config)
+    };
+    let first = Engine::new(cached_options(&dir, false)).unwrap();
+    first.run_units(&units[..2], runner);
+    drop(first);
+    let journal_path = dir.join("campaign.journal");
+    {
+        use std::io::Write;
+        let mut f = fs::OpenOptions::new()
+            .append(true)
+            .open(&journal_path)
+            .unwrap();
+        writeln!(
+            f,
+            "{{\"event\":\"start\",\"hash\":\"{}\",\"unit\":\"{}\"}}",
+            units[2].content_hash(),
+            units[2].qualified_name()
+        )
+        .unwrap();
+    }
+    assert_eq!(solves.load(Ordering::SeqCst), 2);
+    let lines_before = fs::read_to_string(&journal_path).unwrap().lines().count();
+
+    // --resume: the finished units come from the cache; the in-flight
+    // third unit and the never-started fourth run now.
+    let resumed = Engine::new(cached_options(&dir, true)).unwrap();
+    let out = resumed.run_units(&units, runner);
+    assert_eq!(
+        solves.load(Ordering::SeqCst),
+        4,
+        "exactly units 3 and 4 re-run"
+    );
+    assert_eq!(out[0].status, UnitStatus::Cached);
+    assert_eq!(out[1].status, UnitStatus::Cached);
+    assert_eq!(out[2].status, UnitStatus::Executed);
+    assert_eq!(out[3].status, UnitStatus::Executed);
+    assert!(Journal::completed_hashes(&journal_path)
+        .unwrap()
+        .contains(&units[3].content_hash()));
+
+    // Resume appended to the interrupted journal instead of truncating it.
+    let lines_after = fs::read_to_string(&journal_path).unwrap().lines().count();
+    assert!(
+        lines_after > lines_before,
+        "resume must append ({lines_before} -> {lines_after})"
+    );
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn panicking_unit_is_isolated_and_campaign_completes() {
+    let dir = scratch("panic");
+    let (a, b) = workload();
+    let units = specs(&a, &b, &[2, 4, 8]);
+    let poisoned = units[1].content_hash();
+
+    let engine = Engine::new(cached_options(&dir, false)).unwrap();
+    let out = engine.run_units(&units, |spec: &UnitSpec| {
+        if spec.content_hash() == poisoned {
+            panic!("injected unit failure");
+        }
+        run(&a, &b, &spec.config)
+    });
+
+    assert_eq!(out[0].status, UnitStatus::Executed);
+    assert_eq!(out[1].status, UnitStatus::Failed);
+    assert_eq!(out[2].status, UnitStatus::Executed, "siblings still run");
+    assert!(out[1].report.is_none());
+    assert!(out[1]
+        .error
+        .as_deref()
+        .unwrap()
+        .contains("injected unit failure"));
+    let s = engine.summary();
+    assert_eq!((s.total, s.executed, s.failed), (3, 2, 1));
+    assert!(engine.summary_table().contains("FAILED"));
+
+    // The failure is journaled but not `done`: a resumed campaign would
+    // try it again, and it must not have poisoned the cache.
+    let done = Journal::completed_hashes(dir.join("campaign.journal")).unwrap();
+    assert!(!done.contains(&poisoned));
+    assert!(!dir.join("cache").join(format!("{poisoned}.json")).exists());
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn retries_recover_a_transiently_failing_unit() {
+    let dir = scratch("retry");
+    let (a, b) = workload();
+    let units = specs(&a, &b, &[4]);
+
+    let attempts = AtomicUsize::new(0);
+    let flaky = |spec: &UnitSpec| {
+        if attempts.fetch_add(1, Ordering::SeqCst) == 0 {
+            panic!("transient failure");
+        }
+        run(&a, &b, &spec.config)
+    };
+
+    // Without retries the first panic is terminal.
+    let strict = Engine::new(EngineOptions {
+        retries: 0,
+        ..cached_options(&dir.join("strict"), false)
+    })
+    .unwrap();
+    assert_eq!(
+        strict.run_units(&units, flaky)[0].status,
+        UnitStatus::Failed
+    );
+
+    // With one retry the second attempt lands.
+    attempts.store(0, Ordering::SeqCst);
+    let lenient = Engine::new(EngineOptions {
+        retries: 1,
+        ..cached_options(&dir.join("lenient"), false)
+    })
+    .unwrap();
+    let out = lenient.run_units(&units, flaky);
+    assert_eq!(out[0].status, UnitStatus::Executed);
+    assert_eq!(attempts.load(Ordering::SeqCst), 2);
+    assert!(out[0].report.as_ref().unwrap().converged);
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn parallel_execution_is_bit_identical_to_serial() {
+    let (a, b) = workload();
+    let units = specs(&a, &b, &[2, 3, 4, 5, 6, 7, 8, 9]);
+    let runner = |spec: &UnitSpec| run(&a, &b, &spec.config);
+
+    // No cache, no journal: pure execution on 1 vs 4 workers.
+    let serial = Engine::new(EngineOptions::default()).unwrap();
+    let parallel = Engine::new(EngineOptions {
+        jobs: 4,
+        ..EngineOptions::default()
+    })
+    .unwrap();
+    let out1 = serial.run_units(&units, runner);
+    let out4 = parallel.run_units(&units, runner);
+
+    assert_eq!(out1.len(), out4.len());
+    for (o1, o4) in out1.iter().zip(&out4) {
+        assert_eq!(o1.name, o4.name, "outcomes must keep submission order");
+        let j1 = serde_json::to_string(o1.report.as_ref().unwrap()).unwrap();
+        let j4 = serde_json::to_string(o4.report.as_ref().unwrap()).unwrap();
+        assert_eq!(
+            j1, j4,
+            "jobs=4 must be bit-identical to jobs=1 for {}",
+            o1.name
+        );
+    }
+}

@@ -141,7 +141,8 @@ impl Cluster {
         self.advance(src, dt, ActivityKind::Communicate);
         self.advance(dst, dt, ActivityKind::Communicate);
         self.ledger.add_bytes(bytes);
-        self.trace.push(TraceKind::Send { src, dst, bytes }, start + dt);
+        self.trace
+            .push(TraceKind::Send { src, dst, bytes }, start + dt);
     }
 
     /// Nearest-neighbor halo exchange: every rank exchanges `bytes` with
@@ -216,8 +217,8 @@ impl Cluster {
     /// `2·⌈log₂ p⌉` rounds of `α + β·bytes`). Synchronizes all ranks.
     pub fn allreduce(&mut self, bytes: u64) {
         let rounds = 2 * ceil_log2(self.num_ranks());
-        let dt = rounds as f64
-            * (self.cfg.net_latency_s + bytes as f64 / self.cfg.net_bw_bytes_per_sec);
+        let dt =
+            rounds as f64 * (self.cfg.net_latency_s + bytes as f64 / self.cfg.net_bw_bytes_per_sec);
         self.sync_to_max();
         for rank in 0..self.num_ranks() {
             self.advance(rank, dt, ActivityKind::Communicate);
@@ -236,8 +237,8 @@ impl Cluster {
     /// Broadcast of `bytes` from `root` to all ranks (binomial tree).
     pub fn broadcast(&mut self, _root: usize, bytes: u64) {
         let rounds = ceil_log2(self.num_ranks());
-        let dt = rounds as f64
-            * (self.cfg.net_latency_s + bytes as f64 / self.cfg.net_bw_bytes_per_sec);
+        let dt =
+            rounds as f64 * (self.cfg.net_latency_s + bytes as f64 / self.cfg.net_bw_bytes_per_sec);
         self.sync_to_max();
         for rank in 0..self.num_ranks() {
             self.advance(rank, dt, ActivityKind::Communicate);
@@ -257,8 +258,8 @@ impl Cluster {
     pub fn gather(&mut self, _root: usize, bytes_per_rank: u64) {
         let rounds = ceil_log2(self.num_ranks());
         let total = bytes_per_rank * (self.num_ranks() as u64 - 1);
-        let dt = rounds as f64 * self.cfg.net_latency_s
-            + total as f64 / self.cfg.net_bw_bytes_per_sec;
+        let dt =
+            rounds as f64 * self.cfg.net_latency_s + total as f64 / self.cfg.net_bw_bytes_per_sec;
         self.sync_to_max();
         for rank in 0..self.num_ranks() {
             self.advance(rank, dt, ActivityKind::Communicate);

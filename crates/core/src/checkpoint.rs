@@ -239,7 +239,10 @@ mod tests {
         assert_eq!(c.compressed_bytes(1_000_000), 100_000);
         assert!((c.cpu_seconds(1_000_000) - 1e-3).abs() < 1e-12);
         // Ratio 1 is a no-op in size.
-        let ident = CompressionModel { ratio: 1.0, throughput_bytes_per_s: 1e9 };
+        let ident = CompressionModel {
+            ratio: 1.0,
+            throughput_bytes_per_s: 1e9,
+        };
         assert_eq!(ident.compressed_bytes(4096), 4096);
     }
 }

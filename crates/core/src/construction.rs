@@ -118,13 +118,7 @@ pub struct ConstructionResult {
 
 /// Builds the LI right-hand side `y = b_i − Σ_{j≠i} A_{p_i,p_j} x_j` and
 /// counts the flops spent on it.
-fn li_rhs(
-    a: &CsrMatrix,
-    part: &Partition,
-    rank: usize,
-    x: &[f64],
-    b: &[f64],
-) -> (Vec<f64>, u64) {
+fn li_rhs(a: &CsrMatrix, part: &Partition, rank: usize, x: &[f64], b: &[f64]) -> (Vec<f64>, u64) {
     let range = part.range(rank);
     let mut y = Vec::with_capacity(range.len());
     let mut flops = 0u64;
@@ -145,13 +139,7 @@ fn li_rhs(
 
 /// Builds the LSI residual `β = b − Σ_{j≠i} A_{:,p_j} x_j` (a full-length
 /// vector: everything `A x` explains *without* the failed block).
-fn lsi_beta(
-    a: &CsrMatrix,
-    part: &Partition,
-    rank: usize,
-    x: &[f64],
-    b: &[f64],
-) -> (Vec<f64>, u64) {
+fn lsi_beta(a: &CsrMatrix, part: &Partition, rank: usize, x: &[f64], b: &[f64]) -> (Vec<f64>, u64) {
     let range = part.range(rank);
     let mut x_zeroed = x.to_vec();
     for v in &mut x_zeroed[range] {
@@ -190,10 +178,7 @@ pub fn li(
         ConstructionMethod::Exact => {
             let block = a.dense_block(range.clone(), range.clone());
             let (x_block, flops) = match Lu::factor(&block) {
-                Ok(lu) => (
-                    lu.solve(&y),
-                    Lu::factor_flops(m) + Lu::solve_flops(m),
-                ),
+                Ok(lu) => (lu.solve(&y), Lu::factor_flops(m) + Lu::solve_flops(m)),
                 Err(_) => (vec![0.0; m], 0),
             };
             ConstructionResult {
@@ -301,9 +286,8 @@ pub fn lsi(
                 tolerance,
                 max_iterations: polish_budget,
             });
-            let flops = guess_flops
-                + polish_iters as u64 * Cgls::step_flops(&tall)
-                + tall.spmv_flops();
+            let flops =
+                guess_flops + polish_iters as u64 * Cgls::step_flops(&tall) + tall.spmv_flops();
             ConstructionResult {
                 x_block: cgls.x().to_vec(),
                 local_flops: flops,
@@ -412,7 +396,9 @@ mod tests {
             1,
             &xstar,
             &b,
-            ConstructionMethod::local_cg_fixed(1e-10, 500), 1e-8);
+            ConstructionMethod::local_cg_fixed(1e-10, 500),
+            1e-8,
+        );
         assert!(dist2(&exact.x_block, &inexact.x_block) < 1e-6);
         assert!(inexact.inner_iterations > 0);
     }
@@ -448,7 +434,9 @@ mod tests {
             0,
             &xstar,
             &b,
-            ConstructionMethod::local_cg_fixed(1e-12, 2000), 1e-8);
+            ConstructionMethod::local_cg_fixed(1e-12, 2000),
+            1e-8,
+        );
         assert!(dist2(&exact.x_block, &local.x_block) < 1e-6);
         assert_eq!(local.comm_rounds, 0, "§4.1: local CGLS avoids QR comm");
     }
@@ -462,14 +450,18 @@ mod tests {
             1,
             &xstar,
             &b,
-            ConstructionMethod::local_cg_fixed(1e-2, 1000), 1e-8);
+            ConstructionMethod::local_cg_fixed(1e-2, 1000),
+            1e-8,
+        );
         let tight = li(
             &a,
             &part,
             1,
             &xstar,
             &b,
-            ConstructionMethod::local_cg_fixed(1e-12, 1000), 1e-8);
+            ConstructionMethod::local_cg_fixed(1e-12, 1000),
+            1e-8,
+        );
         assert!(loose.inner_iterations <= tight.inner_iterations);
         assert!(loose.local_flops <= tight.local_flops);
     }

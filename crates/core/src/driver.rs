@@ -20,7 +20,10 @@ use crate::scheme::{CheckpointStorage, ForwardKind, Scheme};
 use crate::DvfsPolicy;
 
 /// Configuration of one resilient run.
-#[derive(Debug, Clone)]
+///
+/// Serializes stably (see [`crate::hash`]), so a config can serve as a
+/// canonical spec for content-addressed result caching.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct RunConfig {
     /// Recovery scheme under test.
     pub scheme: Scheme,
@@ -89,6 +92,17 @@ impl RunConfig {
     pub fn with_dvfs(mut self, dvfs: DvfsPolicy) -> Self {
         self.dvfs = dvfs;
         self
+    }
+
+    /// Stable content hash of this config's canonical JSON form.
+    ///
+    /// Two configs hash equal iff their serialized specs are identical,
+    /// so this is a valid cache key for [`run`] results *on the same
+    /// system* — callers caching across systems must also key on the
+    /// matrix and right-hand side (see `rsls-campaign`'s `UnitSpec`).
+    pub fn spec_hash(&self) -> String {
+        let json = serde_json::to_string(self).expect("RunConfig serialization cannot fail");
+        crate::hash::sha256_hex(json.as_bytes())
     }
 }
 
@@ -171,10 +185,7 @@ pub fn run(a: &CsrMatrix, b: &[f64], cfg: &RunConfig) -> RunReport {
     };
     let normal_mix = [(CoreState::Compute, f_run, core_count)];
 
-    let x0 = cfg
-        .initial_guess
-        .clone()
-        .unwrap_or_else(|| vec![0.0; n]);
+    let x0 = cfg.initial_guess.clone().unwrap_or_else(|| vec![0.0; n]);
     assert_eq!(x0.len(), n, "initial guess length mismatch");
     let mut cg = Cg::new(a, b, x0.clone());
 
@@ -238,8 +249,7 @@ pub fn run(a: &CsrMatrix, b: &[f64], cfg: &RunConfig) -> RunReport {
 
         // --- Periodic checkpoint (before the iteration, like the paper's
         // "checkpointed after the m-th iteration"). -----------------------
-        if let (Some(interval), Scheme::Checkpoint { storage, .. }) =
-            (interval_iters, &cfg.scheme)
+        if let (Some(interval), Scheme::Checkpoint { storage, .. }) = (interval_iters, &cfg.scheme)
         {
             if iter > 0 && iter.is_multiple_of(interval) && last_ckpt_iter != iter {
                 meter.account(seg_start, now, &normal_mix);
@@ -282,9 +292,7 @@ pub fn run(a: &CsrMatrix, b: &[f64], cfg: &RunConfig) -> RunReport {
         }
 
         // --- Faults due at this iteration / time. -------------------------
-        let due = cfg
-            .faults
-            .due(&mut fault_cursor, iter, cluster.max_clock());
+        let due = cfg.faults.due(&mut fault_cursor, iter, cluster.max_clock());
         for ev in due {
             faults_injected += 1;
             if cfg.record_history {

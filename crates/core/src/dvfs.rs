@@ -29,12 +29,10 @@ impl DvfsPolicy {
         match self {
             // Busy-wait looks like 100% utilization to ondemand.
             DvfsPolicy::OsDefault => Governor::ondemand_default().frequency_for(table, 1.0),
-            DvfsPolicy::ThrottleWaiters => {
-                Governor::Userspace {
-                    freq_ghz: table.min(),
-                }
-                .frequency_for(table, 0.0)
+            DvfsPolicy::ThrottleWaiters => Governor::Userspace {
+                freq_ghz: table.min(),
             }
+            .frequency_for(table, 0.0),
         }
     }
 

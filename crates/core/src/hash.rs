@@ -1,0 +1,215 @@
+//! Stable content hashing for specs and data fingerprints.
+//!
+//! The campaign engine addresses cached results by the hash of a unit's
+//! canonical spec, so two properties matter here:
+//!
+//! * **Stability** — the same logical spec must hash identically across
+//!   runs, platforms, and process restarts. Both hashes below are fixed
+//!   published algorithms (SHA-256, FNV-1a 64) over explicit byte
+//!   sequences; nothing depends on pointer values, `HashMap` iteration
+//!   order, or the std `Hasher` (whose output is unspecified across
+//!   releases).
+//! * **Sensitivity** — any change to the spec must change the hash.
+//!   SHA-256 provides that for the spec itself; the cheap FNV digest is
+//!   used only to fingerprint bulk matrix data, where accidental
+//!   collision odds (~2⁻⁶⁴) are acceptable for cache keying alongside
+//!   the matrix's name.
+
+/// SHA-256 of `bytes`, as a lowercase hex string.
+pub fn sha256_hex(bytes: &[u8]) -> String {
+    let digest = sha256(bytes);
+    let mut out = String::with_capacity(64);
+    for b in digest {
+        out.push(char::from_digit((b >> 4) as u32, 16).unwrap());
+        out.push(char::from_digit((b & 0xf) as u32, 16).unwrap());
+    }
+    out
+}
+
+/// SHA-256 (FIPS 180-4) of `bytes`.
+pub fn sha256(bytes: &[u8]) -> [u8; 32] {
+    const K: [u32; 64] = [
+        0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4,
+        0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe,
+        0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f,
+        0x4a7484aa, 0x5cb0a9dc, 0x76f988da, 0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7,
+        0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc,
+        0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+        0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070, 0x19a4c116,
+        0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+        0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7,
+        0xc67178f2,
+    ];
+    let mut h: [u32; 8] = [
+        0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+        0x5be0cd19,
+    ];
+
+    // Padding: 0x80, zeros, then the bit length as a big-endian u64.
+    let mut msg = bytes.to_vec();
+    let bit_len = (bytes.len() as u64).wrapping_mul(8);
+    msg.push(0x80);
+    while msg.len() % 64 != 56 {
+        msg.push(0);
+    }
+    msg.extend_from_slice(&bit_len.to_be_bytes());
+
+    let mut w = [0u32; 64];
+    for chunk in msg.chunks_exact(64) {
+        for (i, word) in chunk.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([word[0], word[1], word[2], word[3]]);
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut hh] = h;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = hh
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            hh = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        h[0] = h[0].wrapping_add(a);
+        h[1] = h[1].wrapping_add(b);
+        h[2] = h[2].wrapping_add(c);
+        h[3] = h[3].wrapping_add(d);
+        h[4] = h[4].wrapping_add(e);
+        h[5] = h[5].wrapping_add(f);
+        h[6] = h[6].wrapping_add(g);
+        h[7] = h[7].wrapping_add(hh);
+    }
+
+    let mut out = [0u8; 32];
+    for (i, word) in h.iter().enumerate() {
+        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+    }
+    out
+}
+
+/// Incremental FNV-1a 64-bit digest, for cheap fingerprints of bulk
+/// numeric data (matrix arrays, right-hand sides).
+#[derive(Debug, Clone)]
+pub struct Fnv1a {
+    state: u64,
+}
+
+impl Fnv1a {
+    /// Starts a digest at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv1a {
+            state: 0xcbf2_9ce4_8422_2325,
+        }
+    }
+
+    /// Absorbs raw bytes.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// Absorbs a `u64` as little-endian bytes.
+    pub fn update_u64(&mut self, v: u64) {
+        self.update(&v.to_le_bytes());
+    }
+
+    /// Absorbs an `f64` via its IEEE-754 bit pattern (so `-0.0 ≠ 0.0`
+    /// and NaNs hash by payload — bitwise identity, not numeric).
+    pub fn update_f64(&mut self, v: f64) {
+        self.update(&v.to_bits().to_le_bytes());
+    }
+
+    /// The current digest value.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sha256_matches_published_vectors() {
+        // FIPS 180-4 / NIST example vectors.
+        assert_eq!(
+            sha256_hex(b""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        assert_eq!(
+            sha256_hex(b"abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        assert_eq!(
+            sha256_hex(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn sha256_handles_padding_boundaries() {
+        // Lengths straddling the 56-byte padding boundary within a block.
+        for len in [55usize, 56, 57, 63, 64, 65, 119, 120, 121] {
+            let data = vec![b'a'; len];
+            let d1 = sha256_hex(&data);
+            let d2 = sha256_hex(&data);
+            assert_eq!(d1, d2);
+            assert_eq!(d1.len(), 64);
+            let mut flipped = data.clone();
+            flipped[len / 2] = b'b';
+            assert_ne!(d1, sha256_hex(&flipped), "length {len}");
+        }
+        // "a" x 1_000_000 is a published vector.
+        let million = vec![b'a'; 1_000_000];
+        assert_eq!(
+            sha256_hex(&million),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn fnv_is_stable_and_sensitive() {
+        let mut a = Fnv1a::new();
+        a.update(b"hello");
+        // Published FNV-1a 64 value for "hello".
+        assert_eq!(a.finish(), 0xa430d84680aabd0b);
+
+        let mut b = Fnv1a::new();
+        b.update_f64(1.0);
+        let mut c = Fnv1a::new();
+        c.update_f64(1.0 + f64::EPSILON);
+        assert_ne!(b.finish(), c.finish());
+
+        let mut z1 = Fnv1a::new();
+        z1.update_f64(0.0);
+        let mut z2 = Fnv1a::new();
+        z2.update_f64(-0.0);
+        assert_ne!(z1.finish(), z2.finish());
+    }
+}

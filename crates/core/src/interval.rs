@@ -150,8 +150,14 @@ mod tests {
 
     #[test]
     fn resolve_without_mtbf_falls_back_to_100() {
-        assert_eq!(CheckpointInterval::Young.resolve_iterations(1.0, 1.0, None, 1.0), 100);
-        assert_eq!(CheckpointInterval::Daly.resolve_iterations(1.0, 1.0, None, 1.0), 100);
+        assert_eq!(
+            CheckpointInterval::Young.resolve_iterations(1.0, 1.0, None, 1.0),
+            100
+        );
+        assert_eq!(
+            CheckpointInterval::Daly.resolve_iterations(1.0, 1.0, None, 1.0),
+            100
+        );
     }
 
     #[test]

@@ -63,6 +63,7 @@ pub mod checkpoint;
 pub mod construction;
 pub mod driver;
 pub mod dvfs;
+pub mod hash;
 pub mod interval;
 pub mod report;
 pub mod scheme;
@@ -71,6 +72,9 @@ pub use checkpoint::CompressionModel;
 pub use construction::{ConstructionMethod, ConstructionResult};
 pub use driver::{run, RunConfig};
 pub use dvfs::DvfsPolicy;
-pub use interval::{daly_interval_s, energy_optimal_interval_s, young_interval_s, CheckpointInterval};
+pub use hash::{sha256_hex, Fnv1a};
+pub use interval::{
+    daly_interval_s, energy_optimal_interval_s, young_interval_s, CheckpointInterval,
+};
 pub use report::{PhaseBreakdown, RunReport};
 pub use scheme::{CheckpointStorage, ForwardKind, Scheme};

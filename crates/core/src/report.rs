@@ -34,7 +34,7 @@ impl PhaseBreakdown {
 
 /// Everything a resilient run produces — the raw material for every table
 /// and figure in the paper.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunReport {
     /// Scheme label (e.g. "LI (CG)-DVFS").
     pub scheme: String,

@@ -37,8 +37,7 @@ fn fault_free_run_converges() {
 fn runs_are_deterministic() {
     let (a, b) = system();
     let ff = ff_report(&a, &b);
-    let cfg = RunConfig::new(Scheme::li_local_cg(), RANKS)
-        .with_faults(faults(3, ff.iterations));
+    let cfg = RunConfig::new(Scheme::li_local_cg(), RANKS).with_faults(faults(3, ff.iterations));
     let r1 = run(&a, &b, &cfg);
     let r2 = run(&a, &b, &cfg);
     assert_eq!(r1.iterations, r2.iterations);
@@ -153,8 +152,14 @@ fn dvfs_reduces_energy_without_slowing_down() {
             .with_faults(sched)
             .with_dvfs(DvfsPolicy::ThrottleWaiters),
     );
-    assert_eq!(li.iterations, li_dvfs.iterations, "DVFS must not change math");
-    assert!((li.time_s - li_dvfs.time_s).abs() < 1e-9, "no slowdown allowed");
+    assert_eq!(
+        li.iterations, li_dvfs.iterations,
+        "DVFS must not change math"
+    );
+    assert!(
+        (li.time_s - li_dvfs.time_s).abs() < 1e-9,
+        "no slowdown allowed"
+    );
     assert!(
         li_dvfs.energy_j < li.energy_j,
         "DVFS must save energy: {} vs {}",
@@ -168,7 +173,8 @@ fn dvfs_reduces_energy_without_slowing_down() {
 fn residual_history_marks_faults_and_recoveries() {
     let (a, b) = system();
     let ff = ff_report(&a, &b);
-    let mut cfg = RunConfig::new(Scheme::li_local_cg(), RANKS).with_faults(faults(2, ff.iterations));
+    let mut cfg =
+        RunConfig::new(Scheme::li_local_cg(), RANKS).with_faults(faults(2, ff.iterations));
     cfg.record_history = true;
     let r = run(&a, &b, &cfg);
     assert_eq!(r.history.fault_iterations().len(), 2);
@@ -198,11 +204,8 @@ fn power_profile_shows_reconstruction_dips() {
 fn fi_restores_initial_guess() {
     let (a, b) = system();
     let ff = ff_report(&a, &b);
-    let mut cfg = RunConfig::new(
-        Scheme::Forward(rsls_core::ForwardKind::InitialGuess),
-        RANKS,
-    )
-    .with_faults(faults(3, ff.iterations));
+    let mut cfg = RunConfig::new(Scheme::Forward(rsls_core::ForwardKind::InitialGuess), RANKS)
+        .with_faults(faults(3, ff.iterations));
     cfg.initial_guess = Some(vec![0.5; a.nrows()]);
     let r = run(&a, &b, &cfg);
     assert!(r.converged);
@@ -241,7 +244,12 @@ fn exact_construction_converges_like_local_cg() {
     assert!(exact.converged && local.converged);
     // Same recovery quality to within a few iterations.
     let diff = (exact.iterations as i64 - local.iterations as i64).abs();
-    assert!(diff < 50, "exact {} vs local {}", exact.iterations, local.iterations);
+    assert!(
+        diff < 50,
+        "exact {} vs local {}",
+        exact.iterations,
+        local.iterations
+    );
 }
 
 #[test]
@@ -260,9 +268,8 @@ fn system_wide_outage_only_survives_with_disk_checkpoints() {
     };
     // Fixed checkpoint interval so checkpoints actually exist before the
     // outage (Young's fallback interval exceeds this tiny run).
-    let interval = rsls_core::interval::CheckpointInterval::EveryIterations(
-        (ff.iterations / 6).max(1),
-    );
+    let interval =
+        rsls_core::interval::CheckpointInterval::EveryIterations((ff.iterations / 6).max(1));
     let dmr = run_with(Scheme::Dmr, "dmr");
     let li = run_with(Scheme::li_local_cg(), "li");
     let cr_m = run_with(
@@ -314,9 +321,8 @@ fn tmr_masks_faults_at_triple_power() {
 fn multilevel_checkpointing_combines_cheap_restores_with_swo_survival() {
     let (a, b) = system();
     let ff = ff_report(&a, &b);
-    let interval = rsls_core::interval::CheckpointInterval::EveryIterations(
-        (ff.iterations / 6).max(1),
-    );
+    let interval =
+        rsls_core::interval::CheckpointInterval::EveryIterations((ff.iterations / 6).max(1));
     let ml_scheme = Scheme::Checkpoint {
         storage: rsls_core::CheckpointStorage::Multilevel { disk_every: 2 },
         interval,
@@ -362,9 +368,8 @@ fn checkpoint_compression_pays_off_on_the_disk_tier() {
     // (shared-disk bound) and leave results correct.
     let (a, b) = system();
     let ff = ff_report(&a, &b);
-    let interval = rsls_core::interval::CheckpointInterval::EveryIterations(
-        (ff.iterations / 6).max(1),
-    );
+    let interval =
+        rsls_core::interval::CheckpointInterval::EveryIterations((ff.iterations / 6).max(1));
     let scheme = Scheme::Checkpoint {
         storage: rsls_core::CheckpointStorage::Disk,
         interval,
@@ -379,7 +384,10 @@ fn checkpoint_compression_pays_off_on_the_disk_tier() {
     let comp = run(&a, &b, &comp_cfg);
 
     assert!(plain.converged && comp.converged);
-    assert_eq!(plain.iterations, comp.iterations, "compression must not change math");
+    assert_eq!(
+        plain.iterations, comp.iterations,
+        "compression must not change math"
+    );
     assert!(
         comp.breakdown.checkpoint_s < plain.breakdown.checkpoint_s,
         "compressed checkpoints must be faster to write: {} vs {}",

@@ -38,8 +38,15 @@ fn more_ranks_than_rows_is_survivable() {
     assert!(ff.converged);
     // Schedule faults across all ranks, including empty ones.
     let faults = FaultSchedule::evenly_spaced(3, ff.iterations.max(4), p, FaultClass::Snf, 2);
-    for scheme in [Scheme::li_local_cg(), Scheme::Forward(rsls_core::ForwardKind::Zero)] {
-        let r = run(&a, &b, &RunConfig::new(scheme, p).with_faults(faults.clone()));
+    for scheme in [
+        Scheme::li_local_cg(),
+        Scheme::Forward(rsls_core::ForwardKind::Zero),
+    ] {
+        let r = run(
+            &a,
+            &b,
+            &RunConfig::new(scheme, p).with_faults(faults.clone()),
+        );
         assert!(r.converged, "{} with empty ranks", r.scheme);
     }
 }
@@ -78,7 +85,11 @@ fn faults_beyond_convergence_never_fire() {
     let b = vec![1.0; 60];
     let ff = run(&a, &b, &RunConfig::new(Scheme::FaultFree, 4));
     let faults = FaultSchedule::single_at_iteration(ff.iterations * 10, 0, FaultClass::Snf);
-    let r = run(&a, &b, &RunConfig::new(Scheme::li_local_cg(), 4).with_faults(faults));
+    let r = run(
+        &a,
+        &b,
+        &RunConfig::new(Scheme::li_local_cg(), 4).with_faults(faults),
+    );
     assert_eq!(r.faults_injected, 0);
     assert_eq!(r.iterations, ff.iterations);
 }
@@ -90,10 +101,9 @@ fn max_iterations_cap_stops_non_converging_runs() {
     let b = vec![1.0; 200];
     // A fault every other iteration destroys progress faster than F0 can
     // rebuild it on this slow matrix.
-    let mut cfg =
-        RunConfig::new(Scheme::Forward(rsls_core::ForwardKind::Zero), 4).with_faults(
-            FaultSchedule::evenly_spaced(400, 800, 4, FaultClass::Snf, 3),
-        );
+    let mut cfg = RunConfig::new(Scheme::Forward(rsls_core::ForwardKind::Zero), 4).with_faults(
+        FaultSchedule::evenly_spaced(400, 800, 4, FaultClass::Snf, 3),
+    );
     cfg.max_iterations = 500;
     let r = run(&a, &b, &cfg);
     assert_eq!(r.iterations, 500);
@@ -122,6 +132,10 @@ fn repeated_faults_on_the_same_rank_are_handled() {
     // rank 2 repeats. Easiest honest check: two consecutive faults on the
     // same rank.
     let sched = FaultSchedule::single_at_iteration(ff.iterations / 3, 2, FaultClass::Snf);
-    let r1 = run(&a, &b, &RunConfig::new(Scheme::li_local_cg(), 4).with_faults(sched));
+    let r1 = run(
+        &a,
+        &b,
+        &RunConfig::new(Scheme::li_local_cg(), 4).with_faults(sched),
+    );
     assert!(r1.converged);
 }

@@ -5,18 +5,30 @@
 //! rsls-run --experiment fig5      run one experiment
 //! rsls-run --all                  run every experiment
 //! rsls-run --all --csv out/       additionally dump CSV files
+//! rsls-run --all --jobs 8        run campaign units on 8 workers
+//! rsls-run --all --resume         continue an interrupted campaign
 //! RSLS_SCALE=full rsls-run --all  paper-sized matrices (slow)
 //! ```
+//!
+//! Every solver invocation goes through the campaign engine
+//! (`rsls-campaign`): completed runs are cached by content address under
+//! `--cache-dir` (default `results/cache`), so re-running an experiment
+//! re-reads its reports instead of re-solving, and `--jobs N` executes
+//! independent units in parallel without changing any result byte.
 
+use std::panic::{self, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::time::Instant;
 
+use rsls_campaign::EngineOptions;
+use rsls_experiments::campaign;
 use rsls_experiments::experiments::{by_name, ALL};
 use rsls_experiments::Scale;
 
 fn usage() -> ! {
     eprintln!(
         "usage: rsls-run [--list] [--all] [--experiment <name>] [--csv <dir>] [--svg <dir>]\n\
+         \x20               [--jobs <n>] [--cache-dir <dir>] [--resume] [--no-cache]\n\
          experiments: {}",
         ALL.iter().map(|e| e.name).collect::<Vec<_>>().join(", ")
     );
@@ -32,6 +44,10 @@ fn main() {
     let mut names: Vec<String> = Vec::new();
     let mut csv_dir: Option<PathBuf> = None;
     let mut svg_dir: Option<PathBuf> = None;
+    let mut jobs = 1usize;
+    let mut cache_dir = PathBuf::from("results/cache");
+    let mut resume = false;
+    let mut use_cache = true;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -63,6 +79,28 @@ fn main() {
                 }
                 svg_dir = Some(PathBuf::from(&args[i]));
             }
+            "--jobs" | "-j" => {
+                i += 1;
+                if i >= args.len() {
+                    usage();
+                }
+                jobs = match args[i].parse() {
+                    Ok(n) if n >= 1 => n,
+                    _ => {
+                        eprintln!("--jobs takes a positive integer");
+                        usage();
+                    }
+                };
+            }
+            "--cache-dir" => {
+                i += 1;
+                if i >= args.len() {
+                    usage();
+                }
+                cache_dir = PathBuf::from(&args[i]);
+            }
+            "--resume" => resume = true,
+            "--no-cache" => use_cache = false,
             other => {
                 eprintln!("unknown argument: {other}");
                 usage();
@@ -71,10 +109,33 @@ fn main() {
         i += 1;
     }
 
+    let journal_path = cache_dir
+        .parent()
+        .map(|p| p.join("campaign.journal"))
+        .unwrap_or_else(|| PathBuf::from("campaign.journal"));
+    if let Err(e) = campaign::configure(EngineOptions {
+        jobs,
+        cache_dir: cache_dir.clone(),
+        use_cache,
+        resume,
+        journal_path: Some(journal_path),
+        retries: 0,
+    }) {
+        eprintln!("failed to configure campaign engine: {e}");
+        std::process::exit(1);
+    }
+
     let scale = Scale::from_env();
     println!(
-        "scale: {:?} (set RSLS_SCALE=full for paper-sized matrices)\n",
+        "scale: {:?} (set RSLS_SCALE=full for paper-sized matrices)",
         scale
+    );
+    println!(
+        "campaign: {jobs} worker{}, cache {} at {}{}\n",
+        if jobs == 1 { "" } else { "s" },
+        if use_cache { "enabled" } else { "disabled" },
+        cache_dir.display(),
+        if resume { ", resuming" } else { "" },
     );
 
     let selected: Vec<_> = if run_all {
@@ -82,20 +143,34 @@ fn main() {
     } else {
         names
             .iter()
-            .map(|n| by_name(n).unwrap_or_else(|| {
-                eprintln!("unknown experiment '{n}'");
-                usage();
-            }))
+            .map(|n| {
+                by_name(n).unwrap_or_else(|| {
+                    eprintln!("unknown experiment '{n}'");
+                    usage();
+                })
+            })
             .collect()
     };
     if selected.is_empty() {
         usage();
     }
 
+    let mut failed_experiments: Vec<&str> = Vec::new();
     for e in selected {
         let start = Instant::now();
         println!(">>> {} — {}", e.name, e.description);
-        let tables = (e.run)(scale);
+        campaign::set_experiment(e.name);
+        // A failed unit panics out of the harness (its siblings have
+        // already been journaled and cached); isolate it so the rest of
+        // the campaign still runs.
+        let tables = match panic::catch_unwind(AssertUnwindSafe(|| (e.run)(scale))) {
+            Ok(tables) => tables,
+            Err(_) => {
+                eprintln!("<<< {} FAILED (see campaign journal)\n", e.name);
+                failed_experiments.push(e.name);
+                continue;
+            }
+        };
         for (i, t) in tables.iter().enumerate() {
             println!("{}", t.render());
             if let Some(dir) = &csv_dir {
@@ -109,8 +184,8 @@ fn main() {
             if let Some(dir) = &svg_dir {
                 if let Some(svg) = rsls_experiments::plot::render_auto(t) {
                     let path = dir.join(format!("{}-{}.svg", e.name, i));
-                    if let Err(err) = std::fs::create_dir_all(dir)
-                        .and_then(|_| std::fs::write(&path, svg))
+                    if let Err(err) =
+                        std::fs::create_dir_all(dir).and_then(|_| std::fs::write(&path, svg))
                     {
                         eprintln!("warning: failed to write {}: {err}", path.display());
                     } else {
@@ -120,5 +195,11 @@ fn main() {
             }
         }
         println!("<<< {} done in {:.1?}\n", e.name, start.elapsed());
+    }
+
+    print!("{}", campaign::engine().summary_table());
+    if !failed_experiments.is_empty() {
+        eprintln!("failed experiments: {}", failed_experiments.join(", "));
+        std::process::exit(1);
     }
 }

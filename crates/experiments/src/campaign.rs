@@ -1,0 +1,119 @@
+//! Process-wide campaign engine and execution context.
+//!
+//! All experiment solver work funnels through one [`Engine`]
+//! (`rsls-campaign`): the `rsls-run` binary configures it from the
+//! command line ([`configure`]) before the first run; library users and
+//! tests that never call [`configure`] get a default engine — one
+//! worker, no cache, no journal — so direct harness calls stay hermetic
+//! and write nothing to disk.
+//!
+//! The engine itself is experiment-agnostic; this module supplies the
+//! experiment-side context a [`UnitSpec`] needs: which experiment is
+//! currently running ([`set_experiment`]) and at which scale, plus the
+//! matrix fingerprinting that makes cache addresses collision-safe
+//! across reused tags.
+
+use std::io;
+use std::sync::{Mutex, OnceLock};
+
+use rsls_campaign::{matrix_fingerprint, Engine, EngineOptions, UnitSpec, ENGINE_VERSION};
+use rsls_core::driver::run;
+use rsls_core::{RunConfig, RunReport};
+use rsls_sparse::CsrMatrix;
+
+use crate::Scale;
+
+static ENGINE: OnceLock<Engine> = OnceLock::new();
+static EXPERIMENT: Mutex<Option<String>> = Mutex::new(None);
+
+/// Installs the process-wide engine. Call once, before any experiment
+/// runs; later calls (or a call after the default engine materialized)
+/// fail.
+pub fn configure(opts: EngineOptions) -> io::Result<()> {
+    let engine = Engine::new(opts)?;
+    ENGINE
+        .set(engine)
+        .map_err(|_| io::Error::other("campaign engine already configured"))
+}
+
+/// The process-wide engine (default: serial, uncached, unjournaled).
+pub fn engine() -> &'static Engine {
+    ENGINE.get_or_init(|| {
+        Engine::new(EngineOptions::default()).expect("default campaign engine cannot fail to build")
+    })
+}
+
+/// Names the experiment that subsequently built unit specs belong to.
+/// The `rsls-run` binary sets this before invoking each harness.
+pub fn set_experiment(name: &str) {
+    *EXPERIMENT.lock().expect("experiment context poisoned") = Some(name.to_string());
+}
+
+/// The current experiment name (`"adhoc"` when none was set — direct
+/// library/test calls).
+pub fn current_experiment() -> String {
+    EXPERIMENT
+        .lock()
+        .expect("experiment context poisoned")
+        .clone()
+        .unwrap_or_else(|| "adhoc".to_string())
+}
+
+/// Builds the canonical spec for one `run(a, b, cfg)` invocation.
+///
+/// `matrix` should name the system (`workload` names, or an experiment
+/// tag for synthesized ones); the fingerprint of `(A, b)` is folded in
+/// regardless, so reused names cannot alias distinct data.
+pub fn unit_spec(a: &CsrMatrix, b: &[f64], matrix: &str, scale: Scale, cfg: RunConfig) -> UnitSpec {
+    let unit = format!(
+        "{}/{}{}",
+        matrix,
+        cfg.scheme.label(),
+        cfg.dvfs.label_suffix()
+    );
+    UnitSpec {
+        experiment: current_experiment(),
+        unit,
+        matrix: matrix.to_string(),
+        matrix_fingerprint: matrix_fingerprint(
+            a.nrows(),
+            a.ncols(),
+            a.row_ptr(),
+            a.col_idx(),
+            a.values(),
+            b,
+        ),
+        scale: scale.label().to_string(),
+        engine_version: ENGINE_VERSION,
+        config: cfg,
+    }
+}
+
+/// Executes one batch of units against `(a, b)` on the process engine,
+/// returning reports in submission order.
+///
+/// A failed (panicking) unit is journaled and isolated by the engine;
+/// here — where an experiment needs every report to build its table —
+/// the failure is re-raised after the whole batch has finished, so
+/// sibling units still complete and cache.
+pub fn execute_units(a: &CsrMatrix, b: &[f64], specs: &[UnitSpec]) -> Vec<RunReport> {
+    let outcomes = engine().run_units(specs, |spec| run(a, b, &spec.config));
+    outcomes
+        .into_iter()
+        .map(|o| match o.report {
+            Some(report) => report,
+            None => panic!(
+                "campaign unit {} failed: {}",
+                o.name,
+                o.error.as_deref().unwrap_or("unknown error")
+            ),
+        })
+        .collect()
+}
+
+/// Executes a single unit (see [`execute_units`]).
+pub fn execute_unit(a: &CsrMatrix, b: &[f64], spec: UnitSpec) -> RunReport {
+    execute_units(a, b, std::slice::from_ref(&spec))
+        .pop()
+        .expect("one spec yields one report")
+}

@@ -12,8 +12,7 @@ use rsls_faults::{FaultClass, FaultSchedule};
 
 use crate::output::{f2, Table};
 use crate::runners::{
-    cr_interval_for, evenly_spaced_faults, poisson_faults_for, run_fault_free, run_scheme,
-    workload,
+    cr_interval_for, evenly_spaced_faults, poisson_faults_for, run_fault_free, workload, SchemeRun,
 };
 use crate::Scale;
 
@@ -30,8 +29,10 @@ pub fn run(scale: Scale) -> Vec<Table> {
 
 /// SZ-style lossy checkpoint compression on the disk tier.
 fn checkpoint_compression(scale: Scale, ranks: usize) -> Table {
-    use rsls_core::driver::{run as drive, RunConfig};
+    use rsls_core::driver::RunConfig;
     use rsls_core::CompressionModel;
+
+    use crate::runners::run_cached;
 
     let (a, b) = workload("crystm02", scale);
     // A congested shared PFS (50 MB/s aggregate): the regime where
@@ -43,10 +44,9 @@ fn checkpoint_compression(scale: Scale, ranks: usize) -> Table {
     let ff = {
         let mut cfg = rsls_core::driver::RunConfig::new(Scheme::FaultFree, ranks);
         cfg.machine = machine.clone();
-        rsls_core::driver::run(&a, &b, &cfg)
+        run_cached(&a, &b, "ext-comp", cfg)
     };
-    let interval =
-        CheckpointInterval::EveryIterations(cr_interval_for(scale, ff.iterations));
+    let interval = CheckpointInterval::EveryIterations(cr_interval_for(scale, ff.iterations));
     let scheme = Scheme::Checkpoint {
         storage: CheckpointStorage::Disk,
         interval,
@@ -59,7 +59,10 @@ fn checkpoint_compression(scale: Scale, ranks: usize) -> Table {
     );
     for (name, comp) in [
         ("none", None),
-        ("SZ-like 10x @ 1 GB/s", Some(CompressionModel::lossy_default())),
+        (
+            "SZ-like 10x @ 1 GB/s",
+            Some(CompressionModel::lossy_default()),
+        ),
         (
             "ZFP-like 4x @ 3 GB/s",
             Some(CompressionModel {
@@ -72,7 +75,7 @@ fn checkpoint_compression(scale: Scale, ranks: usize) -> Table {
         cfg.machine = machine.clone();
         cfg.checkpoint_compression = comp;
         cfg.run_tag = format!("ext-comp-{}", name.replace([' ', '@', '/'], ""));
-        let r = drive(&a, &b, &cfg);
+        let r = run_cached(&a, &b, "ext-comp", cfg);
         let n = r.normalized_vs(&ff);
         t.push_row(vec![
             name.to_string(),
@@ -88,8 +91,7 @@ fn checkpoint_compression(scale: Scale, ranks: usize) -> Table {
 fn redundancy_and_multilevel(scale: Scale, ranks: usize) -> Table {
     let (a, b) = workload("crystm02", scale);
     let ff = run_fault_free(&a, &b, ranks);
-    let interval =
-        CheckpointInterval::EveryIterations(cr_interval_for(scale, ff.iterations));
+    let interval = CheckpointInterval::EveryIterations(cr_interval_for(scale, ff.iterations));
     let faults = evenly_spaced_faults(10, ff.iterations, ranks, "ext-rm");
 
     let schemes: Vec<(Scheme, DvfsPolicy)> = vec![
@@ -129,7 +131,11 @@ fn redundancy_and_multilevel(scale: Scale, ranks: usize) -> Table {
         ff.iterations.to_string(),
     ]);
     for (scheme, dvfs) in schemes {
-        let r = run_scheme(&a, &b, ranks, scheme, dvfs, faults.clone(), "ext-rm", None);
+        let r = SchemeRun::new(&a, &b, ranks, scheme)
+            .dvfs(dvfs)
+            .faults(faults.clone())
+            .tag("ext-rm")
+            .execute();
         let n = r.normalized_vs(&ff);
         t.push_row(vec![
             r.scheme.clone(),
@@ -164,16 +170,11 @@ fn interval_policies(scale: Scale, ranks: usize) -> Table {
             storage: CheckpointStorage::Disk,
             interval,
         };
-        let r = run_scheme(
-            &a,
-            &b,
-            ranks,
-            scheme,
-            DvfsPolicy::OsDefault,
-            faults.clone(),
-            &format!("ext-int-{name}"),
-            Some(mtbf_s),
-        );
+        let r = SchemeRun::new(&a, &b, ranks, scheme)
+            .faults(faults.clone())
+            .tag(format!("ext-int-{name}"))
+            .mtbf_s(mtbf_s)
+            .execute();
         let n = r.normalized_vs(&ff);
         t.push_row(vec![
             name.to_string(),
@@ -191,8 +192,7 @@ fn interval_policies(scale: Scale, ranks: usize) -> Table {
 fn swo_survival(scale: Scale, ranks: usize) -> Table {
     let (a, b) = workload("Kuu", scale);
     let ff = run_fault_free(&a, &b, ranks);
-    let interval =
-        CheckpointInterval::EveryIterations(cr_interval_for(scale, ff.iterations));
+    let interval = CheckpointInterval::EveryIterations(cr_interval_for(scale, ff.iterations));
     let swo = FaultSchedule::single_at_iteration(ff.iterations / 2, 0, FaultClass::Swo);
 
     let schemes: Vec<(Scheme, DvfsPolicy)> = vec![
@@ -225,13 +225,13 @@ fn swo_survival(scale: Scale, ranks: usize) -> Table {
         &["scheme", "norm iters", "retains progress"],
     );
     for (scheme, dvfs) in schemes {
-        let r = run_scheme(&a, &b, ranks, scheme, dvfs, swo.clone(), "ext-swo", None);
+        let r = SchemeRun::new(&a, &b, ranks, scheme)
+            .dvfs(dvfs)
+            .faults(swo.clone())
+            .tag("ext-swo")
+            .execute();
         let norm = r.iterations as f64 / ff.iterations as f64;
-        t.push_row(vec![
-            r.scheme.clone(),
-            f2(norm),
-            (norm < 1.3).to_string(),
-        ]);
+        t.push_row(vec![r.scheme.clone(), f2(norm), (norm < 1.3).to_string()]);
     }
     t
 }
@@ -253,16 +253,11 @@ mod tests {
                 storage: CheckpointStorage::Memory,
                 interval,
             };
-            let r = run_scheme(
-                &a,
-                &b,
-                ranks,
-                scheme,
-                DvfsPolicy::OsDefault,
-                faults.clone(),
-                "ext-test",
-                Some(mtbf),
-            );
+            let r = SchemeRun::new(&a, &b, ranks, scheme)
+                .faults(faults.clone())
+                .tag("ext-test")
+                .mtbf_s(mtbf)
+                .execute();
             assert!(r.converged);
             r.checkpoint_interval_iters.unwrap()
         };

@@ -1,10 +1,11 @@
 //! Figure 3 — accuracy and cost of different recovery mechanisms.
 
-use rsls_core::{CheckpointStorage, DvfsPolicy, Scheme};
 use rsls_core::interval::CheckpointInterval;
+use rsls_core::{CheckpointStorage, DvfsPolicy, Scheme};
 
+use crate::campaign::{execute_units, unit_spec};
 use crate::output::{f2, sci, Table};
-use crate::runners::{poisson_faults_for, run_fault_free, run_scheme, workload};
+use crate::runners::{poisson_faults_for, run_fault_free, workload, SchemeRun};
 use crate::Scale;
 
 /// Reproduces Figure 3: time and energy overhead (normalized to FF) of
@@ -42,21 +43,22 @@ pub fn run(scale: Scale) -> Vec<Table> {
             "faults",
         ],
     );
-    for (scheme, dvfs) in schemes {
-        let r = if scheme == Scheme::FaultFree {
-            ff.clone()
-        } else {
-            run_scheme(
-                &a,
-                &b,
-                ranks,
-                scheme,
-                dvfs,
-                faults.clone(),
-                "fig3",
-                Some(mtbf_s),
-            )
-        };
+    // One batch: the engine runs these in parallel under `--jobs N`.
+    let specs: Vec<_> = schemes
+        .iter()
+        .filter(|(scheme, _)| *scheme != Scheme::FaultFree)
+        .map(|(scheme, dvfs)| {
+            let run = SchemeRun::new(&a, &b, ranks, *scheme)
+                .dvfs(*dvfs)
+                .faults(faults.clone())
+                .tag("fig3")
+                .mtbf_s(mtbf_s);
+            unit_spec(&a, &b, "fig3", scale, run.config())
+        })
+        .collect();
+    let mut reports = execute_units(&a, &b, &specs);
+    reports.insert(0, ff.clone());
+    for r in reports {
         let n = r.normalized_vs(&ff);
         t.push_row(vec![
             r.scheme.clone(),
@@ -83,36 +85,22 @@ mod tests {
         let (a, b) = workload("Andrews", Scale::Quick);
         let ff = run_fault_free(&a, &b, ranks);
         let (faults, mtbf) = poisson_faults_for(&ff, 3.0, ranks, "fig3-test");
-        let rd = run_scheme(
-            &a,
-            &b,
-            ranks,
-            Scheme::Dmr,
-            DvfsPolicy::OsDefault,
-            faults.clone(),
-            "f3t",
-            Some(mtbf),
-        );
-        let fw = run_scheme(
-            &a,
-            &b,
-            ranks,
-            Scheme::li_local_cg(),
-            DvfsPolicy::ThrottleWaiters,
-            faults.clone(),
-            "f3t",
-            Some(mtbf),
-        );
-        let cr = run_scheme(
-            &a,
-            &b,
-            ranks,
-            Scheme::cr_disk(),
-            DvfsPolicy::OsDefault,
-            faults,
-            "f3t",
-            Some(mtbf),
-        );
+        let rd = SchemeRun::new(&a, &b, ranks, Scheme::Dmr)
+            .faults(faults.clone())
+            .tag("f3t")
+            .mtbf_s(mtbf)
+            .execute();
+        let fw = SchemeRun::new(&a, &b, ranks, Scheme::li_local_cg())
+            .dvfs(DvfsPolicy::ThrottleWaiters)
+            .faults(faults.clone())
+            .tag("f3t")
+            .mtbf_s(mtbf)
+            .execute();
+        let cr = SchemeRun::new(&a, &b, ranks, Scheme::cr_disk())
+            .faults(faults)
+            .tag("f3t")
+            .mtbf_s(mtbf)
+            .execute();
         assert!(fw.converged && cr.converged && rd.converged);
         let e_fw = fw.energy_j / ff.energy_j;
         let e_rd = rd.energy_j / ff.energy_j;

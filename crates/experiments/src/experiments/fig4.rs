@@ -1,9 +1,9 @@
 //! Figure 4 — CG-based construction vs LU/QR baselines (Kuu, 5 faults).
 
-use rsls_core::{ConstructionMethod, DvfsPolicy, ForwardKind, Scheme};
+use rsls_core::{ConstructionMethod, ForwardKind, Scheme};
 
 use crate::output::{f2, sci, Table};
-use crate::runners::{evenly_spaced_faults, run_fault_free, run_scheme, workload};
+use crate::runners::{evenly_spaced_faults, run_fault_free, workload, SchemeRun};
 use crate::Scale;
 
 /// Construction tolerances swept for the CG-based schemes (the paper's
@@ -29,16 +29,10 @@ pub fn run(scale: Scale) -> Vec<Table> {
         ("LI (LU)", Scheme::li_exact()),
         ("LSI (QR)", Scheme::lsi_exact()),
     ] {
-        let r = run_scheme(
-            &a,
-            &b,
-            ranks,
-            scheme,
-            DvfsPolicy::OsDefault,
-            faults.clone(),
-            "fig4",
-            None,
-        );
+        let r = SchemeRun::new(&a, &b, ranks, scheme)
+            .faults(faults.clone())
+            .tag("fig4")
+            .execute();
         t.push_row(vec![
             label.to_string(),
             "exact".to_string(),
@@ -51,20 +45,20 @@ pub fn run(scale: Scale) -> Vec<Table> {
     // CG-based sweeps.
     for tol in TOLERANCES {
         for (label, kind) in [
-            ("LI (CG)", ForwardKind::Linear as fn(ConstructionMethod) -> ForwardKind),
-            ("LSI (CG)", ForwardKind::LeastSquares as fn(ConstructionMethod) -> ForwardKind),
+            (
+                "LI (CG)",
+                ForwardKind::Linear as fn(ConstructionMethod) -> ForwardKind,
+            ),
+            (
+                "LSI (CG)",
+                ForwardKind::LeastSquares as fn(ConstructionMethod) -> ForwardKind,
+            ),
         ] {
             let scheme = Scheme::Forward(kind(ConstructionMethod::local_cg_fixed(tol, 2000)));
-            let r = run_scheme(
-                &a,
-                &b,
-                ranks,
-                scheme,
-                DvfsPolicy::OsDefault,
-                faults.clone(),
-                "fig4",
-                None,
-            );
+            let r = SchemeRun::new(&a, &b, ranks, scheme)
+                .faults(faults.clone())
+                .tag("fig4")
+                .execute();
             t.push_row(vec![
                 label.to_string(),
                 sci(tol),
@@ -89,26 +83,21 @@ mod tests {
         let (a, b) = workload("Kuu", Scale::Quick);
         let ff = run_fault_free(&a, &b, ranks);
         let faults = evenly_spaced_faults(5, ff.iterations, ranks, "fig4-test");
-        let lu = run_scheme(
+        let lu = SchemeRun::new(&a, &b, ranks, Scheme::li_exact())
+            .faults(faults.clone())
+            .tag("f4t")
+            .execute();
+        let cg = SchemeRun::new(
             &a,
             &b,
             ranks,
-            Scheme::li_exact(),
-            DvfsPolicy::OsDefault,
-            faults.clone(),
-            "f4t",
-            None,
-        );
-        let cg = run_scheme(
-            &a,
-            &b,
-            ranks,
-            Scheme::Forward(ForwardKind::Linear(ConstructionMethod::local_cg_fixed(1e-6, 2000))),
-            DvfsPolicy::OsDefault,
-            faults,
-            "f4t",
-            None,
-        );
+            Scheme::Forward(ForwardKind::Linear(ConstructionMethod::local_cg_fixed(
+                1e-6, 2000,
+            ))),
+        )
+        .faults(faults)
+        .tag("f4t")
+        .execute();
         assert!(lu.converged && cg.converged);
         assert!(
             cg.time_s <= lu.time_s * 1.001,
@@ -125,26 +114,14 @@ mod tests {
         let (a, b) = workload("Kuu", Scale::Quick);
         let ff = run_fault_free(&a, &b, ranks);
         let faults = evenly_spaced_faults(5, ff.iterations, ranks, "fig4-test2");
-        let qr = run_scheme(
-            &a,
-            &b,
-            ranks,
-            Scheme::lsi_exact(),
-            DvfsPolicy::OsDefault,
-            faults.clone(),
-            "f4t2",
-            None,
-        );
-        let cgls = run_scheme(
-            &a,
-            &b,
-            ranks,
-            Scheme::lsi_local_cg(),
-            DvfsPolicy::OsDefault,
-            faults,
-            "f4t2",
-            None,
-        );
+        let qr = SchemeRun::new(&a, &b, ranks, Scheme::lsi_exact())
+            .faults(faults.clone())
+            .tag("f4t2")
+            .execute();
+        let cgls = SchemeRun::new(&a, &b, ranks, Scheme::lsi_local_cg())
+            .faults(faults)
+            .tag("f4t2")
+            .execute();
         assert!(qr.breakdown.reconstruct_s > 0.0);
         assert!(
             cgls.time_s <= qr.time_s * 1.001,

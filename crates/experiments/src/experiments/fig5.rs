@@ -41,7 +41,8 @@ mod tests {
         let (a, b) = workload("crystm02", Scale::Quick);
         let (ff, reports) = run_standard_lineup(&a, &b, 8, 10, "crystm02", Scale::Quick);
         let iters: Vec<usize> = reports.iter().map(|r| r.iterations).collect();
-        let (rd, f0, fi, li, lsi, cr) = (iters[1], iters[2], iters[3], iters[4], iters[5], iters[6]);
+        let (rd, f0, fi, li, lsi, cr) =
+            (iters[1], iters[2], iters[3], iters[4], iters[5], iters[6]);
         assert_eq!(rd, ff.iterations, "RD tracks FF");
         assert!(li < f0, "LI {li} must beat F0 {f0}");
         assert!(lsi < f0, "LSI {lsi} must beat F0 {f0}");

@@ -1,11 +1,14 @@
 //! Figure 6 — residual histories under faults and recovery.
 
-use rsls_core::driver::{run as drive, RunConfig};
+use rsls_core::driver::RunConfig;
 use rsls_core::{DvfsPolicy, Scheme};
 use rsls_faults::{FaultClass, FaultSchedule};
 
 use crate::output::{f2, sci, Table};
-use crate::runners::{cr_interval_for, evenly_spaced_faults, run_fault_free, standard_schemes, workload};
+use crate::runners::run_cached;
+use crate::runners::{
+    cr_interval_for, evenly_spaced_faults, run_fault_free, standard_schemes, workload,
+};
 use crate::Scale;
 
 /// Reproduces Figure 6: the residual-vs-iteration relation under
@@ -58,10 +61,12 @@ fn single_fault_table(scale: Scale, ranks: usize) -> (Table, Table) {
         } else {
             FaultSchedule::single_at_iteration(fault_iter, ranks / 2, FaultClass::Snf)
         };
-        let mut cfg = RunConfig::new(scheme, ranks).with_faults(faults).with_dvfs(dvfs);
+        let mut cfg = RunConfig::new(scheme, ranks)
+            .with_faults(faults)
+            .with_dvfs(dvfs);
         cfg.record_history = true;
         cfg.run_tag = format!("fig6a-{}", scheme.label().replace([' ', '(', ')'], ""));
-        let r = drive(&a, &b, &cfg);
+        let r = run_cached(&a, &b, "fig6a-cvxbqp1", cfg);
         t.push_row(vec![
             r.scheme.clone(),
             r.iterations.to_string(),
@@ -89,10 +94,12 @@ fn stencil_table(scale: Scale, ranks: usize) -> Table {
         } else {
             evenly_spaced_faults(10, ff.iterations, ranks, "fig6b")
         };
-        let mut cfg = RunConfig::new(scheme, ranks).with_faults(faults).with_dvfs(dvfs);
+        let mut cfg = RunConfig::new(scheme, ranks)
+            .with_faults(faults)
+            .with_dvfs(dvfs);
         cfg.record_history = true;
         cfg.run_tag = format!("fig6b-{}", scheme.label().replace([' ', '(', ')'], ""));
-        let r = drive(&a, &b, &cfg);
+        let r = run_cached(&a, &b, "fig6b-stencil", cfg);
         t.push_row(vec![
             r.scheme.clone(),
             r.iterations.to_string(),
@@ -123,7 +130,9 @@ mod tests {
             );
             cfg.record_history = true;
             cfg.run_tag = format!("fig6-test-{}", scheme.label().replace([' ', '(', ')'], ""));
-            drive(&a, &b, &cfg).history.worst_fault_jump()
+            run_cached(&a, &b, "fig6-test", cfg)
+                .history
+                .worst_fault_jump()
         };
 
         let rd = jump_of(Scheme::Dmr);

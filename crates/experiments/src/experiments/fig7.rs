@@ -3,7 +3,7 @@
 use rsls_core::{DvfsPolicy, Scheme};
 
 use crate::output::{f2, f3, Table};
-use crate::runners::{evenly_spaced_faults, run_fault_free, run_scheme, workload};
+use crate::runners::{evenly_spaced_faults, run_fault_free, workload, SchemeRun};
 use crate::{Scale, SUITE};
 
 /// Figure 7a — the power profile of nd24k on a single 24-core node under
@@ -32,16 +32,11 @@ pub fn run_a(scale: Scale) -> Vec<Table> {
         &["scheme", "time (s)", "power (W)"],
     );
     for dvfs in [DvfsPolicy::OsDefault, DvfsPolicy::ThrottleWaiters] {
-        let r = run_scheme(
-            &a,
-            &b,
-            ranks,
-            Scheme::li_local_cg(),
-            dvfs,
-            faults.clone(),
-            "fig7a",
-            None,
-        );
+        let r = SchemeRun::new(&a, &b, ranks, Scheme::li_local_cg())
+            .dvfs(dvfs)
+            .faults(faults.clone())
+            .tag("fig7a")
+            .execute();
         // Plateau detection from the recorded profile: the top level is the
         // compute plateau, the lowest sustained level during the run is the
         // construction plateau.
@@ -96,9 +91,17 @@ pub fn run_b(scale: Scale) -> Vec<Table> {
     let ranks = scale.default_ranks();
     let variants: [(&str, Scheme, DvfsPolicy); 4] = [
         ("LI", Scheme::li_local_cg(), DvfsPolicy::OsDefault),
-        ("LI-DVFS", Scheme::li_local_cg(), DvfsPolicy::ThrottleWaiters),
+        (
+            "LI-DVFS",
+            Scheme::li_local_cg(),
+            DvfsPolicy::ThrottleWaiters,
+        ),
         ("LSI", Scheme::lsi_local_cg(), DvfsPolicy::OsDefault),
-        ("LSI-DVFS", Scheme::lsi_local_cg(), DvfsPolicy::ThrottleWaiters),
+        (
+            "LSI-DVFS",
+            Scheme::lsi_local_cg(),
+            DvfsPolicy::ThrottleWaiters,
+        ),
     ];
 
     let mut sums = vec![(0.0f64, 0.0f64, 0.0f64, 0.0f64); variants.len()];
@@ -108,7 +111,11 @@ pub fn run_b(scale: Scale) -> Vec<Table> {
         let ff = run_fault_free(&a, &b, ranks);
         let faults = evenly_spaced_faults(10, ff.iterations, ranks, spec.name);
         for (i, (_, scheme, dvfs)) in variants.iter().enumerate() {
-            let r = run_scheme(&a, &b, ranks, *scheme, *dvfs, faults.clone(), "fig7b", None);
+            let r = SchemeRun::new(&a, &b, ranks, *scheme)
+                .dvfs(*dvfs)
+                .faults(faults.clone())
+                .tag("fig7b")
+                .execute();
             let n = r.normalized_vs(&ff);
             sums[i].0 += n.time;
             sums[i].1 += n.power;
@@ -149,16 +156,11 @@ mod tests {
         let ff = run_fault_free(&a, &b, ranks);
         let faults = evenly_spaced_faults(5, ff.iterations, ranks, "fig7a-test");
         let trough_of = |dvfs| {
-            let r = run_scheme(
-                &a,
-                &b,
-                ranks,
-                Scheme::li_local_cg(),
-                dvfs,
-                faults.clone(),
-                "f7t",
-                None,
-            );
+            let r = SchemeRun::new(&a, &b, ranks, Scheme::li_local_cg())
+                .dvfs(dvfs)
+                .faults(faults.clone())
+                .tag("f7t")
+                .execute();
             let peak = r
                 .power_profile
                 .iter()

@@ -4,7 +4,7 @@ use rsls_core::interval::CheckpointInterval;
 use rsls_core::{CheckpointStorage, DvfsPolicy, Scheme};
 
 use crate::output::{f2, Table};
-use crate::runners::{poisson_faults_for, run_fault_free, run_scheme, workload};
+use crate::runners::{poisson_faults_for, run_fault_free, workload, SchemeRun};
 use crate::Scale;
 
 /// The three matrices of Figure 8 (x — irregular structure; n — very
@@ -54,16 +54,12 @@ pub fn run(scale: Scale) -> Vec<Table> {
             ff.iterations.to_string(),
         ]);
         for (scheme, dvfs) in schemes {
-            let r = run_scheme(
-                &a,
-                &b,
-                ranks,
-                scheme,
-                dvfs,
-                faults.clone(),
-                &format!("fig8-{name}"),
-                Some(mtbf_s),
-            );
+            let r = SchemeRun::new(&a, &b, ranks, scheme)
+                .dvfs(dvfs)
+                .faults(faults.clone())
+                .tag(format!("fig8-{name}"))
+                .mtbf_s(mtbf_s)
+                .execute();
             let n = r.normalized_vs(&ff);
             t.push_row(vec![
                 r.scheme.clone(),
@@ -97,16 +93,11 @@ mod tests {
             let (a, b) = workload(name, Scale::Quick);
             let ff = run_fault_free(&a, &b, ranks);
             let faults = evenly_spaced_faults(5, ff.iterations, ranks, "f8t");
-            let fw = run_scheme(
-                &a,
-                &b,
-                ranks,
-                Scheme::li_local_cg(),
-                DvfsPolicy::ThrottleWaiters,
-                faults,
-                &format!("f8t-{name}"),
-                None,
-            );
+            let fw = SchemeRun::new(&a, &b, ranks, Scheme::li_local_cg())
+                .dvfs(DvfsPolicy::ThrottleWaiters)
+                .faults(faults)
+                .tag(format!("f8t-{name}"))
+                .execute();
             assert!(fw.converged);
             overheads.push(fw.iterations as f64 / ff.iterations as f64);
         }

@@ -34,7 +34,11 @@ pub fn run(_scale: Scale) -> Vec<Table> {
                     "E_res" => p.e_res_norm,
                     _ => p.p_norm,
                 };
-                row.push(if v.abs() < 0.01 && v != 0.0 { sci(v) } else { f2(v) });
+                row.push(if v.abs() < 0.01 && v != 0.0 {
+                    sci(v)
+                } else {
+                    f2(v)
+                });
             }
             t.push_row(row);
         }

@@ -1,9 +1,10 @@
 //! Table 3 — matrix suite properties (paper values vs generated analogs).
 
-use rsls_core::driver::{run as drive, RunConfig};
+use rsls_core::driver::RunConfig;
 use rsls_core::Scheme;
 
 use crate::output::{f2, Table};
+use crate::runners::run_cached;
 use crate::{Scale, SUITE};
 
 /// Reproduces Table 3 with both the paper's reported properties and the
@@ -26,7 +27,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
     for spec in SUITE {
         let a = spec.generate(scale);
         let b = spec.rhs(&a);
-        let ff = drive(&a, &b, &RunConfig::new(Scheme::FaultFree, 1));
+        let ff = run_cached(&a, &b, spec.name, RunConfig::new(Scheme::FaultFree, 1));
         t.push_row(vec![
             spec.name.to_string(),
             spec.problem_kind.to_string(),

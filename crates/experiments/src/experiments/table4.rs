@@ -38,8 +38,8 @@ pub fn run(scale: Scale) -> Vec<Table> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::runners::{evenly_spaced_faults, run_fault_free, run_scheme};
-    use rsls_core::{DvfsPolicy, Scheme};
+    use crate::runners::{evenly_spaced_faults, run_fault_free, SchemeRun};
+    use rsls_core::Scheme;
 
     #[test]
     fn rd_is_invariant_across_process_counts() {
@@ -48,16 +48,10 @@ mod tests {
         for p in [4usize, 16] {
             let ff = run_fault_free(&a, &b, p);
             let faults = evenly_spaced_faults(5, ff.iterations, p, "t4-rd");
-            let rd = run_scheme(
-                &a,
-                &b,
-                p,
-                Scheme::Dmr,
-                DvfsPolicy::OsDefault,
-                faults,
-                "t4-rd",
-                None,
-            );
+            let rd = SchemeRun::new(&a, &b, p, Scheme::Dmr)
+                .faults(faults)
+                .tag("t4-rd")
+                .execute();
             assert_eq!(rd.iterations, ff.iterations, "p = {p}");
         }
     }

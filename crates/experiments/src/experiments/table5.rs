@@ -4,7 +4,7 @@ use rsls_core::interval::CheckpointInterval;
 use rsls_core::{CheckpointStorage, DvfsPolicy, Scheme};
 
 use crate::output::{f2, Table};
-use crate::runners::{poisson_faults_for, run_fault_free, run_scheme, workload};
+use crate::runners::{poisson_faults_for, run_fault_free, workload, SchemeRun};
 use crate::{Scale, SUITE};
 
 /// Reproduces Table 5: time, power, and energy cost of resilience per
@@ -41,16 +41,12 @@ pub fn run(scale: Scale) -> Vec<Table> {
         let ff = run_fault_free(&a, &b, ranks);
         let (faults, mtbf_s) = poisson_faults_for(&ff, 4.0, ranks, spec.name);
         for (i, (scheme, dvfs)) in schemes.iter().enumerate() {
-            let r = run_scheme(
-                &a,
-                &b,
-                ranks,
-                *scheme,
-                *dvfs,
-                faults.clone(),
-                &format!("t5-{}", spec.name),
-                Some(mtbf_s),
-            );
+            let r = SchemeRun::new(&a, &b, ranks, *scheme)
+                .dvfs(*dvfs)
+                .faults(faults.clone())
+                .tag(format!("t5-{}", spec.name))
+                .mtbf_s(mtbf_s)
+                .execute();
             let n = r.normalized_vs(&ff);
             sums[i].0 += n.time;
             sums[i].1 += n.power;
@@ -91,21 +87,35 @@ mod tests {
         let (a, b) = workload("crystm02", Scale::Quick);
         let ff = run_fault_free(&a, &b, ranks);
         let (faults, mtbf) = poisson_faults_for(&ff, 4.0, ranks, "t5-test");
-        let rd = run_scheme(&a, &b, ranks, Scheme::Dmr, DvfsPolicy::OsDefault, faults.clone(), "t5t", Some(mtbf));
-        let li = run_scheme(
-            &a,
-            &b,
-            ranks,
-            Scheme::li_local_cg(),
-            DvfsPolicy::ThrottleWaiters,
-            faults.clone(),
-            "t5t",
-            Some(mtbf),
-        );
-        let crm = run_scheme(&a, &b, ranks, Scheme::cr_memory(), DvfsPolicy::OsDefault, faults.clone(), "t5t", Some(mtbf));
-        let crd = run_scheme(&a, &b, ranks, Scheme::cr_disk(), DvfsPolicy::OsDefault, faults, "t5t", Some(mtbf));
+        let rd = SchemeRun::new(&a, &b, ranks, Scheme::Dmr)
+            .faults(faults.clone())
+            .tag("t5t")
+            .mtbf_s(mtbf)
+            .execute();
+        let li = SchemeRun::new(&a, &b, ranks, Scheme::li_local_cg())
+            .dvfs(DvfsPolicy::ThrottleWaiters)
+            .faults(faults.clone())
+            .tag("t5t")
+            .mtbf_s(mtbf)
+            .execute();
+        let crm = SchemeRun::new(&a, &b, ranks, Scheme::cr_memory())
+            .faults(faults.clone())
+            .tag("t5t")
+            .mtbf_s(mtbf)
+            .execute();
+        let crd = SchemeRun::new(&a, &b, ranks, Scheme::cr_disk())
+            .faults(faults)
+            .tag("t5t")
+            .mtbf_s(mtbf)
+            .execute();
         assert!((rd.avg_power_w / ff.avg_power_w - 2.0).abs() < 0.05);
-        assert!(crd.time_s > crm.time_s, "CR-D must cost more time than CR-M");
-        assert!(li.avg_power_w < ff.avg_power_w, "LI-DVFS reduces average power");
+        assert!(
+            crd.time_s > crm.time_s,
+            "CR-D must cost more time than CR-M"
+        );
+        assert!(
+            li.avg_power_w < ff.avg_power_w,
+            "LI-DVFS reduces average power"
+        );
     }
 }

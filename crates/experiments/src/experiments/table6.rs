@@ -5,7 +5,7 @@ use rsls_core::{CheckpointStorage, DvfsPolicy, Scheme};
 use rsls_models::validate;
 
 use crate::output::{f2, Table};
-use crate::runners::{poisson_faults_for, run_fault_free, run_scheme, workload};
+use crate::runners::{poisson_faults_for, run_fault_free, workload, SchemeRun};
 use crate::Scale;
 
 /// Reproduces Table 6: for matrix x104, the §3 models' predicted
@@ -59,16 +59,12 @@ pub fn run(scale: Scale) -> Vec<Table> {
         f2(0.0),
     ]);
     for (scheme, dvfs) in schemes {
-        let r = run_scheme(
-            &a,
-            &b,
-            ranks,
-            scheme,
-            dvfs,
-            faults.clone(),
-            "table6",
-            Some(mtbf_s),
-        );
+        let r = SchemeRun::new(&a, &b, ranks, scheme)
+            .dvfs(dvfs)
+            .faults(faults.clone())
+            .tag("table6")
+            .mtbf_s(mtbf_s)
+            .execute();
         let row = validate(&r, &ff);
         t.push_row(vec![
             row.scheme.clone(),
@@ -96,8 +92,16 @@ mod tests {
         let (a, b) = workload("x104", Scale::Quick);
         let ff = run_fault_free(&a, &b, ranks);
         let (faults, mtbf) = poisson_faults_for(&ff, 4.0, ranks, "t6-test");
-        let crm = run_scheme(&a, &b, ranks, Scheme::cr_memory(), DvfsPolicy::OsDefault, faults.clone(), "t6t", Some(mtbf));
-        let crd = run_scheme(&a, &b, ranks, Scheme::cr_disk(), DvfsPolicy::OsDefault, faults, "t6t", Some(mtbf));
+        let crm = SchemeRun::new(&a, &b, ranks, Scheme::cr_memory())
+            .faults(faults.clone())
+            .tag("t6t")
+            .mtbf_s(mtbf)
+            .execute();
+        let crd = SchemeRun::new(&a, &b, ranks, Scheme::cr_disk())
+            .faults(faults)
+            .tag("t6t")
+            .mtbf_s(mtbf)
+            .execute();
         let vm = validate(&crm, &ff);
         let vd = validate(&crd, &ff);
         assert!(vd.exp_t_res > vm.exp_t_res, "measured: CR-D > CR-M");

@@ -25,7 +25,9 @@ const PALETTE: [&str; 10] = [
 ];
 
 fn esc(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 fn svg_header(title: &str) -> String {
@@ -163,10 +165,10 @@ pub fn lines(table: &Table, log_y: bool) -> String {
         y0 = y0.min(y);
         y1 = y1.max(y);
     }
-    if all.is_empty() || !(x1 > x0) {
+    if all.is_empty() || x1 <= x0 {
         return svg_header(&table.title) + "</svg>\n";
     }
-    if !(y1 > y0) {
+    if y1 <= y0 {
         y1 = y0 + 1.0;
     }
 
@@ -270,7 +272,10 @@ mod tests {
     }
 
     fn line_table(n: usize) -> Table {
-        let mut t = Table::new("Demo residual", &["scheme", "iteration", "relative residual"]);
+        let mut t = Table::new(
+            "Demo residual",
+            &["scheme", "iteration", "relative residual"],
+        );
         for i in 0..n {
             t.push_row(vec![
                 "FF".into(),
@@ -287,7 +292,10 @@ mod tests {
         assert!(svg.starts_with("<svg"));
         assert!(svg.ends_with("</svg>\n"));
         // 2 categories x 2 series = 4 bars + background rect.
-        assert_eq!(svg.matches("<rect").count(), 1 + 4 + 2 /* legend swatches */);
+        assert_eq!(
+            svg.matches("<rect").count(),
+            1 + 4 + 2 /* legend swatches */
+        );
         assert!(svg.contains("Demo bars"));
     }
 

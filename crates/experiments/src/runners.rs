@@ -1,11 +1,17 @@
 //! Shared run orchestration for the experiment harnesses.
+//!
+//! Every solver invocation here goes through the process-wide campaign
+//! engine ([`crate::campaign`]): runs are specified canonically, cached
+//! by content address when the engine has a cache, and executed on its
+//! worker pool when a batch allows it.
 
-use rsls_core::driver::{run, RunConfig};
+use rsls_core::driver::RunConfig;
 use rsls_core::interval::CheckpointInterval;
 use rsls_core::{CheckpointStorage, DvfsPolicy, ForwardKind, RunReport, Scheme};
 use rsls_faults::{FaultClass, FaultSchedule};
 use rsls_sparse::CsrMatrix;
 
+use crate::campaign::{execute_unit, execute_units, unit_spec};
 use crate::{Scale, SUITE};
 
 /// The §5.2 scheme line-up: FF, RD, F0, FI, LI, LSI, CR.
@@ -18,7 +24,10 @@ pub fn standard_schemes(cr_interval: usize) -> Vec<(Scheme, DvfsPolicy)> {
         (Scheme::FaultFree, DvfsPolicy::OsDefault),
         (Scheme::Dmr, DvfsPolicy::OsDefault),
         (Scheme::Forward(ForwardKind::Zero), DvfsPolicy::OsDefault),
-        (Scheme::Forward(ForwardKind::InitialGuess), DvfsPolicy::OsDefault),
+        (
+            Scheme::Forward(ForwardKind::InitialGuess),
+            DvfsPolicy::OsDefault,
+        ),
         (Scheme::li_local_cg(), DvfsPolicy::OsDefault),
         (Scheme::lsi_local_cg(), DvfsPolicy::OsDefault),
         (
@@ -46,27 +55,108 @@ pub fn cr_interval_for(scale: Scale, ff_iters: usize) -> usize {
 
 /// Runs the fault-free baseline.
 pub fn run_fault_free(a: &CsrMatrix, b: &[f64], ranks: usize) -> RunReport {
-    run(a, b, &RunConfig::new(Scheme::FaultFree, ranks))
+    SchemeRun::new(a, b, ranks, Scheme::FaultFree).execute()
 }
 
-/// Runs one scheme with the given fault schedule and DVFS policy.
-#[allow(clippy::too_many_arguments)] // mirrors the experiment knobs 1:1
-pub fn run_scheme(
-    a: &CsrMatrix,
-    b: &[f64],
-    ranks: usize,
-    scheme: Scheme,
-    dvfs: DvfsPolicy,
-    faults: FaultSchedule,
-    tag: &str,
-    mtbf_s: Option<f64>,
-) -> RunReport {
-    let mut cfg = RunConfig::new(scheme, ranks)
-        .with_faults(faults)
-        .with_dvfs(dvfs);
-    cfg.run_tag = format!("{tag}-{}-{ranks}", scheme.label().replace([' ', '(', ')'], ""));
-    cfg.mtbf_s = mtbf_s;
-    run(a, b, &cfg)
+/// Parameters of one scheme run — the experiment knobs, named.
+///
+/// Construct with [`SchemeRun::new`] (fault-free, OS-default DVFS, no
+/// MTBF), adjust with the builder methods, and [`execute`]
+/// ([`SchemeRun::execute`]) through the campaign engine.
+#[derive(Debug, Clone)]
+pub struct SchemeRun<'a> {
+    /// System matrix.
+    pub a: &'a CsrMatrix,
+    /// Right-hand side.
+    pub b: &'a [f64],
+    /// Virtual rank count.
+    pub ranks: usize,
+    /// Recovery scheme under test.
+    pub scheme: Scheme,
+    /// DVFS policy during reconstruction.
+    pub dvfs: DvfsPolicy,
+    /// Fault injection plan.
+    pub faults: FaultSchedule,
+    /// Matrix/workload tag — names the unit in journals and (with the
+    /// data fingerprint) in cache addresses, and salts on-disk
+    /// checkpoint file names.
+    pub tag: String,
+    /// MTBF in seconds, for Young/Daly interval resolution.
+    pub mtbf_s: Option<f64>,
+}
+
+impl<'a> SchemeRun<'a> {
+    /// A run with no faults, OS-default DVFS, and no MTBF.
+    pub fn new(a: &'a CsrMatrix, b: &'a [f64], ranks: usize, scheme: Scheme) -> Self {
+        SchemeRun {
+            a,
+            b,
+            ranks,
+            scheme,
+            dvfs: DvfsPolicy::OsDefault,
+            faults: FaultSchedule::fault_free(),
+            tag: "run".to_string(),
+            mtbf_s: None,
+        }
+    }
+
+    /// Sets the DVFS policy.
+    pub fn dvfs(mut self, dvfs: DvfsPolicy) -> Self {
+        self.dvfs = dvfs;
+        self
+    }
+
+    /// Sets the fault schedule.
+    pub fn faults(mut self, faults: FaultSchedule) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the workload tag.
+    pub fn tag(mut self, tag: impl Into<String>) -> Self {
+        self.tag = tag.into();
+        self
+    }
+
+    /// Sets the MTBF.
+    pub fn mtbf_s(mut self, mtbf_s: f64) -> Self {
+        self.mtbf_s = Some(mtbf_s);
+        self
+    }
+
+    /// The [`RunConfig`] this run resolves to.
+    pub fn config(&self) -> RunConfig {
+        let mut cfg = RunConfig::new(self.scheme, self.ranks)
+            .with_faults(self.faults.clone())
+            .with_dvfs(self.dvfs);
+        cfg.run_tag = format!(
+            "{}-{}-{}",
+            self.tag,
+            self.scheme.label().replace([' ', '(', ')'], ""),
+            self.ranks
+        );
+        cfg.mtbf_s = self.mtbf_s;
+        cfg
+    }
+
+    /// Executes the run through the campaign engine.
+    pub fn execute(&self) -> RunReport {
+        let spec = unit_spec(self.a, self.b, &self.tag, Scale::from_env(), self.config());
+        execute_unit(self.a, self.b, spec)
+    }
+}
+
+/// Runs one scheme with the given fault schedule and DVFS policy
+/// (convenience wrapper over [`SchemeRun`]).
+pub fn run_scheme(params: SchemeRun<'_>) -> RunReport {
+    params.execute()
+}
+
+/// Routes an arbitrary [`RunConfig`] through the campaign engine —
+/// for harnesses that need knobs [`SchemeRun`] does not carry
+/// (residual-history recording, frequency pinning, compression).
+pub fn run_cached(a: &CsrMatrix, b: &[f64], tag: &str, cfg: RunConfig) -> RunReport {
+    execute_unit(a, b, unit_spec(a, b, tag, Scale::from_env(), cfg))
 }
 
 /// The §5.2 fault plan: `k` faults spread evenly over the fault-free
@@ -106,6 +196,11 @@ pub fn poisson_faults_for(
 /// Runs the standard scheme line-up on one suite matrix: returns
 /// `(ff_report, per-scheme reports)` with the §5.2 parameters
 /// (k evenly spaced faults, tolerance 1e-12).
+///
+/// The fault-free baseline runs first (its iteration count anchors the
+/// fault schedule and checkpoint interval); the remaining schemes are
+/// submitted to the campaign engine as one batch, so with `--jobs N`
+/// they execute in parallel.
 pub fn run_standard_lineup(
     a: &CsrMatrix,
     b: &[f64],
@@ -114,17 +209,24 @@ pub fn run_standard_lineup(
     name: &str,
     scale: Scale,
 ) -> (RunReport, Vec<RunReport>) {
-    let ff = run_fault_free(a, b, ranks);
+    let ff = SchemeRun::new(a, b, ranks, Scheme::FaultFree)
+        .tag(name)
+        .execute();
     let interval = cr_interval_for(scale, ff.iterations);
-    let mut reports = Vec::new();
-    for (scheme, dvfs) in standard_schemes(interval) {
-        if scheme == Scheme::FaultFree {
-            reports.push(ff.clone());
-            continue;
-        }
-        let faults = evenly_spaced_faults(k_faults, ff.iterations, ranks, name);
-        reports.push(run_scheme(a, b, ranks, scheme, dvfs, faults, name, None));
-    }
+    let specs: Vec<_> = standard_schemes(interval)
+        .into_iter()
+        .filter(|(scheme, _)| *scheme != Scheme::FaultFree)
+        .map(|(scheme, dvfs)| {
+            let faults = evenly_spaced_faults(k_faults, ff.iterations, ranks, name);
+            let run = SchemeRun::new(a, b, ranks, scheme)
+                .dvfs(dvfs)
+                .faults(faults)
+                .tag(name);
+            unit_spec(a, b, name, Scale::from_env(), run.config())
+        })
+        .collect();
+    let mut reports = execute_units(a, b, &specs);
+    reports.insert(0, ff.clone());
     (ff, reports)
 }
 

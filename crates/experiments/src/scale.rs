@@ -44,6 +44,14 @@ impl Scale {
     pub fn node_ranks(&self) -> usize {
         24
     }
+
+    /// Canonical label, as recorded in campaign unit specs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Scale::Quick => "quick",
+            Scale::Full => "full",
+        }
+    }
 }
 
 #[cfg(test)]

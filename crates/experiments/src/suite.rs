@@ -112,7 +112,10 @@ impl MatrixSpec {
                 Some(m)
             }
             Err(e) => {
-                eprintln!("suite: failed to parse {}: {e}; using analog", path.display());
+                eprintln!(
+                    "suite: failed to parse {}: {e}; using analog",
+                    path.display()
+                );
                 None
             }
         }
@@ -130,8 +133,9 @@ impl MatrixSpec {
 
 /// Deterministic tiny string hash for per-matrix seeds.
 fn fxhash(s: &str) -> u64 {
-    s.bytes()
-        .fold(0xcbf29ce484222325u64, |h, b| (h ^ b as u64).wrapping_mul(0x100000001b3))
+    s.bytes().fold(0xcbf29ce484222325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x100000001b3)
+    })
 }
 
 /// The evaluation suite, in Table 3 order.

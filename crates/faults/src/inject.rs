@@ -92,7 +92,10 @@ mod tests {
 
     #[test]
     fn class_mapping_matches_taxonomy() {
-        assert_eq!(FaultEffect::for_class(FaultClass::Sdc), FaultEffect::BitFlip);
+        assert_eq!(
+            FaultEffect::for_class(FaultClass::Sdc),
+            FaultEffect::BitFlip
+        );
         assert_eq!(FaultEffect::for_class(FaultClass::Snf), FaultEffect::Lost);
         assert_eq!(FaultEffect::for_class(FaultClass::Due), FaultEffect::Lost);
     }

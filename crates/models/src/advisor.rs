@@ -196,8 +196,16 @@ pub fn recommend(s: &Situation, objective: Objective) -> Vec<SchemeEstimate> {
         a.cost(objective)
             .partial_cmp(&b.cost(objective))
             .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.e_norm.partial_cmp(&b.e_norm).unwrap_or(std::cmp::Ordering::Equal))
-            .then(a.t_norm.partial_cmp(&b.t_norm).unwrap_or(std::cmp::Ordering::Equal))
+            .then(
+                a.e_norm
+                    .partial_cmp(&b.e_norm)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
+            .then(
+                a.t_norm
+                    .partial_cmp(&b.t_norm)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
     });
     estimates
 }

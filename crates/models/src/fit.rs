@@ -54,8 +54,7 @@ impl FittedParams {
             t_c_s,
             t_const_s,
             t_extra_per_fault_s: extra_iters * t_iter_s / faults,
-            t_restore_per_fault_s: (scheme_run.breakdown.restore_s
-                + scheme_run.breakdown.repair_s)
+            t_restore_per_fault_s: (scheme_run.breakdown.restore_s + scheme_run.breakdown.repair_s)
                 / faults,
         }
     }

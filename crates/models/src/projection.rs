@@ -247,9 +247,14 @@ mod tests {
             "CR-D must dominate FW at exascale"
         );
         // And the growth *rate* is steeper.
-        let fw_growth = at(ProjectionScheme::Forward, 256_000) / at(ProjectionScheme::Forward, 16_000);
-        let crd_growth = at(ProjectionScheme::CrDisk, 256_000) / at(ProjectionScheme::CrDisk, 16_000);
-        assert!(crd_growth > fw_growth, "CR-D {crd_growth} vs FW {fw_growth}");
+        let fw_growth =
+            at(ProjectionScheme::Forward, 256_000) / at(ProjectionScheme::Forward, 16_000);
+        let crd_growth =
+            at(ProjectionScheme::CrDisk, 256_000) / at(ProjectionScheme::CrDisk, 16_000);
+        assert!(
+            crd_growth > fw_growth,
+            "CR-D {crd_growth} vs FW {fw_growth}"
+        );
     }
 
     #[test]
@@ -258,7 +263,11 @@ mod tests {
         let cfg = ProjectionConfig::default();
         for &n in &SIZES {
             let p = project_scheme(ProjectionScheme::CrMemory, &cfg, n);
-            assert!(p.t_res_norm < 0.05, "CR-M overhead at {n}: {}", p.t_res_norm);
+            assert!(
+                p.t_res_norm < 0.05,
+                "CR-M overhead at {n}: {}",
+                p.t_res_norm
+            );
         }
     }
 

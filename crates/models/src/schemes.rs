@@ -159,12 +159,14 @@ mod tests {
         let tc = 2.0f64;
         let lambda = 1.0f64 / 1000.0;
         let opt = (2.0 * tc / lambda).sqrt();
-        let at = |i: f64| CrModel {
-            t_c_s: tc,
-            interval_s: i,
-            p_ckpt_frac: 0.8,
-        }
-        .overhead_fraction(lambda);
+        let at = |i: f64| {
+            CrModel {
+                t_c_s: tc,
+                interval_s: i,
+                p_ckpt_frac: 0.8,
+            }
+            .overhead_fraction(lambda)
+        };
         assert!(at(opt) < at(opt / 2.0));
         assert!(at(opt) < at(opt * 2.0));
     }

@@ -82,7 +82,9 @@ pub fn validate(scheme_run: &RunReport, ff: &RunReport) -> ValidationRow {
         match m.total_time_s(ff.time_s, params.lambda_per_s) {
             Some(total) => {
                 let t_res = (total - ff.time_s) / ff.time_s;
-                let p = m.avg_power_frac(ff.time_s, params.lambda_per_s).unwrap_or(1.0);
+                let p = m
+                    .avg_power_frac(ff.time_s, params.lambda_per_s)
+                    .unwrap_or(1.0);
                 let e_res = m
                     .e_res_j(ff.time_s, params.lambda_per_s, ff.avg_power_w)
                     .unwrap_or(0.0)
@@ -128,9 +130,17 @@ mod tests {
             },
             breakdown: PhaseBreakdown {
                 solve_s: time * 0.9,
-                checkpoint_s: if scheme.starts_with("CR") { time * 0.05 } else { 0.0 },
+                checkpoint_s: if scheme.starts_with("CR") {
+                    time * 0.05
+                } else {
+                    0.0
+                },
                 restore_s: 0.0,
-                reconstruct_s: if scheme.starts_with("L") { time * 0.1 } else { 0.0 },
+                reconstruct_s: if scheme.starts_with("L") {
+                    time * 0.1
+                } else {
+                    0.0
+                },
                 repair_s: 0.0,
             },
             history: ResidualHistory::new(),

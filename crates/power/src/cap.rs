@@ -30,7 +30,12 @@ impl PowerCap {
 
     /// Highest frequency at which `n_cores` cores in `state` fit the
     /// budget, or `None` when even the lowest level exceeds it.
-    pub fn max_frequency(&self, model: &PowerModel, state: CoreState, n_cores: usize) -> Option<f64> {
+    pub fn max_frequency(
+        &self,
+        model: &PowerModel,
+        state: CoreState,
+        n_cores: usize,
+    ) -> Option<f64> {
         model
             .freq_table()
             .levels()

@@ -162,7 +162,10 @@ mod tests {
         let m = PowerModel::default();
         let fmax = m.freq_table().max();
         let full = m.group_power(&[(CoreState::Compute, fmax, 24)]);
-        let recon = m.group_power(&[(CoreState::Compute, fmax, 1), (CoreState::BusyWait, fmax, 23)]);
+        let recon = m.group_power(&[
+            (CoreState::Compute, fmax, 1),
+            (CoreState::BusyWait, fmax, 23),
+        ]);
         let ratio = recon / full;
         assert!((ratio - 0.75).abs() < 0.01, "ratio = {ratio}");
     }
@@ -173,7 +176,10 @@ mod tests {
         let m = PowerModel::default();
         let (fmin, fmax) = (m.freq_table().min(), m.freq_table().max());
         let full = m.group_power(&[(CoreState::Compute, fmax, 24)]);
-        let recon = m.group_power(&[(CoreState::Compute, fmax, 1), (CoreState::BusyWait, fmin, 23)]);
+        let recon = m.group_power(&[
+            (CoreState::Compute, fmax, 1),
+            (CoreState::BusyWait, fmin, 23),
+        ]);
         let ratio = recon / full;
         assert!((ratio - 0.45).abs() < 0.01, "ratio = {ratio}");
     }
@@ -183,8 +189,14 @@ mod tests {
         // §4.2 / Figure 7a: LI-DVFS reduces construction-phase power by ~39-40%.
         let m = PowerModel::default();
         let (fmin, fmax) = (m.freq_table().min(), m.freq_table().max());
-        let plain = m.group_power(&[(CoreState::Compute, fmax, 1), (CoreState::BusyWait, fmax, 23)]);
-        let dvfs = m.group_power(&[(CoreState::Compute, fmax, 1), (CoreState::BusyWait, fmin, 23)]);
+        let plain = m.group_power(&[
+            (CoreState::Compute, fmax, 1),
+            (CoreState::BusyWait, fmax, 23),
+        ]);
+        let dvfs = m.group_power(&[
+            (CoreState::Compute, fmax, 1),
+            (CoreState::BusyWait, fmin, 23),
+        ]);
         let saving = 1.0 - dvfs / plain;
         assert!((saving - 0.40).abs() < 0.02, "saving = {saving}");
     }
@@ -209,7 +221,11 @@ mod tests {
         let m = PowerModel::default();
         let f = m.freq_table().min();
         let idle = m.core_power(CoreState::Idle, f);
-        for s in [CoreState::Compute, CoreState::BusyWait, CoreState::StorageWait] {
+        for s in [
+            CoreState::Compute,
+            CoreState::BusyWait,
+            CoreState::StorageWait,
+        ] {
             assert!(idle < m.core_power(s, f));
         }
     }

@@ -15,7 +15,7 @@ pub enum HistoryMark {
 
 /// Relative-residual history of a solve, with fault/recovery markers —
 /// the data behind the paper's Figure 6 plots.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ResidualHistory {
     samples: Vec<(usize, f64, HistoryMark)>,
 }
@@ -28,7 +28,8 @@ impl ResidualHistory {
 
     /// Records the residual after `iteration`.
     pub fn push(&mut self, iteration: usize, relres: f64) {
-        self.samples.push((iteration, relres, HistoryMark::Iteration));
+        self.samples
+            .push((iteration, relres, HistoryMark::Iteration));
     }
 
     /// Records a fault marker.
@@ -38,7 +39,8 @@ impl ResidualHistory {
 
     /// Records a recovery marker.
     pub fn mark_recovery(&mut self, iteration: usize, relres: f64) {
-        self.samples.push((iteration, relres, HistoryMark::Recovery));
+        self.samples
+            .push((iteration, relres, HistoryMark::Recovery));
     }
 
     /// All samples `(iteration, relative residual, mark)`.

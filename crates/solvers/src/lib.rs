@@ -18,11 +18,11 @@
 
 pub mod cg;
 pub mod cgls;
-pub mod dist;
 pub mod convergence;
+pub mod dist;
 pub mod jacobi;
 
 pub use cg::{Cg, CgConfig};
 pub use cgls::{Cgls, CglsConfig};
-pub use dist::{DistCg, HaloPlan};
 pub use convergence::{ResidualHistory, SolveOutcome};
+pub use dist::{DistCg, HaloPlan};

@@ -128,7 +128,12 @@ impl CooMatrix {
         for r in 0..self.nrows {
             let (lo, hi) = (row_counts[r], row_counts[r + 1]);
             scratch.clear();
-            scratch.extend(col_idx[lo..hi].iter().copied().zip(values[lo..hi].iter().copied()));
+            scratch.extend(
+                col_idx[lo..hi]
+                    .iter()
+                    .copied()
+                    .zip(values[lo..hi].iter().copied()),
+            );
             scratch.sort_unstable_by_key(|&(c, _)| c);
             let mut i = 0;
             while i < scratch.len() {

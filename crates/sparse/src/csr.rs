@@ -136,6 +136,21 @@ impl CsrMatrix {
         }
     }
 
+    /// The CSR row-pointer array (`nrows + 1` entries).
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// The CSR column-index array (one entry per stored value).
+    pub fn col_idx(&self) -> &[usize] {
+        &self.col_idx
+    }
+
+    /// The stored values, row-major (parallel to [`CsrMatrix::col_idx`]).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
     /// Column indices of row `r`.
     pub fn row_cols(&self, r: usize) -> &[usize] {
         &self.col_idx[self.row_ptr[r]..self.row_ptr[r + 1]]
@@ -347,7 +362,11 @@ impl CsrMatrix {
 
     /// Number of stored entries in `A[rows, :]` that fall outside
     /// `[cols)` — i.e. the halo/off-block entries a rank must gather.
-    pub fn off_block_nnz(&self, rows: std::ops::Range<usize>, cols: std::ops::Range<usize>) -> usize {
+    pub fn off_block_nnz(
+        &self,
+        rows: std::ops::Range<usize>,
+        cols: std::ops::Range<usize>,
+    ) -> usize {
         let mut n = 0;
         for r in rows {
             let rc = self.row_cols(r);
@@ -363,7 +382,8 @@ impl CsrMatrix {
         if self.nrows != self.ncols {
             return false;
         }
-        self.iter().all(|(r, c, v)| (self.get(c, r) - v).abs() <= tol)
+        self.iter()
+            .all(|(r, c, v)| (self.get(c, r) - v).abs() <= tol)
     }
 
     /// Converts to a dense matrix (tests and small blocks only).
@@ -441,14 +461,14 @@ mod tests {
     #[test]
     fn raw_parts_validation_rejects_bad_row_ptr() {
         assert!(CsrMatrix::from_raw_parts(2, 2, vec![0, 1], vec![0], vec![1.0]).is_err());
-        assert!(CsrMatrix::from_raw_parts(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 1.0]).is_err());
+        assert!(
+            CsrMatrix::from_raw_parts(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 1.0]).is_err()
+        );
     }
 
     #[test]
     fn raw_parts_validation_rejects_unsorted_columns() {
-        assert!(
-            CsrMatrix::from_raw_parts(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 1.0]).is_err()
-        );
+        assert!(CsrMatrix::from_raw_parts(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 1.0]).is_err());
     }
 
     #[test]

@@ -99,7 +99,8 @@ mod tests {
 
     #[test]
     fn solves_spd_system() {
-        let a = DenseMatrix::from_row_major(3, 3, vec![4.0, 1.0, 0.0, 1.0, 3.0, 1.0, 0.0, 1.0, 2.0]);
+        let a =
+            DenseMatrix::from_row_major(3, 3, vec![4.0, 1.0, 0.0, 1.0, 3.0, 1.0, 0.0, 1.0, 2.0]);
         let chol = Cholesky::factor(&a).unwrap();
         let b = vec![1.0, 2.0, 3.0];
         let x = chol.solve(&b);

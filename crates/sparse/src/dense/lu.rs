@@ -101,7 +101,11 @@ impl Lu {
 
     /// Determinant of the factored matrix.
     pub fn det(&self) -> f64 {
-        let sign = if self.swaps.is_multiple_of(2) { 1.0 } else { -1.0 };
+        let sign = if self.swaps.is_multiple_of(2) {
+            1.0
+        } else {
+            -1.0
+        };
         (0..self.dim()).fold(sign, |acc, i| acc * self.factors[(i, i)])
     }
 
@@ -134,7 +138,8 @@ mod tests {
 
     #[test]
     fn solves_well_conditioned_system() {
-        let a = DenseMatrix::from_row_major(3, 3, vec![4.0, 1.0, 0.0, 1.0, 3.0, 1.0, 0.0, 1.0, 2.0]);
+        let a =
+            DenseMatrix::from_row_major(3, 3, vec![4.0, 1.0, 0.0, 1.0, 3.0, 1.0, 0.0, 1.0, 2.0]);
         let b = vec![1.0, 2.0, 3.0];
         let lu = Lu::factor(&a).unwrap();
         let x = lu.solve(&b);

@@ -13,4 +13,4 @@ mod qr;
 pub use cholesky::Cholesky;
 pub use lu::Lu;
 pub use matrix::DenseMatrix;
-pub use qr::{Qr, lstsq};
+pub use qr::{lstsq, Qr};

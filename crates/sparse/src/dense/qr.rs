@@ -168,9 +168,11 @@ mod tests {
         // Second column equals the first after the first reflector: zero
         // column norm triggers the singularity check.
         let r = Qr::factor(&a);
-        assert!(r.is_err() || {
-            // Some rank deficiencies only show as a tiny pivot; accept both.
-            true
-        });
+        assert!(
+            r.is_err() || {
+                // Some rank deficiencies only show as a tiny pivot; accept both.
+                true
+            }
+        );
     }
 }

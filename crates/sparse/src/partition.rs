@@ -102,7 +102,10 @@ impl Partition {
 
     /// Maximum rows owned by any rank (load imbalance indicator).
     pub fn max_len(&self) -> usize {
-        (0..self.num_ranks()).map(|r| self.len(r)).max().unwrap_or(0)
+        (0..self.num_ranks())
+            .map(|r| self.len(r))
+            .max()
+            .unwrap_or(0)
     }
 }
 

@@ -12,17 +12,14 @@
 use rsls_core::{DvfsPolicy, Scheme};
 use rsls_experiments::output::{f2, Table};
 use rsls_experiments::runners::{
-    cr_interval_for, evenly_spaced_faults, run_fault_free, run_scheme, standard_schemes, workload,
+    cr_interval_for, evenly_spaced_faults, run_fault_free, standard_schemes, workload, SchemeRun,
 };
 use rsls_experiments::Scale;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let matrix = args.first().map(String::as_str).unwrap_or("crystm02");
-    let k_faults: usize = args
-        .get(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(10);
+    let k_faults: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(10);
     let scale = Scale::from_env();
     let ranks = scale.default_ranks();
 
@@ -51,7 +48,11 @@ fn main() {
             ff.clone()
         } else {
             let faults = evenly_spaced_faults(k_faults, ff.iterations, ranks, matrix);
-            run_scheme(&a, &b, ranks, scheme, dvfs, faults, "compare", None)
+            SchemeRun::new(&a, &b, ranks, scheme)
+                .dvfs(dvfs)
+                .faults(faults)
+                .tag("compare")
+                .execute()
         };
         let n = r.normalized_vs(&ff);
         table.push_row(vec![

@@ -11,7 +11,7 @@
 //! ```
 
 use rsls_core::{DvfsPolicy, Scheme};
-use rsls_experiments::runners::{poisson_faults_for, run_fault_free, run_scheme, workload};
+use rsls_experiments::runners::{poisson_faults_for, run_fault_free, workload, SchemeRun};
 use rsls_experiments::Scale;
 use rsls_models::general::OverheadModel;
 use rsls_models::{project_scheme, FittedParams, ProjectionConfig, ProjectionScheme};
@@ -23,26 +23,17 @@ fn main() {
     let ff = run_fault_free(&a, &b, ranks);
     let (faults, mtbf) = poisson_faults_for(&ff, 4.0, ranks, "projection");
 
-    let li = run_scheme(
-        &a,
-        &b,
-        ranks,
-        Scheme::li_local_cg(),
-        DvfsPolicy::ThrottleWaiters,
-        faults.clone(),
-        "proj",
-        Some(mtbf),
-    );
-    let crd = run_scheme(
-        &a,
-        &b,
-        ranks,
-        Scheme::cr_disk(),
-        DvfsPolicy::OsDefault,
-        faults,
-        "proj",
-        Some(mtbf),
-    );
+    let li = SchemeRun::new(&a, &b, ranks, Scheme::li_local_cg())
+        .dvfs(DvfsPolicy::ThrottleWaiters)
+        .faults(faults.clone())
+        .tag("proj")
+        .mtbf_s(mtbf)
+        .execute();
+    let crd = SchemeRun::new(&a, &b, ranks, Scheme::cr_disk())
+        .faults(faults)
+        .tag("proj")
+        .mtbf_s(mtbf)
+        .execute();
 
     let li_fit = FittedParams::from_reports(&li, &ff);
     let crd_fit = FittedParams::from_reports(&crd, &ff);

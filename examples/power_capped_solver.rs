@@ -47,7 +47,11 @@ fn main() {
     );
     println!(
         "DMR (2x cores even at f_min): {}",
-        if dmr_fits { "fits the budget" } else { "does NOT fit the budget" }
+        if dmr_fits {
+            "fits the budget"
+        } else {
+            "does NOT fit the budget"
+        }
     );
 
     // Run a capped resilient solve: the whole cluster is derated to the

@@ -51,5 +51,8 @@ fn main() {
         n.time, n.energy, n.power
     );
     assert!(li.converged, "resilient solve must converge");
-    println!("final relative residual: {:.2e}", li.final_relative_residual);
+    println!(
+        "final relative residual: {:.2e}",
+        li.final_relative_residual
+    );
 }

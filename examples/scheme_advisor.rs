@@ -11,7 +11,7 @@
 //! ```
 
 use rsls_core::{DvfsPolicy, Scheme};
-use rsls_experiments::runners::{poisson_faults_for, run_fault_free, run_scheme, workload};
+use rsls_experiments::runners::{poisson_faults_for, run_fault_free, workload, SchemeRun};
 use rsls_experiments::Scale;
 use rsls_models::{recommend, FittedParams, Objective, Situation};
 
@@ -29,26 +29,17 @@ fn main() {
     );
 
     // One measurement per family to fit the unit costs.
-    let fw_run = run_scheme(
-        &a,
-        &b,
-        ranks,
-        Scheme::li_local_cg(),
-        DvfsPolicy::ThrottleWaiters,
-        faults.clone(),
-        "advisor-fw",
-        Some(mtbf),
-    );
-    let crd_run = run_scheme(
-        &a,
-        &b,
-        ranks,
-        Scheme::cr_disk(),
-        DvfsPolicy::OsDefault,
-        faults,
-        "advisor-crd",
-        Some(mtbf),
-    );
+    let fw_run = SchemeRun::new(&a, &b, ranks, Scheme::li_local_cg())
+        .dvfs(DvfsPolicy::ThrottleWaiters)
+        .faults(faults.clone())
+        .tag("advisor-fw")
+        .mtbf_s(mtbf)
+        .execute();
+    let crd_run = SchemeRun::new(&a, &b, ranks, Scheme::cr_disk())
+        .faults(faults)
+        .tag("advisor-crd")
+        .mtbf_s(mtbf)
+        .execute();
     let fw_fit = FittedParams::from_reports(&fw_run, &ff);
     let crd_fit = FittedParams::from_reports(&crd_run, &ff);
 

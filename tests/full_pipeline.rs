@@ -117,7 +117,12 @@ fn every_fault_class_is_recoverable() {
     let a = stencil_2d(30, 30);
     let b = rhs(&a);
     let ff = run(&a, &b, &RunConfig::new(Scheme::FaultFree, 8));
-    for class in [FaultClass::Snf, FaultClass::Due, FaultClass::Sdc, FaultClass::Lnf] {
+    for class in [
+        FaultClass::Snf,
+        FaultClass::Due,
+        FaultClass::Sdc,
+        FaultClass::Lnf,
+    ] {
         let faults = FaultSchedule::evenly_spaced(3, ff.iterations, 8, class, 4);
         let r = run(
             &a,

@@ -155,7 +155,10 @@ fn claim_models_match_experiment_ordering() {
     // over-estimation: "such estimation is acceptable").
     if row_d.exp_t_res > 0.01 {
         let ratio = row_d.model_t_res / row_d.exp_t_res;
-        assert!((0.1..=10.0).contains(&ratio), "CR-D model/exp ratio {ratio}");
+        assert!(
+            (0.1..=10.0).contains(&ratio),
+            "CR-D model/exp ratio {ratio}"
+        );
     }
 }
 
@@ -185,7 +188,11 @@ fn claim_localized_construction_wins() {
     let ff = run(&a, &b, &RunConfig::new(Scheme::FaultFree, RANKS));
     let sched = faults(4, ff.iterations);
     let t_of = |scheme: Scheme| {
-        let r = run(&a, &b, &RunConfig::new(scheme, RANKS).with_faults(sched.clone()));
+        let r = run(
+            &a,
+            &b,
+            &RunConfig::new(scheme, RANKS).with_faults(sched.clone()),
+        );
         assert!(r.converged);
         r.time_s
     };

@@ -1,0 +1,406 @@
+//! Offline stand-in for the `rayon` crate (see `vendor/README.md`).
+//!
+//! Implements the subset the RSLS workspace uses with `std::thread::scope`
+//! workers instead of a persistent work-stealing pool:
+//!
+//! * `slice.par_iter_mut().enumerate().for_each(..)` — chunked over the
+//!   available threads (the parallel SpMV path),
+//! * `(0..n).into_par_iter().map(f).collect::<Vec<_>>()` — dynamically
+//!   scheduled, order-preserving (the campaign engine's unit executor),
+//! * [`ThreadPoolBuilder`] / [`ThreadPool::install`] — bounds the number
+//!   of worker threads for everything running inside `install`.
+//!
+//! Work items here are coarse (whole CG solves, matrix row blocks), so
+//! scoped-thread spawn overhead is irrelevant next to upstream rayon's
+//! stealing pool; determinism and ordering are what matter.
+
+use std::cell::Cell;
+use std::fmt;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub mod prelude {
+    //! Traits that make `par_iter`-style methods available.
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`].
+    static CURRENT_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of worker threads parallel operations use right now.
+pub fn current_num_threads() -> usize {
+    let installed = CURRENT_THREADS.with(Cell::get);
+    if installed > 0 {
+        installed
+    } else {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    }
+}
+
+/// Error building a thread pool (the stand-in cannot actually fail; the
+/// type exists for API parity).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a bounded [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with the default (machine-sized) thread count.
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the worker count; `0` means the machine default.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { threads })
+    }
+}
+
+/// A bounded thread budget: parallel operations run inside
+/// [`ThreadPool::install`] use at most this many workers.
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// The pool's worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `op` with this pool's thread budget installed.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let prev = CURRENT_THREADS.with(|c| c.replace(self.threads));
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                CURRENT_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(prev);
+        op()
+    }
+}
+
+/// Dynamically scheduled, order-preserving parallel map over `0..n`.
+///
+/// Workers claim indices from a shared cursor, so uneven item costs load
+/// balance; results come back in index order. A panicking item panics the
+/// whole call after in-flight items finish (callers needing isolation
+/// wrap `f` in `catch_unwind`).
+pub fn run_indexed<R: Send>(n: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    let threads = current_num_threads().min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let result = f(i);
+                *slots[i].lock().unwrap() = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("worker panicked while holding a result slot")
+                .expect("all slots are filled once the scope joins")
+        })
+        .collect()
+}
+
+// --- shared-slice parallel iteration ------------------------------------
+
+/// `par_iter()` on slices.
+pub trait ParallelSlice<T: Sync> {
+    /// A parallel iterator over the slice.
+    fn par_iter(&self) -> ParIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { slice: self }
+    }
+}
+
+/// Parallel iterator over a shared slice.
+pub struct ParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Pairs each element with its index.
+    pub fn enumerate(self) -> EnumerateParIter<'a, T> {
+        EnumerateParIter { slice: self.slice }
+    }
+
+    /// Applies `f` to every element in parallel.
+    pub fn for_each(self, f: impl Fn(&'a T) + Sync) {
+        self.enumerate().for_each(|(_, t)| f(t));
+    }
+
+    /// Maps every element in parallel, preserving order.
+    pub fn map<R: Send, F: Fn(&'a T) -> R + Sync>(self, f: F) -> MappedSlice<'a, T, F> {
+        MappedSlice {
+            slice: self.slice,
+            f,
+        }
+    }
+}
+
+/// Enumerated parallel iterator over a shared slice.
+pub struct EnumerateParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> EnumerateParIter<'a, T> {
+    /// Applies `f` to every `(index, element)` pair in parallel.
+    pub fn for_each(self, f: impl Fn((usize, &'a T)) + Sync) {
+        let slice = self.slice;
+        run_indexed(slice.len(), |i| f((i, &slice[i])));
+    }
+}
+
+/// Lazily mapped shared slice.
+pub struct MappedSlice<'a, T, F> {
+    slice: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> MappedSlice<'a, T, F> {
+    /// Evaluates the map in parallel into an ordered collection.
+    pub fn collect<C, R>(self) -> C
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+        C: FromParallelResults<R>,
+    {
+        let slice = self.slice;
+        let f = &self.f;
+        C::from_ordered(run_indexed(slice.len(), |i| f(&slice[i])))
+    }
+}
+
+// --- mutable-slice parallel iteration -----------------------------------
+
+/// `par_iter_mut()` on slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// A parallel iterator over mutable references.
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T> {
+        ParIterMut { slice: self }
+    }
+}
+
+impl<T: Send> ParallelSliceMut<T> for Vec<T> {
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T> {
+        ParIterMut { slice: self }
+    }
+}
+
+/// Parallel iterator over an exclusive slice.
+pub struct ParIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    /// Pairs each element with its index.
+    pub fn enumerate(self) -> EnumerateParIterMut<'a, T> {
+        EnumerateParIterMut { slice: self.slice }
+    }
+
+    /// Applies `f` to every element in parallel.
+    pub fn for_each(self, f: impl Fn(&mut T) + Sync) {
+        self.enumerate().for_each(|(_, t)| f(t));
+    }
+}
+
+/// Enumerated parallel iterator over an exclusive slice.
+pub struct EnumerateParIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<T: Send> EnumerateParIterMut<'_, T> {
+    /// Applies `f` to every `(index, element)` pair, chunked over the
+    /// available threads.
+    pub fn for_each(self, f: impl Fn((usize, &mut T)) + Sync) {
+        let len = self.slice.len();
+        let threads = current_num_threads().min(len.max(1));
+        if threads <= 1 || len <= 1 {
+            for (i, item) in self.slice.iter_mut().enumerate() {
+                f((i, item));
+            }
+            return;
+        }
+        let chunk = len.div_ceil(threads);
+        std::thread::scope(|s| {
+            for (ci, items) in self.slice.chunks_mut(chunk).enumerate() {
+                let f = &f;
+                s.spawn(move || {
+                    let offset = ci * chunk;
+                    for (i, item) in items.iter_mut().enumerate() {
+                        f((offset + i, item));
+                    }
+                });
+            }
+        });
+    }
+}
+
+// --- owned parallel iteration -------------------------------------------
+
+/// Conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// The parallel iterator type.
+    type Iter;
+    /// Converts `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = ParRange;
+    fn into_par_iter(self) -> ParRange {
+        ParRange { range: self }
+    }
+}
+
+/// Parallel iterator over `Range<usize>`.
+pub struct ParRange {
+    range: Range<usize>,
+}
+
+impl ParRange {
+    /// Maps every index in parallel, preserving order.
+    pub fn map<R: Send, F: Fn(usize) -> R + Sync>(self, f: F) -> MappedRange<F> {
+        MappedRange {
+            range: self.range,
+            f,
+        }
+    }
+
+    /// Applies `f` to every index in parallel.
+    pub fn for_each(self, f: impl Fn(usize) + Sync) {
+        let start = self.range.start;
+        run_indexed(self.range.len(), |i| f(start + i));
+    }
+}
+
+/// Lazily mapped index range.
+pub struct MappedRange<F> {
+    range: Range<usize>,
+    f: F,
+}
+
+impl<F> MappedRange<F> {
+    /// Evaluates the map in parallel into an ordered collection.
+    pub fn collect<C, R>(self) -> C
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+        C: FromParallelResults<R>,
+    {
+        let start = self.range.start;
+        let f = &self.f;
+        C::from_ordered(run_indexed(self.range.len(), |i| f(start + i)))
+    }
+}
+
+/// Collections buildable from ordered parallel results.
+pub trait FromParallelResults<T> {
+    /// Builds the collection from results in index order.
+    fn from_ordered(results: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelResults<T> for Vec<T> {
+    fn from_ordered(results: Vec<T>) -> Self {
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn mutable_for_each_touches_every_element_once() {
+        let mut v = vec![0usize; 1000];
+        v.par_iter_mut().enumerate().for_each(|(i, x)| *x = i * 2);
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i * 2);
+        }
+    }
+
+    #[test]
+    fn mapped_range_preserves_order() {
+        let out: Vec<usize> = (0..257).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(out.len(), 257);
+        for (i, x) in out.iter().enumerate() {
+            assert_eq!(*x, i * i);
+        }
+    }
+
+    #[test]
+    fn pool_bounds_worker_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        pool.install(|| {
+            assert_eq!(current_num_threads(), 2);
+            let out: Vec<usize> = (0..64).into_par_iter().map(|i| i + 1).collect();
+            assert_eq!(out[63], 64);
+        });
+        assert_ne!(CURRENT_THREADS.with(std::cell::Cell::get), 2);
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let main_id = std::thread::current().id();
+        pool.install(|| {
+            (0..4).into_par_iter().for_each(|_| {
+                assert_eq!(std::thread::current().id(), main_id);
+            });
+        });
+    }
+}

@@ -1,0 +1,394 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored `serde` stand-in.
+//!
+//! The build container has no crates.io access, so `syn`/`quote` are not
+//! available; the item definition is parsed directly from the
+//! `proc_macro::TokenStream` and the impls are emitted as formatted
+//! source. Supported shapes — the ones the RSLS workspace uses:
+//!
+//! * structs with named fields, tuple structs, unit structs,
+//! * enums with unit, tuple, and struct variants,
+//! * no generic parameters.
+//!
+//! The generated representation is externally tagged like real serde:
+//! `Unit` → `"Unit"`, `Tuple(x)` → `{"Tuple": x}`,
+//! `Struct { a }` → `{"Struct": {"a": ...}}`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed item shape.
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
+}
+
+/// Field list of a struct or enum variant.
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+/// Derives `serde::Serialize` for the annotated item.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => serialize_struct(name, fields),
+        Item::Enum { name, variants } => serialize_enum(name, variants),
+    };
+    code.parse()
+        .expect("serde_derive emitted invalid Serialize impl")
+}
+
+/// Derives `serde::Deserialize` for the annotated item.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => deserialize_struct(name, fields),
+        Item::Enum { name, variants } => deserialize_enum(name, variants),
+    };
+    code.parse()
+        .expect("serde_derive emitted invalid Deserialize impl")
+}
+
+// --- parsing ------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes(&toks, &mut i);
+    skip_visibility(&toks, &mut i);
+    let kind = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected item name, found {other}"),
+    };
+    i += 1;
+    if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive (vendored) does not support generic types: {name}");
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => Fields::Unit,
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("expected enum body for {name}, found {other:?}"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("cannot derive for `{other}` items"),
+    }
+}
+
+/// Skips any number of `#[...]` / `#![...]` attributes at `toks[*i]`.
+fn skip_attributes(toks: &[TokenTree], i: &mut usize) {
+    while matches!(toks.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1;
+        if matches!(toks.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '!') {
+            *i += 1;
+        }
+        match toks.get(*i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => *i += 1,
+            other => panic!("malformed attribute: {other:?}"),
+        }
+    }
+}
+
+/// Skips `pub` / `pub(...)` at `toks[*i]`.
+fn skip_visibility(toks: &[TokenTree], i: &mut usize) {
+    if matches!(toks.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(
+            toks.get(*i),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *i += 1;
+        }
+    }
+}
+
+/// Extracts the field names of a `{ name: Type, ... }` body.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attributes(&toks, &mut i);
+        skip_visibility(&toks, &mut i);
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected field name, found {other}"),
+        };
+        i += 1;
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field `{name}`, found {other}"),
+        }
+        // Consume the type: everything until a comma at angle-bracket
+        // depth zero (parenthesized/bracketed types are single groups).
+        let mut depth = 0i32;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        names.push(name);
+    }
+    names
+}
+
+/// Counts the fields of a `(TypeA, TypeB, ...)` body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut count = 1;
+    let mut saw_trailing_comma = false;
+    for (idx, t) in toks.iter().enumerate() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                if idx + 1 == toks.len() {
+                    saw_trailing_comma = true;
+                } else {
+                    count += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    let _ = saw_trailing_comma;
+    count
+}
+
+/// Parses the variants of an enum body.
+fn parse_variants(stream: TokenStream) -> Vec<(String, Fields)> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attributes(&toks, &mut i);
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected variant name, found {other}"),
+        };
+        i += 1;
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Consume the trailing comma (discriminants are not supported).
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push((name, fields));
+    }
+    variants
+}
+
+// --- code generation ----------------------------------------------------
+
+fn serialize_struct(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Named(names) => {
+            let entries: Vec<String> = names
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::Value::Object(::std::vec![{}])",
+                entries.join(", ")
+            )
+        }
+        Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", elems.join(", "))
+        }
+        Fields::Unit => "::serde::Value::Null".to_string(),
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn deserialize_struct(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Named(names) => {
+            let inits: Vec<String> = names
+                .iter()
+                .map(|f| format!("{f}: ::serde::helpers::field(v, \"{f}\")?"))
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Fields::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Fields::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::helpers::tuple_elem(v, {k}, {n})?"))
+                .collect();
+            format!("::std::result::Result::Ok({name}({}))", elems.join(", "))
+        }
+        Fields::Unit => format!("::std::result::Result::Ok({name})"),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+         {body}\n\
+         }}\n\
+         }}"
+    )
+}
+
+fn serialize_enum(name: &str, variants: &[(String, Fields)]) -> String {
+    let mut arms = Vec::new();
+    for (vname, fields) in variants {
+        let arm = match fields {
+            Fields::Unit => format!(
+                "{name}::{vname} => \
+                 ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+            ),
+            Fields::Tuple(n) => {
+                let binders: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                let payload = if *n == 1 {
+                    "::serde::Serialize::to_value(f0)".to_string()
+                } else {
+                    let elems: Vec<String> = binders
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_value({b})"))
+                        .collect();
+                    format!("::serde::Value::Array(::std::vec![{}])", elems.join(", "))
+                };
+                format!(
+                    "{name}::{vname}({}) => ::serde::Value::Object(::std::vec![\
+                     (::std::string::String::from(\"{vname}\"), {payload})]),",
+                    binders.join(", ")
+                )
+            }
+            Fields::Named(fnames) => {
+                let entries: Vec<String> = fnames
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(::std::string::String::from(\"{f}\"), \
+                             ::serde::Serialize::to_value({f}))"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "{name}::{vname} {{ {} }} => ::serde::Value::Object(::std::vec![\
+                     (::std::string::String::from(\"{vname}\"), \
+                     ::serde::Value::Object(::std::vec![{}]))]),",
+                    fnames.join(", "),
+                    entries.join(", ")
+                )
+            }
+        };
+        arms.push(arm);
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n\
+         match self {{\n{}\n}}\n\
+         }}\n\
+         }}",
+        arms.join("\n")
+    )
+}
+
+fn deserialize_enum(name: &str, variants: &[(String, Fields)]) -> String {
+    let mut arms = Vec::new();
+    for (vname, fields) in variants {
+        let arm = match fields {
+            Fields::Unit => format!("\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),"),
+            Fields::Tuple(n) => {
+                let elems: Vec<String> = (0..*n)
+                    .map(|k| format!("::serde::helpers::tuple_elem(payload, {k}, {n})?"))
+                    .collect();
+                format!(
+                    "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}({})),",
+                    elems.join(", ")
+                )
+            }
+            Fields::Named(fnames) => {
+                let inits: Vec<String> = fnames
+                    .iter()
+                    .map(|f| format!("{f}: ::serde::helpers::field(payload, \"{f}\")?"))
+                    .collect();
+                format!(
+                    "\"{vname}\" => ::std::result::Result::Ok({name}::{vname} {{ {} }}),",
+                    inits.join(", ")
+                )
+            }
+        };
+        arms.push(arm);
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+         let (variant, payload) = ::serde::helpers::variant(v)?;\n\
+         let _ = payload;\n\
+         match variant {{\n{}\n\
+         other => ::std::result::Result::Err(::serde::DeError::new(::std::format!(\n\
+         \"unknown variant `{{other}}` for {name}\"))),\n\
+         }}\n\
+         }}\n\
+         }}",
+        arms.join("\n")
+    )
+}
