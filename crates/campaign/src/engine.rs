@@ -115,6 +115,7 @@ impl CampaignSummary {
 /// spec to a [`RunReport`], so the engine never needs to know how to
 /// find matrices or drive solvers (and `rsls-campaign` stays below
 /// `rsls-experiments` in the crate graph).
+#[derive(Debug)]
 pub struct Engine {
     opts: EngineOptions,
     cache: Option<ResultCache>,
@@ -190,7 +191,13 @@ impl Engine {
             })
         });
 
-        let mut records = self.records.lock().expect("records lock poisoned");
+        // Recover from poisoning instead of panicking: the records list
+        // is append-only, so a worker that panicked mid-push left it in
+        // a usable (at worst one-entry-short) state.
+        let mut records = self
+            .records
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         for o in &outcomes {
             self.stats.total.fetch_add(1, Ordering::Relaxed);
             let counter = match o.status {
@@ -308,7 +315,11 @@ impl Engine {
     /// Renders the campaign summary table: one row per unit (slowest
     /// first), then the totals line.
     pub fn summary_table(&self) -> String {
-        let mut records = self.records.lock().expect("records lock poisoned").clone();
+        let mut records = self
+            .records
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone();
         records.sort_by(|a, b| b.wall_s.total_cmp(&a.wall_s));
         let mut out = String::new();
         out.push_str(&format!(

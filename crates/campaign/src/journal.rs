@@ -14,7 +14,7 @@
 //! are skipped (their reports come from the cache); units with only a
 //! `start` — i.e. in flight when the process died — re-run.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::fs::{File, OpenOptions};
 use std::io::{self, BufRead, BufReader, Write};
 use std::path::{Path, PathBuf};
@@ -53,16 +53,30 @@ pub enum JournalEvent {
 }
 
 impl JournalEvent {
-    fn to_line(&self) -> String {
-        fn obj(fields: &[(&str, Value)]) -> String {
+    /// The unit name carried by this event, for error context.
+    fn unit(&self) -> &str {
+        match self {
+            JournalEvent::Start { unit, .. }
+            | JournalEvent::Done { unit, .. }
+            | JournalEvent::Failed { unit, .. } => unit,
+        }
+    }
+
+    fn to_line(&self) -> io::Result<String> {
+        let obj = |fields: &[(&str, Value)]| {
             serde_json::to_string(&Value::Object(
                 fields
                     .iter()
                     .map(|(k, v)| (k.to_string(), v.clone()))
                     .collect(),
             ))
-            .expect("journal value serialization cannot fail")
-        }
+            .map_err(|e| {
+                io::Error::other(format!(
+                    "serializing journal record for unit `{}` failed: {e}",
+                    self.unit()
+                ))
+            })
+        };
         match self {
             JournalEvent::Start { hash, unit } => obj(&[
                 ("event", Value::Str("start".into())),
@@ -132,10 +146,20 @@ impl Journal {
     }
 
     /// Appends one event and flushes it to the OS.
+    ///
+    /// Fails with context (unit name, journal path) if serialization or
+    /// the write fails, or if the journal mutex was poisoned by a
+    /// writer that panicked mid-append — the caller decides whether a
+    /// lost journal record is fatal (the engine logs and continues).
     pub fn record(&self, event: &JournalEvent) -> io::Result<()> {
-        let mut line = event.to_line();
+        let mut line = event.to_line()?;
         line.push('\n');
-        let mut file = self.file.lock().expect("journal lock poisoned");
+        let mut file = self.file.lock().map_err(|_| {
+            io::Error::other(format!(
+                "journal {} is poisoned: a writer panicked while appending",
+                self.path.display()
+            ))
+        })?;
         file.write_all(line.as_bytes())?;
         file.flush()
     }
@@ -143,13 +167,17 @@ impl Journal {
     /// Reads the set of unit hashes recorded `done` in the journal at
     /// `path`. Missing files mean an empty set; unparsable (e.g.
     /// truncated-by-a-crash) lines are skipped.
-    pub fn completed_hashes(path: impl AsRef<Path>) -> io::Result<HashSet<String>> {
+    ///
+    /// The set is ordered (`BTreeSet`) so that anything iterating it —
+    /// logging, resume planning — sees a stable order regardless of
+    /// hasher seeding.
+    pub fn completed_hashes(path: impl AsRef<Path>) -> io::Result<BTreeSet<String>> {
         let file = match File::open(path.as_ref()) {
             Ok(f) => f,
-            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(HashSet::new()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(BTreeSet::new()),
             Err(e) => return Err(e),
         };
-        let mut done = HashSet::new();
+        let mut done = BTreeSet::new();
         for line in BufReader::new(file).lines() {
             let line = line?;
             let Ok(v) = serde_json::from_str::<Value>(&line) else {

@@ -1,4 +1,6 @@
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
 //! Parallel, cached, resumable experiment-campaign engine.
 //!
 //! Every experiment in the reproduction decomposes into independent

@@ -1,4 +1,6 @@
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
 //! Deterministic virtual-cluster performance model.
 //!
 //! This crate plays the role the MPI cluster plays in the paper: it owns

@@ -152,8 +152,11 @@ impl CheckpointStore for DiskStore {
                 "checkpoint file truncated",
             ));
         }
-        let iteration = u64::from_le_bytes(buf[0..8].try_into().unwrap()) as usize;
-        let len = u64::from_le_bytes(buf[8..16].try_into().unwrap()) as usize;
+        let mut word = [0u8; 8];
+        word.copy_from_slice(&buf[0..8]);
+        let iteration = u64::from_le_bytes(word) as usize;
+        word.copy_from_slice(&buf[8..16]);
+        let len = u64::from_le_bytes(word) as usize;
         if buf.len() != 16 + len * 8 {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::InvalidData,
@@ -162,7 +165,11 @@ impl CheckpointStore for DiskStore {
         }
         let x = buf[16..]
             .chunks_exact(8)
-            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .map(|c| {
+                let mut w = [0u8; 8];
+                w.copy_from_slice(c);
+                f64::from_le_bytes(w)
+            })
             .collect();
         Ok(Some(Checkpoint { iteration, x }))
     }

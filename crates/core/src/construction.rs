@@ -321,6 +321,7 @@ fn compressed_tall(panel: &CsrMatrix, beta: &[f64]) -> (CsrMatrix, Vec<f64>) {
         row_ptr.push(col_idx.len());
     }
     let tall = CsrMatrix::from_raw_parts(support.len(), full.ncols(), row_ptr, col_idx, values)
+        // rsls-lint: allow(no-unwrap) -- row_ptr/col_idx built row-by-row above, invariants hold by construction
         .expect("support restriction preserves CSR invariants");
     (tall, beta_sup)
 }

@@ -101,6 +101,7 @@ impl RunConfig {
     /// system* — callers caching across systems must also key on the
     /// matrix and right-hand side (see `rsls-campaign`'s `UnitSpec`).
     pub fn spec_hash(&self) -> String {
+        // rsls-lint: allow(no-unwrap) -- serializing a plain in-memory struct cannot fail
         let json = serde_json::to_string(self).expect("RunConfig serialization cannot fail");
         crate::hash::sha256_hex(json.as_bytes())
     }
@@ -258,27 +259,36 @@ pub fn run(a: &CsrMatrix, b: &[f64], cfg: &RunConfig) -> RunReport {
                     cluster.compute_all(compress_flops);
                 }
                 match storage {
+                    // Checkpoint-store failures below are simulation-internal:
+                    // the memory store is infallible and the disk store writes
+                    // a process-private temp file. A panic here is the designed
+                    // failure path — the campaign engine isolates it and records
+                    // the unit `failed` without aborting the batch.
                     CheckpointStorage::Memory => {
                         cluster.memory_write(stored_ckpt_bytes);
                         mem_store
                             .save(iter, cg.x())
+                            // rsls-lint: allow(no-unwrap) -- in-memory store is infallible
                             .expect("in-memory checkpoint cannot fail");
                     }
                     CheckpointStorage::Disk => {
                         cluster.disk_write(stored_ckpt_bytes);
                         disk_store
                             .save(iter, cg.x())
+                            // rsls-lint: allow(no-unwrap) -- temp-dir write failure is isolated by the campaign engine
                             .expect("disk checkpoint failed — temp dir unwritable?");
                     }
                     CheckpointStorage::Multilevel { disk_every } => {
                         cluster.memory_write(stored_ckpt_bytes);
                         mem_store
                             .save(iter, cg.x())
+                            // rsls-lint: allow(no-unwrap) -- in-memory store is infallible
                             .expect("in-memory checkpoint cannot fail");
                         if checkpoints_taken.is_multiple_of((*disk_every).max(1)) {
                             cluster.disk_write(stored_ckpt_bytes);
                             disk_store
                                 .save(iter, cg.x())
+                                // rsls-lint: allow(no-unwrap) -- temp-dir write failure is isolated by the campaign engine
                                 .expect("disk checkpoint failed — temp dir unwritable?");
                         }
                     }
@@ -323,6 +333,7 @@ pub fn run(a: &CsrMatrix, b: &[f64], cfg: &RunConfig) -> RunReport {
                     }
                 );
                 if survives {
+                    // rsls-lint: allow(no-unwrap) -- temp-file read failure is isolated by the campaign engine
                     match disk_store.load().expect("disk checkpoint unreadable") {
                         Some(ckpt) => cg.set_x(&ckpt.x),
                         None => cg.set_x(&x0),
@@ -375,10 +386,12 @@ pub fn run(a: &CsrMatrix, b: &[f64], cfg: &RunConfig) -> RunReport {
                         // memory level.
                         CheckpointStorage::Memory | CheckpointStorage::Multilevel { .. } => {
                             cluster.memory_read(stored_ckpt_bytes);
+                            // rsls-lint: allow(no-unwrap) -- in-memory store is infallible
                             mem_store.load().expect("memory load cannot fail")
                         }
                         CheckpointStorage::Disk => {
                             cluster.disk_read(stored_ckpt_bytes);
+                            // rsls-lint: allow(no-unwrap) -- temp-file read failure is isolated by the campaign engine
                             disk_store.load().expect("disk checkpoint unreadable")
                         }
                     };

@@ -1,4 +1,6 @@
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
 // Triangular solves, factorizations, and banded assembly are written with
 // explicit index loops that mirror the textbook formulas; iterator
 // adapters obscure rather than clarify them here.

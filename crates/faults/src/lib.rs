@@ -1,4 +1,6 @@
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
 //! Fault taxonomy, MTBF projection, and deterministic fault injection.
 //!
 //! Covers the paper's fault model (§2.1):

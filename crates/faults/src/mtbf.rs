@@ -82,7 +82,14 @@ impl MtbfEstimator {
     }
 
     fn idx(class: FaultClass) -> usize {
-        FaultClass::ALL.iter().position(|&c| c == class).unwrap()
+        match class {
+            FaultClass::Dce => 0,
+            FaultClass::Due => 1,
+            FaultClass::Sdc => 2,
+            FaultClass::Swo => 3,
+            FaultClass::Snf => 4,
+            FaultClass::Lnf => 5,
+        }
     }
 
     /// MTBF of a *single node* for `class` at the given scale's

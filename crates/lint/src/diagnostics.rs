@@ -1,0 +1,78 @@
+//! Violation type and the text / JSON renderers.
+
+use crate::rules::Rule;
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The rule that fired.
+    pub rule: Rule,
+    /// Path of the offending file (relative to the workspace root when
+    /// produced by the workspace walker).
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Human-readable description with a remediation hint.
+    pub message: String,
+}
+
+impl Violation {
+    /// `file:line: [rule] message` — the text-mode diagnostic line.
+    pub fn render_text(&self) -> String {
+        format!(
+            "{}:{}: [{}] {}",
+            self.file,
+            self.line,
+            self.rule.id(),
+            self.message
+        )
+    }
+}
+
+/// Renders the full report as a deterministic JSON document for CI.
+///
+/// Hand-rolled on purpose: the lint tool depends on nothing but `std`,
+/// and the output is a flat, fully-escaped structure.
+pub fn render_json(violations: &[Violation], files_scanned: usize) -> String {
+    let mut out = String::from("{\n  \"tool\": \"rsls-lint\",\n  \"violations\": [");
+    for (i, v) in violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}",
+            json_string(v.rule.id()),
+            json_string(&v.file),
+            v.line,
+            json_string(&v.message)
+        ));
+    }
+    if !violations.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str(&format!(
+        "],\n  \"violation_count\": {},\n  \"files_scanned\": {}\n}}\n",
+        violations.len(),
+        files_scanned
+    ));
+    out
+}
+
+/// Escapes `s` as a JSON string literal (RFC 8259).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

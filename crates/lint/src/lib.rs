@@ -1,0 +1,49 @@
+#![deny(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+//! `rsls-lint` — the workspace determinism & hygiene analyzer.
+//!
+//! Every claim this reproduction makes — exact figure reproduction,
+//! 100% cache hits on warm campaign re-runs, byte-identical results
+//! for any `--jobs` count — rests on the codebase staying
+//! deterministic. A single stray `Instant::now()` in a cost model or
+//! one `HashMap` iteration serialized into a report silently destroys
+//! that property. This crate machine-enforces the contract: a
+//! dependency-free static-analysis pass with its own Rust lexer that
+//! walks all workspace sources and checks project-specific rules
+//! (R1–R5, see [`rules::Rule`] and `LINTING.md`).
+//!
+//! Violations are suppressible only via an inline
+//! `// rsls-lint: allow(<rule>) -- <reason>` pragma; a pragma with an
+//! unknown rule name or a missing reason is itself an error. The
+//! `rsls-lint` binary exits nonzero on any violation and offers
+//! `--format json` for CI.
+//!
+//! Pipeline: [`lexer::lex`] → [`pragma::parse_pragmas`] →
+//! [`rules::analyze_source`], fed by [`workspace::collect`].
+
+pub mod diagnostics;
+pub mod lexer;
+pub mod pragma;
+pub mod rules;
+pub mod workspace;
+
+pub use diagnostics::{render_json, Violation};
+pub use rules::{analyze_source, Rule};
+pub use workspace::{collect, SourceFile};
+
+use std::io;
+use std::path::Path;
+
+/// Analyzes the whole workspace rooted at `root`, returning all
+/// surviving violations plus the number of files scanned.
+pub fn analyze_workspace(root: &Path) -> io::Result<(Vec<Violation>, usize)> {
+    let files = workspace::collect(root)?;
+    let scanned = files.len();
+    let mut violations = Vec::new();
+    for file in &files {
+        let src = std::fs::read_to_string(&file.path)?;
+        violations.extend(rules::analyze_source(&file.label, &src, &file.rules));
+    }
+    violations.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok((violations, scanned))
+}

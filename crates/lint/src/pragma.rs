@@ -1,0 +1,119 @@
+//! Suppression pragmas: `// rsls-lint: allow(<rule>[, <rule>…]) -- <reason>`.
+//!
+//! A pragma silences the named rule(s) on **its own line and the line
+//! directly below it** — nothing broader. Every pragma must carry a
+//! reason after `--`; a pragma naming an unknown rule, or missing its
+//! reason, is itself a (non-suppressible) violation, so stale or
+//! typo'd suppressions cannot silently rot.
+//!
+//! Pragmas are only recognized in plain `//` comments. Doc comments
+//! (`///`, `//!`) and block comments are ignored, so documentation can
+//! quote pragma syntax without activating it.
+
+use crate::diagnostics::Violation;
+use crate::lexer::{Token, TokenKind};
+use crate::rules::Rule;
+
+/// The comment marker that introduces a pragma.
+pub const MARKER: &str = "rsls-lint:";
+
+/// One parsed suppression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pragma {
+    /// Rules this pragma silences.
+    pub rules: Vec<Rule>,
+    /// The stated justification (text after `--`).
+    pub reason: String,
+    /// 1-based line the pragma comment sits on.
+    pub line: u32,
+}
+
+impl Pragma {
+    /// True when this pragma silences `rule` at `line` (same line as
+    /// the pragma, or the line immediately after).
+    pub fn suppresses(&self, rule: Rule, line: u32) -> bool {
+        self.rules.contains(&rule) && (line == self.line || line == self.line + 1)
+    }
+}
+
+/// Extracts pragmas from a lexed token stream. Malformed pragmas are
+/// reported as violations of the meta-rule [`Rule::Pragma`].
+pub fn parse_pragmas(tokens: &[Token], file: &str) -> (Vec<Pragma>, Vec<Violation>) {
+    let mut pragmas = Vec::new();
+    let mut violations = Vec::new();
+    for tok in tokens {
+        if tok.kind != TokenKind::LineComment {
+            continue;
+        }
+        // Plain `//` only: doc comments may *describe* pragma syntax.
+        let body = &tok.text;
+        if body.starts_with("///") || body.starts_with("//!") {
+            continue;
+        }
+        let Some(idx) = body.find(MARKER) else {
+            continue;
+        };
+        match parse_one(&body[idx + MARKER.len()..], tok.line) {
+            Ok(p) => pragmas.push(p),
+            Err(detail) => violations.push(Violation {
+                rule: Rule::Pragma,
+                file: file.to_string(),
+                line: tok.line,
+                message: detail,
+            }),
+        }
+    }
+    (pragmas, violations)
+}
+
+/// Parses the text after the `rsls-lint:` marker.
+fn parse_one(rest: &str, line: u32) -> Result<Pragma, String> {
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix("allow") else {
+        return Err(format!(
+            "pragma must be `{MARKER} allow(<rule>) -- <reason>`, got `{}`",
+            rest.trim()
+        ));
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('(') else {
+        return Err("pragma is missing `(` after `allow`".to_string());
+    };
+    let Some(close) = rest.find(')') else {
+        return Err("pragma is missing closing `)`".to_string());
+    };
+    let (list, tail) = rest.split_at(close);
+    let mut rules = Vec::new();
+    for name in list.split(',') {
+        let name = name.trim();
+        if name.is_empty() {
+            return Err("pragma allow() lists no rules".to_string());
+        }
+        match Rule::from_id(name) {
+            Some(rule) => rules.push(rule),
+            None => {
+                return Err(format!(
+                    "unknown rule `{name}` in pragma (known: {})",
+                    Rule::catalog()
+                        .iter()
+                        .map(|r| r.id())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ))
+            }
+        }
+    }
+    let tail = tail[1..].trim_start(); // past `)`
+    let Some(reason) = tail.strip_prefix("--") else {
+        return Err("pragma is missing `-- <reason>`".to_string());
+    };
+    let reason = reason.trim();
+    if reason.is_empty() {
+        return Err("pragma reason after `--` is empty".to_string());
+    }
+    Ok(Pragma {
+        rules,
+        reason: reason.to_string(),
+        line,
+    })
+}

@@ -1,0 +1,437 @@
+//! The rule catalog and the per-file analysis pass.
+//!
+//! Each rule guards one leg of the reproducibility contract (see
+//! `LINTING.md` for the full catalog and rationale):
+//!
+//! | id | guards against |
+//! |----|----------------|
+//! | `wall-clock` | OS time / entropy leaking into deterministic crates |
+//! | `default-hasher` | randomized `HashMap`/`HashSet` iteration order |
+//! | `unordered-parallel` | ad-hoc threads & nondeterministic float reductions |
+//! | `no-unwrap` | panics in library crates instead of `Result` propagation |
+//! | `missing-docs` | undocumented public API in `core` / `campaign` |
+//!
+//! plus the meta-rule `pragma` (malformed or unknown suppressions),
+//! which can never itself be suppressed.
+
+use crate::diagnostics::Violation;
+use crate::lexer::{lex, Token, TokenKind};
+use crate::pragma::parse_pragmas;
+
+/// A lint rule. `Pragma` is the meta-rule for malformed suppressions;
+/// it is reported like any other but cannot be allowed away.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// R1: no wall-clock or OS entropy in deterministic crates.
+    WallClock,
+    /// R2: no default-hasher `HashMap`/`HashSet` where iteration order
+    /// can leak into simulation state or serialized output.
+    DefaultHasher,
+    /// R3: no `thread::spawn` or unordered parallel float reduction
+    /// outside the campaign engine's order-preserving pool.
+    UnorderedParallel,
+    /// R4: zero `unwrap`/`expect`/`panic!` budget in library crates.
+    NoUnwrap,
+    /// R5: public items of `core` and `campaign` must be documented.
+    MissingDocs,
+    /// Meta: a pragma that does not parse or names an unknown rule.
+    Pragma,
+}
+
+impl Rule {
+    /// The five suppressible rules, in R1–R5 order.
+    pub fn catalog() -> [Rule; 5] {
+        [
+            Rule::WallClock,
+            Rule::DefaultHasher,
+            Rule::UnorderedParallel,
+            Rule::NoUnwrap,
+            Rule::MissingDocs,
+        ]
+    }
+
+    /// Stable kebab-case identifier (used in pragmas and JSON output).
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::WallClock => "wall-clock",
+            Rule::DefaultHasher => "default-hasher",
+            Rule::UnorderedParallel => "unordered-parallel",
+            Rule::NoUnwrap => "no-unwrap",
+            Rule::MissingDocs => "missing-docs",
+            Rule::Pragma => "pragma",
+        }
+    }
+
+    /// Parses a rule id as used in `allow(...)` lists. The meta-rule
+    /// `pragma` is deliberately not allowable.
+    pub fn from_id(name: &str) -> Option<Rule> {
+        Rule::catalog().into_iter().find(|r| r.id() == name)
+    }
+}
+
+/// Identifiers that mean wall-clock time or OS entropy reached the code.
+const WALL_CLOCK_IDENTS: &[&str] = &[
+    "SystemTime",
+    "Instant",
+    "UNIX_EPOCH",
+    "thread_rng",
+    "OsRng",
+    "from_entropy",
+];
+
+/// Parallel-iterator entry points whose element order is scheduler-driven.
+const PAR_ENTRY_IDENTS: &[&str] = &["par_iter", "into_par_iter", "par_bridge", "par_chunks"];
+
+/// Combinators that fold elements in arrival order (nondeterministic
+/// for floats when fed by a parallel iterator).
+const PAR_REDUCER_IDENTS: &[&str] = &["sum", "reduce", "fold", "product"];
+
+/// Analyzes one file's source under the given rule set, returning the
+/// surviving (non-suppressed) violations sorted by line.
+///
+/// `file` is the path label used in diagnostics. Tokens inside
+/// `#[cfg(test)]` / `#[test]` items are exempt from every rule.
+pub fn analyze_source(file: &str, src: &str, rules: &[Rule]) -> Vec<Violation> {
+    let tokens = lex(src);
+    let (pragmas, mut violations) = parse_pragmas(&tokens, file);
+    let sig = significant(&tokens);
+    let skip = test_skip_mask(&sig);
+
+    let mut candidates: Vec<Violation> = Vec::new();
+    for &rule in rules {
+        let hits = match rule {
+            Rule::WallClock => check_banned_idents(&sig, &skip, WALL_CLOCK_IDENTS, |name| {
+                format!(
+                    "`{name}` reaches wall-clock time or OS entropy in a deterministic crate; \
+                     derive time from the simulation clock and plumb seeds through the spec"
+                )
+            }),
+            Rule::DefaultHasher => {
+                check_banned_idents(&sig, &skip, &["HashMap", "HashSet"], |name| {
+                    format!(
+                        "`{name}` iterates in randomized order, which can leak into simulation \
+                     state or serialized output; use `BTreeMap`/`BTreeSet` instead"
+                    )
+                })
+            }
+            Rule::UnorderedParallel => check_unordered_parallel(&sig, &skip),
+            Rule::NoUnwrap => check_no_unwrap(&sig, &skip),
+            Rule::MissingDocs => check_missing_docs(&sig, &skip),
+            Rule::Pragma => Vec::new(), // produced by the pragma parser itself
+        };
+        candidates.extend(hits.into_iter().map(|(line, message)| Violation {
+            rule,
+            file: file.to_string(),
+            line,
+            message,
+        }));
+    }
+
+    violations.extend(
+        candidates
+            .into_iter()
+            .filter(|v| !pragmas.iter().any(|p| p.suppresses(v.rule, v.line))),
+    );
+    violations.sort_by_key(|v| (v.line, v.rule));
+    violations
+}
+
+/// A comment-free token plus whether a `///` doc comment attaches to it.
+#[derive(Debug, Clone)]
+struct SigTok {
+    kind: TokenKind,
+    text: String,
+    line: u32,
+    doc: bool,
+}
+
+impl SigTok {
+    fn is_ident(&self, word: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == word
+    }
+
+    fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+/// Drops comments, tracking which tokens carry an attached outer doc
+/// comment (`///` or `/**`), looking through attributes in between.
+fn significant(tokens: &[Token]) -> Vec<SigTok> {
+    let mut out: Vec<SigTok> = Vec::with_capacity(tokens.len());
+    let mut pending_doc = false;
+    let mut in_attr = false;
+    let mut attr_depth = 0usize;
+    let mut last_was_hash = false;
+    for tok in tokens {
+        match tok.kind {
+            TokenKind::LineComment => {
+                if tok.text.starts_with("///") {
+                    pending_doc = true;
+                }
+            }
+            TokenKind::BlockComment => {
+                if tok.text.starts_with("/**") {
+                    pending_doc = true;
+                }
+            }
+            _ => {
+                out.push(SigTok {
+                    kind: tok.kind,
+                    text: tok.text.clone(),
+                    line: tok.line,
+                    doc: pending_doc,
+                });
+                if in_attr {
+                    if tok.is_punct('[') {
+                        attr_depth += 1;
+                    } else if tok.is_punct(']') {
+                        attr_depth -= 1;
+                        if attr_depth == 0 {
+                            in_attr = false;
+                        }
+                    }
+                } else if last_was_hash && tok.is_punct('[') {
+                    in_attr = true;
+                    attr_depth = 1;
+                } else if !tok.is_punct('#') {
+                    // Attributes between a doc comment and its item keep
+                    // the doc pending; any other token consumes it.
+                    pending_doc = false;
+                }
+                last_was_hash = tok.is_punct('#');
+            }
+        }
+    }
+    out
+}
+
+/// Marks token ranges belonging to `#[test]` / `#[cfg(test)]` items
+/// (the attribute, any further attributes, and the item through its
+/// closing brace or semicolon). Ranges are brace-balanced, so callers
+/// can skip them without desynchronizing depth tracking.
+fn test_skip_mask(sig: &[SigTok]) -> Vec<bool> {
+    let mut skip = vec![false; sig.len()];
+    let mut i = 0;
+    while i < sig.len() {
+        if sig[i].is_punct('#') && i + 1 < sig.len() && sig[i + 1].is_punct('[') {
+            let attr_end = match matching_bracket(sig, i + 1) {
+                Some(e) => e,
+                None => break,
+            };
+            let is_test_attr = sig[i..=attr_end].iter().any(|t| t.is_ident("test"));
+            if is_test_attr {
+                let item_end = skip_item(sig, attr_end + 1);
+                for s in skip.iter_mut().take(item_end + 1).skip(i) {
+                    *s = true;
+                }
+                i = item_end + 1;
+                continue;
+            }
+            i = attr_end + 1;
+            continue;
+        }
+        i += 1;
+    }
+    skip
+}
+
+/// Index of the `]` matching the `[` at `open`.
+fn matching_bracket(sig: &[SigTok], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (j, t) in sig.iter().enumerate().skip(open) {
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// Returns the index of the token ending the item starting at `from`:
+/// a `;` before any brace opens, or the `}` matching the first `{`.
+/// Leading additional attributes are stepped over.
+fn skip_item(sig: &[SigTok], from: usize) -> usize {
+    let mut i = from;
+    // Step over further attributes on the same item.
+    while i + 1 < sig.len() && sig[i].is_punct('#') && sig[i + 1].is_punct('[') {
+        match matching_bracket(sig, i + 1) {
+            Some(e) => i = e + 1,
+            None => return sig.len().saturating_sub(1),
+        }
+    }
+    let mut depth = 0usize;
+    while i < sig.len() {
+        let t = &sig[i];
+        if t.is_punct(';') && depth == 0 {
+            return i;
+        }
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    sig.len().saturating_sub(1)
+}
+
+/// Flags any identifier from `banned`, with `message(name)` as the text.
+fn check_banned_idents(
+    sig: &[SigTok],
+    skip: &[bool],
+    banned: &[&str],
+    message: impl Fn(&str) -> String,
+) -> Vec<(u32, String)> {
+    let mut hits = Vec::new();
+    for (i, t) in sig.iter().enumerate() {
+        if skip[i] || t.kind != TokenKind::Ident {
+            continue;
+        }
+        if banned.contains(&t.text.as_str()) {
+            hits.push((t.line, message(&t.text)));
+        }
+    }
+    hits
+}
+
+/// R3: `thread::spawn`, and parallel-iterator chains that end in an
+/// order-sensitive reduction before the statement ends.
+fn check_unordered_parallel(sig: &[SigTok], skip: &[bool]) -> Vec<(u32, String)> {
+    let mut hits = Vec::new();
+    for i in 0..sig.len() {
+        if skip[i] {
+            continue;
+        }
+        if sig[i].is_ident("thread")
+            && i + 3 < sig.len()
+            && sig[i + 1].is_punct(':')
+            && sig[i + 2].is_punct(':')
+            && sig[i + 3].is_ident("spawn")
+        {
+            hits.push((
+                sig[i].line,
+                "`thread::spawn` bypasses the campaign engine's order-preserving pool; \
+                 submit work as campaign units (or rayon with per-index collection) instead"
+                    .to_string(),
+            ));
+        }
+        if sig[i].kind == TokenKind::Ident && PAR_ENTRY_IDENTS.contains(&sig[i].text.as_str()) {
+            // Scan ahead to the end of the statement for a reducer.
+            for j in i + 1..sig.len().min(i + 60) {
+                if sig[j].is_punct(';') {
+                    break;
+                }
+                if sig[j].kind == TokenKind::Ident
+                    && PAR_REDUCER_IDENTS.contains(&sig[j].text.as_str())
+                    && j + 1 < sig.len()
+                    && sig[j + 1].is_punct('(')
+                {
+                    hits.push((
+                        sig[i].line,
+                        format!(
+                            "`{}…{}()` combines floats in scheduler order, which is not \
+                             reproducible; collect per-index results and reduce sequentially",
+                            sig[i].text, sig[j].text
+                        ),
+                    ));
+                    break;
+                }
+            }
+        }
+    }
+    hits
+}
+
+/// R4: `.unwrap()` / `.expect(` / `panic!` in library code.
+fn check_no_unwrap(sig: &[SigTok], skip: &[bool]) -> Vec<(u32, String)> {
+    let mut hits = Vec::new();
+    for i in 0..sig.len() {
+        if skip[i] || sig[i].kind != TokenKind::Ident {
+            continue;
+        }
+        let t = &sig[i];
+        let next_is_open = |c| i + 1 < sig.len() && sig[i + 1].is_punct(c);
+        if (t.text == "unwrap" || t.text == "expect")
+            && i > 0
+            && sig[i - 1].is_punct('.')
+            && next_is_open('(')
+        {
+            hits.push((
+                t.line,
+                format!(
+                    "`.{}()` can panic in a library crate; propagate a `Result` with context \
+                     (or justify with an allow pragma if the invariant is structural)",
+                    t.text
+                ),
+            ));
+        }
+        if t.text == "panic" && next_is_open('!') {
+            hits.push((
+                t.line,
+                "`panic!` in a library crate; return an error so callers (and the campaign \
+                 engine's isolation layer) can handle it"
+                    .to_string(),
+            ));
+        }
+    }
+    hits
+}
+
+/// R5: `pub` items outside function bodies must carry a doc comment.
+fn check_missing_docs(sig: &[SigTok], skip: &[bool]) -> Vec<(u32, String)> {
+    let mut hits = Vec::new();
+    let mut brace_depth = 0usize;
+    let mut paren_depth = 0usize;
+    let mut fn_body_at: Option<usize> = None;
+    let mut head_has_fn = false;
+    for i in 0..sig.len() {
+        if skip[i] {
+            continue;
+        }
+        let t = &sig[i];
+        if t.is_punct('(') {
+            paren_depth += 1;
+        } else if t.is_punct(')') {
+            paren_depth = paren_depth.saturating_sub(1);
+        } else if t.is_punct('{') {
+            if fn_body_at.is_none() && head_has_fn {
+                fn_body_at = Some(brace_depth);
+            }
+            brace_depth += 1;
+            head_has_fn = false;
+        } else if t.is_punct('}') {
+            brace_depth = brace_depth.saturating_sub(1);
+            if fn_body_at == Some(brace_depth) {
+                fn_body_at = None;
+            }
+            head_has_fn = false;
+        } else if t.is_punct(';') {
+            head_has_fn = false;
+        } else if t.is_ident("fn") && fn_body_at.is_none() {
+            head_has_fn = true;
+        } else if t.is_ident("pub") && fn_body_at.is_none() && paren_depth == 0 {
+            let next = sig.get(i + 1);
+            let restricted = next.is_some_and(|n| n.is_punct('('));
+            // `pub use` re-exports need no docs; `pub mod x;` carries
+            // its docs as `//!` inside the module file (rustc's
+            // `warn(missing_docs)` checks those).
+            let exempt_kind = next
+                .is_some_and(|n| n.is_ident("use") || n.is_ident("extern") || n.is_ident("mod"));
+            if !restricted && !exempt_kind && !t.doc {
+                hits.push((
+                    t.line,
+                    "public item lacks a doc comment (`///`)".to_string(),
+                ));
+            }
+        }
+    }
+    hits
+}

@@ -1,0 +1,120 @@
+//! Maps workspace crates to the rule sets they must satisfy, and
+//! collects their source files.
+//!
+//! The scope table is the machine-readable form of the reproducibility
+//! contract (see `LINTING.md`):
+//!
+//! * **Deterministic crates** (`core`, `cluster`, `solvers`, `sparse`,
+//!   `faults`, `models`, `power`) — the simulation itself. No wall
+//!   clock, no randomized hashers, no ad-hoc parallelism, no panics.
+//! * **`campaign`** — owns the order-preserving pool and measures real
+//!   wall time by design, so `wall-clock` and `unordered-parallel` do
+//!   not apply; everything else does, plus full public docs.
+//! * **`experiments` / `bench`** — application crates; they may time
+//!   and print, but must not spawn ad-hoc threads.
+//! * **`lint`** (this crate) — held to the same hygiene it enforces.
+//!
+//! `vendor/` stand-ins are not audited: they mimic external crates'
+//! APIs and carry their own conventions. Within a crate, `src/bin/`,
+//! `tests/`, `benches/`, and `examples/` are exempt (binaries and
+//! tests may unwrap and time freely).
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::rules::Rule;
+
+/// One source file queued for analysis, with the rules that apply.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Absolute path on disk.
+    pub path: PathBuf,
+    /// Path relative to the workspace root, for diagnostics.
+    pub label: String,
+    /// Rules to enforce on this file.
+    pub rules: Vec<Rule>,
+}
+
+/// Rules enforced on a crate, by the directory name under `crates/`.
+pub fn crate_rules(name: &str) -> Vec<Rule> {
+    use Rule::*;
+    match name {
+        "core" => vec![
+            WallClock,
+            DefaultHasher,
+            UnorderedParallel,
+            NoUnwrap,
+            MissingDocs,
+        ],
+        "cluster" | "solvers" | "sparse" | "faults" | "models" | "power" => {
+            vec![WallClock, DefaultHasher, UnorderedParallel, NoUnwrap]
+        }
+        "campaign" => vec![DefaultHasher, NoUnwrap, MissingDocs],
+        "lint" => vec![DefaultHasher, UnorderedParallel, NoUnwrap, MissingDocs],
+        "experiments" | "bench" => vec![UnorderedParallel],
+        // A new crate gets the hygiene baseline until it is classified
+        // here; add it to this table (and LINTING.md) when it lands.
+        _ => vec![DefaultHasher, UnorderedParallel, NoUnwrap],
+    }
+}
+
+/// Collects every auditable `.rs` file under `<root>/crates/*/src`,
+/// sorted by path so diagnostics and JSON output are deterministic.
+pub fn collect(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let crates_dir = root.join("crates");
+    if !crates_dir.is_dir() {
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("no `crates/` directory under {}", root.display()),
+        ));
+    }
+    let mut crate_names: Vec<String> = Vec::new();
+    for entry in fs::read_dir(&crates_dir)? {
+        let entry = entry?;
+        if entry.path().join("src").is_dir() {
+            crate_names.push(entry.file_name().to_string_lossy().into_owned());
+        }
+    }
+    crate_names.sort();
+
+    let mut files = Vec::new();
+    for name in &crate_names {
+        let rules = crate_rules(name);
+        let src_dir = crates_dir.join(name).join("src");
+        let mut paths = Vec::new();
+        walk_rs(&src_dir, &mut paths)?;
+        paths.sort();
+        for path in paths {
+            let label = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .into_owned();
+            files.push(SourceFile {
+                path,
+                label,
+                rules: rules.clone(),
+            });
+        }
+    }
+    Ok(files)
+}
+
+/// Recursively gathers `.rs` files, skipping `bin/` subtrees (binaries
+/// are exempt — they may time, print, and unwrap at the top level).
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            if entry.file_name() == "bin" {
+                continue;
+            }
+            walk_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,17 @@
+//! Fixture: malformed pragmas are themselves violations (lines 7, 12,
+//! 16), and a pragma with an unknown rule does NOT suppress anything,
+//! so the unwrap on line 8 still fires (4 total).
+
+/// Carries a typo'd pragma.
+pub fn f(v: Option<u32>) -> u32 {
+    // rsls-lint: allow(no-unwrapp) -- typo'd rule name is an error
+    v.unwrap()
+}
+
+/// The pragma above this item lacks `-- <reason>`.
+// rsls-lint: allow(no-unwrap)
+pub fn g() {}
+
+/// The pragma above this item uses an unknown verb.
+// rsls-lint: deny(no-unwrap) -- only allow() exists
+pub fn h() {}

@@ -1,0 +1,20 @@
+//! Fixture: every violation here carries a valid pragma → 0 expected.
+
+use std::collections::HashMap; // rsls-lint: allow(default-hasher) -- fixture demonstrates same-line suppression
+
+/// Unwraps with a stated justification.
+pub fn justified(v: Option<u32>) -> u32 {
+    // rsls-lint: allow(no-unwrap) -- fixture demonstrates line-above suppression
+    v.unwrap()
+}
+
+/// Documented, with a multi-rule pragma covering the line below.
+pub fn timed(xs: &[f64]) -> f64 {
+    // rsls-lint: allow(wall-clock, unordered-parallel) -- fixture demonstrates a multi-rule pragma
+    let _ = Instant::now(); let s: f64 = xs.par_iter().sum(); s
+}
+
+/// Same-line pragma on the signature itself.
+pub fn lookup(m: &HashMap<String, u32>) -> u32 { // rsls-lint: allow(default-hasher) -- read-only lookup, order never observed
+    m.len() as u32
+}

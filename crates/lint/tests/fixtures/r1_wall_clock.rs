@@ -1,0 +1,13 @@
+//! Fixture: R1 wall-clock / OS entropy violations (3 expected).
+
+use std::time::Instant; // line 3: `Instant`
+
+pub fn elapsed() -> f64 {
+    let start = Instant::now(); // line 6: `Instant`
+    start.elapsed().as_secs_f64()
+}
+
+pub fn entropy() -> u64 {
+    let mut rng = thread_rng(); // line 11: `thread_rng`
+    rng.next_u64()
+}

@@ -1,0 +1,7 @@
+//! Fixture: R2 default-hasher violations (2 expected).
+
+use std::collections::HashMap; // line 3: `HashMap`
+
+pub struct State {
+    pub counts: HashMap<String, u64>, // line 6: `HashMap`
+}

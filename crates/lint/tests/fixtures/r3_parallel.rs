@@ -1,0 +1,20 @@
+//! Fixture: R3 unordered-parallelism violations (2 expected).
+
+pub fn ad_hoc_thread() {
+    let handle = std::thread::spawn(|| 1 + 1); // line 4: thread::spawn
+    let _ = handle.join();
+}
+
+pub fn unordered_reduction(xs: &[f64]) -> f64 {
+    xs.par_iter().map(|x| x * 2.0).sum() // line 9: par_iter … sum()
+}
+
+pub fn ordered_is_fine(xs: &mut [f64]) {
+    // Writing to distinct slots is deterministic — must NOT be flagged.
+    xs.par_iter_mut().for_each(|x| *x *= 2.0);
+}
+
+pub fn sequential_sum_is_fine(xs: &[f64]) -> f64 {
+    // Sequential reduction — must NOT be flagged.
+    xs.iter().sum()
+}

@@ -1,0 +1,16 @@
+//! Fixture: R4 unwrap/expect/panic violations (3 expected).
+
+pub fn takes_shortcuts(v: Option<u32>, r: Result<u32, String>) -> u32 {
+    let a = v.unwrap(); // line 4
+    let b = r.expect("should not fail"); // line 5
+    if a + b == 0 {
+        panic!("zero"); // line 7
+    }
+    a + b
+}
+
+pub fn not_flagged(v: Option<u32>) -> u32 {
+    // `unwrap_or` is fine, and `std::panic::catch_unwind` paths are
+    // not the `panic!` macro.
+    v.unwrap_or(0)
+}

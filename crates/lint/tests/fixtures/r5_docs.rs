@@ -1,0 +1,17 @@
+//! Fixture: R5 missing-docs violations (2 expected).
+
+pub fn undocumented() {} // line 3
+
+/// Documented — not flagged.
+pub fn documented() {}
+
+/// Documented struct with one undocumented public field.
+pub struct Mixed {
+    pub naked: u32, // line 10
+    /// Documented field — not flagged.
+    pub covered: u32,
+}
+
+pub(crate) fn restricted_needs_no_docs() {}
+
+pub use std::time::Duration;

@@ -1,0 +1,32 @@
+//! Fixture: violations inside test items are exempt → 1 expected
+//! (only the one in library code at line 6).
+
+/// Library code: its unwrap IS flagged.
+pub fn library_code(v: Option<u32>) -> u32 {
+    v.unwrap() // line 5: the only real violation
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use std::time::Instant;
+
+    #[test]
+    fn tests_may_unwrap_and_time() {
+        let t = Instant::now();
+        let mut m = HashMap::new();
+        m.insert("k", 1);
+        assert_eq!(library_code(Some(2)).checked_add(1).unwrap(), 3);
+        assert!(t.elapsed().as_secs() < 60);
+        if m.is_empty() {
+            panic!("unreachable");
+        }
+    }
+}
+
+#[test]
+fn bare_test_fn_is_exempt() {
+    let v: Option<u32> = Some(1);
+    v.unwrap();
+}

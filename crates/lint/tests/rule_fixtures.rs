@@ -1,0 +1,142 @@
+//! Fixture-based tests: each fixture under `tests/fixtures/` encodes the
+//! violations one rule should (and should not) produce, and the suite
+//! asserts the analyzer reports exactly those. A final end-to-end test
+//! runs the real `rsls-lint` binary against a synthetic workspace to
+//! prove the nonzero-exit contract.
+
+use rsls_lint::{analyze_source, Rule};
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path}: {e}"))
+}
+
+/// Runs one fixture under `rules` and returns `(rule_id, line)` pairs.
+fn run(name: &str, rules: &[Rule]) -> Vec<(&'static str, u32)> {
+    analyze_source(name, &fixture(name), rules)
+        .into_iter()
+        .map(|v| (v.rule.id(), v.line))
+        .collect()
+}
+
+#[test]
+fn r1_wall_clock_fixture() {
+    let got = run("r1_wall_clock.rs", &[Rule::WallClock]);
+    assert_eq!(
+        got,
+        vec![("wall-clock", 3), ("wall-clock", 6), ("wall-clock", 11)]
+    );
+}
+
+#[test]
+fn r2_default_hasher_fixture() {
+    let got = run("r2_hasher.rs", &[Rule::DefaultHasher]);
+    assert_eq!(got, vec![("default-hasher", 3), ("default-hasher", 6)]);
+}
+
+#[test]
+fn r3_unordered_parallel_fixture() {
+    let got = run("r3_parallel.rs", &[Rule::UnorderedParallel]);
+    assert_eq!(
+        got,
+        vec![("unordered-parallel", 4), ("unordered-parallel", 9)]
+    );
+}
+
+#[test]
+fn r4_no_unwrap_fixture() {
+    let got = run("r4_unwrap.rs", &[Rule::NoUnwrap]);
+    assert_eq!(
+        got,
+        vec![("no-unwrap", 4), ("no-unwrap", 5), ("no-unwrap", 7)]
+    );
+}
+
+#[test]
+fn r5_missing_docs_fixture() {
+    let got = run("r5_docs.rs", &[Rule::MissingDocs]);
+    assert_eq!(got, vec![("missing-docs", 3), ("missing-docs", 10)]);
+}
+
+#[test]
+fn valid_pragmas_suppress_everything() {
+    let got = run("clean_pragmas.rs", &Rule::catalog());
+    assert_eq!(got, vec![]);
+}
+
+#[test]
+fn test_code_is_exempt() {
+    let got = run("test_exempt.rs", &Rule::catalog());
+    assert_eq!(got, vec![("no-unwrap", 6)]);
+}
+
+#[test]
+fn malformed_pragmas_are_violations_and_do_not_suppress() {
+    let got = run("bad_pragma.rs", &Rule::catalog());
+    // Three bad pragmas (unknown rule, missing reason, unknown verb)
+    // plus the unwrap the typo'd pragma failed to suppress.
+    assert!(got.contains(&("pragma", 7)), "unknown rule name: {got:?}");
+    assert!(got.contains(&("pragma", 12)), "missing reason: {got:?}");
+    assert!(got.contains(&("pragma", 16)), "unknown verb: {got:?}");
+    assert!(
+        got.contains(&("no-unwrap", 8)),
+        "typo'd pragma must not suppress: {got:?}"
+    );
+    assert_eq!(got.len(), 4, "{got:?}");
+}
+
+/// Every fixture violation must survive when scanned with the full
+/// catalog (rules don't mask each other).
+#[test]
+fn full_catalog_superset_of_single_rule() {
+    for (name, rule) in [
+        ("r1_wall_clock.rs", Rule::WallClock),
+        ("r2_hasher.rs", Rule::DefaultHasher),
+        ("r3_parallel.rs", Rule::UnorderedParallel),
+        ("r4_unwrap.rs", Rule::NoUnwrap),
+        ("r5_docs.rs", Rule::MissingDocs),
+    ] {
+        let single = run(name, &[rule]);
+        let full = run(name, &Rule::catalog());
+        for v in &single {
+            assert!(full.contains(v), "{name}: {v:?} lost under full catalog");
+        }
+    }
+}
+
+/// End-to-end: the compiled binary exits nonzero (and reports the
+/// violation in JSON) when a fixture violation is injected into a
+/// synthetic workspace, and exits zero once it is removed.
+#[test]
+fn binary_exits_nonzero_on_injected_violation() {
+    use std::process::Command;
+
+    let root = std::env::temp_dir().join(format!("rsls-lint-e2e-{}", std::process::id()));
+    let src_dir = root.join("crates/core/src");
+    std::fs::create_dir_all(&src_dir).unwrap();
+    std::fs::write(src_dir.join("lib.rs"), fixture("r1_wall_clock.rs")).unwrap();
+
+    let run_bin = |fmt: &str| {
+        Command::new(env!("CARGO_BIN_EXE_rsls-lint"))
+            .args(["--root", root.to_str().unwrap(), "--format", fmt])
+            .output()
+            .unwrap()
+    };
+
+    let out = run_bin("json");
+    assert_eq!(out.status.code(), Some(1), "expected exit 1 on violation");
+    let json = String::from_utf8(out.stdout).unwrap();
+    assert!(json.contains("\"rule\": \"wall-clock\""), "{json}");
+    assert!(json.contains("\"line\": 6"), "{json}");
+
+    // Replace the violating file with clean code → exit 0.
+    std::fs::write(
+        src_dir.join("lib.rs"),
+        "//! Clean module.\n\n/// Adds one.\npub fn add_one(x: u32) -> u32 {\n    x + 1\n}\n",
+    )
+    .unwrap();
+    let out = run_bin("text");
+    assert_eq!(out.status.code(), Some(0), "expected exit 0 on clean tree");
+
+    std::fs::remove_dir_all(&root).unwrap();
+}

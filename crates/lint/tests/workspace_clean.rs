@@ -1,0 +1,26 @@
+//! The reproducibility contract, applied to ourselves: the workspace
+//! this crate lives in must lint clean. If this test fails, either fix
+//! the new violation or add a reasoned pragma — see LINTING.md.
+
+use std::path::Path;
+
+#[test]
+fn the_workspace_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("lint crate lives at <root>/crates/lint")
+        .to_path_buf();
+    let (violations, scanned) =
+        rsls_lint::analyze_workspace(&root).expect("workspace sources are readable");
+    assert!(
+        scanned > 50,
+        "expected to scan the full workspace, got {scanned} files — wrong root?"
+    );
+    let rendered: Vec<String> = violations.iter().map(|v| v.render_text()).collect();
+    assert!(
+        violations.is_empty(),
+        "workspace has lint violations:\n{}",
+        rendered.join("\n")
+    );
+}

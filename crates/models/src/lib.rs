@@ -1,4 +1,6 @@
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
 //! Analytical performance–energy–resilience models (paper §3 and §6).
 //!
 //! The crate mirrors the paper's modeling structure:

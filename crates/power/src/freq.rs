@@ -46,7 +46,7 @@ impl FreqTable {
 
     /// Highest (nominal) frequency.
     pub fn max(&self) -> f64 {
-        *self.levels.last().unwrap()
+        self.levels[self.levels.len() - 1]
     }
 
     /// Number of levels.
@@ -60,18 +60,16 @@ impl FreqTable {
         self.levels.is_empty()
     }
 
-    /// Clamps `f` to the nearest available level.
+    /// Clamps `f` to the nearest available level (ties keep the lower
+    /// level, matching the ascending scan order).
     pub fn quantize(&self, f: f64) -> f64 {
-        *self
-            .levels
-            .iter()
-            .min_by(|a, b| {
-                (*a - f)
-                    .abs()
-                    .partial_cmp(&(*b - f).abs())
-                    .expect("frequency levels are finite")
-            })
-            .unwrap()
+        let mut best = self.levels[0];
+        for &level in &self.levels[1..] {
+            if (level - f).abs() < (best - f).abs() {
+                best = level;
+            }
+        }
+        best
     }
 
     /// True when `f` is (within rounding) one of the levels.

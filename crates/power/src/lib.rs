@@ -1,4 +1,6 @@
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
 //! Power, DVFS, and energy-accounting substrate.
 //!
 //! Replaces the paper's RAPL measurements and CPUfreq control with a

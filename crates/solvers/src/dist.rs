@@ -144,6 +144,7 @@ impl DistCg {
                         range.len()
                             + recv
                                 .binary_search(&c)
+                                // rsls-lint: allow(no-unwrap) -- recv is built from exactly these off-range columns
                                 .expect("halo plan must cover every off-range column")
                     };
                     col_idx.push(lc);
@@ -168,6 +169,7 @@ impl DistCg {
             }
             local_a.push(
                 CsrMatrix::from_raw_parts(range.len(), local_cols, row_ptr, col_idx, values)
+                    // rsls-lint: allow(no-unwrap) -- panel arrays are built row-by-row above, invariants hold
                     .expect("remapped local panel must be valid CSR"),
             );
         }

@@ -1,4 +1,6 @@
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
 //! Instrumented iterative solvers.
 //!
 //! * [`Cg`] — a resumable, step-at-a-time Conjugate Gradient state

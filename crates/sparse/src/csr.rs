@@ -57,7 +57,7 @@ impl CsrMatrix {
                 ),
             });
         }
-        if row_ptr[0] != 0 || *row_ptr.last().unwrap() != col_idx.len() {
+        if row_ptr[0] != 0 || row_ptr[nrows] != col_idx.len() {
             return Err(LinalgError::DimensionMismatch {
                 context: "row_ptr endpoints do not match col_idx length".to_string(),
             });

@@ -3,6 +3,7 @@
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
+use super::{put, put_sym};
 use crate::{CooMatrix, CsrMatrix};
 
 /// Configuration for the banded / irregular SPD generators.
@@ -114,9 +115,9 @@ pub fn irregular_spd(cfg: &BandedConfig) -> CsrMatrix {
 pub fn tridiagonal(n: usize, d: f64) -> CsrMatrix {
     let mut coo = CooMatrix::with_capacity(n, n, 3 * n);
     for i in 0..n {
-        coo.push(i, i, d).unwrap();
+        put(&mut coo, i, i, d);
         if i + 1 < n {
-            coo.push_sym(i, i + 1, -1.0).unwrap();
+            put_sym(&mut coo, i, i + 1, -1.0);
         }
     }
     coo.to_csr()
@@ -142,7 +143,7 @@ fn build(cfg: &BandedConfig) -> CsrMatrix {
                 continue;
             }
             let v = -(0.5 + 0.5 * rng.random::<f64>()) * cfg.band_decay.powi(d as i32 - 1);
-            coo.push_sym(i, j, v).unwrap();
+            put_sym(&mut coo, i, j, v);
             offsum[i] += v.abs();
             offsum[j] += v.abs();
         }
@@ -161,7 +162,7 @@ fn build(cfg: &BandedConfig) -> CsrMatrix {
                 }
             };
             let v = -(0.5 + 0.5 * rng.random::<f64>());
-            coo.push_sym(i.min(j), i.max(j), v).unwrap();
+            put_sym(&mut coo, i.min(j), i.max(j), v);
             offsum[i] += v.abs();
             offsum[j] += v.abs();
         }
@@ -174,7 +175,7 @@ fn build(cfg: &BandedConfig) -> CsrMatrix {
         } else {
             (1.0 + cfg.dominance) * offsum[i]
         };
-        coo.push(i, i, diag).unwrap();
+        put(&mut coo, i, i, diag);
     }
     let a = coo.to_csr();
     if cfg.scaling_decades == 0.0 {
@@ -187,7 +188,7 @@ fn build(cfg: &BandedConfig) -> CsrMatrix {
         // Multiply by the *product* of the scales so the (r,c) and (c,r)
         // entries stay bit-identical (f64 multiplication is commutative
         // but not associative).
-        scaled.push(r, c, v * (d(r) * d(c))).unwrap();
+        put(&mut scaled, r, c, v * (d(r) * d(c)));
     }
     scaled.to_csr()
 }

@@ -1,5 +1,6 @@
 //! Finite-difference Laplacian stencils.
 
+use super::put;
 use crate::{CooMatrix, CsrMatrix};
 
 /// 2D 5-point Laplacian on an `nx x ny` grid (Dirichlet boundaries).
@@ -14,18 +15,18 @@ pub fn stencil_2d(nx: usize, ny: usize) -> CsrMatrix {
     for i in 0..nx {
         for j in 0..ny {
             let r = idx(i, j);
-            coo.push(r, r, 4.0).unwrap();
+            put(&mut coo, r, r, 4.0);
             if i > 0 {
-                coo.push(r, idx(i - 1, j), -1.0).unwrap();
+                put(&mut coo, r, idx(i - 1, j), -1.0);
             }
             if i + 1 < nx {
-                coo.push(r, idx(i + 1, j), -1.0).unwrap();
+                put(&mut coo, r, idx(i + 1, j), -1.0);
             }
             if j > 0 {
-                coo.push(r, idx(i, j - 1), -1.0).unwrap();
+                put(&mut coo, r, idx(i, j - 1), -1.0);
             }
             if j + 1 < ny {
-                coo.push(r, idx(i, j + 1), -1.0).unwrap();
+                put(&mut coo, r, idx(i, j + 1), -1.0);
             }
         }
     }
@@ -41,24 +42,24 @@ pub fn stencil_3d(nx: usize, ny: usize, nz: usize) -> CsrMatrix {
         for j in 0..ny {
             for k in 0..nz {
                 let r = idx(i, j, k);
-                coo.push(r, r, 6.0).unwrap();
+                put(&mut coo, r, r, 6.0);
                 if i > 0 {
-                    coo.push(r, idx(i - 1, j, k), -1.0).unwrap();
+                    put(&mut coo, r, idx(i - 1, j, k), -1.0);
                 }
                 if i + 1 < nx {
-                    coo.push(r, idx(i + 1, j, k), -1.0).unwrap();
+                    put(&mut coo, r, idx(i + 1, j, k), -1.0);
                 }
                 if j > 0 {
-                    coo.push(r, idx(i, j - 1, k), -1.0).unwrap();
+                    put(&mut coo, r, idx(i, j - 1, k), -1.0);
                 }
                 if j + 1 < ny {
-                    coo.push(r, idx(i, j + 1, k), -1.0).unwrap();
+                    put(&mut coo, r, idx(i, j + 1, k), -1.0);
                 }
                 if k > 0 {
-                    coo.push(r, idx(i, j, k - 1), -1.0).unwrap();
+                    put(&mut coo, r, idx(i, j, k - 1), -1.0);
                 }
                 if k + 1 < nz {
-                    coo.push(r, idx(i, j, k + 1), -1.0).unwrap();
+                    put(&mut coo, r, idx(i, j, k + 1), -1.0);
                 }
             }
         }

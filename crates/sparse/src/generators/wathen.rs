@@ -3,6 +3,7 @@
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
+use super::put;
 use crate::{CooMatrix, CsrMatrix};
 
 /// Element contribution matrix of the Wathen discretization (scaled by 45).
@@ -60,8 +61,7 @@ pub fn wathen(nx: usize, ny: usize, seed: u64) -> CsrMatrix {
             let rho: f64 = 100.0 * rng.random::<f64>();
             for (kr, &gr) in nn.iter().enumerate() {
                 for (kc, &gc) in nn.iter().enumerate() {
-                    coo.push(gr - 1, gc - 1, rho * e[kr][kc])
-                        .expect("wathen node index out of bounds; this is a bug");
+                    put(&mut coo, gr - 1, gc - 1, rho * e[kr][kc]);
                 }
             }
         }

@@ -43,7 +43,7 @@ impl Partition {
     pub fn from_bounds(n: usize, bounds: Vec<usize>) -> Self {
         assert!(bounds.len() >= 2, "partition needs at least one range");
         assert_eq!(bounds[0], 0, "partition must start at row 0");
-        assert_eq!(*bounds.last().unwrap(), n, "partition must end at row n");
+        assert_eq!(bounds[bounds.len() - 1], n, "partition must end at row n");
         assert!(
             bounds.windows(2).all(|w| w[0] <= w[1]),
             "partition bounds must be non-decreasing"
