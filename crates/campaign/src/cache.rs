@@ -1,4 +1,16 @@
-//! Content-addressed result cache: `<dir>/<hash>.json`.
+//! Content-addressed result cache, git-style:
+//!
+//! ```text
+//! <dir>/objects/<sha256-of-report-json>.json   the report bytes
+//! <dir>/units/<spec-content-hash>.ref          64-hex pointer to an object
+//! ```
+//!
+//! Reports live in an **object store** keyed by the SHA-256 of their own
+//! canonical JSON bytes, so an object's filename certifies its content —
+//! the invariant HTTP `ETag` serving (`rsls-serve`'s `/reports/{sha256}`)
+//! relies on. Unit results are **pointer files** mapping a
+//! [`crate::UnitSpec`] content hash to its report object; two specs that
+//! happen to produce byte-identical reports share one object.
 
 use std::fs;
 use std::io;
@@ -8,11 +20,12 @@ use rsls_core::RunReport;
 
 /// On-disk store of completed [`RunReport`]s, keyed by unit content hash.
 ///
-/// Lookups are forgiving by design: a missing, truncated, or otherwise
-/// unparsable cache file is a *miss*, never an error — the unit simply
-/// re-runs and overwrites the bad entry. Writes go through a temp file in
-/// the same directory followed by a rename, so a killed campaign can
-/// leave at most a stray `*.tmp`, not a half-written addressable entry.
+/// Lookups are forgiving by design: a missing, truncated, tampered, or
+/// otherwise unparsable ref or object is a *miss*, never an error — the
+/// unit simply re-runs and overwrites the bad entry. Writes go through a
+/// temp file in the same directory followed by a rename, so a killed
+/// campaign can leave at most a stray `*.tmp`, not a half-written
+/// addressable entry.
 #[derive(Debug)]
 pub struct ResultCache {
     dir: PathBuf,
@@ -22,7 +35,8 @@ impl ResultCache {
     /// Opens (and creates, if needed) a cache rooted at `dir`.
     pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
         let dir = dir.into();
-        fs::create_dir_all(&dir)?;
+        fs::create_dir_all(dir.join("objects"))?;
+        fs::create_dir_all(dir.join("units"))?;
         Ok(ResultCache { dir })
     }
 
@@ -31,28 +45,77 @@ impl ResultCache {
         &self.dir
     }
 
-    /// Path of the entry for `hash`.
-    pub fn entry_path(&self, hash: &str) -> PathBuf {
-        self.dir.join(format!("{hash}.json"))
+    /// Path of the object holding the report whose canonical JSON hashes
+    /// to `report_hash`.
+    pub fn object_path(&self, report_hash: &str) -> PathBuf {
+        self.dir.join("objects").join(format!("{report_hash}.json"))
     }
 
-    /// Loads the report cached for `hash`, if a valid one exists.
-    pub fn load(&self, hash: &str) -> Option<RunReport> {
-        let bytes = fs::read(self.entry_path(hash)).ok()?;
+    /// Path of the pointer file for unit `spec_hash`.
+    pub fn unit_ref_path(&self, spec_hash: &str) -> PathBuf {
+        self.dir.join("units").join(format!("{spec_hash}.ref"))
+    }
+
+    /// The report object a unit resolves to, if a valid pointer exists.
+    pub fn object_hash(&self, spec_hash: &str) -> Option<String> {
+        let raw = fs::read_to_string(self.unit_ref_path(spec_hash)).ok()?;
+        let hash = raw.trim().to_string();
+        if is_sha256_hex(&hash) {
+            Some(hash)
+        } else {
+            None
+        }
+    }
+
+    /// Loads the report cached for unit `spec_hash`, if a valid one exists.
+    pub fn load(&self, spec_hash: &str) -> Option<RunReport> {
+        let bytes = self.load_object(&self.object_hash(spec_hash)?)?;
         serde_json::from_slice(&bytes).ok()
     }
 
-    /// Persists `report` under `hash` (atomic temp + rename).
+    /// Reads the raw bytes of report object `report_hash`, verifying that
+    /// they still hash to their filename (a tampered or corrupted object
+    /// is a miss — never served).
+    pub fn load_object(&self, report_hash: &str) -> Option<Vec<u8>> {
+        if !is_sha256_hex(report_hash) {
+            return None;
+        }
+        let bytes = fs::read(self.object_path(report_hash)).ok()?;
+        if rsls_core::sha256_hex(&bytes) == report_hash {
+            Some(bytes)
+        } else {
+            None
+        }
+    }
+
+    /// Persists `report` for unit `spec_hash` (atomic temp + rename for
+    /// both the object and the pointer), returning the report's own
+    /// content address.
     ///
     /// The serialized form is byte-deterministic for a given report, so
-    /// re-storing an identical result rewrites identical bytes.
-    pub fn store(&self, hash: &str, report: &RunReport) -> io::Result<()> {
+    /// re-storing an identical result rewrites identical bytes under an
+    /// identical object name.
+    pub fn store(&self, spec_hash: &str, report: &RunReport) -> io::Result<String> {
         let json = serde_json::to_string(report)
             .map_err(|e| io::Error::other(format!("report serialization failed: {e}")))?;
-        let tmp = self.dir.join(format!("{hash}.json.tmp"));
-        fs::write(&tmp, json.as_bytes())?;
-        fs::rename(&tmp, self.entry_path(hash))
+        let report_hash = rsls_core::sha256_hex(json.as_bytes());
+        self.write_atomic(&self.object_path(&report_hash), json.as_bytes())?;
+        self.write_atomic(&self.unit_ref_path(spec_hash), report_hash.as_bytes())?;
+        Ok(report_hash)
     }
+
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let tmp = path.with_extension("tmp");
+        fs::write(&tmp, bytes)?;
+        fs::rename(&tmp, path)
+    }
+}
+
+/// Whether `s` is a plausible lowercase-hex SHA-256 digest.
+pub fn is_sha256_hex(s: &str) -> bool {
+    s.len() == 64
+        && s.bytes()
+            .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
 }
 
 #[cfg(test)]
@@ -90,12 +153,48 @@ mod tests {
         let dir = tmp_dir("roundtrip");
         let cache = ResultCache::open(&dir).unwrap();
         let r = report();
-        cache.store("abc123", &r).unwrap();
-        let first = fs::read(cache.entry_path("abc123")).unwrap();
+        let h1 = cache.store("abc123", &r).unwrap();
+        let first = fs::read(cache.object_path(&h1)).unwrap();
         assert_eq!(cache.load("abc123").unwrap(), r);
-        cache.store("abc123", &r).unwrap();
-        let second = fs::read(cache.entry_path("abc123")).unwrap();
+        let h2 = cache.store("abc123", &r).unwrap();
+        let second = fs::read(cache.object_path(&h2)).unwrap();
+        assert_eq!(h1, h2, "same report must address the same object");
         assert_eq!(first, second, "same report must serialize byte-identically");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn object_filename_is_sha256_of_its_bytes() {
+        // The invariant `rsls-serve` ETag serving relies on: a cached
+        // report round-trips byte-identically and its sha256 *is* its
+        // object filename.
+        let dir = tmp_dir("etag-invariant");
+        let cache = ResultCache::open(&dir).unwrap();
+        let r = report();
+        let rhash = cache.store("spec-hash-1", &r).unwrap();
+        let bytes = cache.load_object(&rhash).unwrap();
+        assert_eq!(rsls_core::sha256_hex(&bytes), rhash);
+        assert!(cache
+            .object_path(&rhash)
+            .file_name()
+            .unwrap()
+            .to_string_lossy()
+            .starts_with(&rhash));
+        // Byte-identical round trip: load → re-serialize → same bytes.
+        let loaded = cache.load("spec-hash-1").unwrap();
+        let rejson = serde_json::to_string(&loaded).unwrap();
+        assert_eq!(rejson.as_bytes(), &bytes[..]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn two_specs_with_identical_reports_share_one_object() {
+        let dir = tmp_dir("dedup");
+        let cache = ResultCache::open(&dir).unwrap();
+        let h1 = cache.store("spec-a", &report()).unwrap();
+        let h2 = cache.store("spec-b", &report()).unwrap();
+        assert_eq!(h1, h2);
+        assert_eq!(cache.object_hash("spec-a"), cache.object_hash("spec-b"));
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -105,21 +204,36 @@ mod tests {
         let cache = ResultCache::open(&dir).unwrap();
         assert!(cache.load("missing").is_none());
 
-        cache.store("t1", &report()).unwrap();
-        // Truncate to half its length.
-        let path = cache.entry_path("t1");
+        // Truncated object: pointer resolves but the bytes no longer
+        // hash to the object name.
+        let h = cache.store("t1", &report()).unwrap();
+        let path = cache.object_path(&h);
         let bytes = fs::read(&path).unwrap();
         fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
-        assert!(cache.load("t1").is_none(), "truncated entry must be a miss");
-
-        fs::write(cache.entry_path("t2"), b"not json at all {{{").unwrap();
-        assert!(cache.load("t2").is_none(), "garbage entry must be a miss");
-
-        fs::write(cache.entry_path("t3"), b"{\"scheme\": \"FF\"}").unwrap();
         assert!(
-            cache.load("t3").is_none(),
-            "schema-mismatched entry must be a miss"
+            cache.load("t1").is_none(),
+            "truncated object must be a miss"
         );
+        assert!(
+            cache.load_object(&h).is_none(),
+            "tampered object is never served"
+        );
+
+        // Garbage pointer.
+        fs::write(cache.unit_ref_path("t2"), b"not a hash").unwrap();
+        assert!(cache.load("t2").is_none(), "garbage ref must be a miss");
+
+        // Pointer to a missing object.
+        fs::write(cache.unit_ref_path("t3"), "a".repeat(64)).unwrap();
+        assert!(cache.load("t3").is_none(), "dangling ref must be a miss");
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn hex_validation() {
+        assert!(is_sha256_hex(&"a".repeat(64)));
+        assert!(!is_sha256_hex(&"A".repeat(64)));
+        assert!(!is_sha256_hex(&"a".repeat(63)));
+        assert!(!is_sha256_hex("../../../etc/passwd"));
     }
 }

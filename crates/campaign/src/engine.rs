@@ -1,9 +1,10 @@
 //! The campaign engine: parallel, cached, resumable unit execution.
 
+use std::collections::BTreeMap;
 use std::io;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::Instant;
 
 use rsls_core::RunReport;
@@ -92,6 +93,10 @@ pub struct CampaignSummary {
     pub cache_hits: usize,
     /// Units that failed every attempt.
     pub failed: usize,
+    /// Cache hits that were *coalesced*: the unit arrived while an
+    /// identical unit (same content address) was already executing, so
+    /// it waited for that computation instead of starting its own.
+    pub coalesced: usize,
     /// Wall-clock seconds summed over units (not elapsed time; with
     /// `jobs > 1` units overlap).
     pub unit_wall_s: f64,
@@ -123,6 +128,21 @@ pub struct Engine {
     pool: rayon::ThreadPool,
     stats: Stats,
     records: Mutex<Vec<UnitRecord>>,
+    /// Content addresses currently executing, for in-flight request
+    /// coalescing: a second submission of the same address waits for
+    /// the first instead of recomputing (see [`Engine::run_units`]).
+    in_flight: Mutex<BTreeMap<String, Arc<Flight>>>,
+    /// Threads currently parked on an in-flight computation — a live
+    /// gauge (`rsls-serve` exports it; tests use it to observe that a
+    /// duplicate submission really did coalesce).
+    waiters: AtomicUsize,
+}
+
+/// Completion latch for one in-flight content address.
+#[derive(Debug, Default)]
+struct Flight {
+    done: Mutex<bool>,
+    cv: Condvar,
 }
 
 #[derive(Debug, Default)]
@@ -131,6 +151,7 @@ struct Stats {
     executed: AtomicUsize,
     cache_hits: AtomicUsize,
     failed: AtomicUsize,
+    coalesced: AtomicUsize,
     unit_wall_us: AtomicUsize,
 }
 
@@ -165,6 +186,8 @@ impl Engine {
             pool,
             stats: Stats::default(),
             records: Mutex::new(Vec::new()),
+            in_flight: Mutex::new(BTreeMap::new()),
+            waiters: AtomicUsize::new(0),
         })
     }
 
@@ -173,13 +196,31 @@ impl Engine {
         &self.opts
     }
 
+    /// The content-addressed result cache, when caching is enabled.
+    ///
+    /// This is the public handle service layers build on: `rsls-serve`
+    /// resolves `/reports/{sha256}` straight off the object store via
+    /// [`ResultCache::load_object`] without going through a spec.
+    pub fn cache(&self) -> Option<&ResultCache> {
+        self.cache.as_ref()
+    }
+
+    /// Number of threads currently parked waiting for an in-flight
+    /// computation of the same content address (a live gauge, not a
+    /// running total — see [`CampaignSummary::coalesced`] for that).
+    pub fn coalesce_waiters(&self) -> usize {
+        self.waiters.load(Ordering::Relaxed)
+    }
+
     /// Executes `units`, returning outcomes in submission order.
     ///
-    /// Per unit: consult the cache (hit → done), else run `runner`
-    /// under `catch_unwind` (with up to `retries` re-attempts on
-    /// panic), store the report, and journal the transition. A failed
-    /// unit is isolated: it is recorded and the rest of the campaign
-    /// completes normally.
+    /// Per unit: consult the cache (hit → done), coalesce onto an
+    /// already-executing unit with the same content address (its report
+    /// is served from the cache when the leader finishes), else run
+    /// `runner` under `catch_unwind` (with up to `retries` re-attempts
+    /// on panic), store the report, and journal the transition. A
+    /// failed unit is isolated: it is recorded and the rest of the
+    /// campaign completes normally.
     pub fn run_units<F>(&self, units: &[UnitSpec], runner: F) -> Vec<UnitOutcome>
     where
         F: Fn(&UnitSpec) -> RunReport + Sync,
@@ -228,18 +269,46 @@ impl Engine {
         // Cache consultation covers both plain re-runs and --resume: a
         // completed unit's report loads from its content address; a
         // corrupt or truncated entry is a miss and the unit re-runs.
-        if let Some(cache) = &self.cache {
-            if let Some(report) = cache.load(hash) {
-                return UnitOutcome {
-                    name,
-                    hash: hash.to_string(),
-                    report: Some(report),
-                    status: UnitStatus::Cached,
-                    wall_s: start.elapsed().as_secs_f64(),
-                    error: None,
-                };
+        if let Some(outcome) = self.cached_outcome(hash, &name, &start) {
+            return outcome;
+        }
+
+        // In-flight coalescing: if this content address is already
+        // executing (another batch, another service request), park on
+        // its latch instead of recomputing, then serve the leader's
+        // report from the cache. If the leader failed — or there is no
+        // cache to hand the result over — take the lead ourselves.
+        loop {
+            let existing = {
+                let mut map = self
+                    .in_flight
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
+                match map.get(hash) {
+                    Some(flight) => Some(Arc::clone(flight)),
+                    None => {
+                        map.insert(hash.to_string(), Arc::new(Flight::default()));
+                        None
+                    }
+                }
+            };
+            let Some(flight) = existing else { break };
+            self.waiters.fetch_add(1, Ordering::Relaxed);
+            let mut done = flight.done.lock().unwrap_or_else(PoisonError::into_inner);
+            while !*done {
+                done = flight.cv.wait(done).unwrap_or_else(PoisonError::into_inner);
+            }
+            drop(done);
+            self.waiters.fetch_sub(1, Ordering::Relaxed);
+            if let Some(outcome) = self.cached_outcome(hash, &name, &start) {
+                self.stats.coalesced.fetch_add(1, Ordering::Relaxed);
+                return outcome;
             }
         }
+        // From here on this thread is the leader; the guard releases the
+        // latch (and wakes every waiter) on every exit path, including a
+        // panic escaping the attempts below.
+        let _lead = FlightGuard { engine: self, hash };
 
         self.journal_record(&JournalEvent::Start {
             hash: hash.to_string(),
@@ -293,6 +362,20 @@ impl Engine {
         }
     }
 
+    /// A [`UnitStatus::Cached`] outcome for `hash`, if the cache holds a
+    /// valid report for it.
+    fn cached_outcome(&self, hash: &str, name: &str, start: &Instant) -> Option<UnitOutcome> {
+        let report = self.cache.as_ref()?.load(hash)?;
+        Some(UnitOutcome {
+            name: name.to_string(),
+            hash: hash.to_string(),
+            report: Some(report),
+            status: UnitStatus::Cached,
+            wall_s: start.elapsed().as_secs_f64(),
+            error: None,
+        })
+    }
+
     fn journal_record(&self, event: &JournalEvent) {
         if let Some(journal) = &self.journal {
             if let Err(e) = journal.record(event) {
@@ -308,6 +391,7 @@ impl Engine {
             executed: self.stats.executed.load(Ordering::Relaxed),
             cache_hits: self.stats.cache_hits.load(Ordering::Relaxed),
             failed: self.stats.failed.load(Ordering::Relaxed),
+            coalesced: self.stats.coalesced.load(Ordering::Relaxed),
             unit_wall_s: self.stats.unit_wall_us.load(Ordering::Relaxed) as f64 / 1e6,
         }
     }
@@ -339,15 +423,39 @@ impl Engine {
         }
         let s = self.summary();
         out.push_str(&format!(
-            "campaign: {} units — {} ran, {} cached ({:.0}% hit rate), {} failed, {:.2}s unit wall time\n",
+            "campaign: {} units — {} ran, {} cached ({:.0}% hit rate, {} coalesced), {} failed, {:.2}s unit wall time\n",
             s.total,
             s.executed,
             s.cache_hits,
             s.hit_rate() * 100.0,
+            s.coalesced,
             s.failed,
             s.unit_wall_s,
         ));
         out
+    }
+}
+
+/// Removes the in-flight latch for a leader's content address and wakes
+/// every coalesced waiter, on every exit path (drop-based so a panic
+/// escaping the leader cannot strand waiters).
+struct FlightGuard<'a> {
+    engine: &'a Engine,
+    hash: &'a str,
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        let flight = self
+            .engine
+            .in_flight
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(self.hash);
+        if let Some(flight) = flight {
+            *flight.done.lock().unwrap_or_else(PoisonError::into_inner) = true;
+            flight.cv.notify_all();
+        }
     }
 }
 

@@ -13,15 +13,23 @@
 //!   data fingerprint), scale, and engine version — and hashes to a
 //!   stable content address ([`UnitSpec::content_hash`]).
 //! * **Content-addressed caching.** Completed [`rsls_core::RunReport`]s
-//!   persist to `<cache-dir>/<hash>.json` ([`ResultCache`]). Because
-//!   the driver is deterministic and the serialization byte-stable,
-//!   re-running a campaign re-reads identical bytes: a full re-run is
-//!   100% cache hits and zero solver work. Corrupt or truncated
-//!   entries are misses, never errors.
+//!   persist to a git-style object store ([`ResultCache`]):
+//!   `<cache-dir>/objects/<sha256-of-report>.json` holds the bytes and
+//!   `<cache-dir>/units/<spec-hash>.ref` points a unit at its report,
+//!   so an object's filename certifies its content (the invariant
+//!   `rsls-serve`'s `ETag` responses rely on). Because the driver is
+//!   deterministic and the serialization byte-stable, re-running a
+//!   campaign re-reads identical bytes: a full re-run is 100% cache
+//!   hits and zero solver work. Corrupt or truncated entries are
+//!   misses, never errors.
 //! * **Journaled resume.** A JSONL journal ([`Journal`]) records every
 //!   unit `start`/`done`/`failed`. A killed campaign restarted with
 //!   resume re-executes only the units that never finished — finished
 //!   ones load from the cache by content address.
+//! * **In-flight coalescing.** A unit submitted while an identical one
+//!   (same content address) is already executing parks on its latch
+//!   and is served the leader's cached report — concurrent callers
+//!   (e.g. duplicate `rsls-serve` requests) cost one computation.
 //! * **Failure isolation.** A unit that panics (or never converges and
 //!   trips the iteration cap into an assert) is caught, recorded
 //!   `failed`, optionally retried, and the rest of the campaign
@@ -68,7 +76,7 @@ pub mod engine;
 pub mod journal;
 pub mod spec;
 
-pub use cache::ResultCache;
+pub use cache::{is_sha256_hex, ResultCache};
 pub use engine::{CampaignSummary, Engine, EngineOptions, UnitOutcome, UnitStatus};
 pub use journal::{Journal, JournalEvent};
 pub use spec::{matrix_fingerprint, UnitSpec, ENGINE_VERSION};

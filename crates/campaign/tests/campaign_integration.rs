@@ -199,7 +199,81 @@ fn panicking_unit_is_isolated_and_campaign_completes() {
     // try it again, and it must not have poisoned the cache.
     let done = Journal::completed_hashes(dir.join("campaign.journal")).unwrap();
     assert!(!done.contains(&poisoned));
-    assert!(!dir.join("cache").join(format!("{poisoned}.json")).exists());
+    assert!(!dir
+        .join("cache")
+        .join("units")
+        .join(format!("{poisoned}.ref"))
+        .exists());
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn concurrent_identical_units_coalesce_onto_one_computation() {
+    use std::sync::mpsc;
+    use std::time::{Duration, Instant};
+
+    let dir = scratch("coalesce");
+    let (a, b) = workload();
+    let unit = &specs(&a, &b, &[4])[0];
+    let engine = Engine::new(cached_options(&dir, false)).unwrap();
+
+    let solves = AtomicUsize::new(0);
+    let (entered_tx, entered_rx) = mpsc::channel::<()>();
+    let (release_tx, release_rx) = mpsc::channel::<()>();
+    // The runner closure must be Sync; channel endpoints are not.
+    let entered_tx = std::sync::Mutex::new(entered_tx);
+    let release_rx = std::sync::Mutex::new(release_rx);
+
+    let (lead_out, follow_out) = std::thread::scope(|s| {
+        // Leader: starts computing, signals that it is inside the
+        // runner, then blocks until the follower is provably parked.
+        let leader = s.spawn(|| {
+            engine.run_units(std::slice::from_ref(unit), |spec: &UnitSpec| {
+                solves.fetch_add(1, Ordering::SeqCst);
+                entered_tx.lock().unwrap().send(()).unwrap();
+                release_rx
+                    .lock()
+                    .unwrap()
+                    .recv_timeout(Duration::from_secs(30))
+                    .expect("test deadlock: leader never released");
+                run(&a, &b, &spec.config)
+            })
+        });
+        entered_rx
+            .recv_timeout(Duration::from_secs(30))
+            .expect("leader never entered the runner");
+
+        // Follower: same content address; its runner must never fire.
+        let follower = s.spawn(|| {
+            engine.run_units(std::slice::from_ref(unit), |_spec: &UnitSpec| {
+                panic!("duplicate submission must coalesce, not recompute")
+            })
+        });
+
+        // The follower is coalesced exactly when it parks on the
+        // leader's latch — observable via the waiter gauge.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while engine.coalesce_waiters() == 0 {
+            assert!(
+                Instant::now() < deadline,
+                "follower never parked on the in-flight unit"
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        release_tx.send(()).unwrap();
+        (leader.join().unwrap(), follower.join().unwrap())
+    });
+
+    assert_eq!(solves.load(Ordering::SeqCst), 1, "exactly one computation");
+    assert_eq!(lead_out[0].status, UnitStatus::Executed);
+    assert_eq!(follow_out[0].status, UnitStatus::Cached);
+    let j1 = serde_json::to_string(lead_out[0].report.as_ref().unwrap()).unwrap();
+    let j2 = serde_json::to_string(follow_out[0].report.as_ref().unwrap()).unwrap();
+    assert_eq!(j1, j2, "coalesced report must be byte-identical");
+    let s = engine.summary();
+    assert_eq!((s.executed, s.coalesced), (1, 1));
+    assert_eq!(engine.coalesce_waiters(), 0, "gauge drains after the wait");
 
     let _ = fs::remove_dir_all(&dir);
 }

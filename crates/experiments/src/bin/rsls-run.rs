@@ -7,6 +7,7 @@
 //! rsls-run --all --csv out/       additionally dump CSV files
 //! rsls-run --all --jobs 8        run campaign units on 8 workers
 //! rsls-run --all --resume         continue an interrupted campaign
+//! rsls-run --serve 127.0.0.1:8080 serve results over HTTP (rsls-serve)
 //! RSLS_SCALE=full rsls-run --all  paper-sized matrices (slow)
 //! ```
 //!
@@ -15,24 +16,59 @@
 //! `--cache-dir` (default `results/cache`), so re-running an experiment
 //! re-reads its reports instead of re-solving, and `--jobs N` executes
 //! independent units in parallel without changing any result byte.
+//! Experiment dispatch goes through `rsls_experiments::ExperimentRegistry`
+//! — the same registry `rsls-serve` serves from.
 
 use std::panic::{self, AssertUnwindSafe};
 use std::path::PathBuf;
+use std::process::Command;
 use std::time::Instant;
 
 use rsls_campaign::EngineOptions;
 use rsls_experiments::campaign;
-use rsls_experiments::experiments::{by_name, ALL};
-use rsls_experiments::Scale;
+use rsls_experiments::ExperimentRegistry;
 
 fn usage() -> ! {
     eprintln!(
         "usage: rsls-run [--list] [--all] [--experiment <name>] [--csv <dir>] [--svg <dir>]\n\
          \x20               [--jobs <n>] [--cache-dir <dir>] [--resume] [--no-cache]\n\
+         \x20               [--serve <addr>]\n\
          experiments: {}",
-        ALL.iter().map(|e| e.name).collect::<Vec<_>>().join(", ")
+        ExperimentRegistry::builtin().ids().join(", ")
     );
     std::process::exit(2);
+}
+
+/// Delegates to the `rsls-serve` binary next to this one — the service
+/// is a separate binary (it owns the process: signal handlers, worker
+/// pools), and this passthrough only exists so `rsls-run --serve` does
+/// the obvious thing.
+fn serve_passthrough(addr: &str, jobs: usize, cache_dir: &PathBuf, use_cache: bool) -> ! {
+    let sibling = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(|d| d.join("rsls-serve")))
+        .filter(|p| p.exists());
+    let program = sibling.unwrap_or_else(|| PathBuf::from("rsls-serve"));
+    let mut cmd = Command::new(&program);
+    cmd.arg("--addr")
+        .arg(addr)
+        .arg("--jobs")
+        .arg(jobs.to_string())
+        .arg("--cache-dir")
+        .arg(cache_dir);
+    if !use_cache {
+        cmd.arg("--no-cache");
+    }
+    match cmd.status() {
+        Ok(status) => std::process::exit(status.code().unwrap_or(1)),
+        Err(e) => {
+            eprintln!(
+                "failed to launch {} ({e}); build it with `cargo build --release -p rsls-serve`",
+                program.display()
+            );
+            std::process::exit(1);
+        }
+    }
 }
 
 fn main() {
@@ -40,6 +76,7 @@ fn main() {
     if args.is_empty() {
         usage();
     }
+    let registry = ExperimentRegistry::builtin();
     let mut run_all = false;
     let mut names: Vec<String> = Vec::new();
     let mut csv_dir: Option<PathBuf> = None;
@@ -48,11 +85,12 @@ fn main() {
     let mut cache_dir = PathBuf::from("results/cache");
     let mut resume = false;
     let mut use_cache = true;
+    let mut serve_addr: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--list" => {
-                for e in ALL {
+                for e in registry.entries() {
                     println!("{:<8} {}", e.name, e.description);
                 }
                 return;
@@ -101,12 +139,23 @@ fn main() {
             }
             "--resume" => resume = true,
             "--no-cache" => use_cache = false,
+            "--serve" => {
+                i += 1;
+                if i >= args.len() {
+                    usage();
+                }
+                serve_addr = Some(args[i].clone());
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 usage();
             }
         }
         i += 1;
+    }
+
+    if let Some(addr) = serve_addr {
+        serve_passthrough(&addr, jobs, &cache_dir, use_cache);
     }
 
     let journal_path = cache_dir
@@ -125,7 +174,7 @@ fn main() {
         std::process::exit(1);
     }
 
-    let scale = Scale::from_env();
+    let scale = rsls_experiments::Scale::from_env();
     println!(
         "scale: {:?} (set RSLS_SCALE=full for paper-sized matrices)",
         scale
@@ -138,16 +187,19 @@ fn main() {
         if resume { ", resuming" } else { "" },
     );
 
-    let selected: Vec<_> = if run_all {
-        ALL.iter().collect()
+    let selected: Vec<&str> = if run_all {
+        registry.ids()
     } else {
         names
             .iter()
             .map(|n| {
-                by_name(n).unwrap_or_else(|| {
-                    eprintln!("unknown experiment '{n}'");
-                    usage();
-                })
+                registry
+                    .get(n)
+                    .unwrap_or_else(|| {
+                        eprintln!("unknown experiment '{n}'");
+                        usage();
+                    })
+                    .name
             })
             .collect()
     };
@@ -155,19 +207,22 @@ fn main() {
         usage();
     }
 
-    let mut failed_experiments: Vec<&str> = Vec::new();
-    for e in selected {
+    // (name, passed, seconds) per experiment, for the final summary.
+    let mut outcomes: Vec<(&str, bool, f64)> = Vec::new();
+    for name in selected {
+        let e = registry.get(name).expect("selected ids are registered");
         let start = Instant::now();
         println!(">>> {} — {}", e.name, e.description);
-        campaign::set_experiment(e.name);
         // A failed unit panics out of the harness (its siblings have
         // already been journaled and cached); isolate it so the rest of
         // the campaign still runs.
-        let tables = match panic::catch_unwind(AssertUnwindSafe(|| (e.run)(scale))) {
+        let tables = match panic::catch_unwind(AssertUnwindSafe(|| {
+            registry.run(e.name, scale).expect("id is registered")
+        })) {
             Ok(tables) => tables,
             Err(_) => {
                 eprintln!("<<< {} FAILED (see campaign journal)\n", e.name);
-                failed_experiments.push(e.name);
+                outcomes.push((e.name, false, start.elapsed().as_secs_f64()));
                 continue;
             }
         };
@@ -194,12 +249,31 @@ fn main() {
                 }
             }
         }
-        println!("<<< {} done in {:.1?}\n", e.name, start.elapsed());
+        let secs = start.elapsed().as_secs_f64();
+        println!("<<< {} done in {secs:.1}s\n", e.name);
+        outcomes.push((e.name, true, secs));
     }
 
     print!("{}", campaign::engine().summary_table());
-    if !failed_experiments.is_empty() {
-        eprintln!("failed experiments: {}", failed_experiments.join(", "));
+
+    // Per-experiment pass/fail summary, and a nonzero exit if anything
+    // failed — CI and scripts key off both.
+    let failed: Vec<&str> = outcomes
+        .iter()
+        .filter(|(_, ok, _)| !ok)
+        .map(|&(name, _, _)| name)
+        .collect();
+    if outcomes.len() > 1 || !failed.is_empty() {
+        println!("\nexperiment summary:");
+        for (name, ok, secs) in &outcomes {
+            println!(
+                "  {name:<12} {} {secs:>8.1}s",
+                if *ok { "PASS" } else { "FAIL" }
+            );
+        }
+    }
+    if !failed.is_empty() {
+        eprintln!("failed experiments: {}", failed.join(", "));
         std::process::exit(1);
     }
 }

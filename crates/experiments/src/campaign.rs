@@ -13,8 +13,9 @@
 //! matrix fingerprinting that makes cache addresses collision-safe
 //! across reused tags.
 
+use std::cell::RefCell;
 use std::io;
-use std::sync::{Mutex, OnceLock};
+use std::sync::OnceLock;
 
 use rsls_campaign::{matrix_fingerprint, Engine, EngineOptions, UnitSpec, ENGINE_VERSION};
 use rsls_core::driver::run;
@@ -24,7 +25,14 @@ use rsls_sparse::CsrMatrix;
 use crate::Scale;
 
 static ENGINE: OnceLock<Engine> = OnceLock::new();
-static EXPERIMENT: Mutex<Option<String>> = Mutex::new(None);
+
+thread_local! {
+    // Thread-local, not process-global: a unit spec is always built on
+    // the thread driving its harness, and concurrent harness drivers
+    // (rsls-serve workers computing different figures at once) must not
+    // relabel each other's units.
+    static EXPERIMENT: RefCell<Option<String>> = const { RefCell::new(None) };
+}
 
 /// Installs the process-wide engine. Call once, before any experiment
 /// runs; later calls (or a call after the default engine materialized)
@@ -43,20 +51,17 @@ pub fn engine() -> &'static Engine {
     })
 }
 
-/// Names the experiment that subsequently built unit specs belong to.
-/// The `rsls-run` binary sets this before invoking each harness.
+/// Names the experiment that unit specs subsequently built *on this
+/// thread* belong to. [`crate::registry::ExperimentRegistry::run`] sets
+/// this before invoking each harness.
 pub fn set_experiment(name: &str) {
-    *EXPERIMENT.lock().expect("experiment context poisoned") = Some(name.to_string());
+    EXPERIMENT.with(|e| *e.borrow_mut() = Some(name.to_string()));
 }
 
-/// The current experiment name (`"adhoc"` when none was set — direct
-/// library/test calls).
+/// The current thread's experiment name (`"adhoc"` when none was set —
+/// direct library/test calls).
 pub fn current_experiment() -> String {
-    EXPERIMENT
-        .lock()
-        .expect("experiment context poisoned")
-        .clone()
-        .unwrap_or_else(|| "adhoc".to_string())
+    EXPERIMENT.with(|e| e.borrow().clone().unwrap_or_else(|| "adhoc".to_string()))
 }
 
 /// Builds the canonical spec for one `run(a, b, cfg)` invocation.

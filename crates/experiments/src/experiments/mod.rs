@@ -20,6 +20,7 @@ pub mod table6;
 use crate::{Scale, Table};
 
 /// A registered experiment.
+#[derive(Debug)]
 pub struct Experiment {
     /// CLI name (`fig5`, `table6`, ...).
     pub name: &'static str,
@@ -103,7 +104,8 @@ pub static ALL: &[Experiment] = &[
     },
 ];
 
-/// Looks up an experiment by CLI name.
+/// Looks up an experiment by CLI name (one lookup path for every
+/// front end: delegates to [`crate::registry::ExperimentRegistry`]).
 pub fn by_name(name: &str) -> Option<&'static Experiment> {
-    ALL.iter().find(|e| e.name == name)
+    crate::registry::ExperimentRegistry::builtin().get(name)
 }

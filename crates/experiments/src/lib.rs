@@ -19,10 +19,12 @@ pub mod campaign;
 pub mod experiments;
 pub mod output;
 pub mod plot;
+pub mod registry;
 pub mod runners;
 pub mod scale;
 pub mod suite;
 
 pub use output::Table;
+pub use registry::ExperimentRegistry;
 pub use scale::Scale;
 pub use suite::{MatrixSpec, Structure, SUITE};

@@ -8,8 +8,10 @@ use std::path::Path;
 ///
 /// Every harness produces one (or more) of these; the `rsls-run` binary
 /// prints them and optionally dumps CSV next to the binary's working
-/// directory for plotting.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// directory for plotting, and `rsls-serve` serializes them to
+/// canonical JSON (field order is declaration order, so the bytes are
+/// stable for a given table).
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
 pub struct Table {
     /// Table title (e.g. "Figure 5 — normalized iterations").
     pub title: String,

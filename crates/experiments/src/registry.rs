@@ -1,0 +1,79 @@
+//! String-id dispatch for experiment harnesses.
+//!
+//! The [`ExperimentRegistry`] is the one place that maps an experiment
+//! id (`"fig5"`, `"table6"`, …) to its harness function. Everything
+//! that launches experiments — `rsls-run --experiment`, the `rsls-serve`
+//! HTTP service, tests — dispatches through it, so adding a harness to
+//! [`crate::experiments::ALL`] makes it reachable everywhere at once.
+
+use crate::campaign;
+use crate::experiments::{Experiment, ALL};
+use crate::{Scale, Table};
+
+/// An ordered, id-addressable view over a set of [`Experiment`]s.
+#[derive(Debug, Clone)]
+pub struct ExperimentRegistry {
+    entries: Vec<&'static Experiment>,
+}
+
+impl ExperimentRegistry {
+    /// The registry of every built-in harness, in paper order.
+    pub fn builtin() -> ExperimentRegistry {
+        ExperimentRegistry {
+            entries: ALL.iter().collect(),
+        }
+    }
+
+    /// All registered experiments, in registration order.
+    pub fn entries(&self) -> &[&'static Experiment] {
+        &self.entries
+    }
+
+    /// Registered ids, in registration order.
+    pub fn ids(&self) -> Vec<&'static str> {
+        self.entries.iter().map(|e| e.name).collect()
+    }
+
+    /// Looks up an experiment by id.
+    pub fn get(&self, id: &str) -> Option<&'static Experiment> {
+        self.entries.iter().find(|e| e.name == id).copied()
+    }
+
+    /// Runs the harness registered under `id`, tagging every campaign
+    /// unit it submits with the experiment name (the first component of
+    /// a unit's content identity). Returns `None` for an unknown id.
+    ///
+    /// The experiment context is thread-local, so concurrent callers
+    /// (e.g. `rsls-serve` workers computing different figures) cannot
+    /// mislabel each other's units.
+    pub fn run(&self, id: &str, scale: Scale) -> Option<Vec<Table>> {
+        let e = self.get(id)?;
+        campaign::set_experiment(e.name);
+        Some((e.run)(scale))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_covers_all_in_order() {
+        let reg = ExperimentRegistry::builtin();
+        assert_eq!(reg.entries().len(), ALL.len());
+        assert_eq!(reg.ids().first(), Some(&"fig1"));
+        assert!(reg.get("fig5").is_some());
+        assert!(reg.get("no-such-experiment").is_none());
+    }
+
+    #[test]
+    fn run_dispatches_and_tags_the_campaign_context() {
+        let reg = ExperimentRegistry::builtin();
+        // fig1 is pure table arithmetic — no solver units — so it is
+        // safe to run inline in a unit test.
+        let tables = reg.run("fig1", Scale::Quick).unwrap();
+        assert!(!tables.is_empty());
+        assert_eq!(campaign::current_experiment(), "fig1");
+        assert!(reg.run("no-such-experiment", Scale::Quick).is_none());
+    }
+}

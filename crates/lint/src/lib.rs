@@ -29,7 +29,7 @@ pub mod workspace;
 
 pub use diagnostics::{render_json, Violation};
 pub use rules::{analyze_source, Rule};
-pub use workspace::{collect, SourceFile};
+pub use workspace::{collect, crate_rules, file_rules, SourceFile};
 
 use std::io;
 use std::path::Path;

@@ -51,12 +51,39 @@ pub fn crate_rules(name: &str) -> Vec<Rule> {
             vec![WallClock, DefaultHasher, UnorderedParallel, NoUnwrap]
         }
         "campaign" => vec![DefaultHasher, NoUnwrap, MissingDocs],
+        // The service is I/O edge by nature — it spawns connection
+        // threads and times requests — so `wall-clock` and
+        // `unordered-parallel` do not apply crate-wide; its compute
+        // path is re-tightened per file in [`file_rules`].
+        "serve" => vec![DefaultHasher, NoUnwrap, MissingDocs],
         "lint" => vec![DefaultHasher, UnorderedParallel, NoUnwrap, MissingDocs],
         "experiments" | "bench" => vec![UnorderedParallel],
         // A new crate gets the hygiene baseline until it is classified
         // here; add it to this table (and LINTING.md) when it lands.
         _ => vec![DefaultHasher, UnorderedParallel, NoUnwrap],
     }
+}
+
+/// Rules for one file: the crate baseline from [`crate_rules`], plus
+/// per-file tightenings. `rel` is the path inside the crate's `src/`.
+///
+/// The one tightening today: `serve/src/compute.rs` is the service's
+/// deterministic compute path — its output bytes hash into the `ETag`
+/// clients revalidate against — so it is held to the numeric-crate
+/// rules (`wall-clock`, `unordered-parallel`) even though the rest of
+/// the crate is I/O edge.
+pub fn file_rules(name: &str, rel: &str) -> Vec<Rule> {
+    use Rule::*;
+    let mut rules = crate_rules(name);
+    if name == "serve" && rel == "compute.rs" {
+        for extra in [WallClock, UnorderedParallel] {
+            if !rules.contains(&extra) {
+                rules.push(extra);
+            }
+        }
+        rules.sort();
+    }
+    rules
 }
 
 /// Collects every auditable `.rs` file under `<root>/crates/*/src`,
@@ -80,7 +107,6 @@ pub fn collect(root: &Path) -> io::Result<Vec<SourceFile>> {
 
     let mut files = Vec::new();
     for name in &crate_names {
-        let rules = crate_rules(name);
         let src_dir = crates_dir.join(name).join("src");
         let mut paths = Vec::new();
         walk_rs(&src_dir, &mut paths)?;
@@ -91,10 +117,15 @@ pub fn collect(root: &Path) -> io::Result<Vec<SourceFile>> {
                 .unwrap_or(&path)
                 .to_string_lossy()
                 .into_owned();
+            let rel = path
+                .strip_prefix(&src_dir)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .into_owned();
             files.push(SourceFile {
                 path,
                 label,
-                rules: rules.clone(),
+                rules: file_rules(name, &rel),
             });
         }
     }

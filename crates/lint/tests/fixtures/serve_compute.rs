@@ -1,0 +1,12 @@
+//! Fixture: wall-clock and ad-hoc threading inside `serve`'s compute
+//! path. Must be rejected under `file_rules("serve", "compute.rs")`
+//! (the deterministic tightening) but pass the crate-wide `serve`
+//! baseline, which only audits hygiene at the I/O edge.
+
+/// Stamps the result with the current time — nondeterministic bytes
+/// would change the ETag on every request.
+pub fn stamped_result() -> String {
+    let started = std::time::Instant::now();
+    let _worker = std::thread::spawn(|| 1 + 1);
+    format!("{:?}", started.elapsed())
+}

@@ -70,6 +70,34 @@ fn test_code_is_exempt() {
     assert_eq!(got, vec![("no-unwrap", 6)]);
 }
 
+/// The per-file tightening for `serve`: its compute path (whose output
+/// bytes become `ETag`s) is held to the deterministic rules, while the
+/// same code is legal elsewhere in the crate (I/O edge).
+#[test]
+fn serve_compute_path_is_held_to_deterministic_rules() {
+    let baseline = run("serve_compute.rs", &rsls_lint::crate_rules("serve"));
+    assert_eq!(baseline, vec![], "serve baseline permits clocks/threads");
+
+    let tightened = run(
+        "serve_compute.rs",
+        &rsls_lint::file_rules("serve", "compute.rs"),
+    );
+    assert!(
+        tightened.contains(&("wall-clock", 9)),
+        "wall-clock must be rejected in the compute path: {tightened:?}"
+    );
+    assert!(
+        tightened.contains(&("unordered-parallel", 10)),
+        "ad-hoc threads must be rejected in the compute path: {tightened:?}"
+    );
+
+    // Every other serve file keeps the crate baseline.
+    assert_eq!(
+        rsls_lint::file_rules("serve", "server.rs"),
+        rsls_lint::crate_rules("serve")
+    );
+}
+
 #[test]
 fn malformed_pragmas_are_violations_and_do_not_suppress() {
     let got = run("bad_pragma.rs", &Rule::catalog());

@@ -1,0 +1,124 @@
+//! The `rsls-serve` binary: serve experiment results over HTTP.
+//!
+//! ```text
+//! rsls-serve --addr 127.0.0.1:8080 --jobs 4
+//! rsls-serve --addr 127.0.0.1:8080 --cache-dir results/cache --queue-depth 32
+//! ```
+//!
+//! The service fronts the campaign engine: experiment requests run (or
+//! cache-load) harnesses through the same content-addressed store that
+//! `rsls-run` populates, so a campaign you ran yesterday serves today
+//! without recomputing. SIGTERM/ctrl-c drains gracefully: in-flight
+//! requests finish, the journal is already flushed (append-on-write),
+//! and the process exits 0.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use rsls_campaign::EngineOptions;
+use rsls_experiments::campaign;
+use rsls_serve::server::{RegistrySource, ServeOptions, Server};
+use rsls_serve::signal;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: rsls-serve [--addr <host:port>] [--jobs <n>] [--queue-depth <n>]\n\
+         \x20                 [--cache-dir <dir>] [--no-cache]\n\
+         defaults: --addr 127.0.0.1:8080 --jobs 2 --queue-depth 16 --cache-dir results/cache"
+    );
+    std::process::exit(2);
+}
+
+fn parse_arg<T: std::str::FromStr>(args: &[String], i: &mut usize, what: &str) -> T {
+    *i += 1;
+    let Some(raw) = args.get(*i) else { usage() };
+    match raw.parse() {
+        Ok(v) => v,
+        Err(_) => {
+            eprintln!("invalid value for {what}: {raw}");
+            usage();
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = "127.0.0.1:8080".to_string();
+    let mut jobs = 2usize;
+    let mut queue_depth = 16usize;
+    let mut cache_dir = PathBuf::from("results/cache");
+    let mut use_cache = true;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" | "-a" => addr = parse_arg(&args, &mut i, "--addr"),
+            "--jobs" | "-j" => jobs = parse_arg::<usize>(&args, &mut i, "--jobs").max(1),
+            "--queue-depth" => {
+                queue_depth = parse_arg::<usize>(&args, &mut i, "--queue-depth").max(1)
+            }
+            "--cache-dir" => cache_dir = parse_arg(&args, &mut i, "--cache-dir"),
+            "--no-cache" => use_cache = false,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+
+    // The service appends to the campaign journal across restarts
+    // (resume semantics): a service restart is an operational event,
+    // not a new campaign.
+    let journal_path = cache_dir
+        .parent()
+        .map(|p| p.join("campaign.journal"))
+        .unwrap_or_else(|| PathBuf::from("campaign.journal"));
+    if let Err(e) = campaign::configure(EngineOptions {
+        jobs,
+        cache_dir: cache_dir.clone(),
+        use_cache,
+        resume: use_cache,
+        journal_path: Some(journal_path),
+        retries: 0,
+    }) {
+        eprintln!("failed to configure campaign engine: {e}");
+        std::process::exit(1);
+    }
+
+    signal::install();
+    let opts = ServeOptions {
+        workers: jobs,
+        queue_depth,
+        scale: rsls_experiments::Scale::from_env(),
+        honor_signals: true,
+    };
+    let server = match Server::bind(&addr, opts, Arc::new(RegistrySource)) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("failed to bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match server.local_addr() {
+        Ok(bound) => eprintln!(
+            "rsls-serve listening on http://{bound} ({jobs} worker{}, queue {queue_depth}, cache {})",
+            if jobs == 1 { "" } else { "s" },
+            if use_cache {
+                cache_dir.display().to_string()
+            } else {
+                "disabled".to_string()
+            },
+        ),
+        Err(e) => eprintln!("rsls-serve listening ({e})"),
+    }
+
+    if let Err(e) = server.run() {
+        eprintln!("server error: {e}");
+        std::process::exit(1);
+    }
+    eprint!(
+        "rsls-serve: drained and shut down\n{}",
+        campaign::engine().summary_table()
+    );
+}

@@ -1,0 +1,62 @@
+//! A minimal blocking HTTP/1.1 client.
+//!
+//! Exists for the integration tests and CI smoke checks — one
+//! round-trip per connection, mirroring the server's
+//! `Connection: close` semantics. Not a general-purpose client.
+
+use std::collections::BTreeMap;
+use std::io::{self, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::http;
+
+/// A fully-read response.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// Status code.
+    pub status: u16,
+    /// Headers, keyed by lowercased name.
+    pub headers: BTreeMap<String, String>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .get(&name.to_ascii_lowercase())
+            .map(String::as_str)
+    }
+
+    /// The response `ETag`, unquoted.
+    pub fn etag(&self) -> Option<&str> {
+        self.header("etag").map(|v| v.trim_matches('"'))
+    }
+}
+
+/// Performs one `GET` with optional extra headers, reading the full
+/// response.
+pub fn get(
+    addr: impl ToSocketAddrs,
+    path: &str,
+    headers: &[(&str, &str)],
+) -> io::Result<ClientResponse> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    let mut writer = stream.try_clone()?;
+    write!(writer, "GET {path} HTTP/1.1\r\nHost: rsls\r\n")?;
+    for (name, value) in headers {
+        write!(writer, "{name}: {value}\r\n")?;
+    }
+    write!(writer, "Connection: close\r\n\r\n")?;
+    writer.flush()?;
+    let (status, headers, body) = http::parse_response(&mut BufReader::new(stream))?;
+    Ok(ClientResponse {
+        status,
+        headers,
+        body,
+    })
+}

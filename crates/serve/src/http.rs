@@ -1,0 +1,298 @@
+//! Minimal HTTP/1.1 request parsing and response serialization.
+//!
+//! Just enough protocol for the service's GET-only API: request line +
+//! headers in, status line + headers + body out, `Connection: close`
+//! semantics (one request per connection — the clients here are curl,
+//! Prometheus scrapes, and the integration tests, none of which need
+//! keep-alive).
+
+use std::collections::BTreeMap;
+use std::io::{self, BufRead, Read, Write};
+
+/// Upper bound on one request/header line, in bytes.
+const MAX_LINE: u64 = 8 * 1024;
+/// Upper bound on the number of request headers.
+const MAX_HEADERS: usize = 100;
+
+/// A parsed request head (the service never reads bodies).
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method (`GET`, `HEAD`, ...).
+    pub method: String,
+    /// Decoded path component of the request target (query stripped).
+    pub path: String,
+    /// Headers, keyed by lowercased name.
+    pub headers: BTreeMap<String, String>,
+}
+
+impl Request {
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .get(&name.to_ascii_lowercase())
+            .map(String::as_str)
+    }
+
+    /// Whether an `If-None-Match` header matches `etag` (either the
+    /// exact quoted tag or the `*` wildcard; weak validators `W/"…"`
+    /// also match — byte-identical bodies are the only thing we serve).
+    pub fn if_none_match(&self, etag: &str) -> bool {
+        let Some(value) = self.header("if-none-match") else {
+            return false;
+        };
+        value.split(',').map(str::trim).any(|candidate| {
+            let candidate = candidate.strip_prefix("W/").unwrap_or(candidate);
+            candidate == "*" || candidate.trim_matches('"') == etag
+        })
+    }
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Reads one CRLF (or bare-LF) terminated line, without the terminator.
+/// `Ok(None)` means clean EOF before any byte.
+fn read_line(stream: &mut impl BufRead) -> io::Result<Option<String>> {
+    let mut buf = Vec::new();
+    let n = stream.take(MAX_LINE).read_until(b'\n', &mut buf)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if buf.last() != Some(&b'\n') {
+        return Err(bad("request line too long or truncated"));
+    }
+    buf.pop();
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    String::from_utf8(buf)
+        .map(Some)
+        .map_err(|_| bad("request is not UTF-8"))
+}
+
+/// Parses one request head from `stream`.
+///
+/// Returns `Ok(None)` on a connection closed before sending anything
+/// (common with health-check port probes), `Err` on malformed input.
+pub fn parse_request(stream: &mut impl BufRead) -> io::Result<Option<Request>> {
+    let Some(line) = read_line(stream)? else {
+        return Ok(None);
+    };
+    let mut parts = line.split_whitespace();
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(bad("malformed request line"));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(bad("unsupported HTTP version"));
+    }
+    let path = target.split(['?', '#']).next().unwrap_or(target);
+    let mut headers = BTreeMap::new();
+    loop {
+        let Some(line) = read_line(stream)? else {
+            return Err(bad("connection closed inside headers"));
+        };
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(bad("too many headers"));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(bad("malformed header line"));
+        };
+        headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+    }
+    Ok(Some(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        headers,
+    }))
+}
+
+/// An HTTP response under construction.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Headers in insertion order (names as written on the wire).
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// An empty response with the given status.
+    pub fn new(status: u16) -> Response {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// A `text/plain` response.
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response::new(status)
+            .header("Content-Type", "text/plain; charset=utf-8")
+            .with_body(body.into().into_bytes())
+    }
+
+    /// An `application/json` response.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response::new(status)
+            .header("Content-Type", "application/json")
+            .with_body(body.into())
+    }
+
+    /// Appends a header (builder style).
+    pub fn header(mut self, name: impl Into<String>, value: impl Into<String>) -> Response {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
+    /// Replaces the body (builder style).
+    pub fn with_body(mut self, body: Vec<u8>) -> Response {
+        self.body = body;
+        self
+    }
+
+    /// Serializes the response. `head_only` omits the body (HEAD and
+    /// 304 responses) while keeping the entity headers.
+    pub fn write_to(&self, w: &mut impl Write, head_only: bool) -> io::Result<()> {
+        write!(w, "HTTP/1.1 {} {}\r\n", self.status, reason(self.status))?;
+        for (name, value) in &self.headers {
+            write!(w, "{name}: {value}\r\n")?;
+        }
+        write!(w, "Content-Length: {}\r\n", self.body.len())?;
+        write!(w, "Connection: close\r\n\r\n")?;
+        if !head_only {
+            w.write_all(&self.body)?;
+        }
+        w.flush()
+    }
+}
+
+/// Canonical reason phrase for the status codes the service emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        304 => "Not Modified",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Reads a full response from `stream` (status line, headers, then
+/// `Content-Length` bytes of body, or to EOF without one). Shared by
+/// [`crate::client`]; lives here so parse/serialize stay one module.
+pub fn parse_response(
+    stream: &mut impl BufRead,
+) -> io::Result<(u16, BTreeMap<String, String>, Vec<u8>)> {
+    let Some(line) = read_line(stream)? else {
+        return Err(bad("empty response"));
+    };
+    let mut parts = line.split_whitespace();
+    let status = parts
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| bad("malformed status line"))?;
+    let mut headers = BTreeMap::new();
+    loop {
+        let Some(line) = read_line(stream)? else {
+            return Err(bad("connection closed inside response headers"));
+        };
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+        }
+    }
+    let mut body = Vec::new();
+    match headers.get("content-length").map(|v| v.parse::<usize>()) {
+        Some(Ok(len)) => {
+            body.resize(len, 0);
+            stream.read_exact(&mut body)?;
+        }
+        _ => {
+            stream.read_to_end(&mut body)?;
+        }
+    }
+    Ok((status, headers, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(s: &str) -> io::Result<Option<Request>> {
+        parse_request(&mut BufReader::new(s.as_bytes()))
+    }
+
+    #[test]
+    fn parses_a_get_request() {
+        let req = parse("GET /experiments/fig5?x=1 HTTP/1.1\r\nHost: a\r\nX-Weird:  v \r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/experiments/fig5");
+        assert_eq!(req.header("host"), Some("a"));
+        assert_eq!(req.header("X-WEIRD"), Some("v"));
+    }
+
+    #[test]
+    fn eof_before_bytes_is_none() {
+        assert!(parse("").unwrap().is_none());
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        assert!(parse("GET\r\n\r\n").is_err());
+        assert!(parse("GET / SPDY/3\r\n\r\n").is_err());
+        assert!(parse("GET / HTTP/1.1\r\nno-colon-here\r\n\r\n").is_err());
+        assert!(parse("GET / HTTP/1.1\r\nHost: a").is_err()); // EOF in headers
+    }
+
+    #[test]
+    fn if_none_match_variants() {
+        let mk = |v: &str| {
+            parse(&format!("GET / HTTP/1.1\r\nIf-None-Match: {v}\r\n\r\n"))
+                .unwrap()
+                .unwrap()
+        };
+        assert!(mk("\"abc\"").if_none_match("abc"));
+        assert!(mk("W/\"abc\"").if_none_match("abc"));
+        assert!(mk("\"x\", \"abc\"").if_none_match("abc"));
+        assert!(mk("*").if_none_match("anything"));
+        assert!(!mk("\"x\"").if_none_match("abc"));
+    }
+
+    #[test]
+    fn response_round_trips_through_parse_response() {
+        let resp = Response::json(200, br#"{"ok":true}"#.to_vec()).header("ETag", "\"e\"");
+        let mut wire = Vec::new();
+        resp.write_to(&mut wire, false).unwrap();
+        let (status, headers, body) = parse_response(&mut BufReader::new(wire.as_slice())).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(headers.get("etag").map(String::as_str), Some("\"e\""));
+        assert_eq!(headers.get("connection").map(String::as_str), Some("close"));
+        assert_eq!(body, br#"{"ok":true}"#);
+    }
+
+    #[test]
+    fn head_only_omits_body_but_keeps_length() {
+        let resp = Response::text(200, "hello");
+        let mut wire = Vec::new();
+        resp.write_to(&mut wire, true).unwrap();
+        let s = String::from_utf8(wire).unwrap();
+        assert!(s.contains("Content-Length: 5"));
+        assert!(!s.ends_with("hello"));
+    }
+}

@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+//! `rsls-serve`: a concurrent results service over the campaign engine.
+//!
+//! A dependency-free HTTP/1.1 service (std `TcpListener`, no external
+//! crates) that fronts the experiment harnesses and the campaign
+//! engine's content-addressed result store:
+//!
+//! | route                 | behavior                                            |
+//! |-----------------------|-----------------------------------------------------|
+//! | `GET /experiments`    | registry listing (canonical JSON)                   |
+//! | `GET /experiments/{id}` | run (or cache-load) one experiment, JSON + `ETag` |
+//! | `GET /reports/{sha256}` | raw cached `RunReport` object by content address  |
+//! | `GET /healthz`        | liveness                                            |
+//! | `GET /metrics`        | Prometheus text: requests, latency, cache, queue    |
+//!
+//! Architecture: the accept loop hands each connection to a short-lived
+//! thread that parses the request and routes it ([`server`]). Experiment
+//! computation never happens on a connection thread — it is submitted to
+//! a bounded work queue drained by a fixed worker pool ([`queue`]), so
+//! load is shed explicitly (`503` + `Retry-After` when the queue is
+//! full) instead of by unbounded thread growth. Duplicate in-flight
+//! requests for the same result key coalesce onto one computation at
+//! the queue layer, and identical solver units coalesce again inside
+//! the campaign engine itself, so a thundering herd of clients costs
+//! one solve.
+//!
+//! Responses carry self-certifying `ETag`s: every body is addressed by
+//! its own sha256 ([`compute::etag_for`]), `/reports/{sha}` doubly so —
+//! the path *is* the hash of the bytes served. Conditional requests
+//! (`If-None-Match`) short-circuit to `304`.
+//!
+//! Determinism: everything from [`compute`] down (result keys, JSON
+//! bodies, content addresses) is deterministic and lint-scoped like the
+//! numeric crates; wall-clock time exists only at the I/O edge (latency
+//! metrics, timeouts), which is the non-deterministic-allowed zone.
+
+pub mod client;
+pub mod compute;
+pub mod http;
+pub mod metrics;
+pub mod queue;
+pub mod server;
+pub mod signal;
+
+pub use client::{get, ClientResponse};
+pub use http::{Request, Response};
+pub use metrics::Metrics;
+pub use queue::{JobOutput, Submitted, WorkQueue};
+pub use server::{ExperimentInfo, ExperimentSource, RegistrySource, ServeOptions, Server};

@@ -1,0 +1,358 @@
+//! Service metrics, rendered in the Prometheus text exposition format.
+//!
+//! Everything is lock-free atomics except the per-`(route, status)`
+//! request counters, which live behind one mutex on a `BTreeMap` so the
+//! rendered output is deterministically ordered.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+use std::time::Duration;
+
+use rsls_campaign::CampaignSummary;
+
+/// Latency histogram bucket upper bounds, in seconds.
+const BUCKETS: [f64; 8] = [0.001, 0.005, 0.02, 0.1, 0.5, 2.0, 10.0, 60.0];
+
+/// A fixed-bucket latency histogram.
+#[derive(Debug, Default)]
+struct Histogram {
+    /// One counter per bucket in [`BUCKETS`]; the implicit `+Inf`
+    /// bucket is `count`.
+    buckets: [AtomicU64; 8],
+    count: AtomicU64,
+    sum_micros: AtomicU64,
+}
+
+impl Histogram {
+    fn observe(&self, d: Duration) {
+        let secs = d.as_secs_f64();
+        for (bound, counter) in BUCKETS.iter().zip(&self.buckets) {
+            if secs <= *bound {
+                counter.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_micros
+            .fetch_add(d.as_micros() as u64, Ordering::Relaxed);
+    }
+}
+
+/// All counters and gauges the service exports on `/metrics`.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Requests served, by `(route label, status code)`.
+    requests: Mutex<BTreeMap<(String, u16), u64>>,
+    latency: Histogram,
+    /// In-memory result-body cache (`/experiments/{id}`).
+    result_hits: AtomicU64,
+    result_misses: AtomicU64,
+    /// On-disk report-object cache (`/reports/{sha256}`).
+    report_hits: AtomicU64,
+    report_misses: AtomicU64,
+    /// Jobs that actually invoked a harness.
+    computed: AtomicU64,
+    /// Submissions that coalesced onto an in-flight job at the queue.
+    coalesced: AtomicU64,
+    /// Submissions rejected because the queue was full.
+    rejected: AtomicU64,
+    /// Jobs waiting in the queue right now (gauge).
+    queue_depth: AtomicU64,
+    /// Workers executing a job right now (gauge).
+    workers_busy: AtomicU64,
+    /// Request handlers that panicked (each isolated to a `500`).
+    panics: AtomicU64,
+}
+
+macro_rules! counters {
+    ($($method:ident => $field:ident),+ $(,)?) => {
+        $(
+            /// Increments the counter this method is named after.
+            pub fn $method(&self) {
+                self.$field.fetch_add(1, Ordering::Relaxed);
+            }
+        )+
+    };
+}
+
+impl Metrics {
+    /// A zeroed metrics registry.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    counters! {
+        result_cache_hit => result_hits,
+        result_cache_miss => result_misses,
+        report_cache_hit => report_hits,
+        report_cache_miss => report_misses,
+        job_computed => computed,
+        job_coalesced => coalesced,
+        queue_rejected => rejected,
+        request_panicked => panics,
+    }
+
+    /// Records one finished request.
+    pub fn observe_request(&self, route: &str, status: u16, elapsed: Duration) {
+        let mut map = self.requests.lock().unwrap_or_else(PoisonError::into_inner);
+        *map.entry((route.to_string(), status)).or_insert(0) += 1;
+        drop(map);
+        self.latency.observe(elapsed);
+    }
+
+    /// Adjusts the queued-jobs gauge by `delta`.
+    pub fn queue_depth_add(&self, delta: i64) {
+        gauge_add(&self.queue_depth, delta);
+    }
+
+    /// Adjusts the busy-workers gauge by `delta`.
+    pub fn workers_busy_add(&self, delta: i64) {
+        gauge_add(&self.workers_busy, delta);
+    }
+
+    /// Current queued-jobs gauge.
+    pub fn queue_depth(&self) -> u64 {
+        self.queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// Running total of queue-coalesced submissions.
+    pub fn coalesced_total(&self) -> u64 {
+        self.coalesced.load(Ordering::Relaxed)
+    }
+
+    /// Running total of jobs that invoked a harness.
+    pub fn computed_total(&self) -> u64 {
+        self.computed.load(Ordering::Relaxed)
+    }
+
+    /// Renders the exposition text. `campaign`/`campaign_waiters` fold
+    /// in the engine's own totals so one scrape covers both layers.
+    pub fn render(&self, campaign: &CampaignSummary, campaign_waiters: usize) -> String {
+        let mut out = String::new();
+        let mut scalar = |name: &str, kind: &str, help: &str, value: u64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            let _ = writeln!(out, "{name} {value}");
+        };
+
+        scalar(
+            "rsls_serve_result_cache_hits_total",
+            "counter",
+            "Experiment requests served from the in-memory result cache.",
+            self.result_hits.load(Ordering::Relaxed),
+        );
+        scalar(
+            "rsls_serve_result_cache_misses_total",
+            "counter",
+            "Experiment requests that needed a computation or coalesce.",
+            self.result_misses.load(Ordering::Relaxed),
+        );
+        scalar(
+            "rsls_serve_report_cache_hits_total",
+            "counter",
+            "Report objects served from the content-addressed store.",
+            self.report_hits.load(Ordering::Relaxed),
+        );
+        scalar(
+            "rsls_serve_report_cache_misses_total",
+            "counter",
+            "Report lookups that found no object.",
+            self.report_misses.load(Ordering::Relaxed),
+        );
+        scalar(
+            "rsls_serve_computations_total",
+            "counter",
+            "Jobs that invoked an experiment harness.",
+            self.computed.load(Ordering::Relaxed),
+        );
+        scalar(
+            "rsls_serve_coalesced_total",
+            "counter",
+            "Submissions coalesced onto an in-flight job.",
+            self.coalesced.load(Ordering::Relaxed),
+        );
+        scalar(
+            "rsls_serve_queue_rejected_total",
+            "counter",
+            "Submissions rejected with 503 because the queue was full.",
+            self.rejected.load(Ordering::Relaxed),
+        );
+        scalar(
+            "rsls_serve_request_panics_total",
+            "counter",
+            "Request handlers that panicked (isolated to a 500).",
+            self.panics.load(Ordering::Relaxed),
+        );
+        scalar(
+            "rsls_serve_queue_depth",
+            "gauge",
+            "Jobs waiting in the work queue.",
+            self.queue_depth.load(Ordering::Relaxed),
+        );
+        scalar(
+            "rsls_serve_workers_busy",
+            "gauge",
+            "Workers currently executing a job.",
+            self.workers_busy.load(Ordering::Relaxed),
+        );
+
+        scalar(
+            "rsls_campaign_units_total",
+            "counter",
+            "Units submitted to the campaign engine.",
+            campaign.total as u64,
+        );
+        scalar(
+            "rsls_campaign_units_executed_total",
+            "counter",
+            "Units the campaign engine actually solved.",
+            campaign.executed as u64,
+        );
+        scalar(
+            "rsls_campaign_cache_hits_total",
+            "counter",
+            "Units served from the content-addressed cache.",
+            campaign.cache_hits as u64,
+        );
+        scalar(
+            "rsls_campaign_units_failed_total",
+            "counter",
+            "Units that failed every attempt.",
+            campaign.failed as u64,
+        );
+        scalar(
+            "rsls_campaign_coalesced_total",
+            "counter",
+            "Units coalesced onto an identical in-flight unit.",
+            campaign.coalesced as u64,
+        );
+        scalar(
+            "rsls_campaign_coalesce_waiters",
+            "gauge",
+            "Threads parked on an in-flight unit right now.",
+            campaign_waiters as u64,
+        );
+
+        let _ = writeln!(
+            out,
+            "# HELP rsls_serve_requests_total Requests served, by route and status."
+        );
+        let _ = writeln!(out, "# TYPE rsls_serve_requests_total counter");
+        let requests = self
+            .requests
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        for ((route, status), count) in &requests {
+            let _ = writeln!(
+                out,
+                "rsls_serve_requests_total{{route=\"{route}\",status=\"{status}\"}} {count}"
+            );
+        }
+
+        let _ = writeln!(
+            out,
+            "# HELP rsls_serve_request_duration_seconds Request latency."
+        );
+        let _ = writeln!(out, "# TYPE rsls_serve_request_duration_seconds histogram");
+        for (bound, counter) in BUCKETS.iter().zip(&self.latency.buckets) {
+            let _ = writeln!(
+                out,
+                "rsls_serve_request_duration_seconds_bucket{{le=\"{bound}\"}} {}",
+                counter.load(Ordering::Relaxed)
+            );
+        }
+        let count = self.latency.count.load(Ordering::Relaxed);
+        let _ = writeln!(
+            out,
+            "rsls_serve_request_duration_seconds_bucket{{le=\"+Inf\"}} {count}"
+        );
+        let _ = writeln!(
+            out,
+            "rsls_serve_request_duration_seconds_sum {}",
+            self.latency.sum_micros.load(Ordering::Relaxed) as f64 / 1e6
+        );
+        let _ = writeln!(out, "rsls_serve_request_duration_seconds_count {count}");
+        out
+    }
+}
+
+/// Saturating add of a possibly negative delta to a `u64` gauge.
+fn gauge_add(gauge: &AtomicU64, delta: i64) {
+    if delta >= 0 {
+        gauge.fetch_add(delta as u64, Ordering::Relaxed);
+    } else {
+        let dec = delta.unsigned_abs();
+        let mut current = gauge.load(Ordering::Relaxed);
+        loop {
+            let next = current.saturating_sub(dec);
+            match gauge.compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => break,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_contains_every_family_and_is_ordered() {
+        let m = Metrics::new();
+        m.observe_request("healthz", 200, Duration::from_millis(2));
+        m.observe_request("experiment", 200, Duration::from_millis(50));
+        m.observe_request("experiment", 503, Duration::from_micros(300));
+        m.result_cache_hit();
+        m.job_computed();
+        m.queue_depth_add(3);
+        m.queue_depth_add(-1);
+        let summary = CampaignSummary {
+            total: 7,
+            executed: 4,
+            cache_hits: 3,
+            failed: 0,
+            coalesced: 2,
+            unit_wall_s: 1.5,
+        };
+        let text = m.render(&summary, 1);
+        assert!(text.contains("rsls_serve_requests_total{route=\"experiment\",status=\"200\"} 1"));
+        assert!(text.contains("rsls_serve_requests_total{route=\"experiment\",status=\"503\"} 1"));
+        assert!(text.contains("rsls_serve_result_cache_hits_total 1"));
+        assert!(text.contains("rsls_serve_computations_total 1"));
+        assert!(text.contains("rsls_serve_queue_depth 2"));
+        assert!(text.contains("rsls_campaign_units_total 7"));
+        assert!(text.contains("rsls_campaign_coalesced_total 2"));
+        assert!(text.contains("rsls_campaign_coalesce_waiters 1"));
+        assert!(text.contains("rsls_serve_request_duration_seconds_count 3"));
+        // Deterministic label order: BTreeMap keys render sorted.
+        let experiment = text
+            .find("route=\"experiment\",status=\"200\"")
+            .expect("series present");
+        let experiment_503 = text
+            .find("route=\"experiment\",status=\"503\"")
+            .expect("series present");
+        assert!(experiment < experiment_503);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let m = Metrics::new();
+        m.observe_request("x", 200, Duration::from_micros(500)); // ≤ 0.001
+        m.observe_request("x", 200, Duration::from_millis(40)); // ≤ 0.1
+        let text = m.render(&CampaignSummary::default(), 0);
+        assert!(text.contains("bucket{le=\"0.001\"} 1"));
+        assert!(text.contains("bucket{le=\"0.1\"} 2"));
+        assert!(text.contains("bucket{le=\"+Inf\"} 2"));
+    }
+
+    #[test]
+    fn gauge_never_underflows() {
+        let m = Metrics::new();
+        m.workers_busy_add(-5);
+        let text = m.render(&CampaignSummary::default(), 0);
+        assert!(text.contains("rsls_serve_workers_busy 0"));
+    }
+}

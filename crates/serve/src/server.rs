@@ -1,0 +1,453 @@
+//! The service: listener, router, and per-request orchestration.
+
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use std::collections::BTreeMap;
+
+use rsls_campaign::is_sha256_hex;
+use rsls_experiments::campaign;
+use rsls_experiments::{ExperimentRegistry, Scale, Table};
+
+use crate::http::{self, Request, Response};
+use crate::metrics::Metrics;
+use crate::queue::{JobOutput, SubmitError, WorkQueue};
+use crate::{compute, signal};
+
+/// `Retry-After` seconds sent with queue-overload `503`s.
+const RETRY_AFTER_S: u32 = 2;
+/// Accept-loop poll interval while idle (also the shutdown-detection
+/// latency bound).
+const ACCEPT_POLL: Duration = Duration::from_millis(15);
+/// How long `run` waits for connection threads to flush during drain.
+const DRAIN_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// One row of the `/experiments` listing.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ExperimentInfo {
+    /// Experiment id (`fig5`, `table6`, ...).
+    pub id: String,
+    /// Human-readable description.
+    pub description: String,
+}
+
+/// Where the service gets experiments from. The production source is
+/// [`RegistrySource`]; tests inject gated/panicking sources to make
+/// coalescing and panic isolation deterministic.
+pub trait ExperimentSource: Send + Sync {
+    /// The experiments this source can run, in canonical order.
+    fn list(&self) -> Vec<ExperimentInfo>;
+    /// Runs one experiment; `None` for an unknown id.
+    fn run(&self, id: &str, scale: Scale) -> Option<Vec<Table>>;
+}
+
+/// [`ExperimentSource`] backed by [`ExperimentRegistry::builtin`].
+#[derive(Debug, Default, Clone)]
+pub struct RegistrySource;
+
+impl ExperimentSource for RegistrySource {
+    fn list(&self) -> Vec<ExperimentInfo> {
+        ExperimentRegistry::builtin()
+            .entries()
+            .iter()
+            .map(|e| ExperimentInfo {
+                id: e.name.to_string(),
+                description: e.description.to_string(),
+            })
+            .collect()
+    }
+
+    fn run(&self, id: &str, scale: Scale) -> Option<Vec<Table>> {
+        ExperimentRegistry::builtin().run(id, scale)
+    }
+}
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Compute workers draining the job queue.
+    pub workers: usize,
+    /// Pending-job bound; submissions beyond it get `503`.
+    pub queue_depth: usize,
+    /// Scale every experiment runs at.
+    pub scale: Scale,
+    /// React to the process-wide SIGINT/SIGTERM flag ([`signal`]). The
+    /// binary sets this; embedded/test servers default to their own
+    /// [`Server::handle`] stop flag only.
+    pub honor_signals: bool,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            workers: 2,
+            queue_depth: 16,
+            scale: Scale::Quick,
+            honor_signals: false,
+        }
+    }
+}
+
+/// State shared by the accept loop and every connection thread.
+struct Shared {
+    opts: ServeOptions,
+    source: Arc<dyn ExperimentSource>,
+    queue: WorkQueue,
+    metrics: Arc<Metrics>,
+    /// Completed result bodies by result key — the layer that turns a
+    /// repeat `/experiments/{id}` into a pure lookup.
+    results: Mutex<BTreeMap<String, Arc<JobOutput>>>,
+    stop: AtomicBool,
+    active_connections: AtomicUsize,
+}
+
+impl Shared {
+    fn stopping(&self) -> bool {
+        self.stop.load(Ordering::Relaxed) || (self.opts.honor_signals && signal::requested())
+    }
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared")
+            .field("opts", &self.opts)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A remote control for a running [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with `:0` ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Asks the server to stop accepting and drain.
+    pub fn shutdown(&self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+    }
+
+    /// The service metrics (shared with the running server).
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.shared.metrics)
+    }
+}
+
+/// The bound-but-not-yet-running service.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.listener.local_addr())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Binds `addr` and builds the worker pool. The server does not
+    /// accept connections until [`Server::run`].
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        opts: ServeOptions,
+        source: Arc<dyn ExperimentSource>,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let metrics = Arc::new(Metrics::new());
+        let queue = WorkQueue::new(opts.workers, opts.queue_depth, Arc::clone(&metrics));
+        let shared = Arc::new(Shared {
+            opts,
+            source,
+            queue,
+            metrics,
+            results: Mutex::new(BTreeMap::new()),
+            stop: AtomicBool::new(false),
+            active_connections: AtomicUsize::new(0),
+        });
+        Ok(Server { listener, shared })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle for stopping the server and reading its metrics from
+    /// another thread.
+    pub fn handle(&self) -> std::io::Result<ServerHandle> {
+        Ok(ServerHandle {
+            addr: self.listener.local_addr()?,
+            shared: Arc::clone(&self.shared),
+        })
+    }
+
+    /// Accepts connections until shutdown is requested (via
+    /// [`ServerHandle::shutdown`] or, with `honor_signals`, a
+    /// SIGINT/SIGTERM), then drains gracefully: the listener closes,
+    /// queued jobs finish, connection threads flush their responses,
+    /// and the campaign journal (append-on-write) is already durable.
+    pub fn run(self) -> std::io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        while !self.shared.stopping() {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let _ = stream.set_nonblocking(false);
+                    let shared = Arc::clone(&self.shared);
+                    shared.active_connections.fetch_add(1, Ordering::SeqCst);
+                    let spawned = std::thread::Builder::new()
+                        .name("rsls-serve-conn".to_string())
+                        .spawn(move || {
+                            let _guard = ConnGuard(&shared.active_connections);
+                            handle_connection(&shared, stream);
+                        });
+                    if spawned.is_err() {
+                        self.shared
+                            .active_connections
+                            .fetch_sub(1, Ordering::SeqCst);
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+                Err(_) => std::thread::sleep(ACCEPT_POLL),
+            }
+        }
+        // Drain: finish queued work (every accepted request gets its
+        // response), then wait for connection threads to flush.
+        self.shared.queue.shutdown();
+        let deadline = Instant::now() + DRAIN_TIMEOUT;
+        while self.shared.active_connections.load(Ordering::SeqCst) > 0 && Instant::now() < deadline
+        {
+            std::thread::sleep(ACCEPT_POLL);
+        }
+        Ok(())
+    }
+}
+
+/// Decrements the active-connection gauge on every exit path.
+struct ConnGuard<'a>(&'a AtomicUsize);
+
+impl Drop for ConnGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    let started = Instant::now();
+
+    let (label, response, head_only) = match http::parse_request(&mut reader) {
+        Ok(Some(req)) => {
+            let head_only = req.method == "HEAD";
+            if req.method == "GET" || head_only {
+                // Panic isolation per request: a routing bug turns into
+                // one 500, not a dead connection thread and a hung
+                // client.
+                match panic::catch_unwind(AssertUnwindSafe(|| route(shared, &req))) {
+                    Ok((label, response)) => (label, response, head_only),
+                    Err(_) => {
+                        shared.metrics.request_panicked();
+                        (
+                            "panic",
+                            Response::text(500, "internal error: request handler panicked\n"),
+                            head_only,
+                        )
+                    }
+                }
+            } else {
+                (
+                    "other",
+                    Response::text(405, "method not allowed\n").header("Allow", "GET, HEAD"),
+                    head_only,
+                )
+            }
+        }
+        Ok(None) => return, // port probe: connect + close
+        Err(e) => (
+            "bad-request",
+            Response::text(400, format!("bad request: {e}\n")),
+            false,
+        ),
+    };
+    shared
+        .metrics
+        .observe_request(label, response.status, started.elapsed());
+    let _ = response.write_to(&mut writer, head_only || response.status == 304);
+}
+
+/// Routes one request, returning a metrics label and the response.
+fn route(shared: &Arc<Shared>, req: &Request) -> (&'static str, Response) {
+    let path = req.path.trim_end_matches('/');
+    match path {
+        "" | "/index.html" => ("root", root_response()),
+        "/healthz" => (
+            "healthz",
+            Response::json(200, &b"{\"status\":\"ok\"}\n"[..]),
+        ),
+        "/metrics" => ("metrics", metrics_response(shared)),
+        "/experiments" => ("experiments", listing_response(shared)),
+        _ => {
+            if let Some(id) = path.strip_prefix("/experiments/") {
+                ("experiment", experiment_response(shared, req, id))
+            } else if let Some(hash) = path.strip_prefix("/reports/") {
+                ("report", report_response(shared, req, hash))
+            } else {
+                ("other", Response::text(404, "not found\n"))
+            }
+        }
+    }
+}
+
+fn root_response() -> Response {
+    Response::text(
+        200,
+        "rsls-serve: GET /experiments, /experiments/{id}, /reports/{sha256}, /healthz, /metrics\n",
+    )
+}
+
+fn metrics_response(shared: &Arc<Shared>) -> Response {
+    let engine = campaign::engine();
+    let text = shared
+        .metrics
+        .render(&engine.summary(), engine.coalesce_waiters());
+    Response::new(200)
+        .header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+        .with_body(text.into_bytes())
+}
+
+fn listing_response(shared: &Arc<Shared>) -> Response {
+    match serde_json::to_string(&shared.source.list()) {
+        Ok(json) => Response::json(200, json.into_bytes()),
+        Err(e) => Response::text(500, format!("serializing listing: {e}\n")),
+    }
+}
+
+/// `200` with body + `ETag`, or `304` when `If-None-Match` matches.
+fn conditional(req: &Request, out: &JobOutput) -> Response {
+    let etag = format!("\"{}\"", out.etag);
+    if req.if_none_match(&out.etag) {
+        Response::new(304).header("ETag", etag)
+    } else {
+        Response::json(200, out.body.clone()).header("ETag", etag)
+    }
+}
+
+fn experiment_response(shared: &Arc<Shared>, req: &Request, id: &str) -> Response {
+    if !shared.source.list().iter().any(|e| e.id == id) {
+        return Response::text(404, format!("unknown experiment '{id}'\n"));
+    }
+    let key = compute::result_key(id, shared.opts.scale);
+    let cached = shared
+        .results
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .get(&key)
+        .cloned();
+    if let Some(out) = cached {
+        shared.metrics.result_cache_hit();
+        return conditional(req, &out);
+    }
+    shared.metrics.result_cache_miss();
+
+    let job = {
+        let source = Arc::clone(&shared.source);
+        let metrics = Arc::clone(&shared.metrics);
+        let id = id.to_string();
+        let scale = shared.opts.scale;
+        shared.queue.submit(&key, move || {
+            metrics.job_computed();
+            let tables = source
+                .run(&id, scale)
+                .ok_or_else(|| format!("experiment '{id}' disappeared from the source"))?;
+            let body = compute::tables_to_json(&id, scale, tables)?;
+            let etag = compute::etag_for(&body);
+            Ok(JobOutput { body, etag })
+        })
+    };
+    match job {
+        Ok(submitted) => match submitted.job().wait() {
+            Ok(out) => {
+                let out = Arc::new(out);
+                shared
+                    .results
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .insert(key, Arc::clone(&out));
+                conditional(req, &out)
+            }
+            Err(msg) => Response::text(500, format!("experiment '{id}' failed: {msg}\n")),
+        },
+        Err(SubmitError::Full) => Response::text(503, "compute queue is full; retry later\n")
+            .header("Retry-After", RETRY_AFTER_S.to_string()),
+        Err(SubmitError::ShuttingDown) => Response::text(503, "service is shutting down\n")
+            .header("Retry-After", RETRY_AFTER_S.to_string()),
+    }
+}
+
+fn report_response(shared: &Arc<Shared>, req: &Request, hash: &str) -> Response {
+    if !is_sha256_hex(hash) {
+        return Response::text(400, "report id must be 64 lowercase hex digits\n");
+    }
+    // Content addressing makes the conditional check free: the path IS
+    // the hash of the bytes, so a matching If-None-Match needs no disk.
+    if req.if_none_match(hash) {
+        shared.metrics.report_cache_hit();
+        return Response::new(304).header("ETag", format!("\"{hash}\""));
+    }
+    let Some(cache) = campaign::engine().cache() else {
+        shared.metrics.report_cache_miss();
+        return Response::text(404, "result caching is disabled on this server\n");
+    };
+    match cache.load_object(hash) {
+        Some(bytes) => {
+            shared.metrics.report_cache_hit();
+            Response::json(200, bytes).header("ETag", format!("\"{hash}\""))
+        }
+        None => {
+            shared.metrics.report_cache_miss();
+            Response::text(404, format!("no report object {hash}\n"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_source_lists_builtin_experiments() {
+        let list = RegistrySource.list();
+        assert!(list.iter().any(|e| e.id == "fig5"));
+        assert!(list.iter().any(|e| e.id == "table6"));
+        let json = serde_json::to_string(&list).unwrap();
+        assert!(json.contains(r#""id":"fig1""#));
+    }
+
+    #[test]
+    fn default_options_are_sane() {
+        let opts = ServeOptions::default();
+        assert!(opts.workers >= 1);
+        assert!(opts.queue_depth >= 1);
+        assert!(!opts.honor_signals);
+    }
+}

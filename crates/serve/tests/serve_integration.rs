@@ -1,0 +1,389 @@
+//! End-to-end tests over real sockets.
+//!
+//! One process, one process-global campaign engine: `engine_init` wires
+//! it to a temp cache before any test touches it. Servers bind `:0`
+//! ephemeral ports so tests run in parallel without address clashes.
+//! Coalescing and overload tests use a *gated* experiment source — the
+//! harness blocks on a channel until the test releases it — so "two
+//! requests are concurrently in flight" is a guaranteed state, not a
+//! race the test hopes to win.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex, Once};
+use std::time::{Duration, Instant};
+
+use rsls_campaign::EngineOptions;
+use rsls_experiments::campaign;
+use rsls_experiments::{Scale, Table};
+use rsls_serve::client::{get, ClientResponse};
+use rsls_serve::server::{
+    ExperimentInfo, ExperimentSource, RegistrySource, ServeOptions, Server, ServerHandle,
+};
+
+fn engine_init() {
+    static INIT: Once = Once::new();
+    INIT.call_once(|| {
+        let dir = std::env::temp_dir().join(format!("rsls-serve-it-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        campaign::configure(EngineOptions {
+            jobs: 2,
+            cache_dir: dir.join("cache"),
+            use_cache: true,
+            resume: false,
+            journal_path: Some(dir.join("campaign.journal")),
+            retries: 0,
+        })
+        .expect("first configure in this process");
+    });
+}
+
+/// Binds an ephemeral-port server and runs it on a background thread.
+fn serve(
+    opts: ServeOptions,
+    source: Arc<dyn ExperimentSource>,
+) -> (ServerHandle, std::thread::JoinHandle<std::io::Result<()>>) {
+    engine_init();
+    let server = Server::bind("127.0.0.1:0", opts, source).expect("bind ephemeral port");
+    let handle = server.handle().expect("handle");
+    let join = std::thread::spawn(move || server.run());
+    (handle, join)
+}
+
+fn wait_until(what: &str, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// A source whose `gated-*` experiments block until released, with a
+/// shared invocation counter; `boom` panics.
+struct GatedSource {
+    runs: AtomicUsize,
+    entered_tx: Mutex<mpsc::Sender<()>>,
+    release_rx: Mutex<mpsc::Receiver<()>>,
+}
+
+impl GatedSource {
+    fn new() -> (Arc<GatedSource>, mpsc::Receiver<()>, mpsc::Sender<()>) {
+        let (entered_tx, entered_rx) = mpsc::channel();
+        let (release_tx, release_rx) = mpsc::channel();
+        let source = Arc::new(GatedSource {
+            runs: AtomicUsize::new(0),
+            entered_tx: Mutex::new(entered_tx),
+            release_rx: Mutex::new(release_rx),
+        });
+        (source, entered_rx, release_tx)
+    }
+}
+
+impl ExperimentSource for GatedSource {
+    fn list(&self) -> Vec<ExperimentInfo> {
+        ["gated-a", "gated-b", "gated-c", "boom"]
+            .iter()
+            .map(|id| ExperimentInfo {
+                id: id.to_string(),
+                description: "test source".to_string(),
+            })
+            .collect()
+    }
+
+    fn run(&self, id: &str, _scale: Scale) -> Option<Vec<Table>> {
+        match id {
+            "boom" => panic!("harness exploded"),
+            gated if gated.starts_with("gated-") => {
+                self.runs.fetch_add(1, Ordering::SeqCst);
+                self.entered_tx.lock().unwrap().send(()).ok();
+                self.release_rx
+                    .lock()
+                    .unwrap()
+                    .recv_timeout(Duration::from_secs(30))
+                    .expect("test releases the gate");
+                let mut t = Table::new(format!("{id} result"), &["k", "v"]);
+                t.push_row(vec![id.to_string(), "1".to_string()]);
+                Some(vec![t])
+            }
+            _ => None,
+        }
+    }
+}
+
+fn metric_value(metrics_body: &str, series: &str) -> Option<f64> {
+    metrics_body.lines().find_map(|line| {
+        line.strip_prefix(series)
+            .and_then(|rest| rest.trim().parse::<f64>().ok())
+    })
+}
+
+#[test]
+fn concurrent_identical_requests_coalesce_onto_one_computation() {
+    let (source, entered_rx, release_tx) = GatedSource::new();
+    let (handle, join) = serve(
+        ServeOptions {
+            workers: 2,
+            queue_depth: 8,
+            ..ServeOptions::default()
+        },
+        source.clone(),
+    );
+    let addr = handle.addr();
+
+    // Two concurrent requests for the same experiment.
+    let fetch = |addr| std::thread::spawn(move || get(addr, "/experiments/gated-a", &[]));
+    let first = fetch(addr);
+    let second = fetch(addr);
+
+    // The harness is running exactly once (gate entered), and the
+    // duplicate has coalesced at the queue — observable via metrics
+    // before any release.
+    entered_rx
+        .recv_timeout(Duration::from_secs(30))
+        .expect("leader enters the harness");
+    let metrics = handle.metrics();
+    wait_until("duplicate to coalesce", || metrics.coalesced_total() >= 1);
+    assert_eq!(source.runs.load(Ordering::SeqCst), 1);
+    release_tx.send(()).expect("release the leader");
+
+    let a: ClientResponse = first.join().expect("no panic").expect("response");
+    let b: ClientResponse = second.join().expect("no panic").expect("response");
+    assert_eq!((a.status, b.status), (200, 200));
+    assert_eq!(a.body, b.body, "coalesced responses must be byte-identical");
+    assert_eq!(a.etag(), b.etag());
+    assert_eq!(
+        source.runs.load(Ordering::SeqCst),
+        1,
+        "one computation total"
+    );
+
+    // Conditional re-fetch revalidates to 304 with no body...
+    let etag = a.etag().expect("etag present").to_string();
+    let revalidated = get(
+        addr,
+        "/experiments/gated-a",
+        &[("If-None-Match", &format!("\"{etag}\""))],
+    )
+    .expect("revalidate");
+    assert_eq!(revalidated.status, 304);
+    assert!(revalidated.body.is_empty());
+    assert_eq!(revalidated.etag(), Some(etag.as_str()));
+
+    // ...and an unconditional one serves from the result cache without
+    // re-entering the harness (the gate would otherwise block forever).
+    let again = get(addr, "/experiments/gated-a", &[]).expect("cached re-fetch");
+    assert_eq!(again.status, 200);
+    assert_eq!(again.body, a.body);
+    assert_eq!(source.runs.load(Ordering::SeqCst), 1);
+
+    // The whole story is visible on /metrics.
+    let scrape = get(addr, "/metrics", &[]).expect("metrics");
+    let text = String::from_utf8(scrape.body).expect("utf8");
+    assert_eq!(
+        metric_value(&text, "rsls_serve_computations_total "),
+        Some(1.0)
+    );
+    assert_eq!(
+        metric_value(&text, "rsls_serve_coalesced_total "),
+        Some(1.0)
+    );
+    assert!(metric_value(&text, "rsls_serve_result_cache_hits_total ") >= Some(1.0));
+    assert!(text.contains("rsls_serve_request_duration_seconds_bucket"));
+
+    handle.shutdown();
+    join.join().expect("no panic").expect("clean shutdown");
+}
+
+#[test]
+fn full_queue_sheds_load_with_503_and_retry_after() {
+    let (source, entered_rx, release_tx) = GatedSource::new();
+    let (handle, join) = serve(
+        ServeOptions {
+            workers: 1,
+            queue_depth: 1,
+            ..ServeOptions::default()
+        },
+        source,
+    );
+    let addr = handle.addr();
+
+    // Occupy the single worker...
+    let busy = std::thread::spawn(move || get(addr, "/experiments/gated-a", &[]));
+    entered_rx
+        .recv_timeout(Duration::from_secs(30))
+        .expect("worker occupied");
+    // ...fill the single queue slot with a *different* key...
+    let queued = std::thread::spawn(move || get(addr, "/experiments/gated-b", &[]));
+    let metrics = handle.metrics();
+    wait_until("second job to queue", || metrics.queue_depth() == 1);
+
+    // ...and watch the third distinct request get shed.
+    let shed = get(addr, "/experiments/gated-c", &[]).expect("shed response");
+    assert_eq!(shed.status, 503);
+    assert_eq!(shed.header("retry-after"), Some("2"));
+
+    // Drain: both accepted requests still complete.
+    release_tx.send(()).expect("release first");
+    release_tx.send(()).expect("release second");
+    assert_eq!(
+        busy.join().expect("no panic").expect("response").status,
+        200
+    );
+    assert_eq!(
+        queued.join().expect("no panic").expect("response").status,
+        200
+    );
+
+    handle.shutdown();
+    join.join().expect("no panic").expect("clean shutdown");
+}
+
+#[test]
+fn panicking_harness_is_isolated_to_a_500() {
+    let (source, _entered_rx, _release_tx) = GatedSource::new();
+    let (handle, join) = serve(ServeOptions::default(), source);
+    let addr = handle.addr();
+
+    let resp = get(addr, "/experiments/boom", &[]).expect("response despite panic");
+    assert_eq!(resp.status, 500);
+    let body = String::from_utf8(resp.body).expect("utf8");
+    assert!(body.contains("harness exploded"), "got: {body}");
+
+    // The worker and the server both survived.
+    let health = get(addr, "/healthz", &[]).expect("healthz");
+    assert_eq!(health.status, 200);
+    assert_eq!(health.body, b"{\"status\":\"ok\"}\n");
+
+    handle.shutdown();
+    join.join().expect("no panic").expect("clean shutdown");
+}
+
+#[test]
+fn real_registry_serves_listing_and_fig1() {
+    let (handle, join) = serve(ServeOptions::default(), Arc::new(RegistrySource));
+    let addr = handle.addr();
+
+    let listing = get(addr, "/experiments", &[]).expect("listing");
+    assert_eq!(listing.status, 200);
+    let text = String::from_utf8(listing.body).expect("utf8");
+    assert!(text.contains(r#""id":"fig1""#));
+    assert!(text.contains(r#""id":"table6""#));
+
+    // fig1 is pure table arithmetic — no solver units — so it is fast
+    // at any scale.
+    let first = get(addr, "/experiments/fig1", &[]).expect("fig1");
+    assert_eq!(first.status, 200);
+    let etag = first.etag().expect("etag").to_string();
+    assert_eq!(
+        etag,
+        rsls_core::sha256_hex(&first.body),
+        "self-certifying ETag"
+    );
+    let body = String::from_utf8(first.body.clone()).expect("utf8");
+    assert!(body.starts_with(r#"{"experiment":"fig1","scale":"#));
+
+    let second = get(addr, "/experiments/fig1", &[]).expect("fig1 again");
+    assert_eq!(second.body, first.body, "re-fetch is byte-identical");
+
+    let missing = get(addr, "/experiments/nope", &[]).expect("404");
+    assert_eq!(missing.status, 404);
+
+    handle.shutdown();
+    join.join().expect("no panic").expect("clean shutdown");
+}
+
+#[test]
+fn reports_round_trip_from_the_content_addressed_store() {
+    let (handle, join) = serve(ServeOptions::default(), Arc::new(RegistrySource));
+    let addr = handle.addr();
+
+    // Plant a report in the engine's object store the same way a
+    // campaign would, then serve it back by content address.
+    let report = rsls_core::RunReport {
+        scheme: "FF".into(),
+        num_ranks: 8,
+        iterations: 120,
+        converged: true,
+        final_relative_residual: 3.25e-13,
+        time_s: 1.5,
+        energy_j: 300.0,
+        avg_power_w: 200.0,
+        faults_injected: 0,
+        checkpoint_interval_iters: None,
+        breakdown: Default::default(),
+        history: Default::default(),
+        power_profile: Vec::new(),
+    };
+    let cache = campaign::engine().cache().expect("engine cache enabled");
+    let spec_hash = "ab".repeat(32);
+    let object_hash = cache.store(&spec_hash, &report).expect("store");
+
+    let resp = get(addr, &format!("/reports/{object_hash}"), &[]).expect("report");
+    assert_eq!(resp.status, 200);
+    assert_eq!(
+        rsls_core::sha256_hex(&resp.body),
+        object_hash,
+        "served bytes hash to their own path"
+    );
+    assert_eq!(resp.etag(), Some(object_hash.as_str()));
+
+    // Conditional re-fetch needs no disk: the path is the hash.
+    let revalidated = get(
+        addr,
+        &format!("/reports/{object_hash}"),
+        &[("If-None-Match", &format!("\"{object_hash}\""))],
+    )
+    .expect("revalidate");
+    assert_eq!(revalidated.status, 304);
+    assert!(revalidated.body.is_empty());
+
+    let missing = get(addr, &format!("/reports/{}", "0".repeat(64)), &[]).expect("miss");
+    assert_eq!(missing.status, 404);
+    let malformed = get(addr, "/reports/not-a-hash", &[]).expect("malformed");
+    assert_eq!(malformed.status, 400);
+
+    handle.shutdown();
+    join.join().expect("no panic").expect("clean shutdown");
+}
+
+#[test]
+fn rejects_unsupported_methods_and_bad_requests() {
+    let (handle, join) = serve(ServeOptions::default(), Arc::new(RegistrySource));
+    let addr = handle.addr();
+
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(b"POST /experiments HTTP/1.1\r\nHost: a\r\n\r\n")
+        .expect("write");
+    let mut buf = String::new();
+    stream.read_to_string(&mut buf).expect("read");
+    assert!(buf.starts_with("HTTP/1.1 405 "), "got: {buf}");
+    assert!(buf.contains("Allow: GET, HEAD"));
+
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    stream.write_all(b"garbage\r\n\r\n").expect("write");
+    let mut buf = String::new();
+    stream.read_to_string(&mut buf).expect("read");
+    assert!(buf.starts_with("HTTP/1.1 400 "), "got: {buf}");
+
+    handle.shutdown();
+    join.join().expect("no panic").expect("clean shutdown");
+}
+
+#[test]
+fn signal_flag_drains_a_signal_honoring_server() {
+    // The only test that flips the process-global signal flag; every
+    // other server in this file ignores it (honor_signals: false).
+    let (handle, join) = serve(
+        ServeOptions {
+            honor_signals: true,
+            ..ServeOptions::default()
+        },
+        Arc::new(RegistrySource),
+    );
+    let addr = handle.addr();
+    assert_eq!(get(addr, "/healthz", &[]).expect("healthz").status, 200);
+
+    rsls_serve::signal::request();
+    join.join().expect("no panic").expect("drained on signal");
+}
