@@ -3,6 +3,7 @@
 //! ```text
 //! <dir>/objects/<sha256-of-report-json>.json   the report bytes
 //! <dir>/units/<spec-content-hash>.ref          64-hex pointer to an object
+//! <dir>/quarantine/<sha256>.json               objects that failed verification
 //! ```
 //!
 //! Reports live in an **object store** keyed by the SHA-256 of their own
@@ -11,33 +12,92 @@
 //! relies on. Unit results are **pointer files** mapping a
 //! [`crate::UnitSpec`] content hash to its report object; two specs that
 //! happen to produce byte-identical reports share one object.
+//!
+//! The store is **self-healing**: every object read re-verifies the
+//! SHA-256 of the bytes against the filename. A mismatch — disk
+//! corruption, a torn write that somehow landed, tampering — moves the
+//! object into `quarantine/` and reports [`Lookup::Corrupt`], so the unit
+//! recomputes and re-stores a good object instead of serving bad bytes
+//! forever. Transient read errors (`Interrupted`/`WouldBlock`) are
+//! retried in place. Writes go through a temp file in the same directory
+//! followed by a rename, with bounded retries on write failure, so a
+//! killed or fault-injected campaign can leave at most a stray `*.tmp`,
+//! never a half-written addressable entry.
+//!
+//! Fault injection (`rsls-chaos`) hooks the read and write edges here:
+//! an injector passed via [`ResultCache::open_chaotic`] can tear writes,
+//! corrupt or truncate read bytes, and synthesize transient read errors
+//! — the mechanisms above are the hardening those faults prove.
 
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
+use rsls_chaos::{ChaosInjector, ChaosSite};
 use rsls_core::RunReport;
+
+/// Bounded attempts for transiently failing object reads and writes.
+const IO_ATTEMPTS: usize = 4;
+
+/// Outcome of a unit lookup — the tri-state that makes corruption
+/// observable instead of a silent miss.
+#[derive(Debug)]
+pub enum Lookup {
+    /// A verified report was found.
+    Hit(RunReport),
+    /// No entry (or a dangling/garbage pointer): the unit never
+    /// completed here.
+    Miss,
+    /// A pointer resolved to an object that failed verification; the
+    /// object has been quarantined and the unit must recompute.
+    Corrupt {
+        /// The report object hash the pointer named.
+        report_hash: String,
+    },
+}
+
+/// How one object read ended, before JSON parsing.
+enum ObjectRead {
+    Bytes(Vec<u8>),
+    Missing,
+    Corrupt,
+}
 
 /// On-disk store of completed [`RunReport`]s, keyed by unit content hash.
 ///
 /// Lookups are forgiving by design: a missing, truncated, tampered, or
-/// otherwise unparsable ref or object is a *miss*, never an error — the
-/// unit simply re-runs and overwrites the bad entry. Writes go through a
-/// temp file in the same directory followed by a rename, so a killed
-/// campaign can leave at most a stray `*.tmp`, not a half-written
-/// addressable entry.
+/// otherwise unparsable ref or object is at worst a [`Lookup::Corrupt`]
+/// (quarantined and counted), never an error — the unit simply re-runs
+/// and re-stores a good entry.
 #[derive(Debug)]
 pub struct ResultCache {
     dir: PathBuf,
+    chaos: Option<Arc<ChaosInjector>>,
+    quarantined: AtomicU64,
 }
 
 impl ResultCache {
     /// Opens (and creates, if needed) a cache rooted at `dir`.
     pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        Self::open_chaotic(dir, None)
+    }
+
+    /// Opens a cache with an optional chaos injector wired into its
+    /// read/write edges (see the module docs).
+    pub fn open_chaotic(
+        dir: impl Into<PathBuf>,
+        chaos: Option<Arc<ChaosInjector>>,
+    ) -> io::Result<Self> {
         let dir = dir.into();
         fs::create_dir_all(dir.join("objects"))?;
         fs::create_dir_all(dir.join("units"))?;
-        Ok(ResultCache { dir })
+        Ok(ResultCache {
+            dir,
+            chaos,
+            quarantined: AtomicU64::new(0),
+        })
     }
 
     /// The cache root.
@@ -56,6 +116,18 @@ impl ResultCache {
         self.dir.join("units").join(format!("{spec_hash}.ref"))
     }
 
+    /// Path a quarantined object is moved to.
+    pub fn quarantine_path(&self, report_hash: &str) -> PathBuf {
+        self.dir
+            .join("quarantine")
+            .join(format!("{report_hash}.json"))
+    }
+
+    /// Objects quarantined by this cache handle since it was opened.
+    pub fn quarantined_total(&self) -> u64 {
+        self.quarantined.load(Ordering::Relaxed)
+    }
+
     /// The report object a unit resolves to, if a valid pointer exists.
     pub fn object_hash(&self, spec_hash: &str) -> Option<String> {
         let raw = fs::read_to_string(self.unit_ref_path(spec_hash)).ok()?;
@@ -67,25 +139,113 @@ impl ResultCache {
         }
     }
 
-    /// Loads the report cached for unit `spec_hash`, if a valid one exists.
+    /// Resolves unit `spec_hash` to its verified report, distinguishing
+    /// a clean miss from detected corruption (see [`Lookup`]).
+    pub fn lookup(&self, spec_hash: &str) -> Lookup {
+        let Some(report_hash) = self.object_hash(spec_hash) else {
+            return Lookup::Miss;
+        };
+        match self.read_object(&report_hash) {
+            ObjectRead::Bytes(bytes) => match serde_json::from_slice(&bytes) {
+                Ok(report) => Lookup::Hit(report),
+                // sha-valid bytes that do not parse were *stored* bad:
+                // quarantine them like any other corruption.
+                Err(_) => {
+                    self.quarantine(&report_hash);
+                    Lookup::Corrupt { report_hash }
+                }
+            },
+            ObjectRead::Missing => Lookup::Miss,
+            ObjectRead::Corrupt => Lookup::Corrupt { report_hash },
+        }
+    }
+
+    /// Loads the report cached for unit `spec_hash`, if a valid one
+    /// exists ([`Lookup::Hit`] collapsed to `Option` for callers that do
+    /// not distinguish miss from corruption).
     pub fn load(&self, spec_hash: &str) -> Option<RunReport> {
-        let bytes = self.load_object(&self.object_hash(spec_hash)?)?;
-        serde_json::from_slice(&bytes).ok()
+        match self.lookup(spec_hash) {
+            Lookup::Hit(report) => Some(report),
+            Lookup::Miss | Lookup::Corrupt { .. } => None,
+        }
     }
 
     /// Reads the raw bytes of report object `report_hash`, verifying that
-    /// they still hash to their filename (a tampered or corrupted object
-    /// is a miss — never served).
+    /// they still hash to their filename. A mismatched object is
+    /// quarantined and never served.
     pub fn load_object(&self, report_hash: &str) -> Option<Vec<u8>> {
         if !is_sha256_hex(report_hash) {
             return None;
         }
-        let bytes = fs::read(self.object_path(report_hash)).ok()?;
-        if rsls_core::sha256_hex(&bytes) == report_hash {
-            Some(bytes)
-        } else {
-            None
+        match self.read_object(report_hash) {
+            ObjectRead::Bytes(bytes) => Some(bytes),
+            ObjectRead::Missing | ObjectRead::Corrupt => None,
         }
+    }
+
+    /// Reads and verifies one object, retrying transient errors and
+    /// quarantining verification failures.
+    fn read_object(&self, report_hash: &str) -> ObjectRead {
+        let path = self.object_path(report_hash);
+        let mut bytes: Option<Vec<u8>> = None;
+        for _attempt in 0..IO_ATTEMPTS {
+            if let Some(chaos) = &self.chaos {
+                if chaos.fire(ChaosSite::CacheReadError, report_hash) {
+                    // Synthetic EINTR: behave exactly as a real one —
+                    // retry the read.
+                    continue;
+                }
+            }
+            match fs::read(&path) {
+                Ok(b) => {
+                    bytes = Some(b);
+                    break;
+                }
+                Err(e) if e.kind() == io::ErrorKind::NotFound => return ObjectRead::Missing,
+                Err(e)
+                    if e.kind() == io::ErrorKind::Interrupted
+                        || e.kind() == io::ErrorKind::WouldBlock =>
+                {
+                    continue;
+                }
+                Err(_) => return ObjectRead::Missing,
+            }
+        }
+        // Transient errors on every attempt: treat as a miss (the unit
+        // re-runs), never as served-but-unverified bytes.
+        let Some(mut bytes) = bytes else {
+            return ObjectRead::Missing;
+        };
+        if let Some(chaos) = &self.chaos {
+            if chaos.fire(ChaosSite::CacheCorrupt, report_hash) {
+                chaos.corrupt(report_hash, &mut bytes);
+            }
+            if chaos.fire(ChaosSite::CacheTruncate, report_hash) {
+                chaos.truncate(report_hash, &mut bytes);
+            }
+        }
+        if rsls_core::sha256_hex(&bytes) == report_hash {
+            ObjectRead::Bytes(bytes)
+        } else {
+            self.quarantine(report_hash);
+            ObjectRead::Corrupt
+        }
+    }
+
+    /// Moves a verification-failed object out of `objects/` so it can
+    /// never be served again, and counts it. Best-effort: if the move
+    /// fails the object is deleted instead; either way the address is
+    /// free for a clean re-store.
+    fn quarantine(&self, report_hash: &str) {
+        let from = self.object_path(report_hash);
+        let to = self.quarantine_path(report_hash);
+        let moved = fs::create_dir_all(self.dir.join("quarantine"))
+            .and_then(|_| fs::rename(&from, &to))
+            .is_ok();
+        if !moved {
+            let _ = fs::remove_file(&from);
+        }
+        self.quarantined.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Persists `report` for unit `spec_hash` (atomic temp + rename for
@@ -99,15 +259,47 @@ impl ResultCache {
         let json = serde_json::to_string(report)
             .map_err(|e| io::Error::other(format!("report serialization failed: {e}")))?;
         let report_hash = rsls_core::sha256_hex(json.as_bytes());
-        self.write_atomic(&self.object_path(&report_hash), json.as_bytes())?;
-        self.write_atomic(&self.unit_ref_path(spec_hash), report_hash.as_bytes())?;
+        self.write_atomic(
+            &self.object_path(&report_hash),
+            json.as_bytes(),
+            &report_hash,
+        )?;
+        self.write_atomic(
+            &self.unit_ref_path(spec_hash),
+            report_hash.as_bytes(),
+            spec_hash,
+        )?;
         Ok(report_hash)
     }
 
-    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+    /// Atomic write with bounded retries: a torn or failing write (real
+    /// or injected) costs a retry, never a half-written entry — the
+    /// rename only happens after a complete temp file landed.
+    fn write_atomic(&self, path: &Path, bytes: &[u8], key: &str) -> io::Result<()> {
         let tmp = path.with_extension("tmp");
-        fs::write(&tmp, bytes)?;
-        fs::rename(&tmp, path)
+        let mut last_err = io::Error::other("no write attempt made");
+        for _attempt in 0..IO_ATTEMPTS {
+            if let Some(chaos) = &self.chaos {
+                if chaos.fire(ChaosSite::CacheWriteTorn, key) {
+                    // A torn write: partial bytes land in the temp file,
+                    // the write "fails", and — crucially — no rename
+                    // happens, so the store stays consistent.
+                    let _ = fs::write(&tmp, &bytes[..bytes.len() / 2]);
+                    last_err =
+                        io::Error::new(io::ErrorKind::Interrupted, "chaos: torn cache write");
+                    continue;
+                }
+            }
+            match fs::write(&tmp, bytes).and_then(|_| fs::rename(&tmp, path)) {
+                Ok(()) => return Ok(()),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+                    last_err = e;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err)
     }
 }
 
@@ -121,6 +313,7 @@ pub fn is_sha256_hex(s: &str) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rsls_chaos::ChaosPlan;
     use rsls_core::report::RunReport;
 
     fn report() -> RunReport {
@@ -199,25 +392,35 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_entries_are_misses() {
+    fn corrupt_entries_are_quarantined_not_served() {
         let dir = tmp_dir("corrupt");
         let cache = ResultCache::open(&dir).unwrap();
         assert!(cache.load("missing").is_none());
+        assert!(matches!(cache.lookup("missing"), Lookup::Miss));
 
         // Truncated object: pointer resolves but the bytes no longer
-        // hash to the object name.
+        // hash to the object name → corruption, detected and quarantined.
         let h = cache.store("t1", &report()).unwrap();
         let path = cache.object_path(&h);
         let bytes = fs::read(&path).unwrap();
         fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
         assert!(
-            cache.load("t1").is_none(),
-            "truncated object must be a miss"
+            matches!(cache.lookup("t1"), Lookup::Corrupt { ref report_hash } if *report_hash == h),
+            "truncated object must be detected as corrupt"
         );
+        assert!(!path.exists(), "corrupt object is moved out of objects/");
         assert!(
-            cache.load_object(&h).is_none(),
-            "tampered object is never served"
+            cache.quarantine_path(&h).exists(),
+            "corrupt object lands in quarantine/"
         );
+        assert_eq!(cache.quarantined_total(), 1);
+        // After quarantine the entry is a plain (dangling-ref) miss, and
+        // a tampered object is never served.
+        assert!(matches!(cache.lookup("t1"), Lookup::Miss));
+        assert!(cache.load_object(&h).is_none());
+        // Re-storing heals the entry.
+        cache.store("t1", &report()).unwrap();
+        assert!(matches!(cache.lookup("t1"), Lookup::Hit(_)));
 
         // Garbage pointer.
         fs::write(cache.unit_ref_path("t2"), b"not a hash").unwrap();
@@ -226,6 +429,63 @@ mod tests {
         // Pointer to a missing object.
         fs::write(cache.unit_ref_path("t3"), "a".repeat(64)).unwrap();
         assert!(cache.load("t3").is_none(), "dangling ref must be a miss");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn transient_read_errors_are_retried_transparently() {
+        let dir = tmp_dir("transient");
+        // Read errors always fire, but budgeted to fewer than the retry
+        // bound: the read must succeed on a later attempt.
+        let mut plan = ChaosPlan::quiet(5);
+        plan.cache_read_error_permille = 1000;
+        plan.max_faults_per_site = 2;
+        let injector = Arc::new(ChaosInjector::new(plan));
+        let cache = ResultCache::open_chaotic(&dir, Some(Arc::clone(&injector))).unwrap();
+        cache.store("u", &report()).unwrap();
+        assert!(matches!(cache.lookup("u"), Lookup::Hit(_)));
+        assert_eq!(injector.fired(ChaosSite::CacheReadError), 2);
+        assert_eq!(cache.quarantined_total(), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_corruption_quarantines_and_reheals() {
+        let dir = tmp_dir("chaos-corrupt");
+        let mut plan = ChaosPlan::quiet(6);
+        plan.cache_corrupt_permille = 1000;
+        plan.max_faults_per_site = 1;
+        let injector = Arc::new(ChaosInjector::new(plan));
+        let cache = ResultCache::open_chaotic(&dir, Some(injector)).unwrap();
+        let h = cache.store("u", &report()).unwrap();
+        assert!(
+            matches!(cache.lookup("u"), Lookup::Corrupt { .. }),
+            "injected read corruption must be detected"
+        );
+        assert_eq!(cache.quarantined_total(), 1);
+        // Budget exhausted: the re-store + re-read path is clean again.
+        let h2 = cache.store("u", &report()).unwrap();
+        assert_eq!(h, h2);
+        assert!(matches!(cache.lookup("u"), Lookup::Hit(_)));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_writes_are_retried_to_a_consistent_store() {
+        let dir = tmp_dir("torn-write");
+        let mut plan = ChaosPlan::quiet(7);
+        plan.cache_write_torn_permille = 1000;
+        plan.max_faults_per_site = 2;
+        let injector = Arc::new(ChaosInjector::new(plan));
+        let cache = ResultCache::open_chaotic(&dir, Some(injector)).unwrap();
+        let h = cache.store("u", &report()).unwrap();
+        let bytes = fs::read(cache.object_path(&h)).unwrap();
+        assert_eq!(
+            rsls_core::sha256_hex(&bytes),
+            h,
+            "after torn-write retries the landed object is complete"
+        );
+        assert!(matches!(cache.lookup("u"), Lookup::Hit(_)));
         let _ = fs::remove_dir_all(&dir);
     }
 

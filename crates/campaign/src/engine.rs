@@ -5,11 +5,12 @@ use std::io;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use rsls_chaos::{ChaosInjector, ChaosSite};
 use rsls_core::RunReport;
 
-use crate::cache::ResultCache;
+use crate::cache::{Lookup, ResultCache};
 use crate::journal::{Journal, JournalEvent};
 use crate::spec::UnitSpec;
 
@@ -38,6 +39,23 @@ pub struct EngineOptions {
     /// the first panic). Retries target transient environmental
     /// failures; a deterministically panicking unit fails all attempts.
     pub retries: usize,
+    /// Base delay before the first re-attempt. Subsequent re-attempts
+    /// double it (deterministic capped exponential backoff, no jitter):
+    /// attempt `k` waits `min(base << (k-1), cap)`.
+    pub retry_backoff_ms: u64,
+    /// Ceiling on the per-attempt backoff delay.
+    pub retry_backoff_cap_ms: u64,
+    /// Consecutive hard unit failures (all attempts exhausted) within
+    /// one experiment that open its circuit breaker; once open, that
+    /// experiment's remaining units are marked [`UnitStatus::Degraded`]
+    /// without running, so one broken experiment cannot burn the whole
+    /// campaign's retry budget or poison the worker pool. 0 disables
+    /// the breaker. A success resets the failure streak.
+    pub circuit_threshold: usize,
+    /// Infrastructure fault injector threaded through the cache,
+    /// journal, and unit execution. `None` (the default) injects
+    /// nothing.
+    pub chaos: Option<Arc<ChaosInjector>>,
 }
 
 impl Default for EngineOptions {
@@ -49,6 +67,10 @@ impl Default for EngineOptions {
             resume: false,
             journal_path: None,
             retries: 0,
+            retry_backoff_ms: 25,
+            retry_backoff_cap_ms: 1000,
+            circuit_threshold: 5,
+            chaos: None,
         }
     }
 }
@@ -62,6 +84,9 @@ pub enum UnitStatus {
     Cached,
     /// Panicked or did not produce a report.
     Failed,
+    /// Skipped behind an open circuit breaker: not run, not failed on
+    /// its own merits. Degraded units re-run on `--resume`.
+    Degraded,
 }
 
 /// Result of one unit, in the order the specs were submitted.
@@ -71,14 +96,15 @@ pub struct UnitOutcome {
     pub name: String,
     /// Content address of the spec.
     pub hash: String,
-    /// The run's report; `None` iff the unit failed.
+    /// The run's report; `None` iff the unit failed or was degraded.
     pub report: Option<RunReport>,
     /// How the outcome was obtained.
     pub status: UnitStatus,
     /// Wall-clock seconds spent on this unit in this campaign (cache
     /// hits report the lookup time, i.e. ~0).
     pub wall_s: f64,
-    /// Panic payload of the last attempt, for failed units.
+    /// Panic payload of the last attempt (failed units) or the skip
+    /// reason (degraded units).
     pub error: Option<String>,
 }
 
@@ -93,10 +119,21 @@ pub struct CampaignSummary {
     pub cache_hits: usize,
     /// Units that failed every attempt.
     pub failed: usize,
+    /// Units skipped behind an open circuit breaker.
+    pub degraded: usize,
     /// Cache hits that were *coalesced*: the unit arrived while an
     /// identical unit (same content address) was already executing, so
     /// it waited for that computation instead of starting its own.
     pub coalesced: usize,
+    /// Unit re-attempts after a panic (each retry counts once).
+    pub retries: usize,
+    /// Cache entries that failed verification during lookup and were
+    /// detected (journaled, quarantined) instead of silently missing.
+    pub corrupt_detected: usize,
+    /// Cache objects moved to `quarantine/` after failing verification.
+    pub quarantined: u64,
+    /// Experiments whose circuit breaker is currently open.
+    pub circuits_open: usize,
     /// Wall-clock seconds summed over units (not elapsed time; with
     /// `jobs > 1` units overlap).
     pub unit_wall_s: f64,
@@ -136,6 +173,9 @@ pub struct Engine {
     /// gauge (`rsls-serve` exports it; tests use it to observe that a
     /// duplicate submission really did coalesce).
     waiters: AtomicUsize,
+    /// Per-experiment circuit breakers (consecutive-hard-failure
+    /// streaks), keyed by experiment name.
+    circuits: Mutex<BTreeMap<String, Circuit>>,
 }
 
 /// Completion latch for one in-flight content address.
@@ -145,13 +185,23 @@ struct Flight {
     cv: Condvar,
 }
 
+/// Consecutive-hard-failure state for one experiment.
+#[derive(Debug, Default, Clone, Copy)]
+struct Circuit {
+    consecutive_failures: usize,
+    open: bool,
+}
+
 #[derive(Debug, Default)]
 struct Stats {
     total: AtomicUsize,
     executed: AtomicUsize,
     cache_hits: AtomicUsize,
     failed: AtomicUsize,
+    degraded: AtomicUsize,
     coalesced: AtomicUsize,
+    retries: AtomicUsize,
+    corrupt_detected: AtomicUsize,
     unit_wall_us: AtomicUsize,
 }
 
@@ -166,13 +216,19 @@ impl Engine {
     /// Builds an engine, opening the cache and journal as configured.
     pub fn new(opts: EngineOptions) -> io::Result<Self> {
         let cache = if opts.use_cache {
-            Some(ResultCache::open(&opts.cache_dir)?)
+            Some(ResultCache::open_chaotic(
+                &opts.cache_dir,
+                opts.chaos.clone(),
+            )?)
         } else {
             None
         };
         let journal = match &opts.journal_path {
-            Some(path) if opts.resume => Some(Journal::open(path)?),
-            Some(path) => Some(Journal::create(path)?),
+            Some(path) => Some(Journal::open_chaotic(
+                path,
+                !opts.resume,
+                opts.chaos.clone(),
+            )?),
             None => None,
         };
         let pool = rayon::ThreadPoolBuilder::new()
@@ -188,6 +244,7 @@ impl Engine {
             records: Mutex::new(Vec::new()),
             in_flight: Mutex::new(BTreeMap::new()),
             waiters: AtomicUsize::new(0),
+            circuits: Mutex::new(BTreeMap::new()),
         })
     }
 
@@ -214,13 +271,18 @@ impl Engine {
 
     /// Executes `units`, returning outcomes in submission order.
     ///
-    /// Per unit: consult the cache (hit → done), coalesce onto an
+    /// Per unit: consult the cache (hit → done; a corrupt entry is
+    /// quarantined, journaled, and recomputed), coalesce onto an
     /// already-executing unit with the same content address (its report
     /// is served from the cache when the leader finishes), else run
-    /// `runner` under `catch_unwind` (with up to `retries` re-attempts
-    /// on panic), store the report, and journal the transition. A
-    /// failed unit is isolated: it is recorded and the rest of the
-    /// campaign completes normally.
+    /// `runner` under `catch_unwind` with up to `retries` re-attempts
+    /// under deterministic capped exponential backoff, store the
+    /// report, and journal the transition. A failed unit is isolated:
+    /// it is recorded and the rest of the campaign completes normally —
+    /// unless its experiment accumulates `circuit_threshold`
+    /// consecutive hard failures, at which point the experiment's
+    /// breaker opens and its remaining units are marked
+    /// [`UnitStatus::Degraded`] without running.
     pub fn run_units<F>(&self, units: &[UnitSpec], runner: F) -> Vec<UnitOutcome>
     where
         F: Fn(&UnitSpec) -> RunReport + Sync,
@@ -245,6 +307,7 @@ impl Engine {
                 UnitStatus::Executed => &self.stats.executed,
                 UnitStatus::Cached => &self.stats.cache_hits,
                 UnitStatus::Failed => &self.stats.failed,
+                UnitStatus::Degraded => &self.stats.degraded,
             };
             counter.fetch_add(1, Ordering::Relaxed);
             self.stats
@@ -267,9 +330,16 @@ impl Engine {
         let start = Instant::now();
 
         // Cache consultation covers both plain re-runs and --resume: a
-        // completed unit's report loads from its content address; a
-        // corrupt or truncated entry is a miss and the unit re-runs.
+        // completed unit's report loads from its content address. A
+        // corrupt entry is *detected* — quarantined by the cache,
+        // journaled and counted here — and the unit re-runs.
         if let Some(outcome) = self.cached_outcome(hash, &name, &start) {
+            return outcome;
+        }
+
+        // Circuit check after the cache: cached results stay servable
+        // even for an experiment whose breaker is open.
+        if let Some(outcome) = self.degraded_outcome(spec, hash, &name, &start) {
             return outcome;
         }
 
@@ -310,20 +380,46 @@ impl Engine {
         // panic escaping the attempts below.
         let _lead = FlightGuard { engine: self, hash };
 
+        // The breaker may have opened while this thread queued for
+        // leadership; re-check so a tripped experiment stops promptly.
+        if let Some(outcome) = self.degraded_outcome(spec, hash, &name, &start) {
+            return outcome;
+        }
+
         self.journal_record(&JournalEvent::Start {
             hash: hash.to_string(),
             unit: name.clone(),
         });
 
+        let chaos = self.opts.chaos.as_deref();
         let mut last_error = String::new();
-        for _attempt in 0..=self.opts.retries {
-            match panic::catch_unwind(AssertUnwindSafe(|| runner(spec))) {
+        for attempt in 0..=self.opts.retries {
+            if attempt > 0 {
+                self.stats.retries.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(self.backoff_delay(attempt));
+            }
+            let attempt_key = format!("{hash}:{attempt}");
+            let result = panic::catch_unwind(AssertUnwindSafe(|| {
+                if let Some(chaos) = chaos {
+                    if chaos.fire(ChaosSite::UnitPanic, &attempt_key) {
+                        // rsls-lint: allow(no-unwrap) -- an injected crash must be a real panic; the catch_unwind above is the isolation layer under test
+                        panic!("chaos: injected unit panic");
+                    }
+                    if chaos.fire(ChaosSite::UnitTransient, &attempt_key) {
+                        // rsls-lint: allow(no-unwrap) -- an injected crash must be a real panic; the catch_unwind above is the isolation layer under test
+                        panic!("chaos: injected transient unit failure");
+                    }
+                }
+                runner(spec)
+            }));
+            match result {
                 Ok(report) => {
                     if let Some(cache) = &self.cache {
                         if let Err(e) = cache.store(hash, &report) {
                             eprintln!("warning: failed to cache {name}: {e}");
                         }
                     }
+                    self.record_unit_success(&spec.experiment);
                     let wall_s = start.elapsed().as_secs_f64();
                     self.journal_record(&JournalEvent::Done {
                         hash: hash.to_string(),
@@ -347,6 +443,7 @@ impl Engine {
             }
         }
 
+        self.record_unit_failure(&spec.experiment);
         self.journal_record(&JournalEvent::Failed {
             hash: hash.to_string(),
             unit: name.clone(),
@@ -362,18 +459,114 @@ impl Engine {
         }
     }
 
+    /// Deterministic capped exponential backoff before re-attempt
+    /// `attempt` (1-based): `min(base << (attempt-1), cap)`. No jitter —
+    /// reproducibility beats thundering-herd avoidance in a
+    /// single-process campaign.
+    fn backoff_delay(&self, attempt: usize) -> Duration {
+        let base = self.opts.retry_backoff_ms;
+        let shifted = base
+            .checked_shl((attempt - 1).min(63) as u32)
+            .unwrap_or(u64::MAX);
+        Duration::from_millis(shifted.min(self.opts.retry_backoff_cap_ms))
+    }
+
     /// A [`UnitStatus::Cached`] outcome for `hash`, if the cache holds a
-    /// valid report for it.
+    /// valid report for it. Detected corruption is journaled and
+    /// counted — never a silent miss.
     fn cached_outcome(&self, hash: &str, name: &str, start: &Instant) -> Option<UnitOutcome> {
-        let report = self.cache.as_ref()?.load(hash)?;
+        match self.cache.as_ref()?.lookup(hash) {
+            Lookup::Hit(report) => Some(UnitOutcome {
+                name: name.to_string(),
+                hash: hash.to_string(),
+                report: Some(report),
+                status: UnitStatus::Cached,
+                wall_s: start.elapsed().as_secs_f64(),
+                error: None,
+            }),
+            Lookup::Miss => None,
+            Lookup::Corrupt { report_hash } => {
+                self.stats.corrupt_detected.fetch_add(1, Ordering::Relaxed);
+                self.journal_record(&JournalEvent::CacheCorrupt {
+                    hash: hash.to_string(),
+                    unit: name.to_string(),
+                    object: report_hash,
+                });
+                None
+            }
+        }
+    }
+
+    /// A [`UnitStatus::Degraded`] outcome if this unit's experiment has
+    /// an open circuit breaker; `None` otherwise.
+    fn degraded_outcome(
+        &self,
+        spec: &UnitSpec,
+        hash: &str,
+        name: &str,
+        start: &Instant,
+    ) -> Option<UnitOutcome> {
+        if self.opts.circuit_threshold == 0 {
+            return None;
+        }
+        let open = self
+            .circuits
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&spec.experiment)
+            .is_some_and(|c| c.open);
+        if !open {
+            return None;
+        }
+        let reason = format!(
+            "circuit open for experiment `{}` after {} consecutive hard failures",
+            spec.experiment, self.opts.circuit_threshold
+        );
+        self.journal_record(&JournalEvent::Degraded {
+            hash: hash.to_string(),
+            unit: name.to_string(),
+            reason: reason.clone(),
+        });
         Some(UnitOutcome {
             name: name.to_string(),
             hash: hash.to_string(),
-            report: Some(report),
-            status: UnitStatus::Cached,
+            report: None,
+            status: UnitStatus::Degraded,
             wall_s: start.elapsed().as_secs_f64(),
-            error: None,
+            error: Some(reason),
         })
+    }
+
+    /// Resets the experiment's consecutive-failure streak (the breaker
+    /// only opens on an *unbroken* run of hard failures).
+    fn record_unit_success(&self, experiment: &str) {
+        if self.opts.circuit_threshold == 0 {
+            return;
+        }
+        let mut circuits = self.circuits.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(c) = circuits.get_mut(experiment) {
+            if !c.open {
+                c.consecutive_failures = 0;
+            }
+        }
+    }
+
+    /// Counts one hard failure against the experiment's breaker, opening
+    /// it at the configured threshold.
+    fn record_unit_failure(&self, experiment: &str) {
+        if self.opts.circuit_threshold == 0 {
+            return;
+        }
+        let mut circuits = self.circuits.lock().unwrap_or_else(PoisonError::into_inner);
+        let c = circuits.entry(experiment.to_string()).or_default();
+        c.consecutive_failures += 1;
+        if c.consecutive_failures >= self.opts.circuit_threshold && !c.open {
+            c.open = true;
+            eprintln!(
+                "warning: circuit opened for experiment `{experiment}` after {} consecutive hard failures; remaining units will be degraded",
+                c.consecutive_failures
+            );
+        }
     }
 
     fn journal_record(&self, event: &JournalEvent) {
@@ -386,18 +579,34 @@ impl Engine {
 
     /// Totals accumulated across every `run_units` call so far.
     pub fn summary(&self) -> CampaignSummary {
+        let circuits_open = self
+            .circuits
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .values()
+            .filter(|c| c.open)
+            .count();
         CampaignSummary {
             total: self.stats.total.load(Ordering::Relaxed),
             executed: self.stats.executed.load(Ordering::Relaxed),
             cache_hits: self.stats.cache_hits.load(Ordering::Relaxed),
             failed: self.stats.failed.load(Ordering::Relaxed),
+            degraded: self.stats.degraded.load(Ordering::Relaxed),
             coalesced: self.stats.coalesced.load(Ordering::Relaxed),
+            retries: self.stats.retries.load(Ordering::Relaxed),
+            corrupt_detected: self.stats.corrupt_detected.load(Ordering::Relaxed),
+            quarantined: self
+                .cache
+                .as_ref()
+                .map_or(0, ResultCache::quarantined_total),
+            circuits_open,
             unit_wall_s: self.stats.unit_wall_us.load(Ordering::Relaxed) as f64 / 1e6,
         }
     }
 
     /// Renders the campaign summary table: one row per unit (slowest
-    /// first), then the totals line.
+    /// first), then the totals line (and a resilience line when any
+    /// retry/quarantine/degradation happened).
     pub fn summary_table(&self) -> String {
         let mut records = self
             .records
@@ -415,6 +624,7 @@ impl Engine {
                 UnitStatus::Executed => "ran",
                 UnitStatus::Cached => "cached",
                 UnitStatus::Failed => "FAILED",
+                UnitStatus::Degraded => "DEGRADED",
             };
             out.push_str(&format!(
                 "{:<44} {:>9} {:>10.3}\n",
@@ -432,6 +642,12 @@ impl Engine {
             s.failed,
             s.unit_wall_s,
         ));
+        if s.retries + s.corrupt_detected + s.degraded + s.circuits_open > 0 || s.quarantined > 0 {
+            out.push_str(&format!(
+                "resilience: {} retries, {} corrupt cache entries detected, {} quarantined, {} degraded units, {} circuits open\n",
+                s.retries, s.corrupt_detected, s.quarantined, s.degraded, s.circuits_open,
+            ));
+        }
         out
     }
 }

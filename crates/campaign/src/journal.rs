@@ -6,20 +6,28 @@
 //! {"event":"start","hash":"ab12…","unit":"fig5/crystm02/FF"}
 //! {"event":"done","hash":"ab12…","unit":"fig5/crystm02/FF","wall_s":0.84}
 //! {"event":"failed","hash":"cd34…","unit":"fig5/crystm02/CR-D","error":"…"}
+//! {"event":"cache-corrupt","hash":"ab12…","unit":"…","object":"ef56…"}
+//! {"event":"degraded","hash":"cd34…","unit":"…","reason":"circuit open …"}
 //! ```
 //!
 //! The format is crash-tolerant by construction: a campaign killed
-//! mid-write leaves at most one truncated trailing line, which the
-//! reader skips. On `--resume`, units whose hash has a `done` record
-//! are skipped (their reports come from the cache); units with only a
-//! `start` — i.e. in flight when the process died — re-run.
+//! mid-write leaves at most one truncated trailing line. The reader
+//! skips unparsable lines, and re-opening a journal for `--resume`
+//! additionally **repairs** a torn tail by truncating the file back to
+//! its last complete line — so the next append starts on a clean line
+//! boundary instead of gluing onto half a record. On `--resume`, units
+//! whose hash has a `done` record are skipped (their reports come from
+//! the cache); units with only a `start` — i.e. in flight when the
+//! process died — re-run. A `degraded` unit (skipped behind an open
+//! circuit breaker) is *not* done and also re-runs.
 
 use std::collections::BTreeSet;
-use std::fs::{File, OpenOptions};
+use std::fs::{self, File, OpenOptions};
 use std::io::{self, BufRead, BufReader, Write};
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
+use rsls_chaos::{ChaosInjector, ChaosSite};
 use serde_json::Value;
 
 /// One journal record.
@@ -50,6 +58,26 @@ pub enum JournalEvent {
         /// Panic payload or error description.
         error: String,
     },
+    /// A cached entry for this unit failed verification and was
+    /// quarantined; the unit recomputed instead of silently missing.
+    CacheCorrupt {
+        /// Unit content hash.
+        hash: String,
+        /// Qualified unit name.
+        unit: String,
+        /// Hash of the quarantined report object.
+        object: String,
+    },
+    /// The unit was skipped behind an open circuit breaker; it did not
+    /// run and is not done.
+    Degraded {
+        /// Unit content hash.
+        hash: String,
+        /// Qualified unit name.
+        unit: String,
+        /// Why the unit was degraded (which circuit, what tripped it).
+        reason: String,
+    },
 }
 
 impl JournalEvent {
@@ -58,7 +86,9 @@ impl JournalEvent {
         match self {
             JournalEvent::Start { unit, .. }
             | JournalEvent::Done { unit, .. }
-            | JournalEvent::Failed { unit, .. } => unit,
+            | JournalEvent::Failed { unit, .. }
+            | JournalEvent::CacheCorrupt { unit, .. }
+            | JournalEvent::Degraded { unit, .. } => unit,
         }
     }
 
@@ -95,36 +125,77 @@ impl JournalEvent {
                 ("unit", Value::Str(unit.clone())),
                 ("error", Value::Str(error.clone())),
             ]),
+            JournalEvent::CacheCorrupt { hash, unit, object } => obj(&[
+                ("event", Value::Str("cache-corrupt".into())),
+                ("hash", Value::Str(hash.clone())),
+                ("unit", Value::Str(unit.clone())),
+                ("object", Value::Str(object.clone())),
+            ]),
+            JournalEvent::Degraded { hash, unit, reason } => obj(&[
+                ("event", Value::Str("degraded".into())),
+                ("hash", Value::Str(hash.clone())),
+                ("unit", Value::Str(unit.clone())),
+                ("reason", Value::Str(reason.clone())),
+            ]),
         }
     }
+}
+
+/// Appender state behind the journal mutex. The `torn` flag marks that
+/// the previous (chaos-injected) append stopped mid-line, so the next
+/// append must restore line framing first.
+#[derive(Debug)]
+struct Appender {
+    file: File,
+    torn: bool,
 }
 
 /// Thread-safe appender for the campaign journal.
 #[derive(Debug)]
 pub struct Journal {
     path: PathBuf,
-    file: Mutex<File>,
+    appender: Mutex<Appender>,
+    chaos: Option<Arc<ChaosInjector>>,
 }
 
 impl Journal {
     /// Opens `path` for appending, creating it (and parent directories)
-    /// if needed. Existing records are preserved — this is the `--resume`
-    /// mode; a fresh campaign uses [`Journal::create`].
+    /// if needed. Existing records are preserved and a torn trailing
+    /// line — a crash mid-append — is repaired first (truncated back to
+    /// the last complete line). This is the `--resume` mode; a fresh
+    /// campaign uses [`Journal::create`].
     pub fn open(path: impl Into<PathBuf>) -> io::Result<Self> {
-        Self::open_with(path, false)
+        Self::open_with(path, false, None)
     }
 
     /// Starts a fresh journal at `path`, discarding any previous one.
     pub fn create(path: impl Into<PathBuf>) -> io::Result<Self> {
-        Self::open_with(path, true)
+        Self::open_with(path, true, None)
     }
 
-    fn open_with(path: impl Into<PathBuf>, truncate: bool) -> io::Result<Self> {
+    /// [`Journal::open`] / [`Journal::create`] with a chaos injector
+    /// wired into the append path (torn trailing appends).
+    pub fn open_chaotic(
+        path: impl Into<PathBuf>,
+        truncate: bool,
+        chaos: Option<Arc<ChaosInjector>>,
+    ) -> io::Result<Self> {
+        Self::open_with(path, truncate, chaos)
+    }
+
+    fn open_with(
+        path: impl Into<PathBuf>,
+        truncate: bool,
+        chaos: Option<Arc<ChaosInjector>>,
+    ) -> io::Result<Self> {
         let path = path.into();
         if let Some(parent) = path.parent() {
             if !parent.as_os_str().is_empty() {
-                std::fs::create_dir_all(parent)?;
+                fs::create_dir_all(parent)?;
             }
+        }
+        if !truncate {
+            Self::repair_torn_tail(&path)?;
         }
         let mut options = OpenOptions::new();
         options.create(true);
@@ -136,8 +207,36 @@ impl Journal {
         let file = options.open(&path)?;
         Ok(Journal {
             path,
-            file: Mutex::new(file),
+            appender: Mutex::new(Appender { file, torn: false }),
+            chaos,
         })
+    }
+
+    /// Truncates a journal whose final line has no trailing newline —
+    /// the signature of a crash (or injected tear) mid-append — back to
+    /// its last complete line, returning how many bytes were trimmed.
+    /// A missing, empty, or cleanly terminated journal is left alone.
+    pub fn repair_torn_tail(path: impl AsRef<Path>) -> io::Result<u64> {
+        let path = path.as_ref();
+        let bytes = match fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(0),
+            Err(e) => return Err(e),
+        };
+        if bytes.is_empty() || bytes.ends_with(b"\n") {
+            return Ok(0);
+        }
+        let keep = bytes
+            .iter()
+            .rposition(|&b| b == b'\n')
+            .map(|i| i + 1)
+            .unwrap_or(0);
+        let trimmed = (bytes.len() - keep) as u64;
+        OpenOptions::new()
+            .write(true)
+            .open(path)?
+            .set_len(keep as u64)?;
+        Ok(trimmed)
     }
 
     /// The journal file path.
@@ -152,16 +251,36 @@ impl Journal {
     /// writer that panicked mid-append — the caller decides whether a
     /// lost journal record is fatal (the engine logs and continues).
     pub fn record(&self, event: &JournalEvent) -> io::Result<()> {
-        let mut line = event.to_line()?;
-        line.push('\n');
-        let mut file = self.file.lock().map_err(|_| {
+        let line = event.to_line()?;
+        let mut appender = self.appender.lock().map_err(|_| {
             io::Error::other(format!(
                 "journal {} is poisoned: a writer panicked while appending",
                 self.path.display()
             ))
         })?;
-        file.write_all(line.as_bytes())?;
-        file.flush()
+        if appender.torn {
+            // The previous (injected) append stopped mid-line. Restore
+            // line framing so the file stays parseable: the torn record
+            // is lost — exactly as after a real crash — but no later
+            // record is glued onto its remains.
+            appender.file.write_all(b"\n")?;
+            appender.torn = false;
+        }
+        if let Some(chaos) = &self.chaos {
+            if chaos.fire(ChaosSite::JournalTorn, &line) {
+                // A torn append: half the record lands, no newline, and
+                // the writer "crashes" silently from the journal's point
+                // of view. The record is lost; resume must tolerate it.
+                let half = &line.as_bytes()[..line.len() / 2];
+                appender.file.write_all(half)?;
+                appender.file.flush()?;
+                appender.torn = true;
+                return Ok(());
+            }
+        }
+        appender.file.write_all(line.as_bytes())?;
+        appender.file.write_all(b"\n")?;
+        appender.file.flush()
     }
 
     /// Reads the set of unit hashes recorded `done` in the journal at
@@ -202,6 +321,7 @@ impl Journal {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rsls_chaos::ChaosPlan;
 
     fn tmp_path(tag: &str) -> PathBuf {
         std::env::temp_dir().join(format!(
@@ -237,10 +357,23 @@ mod tests {
             error: "boom".into(),
         })
         .unwrap();
+        j.record(&JournalEvent::Degraded {
+            hash: "h4".into(),
+            unit: "e/u4".into(),
+            reason: "circuit open".into(),
+        })
+        .unwrap();
+        j.record(&JournalEvent::CacheCorrupt {
+            hash: "h1".into(),
+            unit: "e/u1".into(),
+            object: "o".repeat(64),
+        })
+        .unwrap();
         let done = Journal::completed_hashes(&path).unwrap();
         assert!(done.contains("h1"));
         assert!(!done.contains("h2"), "started-but-unfinished is not done");
         assert!(!done.contains("h3"), "failed is not done");
+        assert!(!done.contains("h4"), "degraded is not done");
         let _ = std::fs::remove_file(&path);
     }
 
@@ -267,8 +400,78 @@ mod tests {
     }
 
     #[test]
+    fn resume_repairs_a_torn_tail() {
+        let path = tmp_path("repair");
+        let _ = std::fs::remove_file(&path);
+        let j = Journal::open(&path).unwrap();
+        j.record(&JournalEvent::Done {
+            hash: "ok".into(),
+            unit: "e/u".into(),
+            wall_s: 1.0,
+        })
+        .unwrap();
+        drop(j);
+        let clean_len = fs::metadata(&path).unwrap().len();
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"event\":\"start\",\"ha").unwrap();
+        drop(f);
+
+        // Re-opening for resume truncates back to the last complete line…
+        let j = Journal::open(&path).unwrap();
+        assert_eq!(fs::metadata(&path).unwrap().len(), clean_len);
+        // …and the next append lands on a clean line boundary.
+        j.record(&JournalEvent::Done {
+            hash: "next".into(),
+            unit: "e/v".into(),
+            wall_s: 2.0,
+        })
+        .unwrap();
+        drop(j);
+        let done = Journal::completed_hashes(&path).unwrap();
+        assert!(done.contains("ok"));
+        assert!(done.contains("next"));
+        assert_eq!(done.len(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn injected_torn_append_loses_only_that_record() {
+        let path = tmp_path("chaos-torn");
+        let _ = std::fs::remove_file(&path);
+        // The first append tears (budget 1); later appends must restore
+        // framing so only the torn record is lost.
+        let mut plan = ChaosPlan::quiet(13);
+        plan.journal_torn_permille = 1000;
+        plan.max_faults_per_site = 1;
+        let injector = Arc::new(ChaosInjector::new(plan));
+        let j = Journal::open_chaotic(&path, true, Some(Arc::clone(&injector))).unwrap();
+        j.record(&JournalEvent::Done {
+            hash: "lost".into(),
+            unit: "e/u1".into(),
+            wall_s: 1.0,
+        })
+        .unwrap();
+        j.record(&JournalEvent::Done {
+            hash: "kept".into(),
+            unit: "e/u2".into(),
+            wall_s: 1.0,
+        })
+        .unwrap();
+        drop(j);
+        assert_eq!(injector.fired(ChaosSite::JournalTorn), 1);
+        let done = Journal::completed_hashes(&path).unwrap();
+        assert!(!done.contains("lost"), "torn record is lost, like a crash");
+        assert!(done.contains("kept"), "later records survive intact");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
     fn missing_journal_is_empty() {
         let done = Journal::completed_hashes("/definitely/not/a/real/path.jsonl").unwrap();
         assert!(done.is_empty());
+        assert_eq!(
+            Journal::repair_torn_tail("/definitely/not/a/real/path.jsonl").unwrap(),
+            0
+        );
     }
 }

@@ -20,20 +20,33 @@
 //!   `rsls-serve`'s `ETag` responses rely on). Because the driver is
 //!   deterministic and the serialization byte-stable, re-running a
 //!   campaign re-reads identical bytes: a full re-run is 100% cache
-//!   hits and zero solver work. Corrupt or truncated entries are
-//!   misses, never errors.
+//!   hits and zero solver work. The store is **self-healing**: every
+//!   read re-verifies the object's SHA-256 against its filename, and a
+//!   mismatch quarantines the object, journals a `cache-corrupt`
+//!   record, and recomputes — detected, never a silent miss and never
+//!   an error.
 //! * **Journaled resume.** A JSONL journal ([`Journal`]) records every
 //!   unit `start`/`done`/`failed`. A killed campaign restarted with
-//!   resume re-executes only the units that never finished — finished
-//!   ones load from the cache by content address.
+//!   resume repairs a torn trailing record (truncating back to the
+//!   last complete line) and re-executes only the units that never
+//!   finished — finished ones load from the cache by content address.
 //! * **In-flight coalescing.** A unit submitted while an identical one
 //!   (same content address) is already executing parks on its latch
 //!   and is served the leader's cached report — concurrent callers
 //!   (e.g. duplicate `rsls-serve` requests) cost one computation.
 //! * **Failure isolation.** A unit that panics (or never converges and
 //!   trips the iteration cap into an assert) is caught, recorded
-//!   `failed`, optionally retried, and the rest of the campaign
-//!   completes.
+//!   `failed`, optionally retried under deterministic capped
+//!   exponential backoff, and the rest of the campaign completes. A
+//!   per-experiment **circuit breaker** converts an unbroken streak of
+//!   hard failures into explicit `degraded` outcomes for the
+//!   experiment's remaining units, so one broken experiment cannot
+//!   burn the retry budget or poison the worker pool.
+//! * **Chaos-hardened.** The cache, journal, and unit-execution edges
+//!   accept an `rsls_chaos::ChaosInjector`
+//!   ([`EngineOptions::chaos`]); the chaos soak test asserts that a
+//!   campaign under aggressive injection produces reports
+//!   byte-identical to a fault-free run.
 //! * **Parallel and order-independent.** Units execute on a thread
 //!   pool (`jobs` workers); outcomes are collected in submission
 //!   order, and each unit's seeds travel inside its spec, so results
@@ -76,7 +89,7 @@ pub mod engine;
 pub mod journal;
 pub mod spec;
 
-pub use cache::{is_sha256_hex, ResultCache};
+pub use cache::{is_sha256_hex, Lookup, ResultCache};
 pub use engine::{CampaignSummary, Engine, EngineOptions, UnitOutcome, UnitStatus};
 pub use journal::{Journal, JournalEvent};
 pub use spec::{matrix_fingerprint, UnitSpec, ENGINE_VERSION};

@@ -65,6 +65,7 @@ fn cached_options(dir: &Path, resume: bool) -> EngineOptions {
         resume,
         journal_path: Some(dir.join("campaign.journal")),
         retries: 0,
+        ..EngineOptions::default()
     }
 }
 
@@ -315,6 +316,102 @@ fn retries_recover_a_transiently_failing_unit() {
     assert_eq!(attempts.load(Ordering::SeqCst), 2);
     assert!(out[0].report.as_ref().unwrap().converged);
 
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn circuit_breaker_degrades_experiment_without_aborting_campaign() {
+    let dir = scratch("circuit");
+    let (a, b) = workload();
+    // Six units in experiment `it` (all doomed), one in `other` (fine).
+    let mut units = specs(&a, &b, &[2, 3, 4, 5, 6, 7]);
+    let mut healthy = specs(&a, &b, &[8]);
+    healthy[0].experiment = "other".into();
+    units.append(&mut healthy);
+
+    let engine = Engine::new(EngineOptions {
+        circuit_threshold: 2,
+        ..cached_options(&dir, false)
+    })
+    .unwrap();
+    let out = engine.run_units(&units, |spec: &UnitSpec| {
+        if spec.experiment == "it" {
+            panic!("hard failure");
+        }
+        run(&a, &b, &spec.config)
+    });
+
+    // Two hard failures trip the breaker; the experiment's remaining
+    // units are explicitly degraded, never run, and the campaign still
+    // completes — including other experiments.
+    assert_eq!(out[0].status, UnitStatus::Failed);
+    assert_eq!(out[1].status, UnitStatus::Failed);
+    for o in &out[2..6] {
+        assert_eq!(o.status, UnitStatus::Degraded, "unit {}", o.name);
+        assert!(o.report.is_none());
+        assert!(o.error.as_deref().unwrap().contains("circuit open"));
+    }
+    assert_eq!(
+        out[6].status,
+        UnitStatus::Executed,
+        "an open circuit in one experiment must not block another"
+    );
+    let s = engine.summary();
+    assert_eq!(
+        (s.failed, s.degraded, s.executed, s.circuits_open),
+        (2, 4, 1, 1)
+    );
+    assert!(engine.summary_table().contains("DEGRADED"));
+    assert!(engine.summary_table().contains("circuits open"));
+
+    // Degraded units are journaled as such — and are *not* done, so a
+    // resumed campaign (fault fixed) runs them.
+    let journal_path = dir.join("campaign.journal");
+    let text = fs::read_to_string(&journal_path).unwrap();
+    assert!(text.contains("\"event\":\"degraded\""));
+    let done = Journal::completed_hashes(&journal_path).unwrap();
+    assert!(done.contains(&units[6].content_hash()));
+    assert!(!done.contains(&units[2].content_hash()));
+
+    let resumed = Engine::new(EngineOptions {
+        circuit_threshold: 2,
+        ..cached_options(&dir, true)
+    })
+    .unwrap();
+    let out = resumed.run_units(&units, |spec: &UnitSpec| run(&a, &b, &spec.config));
+    assert!(
+        out.iter().all(|o| o.report.is_some()),
+        "with the fault gone, resume completes every previously degraded unit"
+    );
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn backoff_delays_are_deterministic_and_capped() {
+    // The retry schedule is part of the reproducibility contract:
+    // base·2^(k-1), clamped. Observed indirectly — a unit failing twice
+    // with base 1ms must still succeed on the third attempt.
+    let dir = scratch("backoff");
+    let (a, b) = workload();
+    let units = specs(&a, &b, &[4]);
+    let attempts = AtomicUsize::new(0);
+    let engine = Engine::new(EngineOptions {
+        retries: 4,
+        retry_backoff_ms: 1,
+        retry_backoff_cap_ms: 2,
+        ..cached_options(&dir, false)
+    })
+    .unwrap();
+    let out = engine.run_units(&units, |spec: &UnitSpec| {
+        if attempts.fetch_add(1, Ordering::SeqCst) < 2 {
+            panic!("transient");
+        }
+        run(&a, &b, &spec.config)
+    });
+    assert_eq!(out[0].status, UnitStatus::Executed);
+    assert_eq!(attempts.load(Ordering::SeqCst), 3);
+    assert_eq!(engine.summary().retries, 2);
     let _ = fs::remove_dir_all(&dir);
 }
 

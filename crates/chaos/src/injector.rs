@@ -1,0 +1,329 @@
+//! The injector: deterministic, seed-driven firing decisions plus the
+//! byte mutators the I/O hooks apply.
+//!
+//! Every decision hashes `(plan seed, site, per-site decision index,
+//! caller key)` through FNV-1a — no wall clock, no OS entropy — so a
+//! serial replay of the same workload under the same plan injects the
+//! *same* faults at the *same* points. Under a parallel workload the
+//! per-site decision indices depend on thread interleaving, but the
+//! decision function itself stays pure: whatever fires is still a
+//! function of the seed, and the hardened layers above must produce
+//! byte-identical results either way (the chaos soak asserts exactly
+//! that).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rsls_core::Fnv1a;
+
+use crate::plan::ChaosPlan;
+
+/// An I/O edge where the injector can fire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosSite {
+    /// Transient error while reading a cache object.
+    CacheReadError,
+    /// Bit corruption of cache object bytes on read.
+    CacheCorrupt,
+    /// Truncation of cache object bytes on read.
+    CacheTruncate,
+    /// Torn cache object write (partial bytes, then failure).
+    CacheWriteTorn,
+    /// Torn trailing journal append.
+    JournalTorn,
+    /// Injected worker panic during unit execution.
+    UnitPanic,
+    /// Injected transient unit failure.
+    UnitTransient,
+    /// Connection reset before the client reads its response.
+    ClientReset,
+    /// Garbled HTTP status line on the client connection.
+    ClientGarble,
+    /// Artificial client-side delay.
+    ClientDelay,
+}
+
+/// Number of distinct [`ChaosSite`]s.
+pub const SITE_COUNT: usize = 10;
+
+impl ChaosSite {
+    /// All sites, in stable order.
+    pub const ALL: [ChaosSite; SITE_COUNT] = [
+        ChaosSite::CacheReadError,
+        ChaosSite::CacheCorrupt,
+        ChaosSite::CacheTruncate,
+        ChaosSite::CacheWriteTorn,
+        ChaosSite::JournalTorn,
+        ChaosSite::UnitPanic,
+        ChaosSite::UnitTransient,
+        ChaosSite::ClientReset,
+        ChaosSite::ClientGarble,
+        ChaosSite::ClientDelay,
+    ];
+
+    /// Stable index of this site (counter slot and hash domain).
+    pub fn index(self) -> usize {
+        match self {
+            ChaosSite::CacheReadError => 0,
+            ChaosSite::CacheCorrupt => 1,
+            ChaosSite::CacheTruncate => 2,
+            ChaosSite::CacheWriteTorn => 3,
+            ChaosSite::JournalTorn => 4,
+            ChaosSite::UnitPanic => 5,
+            ChaosSite::UnitTransient => 6,
+            ChaosSite::ClientReset => 7,
+            ChaosSite::ClientGarble => 8,
+            ChaosSite::ClientDelay => 9,
+        }
+    }
+
+    /// Human-readable site name, for logs and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ChaosSite::CacheReadError => "cache-read-error",
+            ChaosSite::CacheCorrupt => "cache-corrupt",
+            ChaosSite::CacheTruncate => "cache-truncate",
+            ChaosSite::CacheWriteTorn => "cache-write-torn",
+            ChaosSite::JournalTorn => "journal-torn",
+            ChaosSite::UnitPanic => "unit-panic",
+            ChaosSite::UnitTransient => "unit-transient",
+            ChaosSite::ClientReset => "client-reset",
+            ChaosSite::ClientGarble => "client-garble",
+            ChaosSite::ClientDelay => "client-delay",
+        }
+    }
+}
+
+/// Threads a [`ChaosPlan`] through the infrastructure's I/O edges.
+///
+/// The injector is shared (`Arc`) between the campaign cache, journal,
+/// engine, and the service client; each edge asks [`ChaosInjector::fire`]
+/// at its decision points and applies the corresponding mutator. Per-site
+/// fired counters let tests and CI assert the faults actually happened.
+#[derive(Debug)]
+pub struct ChaosInjector {
+    plan: ChaosPlan,
+    seq: [AtomicU64; SITE_COUNT],
+    fired: [AtomicU64; SITE_COUNT],
+}
+
+impl ChaosInjector {
+    /// Builds an injector for `plan`.
+    pub fn new(plan: ChaosPlan) -> Self {
+        ChaosInjector {
+            plan,
+            seq: std::array::from_fn(|_| AtomicU64::new(0)),
+            fired: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// An injector that never fires (quiet plan, seed 0).
+    pub fn disarmed() -> Self {
+        ChaosInjector::new(ChaosPlan::quiet(0))
+    }
+
+    /// The plan driving this injector.
+    pub fn plan(&self) -> &ChaosPlan {
+        &self.plan
+    }
+
+    fn rate(&self, site: ChaosSite) -> u32 {
+        match site {
+            ChaosSite::CacheReadError => self.plan.cache_read_error_permille,
+            ChaosSite::CacheCorrupt => self.plan.cache_corrupt_permille,
+            ChaosSite::CacheTruncate => self.plan.cache_truncate_permille,
+            ChaosSite::CacheWriteTorn => self.plan.cache_write_torn_permille,
+            ChaosSite::JournalTorn => self.plan.journal_torn_permille,
+            ChaosSite::UnitPanic => self.plan.unit_panic_permille,
+            ChaosSite::UnitTransient => self.plan.unit_transient_permille,
+            ChaosSite::ClientReset => self.plan.client_reset_permille,
+            ChaosSite::ClientGarble => self.plan.client_garble_permille,
+            ChaosSite::ClientDelay => self.plan.client_delay_permille,
+        }
+    }
+
+    /// One injection decision at `site`, keyed by the caller's context
+    /// (unit hash, object hash, request path, …).
+    ///
+    /// Deterministic: the decision is a pure function of `(plan seed,
+    /// site, this site's decision index, key)`. Returns `true` when the
+    /// fault fires (and counts it against the per-site budget).
+    pub fn fire(&self, site: ChaosSite, key: &str) -> bool {
+        let rate = self.rate(site);
+        let idx = site.index();
+        let seq = self.seq[idx].fetch_add(1, Ordering::Relaxed);
+        if rate == 0 {
+            return false;
+        }
+        if self.plan.max_faults_per_site != 0
+            && self.fired[idx].load(Ordering::Relaxed) >= self.plan.max_faults_per_site
+        {
+            return false;
+        }
+        let mut h = Fnv1a::new();
+        h.update_u64(self.plan.seed);
+        h.update_u64(idx as u64);
+        h.update_u64(seq);
+        h.update(key.as_bytes());
+        let fires = h.finish() % 1000 < rate as u64;
+        if fires {
+            self.fired[idx].fetch_add(1, Ordering::Relaxed);
+        }
+        fires
+    }
+
+    /// How many faults have fired at `site`.
+    pub fn fired(&self, site: ChaosSite) -> u64 {
+        self.fired[site.index()].load(Ordering::Relaxed)
+    }
+
+    /// Total faults fired across every site.
+    pub fn total_fired(&self) -> u64 {
+        self.fired.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// One-line per-site fired summary (only armed-or-fired sites), for
+    /// end-of-campaign reporting.
+    pub fn fired_summary(&self) -> String {
+        let mut parts = Vec::new();
+        for site in ChaosSite::ALL {
+            let n = self.fired(site);
+            if n > 0 {
+                parts.push(format!("{}={n}", site.label()));
+            }
+        }
+        if parts.is_empty() {
+            "none".to_string()
+        } else {
+            parts.join(" ")
+        }
+    }
+
+    /// Flips one deterministically chosen bit of `bytes` (no-op when
+    /// empty) — the read-side corruption mutator.
+    pub fn corrupt(&self, key: &str, bytes: &mut [u8]) {
+        if bytes.is_empty() {
+            return;
+        }
+        let mut h = Fnv1a::new();
+        h.update_u64(self.plan.seed);
+        h.update(b"corrupt");
+        h.update(key.as_bytes());
+        let bit = h.finish() as usize % (bytes.len() * 8);
+        bytes[bit / 8] ^= 1 << (bit % 8);
+    }
+
+    /// Truncates `bytes` to a deterministically chosen proper prefix
+    /// (no-op when empty) — the read-side truncation mutator.
+    pub fn truncate(&self, key: &str, bytes: &mut Vec<u8>) {
+        if bytes.is_empty() {
+            return;
+        }
+        let mut h = Fnv1a::new();
+        h.update_u64(self.plan.seed);
+        h.update(b"truncate");
+        h.update(key.as_bytes());
+        let keep = h.finish() as usize % bytes.len();
+        bytes.truncate(keep);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decisions(injector: &ChaosInjector, site: ChaosSite, n: usize) -> Vec<bool> {
+        (0..n)
+            .map(|i| injector.fire(site, &format!("k{i}")))
+            .collect()
+    }
+
+    #[test]
+    fn decisions_are_deterministic_per_seed() {
+        let a = ChaosInjector::new(ChaosPlan::aggressive(7));
+        let b = ChaosInjector::new(ChaosPlan::aggressive(7));
+        let c = ChaosInjector::new(ChaosPlan::aggressive(8));
+        let da = decisions(&a, ChaosSite::UnitPanic, 200);
+        let db = decisions(&b, ChaosSite::UnitPanic, 200);
+        let dc = decisions(&c, ChaosSite::UnitPanic, 200);
+        assert_eq!(da, db, "same seed, same decisions");
+        assert_ne!(da, dc, "different seed, different decisions");
+        assert!(da.iter().any(|&f| f), "an armed site must fire sometimes");
+        assert!(
+            !da.iter().all(|&f| f),
+            "rate < 1000 must also pass sometimes"
+        );
+    }
+
+    #[test]
+    fn quiet_plan_never_fires_and_full_rate_always_fires() {
+        let quiet = ChaosInjector::disarmed();
+        assert!(!decisions(&quiet, ChaosSite::CacheCorrupt, 100)
+            .iter()
+            .any(|&f| f));
+        assert_eq!(quiet.total_fired(), 0);
+
+        let mut plan = ChaosPlan::quiet(1);
+        plan.journal_torn_permille = 1000;
+        let always = ChaosInjector::new(plan);
+        assert!(decisions(&always, ChaosSite::JournalTorn, 50)
+            .iter()
+            .all(|&f| f));
+        assert_eq!(always.fired(ChaosSite::JournalTorn), 50);
+    }
+
+    #[test]
+    fn budget_caps_fired_faults_per_site() {
+        let mut plan = ChaosPlan::quiet(3);
+        plan.unit_transient_permille = 1000;
+        plan.max_faults_per_site = 2;
+        let injector = ChaosInjector::new(plan);
+        let fired = decisions(&injector, ChaosSite::UnitTransient, 20)
+            .iter()
+            .filter(|&&f| f)
+            .count();
+        assert_eq!(fired, 2);
+        assert_eq!(injector.fired(ChaosSite::UnitTransient), 2);
+    }
+
+    #[test]
+    fn mutators_are_deterministic_and_bounded() {
+        let injector = ChaosInjector::new(ChaosPlan::aggressive(11));
+        let original = b"the quick brown fox jumps over the lazy dog".to_vec();
+
+        let mut a = original.clone();
+        let mut b = original.clone();
+        injector.corrupt("obj", &mut a);
+        injector.corrupt("obj", &mut b);
+        assert_eq!(a, b, "corruption is deterministic per key");
+        assert_ne!(a, original, "corruption changes the bytes");
+        assert_eq!(
+            a.iter().zip(&original).filter(|(x, y)| x != y).count(),
+            1,
+            "exactly one byte differs (single bit flip)"
+        );
+
+        let mut t = original.clone();
+        injector.truncate("obj", &mut t);
+        assert!(
+            t.len() < original.len(),
+            "truncation drops at least one byte"
+        );
+        assert_eq!(&original[..t.len()], &t[..], "truncation keeps a prefix");
+
+        let mut empty: Vec<u8> = Vec::new();
+        injector.corrupt("obj", &mut empty);
+        injector.truncate("obj", &mut empty);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn fired_summary_names_only_fired_sites() {
+        let injector = ChaosInjector::disarmed();
+        assert_eq!(injector.fired_summary(), "none");
+        let mut plan = ChaosPlan::quiet(2);
+        plan.cache_corrupt_permille = 1000;
+        let armed = ChaosInjector::new(plan);
+        armed.fire(ChaosSite::CacheCorrupt, "x");
+        assert_eq!(armed.fired_summary(), "cache-corrupt=1");
+    }
+}

@@ -22,9 +22,11 @@
 use std::panic::{self, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::process::Command;
+use std::sync::Arc;
 use std::time::Instant;
 
 use rsls_campaign::EngineOptions;
+use rsls_chaos::{ChaosInjector, ChaosPlan};
 use rsls_experiments::campaign;
 use rsls_experiments::ExperimentRegistry;
 
@@ -32,7 +34,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: rsls-run [--list] [--all] [--experiment <name>] [--csv <dir>] [--svg <dir>]\n\
          \x20               [--jobs <n>] [--cache-dir <dir>] [--resume] [--no-cache]\n\
-         \x20               [--serve <addr>]\n\
+         \x20               [--chaos-seed <n>] [--serve <addr>]\n\
          experiments: {}",
         ExperimentRegistry::builtin().ids().join(", ")
     );
@@ -85,6 +87,7 @@ fn main() {
     let mut cache_dir = PathBuf::from("results/cache");
     let mut resume = false;
     let mut use_cache = true;
+    let mut chaos_seed: Option<u64> = None;
     let mut serve_addr: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
@@ -139,6 +142,19 @@ fn main() {
             }
             "--resume" => resume = true,
             "--no-cache" => use_cache = false,
+            "--chaos-seed" => {
+                i += 1;
+                if i >= args.len() {
+                    usage();
+                }
+                chaos_seed = match args[i].parse() {
+                    Ok(n) => Some(n),
+                    Err(_) => {
+                        eprintln!("--chaos-seed takes an unsigned integer");
+                        usage();
+                    }
+                };
+            }
             "--serve" => {
                 i += 1;
                 if i >= args.len() {
@@ -162,13 +178,19 @@ fn main() {
         .parent()
         .map(|p| p.join("campaign.journal"))
         .unwrap_or_else(|| PathBuf::from("campaign.journal"));
+    // Under chaos the engine needs retry headroom: every injected
+    // transient must be absorbable, so the run's outputs stay identical
+    // to a fault-free campaign.
+    let chaos = chaos_seed.map(|seed| Arc::new(ChaosInjector::new(ChaosPlan::aggressive(seed))));
     if let Err(e) = campaign::configure(EngineOptions {
         jobs,
         cache_dir: cache_dir.clone(),
         use_cache,
         resume,
         journal_path: Some(journal_path),
-        retries: 0,
+        retries: if chaos.is_some() { 8 } else { 0 },
+        chaos: chaos.clone(),
+        ..EngineOptions::default()
     }) {
         eprintln!("failed to configure campaign engine: {e}");
         std::process::exit(1);
@@ -180,11 +202,15 @@ fn main() {
         scale
     );
     println!(
-        "campaign: {jobs} worker{}, cache {} at {}{}\n",
+        "campaign: {jobs} worker{}, cache {} at {}{}{}\n",
         if jobs == 1 { "" } else { "s" },
         if use_cache { "enabled" } else { "disabled" },
         cache_dir.display(),
         if resume { ", resuming" } else { "" },
+        match chaos_seed {
+            Some(seed) => format!(", chaos seed {seed}"),
+            None => String::new(),
+        },
     );
 
     let selected: Vec<&str> = if run_all {
@@ -255,6 +281,14 @@ fn main() {
     }
 
     print!("{}", campaign::engine().summary_table());
+    if let Some(chaos) = &chaos {
+        println!(
+            "chaos: {} fault{} injected ({})",
+            chaos.total_fired(),
+            if chaos.total_fired() == 1 { "" } else { "s" },
+            chaos.fired_summary()
+        );
+    }
 
     // Per-experiment pass/fail summary, and a nonzero exit if anything
     // failed — CI and scripts key off both.

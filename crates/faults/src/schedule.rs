@@ -83,6 +83,23 @@ impl FaultSchedule {
         }
     }
 
+    /// Simultaneous faults: every rank in `ranks` is hit at the same
+    /// iteration (a correlated failure — e.g. one enclosure taking out
+    /// several nodes at once). Ranks are kept in the given order so the
+    /// schedule round-trips through [`events`](Self::events) unchanged.
+    pub fn multiple_at_iteration(iteration: usize, ranks: &[usize], class: FaultClass) -> Self {
+        FaultSchedule {
+            events: ranks
+                .iter()
+                .map(|&rank| FaultEvent {
+                    trigger: Trigger::AtIteration(iteration),
+                    rank,
+                    class,
+                })
+                .collect(),
+        }
+    }
+
     /// Deterministic arrivals at the MTBF rate: one fault every `mtbf_s`
     /// seconds (at `0.5·mtbf, 1.5·mtbf, …`) over `[0, horizon_s)`, each
     /// targeting a deterministic pseudo-random rank. This is the §5.2
@@ -246,6 +263,37 @@ mod tests {
         }
         assert_eq!(fired, 3);
         assert!(s.due(&mut cursor, 1000, 0.0).is_empty());
+    }
+
+    #[test]
+    fn multiple_at_iteration_fires_all_ranks_at_once() {
+        let s = FaultSchedule::multiple_at_iteration(200, &[1, 3, 4], FaultClass::Snf);
+        assert_eq!(s.len(), 3);
+        let mut cursor = 0;
+        assert!(s.due(&mut cursor, 199, 0.0).is_empty());
+        let fired = s.due(&mut cursor, 200, 0.0);
+        assert_eq!(
+            fired.iter().map(|e| e.rank).collect::<Vec<_>>(),
+            vec![1, 3, 4]
+        );
+        assert!(s.due(&mut cursor, 1000, 0.0).is_empty(), "fire once");
+    }
+
+    #[test]
+    fn multiple_at_iteration_injects_into_every_scheduled_rank() {
+        use crate::inject::{inject, FaultEffect};
+        // 4 ranks × 8 entries; a correlated fault hits ranks 0 and 2.
+        let mut x = vec![1.0f64; 32];
+        let s = FaultSchedule::multiple_at_iteration(10, &[0, 2], FaultClass::Snf);
+        let mut cursor = 0;
+        for ev in s.due(&mut cursor, 10, 0.0) {
+            let slice = &mut x[ev.rank * 8..(ev.rank + 1) * 8];
+            inject(slice, FaultEffect::for_class(ev.class), 0);
+        }
+        assert!(x[0..8].iter().all(|v| v.is_nan()), "rank 0 lost");
+        assert!(x[8..16].iter().all(|v| *v == 1.0), "rank 1 untouched");
+        assert!(x[16..24].iter().all(|v| v.is_nan()), "rank 2 lost");
+        assert!(x[24..32].iter().all(|v| *v == 1.0), "rank 3 untouched");
     }
 
     #[test]

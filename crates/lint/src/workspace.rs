@@ -51,6 +51,17 @@ pub fn crate_rules(name: &str) -> Vec<Rule> {
             vec![WallClock, DefaultHasher, UnorderedParallel, NoUnwrap]
         }
         "campaign" => vec![DefaultHasher, NoUnwrap, MissingDocs],
+        // The fault injector must be *more* deterministic than the code
+        // it attacks — every decision derives from the plan seed and a
+        // site counter, never wall-clock or entropy — so it gets the
+        // full numeric-crate rule set.
+        "chaos" => vec![
+            WallClock,
+            DefaultHasher,
+            UnorderedParallel,
+            NoUnwrap,
+            MissingDocs,
+        ],
         // The service is I/O edge by nature — it spawns connection
         // threads and times requests — so `wall-clock` and
         // `unordered-parallel` do not apply crate-wide; its compute

@@ -81,6 +81,7 @@ fn main() {
         resume: use_cache,
         journal_path: Some(journal_path),
         retries: 0,
+        ..EngineOptions::default()
     }) {
         eprintln!("failed to configure campaign engine: {e}");
         std::process::exit(1);

@@ -3,13 +3,35 @@
 //! Exists for the integration tests and CI smoke checks — one
 //! round-trip per connection, mirroring the server's
 //! `Connection: close` semantics. Not a general-purpose client.
+//!
+//! [`get`] is the raw one-shot request. [`get_with_retry`] wraps it in
+//! the resilience the chaos plan's client faults (connection reset,
+//! garbled status line, delay) are absorbed by: bounded attempts under
+//! deterministic capped exponential backoff, an overall wall-clock
+//! deadline, and `Retry-After` honoring on `503` — the server tells
+//! overloaded clients when to come back, and the client listens
+//! (clamped to its own backoff cap so a test never sleeps for the
+//! server's full suggestion). Every re-attempt increments a
+//! process-wide counter exported as `rsls_serve_client_retries_total`.
 
 use std::collections::BTreeMap;
 use std::io::{self, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use rsls_chaos::{ChaosInjector, ChaosSite};
 
 use crate::http;
+
+/// Process-wide count of client re-attempts (see
+/// [`client_retries_total`]).
+static CLIENT_RETRIES: AtomicU64 = AtomicU64::new(0);
+
+/// How many re-attempts in-process clients have made, for `/metrics`.
+pub fn client_retries_total() -> u64 {
+    CLIENT_RETRIES.load(Ordering::Relaxed)
+}
 
 /// A fully-read response.
 #[derive(Debug, Clone)]
@@ -36,6 +58,43 @@ impl ClientResponse {
     }
 }
 
+/// Retry/backoff/deadline policy for [`get_with_retry`].
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts (>= 1; 1 = no retries).
+    pub attempts: usize,
+    /// Base backoff before the first re-attempt; attempt `k` waits
+    /// `min(base << (k-1), cap)` — deterministic, no jitter.
+    pub backoff_ms: u64,
+    /// Ceiling on any single wait, including a server `Retry-After`.
+    pub backoff_cap_ms: u64,
+    /// Overall wall-clock budget: once spent, the last outcome is
+    /// returned instead of waiting again.
+    pub deadline: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 4,
+            backoff_ms: 50,
+            backoff_cap_ms: 2000,
+            deadline: Duration::from_secs(30),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The deterministic wait before re-attempt `attempt` (1-based).
+    fn backoff(&self, attempt: usize) -> Duration {
+        let shifted = self
+            .backoff_ms
+            .checked_shl((attempt - 1).min(63) as u32)
+            .unwrap_or(u64::MAX);
+        Duration::from_millis(shifted.min(self.backoff_cap_ms))
+    }
+}
+
 /// Performs one `GET` with optional extra headers, reading the full
 /// response.
 pub fn get(
@@ -59,4 +118,146 @@ pub fn get(
         headers,
         body,
     })
+}
+
+/// [`get`] under a [`RetryPolicy`]: transport errors and `503`s are
+/// retried with deterministic capped exponential backoff (a `503`'s
+/// `Retry-After` is honored, clamped to the backoff cap) until the
+/// attempts or the deadline run out. Any other status returns
+/// immediately.
+pub fn get_with_retry(
+    addr: impl ToSocketAddrs + Copy,
+    path: &str,
+    headers: &[(&str, &str)],
+    policy: &RetryPolicy,
+) -> io::Result<ClientResponse> {
+    get_with_retry_chaotic(addr, path, headers, policy, None)
+}
+
+/// [`get_with_retry`] with a chaos injector on the connection: resets,
+/// garbled status lines, and delays fire client-side and must be
+/// absorbed by the retry loop.
+pub fn get_with_retry_chaotic(
+    addr: impl ToSocketAddrs + Copy,
+    path: &str,
+    headers: &[(&str, &str)],
+    policy: &RetryPolicy,
+    chaos: Option<&ChaosInjector>,
+) -> io::Result<ClientResponse> {
+    let start = Instant::now();
+    let attempts = policy.attempts.max(1);
+    let mut last: io::Result<ClientResponse> = Err(io::Error::other("no request attempt was made"));
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            CLIENT_RETRIES.fetch_add(1, Ordering::Relaxed);
+        }
+        last = attempt_once(addr, path, headers, chaos);
+        let wait = match &last {
+            Ok(resp) if resp.status == 503 => {
+                // Overload: come back when the server says, within our
+                // own cap.
+                let suggested = resp
+                    .header("retry-after")
+                    .and_then(|v| v.trim().parse::<u64>().ok())
+                    .map(|secs| Duration::from_millis((secs * 1000).min(policy.backoff_cap_ms)));
+                suggested
+                    .unwrap_or_default()
+                    .max(policy.backoff(attempt + 1))
+            }
+            Ok(_) => return last,
+            Err(_) => policy.backoff(attempt + 1),
+        };
+        if attempt + 1 == attempts || start.elapsed() + wait > policy.deadline {
+            break;
+        }
+        std::thread::sleep(wait);
+    }
+    last
+}
+
+/// One chaos-instrumented request attempt.
+fn attempt_once(
+    addr: impl ToSocketAddrs + Copy,
+    path: &str,
+    headers: &[(&str, &str)],
+    chaos: Option<&ChaosInjector>,
+) -> io::Result<ClientResponse> {
+    if let Some(chaos) = chaos {
+        if chaos.fire(ChaosSite::ClientDelay, path) {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        if chaos.fire(ChaosSite::ClientReset, path) {
+            // Connect and abandon: the server sees a probe, the client
+            // sees a reset before any response bytes arrived.
+            let _ = TcpStream::connect(addr);
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                "chaos: connection reset before the response",
+            ));
+        }
+    }
+    let resp = get(addr, path, headers)?;
+    if let Some(chaos) = chaos {
+        if chaos.fire(ChaosSite::ClientGarble, path) {
+            // The bytes arrived but the status line was mangled in
+            // flight: indistinguishable from a framing bug, retried the
+            // same way.
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "chaos: garbled status line",
+            ));
+        }
+    }
+    Ok(resp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_exponential_and_capped() {
+        let policy = RetryPolicy {
+            attempts: 8,
+            backoff_ms: 50,
+            backoff_cap_ms: 300,
+            deadline: Duration::from_secs(5),
+        };
+        assert_eq!(policy.backoff(1), Duration::from_millis(50));
+        assert_eq!(policy.backoff(2), Duration::from_millis(100));
+        assert_eq!(policy.backoff(3), Duration::from_millis(200));
+        assert_eq!(policy.backoff(4), Duration::from_millis(300), "capped");
+        assert_eq!(policy.backoff(60), Duration::from_millis(300));
+    }
+
+    #[test]
+    fn retry_gives_up_after_attempts_against_a_dead_port() {
+        // Port 1 on localhost: connection refused immediately.
+        let before = client_retries_total();
+        let policy = RetryPolicy {
+            attempts: 3,
+            backoff_ms: 1,
+            backoff_cap_ms: 2,
+            deadline: Duration::from_secs(5),
+        };
+        let err = get_with_retry("127.0.0.1:1", "/healthz", &[], &policy).unwrap_err();
+        assert_ne!(err.kind(), io::ErrorKind::Other, "a real transport error");
+        assert_eq!(client_retries_total() - before, 2, "3 attempts = 2 retries");
+    }
+
+    #[test]
+    fn deadline_stops_retrying_early() {
+        let policy = RetryPolicy {
+            attempts: 100,
+            backoff_ms: 400,
+            backoff_cap_ms: 400,
+            deadline: Duration::from_millis(200),
+        };
+        let start = Instant::now();
+        let _ = get_with_retry("127.0.0.1:1", "/healthz", &[], &policy);
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "the deadline must bound total wait, not attempts × backoff"
+        );
+    }
 }

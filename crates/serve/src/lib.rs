@@ -42,7 +42,9 @@ pub mod queue;
 pub mod server;
 pub mod signal;
 
-pub use client::{get, ClientResponse};
+pub use client::{
+    client_retries_total, get, get_with_retry, get_with_retry_chaotic, ClientResponse, RetryPolicy,
+};
 pub use http::{Request, Response};
 pub use metrics::Metrics;
 pub use queue::{JobOutput, Submitted, WorkQueue};

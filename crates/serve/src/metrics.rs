@@ -233,6 +233,42 @@ impl Metrics {
             "Threads parked on an in-flight unit right now.",
             campaign_waiters as u64,
         );
+        scalar(
+            "rsls_campaign_unit_retries_total",
+            "counter",
+            "Unit re-attempts after a panic (backoff retries).",
+            campaign.retries as u64,
+        );
+        scalar(
+            "rsls_campaign_units_degraded_total",
+            "counter",
+            "Units skipped behind an open circuit breaker.",
+            campaign.degraded as u64,
+        );
+        scalar(
+            "rsls_campaign_cache_corrupt_detected_total",
+            "counter",
+            "Cache entries that failed verification and were detected.",
+            campaign.corrupt_detected as u64,
+        );
+        scalar(
+            "rsls_campaign_cache_quarantined_total",
+            "counter",
+            "Cache objects moved to quarantine/ after failing verification.",
+            campaign.quarantined,
+        );
+        scalar(
+            "rsls_campaign_circuit_state",
+            "gauge",
+            "Experiments whose circuit breaker is currently open.",
+            campaign.circuits_open as u64,
+        );
+        scalar(
+            "rsls_serve_client_retries_total",
+            "counter",
+            "Re-attempts made by in-process retrying clients.",
+            crate::client::client_retries_total(),
+        );
 
         let _ = writeln!(
             out,
@@ -315,6 +351,11 @@ mod tests {
             cache_hits: 3,
             failed: 0,
             coalesced: 2,
+            retries: 5,
+            degraded: 1,
+            corrupt_detected: 2,
+            quarantined: 2,
+            circuits_open: 1,
             unit_wall_s: 1.5,
         };
         let text = m.render(&summary, 1);
@@ -326,6 +367,12 @@ mod tests {
         assert!(text.contains("rsls_campaign_units_total 7"));
         assert!(text.contains("rsls_campaign_coalesced_total 2"));
         assert!(text.contains("rsls_campaign_coalesce_waiters 1"));
+        assert!(text.contains("rsls_campaign_unit_retries_total 5"));
+        assert!(text.contains("rsls_campaign_units_degraded_total 1"));
+        assert!(text.contains("rsls_campaign_cache_corrupt_detected_total 2"));
+        assert!(text.contains("rsls_campaign_cache_quarantined_total 2"));
+        assert!(text.contains("rsls_campaign_circuit_state 1"));
+        assert!(text.contains("rsls_serve_client_retries_total"));
         assert!(text.contains("rsls_serve_request_duration_seconds_count 3"));
         // Deterministic label order: BTreeMap keys render sorted.
         let experiment = text

@@ -13,9 +13,12 @@ use std::sync::{mpsc, Arc, Mutex, Once};
 use std::time::{Duration, Instant};
 
 use rsls_campaign::EngineOptions;
+use rsls_chaos::{ChaosInjector, ChaosPlan};
 use rsls_experiments::campaign;
 use rsls_experiments::{Scale, Table};
-use rsls_serve::client::{get, ClientResponse};
+use rsls_serve::client::{
+    client_retries_total, get, get_with_retry, get_with_retry_chaotic, ClientResponse, RetryPolicy,
+};
 use rsls_serve::server::{
     ExperimentInfo, ExperimentSource, RegistrySource, ServeOptions, Server, ServerHandle,
 };
@@ -32,6 +35,7 @@ fn engine_init() {
             resume: false,
             journal_path: Some(dir.join("campaign.journal")),
             retries: 0,
+            ..EngineOptions::default()
         })
         .expect("first configure in this process");
     });
@@ -368,6 +372,102 @@ fn rejects_unsupported_methods_and_bad_requests() {
 
     handle.shutdown();
     join.join().expect("no panic").expect("clean shutdown");
+}
+
+#[test]
+fn retrying_client_absorbs_injected_connection_faults() {
+    let (handle, join) = serve(ServeOptions::default(), Arc::new(RegistrySource));
+    let addr = handle.addr();
+
+    // One reset, then one garbled status line, then a clean round trip:
+    // the retry loop must absorb both injected faults transparently.
+    let mut plan = ChaosPlan::quiet(21);
+    plan.client_reset_permille = 1000;
+    plan.client_garble_permille = 1000;
+    plan.max_faults_per_site = 1;
+    let injector = ChaosInjector::new(plan);
+    let policy = RetryPolicy {
+        attempts: 5,
+        backoff_ms: 1,
+        backoff_cap_ms: 4,
+        deadline: Duration::from_secs(30),
+    };
+    let before = client_retries_total();
+    let resp = get_with_retry_chaotic(addr, "/healthz", &[], &policy, Some(&injector))
+        .expect("retries must defeat the chaos plan");
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.body, b"{\"status\":\"ok\"}\n");
+    assert_eq!(injector.fired(rsls_chaos::ChaosSite::ClientReset), 1);
+    assert_eq!(injector.fired(rsls_chaos::ChaosSite::ClientGarble), 1);
+    assert!(
+        client_retries_total() - before >= 2,
+        "both faults must cost a retry"
+    );
+
+    // The retry counter and the campaign resilience families are on
+    // /metrics for CI to assert.
+    let scrape = get(addr, "/metrics", &[]).expect("metrics");
+    let text = String::from_utf8(scrape.body).expect("utf8");
+    assert!(metric_value(&text, "rsls_serve_client_retries_total ") >= Some(2.0));
+    assert!(text.contains("rsls_campaign_cache_quarantined_total "));
+    assert!(text.contains("rsls_campaign_unit_retries_total "));
+    assert!(text.contains("rsls_campaign_circuit_state "));
+    assert!(text.contains("rsls_campaign_units_degraded_total "));
+
+    handle.shutdown();
+    join.join().expect("no panic").expect("clean shutdown");
+}
+
+#[test]
+fn retrying_client_honors_retry_after_on_503() {
+    // A hand-rolled two-response server: first connection gets a 503
+    // with Retry-After, the second gets a 200. No experiment source —
+    // this isolates the client's overload behavior.
+    use std::io::Write;
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let server = std::thread::spawn(move || {
+        let responses: [&[u8]; 2] = [
+            b"HTTP/1.1 503 Service Unavailable\r\nRetry-After: 7\r\nContent-Length: 0\r\nConnection: close\r\n\r\n",
+            b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\nConnection: close\r\n\r\nok",
+        ];
+        for response in responses {
+            let (mut stream, _peer) = listener.accept().expect("accept");
+            // Drain the full request head before answering: replying
+            // mid-request and closing would RST the client's remaining
+            // writes, turning this into a transport-error test instead.
+            use std::io::Read;
+            let mut head = Vec::new();
+            let mut buf = [0u8; 1024];
+            while !head.windows(4).any(|w| w == b"\r\n\r\n") {
+                let n = stream.read(&mut buf).expect("read request");
+                if n == 0 {
+                    break;
+                }
+                head.extend_from_slice(&buf[..n]);
+            }
+            stream.write_all(response).expect("write");
+        }
+    });
+
+    let policy = RetryPolicy {
+        attempts: 3,
+        backoff_ms: 1,
+        // The server suggests 7s; the client must wait, but clamped to
+        // its own cap so overload handling cannot stall a test suite.
+        backoff_cap_ms: 60,
+        deadline: Duration::from_secs(10),
+    };
+    let start = Instant::now();
+    let resp = get_with_retry(addr, "/anything", &[], &policy).expect("eventual 200");
+    let elapsed = start.elapsed();
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.body, b"ok");
+    assert!(
+        elapsed >= Duration::from_millis(60),
+        "the clamped Retry-After must actually be waited out (elapsed {elapsed:?})"
+    );
+    server.join().expect("server thread");
 }
 
 #[test]
