@@ -327,6 +327,7 @@ mod tests {
             energy_j: 300.0,
             avg_power_w: 200.0,
             faults_injected: 0,
+            construction_fallbacks: 0,
             checkpoint_interval_iters: None,
             breakdown: Default::default(),
             history: Default::default(),

@@ -109,10 +109,21 @@ pub struct DiskStore {
 
 impl DiskStore {
     /// Creates a store under the system temp dir with a distinguishing
-    /// `tag` (callers use distinct tags for concurrent runs).
+    /// `tag`.
+    ///
+    /// The backing path is unique per store (process id + a process-wide
+    /// sequence number), never per tag: campaign units running in
+    /// parallel legitimately share a tag (one matrix, many schemes), and
+    /// [`Drop`] deletes the file — a tag-keyed path would let one
+    /// finishing unit delete a sibling's live checkpoint.
     pub fn in_temp_dir(tag: &str) -> Self {
+        static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let seq = SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let mut path = std::env::temp_dir();
-        path.push(format!("rsls-checkpoint-{tag}.bin"));
+        path.push(format!(
+            "rsls-checkpoint-{tag}-{}-{seq}.bin",
+            std::process::id()
+        ));
         DiskStore {
             path,
             has_checkpoint: false,

@@ -16,11 +16,15 @@
 //! optimization: an inexact local solve that is cheaper and avoids the
 //! communication of the parallel baseline.
 
+use std::ops::Range;
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 use rsls_solvers::{Cg, CgConfig, Cgls, CglsConfig};
+use rsls_sparse::artifacts::{self, MatrixKey};
 use rsls_sparse::dense::{Cholesky, Lu, Qr};
-use rsls_sparse::{CsrMatrix, Partition};
+use rsls_sparse::{CsrMatrix, DenseMatrix, Partition};
 
 /// How the LI/LSI linear systems are solved.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -114,13 +118,53 @@ pub struct ConstructionResult {
     pub comm_rounds: u64,
     /// Inner-solve iterations (0 for direct solves).
     pub inner_iterations: usize,
+    /// True when the exact factorization failed (singular / non-SPD
+    /// block) and the scheme silently degraded to an all-zero block —
+    /// F0 semantics. Callers must surface this, not swallow it.
+    pub fallback: bool,
 }
 
-/// Builds the LI right-hand side `y = b_i − Σ_{j≠i} A_{p_i,p_j} x_j` and
-/// counts the flops spent on it.
-fn li_rhs(a: &CsrMatrix, part: &Partition, rank: usize, x: &[f64], b: &[f64]) -> (Vec<f64>, u64) {
+/// Reusable scratch buffers for the reconstruction hot path.
+///
+/// Every fault event needs an LI right-hand side and (for LSI) three
+/// full-length vectors; reusing one `Workspace` across a run's faults
+/// removes those per-event allocations. The buffers carry no state
+/// between calls — each use fully overwrites them — so reuse can never
+/// change a result.
+#[derive(Debug, Clone, Default)]
+pub struct Workspace {
+    /// LI right-hand side / dense solve scratch (block length).
+    y: Vec<f64>,
+    /// `x` with the failed block zeroed (full length, LSI β assembly).
+    x_zeroed: Vec<f64>,
+    /// `A · x_zeroed` (full length, LSI β assembly).
+    ax: Vec<f64>,
+    /// The LSI residual `β` (full length).
+    beta: Vec<f64>,
+    /// `β` restricted to the panel's row support.
+    beta_sup: Vec<f64>,
+}
+
+impl Workspace {
+    /// An empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Workspace::default()
+    }
+}
+
+/// Builds the LI right-hand side `y = b_i − Σ_{j≠i} A_{p_i,p_j} x_j`
+/// into `y` (cleared first) and returns the flops spent on it.
+fn li_rhs_into(
+    a: &CsrMatrix,
+    part: &Partition,
+    rank: usize,
+    x: &[f64],
+    b: &[f64],
+    y: &mut Vec<f64>,
+) -> u64 {
     let range = part.range(rank);
-    let mut y = Vec::with_capacity(range.len());
+    y.clear();
+    y.reserve(range.len());
     let mut flops = 0u64;
     for r in range.clone() {
         let mut acc = b[r];
@@ -134,30 +178,106 @@ fn li_rhs(a: &CsrMatrix, part: &Partition, rank: usize, x: &[f64], b: &[f64]) ->
         }
         y.push(acc);
     }
-    (y, flops)
+    flops
 }
 
 /// Builds the LSI residual `β = b − Σ_{j≠i} A_{:,p_j} x_j` (a full-length
-/// vector: everything `A x` explains *without* the failed block).
-fn lsi_beta(a: &CsrMatrix, part: &Partition, rank: usize, x: &[f64], b: &[f64]) -> (Vec<f64>, u64) {
+/// vector: everything `A x` explains *without* the failed block) into
+/// `beta`, using `x_zeroed` / `ax` as scratch. Returns the flops charged.
+fn lsi_beta_into(
+    a: &CsrMatrix,
+    part: &Partition,
+    rank: usize,
+    x: &[f64],
+    b: &[f64],
+    x_zeroed: &mut Vec<f64>,
+    ax: &mut Vec<f64>,
+    beta: &mut Vec<f64>,
+) -> u64 {
     let range = part.range(rank);
-    let mut x_zeroed = x.to_vec();
+    x_zeroed.clear();
+    x_zeroed.extend_from_slice(x);
     for v in &mut x_zeroed[range] {
         *v = 0.0;
     }
-    let mut ax = vec![0.0; a.nrows()];
-    a.spmv(&x_zeroed, &mut ax);
-    let beta: Vec<f64> = b.iter().zip(&ax).map(|(bi, axi)| bi - axi).collect();
-    (beta, a.spmv_flops() + a.nrows() as u64)
+    ax.resize(a.nrows(), 0.0);
+    a.spmv_auto(x_zeroed, ax);
+    beta.clear();
+    beta.extend(b.iter().zip(ax.iter()).map(|(bi, axi)| bi - axi));
+    a.spmv_flops() + a.nrows() as u64
 }
 
-/// LI reconstruction of the failed rank's block.
+/// [`CsrMatrix::dense_block`], through the artifact cache when the
+/// caller supplies the matrix's content key.
+fn cached_dense_block(
+    key: Option<MatrixKey>,
+    a: &CsrMatrix,
+    rows: Range<usize>,
+    cols: Range<usize>,
+) -> Arc<DenseMatrix> {
+    match key {
+        Some(k) => artifacts::global().dense_block(k, a, rows, cols),
+        None => Arc::new(a.dense_block(rows, cols)),
+    }
+}
+
+/// [`CsrMatrix::sparse_block`], through the artifact cache when keyed.
+fn cached_sparse_block(
+    key: Option<MatrixKey>,
+    a: &CsrMatrix,
+    rows: Range<usize>,
+    cols: Range<usize>,
+) -> Arc<CsrMatrix> {
+    match key {
+        Some(k) => artifacts::global().sparse_block(k, a, rows, cols),
+        None => Arc::new(a.sparse_block(rows, cols)),
+    }
+}
+
+/// [`CsrMatrix::row_panel`], through the artifact cache when keyed.
+fn cached_row_panel(key: Option<MatrixKey>, a: &CsrMatrix, rows: Range<usize>) -> Arc<CsrMatrix> {
+    match key {
+        Some(k) => artifacts::global().row_panel(k, a, rows),
+        None => Arc::new(a.row_panel(rows)),
+    }
+}
+
+/// LI reconstruction of the failed rank's block (fresh scratch buffers,
+/// no artifact caching — see [`li_with`] for the driver's hot path).
+pub fn li(
+    a: &CsrMatrix,
+    part: &Partition,
+    rank: usize,
+    x: &[f64],
+    b: &[f64],
+    method: ConstructionMethod,
+    outer_relres: f64,
+) -> ConstructionResult {
+    li_with(
+        &mut Workspace::new(),
+        None,
+        a,
+        part,
+        rank,
+        x,
+        b,
+        method,
+        outer_relres,
+    )
+}
+
+/// LI reconstruction reusing the caller's [`Workspace`] and, when `key`
+/// is supplied, the process-global artifact cache for block extraction.
 ///
 /// # Panics
-/// Panics on dimension mismatches. Returns an all-zero block if the
-/// diagonal block is singular under the exact method (falls back to F0
-/// semantics rather than crashing mid-run).
-pub fn li(
+/// Panics on dimension mismatches. Returns an all-zero block (with
+/// [`ConstructionResult::fallback`] set) if the diagonal block is
+/// singular under the exact method — F0 semantics rather than a crash
+/// mid-run.
+#[allow(clippy::too_many_arguments)]
+pub fn li_with(
+    ws: &mut Workspace,
+    key: Option<MatrixKey>,
     a: &CsrMatrix,
     part: &Partition,
     rank: usize,
@@ -170,16 +290,20 @@ pub fn li(
     assert_eq!(b.len(), a.nrows());
     let range = part.range(rank);
     let m = range.len();
-    let (y, rhs_flops) = li_rhs(a, part, rank, x, b);
+    let rhs_flops = li_rhs_into(a, part, rank, x, b, &mut ws.y);
     // The failed rank must fetch the off-block entries of x it references.
     let gather_bytes = a.off_block_nnz(range.clone(), range.clone()) as u64 * 8;
 
     match method {
         ConstructionMethod::Exact => {
-            let block = a.dense_block(range.clone(), range.clone());
-            let (x_block, flops) = match Lu::factor(&block) {
-                Ok(lu) => (lu.solve(&y), Lu::factor_flops(m) + Lu::solve_flops(m)),
-                Err(_) => (vec![0.0; m], 0),
+            let block = cached_dense_block(key, a, range.clone(), range.clone());
+            let (x_block, flops, fallback) = match Lu::factor(&block) {
+                Ok(lu) => (
+                    lu.solve(&ws.y),
+                    Lu::factor_flops(m) + Lu::solve_flops(m),
+                    false,
+                ),
+                Err(_) => (vec![0.0; m], 0, true),
             };
             ConstructionResult {
                 x_block,
@@ -188,11 +312,12 @@ pub fn li(
                 gather_bytes,
                 comm_rounds: 0,
                 inner_iterations: 0,
+                fallback,
             }
         }
         ConstructionMethod::LocalCg { max_iterations, .. } => {
-            let block = a.sparse_block(range.clone(), range.clone());
-            let mut cg = Cg::from_zero(&block, &y);
+            let block = cached_sparse_block(key, a, range.clone(), range.clone());
+            let mut cg = Cg::from_zero(&block, &ws.y);
             let (iters, _) = cg.solve(&CgConfig {
                 tolerance: method.effective_tolerance(outer_relres),
                 max_iterations,
@@ -205,13 +330,43 @@ pub fn li(
                 gather_bytes,
                 comm_rounds: 0,
                 inner_iterations: iters,
+                fallback: false,
             }
         }
     }
 }
 
-/// LSI reconstruction of the failed rank's block.
+/// LSI reconstruction of the failed rank's block (fresh scratch buffers,
+/// no artifact caching — see [`lsi_with`] for the driver's hot path).
 pub fn lsi(
+    a: &CsrMatrix,
+    part: &Partition,
+    rank: usize,
+    x: &[f64],
+    b: &[f64],
+    method: ConstructionMethod,
+    outer_relres: f64,
+) -> ConstructionResult {
+    lsi_with(
+        &mut Workspace::new(),
+        None,
+        a,
+        part,
+        rank,
+        x,
+        b,
+        method,
+        outer_relres,
+    )
+}
+
+/// LSI reconstruction reusing the caller's [`Workspace`] and, when `key`
+/// is supplied, the process-global artifact cache for the row panel,
+/// Gram matrix, and compressed tall panel.
+#[allow(clippy::too_many_arguments)]
+pub fn lsi_with(
+    ws: &mut Workspace,
+    key: Option<MatrixKey>,
     a: &CsrMatrix,
     part: &Partition,
     rank: usize,
@@ -227,9 +382,18 @@ pub fn lsi(
     let n = a.nrows();
     // β is assembled in parallel (each rank computes its local rows of
     // A·x_zeroed) and gathered to the failed rank.
-    let (beta, beta_flops) = lsi_beta(a, part, rank, x, b);
+    let beta_flops = lsi_beta_into(
+        a,
+        part,
+        rank,
+        x,
+        b,
+        &mut ws.x_zeroed,
+        &mut ws.ax,
+        &mut ws.beta,
+    );
     let gather_bytes = (n as u64) * 8;
-    let panel = a.row_panel(range.clone());
+    let panel = cached_row_panel(key, a, range.clone());
 
     match method {
         ConstructionMethod::Exact => {
@@ -237,12 +401,15 @@ pub fn lsi(
             // (A_{p_i,:} A_{p_i,:}ᵀ) x = A_{p_i,:} β, SPD whenever the
             // panel has full row rank. The *cost charged* is that of the
             // parallel sparse QR the original work uses.
-            let gram = panel_gram(&panel);
-            let mut rhs = vec![0.0; m];
-            panel.spmv(&beta, &mut rhs);
-            let x_block = match Cholesky::factor(&gram) {
-                Ok(ch) => ch.solve(&rhs),
-                Err(_) => vec![0.0; m],
+            let gram = match key {
+                Some(k) => artifacts::global().gram(k, range.clone(), || panel_gram(&panel)),
+                None => Arc::new(panel_gram(&panel)),
+            };
+            ws.y.resize(m, 0.0);
+            panel.spmv(&ws.beta, &mut ws.y);
+            let (x_block, fallback) = match Cholesky::factor(&gram) {
+                Ok(ch) => (ch.solve(&ws.y), false),
+                Err(_) => (vec![0.0; m], true),
             };
             ConstructionResult {
                 x_block,
@@ -251,6 +418,7 @@ pub fn lsi(
                 gather_bytes,
                 comm_rounds: 2 * rsls_cluster::ceil_log2(part.num_ranks()) as u64,
                 inner_iterations: 0,
+                fallback,
             }
         }
         ConstructionMethod::LocalCg { max_iterations, .. } => {
@@ -265,9 +433,9 @@ pub fn lsi(
             // minimizer with a bounded budget — the CGLS residual is
             // monotone, so the result is never worse than the LI guess.
             let tolerance = method.effective_tolerance(outer_relres);
-            let (y, rhs_flops) = li_rhs(a, part, rank, x, b);
-            let block = a.sparse_block(range.clone(), range.clone());
-            let mut guess_cg = Cg::from_zero(&block, &y);
+            let rhs_flops = li_rhs_into(a, part, rank, x, b, &mut ws.y);
+            let block = cached_sparse_block(key, a, range.clone(), range.clone());
+            let mut guess_cg = Cg::from_zero(&block, &ws.y);
             let (guess_iters, _) = guess_cg.solve(&CgConfig {
                 tolerance,
                 max_iterations,
@@ -279,15 +447,26 @@ pub fn lsi(
             // domain; restricting the least-squares problem to that row
             // support is exact (zero rows contribute a constant residual)
             // and keeps the CGLS vector work proportional to the block.
-            let (tall, beta_sup) = compressed_tall(&panel, &beta);
+            // The structure (tall operator + support rows) depends only
+            // on the panel, so it memoizes; β restricted to the support
+            // is gathered per call into the workspace.
+            let structure = match key {
+                Some(k) => {
+                    artifacts::global().support_panel(k, range.clone(), || tall_structure(&panel))
+                }
+                None => Arc::new(tall_structure(&panel)),
+            };
+            let (tall, support) = (&structure.0, &structure.1);
+            ws.beta_sup.clear();
+            ws.beta_sup.extend(support.iter().map(|&r| ws.beta[r]));
             let polish_budget = max_iterations.min(300);
-            let mut cgls = Cgls::with_initial_guess(&tall, &beta_sup, guess_cg.x().to_vec());
+            let mut cgls = Cgls::with_initial_guess(tall, &ws.beta_sup, guess_cg.x().to_vec());
             let (polish_iters, _) = cgls.solve(&CglsConfig {
                 tolerance,
                 max_iterations: polish_budget,
             });
             let flops =
-                guess_flops + polish_iters as u64 * Cgls::step_flops(&tall) + tall.spmv_flops();
+                guess_flops + polish_iters as u64 * Cgls::step_flops(tall) + tall.spmv_flops();
             ConstructionResult {
                 x_block: cgls.x().to_vec(),
                 local_flops: flops,
@@ -295,18 +474,18 @@ pub fn lsi(
                 gather_bytes,
                 comm_rounds: 0,
                 inner_iterations: guess_iters + polish_iters,
+                fallback: false,
             }
         }
     }
 }
 
 /// Transposes a row panel onto its nonzero-column support: returns the
-/// `(support × m)` operator `A_{:,p_i}` restricted to referenced rows and
-/// the right-hand side restricted likewise.
-fn compressed_tall(panel: &CsrMatrix, beta: &[f64]) -> (CsrMatrix, Vec<f64>) {
+/// `(support × m)` operator `A_{:,p_i}` restricted to referenced rows,
+/// plus the referenced row indices (for restricting `β` likewise).
+fn tall_structure(panel: &CsrMatrix) -> (CsrMatrix, Vec<usize>) {
     let full = panel.transpose(); // n × m
     let mut support = Vec::new();
-    let mut beta_sup = Vec::new();
     let mut row_ptr = vec![0usize];
     let mut col_idx = Vec::with_capacity(full.nnz());
     let mut values = Vec::with_capacity(full.nnz());
@@ -315,7 +494,6 @@ fn compressed_tall(panel: &CsrMatrix, beta: &[f64]) -> (CsrMatrix, Vec<f64>) {
             continue;
         }
         support.push(r);
-        beta_sup.push(beta[r]);
         col_idx.extend_from_slice(full.row_cols(r));
         values.extend_from_slice(full.row_vals(r));
         row_ptr.push(col_idx.len());
@@ -323,7 +501,7 @@ fn compressed_tall(panel: &CsrMatrix, beta: &[f64]) -> (CsrMatrix, Vec<f64>) {
     let tall = CsrMatrix::from_raw_parts(support.len(), full.ncols(), row_ptr, col_idx, values)
         // rsls-lint: allow(no-unwrap) -- row_ptr/col_idx built row-by-row above, invariants hold by construction
         .expect("support restriction preserves CSR invariants");
-    (tall, beta_sup)
+    (tall, support)
 }
 
 /// Gram matrix `P Pᵀ` of a sparse row panel, computed column-by-column
@@ -465,6 +643,63 @@ mod tests {
         );
         assert!(loose.inner_iterations <= tight.inner_iterations);
         assert!(loose.local_flops <= tight.local_flops);
+    }
+
+    #[test]
+    fn singular_block_falls_back_to_zero_fill_and_flags_it() {
+        // Rank 1's rows are identical and reference only rank 0's columns:
+        // its diagonal block is all-zero (LU singular) and its row panel is
+        // rank-deficient (Gram not positive definite), so both constructions
+        // must degrade to F0 semantics with the fallback flag raised instead
+        // of crashing.
+        let n = 8;
+        let mut coo = rsls_sparse::CooMatrix::new(n, n);
+        for i in 0..4 {
+            coo.push(i, i, 2.0).unwrap();
+        }
+        for i in 4..n {
+            coo.push(i, 0, 1.0).unwrap();
+        }
+        let a = coo.to_csr();
+        let part = Partition::balanced(n, 2);
+        let x = vec![1.0; n];
+        let b = vec![1.0; n];
+        let li_res = li(&a, &part, 1, &x, &b, ConstructionMethod::Exact, 1e-8);
+        assert!(li_res.fallback);
+        assert_eq!(li_res.x_block, vec![0.0; 4]);
+        let lsi_res = lsi(&a, &part, 1, &x, &b, ConstructionMethod::Exact, 1e-8);
+        assert!(lsi_res.fallback);
+        assert_eq!(lsi_res.x_block, vec![0.0; 4]);
+        // The healthy rank reports no fallback.
+        let ok = li(&a, &part, 0, &x, &b, ConstructionMethod::Exact, 1e-8);
+        assert!(!ok.fallback);
+    }
+
+    #[test]
+    fn cached_construction_is_bit_identical_to_uncached() {
+        let (a, part, xstar, b) = setup(80, 4);
+        let key = Some(MatrixKey::of(&a));
+        let mut ws = Workspace::new();
+        for method in [
+            ConstructionMethod::Exact,
+            ConstructionMethod::local_cg_fixed(1e-10, 500),
+        ] {
+            for rank in 0..4 {
+                let plain = li(&a, &part, rank, &xstar, &b, method, 1e-8);
+                // Twice through the cache: cold (miss) and warm (hit).
+                for _ in 0..2 {
+                    let cached = li_with(&mut ws, key, &a, &part, rank, &xstar, &b, method, 1e-8);
+                    assert_eq!(plain.x_block, cached.x_block);
+                    assert_eq!(plain.local_flops, cached.local_flops);
+                }
+                let plain = lsi(&a, &part, rank, &xstar, &b, method, 1e-8);
+                for _ in 0..2 {
+                    let cached = lsi_with(&mut ws, key, &a, &part, rank, &xstar, &b, method, 1e-8);
+                    assert_eq!(plain.x_block, cached.x_block);
+                    assert_eq!(plain.inner_iterations, cached.inner_iterations);
+                }
+            }
+        }
     }
 
     #[test]

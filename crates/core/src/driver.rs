@@ -13,8 +13,10 @@ use rsls_power::{CoreState, EnergyMeter, PowerModel, PowerModelConfig};
 use rsls_solvers::{Cg, ResidualHistory};
 use rsls_sparse::{CsrMatrix, Partition};
 
+use rsls_sparse::artifacts::MatrixKey;
+
 use crate::checkpoint::{CheckpointStore, CompressionModel, DiskStore, MemoryStore};
-use crate::construction::{self, ConstructionMethod};
+use crate::construction::{self, ConstructionMethod, Workspace};
 use crate::report::{PhaseBreakdown, RunReport};
 use crate::scheme::{CheckpointStorage, ForwardKind, Scheme};
 use crate::DvfsPolicy;
@@ -234,6 +236,11 @@ pub fn run(a: &CsrMatrix, b: &[f64], cfg: &RunConfig) -> RunReport {
     let mut seg_start = 0.0f64;
     let mut fault_cursor = 0usize;
     let mut faults_injected = 0usize;
+    let mut construction_fallbacks = 0usize;
+    // Reconstruction scratch + artifact-cache key, allocated/hashed
+    // lazily on the first fault so fault-free runs pay nothing.
+    let mut ws = Workspace::new();
+    let mut matrix_key: Option<MatrixKey> = None;
     let mut last_ckpt_iter = usize::MAX; // no checkpoint taken yet
     let mut checkpoints_taken = 0usize;
 
@@ -427,26 +434,24 @@ pub fn run(a: &CsrMatrix, b: &[f64], cfg: &RunConfig) -> RunReport {
                             cg.x_slice_mut(rank_range).fill(0.0);
                         }
                         ForwardKind::InitialGuess => {
-                            let src = x0[rank_range.clone()].to_vec();
-                            cg.x_slice_mut(rank_range).copy_from_slice(&src);
+                            cg.x_slice_mut(rank_range.clone())
+                                .copy_from_slice(&x0[rank_range]);
                         }
                         ForwardKind::Linear(method) | ForwardKind::LeastSquares(method) => {
-                            reconstruct(
-                                a,
-                                &part,
-                                ev.rank,
-                                b,
-                                &mut cg,
-                                *kind,
-                                *method,
-                                &mut cluster,
-                                &mut meter,
-                                &cfg.dvfs,
-                                &model,
-                                &mut breakdown,
+                            let ctx = ReconstructCtx {
+                                ws: &mut ws,
+                                key: *matrix_key.get_or_insert_with(|| MatrixKey::of(a)),
+                                cluster: &mut cluster,
+                                meter: &mut meter,
+                                dvfs: &cfg.dvfs,
+                                model: &model,
+                                breakdown: &mut breakdown,
                                 p,
                                 f_run,
-                            );
+                            };
+                            if reconstruct(ctx, a, &part, ev.rank, b, &mut cg, *kind, *method) {
+                                construction_fallbacks += 1;
+                            }
                         }
                     }
                     // Repair CG state (all schemes). The interpolation path
@@ -496,6 +501,7 @@ pub fn run(a: &CsrMatrix, b: &[f64], cfg: &RunConfig) -> RunReport {
         energy_j: meter.joules(),
         avg_power_w: meter.average_power(),
         faults_injected,
+        construction_fallbacks,
         checkpoint_interval_iters: interval_iters,
         breakdown,
         history,
@@ -512,10 +518,28 @@ fn uses_dvfs_label(scheme: &Scheme) -> bool {
     )
 }
 
+/// Mutable driver state threaded into [`reconstruct`], bundled so the
+/// call site stays readable.
+struct ReconstructCtx<'a> {
+    /// Reusable construction scratch buffers (live for the whole run).
+    ws: &'a mut Workspace,
+    /// Artifact-cache key of the operator, hashed once per run.
+    key: MatrixKey,
+    cluster: &'a mut Cluster,
+    meter: &'a mut EnergyMeter,
+    dvfs: &'a DvfsPolicy,
+    model: &'a PowerModel,
+    breakdown: &'a mut PhaseBreakdown,
+    p: usize,
+    f_run: f64,
+}
+
 /// Runs an LI/LSI reconstruction and charges gather, parallel work, and
 /// the single-rank local solve (with DVFS-dependent waiter power).
+/// Returns true when the construction degraded to its zero-fill fallback.
 #[allow(clippy::too_many_arguments)]
 fn reconstruct(
+    ctx: ReconstructCtx<'_>,
     a: &CsrMatrix,
     part: &Partition,
     rank: usize,
@@ -523,14 +547,18 @@ fn reconstruct(
     cg: &mut Cg<'_>,
     kind: ForwardKind,
     method: ConstructionMethod,
-    cluster: &mut Cluster,
-    meter: &mut EnergyMeter,
-    dvfs: &DvfsPolicy,
-    model: &PowerModel,
-    breakdown: &mut PhaseBreakdown,
-    p: usize,
-    f_run: f64,
-) {
+) -> bool {
+    let ReconstructCtx {
+        ws,
+        key,
+        cluster,
+        meter,
+        dvfs,
+        model,
+        breakdown,
+        p,
+        f_run,
+    } = ctx;
     let f_wait = dvfs.waiter_frequency(model.freq_table()).min(f_run);
     let t0 = cluster.max_clock();
 
@@ -538,10 +566,28 @@ fn reconstruct(
     // recurrence residual still reflects the state before corruption.
     let outer_relres = cg.relative_residual();
     let res = match kind {
-        ForwardKind::Linear(_) => construction::li(a, part, rank, cg.x(), b, method, outer_relres),
-        ForwardKind::LeastSquares(_) => {
-            construction::lsi(a, part, rank, cg.x(), b, method, outer_relres)
-        }
+        ForwardKind::Linear(_) => construction::li_with(
+            ws,
+            Some(key),
+            a,
+            part,
+            rank,
+            cg.x(),
+            b,
+            method,
+            outer_relres,
+        ),
+        ForwardKind::LeastSquares(_) => construction::lsi_with(
+            ws,
+            Some(key),
+            a,
+            part,
+            rank,
+            cg.x(),
+            b,
+            method,
+            outer_relres,
+        ),
         _ => unreachable!("reconstruct called for an assignment scheme"),
     };
 
@@ -580,4 +626,5 @@ fn reconstruct(
     // Install the reconstructed block.
     let range = part.range(rank);
     cg.x_slice_mut(range).copy_from_slice(&res.x_block);
+    res.fallback
 }

@@ -54,6 +54,12 @@ pub struct RunReport {
     pub avg_power_w: f64,
     /// Faults that fired during the run.
     pub faults_injected: usize,
+    /// Forward reconstructions that degraded to the all-zero (F0) fallback
+    /// because the exact factorization failed. Nonzero values mean the
+    /// reported recovery quality is *not* the configured scheme's.
+    /// (Schema change: covered by the campaign `ENGINE_VERSION` bump, so
+    /// stale cached reports are never re-parsed.)
+    pub construction_fallbacks: usize,
     /// Checkpoint interval actually used (checkpoint schemes only).
     pub checkpoint_interval_iters: Option<usize>,
     /// Per-phase wall-time breakdown.
@@ -124,6 +130,7 @@ mod tests {
             energy_j: energy,
             avg_power_w: energy / time,
             faults_injected: 0,
+            construction_fallbacks: 0,
             checkpoint_interval_iters: None,
             breakdown: PhaseBreakdown::default(),
             history: ResidualHistory::new(),

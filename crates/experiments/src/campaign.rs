@@ -76,18 +76,23 @@ pub fn unit_spec(a: &CsrMatrix, b: &[f64], matrix: &str, scale: Scale, cfg: RunC
         cfg.scheme.label(),
         cfg.dvfs.label_suffix()
     );
-    UnitSpec {
-        experiment: current_experiment(),
-        unit,
-        matrix: matrix.to_string(),
-        matrix_fingerprint: matrix_fingerprint(
+    // Interned suite workloads hit the memoized fingerprint; foreign
+    // (synthesized) systems are hashed directly.
+    let fingerprint = crate::artifacts::fingerprint_of(a, b).unwrap_or_else(|| {
+        matrix_fingerprint(
             a.nrows(),
             a.ncols(),
             a.row_ptr(),
             a.col_idx(),
             a.values(),
             b,
-        ),
+        )
+    });
+    UnitSpec {
+        experiment: current_experiment(),
+        unit,
+        matrix: matrix.to_string(),
+        matrix_fingerprint: fingerprint,
         scale: scale.label().to_string(),
         engine_version: ENGINE_VERSION,
         config: cfg,

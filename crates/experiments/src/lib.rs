@@ -15,6 +15,7 @@
 //! (conditioning preserved by construction) so the whole suite finishes in
 //! minutes. `RSLS_SCALE=full` generates the paper-sized analogs.
 
+pub mod artifacts;
 pub mod campaign;
 pub mod experiments;
 pub mod output;

@@ -5,6 +5,8 @@
 //! by content address when the engine has a cache, and executed on its
 //! worker pool when a batch allows it.
 
+use std::sync::Arc;
+
 use rsls_core::driver::RunConfig;
 use rsls_core::interval::CheckpointInterval;
 use rsls_core::{CheckpointStorage, DvfsPolicy, ForwardKind, RunReport, Scheme};
@@ -12,7 +14,7 @@ use rsls_faults::{FaultClass, FaultSchedule};
 use rsls_sparse::CsrMatrix;
 
 use crate::campaign::{execute_unit, execute_units, unit_spec};
-use crate::{Scale, SUITE};
+use crate::Scale;
 
 /// The §5.2 scheme line-up: FF, RD, F0, FI, LI, LSI, CR.
 ///
@@ -230,15 +232,11 @@ pub fn run_standard_lineup(
     (ff, reports)
 }
 
-/// Convenience: generate a suite matrix + rhs at the given scale.
-pub fn workload(name: &str, scale: Scale) -> (CsrMatrix, Vec<f64>) {
-    let spec = SUITE
-        .iter()
-        .find(|m| m.name == name)
-        .unwrap_or_else(|| panic!("unknown suite matrix '{name}'"));
-    let a = spec.generate(scale);
-    let b = spec.rhs(&a);
-    (a, b)
+/// Convenience: fetch a suite matrix + rhs at the given scale from the
+/// process-wide workload cache ([`crate::artifacts`]) — every harness
+/// requesting the same `(name, scale)` shares one generated instance.
+pub fn workload(name: &str, scale: Scale) -> (Arc<CsrMatrix>, Arc<Vec<f64>>) {
+    crate::artifacts::workload(name, scale)
 }
 
 #[cfg(test)]

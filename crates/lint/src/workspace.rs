@@ -10,8 +10,14 @@
 //! * **`campaign`** — owns the order-preserving pool and measures real
 //!   wall time by design, so `wall-clock` and `unordered-parallel` do
 //!   not apply; everything else does, plus full public docs.
-//! * **`experiments` / `bench`** — application crates; they may time
-//!   and print, but must not spawn ad-hoc threads.
+//! * **`experiments`** — application crate; it may time and print, but
+//!   must not spawn ad-hoc threads.
+//! * **`bench`** — feeds the regression gate, so in addition it may not
+//!   read the wall clock outside the pragma'd timing helper.
+//! * **artifact caches** (`sparse/src/artifacts.rs`,
+//!   `experiments/src/artifacts.rs`) — per-file tightened to the full
+//!   deterministic set: a cache hit must be bitwise-indistinguishable
+//!   from the miss that would have built it.
 //! * **`lint`** (this crate) — held to the same hygiene it enforces.
 //!
 //! `vendor/` stand-ins are not audited: they mimic external crates'
@@ -68,7 +74,11 @@ pub fn crate_rules(name: &str) -> Vec<Rule> {
         // path is re-tightened per file in [`file_rules`].
         "serve" => vec![DefaultHasher, NoUnwrap, MissingDocs],
         "lint" => vec![DefaultHasher, UnorderedParallel, NoUnwrap, MissingDocs],
-        "experiments" | "bench" => vec![UnorderedParallel],
+        "experiments" => vec![UnorderedParallel],
+        // The bench library feeds the regression gate: it may not read
+        // the wall clock except where explicitly pragma'd (the timing
+        // helper), so a stray timestamp cannot leak into gated counters.
+        "bench" => vec![WallClock, UnorderedParallel],
         // A new crate gets the hygiene baseline until it is classified
         // here; add it to this table (and LINTING.md) when it lands.
         _ => vec![DefaultHasher, UnorderedParallel, NoUnwrap],
@@ -78,18 +88,35 @@ pub fn crate_rules(name: &str) -> Vec<Rule> {
 /// Rules for one file: the crate baseline from [`crate_rules`], plus
 /// per-file tightenings. `rel` is the path inside the crate's `src/`.
 ///
-/// The one tightening today: `serve/src/compute.rs` is the service's
-/// deterministic compute path — its output bytes hash into the `ETag`
-/// clients revalidate against — so it is held to the numeric-crate
-/// rules (`wall-clock`, `unordered-parallel`) even though the rest of
-/// the crate is I/O edge.
+/// Tightenings:
+///
+/// * `serve/src/compute.rs` — the service's deterministic compute path;
+///   its output bytes hash into the `ETag` clients revalidate against,
+///   so it is held to the numeric-crate rules (`wall-clock`,
+///   `unordered-parallel`) even though the rest of the crate is I/O edge.
+/// * `sparse/src/artifacts.rs` and `experiments/src/artifacts.rs` — the
+///   shared artifact caches sit inside every solver hot path and hand
+///   out data that must be bitwise-transparent (a hit returns exactly
+///   what a miss would build), so they get the full deterministic rule
+///   set plus public docs regardless of the crate baseline.
 pub fn file_rules(name: &str, rel: &str) -> Vec<Rule> {
     use Rule::*;
+    let tighten: &[Rule] = match (name, rel) {
+        ("serve", "compute.rs") => &[WallClock, UnorderedParallel],
+        ("sparse", "artifacts.rs") | ("experiments", "artifacts.rs") => &[
+            WallClock,
+            DefaultHasher,
+            UnorderedParallel,
+            NoUnwrap,
+            MissingDocs,
+        ],
+        _ => &[],
+    };
     let mut rules = crate_rules(name);
-    if name == "serve" && rel == "compute.rs" {
-        for extra in [WallClock, UnorderedParallel] {
-            if !rules.contains(&extra) {
-                rules.push(extra);
+    if !tighten.is_empty() {
+        for extra in tighten {
+            if !rules.contains(extra) {
+                rules.push(*extra);
             }
         }
         rules.sort();

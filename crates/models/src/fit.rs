@@ -77,6 +77,7 @@ mod tests {
             energy_j: time * 10.0,
             avg_power_w: 10.0,
             faults_injected: faults,
+            construction_fallbacks: 0,
             checkpoint_interval_iters: Some(100),
             breakdown,
             history: ResidualHistory::new(),

@@ -123,6 +123,7 @@ mod tests {
             energy_j: energy,
             avg_power_w: energy / time,
             faults_injected: faults,
+            construction_fallbacks: 0,
             checkpoint_interval_iters: if scheme.starts_with("CR") {
                 Some(100)
             } else {

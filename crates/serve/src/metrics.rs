@@ -12,6 +12,31 @@ use std::time::Duration;
 
 use rsls_campaign::CampaignSummary;
 
+/// Snapshot of the process-wide artifact caches (sparse block cache,
+/// workload interner, halo-plan memo), gathered at scrape time by the
+/// server and folded into the exposition alongside the campaign totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArtifactCounters {
+    /// `rsls_sparse::artifacts` block-extraction cache hits.
+    pub sparse_hits: u64,
+    /// `rsls_sparse::artifacts` block-extraction cache misses.
+    pub sparse_misses: u64,
+    /// Entries currently held by the block-extraction cache.
+    pub sparse_entries: u64,
+    /// Workload-interner hits (`rsls_experiments::artifacts`).
+    pub workload_hits: u64,
+    /// Workload-interner misses (matrix + rhs generated).
+    pub workload_misses: u64,
+    /// Memoized matrix-fingerprint hits.
+    pub fingerprint_hits: u64,
+    /// Matrix fingerprints computed from scratch.
+    pub fingerprint_misses: u64,
+    /// Halo-plan memo hits (`rsls_solvers::dist`).
+    pub halo_hits: u64,
+    /// Halo-plan memo misses (plans built).
+    pub halo_misses: u64,
+}
+
 /// Latency histogram bucket upper bounds, in seconds.
 const BUCKETS: [f64; 8] = [0.001, 0.005, 0.02, 0.1, 0.5, 2.0, 10.0, 60.0];
 
@@ -127,8 +152,14 @@ impl Metrics {
     }
 
     /// Renders the exposition text. `campaign`/`campaign_waiters` fold
-    /// in the engine's own totals so one scrape covers both layers.
-    pub fn render(&self, campaign: &CampaignSummary, campaign_waiters: usize) -> String {
+    /// in the engine's own totals, and `artifacts` the process-wide
+    /// artifact-cache counters, so one scrape covers every layer.
+    pub fn render(
+        &self,
+        campaign: &CampaignSummary,
+        campaign_waiters: usize,
+        artifacts: &ArtifactCounters,
+    ) -> String {
         let mut out = String::new();
         let mut scalar = |name: &str, kind: &str, help: &str, value: u64| {
             let _ = writeln!(out, "# HELP {name} {help}");
@@ -270,6 +301,61 @@ impl Metrics {
             crate::client::client_retries_total(),
         );
 
+        scalar(
+            "rsls_artifact_sparse_cache_hits_total",
+            "counter",
+            "Block extractions served from the sparse artifact cache.",
+            artifacts.sparse_hits,
+        );
+        scalar(
+            "rsls_artifact_sparse_cache_misses_total",
+            "counter",
+            "Block extractions computed and inserted into the cache.",
+            artifacts.sparse_misses,
+        );
+        scalar(
+            "rsls_artifact_sparse_cache_entries",
+            "gauge",
+            "Entries currently held by the sparse artifact cache.",
+            artifacts.sparse_entries,
+        );
+        scalar(
+            "rsls_artifact_workload_hits_total",
+            "counter",
+            "Suite workloads served from the process-wide interner.",
+            artifacts.workload_hits,
+        );
+        scalar(
+            "rsls_artifact_workload_misses_total",
+            "counter",
+            "Suite workloads generated (matrix + rhs built).",
+            artifacts.workload_misses,
+        );
+        scalar(
+            "rsls_artifact_fingerprint_hits_total",
+            "counter",
+            "Matrix fingerprints served from the per-workload memo.",
+            artifacts.fingerprint_hits,
+        );
+        scalar(
+            "rsls_artifact_fingerprint_misses_total",
+            "counter",
+            "Matrix fingerprints hashed from scratch.",
+            artifacts.fingerprint_misses,
+        );
+        scalar(
+            "rsls_artifact_halo_plan_hits_total",
+            "counter",
+            "Halo exchange plans served from the dist-solver memo.",
+            artifacts.halo_hits,
+        );
+        scalar(
+            "rsls_artifact_halo_plan_misses_total",
+            "counter",
+            "Halo exchange plans built from the matrix structure.",
+            artifacts.halo_misses,
+        );
+
         let _ = writeln!(
             out,
             "# HELP rsls_serve_requests_total Requests served, by route and status."
@@ -358,7 +444,18 @@ mod tests {
             circuits_open: 1,
             unit_wall_s: 1.5,
         };
-        let text = m.render(&summary, 1);
+        let artifacts = ArtifactCounters {
+            sparse_hits: 9,
+            sparse_misses: 4,
+            sparse_entries: 4,
+            workload_hits: 6,
+            workload_misses: 2,
+            fingerprint_hits: 5,
+            fingerprint_misses: 2,
+            halo_hits: 3,
+            halo_misses: 1,
+        };
+        let text = m.render(&summary, 1, &artifacts);
         assert!(text.contains("rsls_serve_requests_total{route=\"experiment\",status=\"200\"} 1"));
         assert!(text.contains("rsls_serve_requests_total{route=\"experiment\",status=\"503\"} 1"));
         assert!(text.contains("rsls_serve_result_cache_hits_total 1"));
@@ -373,6 +470,15 @@ mod tests {
         assert!(text.contains("rsls_campaign_cache_quarantined_total 2"));
         assert!(text.contains("rsls_campaign_circuit_state 1"));
         assert!(text.contains("rsls_serve_client_retries_total"));
+        assert!(text.contains("rsls_artifact_sparse_cache_hits_total 9"));
+        assert!(text.contains("rsls_artifact_sparse_cache_misses_total 4"));
+        assert!(text.contains("rsls_artifact_sparse_cache_entries 4"));
+        assert!(text.contains("rsls_artifact_workload_hits_total 6"));
+        assert!(text.contains("rsls_artifact_workload_misses_total 2"));
+        assert!(text.contains("rsls_artifact_fingerprint_hits_total 5"));
+        assert!(text.contains("rsls_artifact_fingerprint_misses_total 2"));
+        assert!(text.contains("rsls_artifact_halo_plan_hits_total 3"));
+        assert!(text.contains("rsls_artifact_halo_plan_misses_total 1"));
         assert!(text.contains("rsls_serve_request_duration_seconds_count 3"));
         // Deterministic label order: BTreeMap keys render sorted.
         let experiment = text
@@ -389,7 +495,7 @@ mod tests {
         let m = Metrics::new();
         m.observe_request("x", 200, Duration::from_micros(500)); // ≤ 0.001
         m.observe_request("x", 200, Duration::from_millis(40)); // ≤ 0.1
-        let text = m.render(&CampaignSummary::default(), 0);
+        let text = m.render(&CampaignSummary::default(), 0, &ArtifactCounters::default());
         assert!(text.contains("bucket{le=\"0.001\"} 1"));
         assert!(text.contains("bucket{le=\"0.1\"} 2"));
         assert!(text.contains("bucket{le=\"+Inf\"} 2"));
@@ -399,7 +505,7 @@ mod tests {
     fn gauge_never_underflows() {
         let m = Metrics::new();
         m.workers_busy_add(-5);
-        let text = m.render(&CampaignSummary::default(), 0);
+        let text = m.render(&CampaignSummary::default(), 0, &ArtifactCounters::default());
         assert!(text.contains("rsls_serve_workers_busy 0"));
     }
 }

@@ -14,7 +14,7 @@ use rsls_experiments::campaign;
 use rsls_experiments::{ExperimentRegistry, Scale, Table};
 
 use crate::http::{self, Request, Response};
-use crate::metrics::Metrics;
+use crate::metrics::{ArtifactCounters, Metrics};
 use crate::queue::{JobOutput, SubmitError, WorkQueue};
 use crate::{compute, signal};
 
@@ -318,6 +318,24 @@ fn route(shared: &Arc<Shared>, req: &Request) -> (&'static str, Response) {
     }
 }
 
+/// Snapshots every process-wide artifact cache for one `/metrics` scrape.
+fn gather_artifact_counters() -> ArtifactCounters {
+    let sparse = rsls_sparse::artifacts::global().stats();
+    let workload = rsls_experiments::artifacts::stats();
+    let (halo_hits, halo_misses) = rsls_solvers::halo_plan_cache_stats();
+    ArtifactCounters {
+        sparse_hits: sparse.hits,
+        sparse_misses: sparse.misses,
+        sparse_entries: sparse.entries as u64,
+        workload_hits: workload.hits,
+        workload_misses: workload.misses,
+        fingerprint_hits: workload.fingerprint_hits,
+        fingerprint_misses: workload.fingerprint_misses,
+        halo_hits,
+        halo_misses,
+    }
+}
+
 fn root_response() -> Response {
     Response::text(
         200,
@@ -327,9 +345,11 @@ fn root_response() -> Response {
 
 fn metrics_response(shared: &Arc<Shared>) -> Response {
     let engine = campaign::engine();
-    let text = shared
-        .metrics
-        .render(&engine.summary(), engine.coalesce_waiters());
+    let text = shared.metrics.render(
+        &engine.summary(),
+        engine.coalesce_waiters(),
+        &gather_artifact_counters(),
+    );
     Response::new(200)
         .header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
         .with_body(text.into_bytes())

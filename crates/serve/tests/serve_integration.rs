@@ -312,6 +312,7 @@ fn reports_round_trip_from_the_content_addressed_store() {
         energy_j: 300.0,
         avg_power_w: 200.0,
         faults_injected: 0,
+        construction_fallbacks: 0,
         checkpoint_interval_iters: None,
         breakdown: Default::default(),
         history: Default::default(),

@@ -1,6 +1,6 @@
 //! Step-wise Conjugate Gradient.
 
-use rsls_sparse::vector::{axpy, dot, norm2, xpby};
+use rsls_sparse::vector::{axpy, axpy_dot, dot, norm2, xpby};
 use rsls_sparse::CsrMatrix;
 
 /// CG termination parameters.
@@ -90,7 +90,7 @@ impl<'a> Cg<'a> {
 
     /// Performs one CG iteration, returning the new relative residual.
     pub fn step(&mut self) -> f64 {
-        self.a.spmv(&self.p, &mut self.ap);
+        self.a.spmv_auto(&self.p, &mut self.ap);
         let pap = dot(&self.p, &self.ap);
         if pap <= 0.0 || !pap.is_finite() {
             // Breakdown (indefinite operator or poisoned state): restart
@@ -101,8 +101,9 @@ impl<'a> Cg<'a> {
         }
         let alpha = self.rr / pap;
         axpy(alpha, &self.p, &mut self.x);
-        axpy(-alpha, &self.ap, &mut self.r);
-        let rr_new = dot(&self.r, &self.r);
+        // Fused residual update + squared norm: one pass over r instead
+        // of two, bit-identical to axpy followed by dot(r, r).
+        let rr_new = axpy_dot(-alpha, &self.ap, &mut self.r);
         let beta = rr_new / self.rr;
         xpby(&self.r, beta, &mut self.p);
         self.rr = rr_new;
@@ -117,7 +118,7 @@ impl<'a> Cg<'a> {
     }
 
     fn recompute_residual(&mut self) {
-        self.a.spmv(&self.x, &mut self.r);
+        self.a.spmv_auto(&self.x, &mut self.r);
         for (ri, bi) in self.r.iter_mut().zip(self.b) {
             *ri = bi - *ri;
         }
@@ -132,11 +133,14 @@ impl<'a> Cg<'a> {
 
     /// The *true* relative residual `||b − A x|| / ||b||` (recomputed; the
     /// recurrence residual can drift after many iterations).
-    pub fn true_relative_residual(&self) -> f64 {
-        let mut ax = vec![0.0; self.x.len()];
-        self.a.spmv(&self.x, &mut ax);
+    ///
+    /// Allocation-free: reuses the `ap` scratch vector, which every
+    /// [`Cg::step`] overwrites before reading, so clobbering it here is
+    /// invisible to the iteration.
+    pub fn true_relative_residual(&mut self) -> f64 {
+        self.a.spmv_auto(&self.x, &mut self.ap);
         let mut diff = 0.0;
-        for (axi, bi) in ax.iter().zip(self.b) {
+        for (axi, bi) in self.ap.iter().zip(self.b) {
             diff += (bi - axi) * (bi - axi);
         }
         diff.sqrt() / self.b_norm

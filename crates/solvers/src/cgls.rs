@@ -58,7 +58,7 @@ impl<'a> Cgls<'a> {
         assert_eq!(x0.len(), a.ncols(), "CGLS guess length mismatch");
         let (m, n) = (a.nrows(), a.ncols());
         let mut r = vec![0.0; m];
-        a.spmv(&x0, &mut r);
+        a.spmv_auto(&x0, &mut r);
         for (ri, bi) in r.iter_mut().zip(b) {
             *ri = bi - *ri;
         }
@@ -87,7 +87,7 @@ impl<'a> Cgls<'a> {
     /// One CGLS iteration; returns the relative optimality residual
     /// `||Aᵀr|| / ||Aᵀr₀||`.
     pub fn step(&mut self) -> f64 {
-        self.a.spmv(&self.p, &mut self.q);
+        self.a.spmv_auto(&self.p, &mut self.q);
         let qq = dot(&self.q, &self.q);
         if qq == 0.0 || !qq.is_finite() {
             self.iteration += 1;

@@ -10,7 +10,41 @@
 //! what a real SPMD code moves, and (b) serve as the starting point for a
 //! genuinely parallel backend.
 
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+use rsls_sparse::artifacts::MatrixKey;
 use rsls_sparse::{CsrMatrix, Partition};
+
+/// Process-global memo of halo plans: `(matrix content, partition
+/// boundaries) → plan`. Plans are pure functions of their key, so a
+/// hit is bit-identical to a rebuild.
+static PLAN_CACHE: OnceLock<Mutex<BTreeMap<(MatrixKey, u64), Arc<HaloPlan>>>> = OnceLock::new();
+static PLAN_HITS: AtomicU64 = AtomicU64::new(0);
+static PLAN_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// `(hits, misses)` of the [`HaloPlan::build_cached`] memo, for the
+/// `/metrics` artifact-cache families.
+pub fn halo_plan_cache_stats() -> (u64, u64) {
+    (
+        PLAN_HITS.load(Ordering::Relaxed),
+        PLAN_MISSES.load(Ordering::Relaxed),
+    )
+}
+
+/// Folds the exact `(start, end)` boundaries of every rank range, so two
+/// partitions share a key only when they induce the same distribution.
+fn partition_hash(part: &Partition) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for rank in 0..part.num_ranks() {
+        let r = part.range(rank);
+        h = (h ^ r.start as u64).wrapping_mul(PRIME);
+        h = (h ^ r.end as u64).wrapping_mul(PRIME);
+    }
+    h
+}
 
 /// The communication plan of a block-row SPMD SpMV.
 ///
@@ -58,6 +92,31 @@ impl HaloPlan {
         HaloPlan { recv, send }
     }
 
+    /// Memoized [`HaloPlan::build`]: scaling studies construct many
+    /// [`DistCg`] instances over the same `(matrix, partition)` pair, and
+    /// the plan depends on nothing else.
+    pub fn build_cached(a: &CsrMatrix, part: &Partition) -> Arc<HaloPlan> {
+        let key = (MatrixKey::of(a), partition_hash(part));
+        let cache = PLAN_CACHE.get_or_init(|| Mutex::new(BTreeMap::new()));
+        if let Some(hit) = cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&key)
+            .cloned()
+        {
+            PLAN_HITS.fetch_add(1, Ordering::Relaxed);
+            return hit;
+        }
+        PLAN_MISSES.fetch_add(1, Ordering::Relaxed);
+        let plan = Arc::new(HaloPlan::build(a, part));
+        cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .entry(key)
+            .or_insert(plan)
+            .clone()
+    }
+
     /// Global indices `rank` receives each exchange.
     pub fn recv_indices(&self, rank: usize) -> &[usize] {
         &self.recv[rank]
@@ -97,7 +156,7 @@ struct LocalVector {
 #[derive(Debug, Clone)]
 pub struct DistCg {
     part: Partition,
-    plan: HaloPlan,
+    plan: Arc<HaloPlan>,
     /// Per-rank row panel with columns remapped to `[own | halo]` local
     /// numbering.
     local_a: Vec<CsrMatrix>,
@@ -123,7 +182,7 @@ impl DistCg {
         assert_eq!(b.len(), a.nrows(), "rhs length mismatch");
         assert_eq!(part.n(), a.nrows(), "partition does not match matrix");
         let p = part.num_ranks();
-        let plan = HaloPlan::build(a, &part);
+        let plan = HaloPlan::build_cached(a, &part);
 
         // Remap each rank's rows to local column numbering: columns inside
         // the range map to [0, len); halo columns map to len + position in

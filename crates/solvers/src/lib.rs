@@ -27,4 +27,4 @@ pub mod jacobi;
 pub use cg::{Cg, CgConfig};
 pub use cgls::{Cgls, CglsConfig};
 pub use convergence::{ResidualHistory, SolveOutcome};
-pub use dist::{DistCg, HaloPlan};
+pub use dist::{halo_plan_cache_stats, DistCg, HaloPlan};

@@ -1,9 +1,58 @@
 //! Compressed sparse row matrices and matrix–vector kernels.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use rayon::prelude::*;
 
 use crate::dense::DenseMatrix;
 use crate::{LinalgError, Result};
+
+/// Stored-entry threshold above which [`CsrMatrix::spmv_auto`] switches
+/// to the chunked parallel kernel. `0` means "not yet initialized from
+/// the environment"; [`par_spmv_threshold`] resolves that lazily.
+static PAR_SPMV_NNZ: AtomicUsize = AtomicUsize::new(0);
+
+/// Default for [`par_spmv_threshold`]: high enough that small campaign
+/// matrices (which already run many units in parallel) never pay scoped
+/// thread-spawn overhead per iteration, low enough that the large
+/// scaling-study matrices go parallel.
+pub const PAR_SPMV_NNZ_DEFAULT: usize = 400_000;
+
+/// Rows per parallel chunk in [`CsrMatrix::spmv_auto`]. Large enough to
+/// amortize dispatch, small enough to load-balance irregular rows.
+pub const PAR_SPMV_CHUNK_ROWS: usize = 4096;
+
+/// The active `nnz` threshold for [`CsrMatrix::spmv_auto`].
+///
+/// Resolved once from the `RSLS_PAR_SPMV_NNZ` environment variable
+/// (default [`PAR_SPMV_NNZ_DEFAULT`]); a value of `0` disables the
+/// parallel path entirely. The gate only selects *which* bit-identical
+/// kernel runs, so it can never affect results — only speed.
+pub fn par_spmv_threshold() -> usize {
+    match PAR_SPMV_NNZ.load(Ordering::Relaxed) {
+        0 => {
+            let v = std::env::var("RSLS_PAR_SPMV_NNZ")
+                .ok()
+                .and_then(|s| s.parse::<usize>().ok())
+                .map_or(
+                    PAR_SPMV_NNZ_DEFAULT,
+                    |n| if n == 0 { usize::MAX } else { n },
+                );
+            PAR_SPMV_NNZ.store(v, Ordering::Relaxed);
+            v
+        }
+        v => v,
+    }
+}
+
+/// Overrides the [`par_spmv_threshold`] gate for this process.
+///
+/// `usize::MAX` forces the serial kernel, `1` forces the parallel one.
+/// Tests use this instead of environment variables, which race between
+/// threads of one test binary.
+pub fn set_par_spmv_threshold(nnz: usize) {
+    PAR_SPMV_NNZ.store(nnz.max(1), Ordering::Relaxed);
+}
 
 /// An immutable sparse matrix in compressed-sparse-row format.
 ///
@@ -217,6 +266,54 @@ impl CsrMatrix {
         });
     }
 
+    /// Row-chunked parallel product `y = A x`, bit-identical to
+    /// [`CsrMatrix::spmv`].
+    ///
+    /// The output is split into chunks of `chunk_rows` rows; worker
+    /// threads claim chunks from a shared cursor, and each row is still
+    /// reduced serially, so chunking and scheduling can never change a
+    /// single bit of the result. Compared to [`CsrMatrix::par_spmv`]
+    /// (one static chunk per thread) the finer chunks load-balance
+    /// matrices whose nnz varies across row ranges.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != ncols`, `y.len() != nrows`, or
+    /// `chunk_rows == 0`.
+    pub fn par_spmv_chunked(&self, x: &[f64], y: &mut [f64], chunk_rows: usize) {
+        assert_eq!(x.len(), self.ncols, "par_spmv_chunked: x length mismatch");
+        assert_eq!(y.len(), self.nrows, "par_spmv_chunked: y length mismatch");
+        assert!(chunk_rows > 0, "par_spmv_chunked: chunk_rows must be > 0");
+        let row_ptr = &self.row_ptr;
+        let col_idx = &self.col_idx;
+        let values = &self.values;
+        y.par_chunks_mut(chunk_rows)
+            .enumerate()
+            .for_each(|(ci, out)| {
+                let base = ci * chunk_rows;
+                for (i, slot) in out.iter_mut().enumerate() {
+                    let r = base + i;
+                    let mut acc = 0.0;
+                    for k in row_ptr[r]..row_ptr[r + 1] {
+                        acc += values[k] * x[col_idx[k]];
+                    }
+                    *slot = acc;
+                }
+            });
+    }
+
+    /// Size-gated product `y = A x`: the chunked parallel kernel for
+    /// matrices with at least [`par_spmv_threshold`] stored entries
+    /// (when more than one thread is available), the serial kernel
+    /// otherwise. Both kernels are bit-identical, so the gate is purely
+    /// a performance decision.
+    pub fn spmv_auto(&self, x: &[f64], y: &mut [f64]) {
+        if self.nnz() >= par_spmv_threshold() && rayon::current_num_threads() > 1 {
+            self.par_spmv_chunked(x, y, PAR_SPMV_CHUNK_ROWS);
+        } else {
+            self.spmv(x, y);
+        }
+    }
+
     /// Transposed product `y = Aᵀ x` (scatter formulation).
     ///
     /// # Panics
@@ -226,11 +323,18 @@ impl CsrMatrix {
         assert_eq!(y.len(), self.ncols, "spmv_transpose: y length mismatch");
         y.fill(0.0);
         for r in 0..self.nrows {
+            // Structurally empty rows skip before the value test: no
+            // `x[r]` load or float compare for rows with nothing to
+            // scatter (common in tall panels from irregular meshes).
+            let (lo, hi) = (self.row_ptr[r], self.row_ptr[r + 1]);
+            if lo == hi {
+                continue;
+            }
             let xr = x[r];
             if xr == 0.0 {
                 continue;
             }
-            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+            for k in lo..hi {
                 y[self.col_idx[k]] += self.values[k] * xr;
             }
         }
@@ -494,6 +598,53 @@ mod tests {
         a.spmv(&x, &mut y1);
         a.par_spmv(&x, &mut y2);
         assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn par_spmv_chunked_matches_serial_at_every_chunk_size() {
+        let a = sample();
+        let x = vec![0.5, -1.5, 2.0];
+        let mut want = vec![0.0; 3];
+        a.spmv(&x, &mut want);
+        for chunk_rows in [1, 2, 3, 7] {
+            let mut got = vec![0.0; 3];
+            a.par_spmv_chunked(&x, &mut got, chunk_rows);
+            assert_eq!(want, got, "chunk_rows={chunk_rows}");
+        }
+    }
+
+    #[test]
+    fn spmv_auto_is_bit_identical_across_the_gate() {
+        let a = sample();
+        let x = vec![1.25, -0.75, 3.5];
+        let mut serial = vec![0.0; 3];
+        a.spmv(&x, &mut serial);
+        // Force each side of the gate in turn; restore the default after.
+        for forced in [1usize, usize::MAX] {
+            set_par_spmv_threshold(forced);
+            let mut got = vec![0.0; 3];
+            a.spmv_auto(&x, &mut got);
+            assert_eq!(serial, got, "threshold={forced}");
+        }
+        set_par_spmv_threshold(PAR_SPMV_NNZ_DEFAULT);
+    }
+
+    #[test]
+    fn spmv_transpose_skips_structurally_empty_rows() {
+        // Row 1 is structurally empty but x[1] != 0; row 2 has entries
+        // but x[2] == 0. Both must be skipped without affecting y.
+        let mut coo = CooMatrix::new(3, 2);
+        coo.push(0, 0, 2.0).unwrap();
+        coo.push(2, 1, 5.0).unwrap();
+        let a = coo.to_csr();
+        let x = vec![3.0, 7.0, 0.0];
+        let mut y = vec![f64::NAN, f64::NAN];
+        a.spmv_transpose(&x, &mut y);
+        assert_eq!(y, vec![6.0, 0.0]);
+        let at = a.transpose();
+        let mut want = vec![0.0; 2];
+        at.spmv(&x, &mut want);
+        assert_eq!(y, want);
     }
 
     #[test]

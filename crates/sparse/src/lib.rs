@@ -21,8 +21,12 @@
 //!   least-squares solver used by the exact LI / LSI reconstruction
 //!   baselines (§4.1 of the paper),
 //! * [`vector`] — BLAS-1 kernels (dot, axpy, norms) with flop counting,
+//! * [`artifacts`] — content-keyed in-memory cache sharing block
+//!   extractions (diagonal blocks, row panels, Gram matrices) across the
+//!   many campaign units that reuse one operator,
 //! * [`io`] — Matrix Market read/write for interoperability.
 
+pub mod artifacts;
 pub mod coo;
 pub mod csr;
 pub mod dense;

@@ -109,6 +109,26 @@ proptest! {
     }
 
     #[test]
+    fn par_spmv_is_bit_identical_to_serial(coo in coo_strategy(), seed in 0u64..1000, chunk in 1usize..9) {
+        let a = coo.to_csr();
+        let mut rng_state = seed.wrapping_add(17);
+        let x: Vec<f64> = (0..a.ncols()).map(|_| {
+            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((rng_state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        }).collect();
+        let mut serial = vec![0.0; a.nrows()];
+        a.spmv(&x, &mut serial);
+        // Bit-identical, not approximately equal: each row is a serial
+        // reduction regardless of which worker computes it, so `==` holds.
+        let mut par = vec![f64::NAN; a.nrows()];
+        a.par_spmv(&x, &mut par);
+        prop_assert_eq!(&par, &serial);
+        let mut chunked = vec![f64::NAN; a.nrows()];
+        a.par_spmv_chunked(&x, &mut chunked, chunk);
+        prop_assert_eq!(&chunked, &serial);
+    }
+
+    #[test]
     fn dot_is_symmetric_and_axpy_linear(v in proptest::collection::vec(-100.0f64..100.0, 1..50)) {
         let w: Vec<f64> = v.iter().map(|x| x * 0.5 + 1.0).collect();
         prop_assert!((dot(&v, &w) - dot(&w, &v)).abs() < 1e-9);

@@ -222,21 +222,33 @@ impl<'a, T: Sync, F> MappedSlice<'a, T, F> {
 
 // --- mutable-slice parallel iteration -----------------------------------
 
-/// `par_iter_mut()` on slices.
+/// `par_iter_mut()` / `par_chunks_mut()` on slices.
 pub trait ParallelSliceMut<T: Send> {
     /// A parallel iterator over mutable references.
     fn par_iter_mut(&mut self) -> ParIterMut<'_, T>;
+    /// A parallel iterator over non-overlapping mutable chunks of
+    /// `chunk_size` elements (the last chunk may be shorter).
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
 }
 
 impl<T: Send> ParallelSliceMut<T> for [T] {
     fn par_iter_mut(&mut self) -> ParIterMut<'_, T> {
         ParIterMut { slice: self }
     }
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        ParChunksMut {
+            slice: self,
+            size: chunk_size.max(1),
+        }
+    }
 }
 
 impl<T: Send> ParallelSliceMut<T> for Vec<T> {
     fn par_iter_mut(&mut self) -> ParIterMut<'_, T> {
         ParIterMut { slice: self }
+    }
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        self.as_mut_slice().par_chunks_mut(chunk_size)
     }
 }
 
@@ -282,6 +294,73 @@ impl<T: Send> EnumerateParIterMut<'_, T> {
                     let offset = ci * chunk;
                     for (i, item) in items.iter_mut().enumerate() {
                         f((offset + i, item));
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// Parallel iterator over non-overlapping mutable chunks.
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pairs each chunk with its chunk index.
+    pub fn enumerate(self) -> EnumerateParChunksMut<'a, T> {
+        EnumerateParChunksMut {
+            slice: self.slice,
+            size: self.size,
+        }
+    }
+
+    /// Applies `f` to every chunk in parallel.
+    pub fn for_each(self, f: impl Fn(&mut [T]) + Sync) {
+        self.enumerate().for_each(|(_, c)| f(c));
+    }
+}
+
+/// Enumerated parallel iterator over non-overlapping mutable chunks.
+pub struct EnumerateParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+/// Work list handing each `(chunk_index, chunk)` to exactly one worker.
+type ChunkWork<'a, T> = Vec<Mutex<Option<(usize, &'a mut [T])>>>;
+
+impl<T: Send> EnumerateParChunksMut<'_, T> {
+    /// Applies `f` to every `(chunk_index, chunk)` pair. Workers claim
+    /// chunks from a shared cursor, so uneven chunk costs load balance;
+    /// chunks are disjoint, so writes never race.
+    pub fn for_each(self, f: impl Fn((usize, &mut [T])) + Sync) {
+        let n_chunks = self.slice.len().div_ceil(self.size);
+        let threads = current_num_threads().min(n_chunks.max(1));
+        if threads <= 1 || n_chunks <= 1 {
+            for (ci, chunk) in self.slice.chunks_mut(self.size).enumerate() {
+                f((ci, chunk));
+            }
+            return;
+        }
+        let work: ChunkWork<'_, T> = self
+            .slice
+            .chunks_mut(self.size)
+            .enumerate()
+            .map(|pair| Mutex::new(Some(pair)))
+            .collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= work.len() {
+                        break;
+                    }
+                    let item = work[i].lock().unwrap().take();
+                    if let Some(pair) = item {
+                        f(pair);
                     }
                 });
             }
@@ -371,6 +450,32 @@ mod tests {
         for (i, x) in v.iter().enumerate() {
             assert_eq!(*x, i * 2);
         }
+    }
+
+    #[test]
+    fn chunked_for_each_covers_every_chunk_once() {
+        let mut v = vec![0usize; 1003];
+        v.par_chunks_mut(64).enumerate().for_each(|(ci, chunk)| {
+            for (i, x) in chunk.iter_mut().enumerate() {
+                *x = ci * 64 + i + 1;
+            }
+        });
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i + 1);
+        }
+    }
+
+    #[test]
+    fn chunked_for_each_handles_empty_and_oversized() {
+        let mut empty: Vec<u8> = Vec::new();
+        empty
+            .par_chunks_mut(8)
+            .for_each(|c| panic!("no chunks expected, got {}", c.len()));
+        let mut v = vec![1u8; 5];
+        v.par_chunks_mut(100).enumerate().for_each(|(ci, chunk)| {
+            assert_eq!(ci, 0);
+            assert_eq!(chunk.len(), 5);
+        });
     }
 
     #[test]
