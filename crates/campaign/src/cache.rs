@@ -38,6 +38,8 @@ use std::sync::Arc;
 use rsls_chaos::{ChaosInjector, ChaosSite};
 use rsls_core::RunReport;
 
+use crate::provenance::Provenance;
+
 /// Bounded attempts for transiently failing object reads and writes.
 const IO_ATTEMPTS: usize = 4;
 
@@ -121,6 +123,51 @@ impl ResultCache {
         self.dir
             .join("quarantine")
             .join(format!("{report_hash}.json"))
+    }
+
+    /// Path of the provenance sidecar record for unit `spec_hash`.
+    pub fn provenance_path(&self, spec_hash: &str) -> PathBuf {
+        self.dir
+            .join("provenance")
+            .join(format!("{spec_hash}.json"))
+    }
+
+    /// Sorted content hashes of every unit pointer in `units/` — the
+    /// stable enumeration order warehouse ingest (`rsls-lab`) walks so
+    /// query results are byte-identical regardless of directory
+    /// iteration order or job count.
+    pub fn unit_spec_hashes(&self) -> Vec<String> {
+        Self::hashes_in(&self.dir.join("units"), "ref")
+    }
+
+    /// Sorted content hashes of every object in `objects/`.
+    pub fn object_hashes(&self) -> Vec<String> {
+        Self::hashes_in(&self.dir.join("objects"), "json")
+    }
+
+    /// Sorted sha256 stems of `<dir>/*.<ext>` entries; missing or
+    /// unreadable directories are simply empty.
+    fn hashes_in(dir: &Path, ext: &str) -> Vec<String> {
+        let Ok(entries) = fs::read_dir(dir) else {
+            return Vec::new();
+        };
+        let mut hashes: Vec<String> = entries
+            .filter_map(|e| e.ok())
+            .filter_map(|e| {
+                let path = e.path();
+                if path.extension().and_then(|x| x.to_str()) != Some(ext) {
+                    return None;
+                }
+                let stem = path.file_stem()?.to_str()?;
+                if is_sha256_hex(stem) {
+                    Some(stem.to_string())
+                } else {
+                    None
+                }
+            })
+            .collect();
+        hashes.sort_unstable();
+        hashes
     }
 
     /// Objects quarantined by this cache handle since it was opened.
@@ -270,6 +317,29 @@ impl ResultCache {
             spec_hash,
         )?;
         Ok(report_hash)
+    }
+
+    /// Persists the provenance sidecar record for its `spec_hash`
+    /// (atomic temp + rename, canonical JSON — byte-deterministic for a
+    /// given record, like the object store proper).
+    pub fn store_provenance(&self, prov: &Provenance) -> io::Result<()> {
+        let json = serde_json::to_string(prov)
+            .map_err(|e| io::Error::other(format!("provenance serialization failed: {e}")))?;
+        fs::create_dir_all(self.dir.join("provenance"))?;
+        self.write_atomic(
+            &self.provenance_path(&prov.spec_hash),
+            json.as_bytes(),
+            &prov.spec_hash,
+        )
+    }
+
+    /// Loads the provenance record for unit `spec_hash`, if one exists
+    /// and parses. Stores that predate provenance (or a corrupted
+    /// sidecar) read as `None` — provenance is advisory metadata, never
+    /// a reason to fail a lookup.
+    pub fn load_provenance(&self, spec_hash: &str) -> Option<Provenance> {
+        let bytes = fs::read(self.provenance_path(spec_hash)).ok()?;
+        serde_json::from_slice(&bytes).ok()
     }
 
     /// Atomic write with bounded retries: a torn or failing write (real
@@ -487,6 +557,41 @@ mod tests {
             "after torn-write retries the landed object is complete"
         );
         assert!(matches!(cache.lookup("u"), Lookup::Hit(_)));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn provenance_sidecars_round_trip_and_enumerate() {
+        let dir = tmp_dir("provenance");
+        let cache = ResultCache::open(&dir).unwrap();
+        let spec = crate::UnitSpec {
+            experiment: "fig5".into(),
+            unit: "crystm02/FF".into(),
+            matrix: "crystm02".into(),
+            matrix_fingerprint: 7,
+            scale: "quick".into(),
+            engine_version: crate::ENGINE_VERSION,
+            config: rsls_core::RunConfig::new(rsls_core::Scheme::FaultFree, 8),
+        };
+        let spec_hash = spec.content_hash();
+        let rhash = cache.store(&spec_hash, &report()).unwrap();
+        let prov = Provenance::for_unit(&spec, &rhash, None);
+        cache.store_provenance(&prov).unwrap();
+        assert_eq!(cache.load_provenance(&spec_hash), Some(prov));
+        assert!(cache.load_provenance(&"0".repeat(64)).is_none());
+        assert_eq!(cache.unit_spec_hashes(), vec![spec_hash.clone()]);
+        assert_eq!(cache.object_hashes(), vec![rhash]);
+        // Re-storing writes identical bytes (byte-determinism).
+        let first = fs::read(cache.provenance_path(&spec_hash)).unwrap();
+        cache
+            .store_provenance(&Provenance::for_unit(
+                &spec,
+                &cache.object_hash(&spec_hash).unwrap(),
+                None,
+            ))
+            .unwrap();
+        let second = fs::read(cache.provenance_path(&spec_hash)).unwrap();
+        assert_eq!(first, second);
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -12,6 +12,7 @@ use rsls_core::RunReport;
 
 use crate::cache::{Lookup, ResultCache};
 use crate::journal::{Journal, JournalEvent};
+use crate::provenance::Provenance;
 use crate::spec::UnitSpec;
 
 /// How the engine executes a batch of units.
@@ -396,6 +397,11 @@ impl Engine {
         for attempt in 0..=self.opts.retries {
             if attempt > 0 {
                 self.stats.retries.fetch_add(1, Ordering::Relaxed);
+                self.journal_record(&JournalEvent::Retry {
+                    hash: hash.to_string(),
+                    unit: name.clone(),
+                    attempt: attempt as u64,
+                });
                 std::thread::sleep(self.backoff_delay(attempt));
             }
             let attempt_key = format!("{hash}:{attempt}");
@@ -415,8 +421,23 @@ impl Engine {
             match result {
                 Ok(report) => {
                     if let Some(cache) = &self.cache {
-                        if let Err(e) = cache.store(hash, &report) {
-                            eprintln!("warning: failed to cache {name}: {e}");
+                        match cache.store(hash, &report) {
+                            Ok(report_hash) => {
+                                // Provenance sidecar: trace the object
+                                // back to its exact inputs. Best-effort,
+                                // like the journal — analysis metadata
+                                // must never fail a unit.
+                                let chaos_plan_hash =
+                                    self.opts.chaos.as_ref().map(|c| c.plan().content_hash());
+                                let prov =
+                                    Provenance::for_unit(spec, &report_hash, chaos_plan_hash);
+                                if let Err(e) = cache.store_provenance(&prov) {
+                                    eprintln!(
+                                        "warning: failed to record provenance for {name}: {e}"
+                                    );
+                                }
+                            }
+                            Err(e) => eprintln!("warning: failed to cache {name}: {e}"),
                         }
                     }
                     self.record_unit_success(&spec.experiment);
@@ -573,6 +594,26 @@ impl Engine {
         if let Some(journal) = &self.journal {
             if let Err(e) = journal.record(event) {
                 eprintln!("warning: journal write failed: {e}");
+            }
+        }
+    }
+
+    /// Journals one `chaos` record per injection site that fired,
+    /// attributing resilience activity (retries, quarantines,
+    /// degradations) to its causes. Call once at campaign end; a run
+    /// without an injector (or whose injector never fired) writes
+    /// nothing.
+    pub fn journal_chaos_summary(&self) {
+        let Some(chaos) = &self.opts.chaos else {
+            return;
+        };
+        for site in rsls_chaos::ChaosSite::ALL {
+            let fired = chaos.fired(site);
+            if fired > 0 {
+                self.journal_record(&JournalEvent::Chaos {
+                    site: site.label().to_string(),
+                    fired,
+                });
             }
         }
     }

@@ -78,17 +78,38 @@ pub enum JournalEvent {
         /// Why the unit was degraded (which circuit, what tripped it).
         reason: String,
     },
+    /// The unit's previous attempt panicked and it is being re-run.
+    Retry {
+        /// Unit content hash.
+        hash: String,
+        /// Qualified unit name.
+        unit: String,
+        /// 1-based re-attempt number (the first retry is attempt 1).
+        attempt: u64,
+    },
+    /// Campaign-end summary of one chaos injection site: how many
+    /// faults it fired over the whole run. Written once per fired site
+    /// so warehouse views can attribute resilience activity to causes.
+    Chaos {
+        /// Stable site label (e.g. `"cache-corrupt"`).
+        site: String,
+        /// Faults this site injected during the campaign.
+        fired: u64,
+    },
 }
 
 impl JournalEvent {
-    /// The unit name carried by this event, for error context.
+    /// The unit name (or chaos site) carried by this event, for error
+    /// context.
     fn unit(&self) -> &str {
         match self {
             JournalEvent::Start { unit, .. }
             | JournalEvent::Done { unit, .. }
             | JournalEvent::Failed { unit, .. }
             | JournalEvent::CacheCorrupt { unit, .. }
-            | JournalEvent::Degraded { unit, .. } => unit,
+            | JournalEvent::Degraded { unit, .. }
+            | JournalEvent::Retry { unit, .. } => unit,
+            JournalEvent::Chaos { site, .. } => site,
         }
     }
 
@@ -137,6 +158,80 @@ impl JournalEvent {
                 ("unit", Value::Str(unit.clone())),
                 ("reason", Value::Str(reason.clone())),
             ]),
+            JournalEvent::Retry {
+                hash,
+                unit,
+                attempt,
+            } => obj(&[
+                ("event", Value::Str("retry".into())),
+                ("hash", Value::Str(hash.clone())),
+                ("unit", Value::Str(unit.clone())),
+                ("attempt", Value::UInt(*attempt)),
+            ]),
+            JournalEvent::Chaos { site, fired } => obj(&[
+                ("event", Value::Str("chaos".into())),
+                ("site", Value::Str(site.clone())),
+                ("fired", Value::UInt(*fired)),
+            ]),
+        }
+    }
+
+    /// Parses one journal line back into an event. Unknown event kinds
+    /// and malformed records (truncated lines, missing fields) read as
+    /// `None` — journals are crash-tolerant, so readers must be too.
+    fn from_line(line: &str) -> Option<JournalEvent> {
+        let v: Value = serde_json::from_str(line).ok()?;
+        let s = |key: &str| match v.get(key) {
+            Some(Value::Str(s)) => Some(s.clone()),
+            _ => None,
+        };
+        let u = |key: &str| match v.get(key) {
+            Some(Value::UInt(n)) => Some(*n),
+            Some(Value::Int(n)) if *n >= 0 => Some(*n as u64),
+            Some(Value::Float(f)) if *f >= 0.0 => Some(*f as u64),
+            _ => None,
+        };
+        let f = |key: &str| match v.get(key) {
+            Some(Value::Float(f)) => Some(*f),
+            Some(Value::UInt(n)) => Some(*n as f64),
+            Some(Value::Int(n)) => Some(*n as f64),
+            _ => None,
+        };
+        match s("event")?.as_str() {
+            "start" => Some(JournalEvent::Start {
+                hash: s("hash")?,
+                unit: s("unit")?,
+            }),
+            "done" => Some(JournalEvent::Done {
+                hash: s("hash")?,
+                unit: s("unit")?,
+                wall_s: f("wall_s")?,
+            }),
+            "failed" => Some(JournalEvent::Failed {
+                hash: s("hash")?,
+                unit: s("unit")?,
+                error: s("error")?,
+            }),
+            "cache-corrupt" => Some(JournalEvent::CacheCorrupt {
+                hash: s("hash")?,
+                unit: s("unit")?,
+                object: s("object")?,
+            }),
+            "degraded" => Some(JournalEvent::Degraded {
+                hash: s("hash")?,
+                unit: s("unit")?,
+                reason: s("reason")?,
+            }),
+            "retry" => Some(JournalEvent::Retry {
+                hash: s("hash")?,
+                unit: s("unit")?,
+                attempt: u("attempt")?,
+            }),
+            "chaos" => Some(JournalEvent::Chaos {
+                site: s("site")?,
+                fired: u("fired")?,
+            }),
+            _ => None,
         }
     }
 }
@@ -316,6 +411,25 @@ impl Journal {
         }
         Ok(done)
     }
+
+    /// Reads every parseable event from the journal at `path`, in
+    /// append order. Missing files mean an empty list; unparsable or
+    /// unknown-kind lines are skipped (crash tolerance) — this is the
+    /// accessor warehouse ingest builds unit timelines from.
+    pub fn read_events(path: impl AsRef<Path>) -> io::Result<Vec<JournalEvent>> {
+        let file = match File::open(path.as_ref()) {
+            Ok(f) => f,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        };
+        let mut events = Vec::new();
+        for line in BufReader::new(file).lines() {
+            if let Some(event) = JournalEvent::from_line(&line?) {
+                events.push(event);
+            }
+        }
+        Ok(events)
+    }
 }
 
 #[cfg(test)]
@@ -462,6 +576,63 @@ mod tests {
         let done = Journal::completed_hashes(&path).unwrap();
         assert!(!done.contains("lost"), "torn record is lost, like a crash");
         assert!(done.contains("kept"), "later records survive intact");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn read_events_round_trips_and_skips_garbage() {
+        let path = tmp_path("read-events");
+        let _ = std::fs::remove_file(&path);
+        let j = Journal::create(&path).unwrap();
+        let events = vec![
+            JournalEvent::Start {
+                hash: "h1".into(),
+                unit: "e/u1".into(),
+            },
+            JournalEvent::Retry {
+                hash: "h1".into(),
+                unit: "e/u1".into(),
+                attempt: 2,
+            },
+            JournalEvent::Done {
+                hash: "h1".into(),
+                unit: "e/u1".into(),
+                wall_s: 0.5,
+            },
+            JournalEvent::Failed {
+                hash: "h2".into(),
+                unit: "e/u2".into(),
+                error: "boom".into(),
+            },
+            JournalEvent::Degraded {
+                hash: "h3".into(),
+                unit: "e/u3".into(),
+                reason: "circuit".into(),
+            },
+            JournalEvent::CacheCorrupt {
+                hash: "h1".into(),
+                unit: "e/u1".into(),
+                object: "o".repeat(64),
+            },
+            JournalEvent::Chaos {
+                site: "cache-corrupt".into(),
+                fired: 3,
+            },
+        ];
+        for e in &events {
+            j.record(e).unwrap();
+        }
+        drop(j);
+        // Garbage and unknown-kind lines must be skipped, not fatal.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"not json at all\n").unwrap();
+        f.write_all(b"{\"event\":\"from-the-future\",\"x\":1}\n")
+            .unwrap();
+        f.write_all(b"{\"event\":\"done\",\"hash\":\"trunc")
+            .unwrap();
+        drop(f);
+        let back = Journal::read_events(&path).unwrap();
+        assert_eq!(back, events);
         let _ = std::fs::remove_file(&path);
     }
 

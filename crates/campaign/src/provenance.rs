@@ -1,0 +1,111 @@
+//! Provenance sidecar records: what produced each cached report.
+//!
+//! The object store proper is content-addressed — an object's filename
+//! certifies its *bytes* — but nothing in a [`rsls_core::RunReport`]
+//! says which spec, engine version, matrix data, or chaos plan produced
+//! it. A [`Provenance`] record closes that gap: the engine writes one
+//! per completed unit to
+//!
+//! ```text
+//! <dir>/provenance/<spec-content-hash>.json
+//! ```
+//!
+//! linking the unit's spec hash to its report object hash plus the
+//! identity fields an analyst needs to trace a number in a figure back
+//! to exact inputs (experiment, unit, matrix name + fingerprint, scale,
+//! [`crate::ENGINE_VERSION`], and — for chaos-seeded campaigns — the
+//! content hash of the [`rsls_chaos::ChaosPlan`] in force).
+//!
+//! Records are written with the same atomic temp-file+rename discipline
+//! as objects and refs, and serialized as canonical JSON so a re-run of
+//! the same campaign rewrites identical bytes. Stores that predate this
+//! module simply have no `provenance/` entries; readers (`rsls-lab`)
+//! must treat a missing record as explicit NULLs, never an error.
+
+use crate::spec::UnitSpec;
+
+/// Everything needed to trace one cached report back to its inputs.
+///
+/// `spec_hash` is the primary key (it names the sidecar file);
+/// `report_hash` points into `objects/`. The remaining fields are
+/// denormalized copies of the spec's identity so a provenance record is
+/// readable without re-deriving the spec.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Provenance {
+    /// Content address of the [`UnitSpec`] that produced the report.
+    pub spec_hash: String,
+    /// Content address of the report object in `objects/`.
+    pub report_hash: String,
+    /// Owning experiment (e.g. `"fig5"`).
+    pub experiment: String,
+    /// Unit label within the experiment (e.g. `"crystm02/FF"`).
+    pub unit: String,
+    /// Matrix name the unit ran against.
+    pub matrix: String,
+    /// Problem-scale label (`"quick"` / `"full"`).
+    pub scale: String,
+    /// Engine semantics version the unit ran under.
+    pub engine_version: u32,
+    /// FNV-1a fingerprint of the matrix numeric content, as 16-digit
+    /// lowercase hex (`None` for records that predate fingerprinting).
+    pub matrix_fingerprint: Option<String>,
+    /// Content hash of the chaos plan in force, `None` for a clean run.
+    pub chaos_plan_hash: Option<String>,
+}
+
+impl Provenance {
+    /// Builds the provenance record for `spec` having produced the
+    /// object `report_hash` under an optional chaos plan.
+    pub fn for_unit(spec: &UnitSpec, report_hash: &str, chaos_plan_hash: Option<String>) -> Self {
+        Provenance {
+            spec_hash: spec.content_hash(),
+            report_hash: report_hash.to_string(),
+            experiment: spec.experiment.clone(),
+            unit: spec.unit.clone(),
+            matrix: spec.matrix.clone(),
+            scale: spec.scale.clone(),
+            engine_version: spec.engine_version,
+            matrix_fingerprint: Some(format!("{:016x}", spec.matrix_fingerprint)),
+            chaos_plan_hash,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsls_core::{RunConfig, Scheme};
+
+    fn spec() -> UnitSpec {
+        UnitSpec {
+            experiment: "fig5".into(),
+            unit: "crystm02/FF".into(),
+            matrix: "crystm02".into(),
+            matrix_fingerprint: 0xdead_beef,
+            scale: "quick".into(),
+            engine_version: crate::ENGINE_VERSION,
+            config: RunConfig::new(Scheme::FaultFree, 8),
+        }
+    }
+
+    #[test]
+    fn records_identity_and_serializes_byte_stably() {
+        let p = Provenance::for_unit(&spec(), &"a".repeat(64), None);
+        assert_eq!(p.spec_hash, spec().content_hash());
+        assert_eq!(p.matrix_fingerprint.as_deref(), Some("00000000deadbeef"));
+        assert_eq!(p.chaos_plan_hash, None);
+        let j1 = serde_json::to_string(&p).unwrap();
+        let j2 = serde_json::to_string(&p).unwrap();
+        assert_eq!(j1, j2);
+        let back: Provenance = serde_json::from_str(&j1).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn chaos_plan_hash_round_trips() {
+        let p = Provenance::for_unit(&spec(), &"b".repeat(64), Some("c".repeat(64)));
+        let j = serde_json::to_string(&p).unwrap();
+        let back: Provenance = serde_json::from_str(&j).unwrap();
+        assert_eq!(back.chaos_plan_hash.as_deref(), Some(&"c".repeat(64)[..]));
+    }
+}

@@ -8,6 +8,8 @@
 //! rsls-run --all --jobs 8        run campaign units on 8 workers
 //! rsls-run --all --resume         continue an interrupted campaign
 //! rsls-run --serve 127.0.0.1:8080 serve results over HTTP (rsls-serve)
+//! rsls-run --all --query "SELECT scheme, avg(energy) FROM runs GROUP BY scheme"
+//! rsls-run --query "SELECT * FROM schemes"   query an existing store, run nothing
 //! RSLS_SCALE=full rsls-run --all  paper-sized matrices (slow)
 //! ```
 //!
@@ -34,7 +36,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: rsls-run [--list] [--all] [--experiment <name>] [--csv <dir>] [--svg <dir>]\n\
          \x20               [--jobs <n>] [--cache-dir <dir>] [--resume] [--no-cache]\n\
-         \x20               [--chaos-seed <n>] [--serve <addr>]\n\
+         \x20               [--chaos-seed <n>] [--serve <addr>] [--query <sql>]\n\
          experiments: {}",
         ExperimentRegistry::builtin().ids().join(", ")
     );
@@ -89,6 +91,7 @@ fn main() {
     let mut use_cache = true;
     let mut chaos_seed: Option<u64> = None;
     let mut serve_addr: Option<String> = None;
+    let mut query_sql: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -162,6 +165,13 @@ fn main() {
                 }
                 serve_addr = Some(args[i].clone());
             }
+            "--query" => {
+                i += 1;
+                if i >= args.len() {
+                    usage();
+                }
+                query_sql = Some(args[i].clone());
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 usage();
@@ -172,6 +182,15 @@ fn main() {
 
     if let Some(addr) = serve_addr {
         serve_passthrough(&addr, jobs, &cache_dir, use_cache);
+    }
+
+    // Fail fast on a malformed --query before any unit runs: a typo
+    // should cost nothing.
+    if let Some(sql) = &query_sql {
+        if let Err(e) = rsls_lab::parse(sql) {
+            eprintln!("--query: {e}");
+            std::process::exit(2);
+        }
     }
 
     let journal_path = cache_dir
@@ -187,7 +206,7 @@ fn main() {
         cache_dir: cache_dir.clone(),
         use_cache,
         resume,
-        journal_path: Some(journal_path),
+        journal_path: Some(journal_path.clone()),
         retries: if chaos.is_some() { 8 } else { 0 },
         chaos: chaos.clone(),
         ..EngineOptions::default()
@@ -197,22 +216,6 @@ fn main() {
     }
 
     let scale = rsls_experiments::Scale::from_env();
-    println!(
-        "scale: {:?} (set RSLS_SCALE=full for paper-sized matrices)",
-        scale
-    );
-    println!(
-        "campaign: {jobs} worker{}, cache {} at {}{}{}\n",
-        if jobs == 1 { "" } else { "s" },
-        if use_cache { "enabled" } else { "disabled" },
-        cache_dir.display(),
-        if resume { ", resuming" } else { "" },
-        match chaos_seed {
-            Some(seed) => format!(", chaos seed {seed}"),
-            None => String::new(),
-        },
-    );
-
     let selected: Vec<&str> = if run_all {
         registry.ids()
     } else {
@@ -229,8 +232,27 @@ fn main() {
             })
             .collect()
     };
-    if selected.is_empty() {
+    // With --query and no experiments, query the existing store; the
+    // banners stay quiet so stdout is exactly the canonical JSON.
+    if selected.is_empty() && query_sql.is_none() {
         usage();
+    }
+    if !selected.is_empty() {
+        println!(
+            "scale: {:?} (set RSLS_SCALE=full for paper-sized matrices)",
+            scale
+        );
+        println!(
+            "campaign: {jobs} worker{}, cache {} at {}{}{}\n",
+            if jobs == 1 { "" } else { "s" },
+            if use_cache { "enabled" } else { "disabled" },
+            cache_dir.display(),
+            if resume { ", resuming" } else { "" },
+            match chaos_seed {
+                Some(seed) => format!(", chaos seed {seed}"),
+                None => String::new(),
+            },
+        );
     }
 
     // (name, passed, seconds) per experiment, for the final summary.
@@ -280,7 +302,13 @@ fn main() {
         outcomes.push((e.name, true, secs));
     }
 
-    print!("{}", campaign::engine().summary_table());
+    // Journal per-site chaos fired counts so the warehouse `chaos`
+    // view can ingest them.
+    campaign::engine().journal_chaos_summary();
+
+    if !outcomes.is_empty() {
+        print!("{}", campaign::engine().summary_table());
+    }
     if let Some(chaos) = &chaos {
         println!(
             "chaos: {} fault{} injected ({})",
@@ -309,5 +337,25 @@ fn main() {
     if !failed.is_empty() {
         eprintln!("failed experiments: {}", failed.join(", "));
         std::process::exit(1);
+    }
+
+    // --query passthrough: load the warehouse over the store this run
+    // populated (or an existing one) and print canonical JSON — the
+    // same bytes `rsls-lab query` and `rsls-serve /query` produce.
+    if let Some(sql) = &query_sql {
+        let warehouse = match rsls_lab::Warehouse::load(&cache_dir, Some(&journal_path)) {
+            Ok(w) => w,
+            Err(e) => {
+                eprintln!("failed to load warehouse from {}: {e}", cache_dir.display());
+                std::process::exit(1);
+            }
+        };
+        match warehouse.query(sql) {
+            Ok(result) => println!("{}", result.to_canonical_json()),
+            Err(e) => {
+                eprintln!("--query: {e}");
+                std::process::exit(2);
+            }
+        }
     }
 }

@@ -69,7 +69,7 @@ fn lineup_reports(a: &CsrMatrix, b: &[f64], jobs: usize) -> Vec<String> {
     let specs: Vec<UnitSpec> = standard_schemes(25)
         .into_iter()
         .map(|(scheme, dvfs)| {
-            let mut cfg = RunConfig::new(scheme.clone(), ranks).with_dvfs(dvfs);
+            let mut cfg = RunConfig::new(scheme, ranks).with_dvfs(dvfs);
             if scheme != Scheme::FaultFree {
                 cfg = cfg.with_faults(evenly_spaced_faults(2, 120, ranks, "determinism"));
             }

@@ -1,0 +1,240 @@
+//! Canonical-JSON A/B comparison of campaign result sets.
+//!
+//! A comparison takes two row sets from the `runs` view — two whole
+//! stores ([`compare_warehouses`]), or two filtered slices of one
+//! store ([`compare_filtered`], e.g. `scheme = 'CR-M'` vs
+//! `scheme = 'CR-D'`, or `engine_version = 2` vs `engine_version = 1`)
+//! — and produces a deterministic diff:
+//!
+//! * per-side **fingerprints**: SHA-256 over the side's sorted report
+//!   hashes, so two identical result sets are provably identical by
+//!   one hash comparison;
+//! * `only_in_a` / `only_in_b`: unit keys present on one side only;
+//! * `changed`: unit keys present on both sides whose report objects
+//!   differ;
+//! * `scheme_deltas`: per-scheme mean-energy differences, listing only
+//!   schemes whose sides actually differ.
+//!
+//! The diff of a set against itself is therefore **empty** (the
+//! `identical` flag is true and all four lists are `[]`) — a property
+//! the proptest suite pins down.
+//!
+//! A row's unit key is its provenance `experiment/unit` pair when
+//! present, else its spec hash (pre-provenance stores still compare,
+//! just with less readable keys).
+
+use serde_json::Value;
+
+use crate::ingest::Warehouse;
+use crate::sql::Expr;
+use crate::table::{Datum, Table};
+use crate::LabError;
+
+/// One side's rows, reduced to what the diff needs.
+#[derive(Debug, Clone)]
+struct Side {
+    label: String,
+    /// `(unit_key, report_hash, scheme, energy)` per row, sorted by key.
+    rows: Vec<(String, String, Option<String>, Option<f64>)>,
+}
+
+impl Side {
+    fn from_rows(label: &str, table: &Table, rows: &[&Vec<Datum>]) -> Side {
+        let idx = |name: &str| table.column_index(name);
+        let (ci_exp, ci_unit, ci_scheme, ci_energy, ci_spec, ci_report) = (
+            idx("experiment"),
+            idx("unit"),
+            idx("scheme"),
+            idx("energy"),
+            idx("spec_hash"),
+            idx("report_hash"),
+        );
+        let get = |row: &[Datum], ci: Option<usize>| ci.and_then(|i| row.get(i).cloned());
+        let mut out = Vec::new();
+        for row in rows {
+            let key = match (get(row, ci_exp), get(row, ci_unit)) {
+                (Some(Datum::Str(e)), Some(Datum::Str(u))) => format!("{e}/{u}"),
+                _ => match get(row, ci_spec) {
+                    Some(Datum::Str(h)) => h,
+                    _ => continue,
+                },
+            };
+            let report = match get(row, ci_report) {
+                Some(Datum::Str(h)) => h,
+                _ => String::new(),
+            };
+            let scheme = match get(row, ci_scheme) {
+                Some(Datum::Str(s)) => Some(s),
+                _ => None,
+            };
+            let energy = get(row, ci_energy).and_then(|d| d.as_f64());
+            out.push((key, report, scheme, energy));
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        Side {
+            label: label.to_string(),
+            rows: out,
+        }
+    }
+
+    /// SHA-256 over the sorted report hashes, one per line.
+    fn fingerprint(&self) -> String {
+        let mut hashes: Vec<&str> = self.rows.iter().map(|r| r.1.as_str()).collect();
+        hashes.sort_unstable();
+        let mut joined = String::new();
+        for h in hashes {
+            joined.push_str(h);
+            joined.push('\n');
+        }
+        rsls_core::sha256_hex(joined.as_bytes())
+    }
+
+    /// Mean energy per scheme, folded in key order, sorted by scheme.
+    fn scheme_means(&self) -> Vec<(String, f64)> {
+        let mut acc: Vec<(String, f64, i64)> = Vec::new();
+        for (_, _, scheme, energy) in &self.rows {
+            let (Some(scheme), Some(energy)) = (scheme, energy) else {
+                continue;
+            };
+            match acc.iter_mut().find(|(s, _, _)| s == scheme) {
+                Some(entry) => {
+                    entry.1 += energy;
+                    entry.2 += 1;
+                }
+                None => acc.push((scheme.clone(), *energy, 1)),
+            }
+        }
+        let mut means: Vec<(String, f64)> = acc
+            .into_iter()
+            .map(|(s, sum, n)| (s, sum / n as f64))
+            .collect();
+        means.sort_by(|a, b| a.0.cmp(&b.0));
+        means
+    }
+
+    fn describe(&self) -> Value {
+        Value::Object(vec![
+            ("label".to_string(), Value::Str(self.label.clone())),
+            ("runs".to_string(), Value::UInt(self.rows.len() as u64)),
+            ("fingerprint".to_string(), Value::Str(self.fingerprint())),
+        ])
+    }
+}
+
+/// Diffs two whole warehouses (their full `runs` views).
+pub fn compare_warehouses(a: &Warehouse, a_label: &str, b: &Warehouse, b_label: &str) -> Value {
+    let a_rows: Vec<&Vec<Datum>> = a.runs.rows.iter().collect();
+    let b_rows: Vec<&Vec<Datum>> = b.runs.rows.iter().collect();
+    diff(
+        Side::from_rows(a_label, &a.runs, &a_rows),
+        Side::from_rows(b_label, &b.runs, &b_rows),
+    )
+}
+
+/// Diffs two filtered slices of one warehouse's `runs` view. The
+/// filters are `WHERE`-clause expressions ([`crate::parse_filter`]).
+pub fn compare_filtered(
+    w: &Warehouse,
+    a_filter: &Expr,
+    a_label: &str,
+    b_filter: &Expr,
+    b_label: &str,
+) -> Result<Value, LabError> {
+    let a_rows = filter(&w.runs, a_filter)?;
+    let b_rows = filter(&w.runs, b_filter)?;
+    Ok(diff(
+        Side::from_rows(a_label, &w.runs, &a_rows),
+        Side::from_rows(b_label, &w.runs, &b_rows),
+    ))
+}
+
+fn filter<'t>(table: &'t Table, expr: &Expr) -> Result<Vec<&'t Vec<Datum>>, LabError> {
+    let mut kept = Vec::new();
+    for row in &table.rows {
+        if crate::exec::row_matches(table, row, expr)? {
+            kept.push(row);
+        }
+    }
+    Ok(kept)
+}
+
+/// The canonical diff of two sides (see the module docs for shape).
+fn diff(a: Side, b: Side) -> Value {
+    let mut only_in_a = Vec::new();
+    let mut only_in_b = Vec::new();
+    let mut changed = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < a.rows.len() || j < b.rows.len() {
+        match (a.rows.get(i), b.rows.get(j)) {
+            (Some(ra), Some(rb)) => match ra.0.cmp(&rb.0) {
+                std::cmp::Ordering::Less => {
+                    only_in_a.push(Value::Str(ra.0.clone()));
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    only_in_b.push(Value::Str(rb.0.clone()));
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    if ra.1 != rb.1 {
+                        changed.push(Value::Object(vec![
+                            ("unit".to_string(), Value::Str(ra.0.clone())),
+                            ("a_report".to_string(), Value::Str(ra.1.clone())),
+                            ("b_report".to_string(), Value::Str(rb.1.clone())),
+                        ]));
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            },
+            (Some(ra), None) => {
+                only_in_a.push(Value::Str(ra.0.clone()));
+                i += 1;
+            }
+            (None, Some(rb)) => {
+                only_in_b.push(Value::Str(rb.0.clone()));
+                j += 1;
+            }
+            (None, None) => break,
+        }
+    }
+
+    let a_means = a.scheme_means();
+    let b_means = b.scheme_means();
+    let mut scheme_deltas = Vec::new();
+    let mut schemes: Vec<&String> = a_means.iter().chain(&b_means).map(|(s, _)| s).collect();
+    schemes.sort_unstable();
+    schemes.dedup();
+    for scheme in schemes {
+        let ea = a_means.iter().find(|(s, _)| s == scheme).map(|(_, e)| *e);
+        let eb = b_means.iter().find(|(s, _)| s == scheme).map(|(_, e)| *e);
+        if ea == eb {
+            continue;
+        }
+        let num = |e: Option<f64>| e.map_or(Value::Null, Value::Float);
+        let delta = match (ea, eb) {
+            (Some(x), Some(y)) => Value::Float(y - x),
+            _ => Value::Null,
+        };
+        scheme_deltas.push(Value::Object(vec![
+            ("scheme".to_string(), Value::Str(scheme.clone())),
+            ("a_avg_energy".to_string(), num(ea)),
+            ("b_avg_energy".to_string(), num(eb)),
+            ("delta".to_string(), delta),
+        ]));
+    }
+
+    let identical = only_in_a.is_empty()
+        && only_in_b.is_empty()
+        && changed.is_empty()
+        && scheme_deltas.is_empty();
+    Value::Object(vec![
+        ("a".to_string(), a.describe()),
+        ("b".to_string(), b.describe()),
+        ("identical".to_string(), Value::Bool(identical)),
+        ("only_in_a".to_string(), Value::Array(only_in_a)),
+        ("only_in_b".to_string(), Value::Array(only_in_b)),
+        ("changed".to_string(), Value::Array(changed)),
+        ("scheme_deltas".to_string(), Value::Array(scheme_deltas)),
+    ])
+}

@@ -1,0 +1,398 @@
+//! Warehouse ingest: object store + journal → relational views.
+//!
+//! Ingest enumerates `units/*.ref` in sorted spec-hash order (the
+//! canonical order everything downstream inherits its determinism
+//! from), resolves each pointer through the self-verifying cache, and
+//! decodes the report, its provenance sidecar, and the journal
+//! **tolerantly**: a field an older engine version never wrote reads
+//! as [`Datum::Null`]; an object that fails to parse (or a garbage or
+//! dangling ref) increments the rejected counter and is skipped —
+//! ingest never panics on store contents.
+
+use std::io;
+use std::path::Path;
+
+use rsls_campaign::{Journal, JournalEvent, ResultCache};
+use serde_json::Value;
+
+use crate::table::{Datum, Table};
+use crate::{exec, sql, LabError, QueryResult};
+
+/// Column names of the `runs` view, in projection order.
+const RUNS_COLUMNS: &[&str] = &[
+    "experiment",
+    "unit",
+    "matrix",
+    "scale",
+    "scheme",
+    "ranks",
+    "iterations",
+    "converged",
+    "residual",
+    "time",
+    "energy",
+    "power",
+    "faults",
+    "fallbacks",
+    "checkpoint_interval",
+    "retries",
+    "degraded",
+    "engine_version",
+    "matrix_fingerprint",
+    "chaos_plan_hash",
+    "spec_hash",
+    "report_hash",
+];
+
+/// Column names of the `units` view (journal timelines).
+const UNITS_COLUMNS: &[&str] = &[
+    "unit",
+    "spec_hash",
+    "starts",
+    "dones",
+    "failed",
+    "degraded",
+    "retries",
+    "corrupt",
+    "wall_s",
+];
+
+/// Column names of the `schemes` view (per-scheme aggregates).
+const SCHEMES_COLUMNS: &[&str] = &[
+    "scheme",
+    "runs",
+    "converged_runs",
+    "avg_iterations",
+    "avg_time",
+    "avg_energy",
+    "avg_power",
+    "total_faults",
+    "total_retries",
+];
+
+/// Column names of the `chaos` view (injection-site summaries).
+const CHAOS_COLUMNS: &[&str] = &["site", "fired"];
+
+/// Per-unit activity accumulated from the journal.
+#[derive(Debug, Default, Clone)]
+struct UnitActivity {
+    unit: Option<String>,
+    starts: i64,
+    dones: i64,
+    failed: i64,
+    degraded: i64,
+    retries: i64,
+    corrupt: i64,
+    wall_s: f64,
+}
+
+/// The in-memory warehouse: every view, plus this load's ingest tally.
+#[derive(Debug, Clone)]
+pub struct Warehouse {
+    /// One row per unit pointer in the store, in sorted spec-hash order.
+    pub runs: Table,
+    /// One row per unit hash seen in the journal, in sorted hash order.
+    pub units: Table,
+    /// One row per scheme, aggregated over `runs`, in scheme order.
+    pub schemes: Table,
+    /// One row per chaos site the journal recorded, in site order.
+    pub chaos: Table,
+    /// Objects this load ingested successfully.
+    pub ingested: u64,
+    /// Store entries this load rejected (tolerant decode, counted).
+    pub rejected: u64,
+}
+
+impl Warehouse {
+    /// Loads the warehouse from a campaign cache directory and an
+    /// optional journal. Missing directories and journals are empty,
+    /// not errors — you can point the lab at a store that has not been
+    /// created yet and get zero-row views.
+    pub fn load(cache_dir: &Path, journal_path: Option<&Path>) -> io::Result<Warehouse> {
+        let cache = ResultCache::open(cache_dir)?;
+        let events = match journal_path {
+            Some(path) => Journal::read_events(path)?,
+            None => Vec::new(),
+        };
+        let (activity, chaos) = digest_journal(&events);
+
+        let mut runs = Table::new("runs", RUNS_COLUMNS);
+        let mut ingested = 0u64;
+        let mut rejected = 0u64;
+        for spec_hash in cache.unit_spec_hashes() {
+            let Some(report_hash) = cache.object_hash(&spec_hash) else {
+                rejected += 1;
+                continue;
+            };
+            let Some(bytes) = cache.load_object(&report_hash) else {
+                rejected += 1;
+                continue;
+            };
+            let Ok(report) = serde_json::from_slice::<Value>(&bytes) else {
+                rejected += 1;
+                continue;
+            };
+            let prov = read_provenance(&cache, &spec_hash);
+            let acts = activity.iter().find(|(h, _)| *h == spec_hash);
+            let (retries, degraded) = acts.map_or((0, 0), |(_, a)| (a.retries, a.degraded));
+            let field = |v: &Value, key: &str| v.get(key).map_or(Datum::Null, Datum::from_json);
+            runs.rows.push(vec![
+                field(&prov, "experiment"),
+                field(&prov, "unit"),
+                field(&prov, "matrix"),
+                field(&prov, "scale"),
+                field(&report, "scheme"),
+                field(&report, "num_ranks"),
+                field(&report, "iterations"),
+                field(&report, "converged"),
+                field(&report, "final_relative_residual"),
+                field(&report, "time_s"),
+                field(&report, "energy_j"),
+                field(&report, "avg_power_w"),
+                field(&report, "faults_injected"),
+                field(&report, "construction_fallbacks"),
+                field(&report, "checkpoint_interval_iters"),
+                Datum::Int(retries),
+                Datum::Int(degraded),
+                field(&prov, "engine_version"),
+                field(&prov, "matrix_fingerprint"),
+                field(&prov, "chaos_plan_hash"),
+                Datum::Str(spec_hash.clone()),
+                Datum::Str(report_hash),
+            ]);
+            ingested += 1;
+        }
+
+        let mut units = Table::new("units", UNITS_COLUMNS);
+        for (hash, a) in &activity {
+            units.rows.push(vec![
+                a.unit.clone().map_or(Datum::Null, Datum::Str),
+                Datum::Str(hash.clone()),
+                Datum::Int(a.starts),
+                Datum::Int(a.dones),
+                Datum::Int(a.failed),
+                Datum::Int(a.degraded),
+                Datum::Int(a.retries),
+                Datum::Int(a.corrupt),
+                Datum::Float(a.wall_s),
+            ]);
+        }
+
+        let schemes = derive_schemes(&runs);
+
+        let mut chaos_table = Table::new("chaos", CHAOS_COLUMNS);
+        for (site, fired) in &chaos {
+            chaos_table
+                .rows
+                .push(vec![Datum::Str(site.clone()), Datum::Int(*fired)]);
+        }
+
+        crate::note_ingested(ingested);
+        crate::note_rejected(rejected);
+        Ok(Warehouse {
+            runs,
+            units,
+            schemes,
+            chaos: chaos_table,
+            ingested,
+            rejected,
+        })
+    }
+
+    /// The view named `name`, if the warehouse has it.
+    pub fn view(&self, name: &str) -> Option<&Table> {
+        match name {
+            "runs" => Some(&self.runs),
+            "units" => Some(&self.units),
+            "schemes" => Some(&self.schemes),
+            "chaos" => Some(&self.chaos),
+            _ => None,
+        }
+    }
+
+    /// Every view, in stable presentation order.
+    pub fn views(&self) -> [&Table; 4] {
+        [&self.runs, &self.units, &self.schemes, &self.chaos]
+    }
+
+    /// Parses and executes one query against the warehouse's views,
+    /// counting it in [`crate::queries_total`].
+    pub fn query(&self, text: &str) -> Result<QueryResult, LabError> {
+        let q = sql::parse(text)?;
+        let Some(table) = self.view(&q.table) else {
+            return Err(LabError::Eval(format!(
+                "unknown table `{}` (views: runs, units, schemes, chaos)",
+                q.table
+            )));
+        };
+        let result = exec::execute(table, &q)?;
+        crate::note_query();
+        Ok(result)
+    }
+}
+
+/// Tolerant read of a provenance sidecar as raw JSON: a missing file,
+/// unreadable bytes, or a non-object all read as `Null` (every field
+/// lookup on it then yields `NULL`).
+fn read_provenance(cache: &ResultCache, spec_hash: &str) -> Value {
+    let Ok(bytes) = std::fs::read(cache.provenance_path(spec_hash)) else {
+        return Value::Null;
+    };
+    serde_json::from_slice(&bytes).unwrap_or(Value::Null)
+}
+
+/// The per-hash activity slot for `hash`, created on first touch.
+fn activity_entry<'v>(
+    activity: &'v mut Vec<(String, UnitActivity)>,
+    hash: &str,
+    unit: &str,
+) -> &'v mut UnitActivity {
+    let i = match activity.iter().position(|(h, _)| h == hash) {
+        Some(i) => i,
+        None => {
+            activity.push((
+                hash.to_string(),
+                UnitActivity {
+                    unit: Some(unit.to_string()),
+                    ..UnitActivity::default()
+                },
+            ));
+            activity.len() - 1
+        }
+    };
+    &mut activity[i].1
+}
+
+/// Per-spec-hash activity rows paired with per-site chaos counts.
+type JournalDigest = (Vec<(String, UnitActivity)>, Vec<(String, i64)>);
+
+/// Folds journal events into per-hash activity (sorted by hash) and
+/// per-site chaos fired counts (sorted by site; the journal appends a
+/// summary per campaign end, so the *last* record for a site wins).
+fn digest_journal(events: &[JournalEvent]) -> JournalDigest {
+    let mut activity: Vec<(String, UnitActivity)> = Vec::new();
+    let mut chaos: Vec<(String, i64)> = Vec::new();
+    for event in events {
+        match event {
+            JournalEvent::Start { hash, unit } => {
+                activity_entry(&mut activity, hash, unit).starts += 1;
+            }
+            JournalEvent::Done { hash, unit, wall_s } => {
+                let a = activity_entry(&mut activity, hash, unit);
+                a.dones += 1;
+                a.wall_s += wall_s;
+            }
+            JournalEvent::Failed { hash, unit, .. } => {
+                activity_entry(&mut activity, hash, unit).failed += 1;
+            }
+            JournalEvent::Degraded { hash, unit, .. } => {
+                activity_entry(&mut activity, hash, unit).degraded += 1;
+            }
+            JournalEvent::Retry { hash, unit, .. } => {
+                activity_entry(&mut activity, hash, unit).retries += 1;
+            }
+            JournalEvent::CacheCorrupt { hash, unit, .. } => {
+                activity_entry(&mut activity, hash, unit).corrupt += 1;
+            }
+            JournalEvent::Chaos { site, fired } => {
+                let fired = (*fired).min(i64::MAX as u64) as i64;
+                match chaos.iter_mut().find(|(s, _)| s == site) {
+                    Some(entry) => entry.1 = fired,
+                    None => chaos.push((site.clone(), fired)),
+                }
+            }
+        }
+    }
+    activity.sort_by(|(a, _), (b, _)| a.cmp(b));
+    chaos.sort_by(|(a, _), (b, _)| a.cmp(b));
+    (activity, chaos)
+}
+
+/// Materializes the `schemes` view from `runs`: per-scheme counts,
+/// means (folded in `runs` order), and totals, sorted by scheme label.
+fn derive_schemes(runs: &Table) -> Table {
+    let col = |name: &str| runs.column_index(name).unwrap_or(usize::MAX);
+    let (ci_scheme, ci_iter, ci_time, ci_energy, ci_power, ci_conv, ci_faults, ci_retries) = (
+        col("scheme"),
+        col("iterations"),
+        col("time"),
+        col("energy"),
+        col("power"),
+        col("converged"),
+        col("faults"),
+        col("retries"),
+    );
+    #[derive(Default)]
+    struct Acc {
+        runs: i64,
+        converged: i64,
+        iterations: f64,
+        iterations_n: i64,
+        time: f64,
+        time_n: i64,
+        energy: f64,
+        energy_n: i64,
+        power: f64,
+        power_n: i64,
+        faults: i64,
+        retries: i64,
+    }
+    let mut groups: Vec<(Datum, Acc)> = Vec::new();
+    for row in &runs.rows {
+        let scheme = row.get(ci_scheme).cloned().unwrap_or(Datum::Null);
+        let i = match groups
+            .iter()
+            .position(|(s, _)| s.total_order(&scheme) == std::cmp::Ordering::Equal)
+        {
+            Some(i) => i,
+            None => {
+                groups.push((scheme.clone(), Acc::default()));
+                groups.len() - 1
+            }
+        };
+        let acc = &mut groups[i].1;
+        acc.runs += 1;
+        if row.get(ci_conv) == Some(&Datum::Bool(true)) {
+            acc.converged += 1;
+        }
+        let fold = |ci: usize, sum: &mut f64, n: &mut i64| {
+            if let Some(v) = row.get(ci).and_then(Datum::as_f64) {
+                *sum += v;
+                *n += 1;
+            }
+        };
+        fold(ci_iter, &mut acc.iterations, &mut acc.iterations_n);
+        fold(ci_time, &mut acc.time, &mut acc.time_n);
+        fold(ci_energy, &mut acc.energy, &mut acc.energy_n);
+        fold(ci_power, &mut acc.power, &mut acc.power_n);
+        if let Some(f) = row.get(ci_faults).and_then(Datum::as_f64) {
+            acc.faults += f as i64;
+        }
+        if let Some(r) = row.get(ci_retries).and_then(Datum::as_f64) {
+            acc.retries += r as i64;
+        }
+    }
+    groups.sort_by(|(a, _), (b, _)| a.total_order(b));
+    let avg = |sum: f64, n: i64| {
+        if n == 0 {
+            Datum::Null
+        } else {
+            Datum::Float(sum / n as f64)
+        }
+    };
+    let mut table = Table::new("schemes", SCHEMES_COLUMNS);
+    for (scheme, acc) in groups {
+        table.rows.push(vec![
+            scheme,
+            Datum::Int(acc.runs),
+            Datum::Int(acc.converged),
+            avg(acc.iterations, acc.iterations_n),
+            avg(acc.time, acc.time_n),
+            avg(acc.energy, acc.energy_n),
+            avg(acc.power, acc.power_n),
+            Datum::Int(acc.faults),
+            Datum::Int(acc.retries),
+        ]);
+    }
+    table
+}

@@ -1,0 +1,71 @@
+//! The live scoreboard: a Fig-5-style energy ranking over `schemes`.
+//!
+//! Rendering is pure text-from-warehouse — the deterministic part.
+//! The *live* part (clearing the terminal, sleeping between polls)
+//! lives in the `rsls-lab` binary, which takes its tick count and
+//! interval from caller-supplied parameters so nothing in the library
+//! touches a clock.
+
+use crate::ingest::Warehouse;
+use crate::table::Datum;
+
+/// Renders the scoreboard: schemes ranked by mean energy (ascending —
+/// the paper's "cheapest resilience scheme" ordering), with run
+/// counts, convergence, and the ingest tally underneath.
+pub fn render_scoreboard(w: &Warehouse) -> String {
+    let idx = |name: &str| w.schemes.column_index(name);
+    let (ci_scheme, ci_runs, ci_conv, ci_iter, ci_time, ci_energy, ci_power) = (
+        idx("scheme"),
+        idx("runs"),
+        idx("converged_runs"),
+        idx("avg_iterations"),
+        idx("avg_time"),
+        idx("avg_energy"),
+        idx("avg_power"),
+    );
+    let cell = |row: &[Datum], ci: Option<usize>| ci.and_then(|i| row.get(i).cloned());
+    let mut rows: Vec<&Vec<Datum>> = w.schemes.rows.iter().collect();
+    // Rank by mean energy ascending; NULL energies sink to the bottom
+    // (a scheme with no energy data cannot win the energy ranking).
+    rows.sort_by(|a, b| {
+        let ea = cell(a, ci_energy).and_then(|d| d.as_f64());
+        let eb = cell(b, ci_energy).and_then(|d| d.as_f64());
+        match (ea, eb) {
+            (Some(x), Some(y)) => x.total_cmp(&y),
+            (Some(_), None) => std::cmp::Ordering::Less,
+            (None, Some(_)) => std::cmp::Ordering::Greater,
+            (None, None) => std::cmp::Ordering::Equal,
+        }
+    });
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<4} {:<10} {:>5} {:>5} {:>10} {:>10} {:>12} {:>10}\n",
+        "rank", "scheme", "runs", "conv", "avg_iters", "avg_time", "avg_energy", "avg_power"
+    ));
+    let fmt = |d: Option<Datum>| match d {
+        Some(Datum::Float(f)) => format!("{f:.3}"),
+        Some(d) => d.display(),
+        None => "NULL".to_string(),
+    };
+    for (rank, row) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "{:<4} {:<10} {:>5} {:>5} {:>10} {:>10} {:>12} {:>10}\n",
+            rank + 1,
+            fmt(cell(row, ci_scheme)),
+            fmt(cell(row, ci_runs)),
+            fmt(cell(row, ci_conv)),
+            fmt(cell(row, ci_iter)),
+            fmt(cell(row, ci_time)),
+            fmt(cell(row, ci_energy)),
+            fmt(cell(row, ci_power)),
+        ));
+    }
+    out.push_str(&format!(
+        "{} runs ingested, {} rejected, {} schemes\n",
+        w.ingested,
+        w.rejected,
+        w.schemes.rows.len()
+    ));
+    out
+}

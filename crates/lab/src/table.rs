@@ -1,0 +1,235 @@
+//! The warehouse's relational primitives: typed cells and tables.
+//!
+//! Everything the SQL engine evaluates over is a [`Table`]: a named
+//! list of columns plus rows of [`Datum`] cells. Cells are dynamically
+//! typed (the object store's JSON is), with an explicit [`Datum::Null`]
+//! for provenance fields that predate their introduction — tolerant
+//! ingest maps *missing* to *NULL*, never to a parse failure.
+//!
+//! Ordering is total and deterministic: `NULL` sorts first, then
+//! booleans, then numbers (cross-type `Int`/`Float` by value, ties
+//! broken by IEEE total order), then strings — so `ORDER BY` over any
+//! column mix is stable and byte-reproducible.
+
+use std::cmp::Ordering;
+
+use serde_json::Value;
+
+/// One cell of a warehouse table.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Datum {
+    /// Absent value (e.g. a provenance field older stores never wrote).
+    Null,
+    /// Boolean (e.g. `converged`).
+    Bool(bool),
+    /// Integer (counters, ranks, iterations).
+    Int(i64),
+    /// Floating-point measurement (energy, time, residual).
+    Float(f64),
+    /// Text (scheme labels, unit names, content hashes).
+    Str(String),
+}
+
+impl Datum {
+    /// The cell's numeric value, when it has one (`Int` or `Float`).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Datum::Int(n) => Some(*n as f64),
+            Datum::Float(f) => Some(*f),
+            Datum::Null | Datum::Bool(_) | Datum::Str(_) => None,
+        }
+    }
+
+    /// Whether this cell is `NULL`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Datum::Null)
+    }
+
+    /// SQL equality: `NULL` equals nothing (including `NULL`); numbers
+    /// compare by value across `Int`/`Float`.
+    pub fn sql_eq(&self, other: &Datum) -> bool {
+        match (self, other) {
+            (Datum::Null, _) | (_, Datum::Null) => false,
+            (Datum::Bool(a), Datum::Bool(b)) => a == b,
+            (Datum::Str(a), Datum::Str(b)) => a == b,
+            _ => match (self.as_f64(), other.as_f64()) {
+                (Some(a), Some(b)) => a == b,
+                _ => false,
+            },
+        }
+    }
+
+    /// SQL ordering comparison for `<`/`<=`/`>`/`>=`: `None` when the
+    /// operands are incomparable (either is `NULL`, or the types mix
+    /// non-numerically) — an incomparable `WHERE` comparison is false.
+    pub fn sql_cmp(&self, other: &Datum) -> Option<Ordering> {
+        match (self, other) {
+            (Datum::Null, _) | (_, Datum::Null) => None,
+            (Datum::Bool(a), Datum::Bool(b)) => Some(a.cmp(b)),
+            (Datum::Str(a), Datum::Str(b)) => Some(a.cmp(b)),
+            _ => match (self.as_f64(), other.as_f64()) {
+                (Some(a), Some(b)) => Some(a.total_cmp(&b)),
+                _ => None,
+            },
+        }
+    }
+
+    /// Total deterministic order for `ORDER BY` and `GROUP BY` keys:
+    /// `NULL < Bool < numbers < Str`, each type ordered internally
+    /// (floats by IEEE total order, so even NaN sorts stably).
+    pub fn total_order(&self, other: &Datum) -> Ordering {
+        fn rank(d: &Datum) -> u8 {
+            match d {
+                Datum::Null => 0,
+                Datum::Bool(_) => 1,
+                Datum::Int(_) | Datum::Float(_) => 2,
+                Datum::Str(_) => 3,
+            }
+        }
+        match (self, other) {
+            (Datum::Null, Datum::Null) => Ordering::Equal,
+            (Datum::Bool(a), Datum::Bool(b)) => a.cmp(b),
+            (Datum::Str(a), Datum::Str(b)) => a.cmp(b),
+            (Datum::Int(a), Datum::Int(b)) => a.cmp(b),
+            _ => match (self.as_f64(), other.as_f64()) {
+                (Some(a), Some(b)) => a.total_cmp(&b),
+                _ => rank(self).cmp(&rank(other)),
+            },
+        }
+    }
+
+    /// Canonical JSON form of this cell (`Int` stays integral, floats
+    /// keep the vendored serializer's deterministic `{:?}` formatting).
+    pub fn to_json(&self) -> Value {
+        match self {
+            Datum::Null => Value::Null,
+            Datum::Bool(b) => Value::Bool(*b),
+            Datum::Int(n) => {
+                if *n >= 0 {
+                    Value::UInt(*n as u64)
+                } else {
+                    Value::Int(*n)
+                }
+            }
+            Datum::Float(f) => Value::Float(*f),
+            Datum::Str(s) => Value::Str(s.clone()),
+        }
+    }
+
+    /// Tolerant conversion from object-store JSON: anything the
+    /// warehouse cannot type (arrays, objects) reads as `NULL` rather
+    /// than failing the row.
+    pub fn from_json(v: &Value) -> Datum {
+        match v {
+            Value::Null | Value::Array(_) | Value::Object(_) => Datum::Null,
+            Value::Bool(b) => Datum::Bool(*b),
+            Value::UInt(n) => {
+                if *n <= i64::MAX as u64 {
+                    Datum::Int(*n as i64)
+                } else {
+                    Datum::Float(*n as f64)
+                }
+            }
+            Value::Int(n) => Datum::Int(*n),
+            Value::Float(f) => Datum::Float(*f),
+            Value::Str(s) => Datum::Str(s.clone()),
+        }
+    }
+
+    /// Human-oriented rendering for scoreboards and tables.
+    pub fn display(&self) -> String {
+        match self {
+            Datum::Null => "NULL".to_string(),
+            Datum::Bool(b) => b.to_string(),
+            Datum::Int(n) => n.to_string(),
+            Datum::Float(f) => format!("{f:?}"),
+            Datum::Str(s) => s.clone(),
+        }
+    }
+}
+
+/// A named in-memory relation: column names plus rows of cells. Every
+/// row has exactly `columns.len()` cells.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// View name the SQL `FROM` clause resolves (`runs`, `units`, …).
+    pub name: String,
+    /// Column names, in projection order.
+    pub columns: Vec<String>,
+    /// Row data, in the view's canonical (ingest) order.
+    pub rows: Vec<Vec<Datum>>,
+}
+
+impl Table {
+    /// An empty table with the given shape.
+    pub fn new(name: &str, columns: &[&str]) -> Table {
+        Table {
+            name: name.to_string(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Index of `column`, if the table has it.
+    pub fn column_index(&self, column: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == column)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_never_equals_and_never_orders() {
+        assert!(!Datum::Null.sql_eq(&Datum::Null));
+        assert!(!Datum::Null.sql_eq(&Datum::Int(0)));
+        assert!(Datum::Null.sql_cmp(&Datum::Int(0)).is_none());
+        assert!(Datum::Null.is_null());
+    }
+
+    #[test]
+    fn numbers_compare_across_int_and_float() {
+        assert!(Datum::Int(2).sql_eq(&Datum::Float(2.0)));
+        assert_eq!(
+            Datum::Int(1).sql_cmp(&Datum::Float(1.5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Datum::Float(3.0).total_order(&Datum::Int(2)),
+            Ordering::Greater
+        );
+    }
+
+    #[test]
+    fn total_order_ranks_types_deterministically() {
+        let mut cells = vec![
+            Datum::Str("a".into()),
+            Datum::Int(1),
+            Datum::Null,
+            Datum::Bool(true),
+            Datum::Float(0.5),
+        ];
+        cells.sort_by(|a, b| a.total_order(b));
+        assert_eq!(
+            cells,
+            vec![
+                Datum::Null,
+                Datum::Bool(true),
+                Datum::Float(0.5),
+                Datum::Int(1),
+                Datum::Str("a".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn json_round_trip_is_type_preserving() {
+        assert_eq!(Datum::from_json(&Datum::Int(-3).to_json()), Datum::Int(-3));
+        assert_eq!(
+            Datum::from_json(&Datum::Float(1.25).to_json()),
+            Datum::Float(1.25)
+        );
+        assert_eq!(Datum::from_json(&Value::Array(vec![])), Datum::Null);
+    }
+}

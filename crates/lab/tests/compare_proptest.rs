@@ -1,0 +1,131 @@
+//! Property tests for the A/B comparison: the diff of any result set
+//! against itself is empty (`identical: true`, all four lists `[]`),
+//! and perturbing a single report hash breaks that identity.
+
+use proptest::prelude::*;
+use rsls_lab::{compare_filtered, compare_warehouses, parse_filter, Datum, Table, Warehouse};
+use serde_json::Value;
+
+const SCHEMES: &[&str] = &["FF", "DMR", "TMR", "CR-M", "CR-D"];
+
+/// Builds a `runs`-shaped warehouse from generated row tuples. Only
+/// the columns the comparator reads need to exist.
+fn warehouse(rows: &[(u8, u8, u8, f64, u8)]) -> Warehouse {
+    let mut runs = Table::new(
+        "runs",
+        &[
+            "experiment",
+            "unit",
+            "scheme",
+            "energy",
+            "spec_hash",
+            "report_hash",
+        ],
+    );
+    for (i, (exp, unit, scheme, energy, report)) in rows.iter().enumerate() {
+        runs.rows.push(vec![
+            Datum::Str(format!("exp{exp}")),
+            Datum::Str(format!("unit{unit}-{i}")),
+            Datum::Str(SCHEMES[*scheme as usize % SCHEMES.len()].to_string()),
+            Datum::Float(*energy),
+            Datum::Str(format!("{i:064}")),
+            Datum::Str(format!("{report:064}")),
+        ]);
+    }
+    let n = runs.rows.len() as u64;
+    Warehouse {
+        runs,
+        units: Table::new("units", &["unit"]),
+        schemes: Table::new("schemes", &["scheme"]),
+        chaos: Table::new("chaos", &["site"]),
+        ingested: n,
+        rejected: 0,
+    }
+}
+
+fn list_len(report: &Value, key: &str) -> usize {
+    match report.get(key) {
+        Some(Value::Array(items)) => items.len(),
+        _ => usize::MAX,
+    }
+}
+
+fn assert_empty_diff(report: &Value) {
+    assert_eq!(report.get("identical"), Some(&Value::Bool(true)));
+    for key in ["only_in_a", "only_in_b", "changed", "scheme_deltas"] {
+        assert_eq!(list_len(report, key), 0, "{key} should be empty");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn compare_of_a_set_against_itself_is_empty(
+        rows in proptest::collection::vec(
+            (0u8..3, 0u8..8, 0u8..5, -1.0e6f64..1.0e6, 0u8..200),
+            0..24,
+        ),
+    ) {
+        let w = warehouse(&rows);
+        let report = compare_warehouses(&w, "a", &w, "b");
+        assert_empty_diff(&report);
+
+        // The same invariant holds through the filter path: identical
+        // filters select identical slices.
+        let f1 = parse_filter("energy IS NOT NULL").expect("filter parses");
+        let f2 = parse_filter("energy IS NOT NULL").expect("filter parses");
+        let report = compare_filtered(&w, &f1, "slice-a", &f2, "slice-b")
+            .expect("filters evaluate");
+        assert_empty_diff(&report);
+    }
+
+    #[test]
+    fn self_fingerprints_agree_and_are_order_insensitive(
+        rows in proptest::collection::vec(
+            (0u8..3, 0u8..8, 0u8..5, -1.0e6f64..1.0e6, 0u8..200),
+            1..16,
+        ),
+    ) {
+        let w = warehouse(&rows);
+        let mut reversed = rows.clone();
+        reversed.reverse();
+        let w_rev = warehouse(&reversed);
+
+        let fp = |report: &Value, side: &str| match report.get(side).and_then(|s| s.get("fingerprint")) {
+            Some(Value::Str(h)) => h.clone(),
+            other => panic!("missing fingerprint: {other:?}"),
+        };
+        let report = compare_warehouses(&w, "a", &w, "b");
+        assert_eq!(fp(&report, "a"), fp(&report, "b"));
+
+        // Fingerprints hash *sorted* report hashes, so presenting the
+        // same reports in reverse row order yields the same digest.
+        let cross = compare_warehouses(&w, "fwd", &w_rev, "rev");
+        assert_eq!(fp(&cross, "a"), fp(&cross, "b"));
+    }
+
+    #[test]
+    fn perturbing_one_report_hash_breaks_identity(
+        rows in proptest::collection::vec(
+            (0u8..3, 0u8..8, 0u8..5, -1.0e6f64..1.0e6, 0u8..200),
+            1..16,
+        ),
+        victim in 0usize..16,
+    ) {
+        let w = warehouse(&rows);
+        let mut tampered = warehouse(&rows);
+        let victim = victim % tampered.runs.rows.len();
+        let report_col = tampered
+            .runs
+            .column_index("report_hash")
+            .expect("runs view has report_hash");
+        tampered.runs.rows[victim][report_col] = Datum::Str("f".repeat(64));
+
+        let report = compare_warehouses(&w, "a", &tampered, "b");
+        assert_eq!(report.get("identical"), Some(&Value::Bool(false)));
+        assert_eq!(list_len(&report, "changed"), 1);
+        assert_eq!(list_len(&report, "only_in_a"), 0);
+        assert_eq!(list_len(&report, "only_in_b"), 0);
+    }
+}

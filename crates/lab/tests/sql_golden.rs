@@ -1,0 +1,205 @@
+//! Golden tests for the SQL subset: lexer edge cases, operator
+//! precedence, aggregate semantics, and canonical-JSON output bytes.
+
+use rsls_lab::{execute, parse, Datum, Table};
+
+/// A small fixed `runs`-shaped table exercising every datum type,
+/// including NULLs in aggregated columns.
+fn fixture() -> Table {
+    let mut t = Table::new(
+        "runs",
+        &["scheme", "energy", "iterations", "converged", "note"],
+    );
+    let row = |scheme: &str, energy: Option<f64>, iters: i64, conv: bool, note: Option<&str>| {
+        vec![
+            Datum::Str(scheme.to_string()),
+            energy.map_or(Datum::Null, Datum::Float),
+            Datum::Int(iters),
+            Datum::Bool(conv),
+            note.map_or(Datum::Null, |n| Datum::Str(n.to_string())),
+        ]
+    };
+    t.rows.push(row("FF", Some(100.0), 120, true, None));
+    t.rows.push(row("CR-M", Some(150.0), 140, true, Some("x")));
+    t.rows.push(row("CR-M", Some(170.0), 160, false, None));
+    t.rows.push(row("DMR", Some(260.0), 120, true, Some("y")));
+    t.rows.push(row("DMR", None, 130, true, None));
+    t
+}
+
+fn run(sql: &str) -> String {
+    let q = parse(sql).expect("query parses");
+    execute(&fixture(), &q)
+        .expect("query executes")
+        .to_canonical_json()
+}
+
+#[test]
+fn projection_and_where() {
+    assert_eq!(
+        run("SELECT scheme, energy FROM runs WHERE energy > 150"),
+        r#"{"columns":["scheme","energy"],"rows":[["CR-M",170.0],["DMR",260.0]]}"#
+    );
+}
+
+#[test]
+fn select_star_preserves_table_order() {
+    let json = run("SELECT * FROM runs LIMIT 1");
+    assert_eq!(
+        json,
+        r#"{"columns":["scheme","energy","iterations","converged","note"],"rows":[["FF",100.0,120,true,null]]}"#
+    );
+}
+
+#[test]
+fn operator_precedence_and_parens() {
+    // AND binds tighter than OR: this matches FF rows plus converged
+    // CR-M rows, not (FF or CR-M) and converged.
+    assert_eq!(
+        run("SELECT scheme FROM runs WHERE scheme = 'FF' OR scheme = 'CR-M' AND converged = true"),
+        r#"{"columns":["scheme"],"rows":[["FF"],["CR-M"]]}"#
+    );
+    // Parentheses override it.
+    assert_eq!(
+        run(
+            "SELECT scheme FROM runs WHERE (scheme = 'FF' OR scheme = 'CR-M') AND converged = true"
+        ),
+        r#"{"columns":["scheme"],"rows":[["FF"],["CR-M"]]}"#
+    );
+    // NOT binds tightest.
+    assert_eq!(
+        run("SELECT scheme FROM runs WHERE NOT converged = true AND scheme = 'CR-M'"),
+        r#"{"columns":["scheme"],"rows":[["CR-M"]]}"#
+    );
+}
+
+#[test]
+fn null_semantics() {
+    // Comparisons never match NULL; IS NULL / IS NOT NULL do.
+    assert_eq!(
+        run("SELECT scheme FROM runs WHERE energy > 0 OR energy <= 0"),
+        r#"{"columns":["scheme"],"rows":[["FF"],["CR-M"],["CR-M"],["DMR"]]}"#
+    );
+    assert_eq!(
+        run("SELECT scheme FROM runs WHERE energy IS NULL"),
+        r#"{"columns":["scheme"],"rows":[["DMR"]]}"#
+    );
+    assert_eq!(
+        run("SELECT scheme FROM runs WHERE note IS NOT NULL"),
+        r#"{"columns":["scheme"],"rows":[["CR-M"],["DMR"]]}"#
+    );
+    // `= null` is never true (use IS NULL).
+    assert_eq!(
+        run("SELECT scheme FROM runs WHERE energy = null"),
+        r#"{"columns":["scheme"],"rows":[]}"#
+    );
+}
+
+#[test]
+fn group_by_aggregates() {
+    // avg skips NULLs; count(col) counts non-NULL; count(*) counts rows.
+    assert_eq!(
+        run("SELECT scheme, count(*), count(energy), avg(energy), min(iterations), max(iterations), sum(iterations) \
+             FROM runs GROUP BY scheme ORDER BY scheme"),
+        concat!(
+            r#"{"columns":["scheme","count(*)","count(energy)","avg(energy)","min(iterations)","max(iterations)","sum(iterations)"],"#,
+            r#""rows":[["CR-M",2,2,160.0,140,160,300],["DMR",2,1,260.0,120,130,250],["FF",1,1,100.0,120,120,120]]}"#
+        )
+    );
+}
+
+#[test]
+fn the_acceptance_query_shape() {
+    assert_eq!(
+        run("SELECT scheme, avg(energy) FROM runs GROUP BY scheme ORDER BY avg(energy)"),
+        r#"{"columns":["scheme","avg(energy)"],"rows":[["FF",100.0],["CR-M",160.0],["DMR",260.0]]}"#
+    );
+}
+
+#[test]
+fn order_by_desc_and_multi_key_and_limit() {
+    assert_eq!(
+        run("SELECT scheme, iterations FROM runs ORDER BY iterations DESC, scheme ASC LIMIT 3"),
+        r#"{"columns":["scheme","iterations"],"rows":[["CR-M",160],["CR-M",140],["DMR",130]]}"#
+    );
+    // ORDER BY may name an unselected column.
+    assert_eq!(
+        run("SELECT scheme FROM runs WHERE converged = true ORDER BY energy DESC LIMIT 2"),
+        r#"{"columns":["scheme"],"rows":[["DMR"],["CR-M"]]}"#
+    );
+}
+
+#[test]
+fn aggregate_without_group_by_is_one_row() {
+    assert_eq!(
+        run("SELECT count(*), sum(iterations) FROM runs"),
+        r#"{"columns":["count(*)","sum(iterations)"],"rows":[[5,670]]}"#
+    );
+    // Aggregates over an empty filtered set: count 0, sum NULL.
+    assert_eq!(
+        run("SELECT count(*), sum(energy), avg(energy) FROM runs WHERE scheme = 'nope'"),
+        r#"{"columns":["count(*)","sum(energy)","avg(energy)"],"rows":[[0,null,null]]}"#
+    );
+}
+
+#[test]
+fn lexer_edge_cases() {
+    // Escaped quote, case-insensitive keywords/idents, <> and !=,
+    // scientific notation, unary minus.
+    assert_eq!(
+        run("select SCHEME from RUNS where note = 'x' and energy <> 100"),
+        r#"{"columns":["scheme"],"rows":[["CR-M"]]}"#
+    );
+    assert_eq!(
+        run("SELECT scheme FROM runs WHERE energy >= 1.5e2 AND energy != 170"),
+        r#"{"columns":["scheme"],"rows":[["CR-M"],["DMR"]]}"#
+    );
+    assert_eq!(
+        run("SELECT scheme FROM runs WHERE iterations > -1 AND note = 'it''s'"),
+        r#"{"columns":["scheme"],"rows":[]}"#
+    );
+}
+
+#[test]
+fn parse_and_eval_errors() {
+    assert!(parse("SELECT").is_err());
+    assert!(parse("SELECT x FROM").is_err());
+    assert!(parse("SELECT x FROM runs WHERE").is_err());
+    assert!(parse("SELECT x FROM runs GROUP BY").is_err());
+    assert!(parse("SELECT x FROM runs ORDER BY *").is_err());
+    assert!(parse("SELECT x FROM runs LIMIT -1").is_err());
+    assert!(parse("SELECT avg(*) FROM runs").is_err());
+    assert!(parse("SELECT x, FROM runs").is_err());
+    assert!(parse("SELECT x FROM runs; DROP TABLE runs").is_err());
+
+    let q = parse("SELECT nope FROM runs").expect("parses");
+    assert!(
+        execute(&fixture(), &q).is_err(),
+        "unknown column is an eval error"
+    );
+    let q = parse("SELECT scheme, avg(energy) FROM runs").expect("parses");
+    assert!(
+        execute(&fixture(), &q).is_err(),
+        "bare column alongside aggregate without GROUP BY is an error"
+    );
+    let q = parse("SELECT scheme FROM runs GROUP BY scheme ORDER BY energy").expect("parses");
+    assert!(
+        execute(&fixture(), &q).is_err(),
+        "ORDER BY key absent from aggregated SELECT list is an error"
+    );
+    let q = parse("SELECT sum(scheme) FROM runs").expect("parses");
+    assert!(
+        execute(&fixture(), &q).is_err(),
+        "sum over strings is an error"
+    );
+}
+
+#[test]
+fn repeated_execution_is_byte_identical() {
+    let sql =
+        "SELECT scheme, avg(energy) FROM runs GROUP BY scheme ORDER BY avg(energy) DESC LIMIT 2";
+    let first = run(sql);
+    for _ in 0..10 {
+        assert_eq!(run(sql), first);
+    }
+}

@@ -1,0 +1,245 @@
+//! End-to-end warehouse determinism over real campaign stores.
+//!
+//! Runs the same multi-scheme campaign into three separate stores —
+//! one worker, four workers, and four workers under an aggressive
+//! chaos plan — then asserts the acceptance query
+//!
+//! ```sql
+//! SELECT scheme, avg(energy) FROM runs GROUP BY scheme ORDER BY avg(energy)
+//! ```
+//!
+//! returns **byte-identical** canonical JSON from all three, that
+//! every returned row's provenance resolves to objects that exist in
+//! its store, and that garbage store entries are rejected (counted)
+//! rather than panicking ingest.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use rsls_campaign::{Engine, EngineOptions, ResultCache, UnitSpec, ENGINE_VERSION};
+use rsls_chaos::{ChaosInjector, ChaosPlan};
+use rsls_core::driver::run;
+use rsls_core::{RunConfig, Scheme};
+use rsls_lab::{compare_warehouses, Datum, Warehouse};
+use rsls_sparse::generators::stencil_2d;
+use serde_json::Value;
+
+const ACCEPTANCE_SQL: &str =
+    "SELECT scheme, avg(energy) FROM runs GROUP BY scheme ORDER BY avg(energy)";
+
+fn tmp_root(tag: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("rsls-lab-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    root
+}
+
+/// The scheme lineup: fault-free plus three resilience schemes, so the
+/// energy ranking has real spread.
+fn lineup() -> Vec<UnitSpec> {
+    [
+        Scheme::FaultFree,
+        Scheme::Dmr,
+        Scheme::Tmr,
+        Scheme::cr_memory(),
+    ]
+    .into_iter()
+    .map(|scheme| UnitSpec {
+        experiment: "lab-e2e".to_string(),
+        unit: scheme.label(),
+        matrix: "stencil-24".to_string(),
+        matrix_fingerprint: 0x1234_5678_9abc_def0,
+        scale: "quick".to_string(),
+        engine_version: ENGINE_VERSION,
+        config: RunConfig::new(scheme, 4),
+    })
+    .collect()
+}
+
+/// Runs the lineup into `root` with `jobs` workers (and optionally a
+/// seeded aggressive chaos plan), returning the cache and journal paths.
+fn run_campaign(root: &Path, jobs: usize, chaos_seed: Option<u64>) -> (PathBuf, PathBuf) {
+    let cache_dir = root.join("cache");
+    let journal = root.join("campaign.journal");
+    let chaos = chaos_seed.map(|seed| Arc::new(ChaosInjector::new(ChaosPlan::aggressive(seed))));
+    let engine = Engine::new(EngineOptions {
+        jobs,
+        cache_dir: cache_dir.clone(),
+        use_cache: true,
+        journal_path: Some(journal.clone()),
+        retries: if chaos.is_some() { 8 } else { 0 },
+        chaos,
+        ..EngineOptions::default()
+    })
+    .expect("engine builds");
+
+    let a = stencil_2d(24, 24);
+    let ones = vec![1.0; a.nrows()];
+    let mut b = vec![0.0; a.nrows()];
+    a.spmv(&ones, &mut b);
+
+    let outcomes = engine.run_units(&lineup(), |spec| run(&a, &b, &spec.config));
+    for o in &outcomes {
+        assert!(o.report.is_some(), "unit failed in e2e campaign");
+    }
+    engine.journal_chaos_summary();
+    (cache_dir, journal)
+}
+
+fn acceptance_bytes(cache_dir: &Path, journal: &Path) -> String {
+    let w = Warehouse::load(cache_dir, Some(journal)).expect("warehouse loads");
+    assert_eq!(w.rejected, 0, "clean store should ingest fully");
+    assert_eq!(w.ingested, 4, "one row per scheme");
+    w.query(ACCEPTANCE_SQL)
+        .expect("acceptance query runs")
+        .to_canonical_json()
+}
+
+#[test]
+fn acceptance_query_is_byte_identical_across_jobs_and_chaos() {
+    let (root1, root4, rootc) = (tmp_root("jobs1"), tmp_root("jobs4"), tmp_root("chaos"));
+    let (c1, j1) = run_campaign(&root1, 1, None);
+    let (c4, j4) = run_campaign(&root4, 4, None);
+    let (cc, jc) = run_campaign(&rootc, 4, Some(7));
+
+    let serial = acceptance_bytes(&c1, &j1);
+    // Repeated loads of the same store give the same bytes.
+    assert_eq!(serial, acceptance_bytes(&c1, &j1));
+    assert_eq!(
+        serial,
+        acceptance_bytes(&c4, &j4),
+        "jobs 1 vs jobs 4 differ"
+    );
+    assert_eq!(
+        serial,
+        acceptance_bytes(&cc, &jc),
+        "chaos-seeded store differs"
+    );
+
+    // Result shape sanity: 4 schemes, energies ascending.
+    let parsed: Value = serde_json::from_str(&serial).expect("result parses");
+    let rows = match parsed.get("rows") {
+        Some(Value::Array(rows)) => rows,
+        other => panic!("missing rows: {other:?}"),
+    };
+    assert_eq!(rows.len(), 4);
+    let energies: Vec<f64> = rows
+        .iter()
+        .map(|row| match row {
+            Value::Array(cells) => match cells.get(1) {
+                Some(Value::Float(e)) => *e,
+                other => panic!("avg(energy) not a float: {other:?}"),
+            },
+            other => panic!("row not an array: {other:?}"),
+        })
+        .collect();
+    assert!(
+        energies.windows(2).all(|w| w[0] <= w[1]),
+        "scoreboard order not ascending: {energies:?}"
+    );
+
+    // The two clean stores are provably identical; the chaos store ran
+    // the same units to the same reports, so it matches too.
+    let w1 = Warehouse::load(&c1, Some(&j1)).expect("loads");
+    let w4 = Warehouse::load(&c4, Some(&j4)).expect("loads");
+    let wc = Warehouse::load(&cc, Some(&jc)).expect("loads");
+    for (other, label) in [(&w4, "jobs4"), (&wc, "chaos")] {
+        let report = compare_warehouses(&w1, "jobs1", other, label);
+        assert_eq!(
+            report.get("identical"),
+            Some(&Value::Bool(true)),
+            "jobs1 vs {label} not identical: {report:?}"
+        );
+    }
+
+    for root in [root1, root4, rootc] {
+        let _ = std::fs::remove_dir_all(root);
+    }
+}
+
+#[test]
+fn every_row_resolves_to_existing_store_objects_with_provenance() {
+    let root = tmp_root("provenance");
+    let (cache_dir, journal) = run_campaign(&root, 2, None);
+    let w = Warehouse::load(&cache_dir, Some(&journal)).expect("warehouse loads");
+    let cache = ResultCache::open(&cache_dir).expect("cache opens");
+
+    let col = |name: &str| w.runs.column_index(name).expect("runs column exists");
+    let (ci_spec, ci_report, ci_ver, ci_fp) = (
+        col("spec_hash"),
+        col("report_hash"),
+        col("engine_version"),
+        col("matrix_fingerprint"),
+    );
+    assert!(!w.runs.rows.is_empty());
+    for row in &w.runs.rows {
+        let Datum::Str(spec_hash) = &row[ci_spec] else {
+            panic!("spec_hash not a string");
+        };
+        let Datum::Str(report_hash) = &row[ci_report] else {
+            panic!("report_hash not a string");
+        };
+        // The pointer, the object, and the provenance sidecar all exist
+        // and agree with the row.
+        assert_eq!(
+            cache.object_hash(spec_hash).as_deref(),
+            Some(report_hash.as_str())
+        );
+        assert!(cache.load_object(report_hash).is_some(), "object missing");
+        let prov = cache
+            .load_provenance(spec_hash)
+            .expect("provenance sidecar exists");
+        assert_eq!(prov.report_hash, *report_hash);
+        assert_eq!(prov.engine_version, ENGINE_VERSION);
+        assert_eq!(row[ci_ver], Datum::Int(ENGINE_VERSION as i64));
+        assert_eq!(row[ci_fp], Datum::Str("123456789abcdef0".to_string()));
+    }
+
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn garbage_store_entries_are_rejected_not_fatal() {
+    let root = tmp_root("tolerant");
+    let (cache_dir, journal) = run_campaign(&root, 1, None);
+
+    // A dangling pointer (valid-looking spec hash, no object) and a
+    // pointer at an unparsable object both reject; real rows survive.
+    let fake_spec = "a".repeat(64);
+    let fake_report = "b".repeat(64);
+    std::fs::write(
+        cache_dir.join("units").join(format!("{fake_spec}.ref")),
+        &fake_report,
+    )
+    .expect("writes dangling ref");
+    let garbled_spec = "c".repeat(64);
+    let garbled_report = "d".repeat(64);
+    std::fs::write(
+        cache_dir.join("units").join(format!("{garbled_spec}.ref")),
+        &garbled_report,
+    )
+    .expect("writes ref");
+
+    let w = Warehouse::load(&cache_dir, Some(&journal)).expect("tolerant load succeeds");
+    assert_eq!(w.ingested, 4, "real rows still ingest");
+    assert_eq!(w.rejected, 2, "both garbage refs rejected");
+
+    // Rows whose provenance sidecar is missing read as NULL fields,
+    // not errors: simulate a pre-provenance store by deleting one.
+    let first_spec = match &w.runs.rows[0][w.runs.column_index("spec_hash").unwrap()] {
+        Datum::Str(h) => h.clone(),
+        _ => panic!("spec_hash not a string"),
+    };
+    let cache = ResultCache::open(&cache_dir).expect("cache opens");
+    std::fs::remove_file(cache.provenance_path(&first_spec)).expect("removes sidecar");
+    let w = Warehouse::load(&cache_dir, Some(&journal)).expect("loads");
+    let ci_exp = w.runs.column_index("experiment").expect("column");
+    let row = w
+        .runs
+        .rows
+        .iter()
+        .find(|r| r[w.runs.column_index("spec_hash").unwrap()] == Datum::Str(first_spec.clone()))
+        .expect("row still present");
+    assert_eq!(row[ci_exp], Datum::Null, "missing provenance reads as NULL");
+
+    let _ = std::fs::remove_dir_all(root);
+}

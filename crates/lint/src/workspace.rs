@@ -68,6 +68,19 @@ pub fn crate_rules(name: &str) -> Vec<Rule> {
             NoUnwrap,
             MissingDocs,
         ],
+        // The warehouse exists to prove byte-identical analytics: the
+        // same SQL over the same store must print the same bytes from
+        // any surface, so its whole library (lexer, planner, ingest,
+        // canonical JSON) gets the full deterministic rule set. The
+        // `views-live` polling loop needs a clock, which is why it
+        // lives in `src/bin/` (exempt) with the interval passed in.
+        "lab" => vec![
+            WallClock,
+            DefaultHasher,
+            UnorderedParallel,
+            NoUnwrap,
+            MissingDocs,
+        ],
         // The service is I/O edge by nature — it spawns connection
         // threads and times requests — so `wall-clock` and
         // `unordered-parallel` do not apply crate-wide; its compute

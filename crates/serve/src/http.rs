@@ -21,6 +21,10 @@ pub struct Request {
     pub method: String,
     /// Decoded path component of the request target (query stripped).
     pub path: String,
+    /// Query parameters in target order, percent-decoded (`+` is a
+    /// space). Keys keep duplicates; [`Request::query_param`] takes the
+    /// first.
+    pub query: Vec<(String, String)>,
     /// Headers, keyed by lowercased name.
     pub headers: BTreeMap<String, String>,
 }
@@ -31,6 +35,14 @@ impl Request {
         self.headers
             .get(&name.to_ascii_lowercase())
             .map(String::as_str)
+    }
+
+    /// First query parameter named `name`, already percent-decoded.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
     }
 
     /// Whether an `If-None-Match` header matches `etag` (either the
@@ -49,6 +61,57 @@ impl Request {
 
 fn bad(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Percent-decodes one query component: `%XX` becomes the byte `XX`
+/// (malformed escapes pass through literally), `+` becomes a space,
+/// and non-UTF-8 results are lossily replaced.
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3).and_then(|pair| {
+                    let s = std::str::from_utf8(pair).ok()?;
+                    u8::from_str_radix(s, 16).ok()
+                });
+                match hex {
+                    Some(byte) => {
+                        out.push(byte);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Splits a query string (`a=1&b=x%20y`) into decoded pairs. A key
+/// with no `=` decodes with an empty value.
+fn parse_query(query: &str) -> Vec<(String, String)> {
+    query
+        .split('&')
+        .filter(|part| !part.is_empty())
+        .map(|part| match part.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(part), String::new()),
+        })
+        .collect()
 }
 
 /// Reads one CRLF (or bare-LF) terminated line, without the terminator.
@@ -87,7 +150,11 @@ pub fn parse_request(stream: &mut impl BufRead) -> io::Result<Option<Request>> {
     if !version.starts_with("HTTP/1.") {
         return Err(bad("unsupported HTTP version"));
     }
-    let path = target.split(['?', '#']).next().unwrap_or(target);
+    let without_fragment = target.split('#').next().unwrap_or(target);
+    let (path, query) = match without_fragment.split_once('?') {
+        Some((path, query)) => (path, parse_query(query)),
+        None => (without_fragment, Vec::new()),
+    };
     let mut headers = BTreeMap::new();
     loop {
         let Some(line) = read_line(stream)? else {
@@ -107,6 +174,7 @@ pub fn parse_request(stream: &mut impl BufRead) -> io::Result<Option<Request>> {
     Ok(Some(Request {
         method: method.to_string(),
         path: path.to_string(),
+        query,
         headers,
     }))
 }
@@ -245,6 +313,29 @@ mod tests {
         assert_eq!(req.path, "/experiments/fig5");
         assert_eq!(req.header("host"), Some("a"));
         assert_eq!(req.header("X-WEIRD"), Some("v"));
+    }
+
+    #[test]
+    fn parses_query_parameters_with_percent_decoding() {
+        let req = parse(
+            "GET /query?sql=SELECT%20scheme%2C%20avg(energy)+FROM+runs&x=&flag HTTP/1.1\r\n\r\n",
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(req.path, "/query");
+        assert_eq!(
+            req.query_param("sql"),
+            Some("SELECT scheme, avg(energy) FROM runs")
+        );
+        assert_eq!(req.query_param("x"), Some(""));
+        assert_eq!(req.query_param("flag"), Some(""));
+        assert_eq!(req.query_param("missing"), None);
+        // Malformed escapes pass through literally rather than erroring.
+        let req = parse("GET /q?a=100%25&b=%zz HTTP/1.1\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.query_param("a"), Some("100%"));
+        assert_eq!(req.query_param("b"), Some("%zz"));
     }
 
     #[test]

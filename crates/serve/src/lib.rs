@@ -10,8 +10,10 @@
 //! | `GET /experiments`    | registry listing (canonical JSON)                   |
 //! | `GET /experiments/{id}` | run (or cache-load) one experiment, JSON + `ETag` |
 //! | `GET /reports/{sha256}` | raw cached `RunReport` object by content address  |
+//! | `GET /query?sql=…`    | SQL over the warehouse views (`rsls-lab`), JSON + `ETag` |
+//! | `GET /compare?a=…&b=…` | A/B diff of two filtered result slices, JSON + `ETag` |
 //! | `GET /healthz`        | liveness                                            |
-//! | `GET /metrics`        | Prometheus text: requests, latency, cache, queue    |
+//! | `GET /metrics`        | Prometheus text: requests, latency, cache, queue, lab |
 //!
 //! Architecture: the accept loop hands each connection to a short-lived
 //! thread that parses the request and routes it ([`server`]). Experiment
@@ -46,6 +48,6 @@ pub use client::{
     client_retries_total, get, get_with_retry, get_with_retry_chaotic, ClientResponse, RetryPolicy,
 };
 pub use http::{Request, Response};
-pub use metrics::Metrics;
+pub use metrics::{LabCounters, Metrics};
 pub use queue::{JobOutput, Submitted, WorkQueue};
 pub use server::{ExperimentInfo, ExperimentSource, RegistrySource, ServeOptions, Server};

@@ -37,6 +37,31 @@ pub struct ArtifactCounters {
     pub halo_misses: u64,
 }
 
+/// Snapshot of the `rsls-lab` warehouse counters (process-wide,
+/// gathered at scrape time from [`rsls_lab`]'s atomics): how many
+/// store objects ingest accepted and rejected, and how many queries
+/// the warehouse executed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LabCounters {
+    /// Reports ingested into warehouse views.
+    pub ingested_objects: u64,
+    /// Store entries tolerant decode rejected (counted, not fatal).
+    pub ingest_rejected: u64,
+    /// Queries executed against warehouse views.
+    pub queries: u64,
+}
+
+impl LabCounters {
+    /// Reads the current process-wide lab counters.
+    pub fn gather() -> LabCounters {
+        LabCounters {
+            ingested_objects: rsls_lab::ingested_objects_total(),
+            ingest_rejected: rsls_lab::ingest_rejected_total(),
+            queries: rsls_lab::queries_total(),
+        }
+    }
+}
+
 /// Latency histogram bucket upper bounds, in seconds.
 const BUCKETS: [f64; 8] = [0.001, 0.005, 0.02, 0.1, 0.5, 2.0, 10.0, 60.0];
 
@@ -88,6 +113,9 @@ pub struct Metrics {
     workers_busy: AtomicU64,
     /// Request handlers that panicked (each isolated to a `500`).
     panics: AtomicU64,
+    /// End-to-end `/query` + `/compare` latency (warehouse load,
+    /// execution, serialization), observed at the I/O edge.
+    lab_latency: Histogram,
 }
 
 macro_rules! counters {
@@ -126,6 +154,11 @@ impl Metrics {
         self.latency.observe(elapsed);
     }
 
+    /// Records one finished warehouse query or comparison.
+    pub fn observe_lab_query(&self, elapsed: Duration) {
+        self.lab_latency.observe(elapsed);
+    }
+
     /// Adjusts the queued-jobs gauge by `delta`.
     pub fn queue_depth_add(&self, delta: i64) {
         gauge_add(&self.queue_depth, delta);
@@ -159,6 +192,7 @@ impl Metrics {
         campaign: &CampaignSummary,
         campaign_waiters: usize,
         artifacts: &ArtifactCounters,
+        lab: &LabCounters,
     ) -> String {
         let mut out = String::new();
         let mut scalar = |name: &str, kind: &str, help: &str, value: u64| {
@@ -356,6 +390,25 @@ impl Metrics {
             artifacts.halo_misses,
         );
 
+        scalar(
+            "rsls_lab_ingested_objects_total",
+            "counter",
+            "Reports ingested into warehouse views.",
+            lab.ingested_objects,
+        );
+        scalar(
+            "rsls_lab_ingest_rejected_total",
+            "counter",
+            "Store entries warehouse ingest rejected (tolerant decode).",
+            lab.ingest_rejected,
+        );
+        scalar(
+            "rsls_lab_queries_total",
+            "counter",
+            "SQL queries executed against warehouse views.",
+            lab.queries,
+        );
+
         let _ = writeln!(
             out,
             "# HELP rsls_serve_requests_total Requests served, by route and status."
@@ -396,6 +449,30 @@ impl Metrics {
             self.latency.sum_micros.load(Ordering::Relaxed) as f64 / 1e6
         );
         let _ = writeln!(out, "rsls_serve_request_duration_seconds_count {count}");
+
+        let _ = writeln!(
+            out,
+            "# HELP rsls_lab_query_seconds Warehouse query/compare latency (load + execute + serialize)."
+        );
+        let _ = writeln!(out, "# TYPE rsls_lab_query_seconds histogram");
+        for (bound, counter) in BUCKETS.iter().zip(&self.lab_latency.buckets) {
+            let _ = writeln!(
+                out,
+                "rsls_lab_query_seconds_bucket{{le=\"{bound}\"}} {}",
+                counter.load(Ordering::Relaxed)
+            );
+        }
+        let lab_count = self.lab_latency.count.load(Ordering::Relaxed);
+        let _ = writeln!(
+            out,
+            "rsls_lab_query_seconds_bucket{{le=\"+Inf\"}} {lab_count}"
+        );
+        let _ = writeln!(
+            out,
+            "rsls_lab_query_seconds_sum {}",
+            self.lab_latency.sum_micros.load(Ordering::Relaxed) as f64 / 1e6
+        );
+        let _ = writeln!(out, "rsls_lab_query_seconds_count {lab_count}");
         out
     }
 }
@@ -455,7 +532,13 @@ mod tests {
             halo_hits: 3,
             halo_misses: 1,
         };
-        let text = m.render(&summary, 1, &artifacts);
+        let lab = LabCounters {
+            ingested_objects: 12,
+            ingest_rejected: 3,
+            queries: 8,
+        };
+        m.observe_lab_query(Duration::from_millis(10));
+        let text = m.render(&summary, 1, &artifacts, &lab);
         assert!(text.contains("rsls_serve_requests_total{route=\"experiment\",status=\"200\"} 1"));
         assert!(text.contains("rsls_serve_requests_total{route=\"experiment\",status=\"503\"} 1"));
         assert!(text.contains("rsls_serve_result_cache_hits_total 1"));
@@ -480,6 +563,11 @@ mod tests {
         assert!(text.contains("rsls_artifact_halo_plan_hits_total 3"));
         assert!(text.contains("rsls_artifact_halo_plan_misses_total 1"));
         assert!(text.contains("rsls_serve_request_duration_seconds_count 3"));
+        assert!(text.contains("rsls_lab_ingested_objects_total 12"));
+        assert!(text.contains("rsls_lab_ingest_rejected_total 3"));
+        assert!(text.contains("rsls_lab_queries_total 8"));
+        assert!(text.contains("rsls_lab_query_seconds_count 1"));
+        assert!(text.contains("rsls_lab_query_seconds_bucket{le=\"+Inf\"} 1"));
         // Deterministic label order: BTreeMap keys render sorted.
         let experiment = text
             .find("route=\"experiment\",status=\"200\"")
@@ -495,7 +583,12 @@ mod tests {
         let m = Metrics::new();
         m.observe_request("x", 200, Duration::from_micros(500)); // ≤ 0.001
         m.observe_request("x", 200, Duration::from_millis(40)); // ≤ 0.1
-        let text = m.render(&CampaignSummary::default(), 0, &ArtifactCounters::default());
+        let text = m.render(
+            &CampaignSummary::default(),
+            0,
+            &ArtifactCounters::default(),
+            &LabCounters::default(),
+        );
         assert!(text.contains("bucket{le=\"0.001\"} 1"));
         assert!(text.contains("bucket{le=\"0.1\"} 2"));
         assert!(text.contains("bucket{le=\"+Inf\"} 2"));
@@ -505,7 +598,12 @@ mod tests {
     fn gauge_never_underflows() {
         let m = Metrics::new();
         m.workers_busy_add(-5);
-        let text = m.render(&CampaignSummary::default(), 0, &ArtifactCounters::default());
+        let text = m.render(
+            &CampaignSummary::default(),
+            0,
+            &ArtifactCounters::default(),
+            &LabCounters::default(),
+        );
         assert!(text.contains("rsls_serve_workers_busy 0"));
     }
 }

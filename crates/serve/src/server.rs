@@ -14,7 +14,7 @@ use rsls_experiments::campaign;
 use rsls_experiments::{ExperimentRegistry, Scale, Table};
 
 use crate::http::{self, Request, Response};
-use crate::metrics::{ArtifactCounters, Metrics};
+use crate::metrics::{ArtifactCounters, LabCounters, Metrics};
 use crate::queue::{JobOutput, SubmitError, WorkQueue};
 use crate::{compute, signal};
 
@@ -306,6 +306,8 @@ fn route(shared: &Arc<Shared>, req: &Request) -> (&'static str, Response) {
         ),
         "/metrics" => ("metrics", metrics_response(shared)),
         "/experiments" => ("experiments", listing_response(shared)),
+        "/query" => ("query", query_response(shared, req)),
+        "/compare" => ("compare", compare_response(shared, req)),
         _ => {
             if let Some(id) = path.strip_prefix("/experiments/") {
                 ("experiment", experiment_response(shared, req, id))
@@ -339,7 +341,8 @@ fn gather_artifact_counters() -> ArtifactCounters {
 fn root_response() -> Response {
     Response::text(
         200,
-        "rsls-serve: GET /experiments, /experiments/{id}, /reports/{sha256}, /healthz, /metrics\n",
+        "rsls-serve: GET /experiments, /experiments/{id}, /reports/{sha256}, \
+         /query?sql=…, /compare?a=…&b=…, /healthz, /metrics\n",
     )
 }
 
@@ -349,6 +352,7 @@ fn metrics_response(shared: &Arc<Shared>) -> Response {
         &engine.summary(),
         engine.coalesce_waiters(),
         &gather_artifact_counters(),
+        &LabCounters::gather(),
     );
     Response::new(200)
         .header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -448,6 +452,97 @@ fn report_response(shared: &Arc<Shared>, req: &Request, hash: &str) -> Response 
             Response::text(404, format!("no report object {hash}\n"))
         }
     }
+}
+
+/// The campaign store the warehouse routes read: the global engine's
+/// cache directory and journal path. `None` when caching is disabled
+/// (there is no store to query).
+fn warehouse_paths() -> Option<(std::path::PathBuf, Option<std::path::PathBuf>)> {
+    let engine = campaign::engine();
+    let cache_dir = engine.cache()?.dir().to_path_buf();
+    let journal = engine.options().journal_path.clone();
+    Some((cache_dir, journal))
+}
+
+/// Submits a warehouse job (coalescing on `key` like experiment runs)
+/// and maps its outcome: `sql:`-prefixed errors are the caller's
+/// fault (400), anything else is a store failure (500). Successful
+/// bodies are canonical JSON with self-certifying `ETag`s; they are
+/// *not* inserted into the permanent result map — the store grows as
+/// campaigns run, so query results may legitimately change between
+/// requests.
+fn warehouse_job(
+    shared: &Arc<Shared>,
+    req: &Request,
+    key: &str,
+    job: impl FnOnce() -> Result<JobOutput, String> + Send + 'static,
+) -> Response {
+    let started = Instant::now();
+    match shared.queue.submit(key, job) {
+        Ok(submitted) => match submitted.job().wait() {
+            Ok(out) => {
+                shared.metrics.observe_lab_query(started.elapsed());
+                conditional(req, &out)
+            }
+            Err(msg) => match msg.strip_prefix("sql: ") {
+                Some(sql_error) => Response::text(400, format!("{sql_error}\n")),
+                None => Response::text(500, format!("warehouse failure: {msg}\n")),
+            },
+        },
+        Err(SubmitError::Full) => Response::text(503, "compute queue is full; retry later\n")
+            .header("Retry-After", RETRY_AFTER_S.to_string()),
+        Err(SubmitError::ShuttingDown) => Response::text(503, "service is shutting down\n")
+            .header("Retry-After", RETRY_AFTER_S.to_string()),
+    }
+}
+
+fn query_response(shared: &Arc<Shared>, req: &Request) -> Response {
+    let Some(sql) = req.query_param("sql").map(str::to_string) else {
+        return Response::text(400, "missing query parameter: sql\n");
+    };
+    // Parse before submitting: a malformed query fails fast with its
+    // byte offset instead of occupying a worker.
+    if let Err(e) = rsls_lab::parse(&sql) {
+        return Response::text(400, format!("{e}\n"));
+    }
+    let Some((cache_dir, journal)) = warehouse_paths() else {
+        return Response::text(404, "result caching is disabled on this server\n");
+    };
+    let key = format!("query:{sql}");
+    warehouse_job(shared, req, &key, move || {
+        let warehouse = rsls_lab::Warehouse::load(&cache_dir, journal.as_deref())
+            .map_err(|e| format!("loading warehouse: {e}"))?;
+        let result = warehouse.query(&sql).map_err(|e| format!("sql: {e}"))?;
+        let body = result.to_canonical_json().into_bytes();
+        let etag = compute::etag_for(&body);
+        Ok(JobOutput { body, etag })
+    })
+}
+
+fn compare_response(shared: &Arc<Shared>, req: &Request) -> Response {
+    let (Some(a), Some(b)) = (
+        req.query_param("a").map(str::to_string),
+        req.query_param("b").map(str::to_string),
+    ) else {
+        return Response::text(400, "missing query parameters: a and b (WHERE filters)\n");
+    };
+    let (expr_a, expr_b) = match (rsls_lab::parse_filter(&a), rsls_lab::parse_filter(&b)) {
+        (Ok(ea), Ok(eb)) => (ea, eb),
+        (Err(e), _) | (_, Err(e)) => return Response::text(400, format!("{e}\n")),
+    };
+    let Some((cache_dir, journal)) = warehouse_paths() else {
+        return Response::text(404, "result caching is disabled on this server\n");
+    };
+    let key = format!("compare:{a}\u{1}{b}");
+    warehouse_job(shared, req, &key, move || {
+        let warehouse = rsls_lab::Warehouse::load(&cache_dir, journal.as_deref())
+            .map_err(|e| format!("loading warehouse: {e}"))?;
+        let report = rsls_lab::compare_filtered(&warehouse, &expr_a, &a, &expr_b, &b)
+            .map_err(|e| format!("sql: {e}"))?;
+        let body = rsls_lab::canonical_json(&report).into_bytes();
+        let etag = compute::etag_for(&body);
+        Ok(JobOutput { body, etag })
+    })
 }
 
 #[cfg(test)]

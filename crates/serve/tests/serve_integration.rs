@@ -350,6 +350,151 @@ fn reports_round_trip_from_the_content_addressed_store() {
     join.join().expect("no panic").expect("clean shutdown");
 }
 
+/// Minimal percent-encoding for test query strings.
+fn urlencode(s: &str) -> String {
+    let mut out = String::new();
+    for b in s.bytes() {
+        match b {
+            b'a'..=b'z'
+            | b'A'..=b'Z'
+            | b'0'..=b'9'
+            | b'-'
+            | b'_'
+            | b'.'
+            | b'~'
+            | b'('
+            | b')'
+            | b'*'
+            | b',' => out.push(b as char),
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+#[test]
+fn lab_query_and_compare_routes_serve_etagged_canonical_json() {
+    let (handle, join) = serve(ServeOptions::default(), Arc::new(RegistrySource));
+    let addr = handle.addr();
+
+    // Populate the engine's store with a small two-scheme lineup the
+    // warehouse routes can rank.
+    use rsls_campaign::{UnitSpec, ENGINE_VERSION};
+    let a = rsls_sparse::generators::stencil_2d(16, 16);
+    let ones = vec![1.0; a.nrows()];
+    let mut b = vec![0.0; a.nrows()];
+    a.spmv(&ones, &mut b);
+    let specs: Vec<UnitSpec> = [rsls_core::Scheme::FaultFree, rsls_core::Scheme::Dmr]
+        .into_iter()
+        .map(|scheme| UnitSpec {
+            experiment: "lab-route".to_string(),
+            unit: scheme.label(),
+            matrix: "stencil-16".to_string(),
+            matrix_fingerprint: 1,
+            scale: "quick".to_string(),
+            engine_version: ENGINE_VERSION,
+            config: rsls_core::RunConfig::new(scheme, 2),
+        })
+        .collect();
+    let outcomes =
+        campaign::engine().run_units(&specs, |spec| rsls_core::driver::run(&a, &b, &spec.config));
+    assert!(outcomes.iter().all(|o| o.report.is_some()));
+
+    // Other tests in this process plant their own store objects, so
+    // pin the query to this lineup's provenance.
+    let sql = "SELECT scheme, avg(energy) FROM runs WHERE experiment = 'lab-route' \
+               GROUP BY scheme ORDER BY avg(energy)";
+    let path = format!("/query?sql={}", urlencode(sql));
+    let first = get(addr, &path, &[]).expect("query");
+    assert_eq!(
+        first.status,
+        200,
+        "body: {}",
+        String::from_utf8_lossy(&first.body)
+    );
+    let etag = first.etag().expect("etag present").to_string();
+    assert_eq!(
+        etag,
+        rsls_core::sha256_hex(&first.body),
+        "self-certifying ETag"
+    );
+    let body = String::from_utf8(first.body.clone()).expect("utf8");
+    assert!(
+        body.starts_with(r#"{"columns":["scheme","avg(energy)"],"rows":["#),
+        "got: {body}"
+    );
+    assert!(
+        body.contains("\"FF\"") && body.contains("\"RD\""),
+        "got: {body}"
+    );
+
+    // Re-fetch is byte-identical; conditional re-fetch revalidates.
+    let second = get(addr, &path, &[]).expect("query again");
+    assert_eq!(second.body, first.body);
+    let revalidated =
+        get(addr, &path, &[("If-None-Match", &format!("\"{etag}\""))]).expect("revalidate");
+    assert_eq!(revalidated.status, 304);
+    assert!(revalidated.body.is_empty());
+
+    // Caller errors are 400s: missing parameter, parse error, unknown
+    // column (eval error).
+    assert_eq!(get(addr, "/query", &[]).expect("no sql").status, 400);
+    let bad = get(
+        addr,
+        &format!("/query?sql={}", urlencode("SELECT FROM")),
+        &[],
+    )
+    .expect("bad sql");
+    assert_eq!(bad.status, 400);
+    assert!(String::from_utf8_lossy(&bad.body).contains("SQL error"));
+    let eval = get(
+        addr,
+        &format!("/query?sql={}", urlencode("SELECT nope FROM runs")),
+        &[],
+    )
+    .expect("eval error");
+    assert_eq!(eval.status, 400);
+
+    // /compare diffs two filtered slices; a slice against itself is
+    // identical, and the report carries a valid ETag too.
+    let same = urlencode("experiment = 'lab-route'");
+    let compare = get(addr, &format!("/compare?a={same}&b={same}"), &[]).expect("compare");
+    assert_eq!(compare.status, 200);
+    let compare_etag = compare.etag().expect("etag").to_string();
+    assert_eq!(compare_etag, rsls_core::sha256_hex(&compare.body));
+    let text = String::from_utf8(compare.body).expect("utf8");
+    assert!(text.contains(r#""identical":true"#), "got: {text}");
+    let diff = get(
+        addr,
+        &format!(
+            "/compare?a={}&b={}",
+            urlencode("scheme = 'FF'"),
+            urlencode("scheme = 'RD'")
+        ),
+        &[],
+    )
+    .expect("cross compare");
+    assert_eq!(diff.status, 200);
+    let text = String::from_utf8(diff.body).expect("utf8");
+    assert!(text.contains(r#""identical":false"#), "got: {text}");
+    assert_eq!(
+        get(addr, "/compare?a=x", &[]).expect("missing b").status,
+        400
+    );
+
+    // The lab metric families are on /metrics for CI to grep.
+    let scrape = get(addr, "/metrics", &[]).expect("metrics");
+    let text = String::from_utf8(scrape.body).expect("utf8");
+    assert!(metric_value(&text, "rsls_lab_queries_total ") >= Some(2.0));
+    assert!(metric_value(&text, "rsls_lab_ingested_objects_total ") >= Some(2.0));
+    assert!(text.contains("rsls_lab_ingest_rejected_total "));
+    assert!(text.contains("rsls_lab_query_seconds_bucket"));
+    assert!(metric_value(&text, "rsls_lab_query_seconds_count ") >= Some(3.0));
+
+    handle.shutdown();
+    join.join().expect("no panic").expect("clean shutdown");
+}
+
 #[test]
 fn rejects_unsupported_methods_and_bad_requests() {
     let (handle, join) = serve(ServeOptions::default(), Arc::new(RegistrySource));

@@ -17,10 +17,13 @@ use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 use rsls_sparse::artifacts::MatrixKey;
 use rsls_sparse::{CsrMatrix, Partition};
 
+/// Memo map type: `(matrix content, partition boundaries) → plan`.
+type PlanMemo = Mutex<BTreeMap<(MatrixKey, u64), Arc<HaloPlan>>>;
+
 /// Process-global memo of halo plans: `(matrix content, partition
 /// boundaries) → plan`. Plans are pure functions of their key, so a
 /// hit is bit-identical to a rebuild.
-static PLAN_CACHE: OnceLock<Mutex<BTreeMap<(MatrixKey, u64), Arc<HaloPlan>>>> = OnceLock::new();
+static PLAN_CACHE: OnceLock<PlanMemo> = OnceLock::new();
 static PLAN_HITS: AtomicU64 = AtomicU64::new(0);
 static PLAN_MISSES: AtomicU64 = AtomicU64::new(0);
 

@@ -110,6 +110,9 @@ impl ArtifactStats {
     }
 }
 
+/// A cached support panel: the extracted rows plus their column support.
+type SupportPanel = Arc<(CsrMatrix, Vec<usize>)>;
+
 /// Process-global memo for block extractions and derived panels.
 ///
 /// Disabled caches degrade to pass-through builders (every lookup
@@ -121,7 +124,7 @@ pub struct ArtifactCache {
     dense_blocks: Mutex<BTreeMap<BlockKey, Arc<DenseMatrix>>>,
     row_panels: Mutex<BTreeMap<RowKey, Arc<CsrMatrix>>>,
     grams: Mutex<BTreeMap<RowKey, Arc<DenseMatrix>>>,
-    support_panels: Mutex<BTreeMap<RowKey, Arc<(CsrMatrix, Vec<usize>)>>>,
+    support_panels: Mutex<BTreeMap<RowKey, SupportPanel>>,
     hits: AtomicU64,
     misses: AtomicU64,
     disabled: AtomicBool,
