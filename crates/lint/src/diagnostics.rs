@@ -58,6 +58,63 @@ pub fn render_json(violations: &[Violation], files_scanned: usize) -> String {
     out
 }
 
+/// Renders the report as a minimal SARIF 2.1.0 document, so the CI job
+/// can upload findings and have them annotate PR diffs. One run, one
+/// driver (`rsls-lint`), one result per violation with a physical
+/// location; rule metadata comes from the catalog.
+pub fn render_sarif(violations: &[Violation]) -> String {
+    let mut out = String::from(
+        "{\n  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n  \"version\": \"2.1.0\",\n  \"runs\": [\n    {\n      \"tool\": {\n        \"driver\": {\n          \"name\": \"rsls-lint\",\n          \"informationUri\": \"https://example.invalid/LINTING.md\",\n          \"rules\": [",
+    );
+    let mut rules: Vec<Rule> = Rule::catalog().to_vec();
+    rules.push(Rule::Pragma);
+    for (i, r) in rules.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n            {{\"id\": {}, \"shortDescription\": {{\"text\": {}}}}}",
+            json_string(r.id()),
+            json_string(r.describe())
+        ));
+    }
+    out.push_str("\n          ]\n        }\n      },\n      \"results\": [");
+    for (i, v) in violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n        {{\"ruleId\": {}, \"level\": \"error\", \"message\": {{\"text\": {}}}, \
+             \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": {}}}, \
+             \"region\": {{\"startLine\": {}}}}}}}]}}",
+            json_string(v.rule.id()),
+            json_string(&v.message),
+            json_string(&v.file),
+            v.line
+        ));
+    }
+    if !violations.is_empty() {
+        out.push_str("\n      ");
+    }
+    out.push_str("]\n    }\n  ]\n}\n");
+    out
+}
+
+/// The final stats line for `--format json` mode: one compact JSON
+/// object per run, so the CI log tracks analysis growth over time
+/// (`grep '"stats"'` across runs). `elapsed_seconds` is measured by the
+/// binary around the whole analysis.
+pub fn render_stats_line(stats: &crate::LintStats, elapsed_seconds: f64) -> String {
+    format!(
+        "{{\"stats\":{{\"files_scanned\":{},\"functions_resolved\":{},\"call_edges\":{},\"violation_count\":{},\"elapsed_seconds\":{:.3}}}}}\n",
+        stats.files_scanned,
+        stats.functions_resolved,
+        stats.call_edges,
+        stats.violation_count,
+        elapsed_seconds
+    )
+}
+
 /// Escapes `s` as a JSON string literal (RFC 8259).
 pub fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);

@@ -6,8 +6,9 @@
 use std::io::Write;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant; // rsls-lint: allow(wall-clock) -- CLI-only run timing for the stats line; never reaches analysis results
 
-use rsls_lint::{analyze_workspace, render_json};
+use rsls_lint::{analyze_workspace, render_json, render_sarif, render_stats_line};
 
 /// Writes to stdout, ignoring broken pipes so `rsls-lint … | head`
 /// exits quietly instead of panicking mid-write.
@@ -19,12 +20,14 @@ const USAGE: &str = "\
 rsls-lint — workspace determinism & hygiene analyzer
 
 USAGE:
-    rsls-lint [--root <path>] [--format <text|json>]
+    rsls-lint [--root <path>] [--format <text|json|sarif>]
 
 OPTIONS:
     --root <path>      Workspace root (default: ascend from the current
                        directory to the first one containing `crates/`)
-    --format <fmt>     Output format: `text` (default) or `json`
+    --format <fmt>     Output format: `text` (default), `json` (report
+                       plus a final one-line stats object), or `sarif`
+                       (SARIF 2.1.0 for PR annotation)
     -h, --help         Show this help
 
 Rules and pragma syntax are documented in LINTING.md.";
@@ -42,9 +45,10 @@ fn main() -> ExitCode {
             "--format" => match args.next().as_deref() {
                 Some("text") => format = "text".into(),
                 Some("json") => format = "json".into(),
+                Some("sarif") => format = "sarif".into(),
                 other => {
                     return usage_error(&format!(
-                        "--format must be `text` or `json`, got {other:?}"
+                        "--format must be `text`, `json`, or `sarif`, got {other:?}"
                     ))
                 }
             },
@@ -64,32 +68,50 @@ fn main() -> ExitCode {
         }
     };
 
-    let (violations, scanned) = match analyze_workspace(&root) {
+    let started = Instant::now(); // rsls-lint: allow(wall-clock) -- CLI-only run timing
+    let report = match analyze_workspace(&root) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("rsls-lint: {e}");
             return ExitCode::from(2);
         }
     };
+    let elapsed = started.elapsed().as_secs_f64();
+    let violations = &report.violations;
+    let scanned = report.stats.files_scanned;
 
-    if format == "json" {
-        out(format_args!("{}", render_json(&violations, scanned)));
-    } else {
-        for v in &violations {
-            out(format_args!("{}\n", v.render_text()));
-        }
-        if violations.is_empty() {
-            out(format_args!("rsls-lint: {scanned} files clean\n"));
-        } else {
+    match format.as_str() {
+        "json" => {
+            out(format_args!("{}", render_json(violations, scanned)));
             out(format_args!(
-                "rsls-lint: {} violation(s) in {} file(s), {scanned} files scanned\n",
-                violations.len(),
-                {
-                    let mut files: Vec<&str> = violations.iter().map(|v| v.file.as_str()).collect();
-                    files.dedup();
-                    files.len()
-                },
+                "{}",
+                render_stats_line(&report.stats, elapsed)
             ));
+        }
+        "sarif" => {
+            out(format_args!("{}", render_sarif(violations)));
+        }
+        _ => {
+            for v in violations {
+                out(format_args!("{}\n", v.render_text()));
+            }
+            if violations.is_empty() {
+                out(format_args!(
+                    "rsls-lint: {scanned} files clean ({} fns, {} call edges, {elapsed:.2}s)\n",
+                    report.stats.functions_resolved, report.stats.call_edges,
+                ));
+            } else {
+                out(format_args!(
+                    "rsls-lint: {} violation(s) in {} file(s), {scanned} files scanned ({elapsed:.2}s)\n",
+                    violations.len(),
+                    {
+                        let mut files: Vec<&str> =
+                            violations.iter().map(|v| v.file.as_str()).collect();
+                        files.dedup();
+                        files.len()
+                    },
+                ));
+            }
         }
     }
 

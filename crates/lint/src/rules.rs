@@ -10,13 +10,24 @@
 //! | `unordered-parallel` | ad-hoc threads & nondeterministic float reductions |
 //! | `no-unwrap` | panics in library crates instead of `Result` propagation |
 //! | `missing-docs` | undocumented public API in `core` / `campaign` |
+//! | `transitive-nondet` | a deterministic root *reaching* any of the above through calls (see [`crate::taint`]) |
+//! | `unguarded-io` | `std::fs`/`std::net` outside registered chaos sites (see [`crate::taint`]) |
 //!
 //! plus the meta-rule `pragma` (malformed or unknown suppressions),
-//! which can never itself be suppressed.
+//! which can never itself be suppressed. R1–R5 are token rules checked
+//! per file here; R6/R7 need the workspace call graph and are produced
+//! by [`crate::taint`] from [`crate::analyze_workspace`].
+//!
+//! The banned-identifier rules see through `use` aliases: after
+//! `use std::collections::HashMap as Map;`, every `Map::new()` fires
+//! `default-hasher` exactly as `HashMap::new()` would.
+
+use std::collections::BTreeSet;
 
 use crate::diagnostics::Violation;
-use crate::lexer::{lex, Token, TokenKind};
-use crate::pragma::parse_pragmas;
+use crate::lexer::{lex, TokenKind};
+use crate::parse::{self, FileAst, SigTok};
+use crate::pragma::{parse_pragmas, Pragma};
 
 /// A lint rule. `Pragma` is the meta-rule for malformed suppressions;
 /// it is reported like any other but cannot be allowed away.
@@ -34,19 +45,27 @@ pub enum Rule {
     NoUnwrap,
     /// R5: public items of `core` and `campaign` must be documented.
     MissingDocs,
+    /// R6: no deterministic root may transitively reach a
+    /// nondeterminism source through the workspace call graph.
+    TransitiveNondet,
+    /// R7: no `std::fs`/`std::net` in `campaign`/`serve` outside a
+    /// manifest-registered chaos injection site.
+    UnguardedIo,
     /// Meta: a pragma that does not parse or names an unknown rule.
     Pragma,
 }
 
 impl Rule {
-    /// The five suppressible rules, in R1–R5 order.
-    pub fn catalog() -> [Rule; 5] {
+    /// The seven suppressible rules, in R1–R7 order.
+    pub fn catalog() -> [Rule; 7] {
         [
             Rule::WallClock,
             Rule::DefaultHasher,
             Rule::UnorderedParallel,
             Rule::NoUnwrap,
             Rule::MissingDocs,
+            Rule::TransitiveNondet,
+            Rule::UnguardedIo,
         ]
     }
 
@@ -58,7 +77,25 @@ impl Rule {
             Rule::UnorderedParallel => "unordered-parallel",
             Rule::NoUnwrap => "no-unwrap",
             Rule::MissingDocs => "missing-docs",
+            Rule::TransitiveNondet => "transitive-nondet",
+            Rule::UnguardedIo => "unguarded-io",
             Rule::Pragma => "pragma",
+        }
+    }
+
+    /// One-line description (used by the SARIF rule metadata).
+    pub fn describe(self) -> &'static str {
+        match self {
+            Rule::WallClock => "wall-clock time or OS entropy in a deterministic crate",
+            Rule::DefaultHasher => "randomized-iteration HashMap/HashSet in deterministic state",
+            Rule::UnorderedParallel => "ad-hoc threads or scheduler-ordered float reduction",
+            Rule::NoUnwrap => "unwrap/expect/panic! in a library crate",
+            Rule::MissingDocs => "undocumented public item",
+            Rule::TransitiveNondet => {
+                "deterministic root transitively reaches a nondeterminism source"
+            }
+            Rule::UnguardedIo => "std::fs/std::net outside a registered chaos injection site",
+            Rule::Pragma => "malformed or unknown suppression pragma",
         }
     }
 
@@ -70,7 +107,7 @@ impl Rule {
 }
 
 /// Identifiers that mean wall-clock time or OS entropy reached the code.
-const WALL_CLOCK_IDENTS: &[&str] = &[
+pub(crate) const WALL_CLOCK_IDENTS: &[&str] = &[
     "SystemTime",
     "Instant",
     "UNIX_EPOCH",
@@ -79,12 +116,37 @@ const WALL_CLOCK_IDENTS: &[&str] = &[
     "from_entropy",
 ];
 
+/// Default-hasher collection types with randomized iteration order.
+pub(crate) const HASHER_IDENTS: &[&str] = &["HashMap", "HashSet"];
+
 /// Parallel-iterator entry points whose element order is scheduler-driven.
-const PAR_ENTRY_IDENTS: &[&str] = &["par_iter", "into_par_iter", "par_bridge", "par_chunks"];
+pub(crate) const PAR_ENTRY_IDENTS: &[&str] =
+    &["par_iter", "into_par_iter", "par_bridge", "par_chunks"];
 
 /// Combinators that fold elements in arrival order (nondeterministic
 /// for floats when fed by a parallel iterator).
-const PAR_REDUCER_IDENTS: &[&str] = &["sum", "reduce", "fold", "product"];
+pub(crate) const PAR_REDUCER_IDENTS: &[&str] = &["sum", "reduce", "fold", "product"];
+
+/// Aliases bound to banned identifiers by `use … as …` declarations:
+/// `(wall-clock aliases, default-hasher aliases)`. The parser resolves
+/// nested groups, so `use std::collections::{HashMap as Map, …}` is
+/// tracked the same as a plain rename.
+pub(crate) fn banned_aliases(ast: &FileAst) -> (BTreeSet<String>, BTreeSet<String>) {
+    let mut r1 = BTreeSet::new();
+    let mut r2 = BTreeSet::new();
+    for u in &ast.uses {
+        let Some(last) = u.path.last() else { continue };
+        if u.alias == "*" || u.alias == *last {
+            continue;
+        }
+        if WALL_CLOCK_IDENTS.contains(&last.as_str()) {
+            r1.insert(u.alias.clone());
+        } else if HASHER_IDENTS.contains(&last.as_str()) {
+            r2.insert(u.alias.clone());
+        }
+    }
+    (r1, r2)
+}
 
 /// Analyzes one file's source under the given rule set, returning the
 /// surviving (non-suppressed) violations sorted by line.
@@ -93,31 +155,52 @@ const PAR_REDUCER_IDENTS: &[&str] = &["sum", "reduce", "fold", "product"];
 /// `#[cfg(test)]` / `#[test]` items are exempt from every rule.
 pub fn analyze_source(file: &str, src: &str, rules: &[Rule]) -> Vec<Violation> {
     let tokens = lex(src);
-    let (pragmas, mut violations) = parse_pragmas(&tokens, file);
-    let sig = significant(&tokens);
-    let skip = test_skip_mask(&sig);
+    let (pragmas, pragma_violations) = parse_pragmas(&tokens, file);
+    let sig = parse::significant(&tokens);
+    let skip = parse::test_skip_mask(&sig);
+    let ast = parse::parse_file(&sig, &skip);
+    analyze_prepared(file, &sig, &skip, &ast, &pragmas, pragma_violations, rules)
+}
+
+/// The per-file pass over pre-lexed, pre-parsed inputs (the workspace
+/// analysis lexes and parses each file exactly once and shares the
+/// result between this pass and the call-graph build).
+pub(crate) fn analyze_prepared(
+    file: &str,
+    sig: &[SigTok],
+    skip: &[bool],
+    ast: &FileAst,
+    pragmas: &[Pragma],
+    mut violations: Vec<Violation>,
+    rules: &[Rule],
+) -> Vec<Violation> {
+    let (r1_alias, r2_alias) = banned_aliases(ast);
 
     let mut candidates: Vec<Violation> = Vec::new();
     for &rule in rules {
         let hits = match rule {
-            Rule::WallClock => check_banned_idents(&sig, &skip, WALL_CLOCK_IDENTS, |name| {
-                format!(
-                    "`{name}` reaches wall-clock time or OS entropy in a deterministic crate; \
+            Rule::WallClock => {
+                check_banned_idents(sig, skip, WALL_CLOCK_IDENTS, &r1_alias, |name| {
+                    format!(
+                        "`{name}` reaches wall-clock time or OS entropy in a deterministic crate; \
                      derive time from the simulation clock and plumb seeds through the spec"
-                )
-            }),
+                    )
+                })
+            }
             Rule::DefaultHasher => {
-                check_banned_idents(&sig, &skip, &["HashMap", "HashSet"], |name| {
+                check_banned_idents(sig, skip, HASHER_IDENTS, &r2_alias, |name| {
                     format!(
                         "`{name}` iterates in randomized order, which can leak into simulation \
                      state or serialized output; use `BTreeMap`/`BTreeSet` instead"
                     )
                 })
             }
-            Rule::UnorderedParallel => check_unordered_parallel(&sig, &skip),
-            Rule::NoUnwrap => check_no_unwrap(&sig, &skip),
-            Rule::MissingDocs => check_missing_docs(&sig, &skip),
-            Rule::Pragma => Vec::new(), // produced by the pragma parser itself
+            Rule::UnorderedParallel => check_unordered_parallel(sig, skip),
+            Rule::NoUnwrap => check_no_unwrap(sig, skip),
+            Rule::MissingDocs => check_missing_docs(sig, skip),
+            // Workspace-level rules (need the call graph) and the
+            // pragma meta-rule produce nothing in the per-file pass.
+            Rule::TransitiveNondet | Rule::UnguardedIo | Rule::Pragma => Vec::new(),
         };
         candidates.extend(hits.into_iter().map(|(line, message)| Violation {
             rule,
@@ -136,158 +219,15 @@ pub fn analyze_source(file: &str, src: &str, rules: &[Rule]) -> Vec<Violation> {
     violations
 }
 
-/// A comment-free token plus whether a `///` doc comment attaches to it.
-#[derive(Debug, Clone)]
-struct SigTok {
-    kind: TokenKind,
-    text: String,
-    line: u32,
-    doc: bool,
-}
-
-impl SigTok {
-    fn is_ident(&self, word: &str) -> bool {
-        self.kind == TokenKind::Ident && self.text == word
-    }
-
-    fn is_punct(&self, c: char) -> bool {
-        self.kind == TokenKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
-    }
-}
-
-/// Drops comments, tracking which tokens carry an attached outer doc
-/// comment (`///` or `/**`), looking through attributes in between.
-fn significant(tokens: &[Token]) -> Vec<SigTok> {
-    let mut out: Vec<SigTok> = Vec::with_capacity(tokens.len());
-    let mut pending_doc = false;
-    let mut in_attr = false;
-    let mut attr_depth = 0usize;
-    let mut last_was_hash = false;
-    for tok in tokens {
-        match tok.kind {
-            TokenKind::LineComment => {
-                if tok.text.starts_with("///") {
-                    pending_doc = true;
-                }
-            }
-            TokenKind::BlockComment => {
-                if tok.text.starts_with("/**") {
-                    pending_doc = true;
-                }
-            }
-            _ => {
-                out.push(SigTok {
-                    kind: tok.kind,
-                    text: tok.text.clone(),
-                    line: tok.line,
-                    doc: pending_doc,
-                });
-                if in_attr {
-                    if tok.is_punct('[') {
-                        attr_depth += 1;
-                    } else if tok.is_punct(']') {
-                        attr_depth -= 1;
-                        if attr_depth == 0 {
-                            in_attr = false;
-                        }
-                    }
-                } else if last_was_hash && tok.is_punct('[') {
-                    in_attr = true;
-                    attr_depth = 1;
-                } else if !tok.is_punct('#') {
-                    // Attributes between a doc comment and its item keep
-                    // the doc pending; any other token consumes it.
-                    pending_doc = false;
-                }
-                last_was_hash = tok.is_punct('#');
-            }
-        }
-    }
-    out
-}
-
-/// Marks token ranges belonging to `#[test]` / `#[cfg(test)]` items
-/// (the attribute, any further attributes, and the item through its
-/// closing brace or semicolon). Ranges are brace-balanced, so callers
-/// can skip them without desynchronizing depth tracking.
-fn test_skip_mask(sig: &[SigTok]) -> Vec<bool> {
-    let mut skip = vec![false; sig.len()];
-    let mut i = 0;
-    while i < sig.len() {
-        if sig[i].is_punct('#') && i + 1 < sig.len() && sig[i + 1].is_punct('[') {
-            let attr_end = match matching_bracket(sig, i + 1) {
-                Some(e) => e,
-                None => break,
-            };
-            let is_test_attr = sig[i..=attr_end].iter().any(|t| t.is_ident("test"));
-            if is_test_attr {
-                let item_end = skip_item(sig, attr_end + 1);
-                for s in skip.iter_mut().take(item_end + 1).skip(i) {
-                    *s = true;
-                }
-                i = item_end + 1;
-                continue;
-            }
-            i = attr_end + 1;
-            continue;
-        }
-        i += 1;
-    }
-    skip
-}
-
-/// Index of the `]` matching the `[` at `open`.
-fn matching_bracket(sig: &[SigTok], open: usize) -> Option<usize> {
-    let mut depth = 0usize;
-    for (j, t) in sig.iter().enumerate().skip(open) {
-        if t.is_punct('[') {
-            depth += 1;
-        } else if t.is_punct(']') {
-            depth -= 1;
-            if depth == 0 {
-                return Some(j);
-            }
-        }
-    }
-    None
-}
-
-/// Returns the index of the token ending the item starting at `from`:
-/// a `;` before any brace opens, or the `}` matching the first `{`.
-/// Leading additional attributes are stepped over.
-fn skip_item(sig: &[SigTok], from: usize) -> usize {
-    let mut i = from;
-    // Step over further attributes on the same item.
-    while i + 1 < sig.len() && sig[i].is_punct('#') && sig[i + 1].is_punct('[') {
-        match matching_bracket(sig, i + 1) {
-            Some(e) => i = e + 1,
-            None => return sig.len().saturating_sub(1),
-        }
-    }
-    let mut depth = 0usize;
-    while i < sig.len() {
-        let t = &sig[i];
-        if t.is_punct(';') && depth == 0 {
-            return i;
-        }
-        if t.is_punct('{') {
-            depth += 1;
-        } else if t.is_punct('}') {
-            depth -= 1;
-            if depth == 0 {
-                return i;
-            }
-        }
-        i += 1;
-    }
-    sig.len().saturating_sub(1)
-}
-
-/// Flags any identifier from `banned`, with `message(name)` as the text.
+/// Flags any identifier from `banned` (or a tracked `use … as` alias of
+/// one), with `message(name)` as the text. The alias identifier inside
+/// its own `use` declaration (directly after `as`) is not re-flagged —
+/// the original name on that line already fires.
 fn check_banned_idents(
     sig: &[SigTok],
     skip: &[bool],
     banned: &[&str],
+    aliases: &BTreeSet<String>,
     message: impl Fn(&str) -> String,
 ) -> Vec<(u32, String)> {
     let mut hits = Vec::new();
@@ -295,8 +235,16 @@ fn check_banned_idents(
         if skip[i] || t.kind != TokenKind::Ident {
             continue;
         }
+        if i > 0 && sig[i - 1].is_ident("as") {
+            continue;
+        }
         if banned.contains(&t.text.as_str()) {
             hits.push((t.line, message(&t.text)));
+        } else if aliases.contains(&t.text) {
+            hits.push((
+                t.line,
+                format!("{} (via `use … as {}`)", message(&t.text), t.text),
+            ));
         }
     }
     hits

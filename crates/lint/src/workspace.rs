@@ -25,6 +25,7 @@
 //! `tests/`, `benches/`, and `examples/` are exempt (binaries and
 //! tests may unwrap and time freely).
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -38,8 +39,64 @@ pub struct SourceFile {
     pub path: PathBuf,
     /// Path relative to the workspace root, for diagnostics.
     pub label: String,
+    /// Crate directory name under `crates/`.
+    pub crate_name: String,
+    /// Module path derived from the file's location under `src/`
+    /// (`lib.rs`/`main.rs` → empty, `foo.rs`/`foo/mod.rs` → `["foo"]`).
+    pub module: Vec<String>,
     /// Rules to enforce on this file.
     pub rules: Vec<Rule>,
+}
+
+/// Derives the file's module path from its location inside `src/`.
+pub fn module_path(rel: &str) -> Vec<String> {
+    let rel = rel.replace('\\', "/");
+    let mut parts: Vec<&str> = rel.split('/').collect();
+    let Some(last) = parts.pop() else {
+        return Vec::new();
+    };
+    let stem = last.strip_suffix(".rs").unwrap_or(last);
+    if stem != "lib" && stem != "main" && stem != "mod" {
+        parts.push(stem);
+    }
+    parts.into_iter().map(str::to_string).collect()
+}
+
+/// Direct workspace (`rsls-*`) dependencies of each crate directory,
+/// read from its `Cargo.toml` `[dependencies]` (and `[dev-dependencies]`
+/// — test-only edges never produce graph nodes, so over-approximating
+/// here is harmless). The graph uses the transitive closure of this map
+/// to keep method-name resolution from crossing impossible crate edges.
+pub fn crate_deps(root: &Path) -> io::Result<BTreeMap<String, BTreeSet<String>>> {
+    let crates_dir = root.join("crates");
+    let mut names: Vec<String> = Vec::new();
+    for entry in fs::read_dir(&crates_dir)? {
+        let entry = entry?;
+        if entry.path().join("src").is_dir() {
+            names.push(entry.file_name().to_string_lossy().into_owned());
+        }
+    }
+    names.sort();
+    let known: BTreeSet<&str> = names.iter().map(String::as_str).collect();
+    let mut deps: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for name in &names {
+        let mut direct = BTreeSet::new();
+        if let Ok(manifest) = fs::read_to_string(crates_dir.join(name).join("Cargo.toml")) {
+            for line in manifest.lines() {
+                let line = line.trim();
+                // `rsls-core = { path = "../core" }` or `[dependencies.rsls-core]`.
+                for token in line.split(|c: char| !(c.is_alphanumeric() || c == '-' || c == '_')) {
+                    if let Some(dep) = token.strip_prefix("rsls-") {
+                        if known.contains(dep) && dep != name {
+                            direct.insert(dep.to_string());
+                        }
+                    }
+                }
+            }
+        }
+        deps.insert(name.clone(), direct);
+    }
+    Ok(deps)
 }
 
 /// Rules enforced on a crate, by the directory name under `crates/`.
@@ -176,6 +233,8 @@ pub fn collect(root: &Path) -> io::Result<Vec<SourceFile>> {
             files.push(SourceFile {
                 path,
                 label,
+                crate_name: name.clone(),
+                module: module_path(&rel),
                 rules: file_rules(name, &rel),
             });
         }

@@ -1,0 +1,16 @@
+//! Alpha: the caller side of the call-graph golden fixtures. Each call
+//! in [`drive`] exercises one resolution path the graph must handle.
+use rsls_beta::engine::Engine;
+use rsls_beta::tick as beat;
+
+pub mod util;
+
+/// Cross-crate ctor path, method through impl, aliased import, and a
+/// `pub use` re-export — one call each.
+pub fn drive() -> u32 {
+    let e = Engine::new();
+    let n = e.step();
+    let b = beat();
+    let r = rsls_beta::relay();
+    n + b + r + util::local_helper()
+}

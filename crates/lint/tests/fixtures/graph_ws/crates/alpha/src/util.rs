@@ -1,0 +1,6 @@
+//! Alpha's utility module (sibling-module path-call target).
+
+/// Called as `util::local_helper()` from the crate root.
+pub fn local_helper() -> u32 {
+    7
+}

@@ -1,0 +1,21 @@
+//! Beta's engine: inherent-method resolution targets.
+
+/// A unit-struct engine.
+pub struct Engine;
+
+impl Engine {
+    /// Ctor, called cross-crate as `Engine::new()`.
+    pub fn new() -> Engine {
+        Engine
+    }
+
+    /// Method called through the impl (`e.step()`); itself makes a
+    /// `self.`-receiver call.
+    pub fn step(&self) -> u32 {
+        self.helper()
+    }
+
+    fn helper(&self) -> u32 {
+        2
+    }
+}

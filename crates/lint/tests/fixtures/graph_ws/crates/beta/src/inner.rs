@@ -1,0 +1,6 @@
+//! Private module whose only public door is the `pub use` in lib.rs.
+
+/// Reached as `rsls_beta::relay()` via the re-export splice.
+pub fn relay() -> u32 {
+    3
+}

@@ -1,0 +1,10 @@
+//! Beta: the callee side. `relay` is defined in a private module and
+//! only reachable through the `pub use` re-export below.
+pub mod engine;
+mod inner;
+pub use inner::relay;
+
+/// Free-fn target for alpha's aliased import (`use … tick as beat`).
+pub fn tick() -> u32 {
+    1
+}

@@ -1,0 +1,14 @@
+//! Fixture: `use … as` aliases of banned identifiers must fire the
+//! same rule as the original name (the v1 scanner's blind spot).
+use std::collections::HashMap as Map;
+use std::collections::{BTreeMap, HashSet as Uniq};
+use std::time::Instant as Clock;
+
+fn build() -> usize {
+    let mut m = Map::new();
+    m.insert(1u32, 2u32);
+    let u: Uniq<u32> = Uniq::new();
+    let started = Clock::now();
+    let ok: BTreeMap<u32, u32> = BTreeMap::new();
+    m.len() + u.len() + ok.len() + started.elapsed().as_nanos() as usize
+}

@@ -1,0 +1,6 @@
+//! Direct filesystem access that is not a registered chaos site.
+
+/// Fires R7: `fs::read` with no manifest entry for this function.
+pub fn slurp(path: &str) -> Vec<u8> {
+    std::fs::read(path).unwrap_or_default()
+}

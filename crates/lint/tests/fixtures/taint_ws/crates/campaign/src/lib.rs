@@ -1,0 +1,3 @@
+//! Campaign fixture: hosts the taint seed and the unguarded I/O.
+pub mod disk;
+pub mod timer;

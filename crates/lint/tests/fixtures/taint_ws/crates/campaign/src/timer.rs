@@ -1,0 +1,8 @@
+//! Wall-clock access, legal in this crate's own rule set — the taint
+//! seed every R6 chain in this fixture ends at.
+
+/// Reads the wall clock.
+pub fn stamp() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}

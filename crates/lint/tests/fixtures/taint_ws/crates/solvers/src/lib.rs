@@ -1,0 +1,43 @@
+//! Solver fixture: deterministic roots reaching into campaign. One
+//! chain fires, one is cut at the call edge, one is justified at the
+//! root, and a two-fn cycle proves propagation terminates.
+use rsls_campaign::timer::stamp;
+
+/// Tainted root: reaches the clock through `stamp` — fires R6.
+pub fn solve() -> u64 {
+    stamp() + 1
+}
+
+/// Same reach, but the call edge carries a pragma — the chain is cut.
+pub fn solve_edge_justified() -> u64 {
+    stamp() + 2 // rsls-lint: allow(transitive-nondet) -- fixture: timing is reported, never folded into results
+}
+
+/// Same reach, justified at the root fn itself.
+// rsls-lint: allow(transitive-nondet) -- fixture: root-level justification
+pub fn solve_root_justified() -> u64 {
+    stamp() + 3
+}
+
+/// Untainted root (control): no chain, no violation.
+pub fn pure() -> u64 {
+    42
+}
+
+/// Cycle half A: `ping` ↔ `pong` must not hang propagation or chains.
+pub fn ping(n: u64) -> u64 {
+    if n == 0 {
+        0
+    } else {
+        pong(n - 1)
+    }
+}
+
+/// Cycle half B: also reaches the seed directly.
+pub fn pong(n: u64) -> u64 {
+    if n == 0 {
+        stamp()
+    } else {
+        ping(n - 1)
+    }
+}

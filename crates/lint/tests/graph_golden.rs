@@ -1,0 +1,139 @@
+//! Golden tests for the workspace call graph and the taint engine,
+//! pinned against two small fixture workspaces:
+//!
+//! * `fixtures/graph_ws` — alpha/beta crates exercising every
+//!   resolution path (cross-crate path call, method through impl,
+//!   aliased import, `pub use` re-export, sibling module, self-method).
+//! * `fixtures/taint_ws` — solvers/campaign crates exercising R6
+//!   (cross-crate chain, edge-pragma cut, root-pragma suppression, a
+//!   two-fn cycle) and R7 (unregistered `fs::read`).
+//!
+//! The committed JSON under `tests/golden/` is also diffed by the CI
+//! `lint-self` step against the real binary's output, so the goldens
+//! here and in CI can never drift apart.
+
+use std::path::PathBuf;
+
+use rsls_lint::taint;
+use rsls_lint::{analyze_workspace, graph_for, render_json, Rule};
+
+fn fixture_root(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(format!("tests/fixtures/{name}"))
+}
+
+fn golden(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(format!("tests/golden/{name}"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()))
+}
+
+/// The full distinct edge list of the alpha/beta workspace, pinned.
+/// Each line exercises one resolution mechanism; losing any of them is
+/// a resolver regression, gaining any is a new spurious edge.
+#[test]
+fn graph_ws_edge_list_is_pinned() {
+    let (_units, g) = graph_for(&fixture_root("graph_ws")).expect("fixture workspace readable");
+    assert_eq!(
+        g.edge_labels(),
+        vec![
+            "alpha::drive -> alpha::util::local_helper", // sibling-module path call
+            "alpha::drive -> beta::engine::Engine::new", // cross-crate ctor via import
+            "alpha::drive -> beta::engine::Engine::step", // method through impl
+            "alpha::drive -> beta::inner::relay",        // `pub use` re-export splice
+            "alpha::drive -> beta::tick",                // aliased import (`tick as beat`)
+            "beta::engine::Engine::step -> beta::engine::Engine::helper", // self-method
+        ]
+    );
+    assert_eq!(g.fns.len(), 7, "node set changed: {:?}", g.fns);
+}
+
+/// The ping ↔ pong cycle in taint_ws must neither hang propagation nor
+/// produce an unterminated witness chain.
+#[test]
+fn taint_propagation_terminates_on_call_cycles() {
+    let root = fixture_root("taint_ws");
+    let (units, g) = graph_for(&root).expect("fixture workspace readable");
+    let tm = taint::propagate(&units, &g);
+
+    let id_of = |qual: &str| {
+        g.fns
+            .iter()
+            .position(|f| f.qual() == qual)
+            .unwrap_or_else(|| panic!("no fn {qual}"))
+    };
+    // Both cycle members are tainted, and their chains are finite and
+    // route through the cycle exactly once.
+    let ping = id_of("solvers::ping");
+    let pong = id_of("solvers::pong");
+    assert!(tm.is_tainted(ping) && tm.is_tainted(pong));
+    let chain = tm.chain(ping, &g).expect("ping has a witness chain");
+    assert_eq!(
+        chain,
+        "solvers::ping -> solvers::pong -> campaign::timer::stamp -> \
+         Instant::now (crates/campaign/src/timer.rs:6) [wall-clock]"
+    );
+    // The edge-pragma'd root is clean; the root-pragma'd one is tainted
+    // (suppression happens at reporting, not propagation).
+    assert!(!tm.is_tainted(id_of("solvers::solve_edge_justified")));
+    assert!(tm.is_tainted(id_of("solvers::solve_root_justified")));
+    assert!(!tm.is_tainted(id_of("solvers::pure")));
+}
+
+/// Full-report golden: the analyzer's JSON over each fixture workspace
+/// must match the committed golden byte for byte.
+#[test]
+fn fixture_workspace_reports_match_committed_goldens() {
+    for (ws, gold) in [("graph_ws", "graph_ws.json"), ("taint_ws", "taint_ws.json")] {
+        let report = analyze_workspace(&fixture_root(ws)).expect("fixture workspace readable");
+        let rendered = render_json(&report.violations, report.stats.files_scanned);
+        assert_eq!(
+            rendered,
+            golden(gold),
+            "{ws} drifted from tests/golden/{gold}"
+        );
+    }
+}
+
+/// The taint_ws violation set, semantically: exactly one R7 hit and
+/// exactly the three unjustified tainted roots, with full chains.
+#[test]
+fn taint_ws_fires_r6_and_r7_exactly() {
+    let report = analyze_workspace(&fixture_root("taint_ws")).expect("fixture workspace readable");
+    let got: Vec<(&str, &str, u32)> = report
+        .violations
+        .iter()
+        .map(|v| (v.rule.id(), v.file.as_str(), v.line))
+        .collect();
+    assert_eq!(
+        got,
+        vec![
+            ("unguarded-io", "crates/campaign/src/disk.rs", 5),
+            ("transitive-nondet", "crates/solvers/src/lib.rs", 7),
+            ("transitive-nondet", "crates/solvers/src/lib.rs", 28),
+            ("transitive-nondet", "crates/solvers/src/lib.rs", 37),
+        ]
+    );
+    for v in &report.violations {
+        if v.rule == Rule::TransitiveNondet {
+            assert!(
+                v.message
+                    .contains("-> campaign::timer::stamp -> Instant::now"),
+                "chain missing from message: {}",
+                v.message
+            );
+            assert!(v.message.contains("[wall-clock]"), "{}", v.message);
+        }
+    }
+}
+
+/// Stats plumbing: the counters in the report reflect the fixture
+/// workspace's actual shape.
+#[test]
+fn report_stats_match_graph_shape() {
+    let root = fixture_root("graph_ws");
+    let report = analyze_workspace(&root).expect("fixture workspace readable");
+    let (_units, g) = graph_for(&root).expect("fixture workspace readable");
+    assert_eq!(report.stats.files_scanned, 5);
+    assert_eq!(report.stats.functions_resolved, g.fns.len());
+    assert_eq!(report.stats.call_edges, g.distinct_edges());
+    assert_eq!(report.stats.violation_count, 0);
+}

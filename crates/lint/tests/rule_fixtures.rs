@@ -34,6 +34,30 @@ fn r2_default_hasher_fixture() {
     assert_eq!(got, vec![("default-hasher", 3), ("default-hasher", 6)]);
 }
 
+/// The v1 blind spot: `use std::collections::HashMap as Map;` followed
+/// by `Map::new()` must fire `default-hasher` (and likewise for
+/// wall-clock aliases) — renaming a banned type cannot launder it.
+#[test]
+fn r2_alias_fixture_sees_through_use_renames() {
+    let hashers = run("r2_alias.rs", &[Rule::DefaultHasher]);
+    assert_eq!(
+        hashers,
+        vec![
+            ("default-hasher", 3),  // the `use … HashMap as Map` itself
+            ("default-hasher", 4),  // `HashSet as Uniq`
+            ("default-hasher", 8),  // `Map::new()` via alias
+            ("default-hasher", 10), // `Uniq<u32>` annotation via alias
+            ("default-hasher", 10), // `Uniq::new()` via alias
+        ]
+    );
+    let clocks = run("r2_alias.rs", &[Rule::WallClock]);
+    assert_eq!(
+        clocks,
+        vec![("wall-clock", 5), ("wall-clock", 11)],
+        "Instant-as-Clock alias must fire wall-clock"
+    );
+}
+
 #[test]
 fn r3_unordered_parallel_fixture() {
     let got = run("r3_parallel.rs", &[Rule::UnorderedParallel]);

@@ -11,15 +11,25 @@ fn the_workspace_lints_clean() {
         .nth(2)
         .expect("lint crate lives at <root>/crates/lint")
         .to_path_buf();
-    let (violations, scanned) =
-        rsls_lint::analyze_workspace(&root).expect("workspace sources are readable");
+    let report = rsls_lint::analyze_workspace(&root).expect("workspace sources are readable");
+    let scanned = report.stats.files_scanned;
     assert!(
         scanned > 50,
         "expected to scan the full workspace, got {scanned} files — wrong root?"
     );
-    let rendered: Vec<String> = violations.iter().map(|v| v.render_text()).collect();
     assert!(
-        violations.is_empty(),
+        report.stats.functions_resolved > 200,
+        "expected a populated call graph, got {} functions",
+        report.stats.functions_resolved
+    );
+    assert!(
+        report.stats.call_edges > 100,
+        "expected resolved call edges, got {}",
+        report.stats.call_edges
+    );
+    let rendered: Vec<String> = report.violations.iter().map(|v| v.render_text()).collect();
+    assert!(
+        report.violations.is_empty(),
         "workspace has lint violations:\n{}",
         rendered.join("\n")
     );

@@ -165,7 +165,7 @@ impl Server {
         opts: ServeOptions,
         source: Arc<dyn ExperimentSource>,
     ) -> std::io::Result<Server> {
-        let listener = TcpListener::bind(addr)?;
+        let listener = TcpListener::bind(addr)?; // rsls-lint: allow(unguarded-io) -- listener setup; bind failure aborts startup, chaos targets per-request paths
         let metrics = Arc::new(Metrics::new());
         let queue = WorkQueue::new(opts.workers, opts.queue_depth, Arc::clone(&metrics));
         let shared = Arc::new(Shared {
