@@ -3,8 +3,9 @@
 //! Two modes:
 //!
 //! ```text
-//! rsls-bench run [--out PATH]          # measure, write a BenchReport JSON
-//! rsls-bench compare CURRENT BASELINE  # gate CURRENT against BASELINE
+//! rsls-bench run [--out PATH]                # measure, write a BenchReport JSON
+//! rsls-bench compare CURRENT BASELINE       # gate CURRENT against BASELINE
+//! rsls-bench compare-serve CURRENT BASELINE # gate rsls-load soak reports
 //! ```
 //!
 //! `run` measures the PR's hot paths with fixed workloads and iteration
@@ -24,8 +25,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use rsls_bench::{
-    gate, large_stencil, small_regular, time_seconds, AllocBench, BenchReport, CacheBench,
-    E2eBench, KernelBench,
+    gate, large_stencil, serve_gate, small_regular, time_seconds, AllocBench, BenchReport,
+    CacheBench, E2eBench, GateResult, KernelBench, ServeBenchReport,
 };
 use rsls_core::construction::{li_with, lsi_with, ConstructionMethod, Workspace};
 use rsls_core::Scheme;
@@ -308,10 +309,34 @@ fn measure() -> BenchReport {
 // CLI
 // ---------------------------------------------------------------------------
 
-fn load(path: &str) -> BenchReport {
+fn load<T: serde::Deserialize>(path: &str) -> T {
     let text =
         std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
     serde_json::from_str(&text).unwrap_or_else(|e| die(&format!("cannot parse {path}: {e}")))
+}
+
+/// Prints gate lines and exits nonzero on any failure.
+fn report_gates(results: &[GateResult]) {
+    let mut failed = false;
+    for g in results {
+        let status = match (g.ok, g.skipped) {
+            (_, Some(why)) => format!("SKIP ({why})"),
+            (true, None) => "ok".to_string(),
+            (false, None) => {
+                failed = true;
+                "FAIL".to_string()
+            }
+        };
+        println!(
+            "{:28} current {:>12.4}  required {:>12.4}  {status}",
+            g.name, g.current, g.required
+        );
+    }
+    if failed {
+        eprintln!("rsls-bench: regression gate FAILED");
+        std::process::exit(1);
+    }
+    eprintln!("rsls-bench: regression gate passed");
 }
 
 fn die(msg: &str) -> ! {
@@ -320,7 +345,10 @@ fn die(msg: &str) -> ! {
 }
 
 fn usage() -> ! {
-    die("usage: rsls-bench run [--out PATH] | rsls-bench compare CURRENT BASELINE");
+    die(
+        "usage: rsls-bench run [--out PATH] | rsls-bench compare CURRENT BASELINE \
+         | rsls-bench compare-serve CURRENT BASELINE",
+    );
 }
 
 fn main() {
@@ -344,31 +372,19 @@ fn main() {
             }
         }
         Some("compare") => {
-            let (cur, base) = match (args.get(1), args.get(2)) {
+            let (cur, base): (BenchReport, BenchReport) = match (args.get(1), args.get(2)) {
                 (Some(c), Some(b)) => (load(c), load(b)),
                 _ => usage(),
             };
-            let results = gate(&cur, &base);
-            let mut failed = false;
-            for g in &results {
-                let status = match (g.ok, g.skipped) {
-                    (_, Some(why)) => format!("SKIP ({why})"),
-                    (true, None) => "ok".to_string(),
-                    (false, None) => {
-                        failed = true;
-                        "FAIL".to_string()
-                    }
-                };
-                println!(
-                    "{:28} current {:>12.4}  required {:>12.4}  {status}",
-                    g.name, g.current, g.required
-                );
-            }
-            if failed {
-                eprintln!("rsls-bench: regression gate FAILED");
-                std::process::exit(1);
-            }
-            eprintln!("rsls-bench: regression gate passed");
+            report_gates(&gate(&cur, &base));
+        }
+        Some("compare-serve") => {
+            let (cur, base): (ServeBenchReport, ServeBenchReport) = match (args.get(1), args.get(2))
+            {
+                (Some(c), Some(b)) => (load(c), load(b)),
+                _ => usage(),
+            };
+            report_gates(&serve_gate(&cur, &base));
         }
         _ => usage(),
     }

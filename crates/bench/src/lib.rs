@@ -264,6 +264,106 @@ pub fn gate(current: &BenchReport, baseline: &BenchReport) -> Vec<GateResult> {
     out
 }
 
+/// Latency quantiles from one `rsls-load` soak, in microseconds
+/// (log-bucket upper bounds, so values are deterministic for a given
+/// set of observations).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ServeLatency {
+    /// Median request latency, µs.
+    pub p50_us: u64,
+    /// 99th-percentile request latency, µs.
+    pub p99_us: u64,
+    /// 99.9th-percentile request latency, µs.
+    pub p999_us: u64,
+    /// Worst observed request latency, µs.
+    pub max_us: u64,
+    /// Mean request latency, µs.
+    pub mean_us: u64,
+}
+
+/// The `rsls-load` soak report (`BENCH_SERVE.json`): one sustained
+/// keep-alive campaign against the event-loop server.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ServeBenchReport {
+    /// Report schema version.
+    pub version: u32,
+    /// Worker threads available to the soak harness.
+    pub threads: usize,
+    /// Requests completed.
+    pub requests: u64,
+    /// Persistent connections driven.
+    pub connections: usize,
+    /// Framing/transport violations observed — gated at exactly zero.
+    pub protocol_errors: u64,
+    /// Sustained throughput, requests per second.
+    pub throughput_rps: f64,
+    /// Request-latency quantiles.
+    pub latency: ServeLatency,
+}
+
+/// Compares a soak report against the committed `BENCH_SERVE.json`.
+///
+/// `protocol_errors` gates at exactly zero — a torn response or framing
+/// violation is a correctness bug, not a performance regression, so it
+/// is never skipped and has no tolerance. Throughput gates like the
+/// other timing counters (±20% with a machine-portable floor).
+/// Latencies are lower-is-better: the requirement is
+/// `max(1.2 × baseline, floor)` — the floor keeps a fast baseline from
+/// turning scheduler jitter on a loaded CI runner into a failure.
+/// Everything timing-derived is skipped below 4 worker threads;
+/// `protocol_errors` still gates.
+pub fn serve_gate(current: &ServeBenchReport, baseline: &ServeBenchReport) -> Vec<GateResult> {
+    let mut out = Vec::new();
+    out.push(GateResult {
+        name: "serve.protocol_errors",
+        current: current.protocol_errors as f64,
+        required: 0.0,
+        ok: current.protocol_errors == 0,
+        skipped: None,
+    });
+    let few_threads = current.threads < 4;
+    let skip = few_threads.then_some("fewer than 4 worker threads");
+    let throughput_required = (baseline.throughput_rps * (1.0 - GATE_TOLERANCE)).min(200.0);
+    out.push(GateResult {
+        name: "serve.throughput_rps",
+        current: current.throughput_rps,
+        required: throughput_required,
+        ok: skip.is_some() || current.throughput_rps >= throughput_required,
+        skipped: skip,
+    });
+    // Lower-is-better latency gates with absolute floors (µs): below
+    // the floor, differences are scheduler noise, not regressions.
+    let mut latency_gate = |name: &'static str, cur: u64, base: u64, floor: u64| {
+        let required = (base as f64 * (1.0 + GATE_TOLERANCE)).max(floor as f64);
+        out.push(GateResult {
+            name,
+            current: cur as f64,
+            required,
+            ok: skip.is_some() || (cur as f64) <= required,
+            skipped: skip,
+        });
+    };
+    latency_gate(
+        "serve.latency.p50_us",
+        current.latency.p50_us,
+        baseline.latency.p50_us,
+        5_000,
+    );
+    latency_gate(
+        "serve.latency.p99_us",
+        current.latency.p99_us,
+        baseline.latency.p99_us,
+        50_000,
+    );
+    latency_gate(
+        "serve.latency.p999_us",
+        current.latency.p999_us,
+        baseline.latency.p999_us,
+        200_000,
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -371,6 +471,100 @@ mod tests {
         let r = report();
         let json = serde_json::to_string_pretty(&r).unwrap();
         let back: BenchReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+
+    fn serve_report() -> ServeBenchReport {
+        ServeBenchReport {
+            version: 1,
+            threads: 8,
+            requests: 100_000,
+            connections: 32,
+            protocol_errors: 0,
+            throughput_rps: 5_000.0,
+            latency: ServeLatency {
+                p50_us: 800,
+                p99_us: 9_000,
+                p999_us: 40_000,
+                max_us: 120_000,
+                mean_us: 1_500,
+            },
+        }
+    }
+
+    #[test]
+    fn identical_serve_reports_pass_every_gate() {
+        let r = serve_report();
+        let gates = serve_gate(&r, &r);
+        assert!(gates.iter().all(|g| g.ok), "{gates:?}");
+    }
+
+    #[test]
+    fn protocol_errors_fail_hard_even_on_small_machines() {
+        let base = serve_report();
+        let mut cur = base;
+        cur.threads = 2; // timing gates skip...
+        cur.protocol_errors = 1; // ...but correctness never does
+        let gates = serve_gate(&cur, &base);
+        let g = gates
+            .iter()
+            .find(|g| g.name == "serve.protocol_errors")
+            .unwrap();
+        assert!(!g.ok && g.skipped.is_none());
+        assert!(
+            gates
+                .iter()
+                .filter(|g| g.name != "serve.protocol_errors")
+                .all(|g| g.ok && g.skipped.is_some()),
+            "timing gates skip under 4 threads"
+        );
+    }
+
+    #[test]
+    fn latency_floors_absorb_fast_baselines_but_catch_regressions() {
+        let base = serve_report();
+        let mut cur = base;
+        // Baseline p50 is 800µs; 4ms is under the 5ms floor → still ok.
+        cur.latency.p50_us = 4_000;
+        // Baseline p999 is 40ms; 400ms blows past the 200ms floor.
+        cur.latency.p999_us = 400_000;
+        let gates = serve_gate(&cur, &base);
+        assert!(
+            gates
+                .iter()
+                .find(|g| g.name == "serve.latency.p50_us")
+                .unwrap()
+                .ok
+        );
+        assert!(
+            !gates
+                .iter()
+                .find(|g| g.name == "serve.latency.p999_us")
+                .unwrap()
+                .ok
+        );
+    }
+
+    #[test]
+    fn throughput_collapse_fails_the_serve_gate() {
+        let base = serve_report();
+        let mut cur = base;
+        cur.throughput_rps = 100.0; // below both 0.8×baseline and the floor
+        let gates = serve_gate(&cur, &base);
+        assert!(
+            !gates
+                .iter()
+                .find(|g| g.name == "serve.throughput_rps")
+                .unwrap()
+                .ok
+        );
+    }
+
+    #[test]
+    fn serve_report_roundtrips_through_json() {
+        let r = serve_report();
+        let json = serde_json::to_string_pretty(&r).unwrap();
+        let back: ServeBenchReport = serde_json::from_str(&json).unwrap();
         assert_eq!(r, back);
     }
 }

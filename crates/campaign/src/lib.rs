@@ -88,10 +88,12 @@ pub mod cache;
 pub mod engine;
 pub mod journal;
 pub mod provenance;
+pub mod shard;
 pub mod spec;
 
 pub use cache::{is_sha256_hex, Lookup, ResultCache};
 pub use engine::{CampaignSummary, Engine, EngineOptions, UnitOutcome, UnitStatus};
 pub use journal::{Journal, JournalEvent};
 pub use provenance::Provenance;
+pub use shard::{shard_dir, ShardRouter};
 pub use spec::{matrix_fingerprint, UnitSpec, ENGINE_VERSION};

@@ -40,10 +40,16 @@ pub enum ChaosSite {
     ClientGarble,
     /// Artificial client-side delay.
     ClientDelay,
+    /// Dropped connection right after the server accepts it.
+    ServerAccept,
+    /// Server-side connection teardown while reading a request.
+    ServerRead,
+    /// Torn server response (connection closed mid-write).
+    ServerWrite,
 }
 
 /// Number of distinct [`ChaosSite`]s.
-pub const SITE_COUNT: usize = 10;
+pub const SITE_COUNT: usize = 13;
 
 impl ChaosSite {
     /// All sites, in stable order.
@@ -58,6 +64,9 @@ impl ChaosSite {
         ChaosSite::ClientReset,
         ChaosSite::ClientGarble,
         ChaosSite::ClientDelay,
+        ChaosSite::ServerAccept,
+        ChaosSite::ServerRead,
+        ChaosSite::ServerWrite,
     ];
 
     /// Stable index of this site (counter slot and hash domain).
@@ -73,6 +82,9 @@ impl ChaosSite {
             ChaosSite::ClientReset => 7,
             ChaosSite::ClientGarble => 8,
             ChaosSite::ClientDelay => 9,
+            ChaosSite::ServerAccept => 10,
+            ChaosSite::ServerRead => 11,
+            ChaosSite::ServerWrite => 12,
         }
     }
 
@@ -89,6 +101,9 @@ impl ChaosSite {
             ChaosSite::ClientReset => "client-reset",
             ChaosSite::ClientGarble => "client-garble",
             ChaosSite::ClientDelay => "client-delay",
+            ChaosSite::ServerAccept => "server-accept",
+            ChaosSite::ServerRead => "server-read",
+            ChaosSite::ServerWrite => "server-write",
         }
     }
 }
@@ -138,6 +153,9 @@ impl ChaosInjector {
             ChaosSite::ClientReset => self.plan.client_reset_permille,
             ChaosSite::ClientGarble => self.plan.client_garble_permille,
             ChaosSite::ClientDelay => self.plan.client_delay_permille,
+            ChaosSite::ServerAccept => self.plan.server_accept_permille,
+            ChaosSite::ServerRead => self.plan.server_read_permille,
+            ChaosSite::ServerWrite => self.plan.server_write_permille,
         }
     }
 

@@ -40,6 +40,12 @@ pub struct ChaosPlan {
     pub client_garble_permille: u32,
     /// Artificial delay on the client connection.
     pub client_delay_permille: u32,
+    /// Dropped connection right after the server accepts it.
+    pub server_accept_permille: u32,
+    /// Server-side connection teardown while reading a request.
+    pub server_read_permille: u32,
+    /// Torn server response (connection closed mid-write).
+    pub server_write_permille: u32,
     /// Per-site cap on fired faults (0 = unlimited).
     pub max_faults_per_site: u64,
 }
@@ -59,6 +65,9 @@ impl ChaosPlan {
             client_reset_permille: 0,
             client_garble_permille: 0,
             client_delay_permille: 0,
+            server_accept_permille: 0,
+            server_read_permille: 0,
+            server_write_permille: 0,
             max_faults_per_site: 0,
         }
     }
@@ -80,6 +89,12 @@ impl ChaosPlan {
             client_reset_permille: 300,
             client_garble_permille: 250,
             client_delay_permille: 200,
+            // Server-side connection faults stay moderate: every firing
+            // costs the client a reconnect-and-retry, and the soak must
+            // still finish with a fully populated store.
+            server_accept_permille: 60,
+            server_read_permille: 80,
+            server_write_permille: 80,
             max_faults_per_site: 0,
         }
     }
@@ -123,6 +138,15 @@ mod tests {
         assert_ne!(p.content_hash(), base);
         let mut p = ChaosPlan::aggressive(1);
         p.max_faults_per_site = 7;
+        assert_ne!(p.content_hash(), base);
+        let mut p = ChaosPlan::aggressive(1);
+        p.server_accept_permille += 1;
+        assert_ne!(p.content_hash(), base);
+        let mut p = ChaosPlan::aggressive(1);
+        p.server_read_permille += 1;
+        assert_ne!(p.content_hash(), base);
+        let mut p = ChaosPlan::aggressive(1);
+        p.server_write_permille += 1;
         assert_ne!(p.content_hash(), base);
     }
 

@@ -15,7 +15,7 @@
 
 use std::cell::RefCell;
 use std::io;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 use rsls_campaign::{matrix_fingerprint, Engine, EngineOptions, UnitSpec, ENGINE_VERSION};
 use rsls_core::driver::run;
@@ -32,6 +32,12 @@ thread_local! {
     // (rsls-serve workers computing different figures at once) must not
     // relabel each other's units.
     static EXPERIMENT: RefCell<Option<String>> = const { RefCell::new(None) };
+    // A sharded caller (rsls-serve with --shards) routes each harness
+    // invocation to one of several engines, each owning a disjoint
+    // store namespace. The override is a stack so nested harness calls
+    // compose; the top engine, when present, replaces the process-wide
+    // one for `execute_units` on this thread.
+    static ENGINE_OVERRIDE: RefCell<Vec<Arc<Engine>>> = const { RefCell::new(Vec::new()) };
 }
 
 /// Installs the process-wide engine. Call once, before any experiment
@@ -49,6 +55,30 @@ pub fn engine() -> &'static Engine {
     ENGINE.get_or_init(|| {
         Engine::new(EngineOptions::default()).expect("default campaign engine cannot fail to build")
     })
+}
+
+/// Runs `f` with `engine` replacing the process-wide engine for
+/// [`execute_units`] calls made *on this thread* — the hook a sharded
+/// service uses to route a harness at one shard's store namespace.
+/// Restores the previous engine on exit, panics included.
+pub fn with_engine<R>(engine: Arc<Engine>, f: impl FnOnce() -> R) -> R {
+    struct Pop;
+    impl Drop for Pop {
+        fn drop(&mut self) {
+            ENGINE_OVERRIDE.with(|o| {
+                o.borrow_mut().pop();
+            });
+        }
+    }
+    ENGINE_OVERRIDE.with(|o| o.borrow_mut().push(engine));
+    let _pop = Pop;
+    f()
+}
+
+/// The engine [`execute_units`] would use on this thread right now:
+/// the innermost [`with_engine`] override, or the process-wide engine.
+fn active_engine() -> Option<Arc<Engine>> {
+    ENGINE_OVERRIDE.with(|o| o.borrow().last().cloned())
 }
 
 /// Names the experiment that unit specs subsequently built *on this
@@ -107,7 +137,10 @@ pub fn unit_spec(a: &CsrMatrix, b: &[f64], matrix: &str, scale: Scale, cfg: RunC
 /// the failure is re-raised after the whole batch has finished, so
 /// sibling units still complete and cache.
 pub fn execute_units(a: &CsrMatrix, b: &[f64], specs: &[UnitSpec]) -> Vec<RunReport> {
-    let outcomes = engine().run_units(specs, |spec| run(a, b, &spec.config));
+    let outcomes = match active_engine() {
+        Some(shard) => shard.run_units(specs, |spec| run(a, b, &spec.config)),
+        None => engine().run_units(specs, |spec| run(a, b, &spec.config)),
+    };
     outcomes
         .into_iter()
         .map(|o| match o.report {

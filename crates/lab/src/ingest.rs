@@ -109,17 +109,49 @@ impl Warehouse {
     /// not errors — you can point the lab at a store that has not been
     /// created yet and get zero-row views.
     pub fn load(cache_dir: &Path, journal_path: Option<&Path>) -> io::Result<Warehouse> {
-        let cache = ResultCache::open(cache_dir)?;
-        let events = match journal_path {
-            Some(path) => Journal::read_events(path)?,
-            None => Vec::new(),
-        };
-        let (activity, chaos) = digest_journal(&events);
+        Warehouse::load_shards(&[(cache_dir, journal_path)])
+    }
+
+    /// Loads the warehouse over a *set* of store namespaces — the
+    /// sharded-engine layout, one `(cache dir, journal)` pair per
+    /// shard. Unit pointers from every shard merge into one globally
+    /// sorted spec-hash order (duplicates keep the lowest shard, which
+    /// cannot change row bytes: the store is content-addressed, so two
+    /// shards holding the same spec hold byte-identical objects), and
+    /// per-unit journal activity and chaos counts sum across shards.
+    /// Ingesting `N` shards therefore prints exactly the bytes a
+    /// single-store campaign over the same units would have printed.
+    pub fn load_shards(stores: &[(&Path, Option<&Path>)]) -> io::Result<Warehouse> {
+        let mut caches = Vec::with_capacity(stores.len());
+        let mut activity: Vec<(String, UnitActivity)> = Vec::new();
+        let mut chaos: Vec<(String, i64)> = Vec::new();
+        for (cache_dir, journal_path) in stores {
+            caches.push(ResultCache::open(cache_dir)?);
+            let events = match journal_path {
+                Some(path) => Journal::read_events(path)?,
+                None => Vec::new(),
+            };
+            let (shard_activity, shard_chaos) = digest_journal(&events);
+            merge_activity(&mut activity, shard_activity);
+            merge_chaos(&mut chaos, shard_chaos);
+        }
+        activity.sort_by(|(a, _), (b, _)| a.cmp(b));
+        chaos.sort_by(|(a, _), (b, _)| a.cmp(b));
+
+        // Global sorted spec-hash order across every shard; a hash seen
+        // in two shards ingests once, from the lower shard.
+        let mut pointers: Vec<(String, usize)> = Vec::new();
+        for (idx, cache) in caches.iter().enumerate() {
+            pointers.extend(cache.unit_spec_hashes().into_iter().map(|h| (h, idx)));
+        }
+        pointers.sort();
+        pointers.dedup_by(|a, b| a.0 == b.0);
 
         let mut runs = Table::new("runs", RUNS_COLUMNS);
         let mut ingested = 0u64;
         let mut rejected = 0u64;
-        for spec_hash in cache.unit_spec_hashes() {
+        for (spec_hash, cache_idx) in pointers {
+            let cache = &caches[cache_idx];
             let Some(report_hash) = cache.object_hash(&spec_hash) else {
                 rejected += 1;
                 continue;
@@ -132,7 +164,7 @@ impl Warehouse {
                 rejected += 1;
                 continue;
             };
-            let prov = read_provenance(&cache, &spec_hash);
+            let prov = read_provenance(cache, &spec_hash);
             let acts = activity.iter().find(|(h, _)| *h == spec_hash);
             let (retries, degraded) = acts.map_or((0, 0), |(_, a)| (a.retries, a.degraded));
             let field = |v: &Value, key: &str| v.get(key).map_or(Datum::Null, Datum::from_json);
@@ -261,6 +293,40 @@ fn activity_entry<'v>(
         }
     };
     &mut activity[i].1
+}
+
+/// Folds one shard's per-hash activity into the merged tally, summing
+/// counters for hashes already present (a unit retried on one shard
+/// and finished on another reports the sum of both timelines).
+fn merge_activity(merged: &mut Vec<(String, UnitActivity)>, shard: Vec<(String, UnitActivity)>) {
+    for (hash, a) in shard {
+        match merged.iter_mut().find(|(h, _)| *h == hash) {
+            Some((_, m)) => {
+                if m.unit.is_none() {
+                    m.unit = a.unit;
+                }
+                m.starts += a.starts;
+                m.dones += a.dones;
+                m.failed += a.failed;
+                m.degraded += a.degraded;
+                m.retries += a.retries;
+                m.corrupt += a.corrupt;
+                m.wall_s += a.wall_s;
+            }
+            None => merged.push((hash, a)),
+        }
+    }
+}
+
+/// Sums one shard's per-site chaos fired counts into the merged tally
+/// (each shard's journal carries its own end-of-campaign summary).
+fn merge_chaos(merged: &mut Vec<(String, i64)>, shard: Vec<(String, i64)>) {
+    for (site, fired) in shard {
+        match merged.iter_mut().find(|(s, _)| *s == site) {
+            Some((_, n)) => *n = n.saturating_add(fired),
+            None => merged.push((site, fired)),
+        }
+    }
 }
 
 /// Per-spec-hash activity rows paired with per-site chaos counts.

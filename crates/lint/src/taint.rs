@@ -45,7 +45,7 @@ pub const DETERMINISTIC_ROOTS: &[(&str, &str)] = &[
 
 /// Crates whose `std::fs` / `std::net` usage must be registered
 /// chaos-injection sites (R7).
-pub const IO_SCOPED_CRATES: &[&str] = &["campaign", "serve"];
+pub const IO_SCOPED_CRATES: &[&str] = &["campaign", "load", "serve"];
 
 /// Identifiers that enter the filesystem or the network when used in
 /// path position (`fs::read`, `TcpStream::connect`, …).
@@ -58,10 +58,11 @@ pub const IO_IDENTS: &[&str] = &[
     "UdpSocket",
 ];
 
-/// The ten PR-4 chaos sites a manifest entry may name (kept in sync
-/// with `rsls_chaos::ChaosSite::ALL` — the lint crate is
-/// dependency-free by design, so the list is mirrored, and the
-/// manifest check is what keeps drift visible).
+/// The chaos sites a manifest entry may name (kept in sync with
+/// `rsls_chaos::ChaosSite::ALL` — the lint crate is dependency-free by
+/// design, so the list is mirrored, and the manifest check is what
+/// keeps drift visible). The `server-*` rows are the PR-8 event-loop
+/// sites.
 pub const CHAOS_SITE_NAMES: &[&str] = &[
     "cache-read-error",
     "cache-corrupt",
@@ -73,6 +74,9 @@ pub const CHAOS_SITE_NAMES: &[&str] = &[
     "client-reset",
     "client-garble",
     "client-delay",
+    "server-accept",
+    "server-read",
+    "server-write",
 ];
 
 /// One direct use of a banned source inside a fn body.

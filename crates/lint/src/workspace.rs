@@ -143,6 +143,11 @@ pub fn crate_rules(name: &str) -> Vec<Rule> {
         // `unordered-parallel` do not apply crate-wide; its compute
         // path is re-tightened per file in [`file_rules`].
         "serve" => vec![DefaultHasher, NoUnwrap, MissingDocs],
+        // The soak harness measures wall-clock latency by design and
+        // drives ordered worker fan-out through the vendored pool, so
+        // `wall-clock` does not apply; everything else does, and its
+        // network edges are R7 I/O-scoped like serve's.
+        "load" => vec![DefaultHasher, UnorderedParallel, NoUnwrap, MissingDocs],
         "lint" => vec![DefaultHasher, UnorderedParallel, NoUnwrap, MissingDocs],
         "experiments" => vec![UnorderedParallel],
         // The bench library feeds the regression gate: it may not read

@@ -1,0 +1,189 @@
+//! Persistent-connection HTTP/1.1 client for the soak harness.
+//!
+//! One [`Conn`] maps to one TCP connection to the server. Requests are
+//! written with `Connection: keep-alive` and responses are framed with
+//! the shared [`rsls_serve::http::parse_response`] parser, so the load
+//! generator and the server agree byte-for-byte on message boundaries.
+//! Reconnection policy lives in the soak driver; this layer only
+//! reports whether the server asked to close.
+
+use std::collections::BTreeMap;
+use std::io::{self, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use rsls_chaos::{ChaosInjector, ChaosSite};
+use rsls_serve::http::parse_response;
+
+/// Per-request read/write deadline; a healthy local server answers in
+/// microseconds, so hitting this means the run is wedged, not slow.
+const IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// One framed response as observed by the load generator.
+#[derive(Debug, Clone)]
+pub struct FetchedResponse {
+    /// Status code.
+    pub status: u16,
+    /// Headers with lowercase names.
+    pub headers: BTreeMap<String, String>,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl FetchedResponse {
+    /// The `ETag` header, without surrounding quotes.
+    pub fn etag(&self) -> Option<&str> {
+        self.headers.get("etag").map(|v| v.trim_matches('"'))
+    }
+
+    /// True when the server signalled it will close this connection.
+    pub fn wants_close(&self) -> bool {
+        self.headers
+            .get("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+
+    /// The `Retry-After` header parsed as whole seconds.
+    pub fn retry_after_s(&self) -> Option<u64> {
+        self.headers.get("retry-after")?.trim().parse().ok()
+    }
+}
+
+/// A persistent keep-alive connection with buffered response reads.
+#[derive(Debug)]
+pub struct Conn {
+    reader: BufReader<TcpStream>,
+    peer: SocketAddr,
+    /// Requests served over this connection so far; >1 proves reuse.
+    requests: u64,
+}
+
+impl Conn {
+    /// Opens a fresh connection to `addr`. This is the crate's only
+    /// socket-creating call and is registered as the `client-reset`
+    /// I/O site: when a chaos plan arms [`ChaosSite::ClientReset`],
+    /// the freshly-opened connection is torn down immediately so the
+    /// soak exercises its reconnect path on schedule.
+    pub fn connect(addr: SocketAddr, chaos: Option<&Arc<ChaosInjector>>) -> io::Result<Conn> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(IO_TIMEOUT))?;
+        stream.set_write_timeout(Some(IO_TIMEOUT))?;
+        if let Some(injector) = chaos {
+            if injector.fire(ChaosSite::ClientReset, &format!("connect:{addr}")) {
+                TcpStream::shutdown(&stream, std::net::Shutdown::Both)?;
+                return Err(io::Error::new(
+                    io::ErrorKind::ConnectionReset,
+                    "chaos: client reset on connect",
+                ));
+            }
+        }
+        Ok(Conn {
+            reader: BufReader::new(stream),
+            peer: addr,
+            requests: 0,
+        })
+    }
+
+    /// The server address this connection points at.
+    pub fn peer(&self) -> SocketAddr {
+        self.peer
+    }
+
+    /// Requests completed over this connection.
+    pub fn requests_served(&self) -> u64 {
+        self.requests
+    }
+
+    /// Serializes one keep-alive GET for `path` with `extra` headers.
+    fn encode_request(path: &str, extra: &[(String, String)]) -> Vec<u8> {
+        let mut req =
+            format!("GET {path} HTTP/1.1\r\nHost: rsls-load\r\nConnection: keep-alive\r\n");
+        for (name, value) in extra {
+            req.push_str(name);
+            req.push_str(": ");
+            req.push_str(value);
+            req.push_str("\r\n");
+        }
+        req.push_str("\r\n");
+        req.into_bytes()
+    }
+
+    /// Issues one GET and reads its response.
+    pub fn request(
+        &mut self,
+        path: &str,
+        extra: &[(String, String)],
+    ) -> io::Result<FetchedResponse> {
+        let wire = Conn::encode_request(path, extra);
+        self.reader.get_mut().write_all(&wire)?;
+        self.read_response()
+    }
+
+    /// Writes all `reqs` back-to-back, then reads the responses in
+    /// order — exercising the server's pipelining path. The caller is
+    /// responsible for only pipelining request classes the server
+    /// answers without closing (a mid-pipeline close surfaces here as
+    /// an I/O error on the truncated tail).
+    pub fn pipeline(
+        &mut self,
+        reqs: &[(String, Vec<(String, String)>)],
+    ) -> io::Result<Vec<FetchedResponse>> {
+        let mut wire = Vec::new();
+        for (path, extra) in reqs {
+            wire.extend_from_slice(&Conn::encode_request(path, extra));
+        }
+        self.reader.get_mut().write_all(&wire)?;
+        let mut responses = Vec::with_capacity(reqs.len());
+        for _ in reqs {
+            responses.push(self.read_response()?);
+        }
+        Ok(responses)
+    }
+
+    /// Frames one response off the wire.
+    fn read_response(&mut self) -> io::Result<FetchedResponse> {
+        let (status, headers, body) = parse_response(&mut self.reader)?;
+        self.requests += 1;
+        Ok(FetchedResponse {
+            status,
+            headers,
+            body,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_serialize_with_keepalive_and_extras() {
+        let wire = Conn::encode_request(
+            "/reports/abc",
+            &[("If-None-Match".to_string(), "\"abc\"".to_string())],
+        );
+        let text = String::from_utf8(wire).unwrap();
+        assert!(text.starts_with("GET /reports/abc HTTP/1.1\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.contains("If-None-Match: \"abc\"\r\n"));
+        assert!(text.ends_with("\r\n\r\n"));
+    }
+
+    #[test]
+    fn fetched_response_helpers_read_canonical_headers() {
+        let mut headers = BTreeMap::new();
+        headers.insert("etag".to_string(), "\"deadbeef\"".to_string());
+        headers.insert("connection".to_string(), "close".to_string());
+        headers.insert("retry-after".to_string(), "2".to_string());
+        let resp = FetchedResponse {
+            status: 503,
+            headers,
+            body: Vec::new(),
+        };
+        assert_eq!(resp.etag(), Some("deadbeef"));
+        assert!(resp.wants_close());
+        assert_eq!(resp.retry_after_s(), Some(2));
+    }
+}

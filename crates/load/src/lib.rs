@@ -1,0 +1,30 @@
+//! `rsls-load`: a seed-deterministic soak harness for the
+//! `rsls-serve` event-loop service.
+//!
+//! The harness drives 10⁵–10⁶ requests over persistent keep-alive
+//! connections from a reproducible client mix — cached experiment
+//! fetches, warehouse `/query` traffic, conditional `/reports`
+//! revalidations, deliberate cache-miss storms, and health probes —
+//! and records client-observed latency in a log-bucketed histogram
+//! whose quantiles are exact functions of the observed multiset
+//! (see [`histogram::LatencyHistogram`]). The aggregated result is a
+//! [`rsls_bench::ServeBenchReport`] serialized as canonical JSON
+//! (`BENCH_SERVE.json`) and gated in CI by `rsls-bench compare-serve`.
+//!
+//! Determinism contract: the request *stream* per connection is a pure
+//! function of `(seed, connection index, experiment corpus)` — see
+//! [`mix`]. Timings are of course machine-dependent; the gate absorbs
+//! that with floors and a ±20% band, while `protocol_errors` is pinned
+//! at exactly zero on every machine.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod histogram;
+pub mod mix;
+pub mod soak;
+
+pub use client::{Conn, FetchedResponse};
+pub use histogram::LatencyHistogram;
+pub use mix::{MixWeights, PlannedRequest, RequestClass, RequestPlanner, Rng};
+pub use soak::{discover_experiments, run_soak, SoakOptions, SoakOutcome};

@@ -1,0 +1,343 @@
+//! Seed-deterministic request mix for the soak harness.
+//!
+//! Every decision the load generator makes — which request class to
+//! issue next, which experiment to fetch, which digest to revalidate —
+//! comes from a [`Rng`] derived from the run seed, so two soaks with
+//! the same seed and server corpus replay the exact same request
+//! stream per connection.
+
+/// SplitMix64: tiny, fast, and statistically adequate for load mixes.
+/// Each worker gets an independent stream via [`Rng::split`].
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// An RNG seeded directly from `seed`.
+    pub fn new(seed: u64) -> Rng {
+        Rng {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// A decorrelated per-stream RNG: the same `(seed, stream)` pair
+    /// always yields the same sequence, and distinct streams never
+    /// overlap in practice.
+    pub fn split(seed: u64, stream: u64) -> Rng {
+        let mut base = Rng::new(seed);
+        let mut mixed = base.next_u64() ^ stream.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        // One extra scramble so stream 0 differs from the base sequence.
+        mixed = mixed.wrapping_add(0x94d0_49bb_1331_11eb);
+        Rng { state: mixed }
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A value uniform in `[0, n)`; `n` must be nonzero.
+    pub fn gen_range(&mut self, n: u64) -> u64 {
+        // Multiply-shift rejection-free mapping; bias is < 2^-32 for
+        // the small ranges used here, far below mix-weight resolution.
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+}
+
+/// The request classes a soak interleaves, mirroring the traffic the
+/// service sees in production: cached experiment fetches, warehouse
+/// queries, conditional report revalidations, deliberate cache-miss
+/// storms, and health probes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RequestClass {
+    /// `GET /experiments/<id>` — hits the result cache / work queue.
+    Experiment,
+    /// `GET /query?...` — warehouse SQL over the object store.
+    Query,
+    /// Conditional `GET /reports/<sha>` with `If-None-Match` — the
+    /// server's no-disk 304 fast path.
+    Revalidate,
+    /// `GET /reports/<bogus-sha>` — guaranteed 404s that churn
+    /// connections (4xx closes) and bypass every cache.
+    MissStorm,
+    /// `GET /healthz` — the cheapest request the server answers.
+    Health,
+}
+
+impl RequestClass {
+    /// Stable lowercase label used in per-class counts.
+    pub fn label(self) -> &'static str {
+        match self {
+            RequestClass::Experiment => "experiment",
+            RequestClass::Query => "query",
+            RequestClass::Revalidate => "revalidate",
+            RequestClass::MissStorm => "miss-storm",
+            RequestClass::Health => "health",
+        }
+    }
+}
+
+/// Integer weights (per mille is overkill; sums are small) for each
+/// request class. Defaults approximate a read-heavy dashboard workload
+/// with a deliberate slice of cache-hostile traffic.
+#[derive(Debug, Clone, Copy)]
+pub struct MixWeights {
+    /// Weight of [`RequestClass::Experiment`].
+    pub experiment: u32,
+    /// Weight of [`RequestClass::Query`].
+    pub query: u32,
+    /// Weight of [`RequestClass::Revalidate`].
+    pub revalidate: u32,
+    /// Weight of [`RequestClass::MissStorm`].
+    pub miss_storm: u32,
+    /// Weight of [`RequestClass::Health`].
+    pub health: u32,
+}
+
+impl Default for MixWeights {
+    fn default() -> Self {
+        MixWeights {
+            experiment: 30,
+            query: 20,
+            revalidate: 25,
+            miss_storm: 15,
+            health: 10,
+        }
+    }
+}
+
+impl MixWeights {
+    /// Sum of all weights (0 degenerates to health-only traffic).
+    pub fn total(&self) -> u32 {
+        self.experiment + self.query + self.revalidate + self.miss_storm + self.health
+    }
+
+    /// Draws a request class from this mix.
+    pub fn sample(&self, rng: &mut Rng) -> RequestClass {
+        let total = self.total();
+        if total == 0 {
+            return RequestClass::Health;
+        }
+        let mut roll = rng.gen_range(total as u64) as u32;
+        for (class, weight) in [
+            (RequestClass::Experiment, self.experiment),
+            (RequestClass::Query, self.query),
+            (RequestClass::Revalidate, self.revalidate),
+            (RequestClass::MissStorm, self.miss_storm),
+        ] {
+            if roll < weight {
+                return class;
+            }
+            roll -= weight;
+        }
+        RequestClass::Health
+    }
+}
+
+/// A fully-specified request the client layer can serialize directly.
+#[derive(Debug, Clone)]
+pub struct PlannedRequest {
+    /// Which traffic class produced this request.
+    pub class: RequestClass,
+    /// Request target, e.g. `/experiments/weak-scaling`.
+    pub path: String,
+    /// Extra headers beyond Host/Connection, as (name, value) pairs.
+    pub headers: Vec<(String, String)>,
+}
+
+/// Canonical warehouse queries rotated by the `Query` class. These are
+/// all answerable from the standard views, so responses are 200 (or
+/// 404 when the lab endpoint is disabled) — never protocol errors.
+const QUERIES: &[&str] = &[
+    "/query?sql=select+count(*)+from+runs",
+    "/query?sql=select+experiment,+count(*)+from+runs+group+by+experiment+order+by+experiment",
+    "/query?sql=select+scheme,+runs,+avg_energy+from+schemes+order+by+scheme+limit+20",
+];
+
+/// Deterministic per-run request planner: turns RNG draws into
+/// concrete paths against a known experiment corpus.
+#[derive(Debug, Clone)]
+pub struct RequestPlanner {
+    weights: MixWeights,
+    /// Sorted experiment ids fetched once from `/experiments`.
+    experiments: Vec<String>,
+    /// Digests learned from earlier responses, used for genuine
+    /// revalidation; synthetic digests fill in until any are learned.
+    etags: Vec<String>,
+}
+
+impl RequestPlanner {
+    /// A planner over the server's experiment corpus (sorted for
+    /// determinism regardless of listing order).
+    pub fn new(weights: MixWeights, mut experiments: Vec<String>) -> RequestPlanner {
+        experiments.sort();
+        RequestPlanner {
+            weights,
+            experiments,
+            etags: Vec::new(),
+        }
+    }
+
+    /// Records a strong ETag observed on a response so later
+    /// `Revalidate` draws can replay it and hit the 304 path.
+    pub fn learn_etag(&mut self, etag: &str) {
+        let trimmed = etag.trim_matches('"');
+        if trimmed.len() == 64 && self.etags.len() < 64 && !self.etags.iter().any(|e| e == trimmed)
+        {
+            self.etags.push(trimmed.to_string());
+        }
+    }
+
+    /// Draws the next request in the stream.
+    pub fn next_request(&mut self, rng: &mut Rng) -> PlannedRequest {
+        let class = self.weights.sample(rng);
+        match class {
+            RequestClass::Experiment => {
+                let path = if self.experiments.is_empty() {
+                    "/experiments".to_string()
+                } else {
+                    let i = rng.gen_range(self.experiments.len() as u64) as usize;
+                    format!("/experiments/{}", self.experiments[i])
+                };
+                PlannedRequest {
+                    class,
+                    path,
+                    headers: Vec::new(),
+                }
+            }
+            RequestClass::Query => {
+                let i = rng.gen_range(QUERIES.len() as u64) as usize;
+                PlannedRequest {
+                    class,
+                    path: QUERIES[i].to_string(),
+                    headers: Vec::new(),
+                }
+            }
+            RequestClass::Revalidate => {
+                let digest = if self.etags.is_empty() {
+                    synthetic_digest(rng)
+                } else {
+                    let i = rng.gen_range(self.etags.len() as u64) as usize;
+                    self.etags[i].clone()
+                };
+                PlannedRequest {
+                    class,
+                    path: format!("/reports/{digest}"),
+                    headers: vec![("If-None-Match".to_string(), format!("\"{digest}\""))],
+                }
+            }
+            RequestClass::MissStorm => PlannedRequest {
+                class,
+                path: format!("/reports/{}", synthetic_digest(rng)),
+                headers: Vec::new(),
+            },
+            RequestClass::Health => PlannedRequest {
+                class,
+                path: "/healthz".to_string(),
+                headers: Vec::new(),
+            },
+        }
+    }
+}
+
+/// A well-formed 64-hex digest that (with overwhelming probability)
+/// names no stored report.
+fn synthetic_digest(rng: &mut Rng) -> String {
+    let mut s = String::with_capacity(64);
+    for _ in 0..4 {
+        let word = rng.next_u64();
+        s.push_str(&format!("{word:016x}"));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn split_streams_are_deterministic_and_distinct() {
+        let mut a1 = Rng::split(42, 0);
+        let mut a2 = Rng::split(42, 0);
+        let mut b = Rng::split(42, 1);
+        let s1: Vec<u64> = (0..8).map(|_| a1.next_u64()).collect();
+        let s2: Vec<u64> = (0..8).map(|_| a2.next_u64()).collect();
+        let s3: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(s1, s2);
+        assert_ne!(s1, s3);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = Rng::new(7);
+        for _ in 0..10_000 {
+            assert!(rng.gen_range(13) < 13);
+        }
+    }
+
+    #[test]
+    fn mix_sampling_tracks_the_weights() {
+        let weights = MixWeights::default();
+        let mut rng = Rng::new(99);
+        let mut counts: BTreeMap<&str, u32> = BTreeMap::new();
+        for _ in 0..20_000 {
+            *counts.entry(weights.sample(&mut rng).label()).or_default() += 1;
+        }
+        // Each class should land within a few points of its weight.
+        let frac = |label: &str| counts[label] as f64 / 20_000.0;
+        assert!((frac("experiment") - 0.30).abs() < 0.03);
+        assert!((frac("query") - 0.20).abs() < 0.03);
+        assert!((frac("revalidate") - 0.25).abs() < 0.03);
+        assert!((frac("miss-storm") - 0.15).abs() < 0.03);
+        assert!((frac("health") - 0.10).abs() < 0.03);
+    }
+
+    #[test]
+    fn planner_replays_identically_for_a_seed() {
+        let corpus = vec!["beta".to_string(), "alpha".to_string()];
+        let mut p1 = RequestPlanner::new(MixWeights::default(), corpus.clone());
+        let mut p2 = RequestPlanner::new(MixWeights::default(), corpus);
+        let mut r1 = Rng::split(5, 3);
+        let mut r2 = Rng::split(5, 3);
+        for _ in 0..200 {
+            let a = p1.next_request(&mut r1);
+            let b = p2.next_request(&mut r2);
+            assert_eq!(a.path, b.path);
+            assert_eq!(a.headers, b.headers);
+        }
+    }
+
+    #[test]
+    fn revalidate_prefers_learned_etags() {
+        let mut planner = RequestPlanner::new(
+            MixWeights {
+                experiment: 0,
+                query: 0,
+                revalidate: 1,
+                miss_storm: 0,
+                health: 0,
+            },
+            Vec::new(),
+        );
+        let digest = "ab".repeat(32);
+        planner.learn_etag(&format!("\"{digest}\""));
+        let mut rng = Rng::new(1);
+        let req = planner.next_request(&mut rng);
+        assert_eq!(req.path, format!("/reports/{digest}"));
+        assert_eq!(req.headers[0].0, "If-None-Match");
+    }
+
+    #[test]
+    fn miss_storm_digests_are_well_formed() {
+        let mut rng = Rng::new(3);
+        let d = synthetic_digest(&mut rng);
+        assert_eq!(d.len(), 64);
+        assert!(d.bytes().all(|b| b.is_ascii_hexdigit()));
+    }
+}

@@ -3,19 +3,27 @@
 //! ```text
 //! rsls-serve --addr 127.0.0.1:8080 --jobs 4
 //! rsls-serve --addr 127.0.0.1:8080 --cache-dir results/cache --queue-depth 32
+//! rsls-serve --addr 127.0.0.1:8080 --shards 4 --cache-dir results/cache
 //! ```
 //!
 //! The service fronts the campaign engine: experiment requests run (or
 //! cache-load) harnesses through the same content-addressed store that
 //! `rsls-run` populates, so a campaign you ran yesterday serves today
-//! without recomputing. SIGTERM/ctrl-c drains gracefully: in-flight
-//! requests finish, the journal is already flushed (append-on-write),
-//! and the process exits 0.
+//! without recomputing. With `--shards N` the engine is split into `N`
+//! independent shards — each (experiment, scale) family routes to one
+//! shard's store namespace (`<cache>/shard-<k>`) through a
+//! consistent-hash ring. `--chaos-seed S` arms the aggressive fault
+//! plan against the server's own I/O sites (accept/read/write teardown)
+//! and the store paths, with engine retries absorbing the faults.
+//! SIGTERM/ctrl-c drains gracefully: in-flight requests finish, the
+//! journals are already flushed (append-on-write), and the process
+//! exits 0.
 
 use std::path::PathBuf;
 use std::sync::Arc;
 
 use rsls_campaign::EngineOptions;
+use rsls_chaos::{ChaosInjector, ChaosPlan};
 use rsls_experiments::campaign;
 use rsls_serve::server::{RegistrySource, ServeOptions, Server};
 use rsls_serve::signal;
@@ -23,8 +31,8 @@ use rsls_serve::signal;
 fn usage() -> ! {
     eprintln!(
         "usage: rsls-serve [--addr <host:port>] [--jobs <n>] [--queue-depth <n>]\n\
-         \x20                 [--cache-dir <dir>] [--no-cache]\n\
-         defaults: --addr 127.0.0.1:8080 --jobs 2 --queue-depth 16 --cache-dir results/cache"
+         \x20                 [--cache-dir <dir>] [--no-cache] [--shards <n>] [--chaos-seed <u64>]\n\
+         defaults: --addr 127.0.0.1:8080 --jobs 2 --queue-depth 16 --cache-dir results/cache --shards 1"
     );
     std::process::exit(2);
 }
@@ -48,6 +56,8 @@ fn main() {
     let mut queue_depth = 16usize;
     let mut cache_dir = PathBuf::from("results/cache");
     let mut use_cache = true;
+    let mut shards = 1usize;
+    let mut chaos_seed: Option<u64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -58,6 +68,8 @@ fn main() {
             }
             "--cache-dir" => cache_dir = parse_arg(&args, &mut i, "--cache-dir"),
             "--no-cache" => use_cache = false,
+            "--shards" => shards = parse_arg::<usize>(&args, &mut i, "--shards").max(1),
+            "--chaos-seed" => chaos_seed = Some(parse_arg(&args, &mut i, "--chaos-seed")),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -69,23 +81,39 @@ fn main() {
 
     // The service appends to the campaign journal across restarts
     // (resume semantics): a service restart is an operational event,
-    // not a new campaign.
+    // not a new campaign. Sharded journals derive from this base path
+    // (shard-<k>.campaign.journal).
     let journal_path = cache_dir
         .parent()
         .map(|p| p.join("campaign.journal"))
         .unwrap_or_else(|| PathBuf::from("campaign.journal"));
-    if let Err(e) = campaign::configure(EngineOptions {
+    let chaos = chaos_seed.map(|seed| Arc::new(ChaosInjector::new(ChaosPlan::aggressive(seed))));
+    let engine_opts = EngineOptions {
         jobs,
         cache_dir: cache_dir.clone(),
         use_cache,
         resume: use_cache,
         journal_path: Some(journal_path),
-        retries: 0,
+        // Under an armed chaos plan the engine retries through injected
+        // store faults; fault-free serving keeps the fail-fast default.
+        retries: if chaos.is_some() { 3 } else { 0 },
+        chaos: chaos.clone(),
         ..EngineOptions::default()
-    }) {
-        eprintln!("failed to configure campaign engine: {e}");
-        std::process::exit(1);
-    }
+    };
+
+    // Unsharded: configure the process-wide engine (the layout every
+    // other tool reads: <cache>/objects, sibling campaign.journal).
+    // Sharded: leave the global engine untouched and hand the server a
+    // template to derive per-shard engines from.
+    let shard_base = if shards <= 1 {
+        if let Err(e) = campaign::configure(engine_opts) {
+            eprintln!("failed to configure campaign engine: {e}");
+            std::process::exit(1);
+        }
+        None
+    } else {
+        Some(engine_opts)
+    };
 
     signal::install();
     let opts = ServeOptions {
@@ -93,6 +121,9 @@ fn main() {
         queue_depth,
         scale: rsls_experiments::Scale::from_env(),
         honor_signals: true,
+        shards,
+        shard_base,
+        chaos,
     };
     let server = match Server::bind(&addr, opts, Arc::new(RegistrySource)) {
         Ok(server) => server,
@@ -103,12 +134,18 @@ fn main() {
     };
     match server.local_addr() {
         Ok(bound) => eprintln!(
-            "rsls-serve listening on http://{bound} ({jobs} worker{}, queue {queue_depth}, cache {})",
+            "rsls-serve listening on http://{bound} ({jobs} worker{} x {shards} shard{}, queue {queue_depth}, cache {}{})",
             if jobs == 1 { "" } else { "s" },
+            if shards == 1 { "" } else { "s" },
             if use_cache {
                 cache_dir.display().to_string()
             } else {
                 "disabled".to_string()
+            },
+            if chaos_seed.is_some() {
+                ", chaos armed"
+            } else {
+                ""
             },
         ),
         Err(e) => eprintln!("rsls-serve listening ({e})"),
@@ -118,8 +155,12 @@ fn main() {
         eprintln!("server error: {e}");
         std::process::exit(1);
     }
-    eprint!(
-        "rsls-serve: drained and shut down\n{}",
-        campaign::engine().summary_table()
-    );
+    if shards <= 1 {
+        eprint!(
+            "rsls-serve: drained and shut down\n{}",
+            campaign::engine().summary_table()
+        );
+    } else {
+        eprintln!("rsls-serve: drained and shut down ({shards} shards)");
+    }
 }

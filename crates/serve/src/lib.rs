@@ -15,16 +15,21 @@
 //! | `GET /healthz`        | liveness                                            |
 //! | `GET /metrics`        | Prometheus text: requests, latency, cache, queue, lab |
 //!
-//! Architecture: the accept loop hands each connection to a short-lived
-//! thread that parses the request and routes it ([`server`]). Experiment
-//! computation never happens on a connection thread — it is submitted to
-//! a bounded work queue drained by a fixed worker pool ([`queue`]), so
-//! load is shed explicitly (`503` + `Retry-After` when the queue is
-//! full) instead of by unbounded thread growth. Duplicate in-flight
-//! requests for the same result key coalesce onto one computation at
-//! the queue layer, and identical solver units coalesce again inside
-//! the campaign engine itself, so a thundering herd of clients costs
-//! one solve.
+//! Architecture: a single-threaded nonblocking event loop owns the
+//! listener and every connection socket ([`server`]) — readiness via
+//! `poll(2)` on Linux, incremental request parsing ([`http`]), HTTP/1.1
+//! keep-alive and in-order pipelining. Experiment computation never
+//! happens on the event loop — it is submitted to bounded per-shard
+//! work queues drained by fixed worker pools ([`queue`]), so load is
+//! shed explicitly (`503` + `Retry-After` when a queue is full) instead
+//! of by unbounded thread growth. Duplicate in-flight requests for the
+//! same result key coalesce onto one computation at the queue layer,
+//! and identical solver units coalesce again inside the campaign engine
+//! itself, so a thundering herd of clients costs one solve. With
+//! `--shards N` the campaign engine is sharded ([`shard`]): result keys
+//! route through a consistent-hash ring to per-shard engines with
+//! disjoint store namespaces, and corpus-wide reads (`/reports`,
+//! `/query`, `/metrics`) fan out across every shard and merge.
 //!
 //! Responses carry self-certifying `ETag`s: every body is addressed by
 //! its own sha256 ([`compute::etag_for`]), `/reports/{sha}` doubly so —
@@ -42,6 +47,7 @@ pub mod http;
 pub mod metrics;
 pub mod queue;
 pub mod server;
+pub mod shard;
 pub mod signal;
 
 pub use client::{
@@ -51,3 +57,4 @@ pub use http::{Request, Response};
 pub use metrics::{LabCounters, Metrics};
 pub use queue::{JobOutput, Submitted, WorkQueue};
 pub use server::{ExperimentInfo, ExperimentSource, RegistrySource, ServeOptions, Server};
+pub use shard::{ReportLookup, ShardSet};

@@ -89,12 +89,30 @@ impl Histogram {
     }
 }
 
+/// Per-shard slices of the queue counters: one slot per campaign shard
+/// so saturation on one (experiment, scale) family is visible even when
+/// the process-wide totals look healthy.
+#[derive(Debug, Default)]
+struct ShardCounters {
+    queue_depth: AtomicU64,
+    coalesced: AtomicU64,
+    computed: AtomicU64,
+}
+
 /// All counters and gauges the service exports on `/metrics`.
 #[derive(Debug, Default)]
 pub struct Metrics {
     /// Requests served, by `(route label, status code)`.
     requests: Mutex<BTreeMap<(String, u16), u64>>,
     latency: Histogram,
+    /// Per-shard queue counters (length = shard count, ≥ 1).
+    shards: Vec<ShardCounters>,
+    /// Connections currently open on the event loop (gauge).
+    connections_active: AtomicU64,
+    /// Connections accepted since boot.
+    connections_total: AtomicU64,
+    /// Requests served beyond the first on a kept-alive connection.
+    keepalive_reuses: AtomicU64,
     /// In-memory result-body cache (`/experiments/{id}`).
     result_hits: AtomicU64,
     result_misses: AtomicU64,
@@ -130,9 +148,30 @@ macro_rules! counters {
 }
 
 impl Metrics {
-    /// A zeroed metrics registry.
+    /// A zeroed metrics registry with a single shard slot.
     pub fn new() -> Metrics {
-        Metrics::default()
+        Metrics::with_shards(1)
+    }
+
+    /// A zeroed registry with `shards` per-shard counter slots
+    /// (clamped to at least one).
+    pub fn with_shards(shards: usize) -> Metrics {
+        Metrics {
+            shards: (0..shards.max(1))
+                .map(|_| ShardCounters::default())
+                .collect(),
+            ..Metrics::default()
+        }
+    }
+
+    /// Number of per-shard counter slots.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len().max(1)
+    }
+
+    fn shard_slot(&self, shard: usize) -> Option<&ShardCounters> {
+        self.shards
+            .get(shard.min(self.shards.len().saturating_sub(1)))
     }
 
     counters! {
@@ -140,10 +179,54 @@ impl Metrics {
         result_cache_miss => result_misses,
         report_cache_hit => report_hits,
         report_cache_miss => report_misses,
-        job_computed => computed,
-        job_coalesced => coalesced,
         queue_rejected => rejected,
         request_panicked => panics,
+        connection_opened => connections_total,
+        keepalive_reuse => keepalive_reuses,
+    }
+
+    /// Counts one harness-invoking job against `shard` (and the
+    /// process-wide total).
+    pub fn job_computed_on(&self, shard: usize) {
+        self.computed.fetch_add(1, Ordering::Relaxed);
+        if let Some(slot) = self.shard_slot(shard) {
+            slot.computed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Counts one harness-invoking job on shard 0 (unsharded callers).
+    pub fn job_computed(&self) {
+        self.job_computed_on(0);
+    }
+
+    /// Counts one coalesced submission against `shard` (and the
+    /// process-wide total).
+    pub fn job_coalesced_on(&self, shard: usize) {
+        self.coalesced.fetch_add(1, Ordering::Relaxed);
+        if let Some(slot) = self.shard_slot(shard) {
+            slot.coalesced.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Counts one coalesced submission on shard 0 (unsharded callers).
+    pub fn job_coalesced(&self) {
+        self.job_coalesced_on(0);
+    }
+
+    /// Adjusts the connections-open gauge by `delta`, counting opens
+    /// in `rsls_serve_connections_total`.
+    pub fn connection_gauge_add(&self, delta: i64) {
+        gauge_add(&self.connections_active, delta);
+    }
+
+    /// Connections currently open.
+    pub fn connections_active(&self) -> u64 {
+        self.connections_active.load(Ordering::Relaxed)
+    }
+
+    /// Requests served beyond the first on kept-alive connections.
+    pub fn keepalive_reuses_total(&self) -> u64 {
+        self.keepalive_reuses.load(Ordering::Relaxed)
     }
 
     /// Records one finished request.
@@ -159,9 +242,24 @@ impl Metrics {
         self.lab_latency.observe(elapsed);
     }
 
-    /// Adjusts the queued-jobs gauge by `delta`.
+    /// Adjusts the queued-jobs gauge by `delta` (shard 0 slice).
     pub fn queue_depth_add(&self, delta: i64) {
+        self.queue_depth_add_on(0, delta);
+    }
+
+    /// Adjusts the queued-jobs gauge by `delta`, against `shard`'s
+    /// slice and the process-wide gauge.
+    pub fn queue_depth_add_on(&self, shard: usize, delta: i64) {
         gauge_add(&self.queue_depth, delta);
+        if let Some(slot) = self.shard_slot(shard) {
+            gauge_add(&slot.queue_depth, delta);
+        }
+    }
+
+    /// Coalesced-submission total for one shard slice.
+    pub fn shard_coalesced_total(&self, shard: usize) -> u64 {
+        self.shard_slot(shard)
+            .map_or(0, |s| s.coalesced.load(Ordering::Relaxed))
     }
 
     /// Adjusts the busy-workers gauge by `delta`.
@@ -260,6 +358,24 @@ impl Metrics {
             "gauge",
             "Workers currently executing a job.",
             self.workers_busy.load(Ordering::Relaxed),
+        );
+        scalar(
+            "rsls_serve_connections_active",
+            "gauge",
+            "Connections currently open on the event loop.",
+            self.connections_active.load(Ordering::Relaxed),
+        );
+        scalar(
+            "rsls_serve_connections_total",
+            "counter",
+            "Connections accepted since boot.",
+            self.connections_total.load(Ordering::Relaxed),
+        );
+        scalar(
+            "rsls_serve_keepalive_reuses_total",
+            "counter",
+            "Requests served beyond the first on a kept-alive connection.",
+            self.keepalive_reuses.load(Ordering::Relaxed),
         );
 
         scalar(
@@ -408,6 +524,43 @@ impl Metrics {
             "SQL queries executed against warehouse views.",
             lab.queries,
         );
+
+        let _ = writeln!(
+            out,
+            "# HELP rsls_serve_shard_queue_depth Jobs waiting, by campaign shard."
+        );
+        let _ = writeln!(out, "# TYPE rsls_serve_shard_queue_depth gauge");
+        for (k, slot) in self.shards.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "rsls_serve_shard_queue_depth{{shard=\"{k}\"}} {}",
+                slot.queue_depth.load(Ordering::Relaxed)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP rsls_serve_shard_coalesced_total Coalesced submissions, by campaign shard."
+        );
+        let _ = writeln!(out, "# TYPE rsls_serve_shard_coalesced_total counter");
+        for (k, slot) in self.shards.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "rsls_serve_shard_coalesced_total{{shard=\"{k}\"}} {}",
+                slot.coalesced.load(Ordering::Relaxed)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP rsls_serve_shard_computations_total Harness-invoking jobs, by campaign shard."
+        );
+        let _ = writeln!(out, "# TYPE rsls_serve_shard_computations_total counter");
+        for (k, slot) in self.shards.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "rsls_serve_shard_computations_total{{shard=\"{k}\"}} {}",
+                slot.computed.load(Ordering::Relaxed)
+            );
+        }
 
         let _ = writeln!(
             out,
@@ -592,6 +745,39 @@ mod tests {
         assert!(text.contains("bucket{le=\"0.001\"} 1"));
         assert!(text.contains("bucket{le=\"0.1\"} 2"));
         assert!(text.contains("bucket{le=\"+Inf\"} 2"));
+    }
+
+    #[test]
+    fn shard_slices_and_connection_families_render() {
+        let m = Metrics::with_shards(2);
+        assert_eq!(m.shard_count(), 2);
+        m.job_coalesced_on(1);
+        m.job_computed_on(1);
+        m.queue_depth_add_on(1, 2);
+        m.connection_opened();
+        m.connection_gauge_add(1);
+        m.keepalive_reuse();
+        let text = m.render(
+            &CampaignSummary::default(),
+            0,
+            &ArtifactCounters::default(),
+            &LabCounters::default(),
+        );
+        assert!(text.contains("rsls_serve_shard_queue_depth{shard=\"0\"} 0"));
+        assert!(text.contains("rsls_serve_shard_queue_depth{shard=\"1\"} 2"));
+        assert!(text.contains("rsls_serve_shard_coalesced_total{shard=\"1\"} 1"));
+        assert!(text.contains("rsls_serve_shard_computations_total{shard=\"1\"} 1"));
+        assert!(text.contains("rsls_serve_connections_active 1"));
+        assert!(text.contains("rsls_serve_connections_total 1"));
+        assert!(text.contains("rsls_serve_keepalive_reuses_total 1"));
+        // The shard slices roll up into the process-wide families.
+        assert!(text.contains("rsls_serve_coalesced_total 1"));
+        assert!(text.contains("rsls_serve_computations_total 1"));
+        assert!(text.contains("rsls_serve_queue_depth 2"));
+        assert_eq!(m.shard_coalesced_total(1), 1);
+        assert_eq!(m.shard_coalesced_total(0), 0);
+        assert_eq!(m.connections_active(), 1);
+        assert_eq!(m.keepalive_reuses_total(), 1);
     }
 
     #[test]

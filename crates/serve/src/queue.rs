@@ -130,6 +130,8 @@ struct Inner {
     work_cv: Condvar,
     capacity: usize,
     metrics: Arc<Metrics>,
+    /// Which per-shard metric slice this queue feeds.
+    shard: usize,
 }
 
 /// The bounded queue plus its worker pool.
@@ -150,19 +152,32 @@ impl std::fmt::Debug for WorkQueue {
 impl WorkQueue {
     /// Starts `workers` worker threads draining a queue bounded at
     /// `capacity` pending jobs (executing jobs do not count against the
-    /// bound).
+    /// bound). Counters feed shard slice 0.
     pub fn new(workers: usize, capacity: usize, metrics: Arc<Metrics>) -> WorkQueue {
+        WorkQueue::for_shard(workers, capacity, metrics, 0)
+    }
+
+    /// Like [`WorkQueue::new`], but counters feed the metric slice of
+    /// campaign shard `shard` (the sharded service runs one queue per
+    /// shard).
+    pub fn for_shard(
+        workers: usize,
+        capacity: usize,
+        metrics: Arc<Metrics>,
+        shard: usize,
+    ) -> WorkQueue {
         let inner = Arc::new(Inner {
             state: Mutex::new(QueueState::default()),
             work_cv: Condvar::new(),
             capacity: capacity.max(1),
             metrics,
+            shard,
         });
         let handles = (0..workers.max(1))
             .map(|i| {
                 let inner = Arc::clone(&inner);
                 std::thread::Builder::new()
-                    .name(format!("rsls-serve-worker-{i}"))
+                    .name(format!("rsls-serve-worker-{shard}-{i}"))
                     .spawn(move || worker_loop(&inner))
             })
             .collect::<Result<Vec<_>, _>>()
@@ -192,7 +207,7 @@ impl WorkQueue {
         if let Some(existing) = state.in_flight.get(key) {
             let job = Arc::clone(existing);
             drop(state);
-            self.inner.metrics.job_coalesced();
+            self.inner.metrics.job_coalesced_on(self.inner.shard);
             return Ok(Submitted::Coalesced(job));
         }
         if state.queue.len() >= self.inner.capacity {
@@ -204,7 +219,7 @@ impl WorkQueue {
         state.in_flight.insert(key.to_string(), Arc::clone(&handle));
         state.queue.push_back((Arc::clone(&handle), Box::new(job)));
         drop(state);
-        self.inner.metrics.queue_depth_add(1);
+        self.inner.metrics.queue_depth_add_on(self.inner.shard, 1);
         self.inner.work_cv.notify_one();
         Ok(Submitted::New(handle))
     }
@@ -255,7 +270,7 @@ fn worker_loop(inner: &Inner) {
                     .unwrap_or_else(PoisonError::into_inner);
             }
         };
-        inner.metrics.queue_depth_add(-1);
+        inner.metrics.queue_depth_add_on(inner.shard, -1);
         inner.metrics.workers_busy_add(1);
         // Panic isolation: a harness panic becomes an error result for
         // every waiter; the worker thread itself survives.

@@ -1,30 +1,66 @@
-//! The service: listener, router, and per-request orchestration.
+//! The service: nonblocking event loop, router, and per-request
+//! orchestration.
+//!
+//! Since PR 8 the accept path is a single-threaded readiness event loop
+//! (`poll(2)` on Linux, a short-sleep scan elsewhere) over a
+//! nonblocking listener and nonblocking connection sockets, instead of
+//! one thread per connection. Each connection owns an incremental
+//! [`RequestBuffer`]; bytes arrive in whatever fragments TCP delivers,
+//! complete request heads are parsed out, and responses queue per
+//! connection so **pipelined requests are answered strictly in order**.
+//! Connections are kept alive across requests (HTTP/1.1 semantics; any
+//! error status or an explicit `Connection: close` closes them), which
+//! is what lets a soak drive 10⁵+ requests over a few dozen persistent
+//! sockets.
+//!
+//! Compute still never happens on the event loop: experiment and
+//! warehouse work is submitted to the bounded per-shard work queues
+//! ([`crate::queue`]) and the loop polls the job latch
+//! ([`crate::queue::Job::is_done`]) while servicing other connections.
+//! With `--shards N` the campaign engine itself is sharded: result keys
+//! route through a consistent-hash ring ([`crate::shard`]) to per-shard
+//! engines with disjoint store namespaces.
 
-use std::io::{BufReader, BufWriter};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
-use std::collections::BTreeMap;
-
-use rsls_campaign::is_sha256_hex;
+use rsls_campaign::{is_sha256_hex, EngineOptions};
+use rsls_chaos::{ChaosInjector, ChaosSite};
 use rsls_experiments::campaign;
 use rsls_experiments::{ExperimentRegistry, Scale, Table};
 
-use crate::http::{self, Request, Response};
+use crate::http::{ParseStep, Request, RequestBuffer, Response};
 use crate::metrics::{ArtifactCounters, LabCounters, Metrics};
-use crate::queue::{JobOutput, SubmitError, WorkQueue};
+use crate::queue::{Job, JobOutput, JobResult, SubmitError, WorkQueue};
+use crate::shard::{ReportLookup, ShardSet};
 use crate::{compute, signal};
 
 /// `Retry-After` seconds sent with queue-overload `503`s.
 const RETRY_AFTER_S: u32 = 2;
-/// Accept-loop poll interval while idle (also the shutdown-detection
+/// Event-loop wait bound while fully idle (also the shutdown-detection
 /// latency bound).
-const ACCEPT_POLL: Duration = Duration::from_millis(15);
-/// How long `run` waits for connection threads to flush during drain.
+const IDLE_POLL: Duration = Duration::from_millis(10);
+/// Event-loop wait bound while a queued job's completion is pending
+/// (the latch is polled, not waited on).
+const BUSY_POLL: Duration = Duration::from_millis(1);
+/// A connection idle (no buffered bytes, no pending work) this long is
+/// closed; one holding a torn partial request gets a `408` first.
+const IDLE_TIMEOUT: Duration = Duration::from_secs(30);
+/// How long `run` keeps flushing connection responses during drain.
 const DRAIN_TIMEOUT: Duration = Duration::from_secs(30);
+/// Pipelined responses a single connection may have in flight before
+/// the loop stops parsing its buffer (read backpressure).
+const MAX_PIPELINED: usize = 32;
+/// Connections accepted per loop iteration before yielding to reads.
+const ACCEPT_BATCH: usize = 64;
+/// Nonblocking read chunk size.
+const READ_CHUNK: usize = 8 * 1024;
 
 /// One row of the `/experiments` listing.
 #[derive(Debug, Clone, serde::Serialize)]
@@ -69,9 +105,9 @@ impl ExperimentSource for RegistrySource {
 /// Service configuration.
 #[derive(Debug, Clone)]
 pub struct ServeOptions {
-    /// Compute workers draining the job queue.
+    /// Compute workers draining each shard's job queue.
     pub workers: usize,
-    /// Pending-job bound; submissions beyond it get `503`.
+    /// Per-shard pending-job bound; submissions beyond it get `503`.
     pub queue_depth: usize,
     /// Scale every experiment runs at.
     pub scale: Scale,
@@ -79,6 +115,16 @@ pub struct ServeOptions {
     /// binary sets this; embedded/test servers default to their own
     /// [`Server::handle`] stop flag only.
     pub honor_signals: bool,
+    /// Campaign shards. Only meaningful with `shard_base` set; the
+    /// global engine is always a single namespace.
+    pub shards: usize,
+    /// Template engine options for *owned* per-shard engines. `None`
+    /// (the default) routes all compute at the process-wide campaign
+    /// engine, exactly the pre-sharding behavior.
+    pub shard_base: Option<EngineOptions>,
+    /// Fault injector for the server-side I/O sites (accept teardown,
+    /// read teardown, torn writes). `None` injects nothing.
+    pub chaos: Option<Arc<ChaosInjector>>,
 }
 
 impl Default for ServeOptions {
@@ -88,21 +134,26 @@ impl Default for ServeOptions {
             queue_depth: 16,
             scale: Scale::Quick,
             honor_signals: false,
+            shards: 1,
+            shard_base: None,
+            chaos: None,
         }
     }
 }
 
-/// State shared by the accept loop and every connection thread.
+/// State shared by the event loop, the worker pools, and handles.
 struct Shared {
     opts: ServeOptions,
     source: Arc<dyn ExperimentSource>,
-    queue: WorkQueue,
+    shards: ShardSet,
+    /// One bounded work queue per shard.
+    queues: Vec<WorkQueue>,
     metrics: Arc<Metrics>,
+    chaos: Arc<ChaosInjector>,
     /// Completed result bodies by result key — the layer that turns a
     /// repeat `/experiments/{id}` into a pure lookup.
     results: Mutex<BTreeMap<String, Arc<JobOutput>>>,
     stop: AtomicBool,
-    active_connections: AtomicUsize,
 }
 
 impl Shared {
@@ -158,24 +209,37 @@ impl std::fmt::Debug for Server {
 }
 
 impl Server {
-    /// Binds `addr` and builds the worker pool. The server does not
-    /// accept connections until [`Server::run`].
+    /// Binds `addr`, builds the shard engines (when `shard_base` is
+    /// set) and the per-shard worker pools. The server does not accept
+    /// connections until [`Server::run`].
     pub fn bind(
         addr: impl ToSocketAddrs,
         opts: ServeOptions,
         source: Arc<dyn ExperimentSource>,
     ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?; // rsls-lint: allow(unguarded-io) -- listener setup; bind failure aborts startup, chaos targets per-request paths
-        let metrics = Arc::new(Metrics::new());
-        let queue = WorkQueue::new(opts.workers, opts.queue_depth, Arc::clone(&metrics));
+        let shards = match &opts.shard_base {
+            Some(base) => ShardSet::build(base, opts.shards.max(1))?,
+            None => ShardSet::global(),
+        };
+        let shard_count = shards.count();
+        let metrics = Arc::new(Metrics::with_shards(shard_count));
+        let queues = (0..shard_count)
+            .map(|k| WorkQueue::for_shard(opts.workers, opts.queue_depth, Arc::clone(&metrics), k))
+            .collect();
+        let chaos = opts
+            .chaos
+            .clone()
+            .unwrap_or_else(|| Arc::new(ChaosInjector::disarmed()));
         let shared = Arc::new(Shared {
             opts,
             source,
-            queue,
+            shards,
+            queues,
             metrics,
+            chaos,
             results: Mutex::new(BTreeMap::new()),
             stop: AtomicBool::new(false),
-            active_connections: AtomicUsize::new(0),
         });
         Ok(Server { listener, shared })
     }
@@ -194,127 +258,619 @@ impl Server {
         })
     }
 
-    /// Accepts connections until shutdown is requested (via
+    /// Runs the event loop until shutdown is requested (via
     /// [`ServerHandle::shutdown`] or, with `honor_signals`, a
-    /// SIGINT/SIGTERM), then drains gracefully: the listener closes,
-    /// queued jobs finish, connection threads flush their responses,
-    /// and the campaign journal (append-on-write) is already durable.
+    /// SIGINT/SIGTERM), then drains gracefully: accepting stops, the
+    /// work queues finish every already-submitted job, buffered
+    /// responses flush, and the campaign journals (append-on-write)
+    /// are already durable.
     pub fn run(self) -> std::io::Result<()> {
         self.listener.set_nonblocking(true)?;
-        while !self.shared.stopping() {
-            match self.listener.accept() {
-                Ok((stream, _peer)) => {
-                    let _ = stream.set_nonblocking(false);
-                    let shared = Arc::clone(&self.shared);
-                    shared.active_connections.fetch_add(1, Ordering::SeqCst);
-                    let spawned = std::thread::Builder::new()
-                        .name("rsls-serve-conn".to_string())
-                        .spawn(move || {
-                            let _guard = ConnGuard(&shared.active_connections);
-                            handle_connection(&shared, stream);
-                        });
-                    if spawned.is_err() {
-                        self.shared
-                            .active_connections
-                            .fetch_sub(1, Ordering::SeqCst);
-                    }
+        let shared = &self.shared;
+        let mut conns: Vec<Conn> = Vec::new();
+        while !shared.stopping() {
+            for _ in 0..ACCEPT_BATCH {
+                match accept_ready(shared, &self.listener) {
+                    Accepted::Conn(conn) => conns.push(conn),
+                    Accepted::Dropped => continue,
+                    Accepted::Idle => break,
                 }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(ACCEPT_POLL);
+            }
+            let mut i = 0;
+            while i < conns.len() {
+                if service_conn(shared, &mut conns[i]) {
+                    i += 1;
+                } else {
+                    close_conn(shared, conns.swap_remove(i));
                 }
-                Err(_) => std::thread::sleep(ACCEPT_POLL),
+            }
+            let waiting_on_jobs = conns.iter().any(
+                |c| matches!(c.pending.front(), Some(Pending::Job { job, .. }) if !job.is_done()),
+            );
+            let timeout = if waiting_on_jobs {
+                BUSY_POLL
+            } else {
+                IDLE_POLL
+            };
+            wait_ready(&self.listener, &conns, timeout);
+        }
+        // Drain: the queues finish every accepted job (each waiting
+        // request gets its answer), then the loop keeps flushing until
+        // the connections empty or the deadline passes.
+        for queue in &shared.queues {
+            queue.shutdown();
+        }
+        let deadline = Instant::now() + DRAIN_TIMEOUT;
+        while !conns.is_empty() && Instant::now() < deadline {
+            let mut i = 0;
+            while i < conns.len() {
+                let conn = &mut conns[i];
+                conn.stop_reading = true;
+                conn.close_after_flush = true;
+                drain_pending(shared, conn);
+                let dead = matches!(flush_write_buf(shared, conn), WriteOutcome::Closed)
+                    || (conn.pending.is_empty() && conn.write_done());
+                if dead {
+                    close_conn(shared, conns.swap_remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+            if !conns.is_empty() {
+                std::thread::sleep(BUSY_POLL);
             }
         }
-        // Drain: finish queued work (every accepted request gets its
-        // response), then wait for connection threads to flush.
-        self.shared.queue.shutdown();
-        let deadline = Instant::now() + DRAIN_TIMEOUT;
-        while self.shared.active_connections.load(Ordering::SeqCst) > 0 && Instant::now() < deadline
-        {
-            std::thread::sleep(ACCEPT_POLL);
+        for conn in conns.drain(..) {
+            close_conn(shared, conn);
         }
         Ok(())
     }
 }
 
-/// Decrements the active-connection gauge on every exit path.
-struct ConnGuard<'a>(&'a AtomicUsize);
+/// Raw `poll(2)` binding — the readiness primitive of the event loop.
+#[cfg(target_os = "linux")]
+mod sys {
+    /// `struct pollfd` from `<poll.h>`.
+    #[repr(C)]
+    pub struct PollFd {
+        /// File descriptor to watch.
+        pub fd: i32,
+        /// Requested events ([`POLLIN`] | [`POLLOUT`]).
+        pub events: i16,
+        /// Kernel-filled returned events.
+        pub revents: i16,
+    }
 
-impl Drop for ConnGuard<'_> {
-    fn drop(&mut self) {
-        self.0.fetch_sub(1, Ordering::SeqCst);
+    /// Readable (or a pending accept on a listener).
+    pub const POLLIN: i16 = 0x001;
+    /// Writable without blocking.
+    pub const POLLOUT: i16 = 0x004;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+    }
+
+    /// Blocks until an fd is ready or `timeout_ms` elapses.
+    pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> i32 {
+        // SAFETY: `fds` is an exclusive slice of `#[repr(C)]` structs
+        // matching the kernel's pollfd ABI; the kernel writes only
+        // `revents` within the passed length.
+        unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms) }
     }
 }
 
-fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = BufWriter::new(stream);
-    let started = Instant::now();
-
-    let (label, response, head_only) = match http::parse_request(&mut reader) {
-        Ok(Some(req)) => {
-            let head_only = req.method == "HEAD";
-            if req.method == "GET" || head_only {
-                // Panic isolation per request: a routing bug turns into
-                // one 500, not a dead connection thread and a hung
-                // client.
-                match panic::catch_unwind(AssertUnwindSafe(|| route(shared, &req))) {
-                    Ok((label, response)) => (label, response, head_only),
-                    Err(_) => {
-                        shared.metrics.request_panicked();
-                        (
-                            "panic",
-                            Response::text(500, "internal error: request handler panicked\n"),
-                            head_only,
-                        )
-                    }
-                }
-            } else {
-                (
-                    "other",
-                    Response::text(405, "method not allowed\n").header("Allow", "GET, HEAD"),
-                    head_only,
-                )
-            }
+/// Sleeps until the listener or some connection is ready (Linux:
+/// `poll(2)` over every socket; elsewhere: a short fixed sleep). The
+/// loop's nonblocking operations are attempted every tick regardless,
+/// so readiness only decides how soon — correctness never depends on
+/// `revents`.
+#[cfg(target_os = "linux")]
+fn wait_ready(listener: &TcpListener, conns: &[Conn], timeout: Duration) {
+    use std::os::unix::io::AsRawFd;
+    let mut fds = Vec::with_capacity(conns.len() + 1);
+    fds.push(sys::PollFd {
+        fd: listener.as_raw_fd(),
+        events: sys::POLLIN,
+        revents: 0,
+    });
+    for conn in conns {
+        let mut events = 0i16;
+        if !conn.stop_reading {
+            events |= sys::POLLIN;
         }
-        Ok(None) => return, // port probe: connect + close
-        Err(e) => (
-            "bad-request",
-            Response::text(400, format!("bad request: {e}\n")),
-            false,
-        ),
-    };
-    shared
-        .metrics
-        .observe_request(label, response.status, started.elapsed());
-    let _ = response.write_to(&mut writer, head_only || response.status == 304);
+        if !conn.write_done() {
+            events |= sys::POLLOUT;
+        }
+        if events != 0 {
+            fds.push(sys::PollFd {
+                fd: conn.stream.as_raw_fd(),
+                events,
+                revents: 0,
+            });
+        }
+    }
+    sys::poll_fds(&mut fds, timeout.as_millis() as i32);
 }
 
-/// Routes one request, returning a metrics label and the response.
-fn route(shared: &Arc<Shared>, req: &Request) -> (&'static str, Response) {
+/// Portable fallback: a bounded sleep between nonblocking scans.
+#[cfg(not(target_os = "linux"))]
+fn wait_ready(_listener: &TcpListener, _conns: &[Conn], timeout: Duration) {
+    std::thread::sleep(timeout.min(Duration::from_millis(5)));
+}
+
+/// A queued (not yet written) response on one connection. Responses
+/// drain strictly front-first, which is what keeps pipelined requests
+/// answered in request order even when a later cheap request finishes
+/// before an earlier queued computation.
+enum Pending {
+    /// Fully serialized bytes, ready to write.
+    Ready {
+        /// Wire bytes of the response.
+        bytes: Vec<u8>,
+        /// Whether the connection survives this response.
+        keep_alive: bool,
+    },
+    /// A submitted computation; serialized when the latch completes.
+    Job {
+        /// Completion latch shared with the worker pool.
+        job: Arc<Job>,
+        /// The request, kept for conditional (`If-None-Match`) replies.
+        req: Request,
+        /// What to do with the job's result.
+        kind: JobKind,
+        /// Metrics route label.
+        label: &'static str,
+        /// `HEAD` request: serialize without the body.
+        head_only: bool,
+        /// The request asked for keep-alive (errors still close).
+        keep_alive_request: bool,
+        /// Submission time, for the request-latency histogram.
+        started: Instant,
+    },
+}
+
+/// What a completed job's result turns into.
+enum JobKind {
+    /// `/experiments/{id}`: cache the output under its result key.
+    Experiment {
+        /// Experiment id, for error bodies.
+        id: String,
+        /// Result key in the process-wide result map.
+        key: String,
+    },
+    /// `/query` and `/compare`: map `sql:` errors to `400`.
+    Warehouse,
+}
+
+/// One live connection owned by the event loop.
+struct Conn {
+    stream: TcpStream,
+    /// Peer address string — the chaos decision key.
+    peer: String,
+    /// Incremental request parser.
+    buf: RequestBuffer,
+    /// Serialized-but-unwritten response bytes.
+    write_buf: Vec<u8>,
+    /// Prefix of `write_buf` already written.
+    written: usize,
+    /// In-order response queue (see [`Pending`]).
+    pending: VecDeque<Pending>,
+    /// Requests dispatched on this connection (keep-alive reuse
+    /// accounting).
+    requests_served: u64,
+    /// Reading stopped: EOF, a rejected head, or a closing response.
+    stop_reading: bool,
+    /// Close once `pending` and `write_buf` drain.
+    close_after_flush: bool,
+    /// Last byte-level activity, for the idle timeout.
+    last_activity: Instant,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, peer: String) -> Conn {
+        Conn {
+            stream,
+            peer,
+            buf: RequestBuffer::new(),
+            write_buf: Vec::new(),
+            written: 0,
+            pending: VecDeque::new(),
+            requests_served: 0,
+            stop_reading: false,
+            close_after_flush: false,
+            last_activity: Instant::now(),
+        }
+    }
+
+    /// Every buffered response byte has been written.
+    fn write_done(&self) -> bool {
+        self.written == self.write_buf.len()
+    }
+}
+
+/// Outcome of one accept attempt.
+enum Accepted {
+    /// A new connection joined the loop.
+    Conn(Conn),
+    /// Chaos (or setup failure) tore the connection down at accept.
+    Dropped,
+    /// No pending connection.
+    Idle,
+}
+
+/// Accepts one pending connection off the nonblocking listener. This is
+/// the `server-accept` chaos site: a firing fault tears the connection
+/// down immediately after accept — exactly the "accepted then dropped"
+/// failure a client's retry path must absorb.
+fn accept_ready(shared: &Shared, listener: &TcpListener) -> Accepted {
+    match TcpListener::accept(listener) {
+        Ok((stream, peer)) => {
+            let peer = peer.to_string();
+            if shared.chaos.fire(ChaosSite::ServerAccept, &peer) {
+                let _ = TcpStream::shutdown(&stream, Shutdown::Both);
+                return Accepted::Dropped;
+            }
+            if stream.set_nonblocking(true).is_err() {
+                return Accepted::Dropped;
+            }
+            let _ = stream.set_nodelay(true);
+            shared.metrics.connection_opened();
+            shared.metrics.connection_gauge_add(1);
+            Accepted::Conn(Conn::new(stream, peer))
+        }
+        Err(_) => Accepted::Idle,
+    }
+}
+
+/// Removes a connection from the loop's accounting.
+fn close_conn(shared: &Shared, conn: Conn) {
+    drop(conn);
+    shared.metrics.connection_gauge_add(-1);
+}
+
+/// Outcome of one nonblocking read pass.
+enum ReadOutcome {
+    /// New bytes were buffered.
+    Progress,
+    /// New bytes were buffered and then the peer half-closed.
+    ProgressThenEof,
+    /// Clean EOF with nothing new.
+    Eof,
+    /// Nothing to read right now.
+    Idle,
+    /// The connection is unusable (I/O error or injected teardown).
+    Failed,
+}
+
+/// Drains readable bytes into the connection's request buffer. This is
+/// the `server-read` chaos site: a firing fault shuts the socket down
+/// mid-request, tearing the connection while the client is sending.
+fn fill_read_buf(shared: &Shared, conn: &mut Conn) -> ReadOutcome {
+    let mut scratch = [0u8; READ_CHUNK];
+    let mut progressed = false;
+    let mut eof = false;
+    for _ in 0..8 {
+        match conn.stream.read(&mut scratch) {
+            Ok(0) => {
+                eof = true;
+                break;
+            }
+            Ok(n) => {
+                conn.buf.extend(&scratch[..n]);
+                progressed = true;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return ReadOutcome::Failed,
+        }
+    }
+    if progressed && shared.chaos.fire(ChaosSite::ServerRead, &conn.peer) {
+        let _ = TcpStream::shutdown(&conn.stream, Shutdown::Both);
+        return ReadOutcome::Failed;
+    }
+    match (progressed, eof) {
+        (true, true) => ReadOutcome::ProgressThenEof,
+        (true, false) => ReadOutcome::Progress,
+        (false, true) => ReadOutcome::Eof,
+        (false, false) => ReadOutcome::Idle,
+    }
+}
+
+/// Outcome of one nonblocking write pass.
+enum WriteOutcome {
+    /// Everything buffered has been written.
+    Flushed,
+    /// The socket stopped accepting bytes; more remain.
+    Partial,
+    /// The connection is unusable (I/O error or injected torn write).
+    Closed,
+}
+
+/// Writes buffered response bytes. This is the `server-write` chaos
+/// site: a firing fault writes roughly half the remaining response and
+/// tears the connection down — the torn-response failure clients must
+/// detect via `Content-Length` framing.
+fn flush_write_buf(shared: &Shared, conn: &mut Conn) -> WriteOutcome {
+    if conn.write_done() {
+        return WriteOutcome::Flushed;
+    }
+    if shared.chaos.fire(ChaosSite::ServerWrite, &conn.peer) {
+        let remaining = conn.write_buf.len() - conn.written;
+        let torn = &conn.write_buf[conn.written..conn.written + remaining / 2];
+        if !torn.is_empty() {
+            let _ = conn.stream.write(torn);
+        }
+        let _ = TcpStream::shutdown(&conn.stream, Shutdown::Both);
+        return WriteOutcome::Closed;
+    }
+    while !conn.write_done() {
+        match conn.stream.write(&conn.write_buf[conn.written..]) {
+            Ok(0) => return WriteOutcome::Closed,
+            Ok(n) => {
+                conn.written += n;
+                conn.last_activity = Instant::now();
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return WriteOutcome::Partial,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return WriteOutcome::Closed,
+        }
+    }
+    conn.write_buf.clear();
+    conn.written = 0;
+    WriteOutcome::Flushed
+}
+
+/// One full service pass over a connection: read, parse + dispatch,
+/// drain completed responses, write. Returns `false` when the
+/// connection should be dropped from the loop.
+fn service_conn(shared: &Shared, conn: &mut Conn) -> bool {
+    if !conn.stop_reading {
+        match fill_read_buf(shared, conn) {
+            ReadOutcome::Progress => {
+                conn.last_activity = Instant::now();
+                parse_available(shared, conn);
+            }
+            ReadOutcome::ProgressThenEof => {
+                conn.last_activity = Instant::now();
+                parse_available(shared, conn);
+                conn.stop_reading = true;
+                conn.close_after_flush = true;
+            }
+            ReadOutcome::Eof => {
+                conn.stop_reading = true;
+                conn.close_after_flush = true;
+                if conn.pending.is_empty() && conn.write_done() {
+                    return false; // port probe / clean client close
+                }
+            }
+            ReadOutcome::Idle => {}
+            ReadOutcome::Failed => return false,
+        }
+    }
+    drain_pending(shared, conn);
+    if matches!(flush_write_buf(shared, conn), WriteOutcome::Closed) {
+        return false;
+    }
+    if conn.close_after_flush && conn.pending.is_empty() && conn.write_done() {
+        return false;
+    }
+    if conn.pending.is_empty() && conn.write_done() && conn.last_activity.elapsed() > IDLE_TIMEOUT {
+        if conn.buf.is_empty() {
+            return false; // idle keep-alive connection, close silently
+        }
+        // A torn request that stopped arriving: answer and close.
+        let resp = Response::text(408, "request timeout\n");
+        shared
+            .metrics
+            .observe_request("timeout", 408, Duration::ZERO);
+        conn.write_buf
+            .extend_from_slice(&resp.serialize(false, false));
+        conn.stop_reading = true;
+        conn.close_after_flush = true;
+    }
+    true
+}
+
+/// Parses every complete request head currently buffered (bounded by
+/// [`MAX_PIPELINED`]) and dispatches each one.
+fn parse_available(shared: &Shared, conn: &mut Conn) {
+    while !conn.stop_reading && conn.pending.len() < MAX_PIPELINED {
+        match conn.buf.next_request() {
+            ParseStep::Incomplete => break,
+            ParseStep::Reject(status, msg) => {
+                let resp = Response::text(status, format!("bad request: {msg}\n"));
+                shared
+                    .metrics
+                    .observe_request("bad-request", status, Duration::ZERO);
+                conn.pending.push_back(Pending::Ready {
+                    bytes: resp.serialize(false, false),
+                    keep_alive: false,
+                });
+                conn.stop_reading = true;
+            }
+            ParseStep::Request(req) => {
+                if conn.requests_served > 0 {
+                    shared.metrics.keepalive_reuse();
+                }
+                conn.requests_served += 1;
+                dispatch(shared, conn, req);
+            }
+        }
+    }
+}
+
+/// Routing outcome: an immediate response, or a queued computation.
+enum Routed {
+    /// Responded inline (cheap route, cache hit, or rejection).
+    Done(&'static str, Response),
+    /// Submitted to a work queue; the response materializes when the
+    /// latch completes.
+    Queued {
+        /// Metrics route label.
+        label: &'static str,
+        /// Completion latch.
+        job: Arc<Job>,
+        /// Result post-processing.
+        kind: JobKind,
+    },
+}
+
+/// Dispatches one parsed request: route (panic-isolated), then queue
+/// the response — serialized immediately for inline routes, as a
+/// pending job otherwise.
+fn dispatch(shared: &Shared, conn: &mut Conn, req: Request) {
+    let started = Instant::now();
+    let head_only = req.method == "HEAD";
+    let keep_alive_request = req.wants_keep_alive() && !shared.stopping();
+    let routed = if req.method == "GET" || head_only {
+        // Panic isolation per request: a routing bug turns into one
+        // 500, not a dead event loop.
+        panic::catch_unwind(AssertUnwindSafe(|| route(shared, &req))).unwrap_or_else(|_| {
+            shared.metrics.request_panicked();
+            Routed::Done(
+                "panic",
+                Response::text(500, "internal error: request handler panicked\n"),
+            )
+        })
+    } else {
+        Routed::Done(
+            "other",
+            Response::text(405, "method not allowed\n").header("Allow", "GET, HEAD"),
+        )
+    };
+    match routed {
+        Routed::Done(label, resp) => {
+            let keep = keep_alive_request && resp.status < 400;
+            shared
+                .metrics
+                .observe_request(label, resp.status, started.elapsed());
+            conn.pending.push_back(Pending::Ready {
+                bytes: resp.serialize(head_only || resp.status == 304, keep),
+                keep_alive: keep,
+            });
+            if !keep {
+                conn.stop_reading = true;
+            }
+        }
+        Routed::Queued { label, job, kind } => {
+            conn.pending.push_back(Pending::Job {
+                job,
+                req,
+                kind,
+                label,
+                head_only,
+                keep_alive_request,
+                started,
+            });
+        }
+    }
+}
+
+/// Serializes every front-of-queue response that is ready, preserving
+/// request order. A response that closes the connection clears the
+/// remainder of the queue (standard pipelining semantics: the client
+/// re-issues what it never got an answer to).
+fn drain_pending(shared: &Shared, conn: &mut Conn) {
+    loop {
+        let ready = match conn.pending.front() {
+            None => break,
+            Some(Pending::Ready { .. }) => true,
+            Some(Pending::Job { job, .. }) => job.is_done(),
+        };
+        if !ready {
+            break;
+        }
+        let Some(entry) = conn.pending.pop_front() else {
+            break;
+        };
+        let keep = match entry {
+            Pending::Ready { bytes, keep_alive } => {
+                conn.write_buf.extend_from_slice(&bytes);
+                keep_alive
+            }
+            Pending::Job {
+                job,
+                req,
+                kind,
+                label,
+                head_only,
+                keep_alive_request,
+                started,
+            } => {
+                // The latch is done; `wait` returns without blocking.
+                let resp = finish_job(shared, &kind, &req, started, job.wait());
+                let keep = keep_alive_request && resp.status < 400 && !shared.stopping();
+                shared
+                    .metrics
+                    .observe_request(label, resp.status, started.elapsed());
+                conn.write_buf
+                    .extend_from_slice(&resp.serialize(head_only || resp.status == 304, keep));
+                keep
+            }
+        };
+        if !keep {
+            conn.stop_reading = true;
+            conn.close_after_flush = true;
+            conn.pending.clear();
+            break;
+        }
+    }
+}
+
+/// Turns a completed job result into its response.
+fn finish_job(
+    shared: &Shared,
+    kind: &JobKind,
+    req: &Request,
+    started: Instant,
+    result: JobResult,
+) -> Response {
+    match kind {
+        JobKind::Experiment { id, key } => match result {
+            Ok(out) => {
+                let out = Arc::new(out);
+                shared
+                    .results
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .insert(key.clone(), Arc::clone(&out));
+                conditional(req, &out)
+            }
+            Err(msg) => Response::text(500, format!("experiment '{id}' failed: {msg}\n")),
+        },
+        JobKind::Warehouse => match result {
+            Ok(out) => {
+                shared.metrics.observe_lab_query(started.elapsed());
+                conditional(req, &out)
+            }
+            Err(msg) => match msg.strip_prefix("sql: ") {
+                Some(sql_error) => Response::text(400, format!("{sql_error}\n")),
+                None => Response::text(500, format!("warehouse failure: {msg}\n")),
+            },
+        },
+    }
+}
+
+/// Routes one request, returning an inline response or a queued job.
+fn route(shared: &Shared, req: &Request) -> Routed {
     let path = req.path.trim_end_matches('/');
     match path {
-        "" | "/index.html" => ("root", root_response()),
-        "/healthz" => (
+        "" | "/index.html" => Routed::Done("root", root_response()),
+        "/healthz" => Routed::Done(
             "healthz",
             Response::json(200, &b"{\"status\":\"ok\"}\n"[..]),
         ),
-        "/metrics" => ("metrics", metrics_response(shared)),
-        "/experiments" => ("experiments", listing_response(shared)),
-        "/query" => ("query", query_response(shared, req)),
-        "/compare" => ("compare", compare_response(shared, req)),
+        "/metrics" => Routed::Done("metrics", metrics_response(shared)),
+        "/experiments" => Routed::Done("experiments", listing_response(shared)),
+        "/query" => query_route(shared, req),
+        "/compare" => compare_route(shared, req),
         _ => {
             if let Some(id) = path.strip_prefix("/experiments/") {
-                ("experiment", experiment_response(shared, req, id))
+                experiment_route(shared, req, id)
             } else if let Some(hash) = path.strip_prefix("/reports/") {
-                ("report", report_response(shared, req, hash))
+                Routed::Done("report", report_response(shared, req, hash))
             } else {
-                ("other", Response::text(404, "not found\n"))
+                Routed::Done("other", Response::text(404, "not found\n"))
             }
         }
     }
@@ -346,11 +902,10 @@ fn root_response() -> Response {
     )
 }
 
-fn metrics_response(shared: &Arc<Shared>) -> Response {
-    let engine = campaign::engine();
+fn metrics_response(shared: &Shared) -> Response {
     let text = shared.metrics.render(
-        &engine.summary(),
-        engine.coalesce_waiters(),
+        &shared.shards.summary(),
+        shared.shards.coalesce_waiters(),
         &gather_artifact_counters(),
         &LabCounters::gather(),
     );
@@ -359,7 +914,7 @@ fn metrics_response(shared: &Arc<Shared>) -> Response {
         .with_body(text.into_bytes())
 }
 
-fn listing_response(shared: &Arc<Shared>) -> Response {
+fn listing_response(shared: &Shared) -> Response {
     match serde_json::to_string(&shared.source.list()) {
         Ok(json) => Response::json(200, json.into_bytes()),
         Err(e) => Response::text(500, format!("serializing listing: {e}\n")),
@@ -376,9 +931,22 @@ fn conditional(req: &Request, out: &JobOutput) -> Response {
     }
 }
 
-fn experiment_response(shared: &Arc<Shared>, req: &Request, id: &str) -> Response {
+/// The `503` for a submission the queue would not take.
+fn overload_response(err: SubmitError) -> Response {
+    match err {
+        SubmitError::Full => Response::text(503, "compute queue is full; retry later\n")
+            .header("Retry-After", RETRY_AFTER_S.to_string()),
+        SubmitError::ShuttingDown => Response::text(503, "service is shutting down\n")
+            .header("Retry-After", RETRY_AFTER_S.to_string()),
+    }
+}
+
+fn experiment_route(shared: &Shared, req: &Request, id: &str) -> Routed {
     if !shared.source.list().iter().any(|e| e.id == id) {
-        return Response::text(404, format!("unknown experiment '{id}'\n"));
+        return Routed::Done(
+            "experiment",
+            Response::text(404, format!("unknown experiment '{id}'\n")),
+        );
     }
     let key = compute::result_key(id, shared.opts.scale);
     let cached = shared
@@ -389,46 +957,50 @@ fn experiment_response(shared: &Arc<Shared>, req: &Request, id: &str) -> Respons
         .cloned();
     if let Some(out) = cached {
         shared.metrics.result_cache_hit();
-        return conditional(req, &out);
+        return Routed::Done("experiment", conditional(req, &out));
     }
     shared.metrics.result_cache_miss();
 
-    let job = {
+    let shard = shared.shards.route(&key);
+    let submit = {
         let source = Arc::clone(&shared.source);
         let metrics = Arc::clone(&shared.metrics);
+        let engine = shared.shards.engine_arc(shard);
         let id = id.to_string();
         let scale = shared.opts.scale;
-        shared.queue.submit(&key, move || {
-            metrics.job_computed();
-            let tables = source
-                .run(&id, scale)
-                .ok_or_else(|| format!("experiment '{id}' disappeared from the source"))?;
-            let body = compute::tables_to_json(&id, scale, tables)?;
-            let etag = compute::etag_for(&body);
-            Ok(JobOutput { body, etag })
+        shared.queues[shard].submit(&key, move || {
+            metrics.job_computed_on(shard);
+            let compute_it = || -> JobResult {
+                let tables = source
+                    .run(&id, scale)
+                    .ok_or_else(|| format!("experiment '{id}' disappeared from the source"))?;
+                let body = compute::tables_to_json(&id, scale, tables)?;
+                let etag = compute::etag_for(&body);
+                Ok(JobOutput { body, etag })
+            };
+            // An owned shard engine scopes the harness's campaign units
+            // to this shard's store namespace; the global engine is
+            // already the thread default.
+            match engine {
+                Some(engine) => campaign::with_engine(engine, compute_it),
+                None => compute_it(),
+            }
         })
     };
-    match job {
-        Ok(submitted) => match submitted.job().wait() {
-            Ok(out) => {
-                let out = Arc::new(out);
-                shared
-                    .results
-                    .lock()
-                    .unwrap_or_else(PoisonError::into_inner)
-                    .insert(key, Arc::clone(&out));
-                conditional(req, &out)
-            }
-            Err(msg) => Response::text(500, format!("experiment '{id}' failed: {msg}\n")),
+    match submit {
+        Ok(submitted) => Routed::Queued {
+            label: "experiment",
+            job: Arc::clone(submitted.job()),
+            kind: JobKind::Experiment {
+                id: id.to_string(),
+                key,
+            },
         },
-        Err(SubmitError::Full) => Response::text(503, "compute queue is full; retry later\n")
-            .header("Retry-After", RETRY_AFTER_S.to_string()),
-        Err(SubmitError::ShuttingDown) => Response::text(503, "service is shutting down\n")
-            .header("Retry-After", RETRY_AFTER_S.to_string()),
+        Err(err) => Routed::Done("experiment", overload_response(err)),
     }
 }
 
-fn report_response(shared: &Arc<Shared>, req: &Request, hash: &str) -> Response {
+fn report_response(shared: &Shared, req: &Request, hash: &str) -> Response {
     if !is_sha256_hex(hash) {
         return Response::text(400, "report id must be 64 lowercase hex digits\n");
     }
@@ -438,79 +1010,76 @@ fn report_response(shared: &Arc<Shared>, req: &Request, hash: &str) -> Response 
         shared.metrics.report_cache_hit();
         return Response::new(304).header("ETag", format!("\"{hash}\""));
     }
-    let Some(cache) = campaign::engine().cache() else {
-        shared.metrics.report_cache_miss();
-        return Response::text(404, "result caching is disabled on this server\n");
-    };
-    match cache.load_object(hash) {
-        Some(bytes) => {
+    match shared.shards.load_report(hash) {
+        ReportLookup::Disabled => {
+            shared.metrics.report_cache_miss();
+            Response::text(404, "result caching is disabled on this server\n")
+        }
+        ReportLookup::Found(bytes) => {
             shared.metrics.report_cache_hit();
             Response::json(200, bytes).header("ETag", format!("\"{hash}\""))
         }
-        None => {
+        ReportLookup::Missing => {
             shared.metrics.report_cache_miss();
             Response::text(404, format!("no report object {hash}\n"))
         }
     }
 }
 
-/// The campaign store the warehouse routes read: the global engine's
-/// cache directory and journal path. `None` when caching is disabled
-/// (there is no store to query).
-fn warehouse_paths() -> Option<(std::path::PathBuf, Option<std::path::PathBuf>)> {
-    let engine = campaign::engine();
-    let cache_dir = engine.cache()?.dir().to_path_buf();
-    let journal = engine.options().journal_path.clone();
-    Some((cache_dir, journal))
-}
-
 /// Submits a warehouse job (coalescing on `key` like experiment runs)
-/// and maps its outcome: `sql:`-prefixed errors are the caller's
-/// fault (400), anything else is a store failure (500). Successful
-/// bodies are canonical JSON with self-certifying `ETag`s; they are
-/// *not* inserted into the permanent result map — the store grows as
-/// campaigns run, so query results may legitimately change between
-/// requests.
-fn warehouse_job(
-    shared: &Arc<Shared>,
-    req: &Request,
+/// to `key`'s shard queue. Successful bodies are canonical JSON with
+/// self-certifying `ETag`s; they are *not* inserted into the permanent
+/// result map — the store grows as campaigns run, so query results may
+/// legitimately change between requests.
+fn warehouse_route(
+    shared: &Shared,
+    label: &'static str,
     key: &str,
-    job: impl FnOnce() -> Result<JobOutput, String> + Send + 'static,
-) -> Response {
-    let started = Instant::now();
-    match shared.queue.submit(key, job) {
-        Ok(submitted) => match submitted.job().wait() {
-            Ok(out) => {
-                shared.metrics.observe_lab_query(started.elapsed());
-                conditional(req, &out)
-            }
-            Err(msg) => match msg.strip_prefix("sql: ") {
-                Some(sql_error) => Response::text(400, format!("{sql_error}\n")),
-                None => Response::text(500, format!("warehouse failure: {msg}\n")),
-            },
+    job: impl FnOnce() -> JobResult + Send + 'static,
+) -> Routed {
+    let shard = shared.shards.route(key);
+    match shared.queues[shard].submit(key, job) {
+        Ok(submitted) => Routed::Queued {
+            label,
+            job: Arc::clone(submitted.job()),
+            kind: JobKind::Warehouse,
         },
-        Err(SubmitError::Full) => Response::text(503, "compute queue is full; retry later\n")
-            .header("Retry-After", RETRY_AFTER_S.to_string()),
-        Err(SubmitError::ShuttingDown) => Response::text(503, "service is shutting down\n")
-            .header("Retry-After", RETRY_AFTER_S.to_string()),
+        Err(err) => Routed::Done(label, overload_response(err)),
     }
 }
 
-fn query_response(shared: &Arc<Shared>, req: &Request) -> Response {
+/// Borrowed view of the shard store list, as
+/// [`rsls_lab::Warehouse::load_shards`] wants it.
+fn store_refs(
+    stores: &[(std::path::PathBuf, Option<std::path::PathBuf>)],
+) -> Vec<(&Path, Option<&Path>)> {
+    stores
+        .iter()
+        .map(|(cache, journal)| (cache.as_path(), journal.as_deref()))
+        .collect()
+}
+
+fn query_route(shared: &Shared, req: &Request) -> Routed {
     let Some(sql) = req.query_param("sql").map(str::to_string) else {
-        return Response::text(400, "missing query parameter: sql\n");
+        return Routed::Done(
+            "query",
+            Response::text(400, "missing query parameter: sql\n"),
+        );
     };
     // Parse before submitting: a malformed query fails fast with its
     // byte offset instead of occupying a worker.
     if let Err(e) = rsls_lab::parse(&sql) {
-        return Response::text(400, format!("{e}\n"));
+        return Routed::Done("query", Response::text(400, format!("{e}\n")));
     }
-    let Some((cache_dir, journal)) = warehouse_paths() else {
-        return Response::text(404, "result caching is disabled on this server\n");
+    let Some(stores) = shared.shards.warehouse_stores() else {
+        return Routed::Done(
+            "query",
+            Response::text(404, "result caching is disabled on this server\n"),
+        );
     };
     let key = format!("query:{sql}");
-    warehouse_job(shared, req, &key, move || {
-        let warehouse = rsls_lab::Warehouse::load(&cache_dir, journal.as_deref())
+    warehouse_route(shared, "query", &key, move || {
+        let warehouse = rsls_lab::Warehouse::load_shards(&store_refs(&stores))
             .map_err(|e| format!("loading warehouse: {e}"))?;
         let result = warehouse.query(&sql).map_err(|e| format!("sql: {e}"))?;
         let body = result.to_canonical_json().into_bytes();
@@ -519,23 +1088,31 @@ fn query_response(shared: &Arc<Shared>, req: &Request) -> Response {
     })
 }
 
-fn compare_response(shared: &Arc<Shared>, req: &Request) -> Response {
+fn compare_route(shared: &Shared, req: &Request) -> Routed {
     let (Some(a), Some(b)) = (
         req.query_param("a").map(str::to_string),
         req.query_param("b").map(str::to_string),
     ) else {
-        return Response::text(400, "missing query parameters: a and b (WHERE filters)\n");
+        return Routed::Done(
+            "compare",
+            Response::text(400, "missing query parameters: a and b (WHERE filters)\n"),
+        );
     };
     let (expr_a, expr_b) = match (rsls_lab::parse_filter(&a), rsls_lab::parse_filter(&b)) {
         (Ok(ea), Ok(eb)) => (ea, eb),
-        (Err(e), _) | (_, Err(e)) => return Response::text(400, format!("{e}\n")),
+        (Err(e), _) | (_, Err(e)) => {
+            return Routed::Done("compare", Response::text(400, format!("{e}\n")))
+        }
     };
-    let Some((cache_dir, journal)) = warehouse_paths() else {
-        return Response::text(404, "result caching is disabled on this server\n");
+    let Some(stores) = shared.shards.warehouse_stores() else {
+        return Routed::Done(
+            "compare",
+            Response::text(404, "result caching is disabled on this server\n"),
+        );
     };
     let key = format!("compare:{a}\u{1}{b}");
-    warehouse_job(shared, req, &key, move || {
-        let warehouse = rsls_lab::Warehouse::load(&cache_dir, journal.as_deref())
+    warehouse_route(shared, "compare", &key, move || {
+        let warehouse = rsls_lab::Warehouse::load_shards(&store_refs(&stores))
             .map_err(|e| format!("loading warehouse: {e}"))?;
         let report = rsls_lab::compare_filtered(&warehouse, &expr_a, &a, &expr_b, &b)
             .map_err(|e| format!("sql: {e}"))?;
@@ -564,5 +1141,8 @@ mod tests {
         assert!(opts.workers >= 1);
         assert!(opts.queue_depth >= 1);
         assert!(!opts.honor_signals);
+        assert_eq!(opts.shards, 1);
+        assert!(opts.shard_base.is_none());
+        assert!(opts.chaos.is_none());
     }
 }

@@ -295,13 +295,39 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, Error> {
                 }
                 *pos += 1;
             }
-            Some(_) => {
-                // Consume one UTF-8 character.
-                let rest = std::str::from_utf8(&bytes[*pos..])
+            Some(&b) if b < 0x80 => {
+                // Fast path: copy the whole ASCII run in one shot instead
+                // of validating the remaining input per character (which
+                // turns large documents quadratic).
+                let start = *pos;
+                while let Some(&b) = bytes.get(*pos) {
+                    if b >= 0x80 || b == b'"' || b == b'\\' {
+                        break;
+                    }
+                    *pos += 1;
+                }
+                // ASCII bytes are valid UTF-8 by construction.
+                out.push_str(
+                    std::str::from_utf8(&bytes[start..*pos])
+                        .map_err(|e| Error::new(format!("invalid UTF-8 in string: {e}")))?,
+                );
+            }
+            Some(&b) => {
+                // Multi-byte UTF-8: decode just this character (1–4 bytes),
+                // never the whole remaining input.
+                let len = match b {
+                    0xC0..=0xDF => 2,
+                    0xE0..=0xEF => 3,
+                    0xF0..=0xF7 => 4,
+                    _ => return Err(Error::new(format!("invalid UTF-8 at byte {}", *pos))),
+                };
+                let chunk = bytes
+                    .get(*pos..*pos + len)
+                    .ok_or_else(|| Error::new("truncated UTF-8 sequence in string"))?;
+                let s = std::str::from_utf8(chunk)
                     .map_err(|e| Error::new(format!("invalid UTF-8 in string: {e}")))?;
-                let c = rest.chars().next().unwrap();
-                out.push(c);
-                *pos += c.len_utf8();
+                out.push_str(s);
+                *pos += len;
             }
         }
     }
