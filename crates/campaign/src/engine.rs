@@ -138,6 +138,10 @@ pub struct CampaignSummary {
     /// Wall-clock seconds summed over units (not elapsed time; with
     /// `jobs > 1` units overlap).
     pub unit_wall_s: f64,
+    /// Units submitted per scheme label (e.g. `"CR-LC"` → 3), counted
+    /// regardless of outcome — the campaign's scheme mix. `rsls-serve`
+    /// exports this as the `rsls_campaign_scheme_units_total` family.
+    pub scheme_units: BTreeMap<String, u64>,
 }
 
 impl CampaignSummary {
@@ -177,6 +181,8 @@ pub struct Engine {
     /// Per-experiment circuit breakers (consecutive-hard-failure
     /// streaks), keyed by experiment name.
     circuits: Mutex<BTreeMap<String, Circuit>>,
+    /// Units submitted per scheme label, across every batch.
+    scheme_units: Mutex<BTreeMap<String, u64>>,
 }
 
 /// Completion latch for one in-flight content address.
@@ -215,7 +221,16 @@ struct UnitRecord {
 
 impl Engine {
     /// Builds an engine, opening the cache and journal as configured.
+    ///
+    /// An armed chaos injector is also installed as the process-wide
+    /// checkpoint-chaos hook, so the driver's `DiskStore` I/O
+    /// (checkpoint save/restore for CR-D, CR-LC, and ABFT-CR) draws
+    /// torn-write and read-error decisions from the same deterministic
+    /// plan as the engine's own sites. First install wins per process.
     pub fn new(opts: EngineOptions) -> io::Result<Self> {
+        if let Some(chaos) = &opts.chaos {
+            rsls_core::install_chaos(Arc::new(CkptChaosAdapter(Arc::clone(chaos))));
+        }
         let cache = if opts.use_cache {
             Some(ResultCache::open_chaotic(
                 &opts.cache_dir,
@@ -246,6 +261,7 @@ impl Engine {
             in_flight: Mutex::new(BTreeMap::new()),
             waiters: AtomicUsize::new(0),
             circuits: Mutex::new(BTreeMap::new()),
+            scheme_units: Mutex::new(BTreeMap::new()),
         })
     }
 
@@ -302,6 +318,17 @@ impl Engine {
             .records
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
+        {
+            // Outcomes come back in submission order, so zipping with the
+            // specs attributes each one to its scheme label.
+            let mut schemes = self
+                .scheme_units
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            for unit in units {
+                *schemes.entry(unit.config.scheme.label()).or_insert(0) += 1;
+            }
+        }
         for o in &outcomes {
             self.stats.total.fetch_add(1, Ordering::Relaxed);
             let counter = match o.status {
@@ -642,6 +669,11 @@ impl Engine {
                 .map_or(0, ResultCache::quarantined_total),
             circuits_open,
             unit_wall_s: self.stats.unit_wall_us.load(Ordering::Relaxed) as f64 / 1e6,
+            scheme_units: self
+                .scheme_units
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .clone(),
         }
     }
 
@@ -713,6 +745,23 @@ impl Drop for FlightGuard<'_> {
             *flight.done.lock().unwrap_or_else(PoisonError::into_inner) = true;
             flight.cv.notify_all();
         }
+    }
+}
+
+/// Adapts the campaign's [`ChaosInjector`] to core's checkpoint-chaos
+/// hook, so `DiskStore` torn-write/read-error decisions come from the
+/// same deterministic plan (and count toward the same per-site totals)
+/// as every other injection site.
+#[derive(Debug)]
+struct CkptChaosAdapter(Arc<ChaosInjector>);
+
+impl rsls_core::CheckpointChaos for CkptChaosAdapter {
+    fn torn_write(&self, key: &str) -> bool {
+        self.0.fire(ChaosSite::CkptWriteTorn, key)
+    }
+
+    fn read_error(&self, key: &str) -> bool {
+        self.0.fire(ChaosSite::CkptReadError, key)
     }
 }
 

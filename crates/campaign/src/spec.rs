@@ -8,7 +8,7 @@ use rsls_core::{Fnv1a, RunConfig};
 /// cost term in the driver, a recalibrated power model default, a solver
 /// change — so stale cached reports from older engine semantics become
 /// misses instead of silently wrong hits.
-pub const ENGINE_VERSION: u32 = 2;
+pub const ENGINE_VERSION: u32 = 3;
 
 /// One independently executable experiment unit: everything needed to
 /// reproduce a single [`rsls_core::run`] call, in canonical form.

@@ -20,7 +20,9 @@ use rsls_campaign::{
 };
 use rsls_chaos::{ChaosInjector, ChaosPlan};
 use rsls_core::driver::{run, RunConfig};
+use rsls_core::interval::CheckpointInterval;
 use rsls_core::Scheme;
+use rsls_faults::{FaultClass, FaultSchedule};
 use rsls_sparse::generators::stencil_2d;
 use rsls_sparse::CsrMatrix;
 
@@ -46,7 +48,7 @@ fn specs(a: &CsrMatrix, b: &[f64]) -> Vec<UnitSpec> {
         a.values(),
         b,
     );
-    (2..=9)
+    let mut units: Vec<UnitSpec> = (2..=9)
         .map(|r| UnitSpec {
             experiment: "soak".into(),
             unit: format!("stencil/r{r}"),
@@ -56,7 +58,52 @@ fn specs(a: &CsrMatrix, b: &[f64]) -> Vec<UnitSpec> {
             engine_version: ENGINE_VERSION,
             config: RunConfig::new(Scheme::FaultFree, r),
         })
-        .collect()
+        .collect();
+    // The recovery-scheme mix: each of the new schemes takes a fault
+    // mid-run, so their checkpoint save/restore (CR-LC, ABFT-CR) and
+    // union reconstruction (MNF) run *under* the injected checkpoint
+    // I/O faults — the paths the `ckpt-write-torn` / `ckpt-read-error`
+    // sites target.
+    let interval = CheckpointInterval::EveryIterations(5);
+    let recovery: [(&str, RunConfig); 3] = [
+        (
+            "stencil/CR-LC",
+            RunConfig::new(
+                Scheme::LossyCheckpoint {
+                    interval,
+                    keep_mantissa_bits: 30,
+                },
+                8,
+            )
+            .with_faults(FaultSchedule::single_at_iteration(12, 3, FaultClass::Snf)),
+        ),
+        (
+            "stencil/ABFT-CR",
+            RunConfig::new(Scheme::AbftCheckpoint { interval }, 8)
+                .with_faults(FaultSchedule::single_at_iteration(12, 3, FaultClass::Snf)),
+        ),
+        (
+            "stencil/MNF",
+            RunConfig::new(Scheme::mnf(), 8).with_faults(FaultSchedule::multiple_at_iteration(
+                12,
+                &[0, 2],
+                FaultClass::Snf,
+            )),
+        ),
+    ];
+    for (unit, mut config) in recovery {
+        config.run_tag = unit.replace('/', "-");
+        units.push(UnitSpec {
+            experiment: "soak".into(),
+            unit: unit.into(),
+            matrix: "stencil".into(),
+            matrix_fingerprint: fp,
+            scale: "quick".into(),
+            engine_version: ENGINE_VERSION,
+            config,
+        });
+    }
+    units
 }
 
 fn scratch(tag: &str) -> PathBuf {

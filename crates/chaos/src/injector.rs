@@ -46,10 +46,14 @@ pub enum ChaosSite {
     ServerRead,
     /// Torn server response (connection closed mid-write).
     ServerWrite,
+    /// Torn checkpoint-file write (partial bytes, then failure).
+    CkptWriteTorn,
+    /// Transient error while reading a checkpoint file back.
+    CkptReadError,
 }
 
 /// Number of distinct [`ChaosSite`]s.
-pub const SITE_COUNT: usize = 13;
+pub const SITE_COUNT: usize = 15;
 
 impl ChaosSite {
     /// All sites, in stable order.
@@ -67,6 +71,8 @@ impl ChaosSite {
         ChaosSite::ServerAccept,
         ChaosSite::ServerRead,
         ChaosSite::ServerWrite,
+        ChaosSite::CkptWriteTorn,
+        ChaosSite::CkptReadError,
     ];
 
     /// Stable index of this site (counter slot and hash domain).
@@ -85,6 +91,8 @@ impl ChaosSite {
             ChaosSite::ServerAccept => 10,
             ChaosSite::ServerRead => 11,
             ChaosSite::ServerWrite => 12,
+            ChaosSite::CkptWriteTorn => 13,
+            ChaosSite::CkptReadError => 14,
         }
     }
 
@@ -104,6 +112,8 @@ impl ChaosSite {
             ChaosSite::ServerAccept => "server-accept",
             ChaosSite::ServerRead => "server-read",
             ChaosSite::ServerWrite => "server-write",
+            ChaosSite::CkptWriteTorn => "ckpt-write-torn",
+            ChaosSite::CkptReadError => "ckpt-read-error",
         }
     }
 }
@@ -156,6 +166,8 @@ impl ChaosInjector {
             ChaosSite::ServerAccept => self.plan.server_accept_permille,
             ChaosSite::ServerRead => self.plan.server_read_permille,
             ChaosSite::ServerWrite => self.plan.server_write_permille,
+            ChaosSite::CkptWriteTorn => self.plan.ckpt_write_torn_permille,
+            ChaosSite::CkptReadError => self.plan.ckpt_read_error_permille,
         }
     }
 

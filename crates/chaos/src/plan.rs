@@ -46,6 +46,10 @@ pub struct ChaosPlan {
     pub server_read_permille: u32,
     /// Torn server response (connection closed mid-write).
     pub server_write_permille: u32,
+    /// Torn checkpoint-file writes inside the solver driver.
+    pub ckpt_write_torn_permille: u32,
+    /// Transient errors reading a checkpoint file back at recovery.
+    pub ckpt_read_error_permille: u32,
     /// Per-site cap on fired faults (0 = unlimited).
     pub max_faults_per_site: u64,
 }
@@ -68,6 +72,8 @@ impl ChaosPlan {
             server_accept_permille: 0,
             server_read_permille: 0,
             server_write_permille: 0,
+            ckpt_write_torn_permille: 0,
+            ckpt_read_error_permille: 0,
             max_faults_per_site: 0,
         }
     }
@@ -95,6 +101,11 @@ impl ChaosPlan {
             server_accept_permille: 60,
             server_read_permille: 80,
             server_write_permille: 80,
+            // Checkpoint-file faults fire inside the solver driver's
+            // hardened store, which absorbs them with bounded retries;
+            // reports must come out byte-identical regardless.
+            ckpt_write_torn_permille: 150,
+            ckpt_read_error_permille: 150,
             max_faults_per_site: 0,
         }
     }
@@ -147,6 +158,12 @@ mod tests {
         assert_ne!(p.content_hash(), base);
         let mut p = ChaosPlan::aggressive(1);
         p.server_write_permille += 1;
+        assert_ne!(p.content_hash(), base);
+        let mut p = ChaosPlan::aggressive(1);
+        p.ckpt_write_torn_permille += 1;
+        assert_ne!(p.content_hash(), base);
+        let mut p = ChaosPlan::aggressive(1);
+        p.ckpt_read_error_permille += 1;
         assert_ne!(p.content_hash(), base);
     }
 

@@ -337,6 +337,195 @@ pub fn li_with(
     }
 }
 
+/// The outcome of a multi-rank (MNF) reconstruction: one coupled solve
+/// over the union of all lost blocks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiConstructionResult {
+    /// The reconstructed blocks, one per failed rank, in ascending rank
+    /// order (each the length of that rank's range).
+    pub blocks: Vec<(usize, Vec<f64>)>,
+    /// Flops of the union solve, shared among the replacement ranks.
+    pub local_flops: u64,
+    /// Flops spread evenly over all ranks.
+    pub parallel_flops: u64,
+    /// Bytes of surviving `x` entries gathered to the replacement ranks.
+    pub gather_bytes: u64,
+    /// Extra synchronizing collective rounds.
+    pub comm_rounds: u64,
+    /// Inner-solve iterations (0 for direct solves).
+    pub inner_iterations: usize,
+    /// True when the union block was singular and the scheme degraded to
+    /// all-zero blocks (F0 semantics).
+    pub fallback: bool,
+}
+
+/// MNF reconstruction of several simultaneously failed ranks (fresh
+/// scratch buffers; see [`multi_li_with`] for the driver's hot path).
+pub fn multi_li(
+    a: &CsrMatrix,
+    part: &Partition,
+    ranks: &[usize],
+    x: &[f64],
+    b: &[f64],
+    method: ConstructionMethod,
+    outer_relres: f64,
+) -> MultiConstructionResult {
+    multi_li_with(
+        &mut Workspace::new(),
+        None,
+        a,
+        part,
+        ranks,
+        x,
+        b,
+        method,
+        outer_relres,
+    )
+}
+
+/// MNF reconstruction (Pachajoa et al., arXiv:1907.13077): solves the
+/// coupled union-block system
+/// `A_{F,F} x_F = b_F − A_{F,S} x_S`
+/// where `F` is the union of all failed ranks' index ranges and `S` the
+/// surviving indices. When the failed blocks are mutually uncoupled
+/// (`A_{p_i,p_j} = 0` for failed `i ≠ j`) this degenerates to
+/// independent per-rank LI solves; when they are coupled, the union
+/// solve recovers cross-terms no sequence of single-rank LI solves can.
+///
+/// A single failed rank delegates to [`li_with`] (identical math and
+/// artifact caching). The union path builds its operator fresh — unions
+/// are combinatorial, so caching per-union blocks would bloat the
+/// artifact store for one-shot use.
+///
+/// # Panics
+/// Panics on dimension mismatches or an empty/out-of-range rank list.
+#[allow(clippy::too_many_arguments)]
+pub fn multi_li_with(
+    ws: &mut Workspace,
+    key: Option<MatrixKey>,
+    a: &CsrMatrix,
+    part: &Partition,
+    ranks: &[usize],
+    x: &[f64],
+    b: &[f64],
+    method: ConstructionMethod,
+    outer_relres: f64,
+) -> MultiConstructionResult {
+    assert!(!ranks.is_empty(), "MNF needs at least one failed rank");
+    assert_eq!(x.len(), a.nrows());
+    assert_eq!(b.len(), a.nrows());
+    let mut failed: Vec<usize> = ranks.to_vec();
+    failed.sort_unstable();
+    failed.dedup();
+    for &r in &failed {
+        assert!(r < part.num_ranks(), "failed rank {r} out of range");
+    }
+
+    if failed.len() == 1 {
+        let rank = failed[0];
+        let res = li_with(ws, key, a, part, rank, x, b, method, outer_relres);
+        return MultiConstructionResult {
+            blocks: vec![(rank, res.x_block)],
+            local_flops: res.local_flops,
+            parallel_flops: res.parallel_flops,
+            gather_bytes: res.gather_bytes,
+            comm_rounds: res.comm_rounds,
+            inner_iterations: res.inner_iterations,
+            fallback: res.fallback,
+        };
+    }
+
+    // Sorted disjoint ranges make the global→local column map monotone,
+    // so the union operator's rows keep their CSR column ordering.
+    let ranges: Vec<Range<usize>> = failed.iter().map(|&r| part.range(r)).collect();
+    let mut offsets = Vec::with_capacity(ranges.len());
+    let mut m_total = 0usize;
+    for rg in &ranges {
+        offsets.push(m_total);
+        m_total += rg.len();
+    }
+    let local_of = |c: usize| -> Option<usize> {
+        for (rg, &off) in ranges.iter().zip(&offsets) {
+            if rg.contains(&c) {
+                return Some(off + (c - rg.start));
+            }
+        }
+        None
+    };
+
+    // One pass over the union rows builds both the operator A_{F,F} and
+    // the right-hand side b_F − A_{F,S} x_S.
+    let mut rhs = Vec::with_capacity(m_total);
+    let mut row_ptr = Vec::with_capacity(m_total + 1);
+    row_ptr.push(0usize);
+    let mut col_idx = Vec::new();
+    let mut values = Vec::new();
+    let mut rhs_flops = 0u64;
+    let mut gather_nnz = 0u64;
+    for rg in &ranges {
+        for r in rg.clone() {
+            let mut acc = b[r];
+            let cols = a.row_cols(r);
+            let vals = a.row_vals(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                match local_of(c) {
+                    Some(lc) => {
+                        col_idx.push(lc);
+                        values.push(v);
+                    }
+                    None => {
+                        acc -= v * x[c];
+                        rhs_flops += 2;
+                        gather_nnz += 1;
+                    }
+                }
+            }
+            row_ptr.push(col_idx.len());
+            rhs.push(acc);
+        }
+    }
+    let union = CsrMatrix::from_raw_parts(m_total, m_total, row_ptr, col_idx, values)
+        // rsls-lint: allow(no-unwrap) -- rows assembled in order from a valid CSR; invariants hold by construction
+        .expect("union block restriction preserves CSR invariants");
+    let gather_bytes = gather_nnz * 8;
+
+    let (x_union, solve_flops, inner_iterations, fallback) = match method {
+        ConstructionMethod::Exact => match Lu::factor(&union.to_dense()) {
+            Ok(lu) => (
+                lu.solve(&rhs),
+                Lu::factor_flops(m_total) + Lu::solve_flops(m_total),
+                0,
+                false,
+            ),
+            Err(_) => (vec![0.0; m_total], 0, 0, true),
+        },
+        ConstructionMethod::LocalCg { max_iterations, .. } => {
+            let mut cg = Cg::from_zero(&union, &rhs);
+            let (iters, _) = cg.solve(&CgConfig {
+                tolerance: method.effective_tolerance(outer_relres),
+                max_iterations,
+            });
+            let flops = iters as u64 * Cg::step_flops(&union) + union.spmv_flops();
+            (cg.x().to_vec(), flops, iters, false)
+        }
+    };
+
+    let blocks = failed
+        .iter()
+        .zip(ranges.iter().zip(&offsets))
+        .map(|(&rank, (rg, &off))| (rank, x_union[off..off + rg.len()].to_vec()))
+        .collect();
+    MultiConstructionResult {
+        blocks,
+        local_flops: solve_flops + rhs_flops,
+        parallel_flops: 0,
+        gather_bytes,
+        comm_rounds: 0,
+        inner_iterations,
+        fallback,
+    }
+}
+
 /// LSI reconstruction of the failed rank's block (fresh scratch buffers,
 /// no artifact caching — see [`lsi_with`] for the driver's hot path).
 pub fn lsi(
@@ -701,6 +890,155 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// SPD matrix that is block-diagonal on the partition: independent
+    /// tridiagonal blocks, zero coupling between ranks.
+    fn block_diagonal_setup(n: usize, p: usize) -> (CsrMatrix, Partition, Vec<f64>, Vec<f64>) {
+        let part = Partition::balanced(n, p);
+        let mut coo = rsls_sparse::CooMatrix::new(n, n);
+        for rank in 0..p {
+            let rg = part.range(rank);
+            for i in rg.clone() {
+                coo.push(i, i, 3.0 + (rank as f64) * 0.25).unwrap();
+                if i + 1 < rg.end {
+                    coo.push(i, i + 1, -1.0).unwrap();
+                    coo.push(i + 1, i, -1.0).unwrap();
+                }
+            }
+        }
+        let a = coo.to_csr();
+        let xstar: Vec<f64> = (0..n).map(|i| ((i * 3) % 7) as f64 - 3.0).collect();
+        let mut b = vec![0.0; n];
+        a.spmv(&xstar, &mut b);
+        (a, part, xstar, b)
+    }
+
+    #[test]
+    fn multi_rank_recovery_matches_sequential_on_block_diagonal_systems() {
+        // With zero coupling between failed blocks, the union solve
+        // factors into independent per-rank solves: MNF of k ranks must
+        // match k sequential single-rank LI recoveries.
+        let (a, part, _, b) = block_diagonal_setup(96, 6);
+        // A mid-solve iterate, so the equivalence is tested away from x*.
+        let x_mid: Vec<f64> = (0..96).map(|i| ((i * 5) % 11) as f64 * 0.3 - 1.0).collect();
+        for failed in [vec![1usize, 4], vec![0, 2, 5]] {
+            let multi = multi_li(
+                &a,
+                &part,
+                &failed,
+                &x_mid,
+                &b,
+                ConstructionMethod::Exact,
+                1e-8,
+            );
+            assert!(!multi.fallback);
+            assert_eq!(multi.blocks.len(), failed.len());
+            for (rank, block) in &multi.blocks {
+                let single = li(
+                    &a,
+                    &part,
+                    *rank,
+                    &x_mid,
+                    &b,
+                    ConstructionMethod::Exact,
+                    1e-8,
+                );
+                assert!(!single.fallback);
+                assert_eq!(block.len(), single.x_block.len());
+                for (m, s) in block.iter().zip(&single.x_block) {
+                    assert!(
+                        (m - s).abs() <= 1e-10 * s.abs().max(1.0),
+                        "rank {rank}: union solve {m} vs sequential {s}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_rank_recovery_of_coupled_adjacent_ranks_is_exact_at_convergence() {
+        // Adjacent ranks of a banded matrix are coupled; if x is exact
+        // everywhere else, the union solve reproduces x* on both lost
+        // blocks — the case where sequential single-rank LI (each solve
+        // reading the other rank's corrupted block) cannot.
+        let (a, part, xstar, b) = setup(80, 4);
+        let mut x_corrupt = xstar.clone();
+        for v in &mut x_corrupt[part.range(1)] {
+            *v = 1e6;
+        }
+        for v in &mut x_corrupt[part.range(2)] {
+            *v = -1e6;
+        }
+        let res = multi_li(
+            &a,
+            &part,
+            &[2, 1],
+            &x_corrupt,
+            &b,
+            ConstructionMethod::Exact,
+            1e-8,
+        );
+        assert!(!res.fallback);
+        assert!(res.gather_bytes > 0);
+        assert!(res.local_flops > 0);
+        // Ascending rank order regardless of input order.
+        assert_eq!(res.blocks[0].0, 1);
+        assert_eq!(res.blocks[1].0, 2);
+        for (rank, block) in &res.blocks {
+            let rg = part.range(*rank);
+            assert!(
+                dist2(block, &xstar[rg]) < 1e-8,
+                "rank {rank} block must be recovered exactly"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_rank_local_cg_approximates_the_exact_union_solve() {
+        let (a, part, xstar, b) = setup(120, 6);
+        let exact = multi_li(
+            &a,
+            &part,
+            &[2, 3],
+            &xstar,
+            &b,
+            ConstructionMethod::Exact,
+            1e-8,
+        );
+        let inexact = multi_li(
+            &a,
+            &part,
+            &[2, 3],
+            &xstar,
+            &b,
+            ConstructionMethod::local_cg_fixed(1e-10, 2000),
+            1e-8,
+        );
+        assert!(inexact.inner_iterations > 0);
+        for ((_, eb), (_, ib)) in exact.blocks.iter().zip(&inexact.blocks) {
+            assert!(dist2(eb, ib) < 1e-6);
+        }
+    }
+
+    #[test]
+    fn multi_rank_single_failure_delegates_to_li() {
+        let (a, part, xstar, b) = setup(60, 4);
+        let single = li(&a, &part, 2, &xstar, &b, ConstructionMethod::Exact, 1e-8);
+        // Duplicate entries collapse to one failed rank.
+        let multi = multi_li(
+            &a,
+            &part,
+            &[2, 2],
+            &xstar,
+            &b,
+            ConstructionMethod::Exact,
+            1e-8,
+        );
+        assert_eq!(multi.blocks.len(), 1);
+        assert_eq!(multi.blocks[0].0, 2);
+        assert_eq!(multi.blocks[0].1, single.x_block, "delegation is exact");
+        assert_eq!(multi.local_flops, single.local_flops);
     }
 
     #[test]

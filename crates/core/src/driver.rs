@@ -10,12 +10,15 @@
 use rsls_cluster::{Cluster, MachineConfig};
 use rsls_faults::{inject, FaultEffect, FaultSchedule};
 use rsls_power::{CoreState, EnergyMeter, PowerModel, PowerModelConfig};
-use rsls_solvers::{Cg, ResidualHistory};
+use rsls_solvers::{Cg, KrylovState, ResidualHistory};
 use rsls_sparse::{CsrMatrix, Partition};
 
 use rsls_sparse::artifacts::MatrixKey;
 
-use crate::checkpoint::{CheckpointStore, CompressionModel, DiskStore, MemoryStore};
+use crate::checkpoint::{
+    CheckpointStore, CompressionModel, DiskStore, KrylovCheckpoint, LossyCompressionModel,
+    MemoryStore,
+};
 use crate::construction::{self, ConstructionMethod, Workspace};
 use crate::report::{PhaseBreakdown, RunReport};
 use crate::scheme::{CheckpointStorage, ForwardKind, Scheme};
@@ -136,6 +139,16 @@ fn iteration_costs(a: &CsrMatrix, part: &Partition) -> IterCosts {
     }
 }
 
+/// How the configured scheme checkpoints, resolved once per run.
+enum CkptFlavor {
+    /// CR-M / CR-D / CR-ML: the solution vector via the configured tier.
+    Plain(CheckpointStorage),
+    /// CR-LC: the mantissa-truncated solution vector, always on disk.
+    Lossy(LossyCompressionModel),
+    /// ABFT-CR: the full `(x, r, p, rᵀr)` Krylov state, always on disk.
+    Krylov,
+}
+
 /// Charges one CG iteration's compute + communication to the cluster.
 fn charge_iteration(cluster: &mut Cluster, costs: &IterCosts) {
     cluster.compute_all(costs.flops_per_rank);
@@ -195,20 +208,54 @@ pub fn run(a: &CsrMatrix, b: &[f64], cfg: &RunConfig) -> RunReport {
     // Checkpoint machinery.
     let mut mem_store = MemoryStore::new();
     let mut disk_store = DiskStore::in_temp_dir(&cfg.run_tag);
-    let interval_iters = if let Scheme::Checkpoint { storage, interval } = &cfg.scheme {
+    let ckpt_flavor = match &cfg.scheme {
+        Scheme::Checkpoint { storage, interval } => Some((CkptFlavor::Plain(*storage), *interval)),
+        Scheme::LossyCheckpoint {
+            interval,
+            keep_mantissa_bits,
+        } => Some((
+            CkptFlavor::Lossy(LossyCompressionModel::from_keep_bits(*keep_mantissa_bits)),
+            *interval,
+        )),
+        Scheme::AbftCheckpoint { interval } => Some((CkptFlavor::Krylov, *interval)),
+        _ => None,
+    };
+
+    // Compression shrinks the stored bytes but charges per-rank CPU time.
+    // CR-LC's quantizer and ABFT-CR's triple-vector state override the
+    // generic compressor.
+    let (stored_ckpt_bytes, compress_cpu_s) = match &ckpt_flavor {
+        Some((CkptFlavor::Lossy(m), _)) => (
+            m.compressed_bytes(costs.ckpt_bytes_per_rank),
+            m.cpu_seconds(costs.ckpt_bytes_per_rank),
+        ),
+        Some((CkptFlavor::Krylov, _)) => (KrylovCheckpoint::checkpoint_bytes(part.max_len()), 0.0),
+        _ => match &cfg.checkpoint_compression {
+            Some(c) => (
+                c.compressed_bytes(costs.ckpt_bytes_per_rank),
+                c.cpu_seconds(costs.ckpt_bytes_per_rank),
+            ),
+            None => (costs.ckpt_bytes_per_rank, 0.0),
+        },
+    };
+    let compress_flops = (compress_cpu_s * cfg.machine.flops_per_sec) as u64;
+
+    let interval_iters = ckpt_flavor.as_ref().map(|(flavor, interval)| {
         // Estimate per-iteration and per-checkpoint virtual cost on a
         // scratch cluster to resolve Young/Daly intervals.
         let mut scratch = Cluster::new(cfg.machine.clone(), p);
         charge_iteration(&mut scratch, &costs);
         let t_iter = scratch.max_clock();
         let before = scratch.max_clock();
-        match storage {
+        match flavor {
             // Multilevel's frequent level is memory; the (amortized) disk
             // copies are charged when they happen.
-            CheckpointStorage::Memory | CheckpointStorage::Multilevel { .. } => {
-                scratch.memory_write(costs.ckpt_bytes_per_rank)
+            CkptFlavor::Plain(CheckpointStorage::Memory | CheckpointStorage::Multilevel { .. }) => {
+                scratch.memory_write(stored_ckpt_bytes)
             }
-            CheckpointStorage::Disk => scratch.disk_write(costs.ckpt_bytes_per_rank),
+            CkptFlavor::Plain(CheckpointStorage::Disk)
+            | CkptFlavor::Lossy(_)
+            | CkptFlavor::Krylov => scratch.disk_write(stored_ckpt_bytes),
         }
         let t_ckpt = scratch.max_clock() - before;
         // Checkpoint-phase power relative to compute power (feeds the
@@ -216,20 +263,8 @@ pub fn run(a: &CsrMatrix, b: &[f64], cfg: &RunConfig) -> RunReport {
         let p_ckpt_frac = (model.core_power(CoreState::StorageWait, f_run)
             / model.core_power(CoreState::Compute, f_run))
         .min(1.0);
-        Some(interval.resolve_iterations(t_iter, t_ckpt, cfg.mtbf_s, p_ckpt_frac))
-    } else {
-        None
-    };
-
-    // Compression shrinks the stored bytes but charges per-rank CPU time.
-    let (stored_ckpt_bytes, compress_cpu_s) = match &cfg.checkpoint_compression {
-        Some(c) => (
-            c.compressed_bytes(costs.ckpt_bytes_per_rank),
-            c.cpu_seconds(costs.ckpt_bytes_per_rank),
-        ),
-        None => (costs.ckpt_bytes_per_rank, 0.0),
-    };
-    let compress_flops = (compress_cpu_s * cfg.machine.flops_per_sec) as u64;
+        interval.resolve_iterations(t_iter, t_ckpt, cfg.mtbf_s, p_ckpt_frac)
+    });
 
     let mut history = ResidualHistory::new();
     let mut breakdown = PhaseBreakdown::default();
@@ -243,6 +278,7 @@ pub fn run(a: &CsrMatrix, b: &[f64], cfg: &RunConfig) -> RunReport {
     let mut matrix_key: Option<MatrixKey> = None;
     let mut last_ckpt_iter = usize::MAX; // no checkpoint taken yet
     let mut checkpoints_taken = 0usize;
+    let mut checkpoint_bytes_written = 0u64;
 
     if cfg.record_history {
         history.push(0, cg.relative_residual());
@@ -257,47 +293,82 @@ pub fn run(a: &CsrMatrix, b: &[f64], cfg: &RunConfig) -> RunReport {
 
         // --- Periodic checkpoint (before the iteration, like the paper's
         // "checkpointed after the m-th iteration"). -----------------------
-        if let (Some(interval), Scheme::Checkpoint { storage, .. }) = (interval_iters, &cfg.scheme)
-        {
+        if let (Some(interval), Some((flavor, _))) = (interval_iters, &ckpt_flavor) {
             if iter > 0 && iter.is_multiple_of(interval) && last_ckpt_iter != iter {
                 meter.account(seg_start, now, &normal_mix);
                 checkpoints_taken += 1;
                 if compress_flops > 0 {
                     cluster.compute_all(compress_flops);
                 }
-                match storage {
+                match flavor {
                     // Checkpoint-store failures below are simulation-internal:
                     // the memory store is infallible and the disk store writes
                     // a process-private temp file. A panic here is the designed
                     // failure path — the campaign engine isolates it and records
                     // the unit `failed` without aborting the batch.
-                    CheckpointStorage::Memory => {
+                    CkptFlavor::Plain(CheckpointStorage::Memory) => {
                         cluster.memory_write(stored_ckpt_bytes);
+                        checkpoint_bytes_written += stored_ckpt_bytes * p as u64;
                         mem_store
                             .save(iter, cg.x())
                             // rsls-lint: allow(no-unwrap) -- in-memory store is infallible
                             .expect("in-memory checkpoint cannot fail");
                     }
-                    CheckpointStorage::Disk => {
+                    CkptFlavor::Plain(CheckpointStorage::Disk) => {
                         cluster.disk_write(stored_ckpt_bytes);
+                        checkpoint_bytes_written += stored_ckpt_bytes * p as u64;
+                        meter.account_storage_bytes(stored_ckpt_bytes * p as u64);
                         disk_store
                             .save(iter, cg.x())
                             // rsls-lint: allow(no-unwrap) -- temp-dir write failure is isolated by the campaign engine
                             .expect("disk checkpoint failed — temp dir unwritable?");
                     }
-                    CheckpointStorage::Multilevel { disk_every } => {
+                    CkptFlavor::Plain(CheckpointStorage::Multilevel { disk_every }) => {
                         cluster.memory_write(stored_ckpt_bytes);
+                        checkpoint_bytes_written += stored_ckpt_bytes * p as u64;
                         mem_store
                             .save(iter, cg.x())
                             // rsls-lint: allow(no-unwrap) -- in-memory store is infallible
                             .expect("in-memory checkpoint cannot fail");
                         if checkpoints_taken.is_multiple_of((*disk_every).max(1)) {
                             cluster.disk_write(stored_ckpt_bytes);
+                            checkpoint_bytes_written += stored_ckpt_bytes * p as u64;
+                            meter.account_storage_bytes(stored_ckpt_bytes * p as u64);
                             disk_store
                                 .save(iter, cg.x())
                                 // rsls-lint: allow(no-unwrap) -- temp-dir write failure is isolated by the campaign engine
                                 .expect("disk checkpoint failed — temp dir unwritable?");
                         }
+                    }
+                    // CR-LC stores the quantized iterate — what lands on
+                    // disk (and therefore what a rollback restores) carries
+                    // the codec's bounded relative error.
+                    CkptFlavor::Lossy(m) => {
+                        cluster.disk_write(stored_ckpt_bytes);
+                        checkpoint_bytes_written += stored_ckpt_bytes * p as u64;
+                        meter.account_storage_bytes(stored_ckpt_bytes * p as u64);
+                        disk_store
+                            .save(iter, &m.quantize_vec(cg.x()))
+                            // rsls-lint: allow(no-unwrap) -- temp-dir write failure is isolated by the campaign engine
+                            .expect("disk checkpoint failed — temp dir unwritable?");
+                    }
+                    // ABFT-CR stores the full Krylov state: 3x the bytes,
+                    // but a restore replays the fault-free sequence exactly.
+                    CkptFlavor::Krylov => {
+                        cluster.disk_write(stored_ckpt_bytes);
+                        checkpoint_bytes_written += stored_ckpt_bytes * p as u64;
+                        meter.account_storage_bytes(stored_ckpt_bytes * p as u64);
+                        let s = cg.capture_state();
+                        disk_store
+                            .save_full(&KrylovCheckpoint {
+                                iteration: s.iteration,
+                                x: s.x,
+                                r: s.r,
+                                p: s.p,
+                                rr: s.rr,
+                            })
+                            // rsls-lint: allow(no-unwrap) -- temp-dir write failure is isolated by the campaign engine
+                            .expect("disk checkpoint failed — temp dir unwritable?");
                     }
                 }
                 let after = cluster.max_clock();
@@ -310,6 +381,9 @@ pub fn run(a: &CsrMatrix, b: &[f64], cfg: &RunConfig) -> RunReport {
 
         // --- Faults due at this iteration / time. -------------------------
         let due = cfg.faults.due(&mut fault_cursor, iter, cluster.max_clock());
+        // MNF: ranks failing in this iteration are collected and recovered
+        // together in one coupled union solve after the event loop.
+        let mut mnf_batch: Vec<usize> = Vec::new();
         for ev in due {
             faults_injected += 1;
             if cfg.record_history {
@@ -337,13 +411,34 @@ pub fn run(a: &CsrMatrix, b: &[f64], cfg: &RunConfig) -> RunReport {
                     Scheme::Checkpoint {
                         storage: CheckpointStorage::Disk | CheckpointStorage::Multilevel { .. },
                         ..
-                    }
+                    } | Scheme::LossyCheckpoint { .. }
+                        | Scheme::AbftCheckpoint { .. }
                 );
+                let mut exact_restore = false;
                 if survives {
-                    // rsls-lint: allow(no-unwrap) -- temp-file read failure is isolated by the campaign engine
-                    match disk_store.load().expect("disk checkpoint unreadable") {
-                        Some(ckpt) => cg.set_x(&ckpt.x),
-                        None => cg.set_x(&x0),
+                    cluster.disk_read(stored_ckpt_bytes);
+                    meter.account_storage_bytes(stored_ckpt_bytes * p as u64);
+                    if matches!(&cfg.scheme, Scheme::AbftCheckpoint { .. }) {
+                        // rsls-lint: allow(no-unwrap) -- temp-file read failure is isolated by the campaign engine
+                        match disk_store.load_full().expect("disk checkpoint unreadable") {
+                            Some(ck) => {
+                                cg.restore_state(&KrylovState {
+                                    iteration: ck.iteration,
+                                    x: ck.x,
+                                    r: ck.r,
+                                    p: ck.p,
+                                    rr: ck.rr,
+                                });
+                                exact_restore = true;
+                            }
+                            None => cg.set_x(&x0),
+                        }
+                    } else {
+                        // rsls-lint: allow(no-unwrap) -- temp-file read failure is isolated by the campaign engine
+                        match disk_store.load().expect("disk checkpoint unreadable") {
+                            Some(ckpt) => cg.set_x(&ckpt.x),
+                            None => cg.set_x(&x0),
+                        }
                     }
                 } else {
                     cg.set_x(&x0);
@@ -351,12 +446,19 @@ pub fn run(a: &CsrMatrix, b: &[f64], cfg: &RunConfig) -> RunReport {
                 let t1 = cluster.max_clock();
                 meter.account(t0, t1, &[(CoreState::StorageWait, f_run, core_count)]);
                 breakdown.restore_s += t1 - t0;
-                charge_repair(&mut cluster, &costs);
-                cg.restart();
-                let t2 = cluster.max_clock();
-                meter.account(t1, t2, &normal_mix);
-                breakdown.repair_s += t2 - t1;
-                seg_start = t2;
+                if exact_restore {
+                    // The full Krylov state is back: no residual
+                    // recomputation and no restart — the replayed sequence
+                    // is the fault-free one, bit for bit.
+                    seg_start = t1;
+                } else {
+                    charge_repair(&mut cluster, &costs);
+                    cg.restart();
+                    let t2 = cluster.max_clock();
+                    meter.account(t1, t2, &normal_mix);
+                    breakdown.repair_s += t2 - t1;
+                    seg_start = t2;
+                }
                 if cfg.record_history {
                     history.mark_recovery(iter, cg.relative_residual());
                 }
@@ -420,6 +522,95 @@ pub fn run(a: &CsrMatrix, b: &[f64], cfg: &RunConfig) -> RunReport {
                     breakdown.repair_s += t2 - t1;
                     seg_start = t2;
                 }
+                Scheme::LossyCheckpoint { .. } => {
+                    let rank_range = part.range(ev.rank);
+                    inject(
+                        cg.x_slice_mut(rank_range),
+                        FaultEffect::for_class(ev.class),
+                        ev.rank as u64 ^ iter as u64,
+                    );
+                    let t0 = cluster.max_clock();
+                    meter.account(seg_start, t0, &normal_mix);
+                    cluster.disk_read(stored_ckpt_bytes);
+                    meter.account_storage_bytes(stored_ckpt_bytes * p as u64);
+                    // rsls-lint: allow(no-unwrap) -- temp-file read failure is isolated by the campaign engine
+                    let restored = disk_store.load().expect("disk checkpoint unreadable");
+                    if compress_flops > 0 {
+                        cluster.compute_all(compress_flops); // decode/dequantize
+                    }
+                    match restored {
+                        // The restored iterate carries the codec's bounded
+                        // quantization error — the reconvergence penalty
+                        // CR-LC trades against its smaller stored payload.
+                        Some(ckpt) => cg.set_x(&ckpt.x),
+                        None => cg.set_x(&x0),
+                    }
+                    let t1 = cluster.max_clock();
+                    meter.account(t0, t1, &[(CoreState::StorageWait, f_run, core_count)]);
+                    breakdown.restore_s += t1 - t0;
+                    charge_repair(&mut cluster, &costs);
+                    cg.restart();
+                    let t2 = cluster.max_clock();
+                    meter.account(t1, t2, &normal_mix);
+                    breakdown.repair_s += t2 - t1;
+                    seg_start = t2;
+                }
+                Scheme::AbftCheckpoint { .. } => {
+                    let rank_range = part.range(ev.rank);
+                    inject(
+                        cg.x_slice_mut(rank_range),
+                        FaultEffect::for_class(ev.class),
+                        ev.rank as u64 ^ iter as u64,
+                    );
+                    let t0 = cluster.max_clock();
+                    meter.account(seg_start, t0, &normal_mix);
+                    cluster.disk_read(stored_ckpt_bytes);
+                    meter.account_storage_bytes(stored_ckpt_bytes * p as u64);
+                    // rsls-lint: allow(no-unwrap) -- temp-file read failure is isolated by the campaign engine
+                    let restored = disk_store.load_full().expect("disk checkpoint unreadable");
+                    let t1 = cluster.max_clock();
+                    meter.account(t0, t1, &[(CoreState::StorageWait, f_run, core_count)]);
+                    breakdown.restore_s += t1 - t0;
+                    match restored {
+                        Some(ck) => {
+                            // The whole Krylov state is back: no residual
+                            // recomputation and no restart — post-restore
+                            // iterates replay the fault-free sequence
+                            // bit for bit.
+                            cg.restore_state(&KrylovState {
+                                iteration: ck.iteration,
+                                x: ck.x,
+                                r: ck.r,
+                                p: ck.p,
+                                rr: ck.rr,
+                            });
+                            seg_start = t1;
+                        }
+                        None => {
+                            // No checkpoint yet: plain rollback to the
+                            // initial guess.
+                            cg.set_x(&x0);
+                            charge_repair(&mut cluster, &costs);
+                            cg.restart();
+                            let t2 = cluster.max_clock();
+                            meter.account(t1, t2, &normal_mix);
+                            breakdown.repair_s += t2 - t1;
+                            seg_start = t2;
+                        }
+                    }
+                }
+                Scheme::MultiNode(_) => {
+                    let rank_range = part.range(ev.rank);
+                    inject(
+                        cg.x_slice_mut(rank_range),
+                        FaultEffect::for_class(ev.class),
+                        ev.rank as u64 ^ iter as u64,
+                    );
+                    mnf_batch.push(ev.rank);
+                    // Recovery (and its history mark) happens once for the
+                    // whole batch after the event loop.
+                    continue;
+                }
                 Scheme::Forward(kind) => {
                     let rank_range = part.range(ev.rank);
                     inject(
@@ -471,6 +662,86 @@ pub fn run(a: &CsrMatrix, b: &[f64], cfg: &RunConfig) -> RunReport {
             }
         }
 
+        // --- MNF: one coupled recovery for every rank lost this iteration.
+        if !mnf_batch.is_empty() {
+            if let Scheme::MultiNode(method) = &cfg.scheme {
+                mnf_batch.sort_unstable();
+                mnf_batch.dedup();
+                let k = mnf_batch.len();
+                let f_wait = cfg.dvfs.waiter_frequency(model.freq_table()).min(f_run);
+                let t0 = cluster.max_clock();
+                meter.account(seg_start, t0, &normal_mix);
+                let key = *matrix_key.get_or_insert_with(|| MatrixKey::of(a));
+                // The recurrence residual still reflects pre-corruption
+                // progress — same adaptive inner tolerance as LI/LSI.
+                let outer_relres = cg.relative_residual();
+                let res = construction::multi_li_with(
+                    &mut ws,
+                    Some(key),
+                    a,
+                    &part,
+                    &mnf_batch,
+                    cg.x(),
+                    b,
+                    *method,
+                    outer_relres,
+                );
+                // Phase 1 — gather the survivors' coupled data to each
+                // replacement rank + the evenly spread right-hand-side
+                // assembly. All cores active: compute power.
+                let per_rank_gather = (res.gather_bytes / p as u64).max(8);
+                for &rank in &mnf_batch {
+                    cluster.gather(rank, per_rank_gather);
+                }
+                if res.parallel_flops > 0 {
+                    cluster.compute_all(res.parallel_flops / p as u64);
+                }
+                let max_block = mnf_batch.iter().map(|&r| part.len(r)).max().unwrap_or(0) as u64;
+                for _ in 0..res.comm_rounds {
+                    cluster.allreduce(max_block * 8);
+                }
+                let t1 = cluster.max_clock();
+                meter.account(t0, t1, &[(CoreState::Compute, f_run, p)]);
+                // Phase 2 — the coupled union solve, split across the k
+                // replacement ranks; the surviving ranks wait (throttled
+                // under the DVFS policy, exactly like LI/LSI waiters).
+                let share = res.local_flops / k as u64;
+                for &rank in &mnf_batch {
+                    cluster.compute(rank, share);
+                }
+                cluster.sync_to_max();
+                let t2 = cluster.max_clock();
+                if t2 > t1 {
+                    meter.account(
+                        t1,
+                        t2,
+                        &[
+                            (CoreState::Compute, f_run, k),
+                            (CoreState::BusyWait, f_wait, p.saturating_sub(k)),
+                        ],
+                    );
+                }
+                breakdown.reconstruct_s += t2 - t0;
+                for (rank, block) in &res.blocks {
+                    cg.x_slice_mut(part.range(*rank)).copy_from_slice(block);
+                }
+                if res.fallback {
+                    construction_fallbacks += 1;
+                }
+                // Repair CG state once for the whole batch.
+                let t3 = cluster.max_clock();
+                charge_repair(&mut cluster, &costs);
+                cg.restart();
+                let t4 = cluster.max_clock();
+                meter.account(t3, t4, &normal_mix);
+                breakdown.repair_s += t4 - t3;
+                seg_start = t4;
+                if cfg.record_history {
+                    history.mark_recovery(iter, cg.relative_residual());
+                }
+            }
+        }
+
         // --- One normal CG iteration. --------------------------------------
         charge_iteration(&mut cluster, &costs);
         let relres = cg.step();
@@ -487,7 +758,7 @@ pub fn run(a: &CsrMatrix, b: &[f64], cfg: &RunConfig) -> RunReport {
         scheme: format!(
             "{}{}",
             cfg.scheme.label(),
-            if cfg.scheme.is_forward() && uses_dvfs_label(&cfg.scheme) {
+            if uses_dvfs_label(&cfg.scheme) {
                 cfg.dvfs.label_suffix()
             } else {
                 ""
@@ -503,18 +774,22 @@ pub fn run(a: &CsrMatrix, b: &[f64], cfg: &RunConfig) -> RunReport {
         faults_injected,
         construction_fallbacks,
         checkpoint_interval_iters: interval_iters,
+        checkpoint_bytes_written,
         breakdown,
         history,
         power_profile: meter.profile().to_vec(),
     }
 }
 
-/// Only the interpolation-based schemes get the "-DVFS" suffix (F0/FI
-/// have no construction phase to throttle).
+/// Only schemes with a construction phase to throttle get the "-DVFS"
+/// suffix: the interpolation schemes (F0/FI have none) and MNF, whose
+/// surviving ranks wait out the coupled union solve.
 fn uses_dvfs_label(scheme: &Scheme) -> bool {
     matches!(
         scheme,
-        Scheme::Forward(ForwardKind::Linear(_)) | Scheme::Forward(ForwardKind::LeastSquares(_))
+        Scheme::Forward(ForwardKind::Linear(_))
+            | Scheme::Forward(ForwardKind::LeastSquares(_))
+            | Scheme::MultiNode(_)
     )
 }
 

@@ -70,8 +70,10 @@ pub mod interval;
 pub mod report;
 pub mod scheme;
 
-pub use checkpoint::CompressionModel;
-pub use construction::{ConstructionMethod, ConstructionResult};
+pub use checkpoint::{
+    install_chaos, CheckpointChaos, CompressionModel, KrylovCheckpoint, LossyCompressionModel,
+};
+pub use construction::{ConstructionMethod, ConstructionResult, MultiConstructionResult};
 pub use driver::{run, RunConfig};
 pub use dvfs::DvfsPolicy;
 pub use hash::{sha256_hex, Fnv1a};

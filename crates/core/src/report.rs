@@ -62,6 +62,10 @@ pub struct RunReport {
     pub construction_fallbacks: usize,
     /// Checkpoint interval actually used (checkpoint schemes only).
     pub checkpoint_interval_iters: Option<usize>,
+    /// Total bytes written to checkpoint storage across all ranks
+    /// (post-compression for CR-LC) — the stored-traffic side of the
+    /// storage-energy accounting. Zero for non-checkpoint schemes.
+    pub checkpoint_bytes_written: u64,
     /// Per-phase wall-time breakdown.
     pub breakdown: PhaseBreakdown,
     /// Residual history (empty unless recording was enabled).
@@ -132,6 +136,7 @@ mod tests {
             faults_injected: 0,
             construction_fallbacks: 0,
             checkpoint_interval_iters: None,
+            checkpoint_bytes_written: 0,
             breakdown: PhaseBreakdown::default(),
             history: ResidualHistory::new(),
             power_profile: Vec::new(),

@@ -64,6 +64,33 @@ pub enum Scheme {
     },
     /// Forward recovery.
     Forward(ForwardKind),
+    /// CR-LC — lossy-compressed checkpoint/restart (Tao et al.): the
+    /// checkpointed iterate is quantized by truncating low mantissa bits
+    /// before it goes to disk, shrinking stored bytes at the price of a
+    /// bounded relative error — and hence extra reconvergence iterations
+    /// after every rollback.
+    LossyCheckpoint {
+        /// How the checkpoint interval is chosen.
+        interval: CheckpointInterval,
+        /// Mantissa bits kept per double (1–52); the relative quantization
+        /// error is bounded by `2^-keep_mantissa_bits`.
+        keep_mantissa_bits: u8,
+    },
+    /// ABFT-CR — exact-Krylov-state checkpoint/restart (Pachajoa et al.):
+    /// checkpoints carry the full `(x, r, p, rᵀr)` state, so a restore
+    /// replays the fault-free iteration sequence bit-for-bit instead of
+    /// paying the restart reconvergence penalty. Costs 3× the stored
+    /// bytes of a plain CR-D checkpoint.
+    AbftCheckpoint {
+        /// How the checkpoint interval is chosen.
+        interval: CheckpointInterval,
+    },
+    /// MNF — multi-rank simultaneous-failure forward recovery (Pachajoa
+    /// et al.): when several ranks fail in the same iteration, the union
+    /// of their lost blocks is reconstructed in one coupled solve over
+    /// the surviving data, completing the
+    /// `FaultSchedule::multiple_at_iteration` injection path.
+    MultiNode(ConstructionMethod),
 }
 
 impl Scheme {
@@ -114,6 +141,38 @@ impl Scheme {
         Scheme::Forward(ForwardKind::LeastSquares(ConstructionMethod::Exact))
     }
 
+    /// CR-LC with the Young-formula interval and the default quantizer
+    /// (26 mantissa bits kept ≈ half the stored payload, ~1.5e-8
+    /// relative error).
+    pub fn cr_lossy() -> Self {
+        Scheme::cr_lossy_bits(26)
+    }
+
+    /// CR-LC with an explicit mantissa-bit budget (clamped to 1–52).
+    pub fn cr_lossy_bits(keep_mantissa_bits: u8) -> Self {
+        Scheme::LossyCheckpoint {
+            interval: CheckpointInterval::Young,
+            keep_mantissa_bits: keep_mantissa_bits.clamp(1, 52),
+        }
+    }
+
+    /// ABFT-CR with the Young-formula interval.
+    pub fn abft_cr() -> Self {
+        Scheme::AbftCheckpoint {
+            interval: CheckpointInterval::Young,
+        }
+    }
+
+    /// MNF with the optimized local-CG union-block construction.
+    pub fn mnf() -> Self {
+        Scheme::MultiNode(ConstructionMethod::local_cg_default())
+    }
+
+    /// MNF with the baseline exact LU union-block construction.
+    pub fn mnf_exact() -> Self {
+        Scheme::MultiNode(ConstructionMethod::Exact)
+    }
+
     /// Short label used in tables and reports (FF, RD, CR-M, CR-D, F0,
     /// FI, LI, LSI).
     pub fn label(&self) -> String {
@@ -132,7 +191,65 @@ impl Scheme {
                 ForwardKind::Linear(m) => format!("LI ({})", m.label()),
                 ForwardKind::LeastSquares(m) => format!("LSI ({})", m.label()),
             },
+            Scheme::LossyCheckpoint { .. } => "CR-LC".to_string(),
+            Scheme::AbftCheckpoint { .. } => "ABFT-CR".to_string(),
+            Scheme::MultiNode(m) => match m {
+                ConstructionMethod::Exact => "MNF (exact)".to_string(),
+                _ => "MNF".to_string(),
+            },
         }
+    }
+
+    /// Every canonical scheme label, in stable presentation order — the
+    /// registry behind label-keyed metrics and `--schemes` validation.
+    pub const KNOWN_LABELS: [&'static str; 16] = [
+        "FF",
+        "RD",
+        "TMR",
+        "CR-M",
+        "CR-D",
+        "CR-ML",
+        "CR-LC",
+        "ABFT-CR",
+        "F0",
+        "FI",
+        "LI (exact)",
+        "LI (CG)",
+        "LSI (exact)",
+        "LSI (CG)",
+        "MNF",
+        "MNF (exact)",
+    ];
+
+    /// The inverse of [`Scheme::label`]: parses a canonical label back to
+    /// a scheme with registry-default parameters (checkpoint schemes get
+    /// the Young interval, CR-LC its default quantizer — `label()` does
+    /// not carry those knobs). Bare `LI`/`LSI`/`MNF` select the optimized
+    /// local-CG construction. Returns `None` for unknown labels.
+    ///
+    /// Round-trip guarantee: `parse_label(s.label())` succeeds for every
+    /// scheme `s`, and the parsed scheme prints the same label.
+    pub fn parse_label(label: &str) -> Option<Scheme> {
+        let scheme = match label.trim() {
+            "FF" => Scheme::FaultFree,
+            "RD" => Scheme::Dmr,
+            "TMR" => Scheme::Tmr,
+            "CR-M" => Scheme::cr_memory(),
+            "CR-D" => Scheme::cr_disk(),
+            "CR-ML" => Scheme::cr_multilevel(),
+            "CR-LC" => Scheme::cr_lossy(),
+            "ABFT-CR" => Scheme::abft_cr(),
+            "F0" => Scheme::Forward(ForwardKind::Zero),
+            "FI" => Scheme::Forward(ForwardKind::InitialGuess),
+            "LI" | "LI (CG)" => Scheme::li_local_cg(),
+            "LI (exact)" => Scheme::li_exact(),
+            "LSI" | "LSI (CG)" => Scheme::lsi_local_cg(),
+            "LSI (exact)" => Scheme::lsi_exact(),
+            "MNF" | "MNF (CG)" => Scheme::mnf(),
+            "MNF (exact)" => Scheme::mnf_exact(),
+            _ => return None,
+        };
+        Some(scheme)
     }
 
     /// True for forward-recovery schemes (F0/FI/LI/LSI).
@@ -142,7 +259,17 @@ impl Scheme {
 
     /// True for schemes that take periodic checkpoints.
     pub fn is_checkpoint(&self) -> bool {
-        matches!(self, Scheme::Checkpoint { .. })
+        matches!(
+            self,
+            Scheme::Checkpoint { .. }
+                | Scheme::LossyCheckpoint { .. }
+                | Scheme::AbftCheckpoint { .. }
+        )
+    }
+
+    /// True for the multi-rank simultaneous-failure forward scheme.
+    pub fn is_multi_node(&self) -> bool {
+        matches!(self, Scheme::MultiNode(_))
     }
 }
 
@@ -162,6 +289,10 @@ mod tests {
         assert_eq!(Scheme::Forward(ForwardKind::InitialGuess).label(), "FI");
         assert!(Scheme::li_local_cg().label().starts_with("LI"));
         assert!(Scheme::lsi_exact().label().starts_with("LSI"));
+        assert_eq!(Scheme::cr_lossy().label(), "CR-LC");
+        assert_eq!(Scheme::abft_cr().label(), "ABFT-CR");
+        assert_eq!(Scheme::mnf().label(), "MNF");
+        assert_eq!(Scheme::mnf_exact().label(), "MNF (exact)");
     }
 
     #[test]
@@ -170,5 +301,51 @@ mod tests {
         assert!(!Scheme::cr_disk().is_forward());
         assert!(Scheme::cr_memory().is_checkpoint());
         assert!(!Scheme::Dmr.is_checkpoint());
+        assert!(Scheme::cr_lossy().is_checkpoint());
+        assert!(Scheme::abft_cr().is_checkpoint());
+        assert!(Scheme::mnf().is_multi_node());
+        assert!(!Scheme::mnf().is_forward());
+        assert!(!Scheme::mnf().is_checkpoint());
+    }
+
+    #[test]
+    fn parse_label_inverts_label_for_every_scheme() {
+        let schemes = [
+            Scheme::FaultFree,
+            Scheme::Dmr,
+            Scheme::Tmr,
+            Scheme::cr_memory(),
+            Scheme::cr_disk(),
+            Scheme::cr_multilevel(),
+            Scheme::cr_lossy(),
+            Scheme::cr_lossy_bits(16),
+            Scheme::abft_cr(),
+            Scheme::Forward(ForwardKind::Zero),
+            Scheme::Forward(ForwardKind::InitialGuess),
+            Scheme::li_local_cg(),
+            Scheme::li_exact(),
+            Scheme::lsi_local_cg(),
+            Scheme::lsi_exact(),
+            Scheme::mnf(),
+            Scheme::mnf_exact(),
+        ];
+        for s in schemes {
+            let parsed = Scheme::parse_label(&s.label())
+                .unwrap_or_else(|| panic!("label {:?} must parse", s.label()));
+            assert_eq!(parsed.label(), s.label(), "label round-trip");
+        }
+    }
+
+    #[test]
+    fn parse_label_accepts_every_known_label_and_rejects_junk() {
+        for label in Scheme::KNOWN_LABELS {
+            let s = Scheme::parse_label(label)
+                .unwrap_or_else(|| panic!("known label {label:?} must parse"));
+            assert_eq!(s.label(), label, "known labels are canonical");
+        }
+        assert_eq!(Scheme::parse_label("CR"), None);
+        assert_eq!(Scheme::parse_label(""), None);
+        assert_eq!(Scheme::parse_label("li"), None);
+        assert_eq!(Scheme::parse_label(" FF ").unwrap().label(), "FF");
     }
 }

@@ -395,3 +395,157 @@ fn checkpoint_compression_pays_off_on_the_disk_tier() {
         plain.breakdown.checkpoint_s
     );
 }
+
+#[test]
+fn abft_cr_replays_the_fault_free_sequence_bit_for_bit() {
+    // ABFT-CR checkpoints the full (x, r, p, rᵀr) Krylov state, so a
+    // restore replays the fault-free iteration sequence exactly: the
+    // final residual must match the FF run to the last bit, with the
+    // replayed stretch showing up as extra iterations.
+    let (a, b) = system();
+    let ff = ff_report(&a, &b);
+    let every = ((ff.iterations / 6).max(2) / 2) * 2; // even, ≥ 2
+    let interval = rsls_core::interval::CheckpointInterval::EveryIterations(every);
+    // Strictly between two checkpoints, so the rollback distance is
+    // nonzero and the replayed stretch is visible in the iteration count.
+    let fault_iter = 2 * every + every / 2;
+    assert!(fault_iter < ff.iterations);
+    let mut cfg = RunConfig::new(Scheme::AbftCheckpoint { interval }, RANKS).with_faults(
+        FaultSchedule::single_at_iteration(fault_iter, 3, FaultClass::Snf),
+    );
+    cfg.run_tag = "abft-bits".into();
+    let abft = run(&a, &b, &cfg);
+    assert!(abft.converged);
+    assert_eq!(abft.faults_injected, 1);
+    assert_eq!(
+        abft.final_relative_residual.to_bits(),
+        ff.final_relative_residual.to_bits(),
+        "ABFT-CR restore must be exact: {} vs FF {}",
+        abft.final_relative_residual,
+        ff.final_relative_residual
+    );
+    assert!(
+        abft.iterations > ff.iterations,
+        "the rolled-back stretch is replayed: {} vs FF {}",
+        abft.iterations,
+        ff.iterations
+    );
+    assert!(abft.checkpoint_bytes_written > 0);
+    assert_eq!(abft.scheme, "ABFT-CR");
+}
+
+#[test]
+fn lossy_checkpoints_trade_stored_bytes_for_reconvergence() {
+    // CR-LC vs CR-D at the same interval and fault plan: the quantized
+    // checkpoints are smaller on disk but restore a perturbed iterate,
+    // so they can never need fewer iterations than the exact rollback.
+    let (a, b) = system();
+    let ff = ff_report(&a, &b);
+    let interval =
+        rsls_core::interval::CheckpointInterval::EveryIterations((ff.iterations / 6).max(1));
+    let sched = faults(3, ff.iterations);
+
+    let mut d_cfg = RunConfig::new(
+        Scheme::Checkpoint {
+            storage: rsls_core::CheckpointStorage::Disk,
+            interval,
+        },
+        RANKS,
+    )
+    .with_faults(sched.clone());
+    d_cfg.run_tag = "lc-vs-d".into();
+    let crd = run(&a, &b, &d_cfg);
+
+    let mut lc_cfg = RunConfig::new(
+        Scheme::LossyCheckpoint {
+            interval,
+            keep_mantissa_bits: 8,
+        },
+        RANKS,
+    )
+    .with_faults(sched);
+    lc_cfg.run_tag = "lc-8".into();
+    let lc = run(&a, &b, &lc_cfg);
+
+    assert!(crd.converged && lc.converged);
+    assert!(lc.checkpoint_bytes_written > 0);
+    assert!(
+        lc.checkpoint_bytes_written < crd.checkpoint_bytes_written,
+        "CR-LC must store fewer bytes: {} vs CR-D {}",
+        lc.checkpoint_bytes_written,
+        crd.checkpoint_bytes_written
+    );
+    assert!(
+        lc.iterations >= crd.iterations,
+        "the quantization error costs reconvergence: CR-LC {} vs CR-D {}",
+        lc.iterations,
+        crd.iterations
+    );
+    assert_eq!(lc.scheme, "CR-LC");
+}
+
+#[test]
+fn mnf_recovers_simultaneous_multi_rank_failures() {
+    // Three ranks lost in the same iteration, reconstructed in one
+    // coupled union solve — the injection path single-rank LI cannot
+    // handle.
+    let (a, b) = system();
+    let ff = ff_report(&a, &b);
+    let sched =
+        FaultSchedule::multiple_at_iteration(ff.iterations / 2, &[0, 2, 5], FaultClass::Snf);
+    let mnf = run(
+        &a,
+        &b,
+        &RunConfig::new(Scheme::mnf(), RANKS).with_faults(sched.clone()),
+    );
+    assert!(mnf.converged, "MNF must converge: {mnf:?}");
+    assert_eq!(mnf.faults_injected, 3);
+    assert!(mnf.breakdown.reconstruct_s > 0.0, "union solve is charged");
+    assert!(mnf.iterations >= ff.iterations);
+    assert_eq!(mnf.scheme, "MNF");
+
+    // The exact union-LU variant recovers with comparable quality.
+    let exact = run(
+        &a,
+        &b,
+        &RunConfig::new(Scheme::mnf_exact(), RANKS).with_faults(sched),
+    );
+    assert!(exact.converged);
+    let diff = (exact.iterations as i64 - mnf.iterations as i64).abs();
+    assert!(
+        diff < 60,
+        "exact {} vs local {}",
+        exact.iterations,
+        mnf.iterations
+    );
+}
+
+#[test]
+fn mnf_dvfs_throttles_waiters_during_the_union_solve() {
+    let (a, b) = system();
+    let ff = ff_report(&a, &b);
+    let sched = FaultSchedule::multiple_at_iteration(ff.iterations / 2, &[1, 4], FaultClass::Snf);
+    let plain = run(
+        &a,
+        &b,
+        &RunConfig::new(Scheme::mnf(), RANKS).with_faults(sched.clone()),
+    );
+    let dvfs = run(
+        &a,
+        &b,
+        &RunConfig::new(Scheme::mnf(), RANKS)
+            .with_faults(sched)
+            .with_dvfs(DvfsPolicy::ThrottleWaiters),
+    );
+    assert_eq!(
+        plain.iterations, dvfs.iterations,
+        "DVFS must not change math"
+    );
+    assert!(
+        dvfs.energy_j < plain.energy_j,
+        "throttled waiters must save energy: {} vs {}",
+        dvfs.energy_j,
+        plain.energy_j
+    );
+    assert!(dvfs.scheme.contains("DVFS"));
+}

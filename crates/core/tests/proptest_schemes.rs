@@ -1,0 +1,118 @@
+//! Property-based tests of the new recovery schemes (CR-LC, ABFT-CR,
+//! MNF): the compression-error / reconvergence trade-off and the
+//! multi-rank recovery's determinism.
+
+use proptest::prelude::*;
+use rsls_core::driver::{run, RunConfig};
+use rsls_core::interval::CheckpointInterval;
+use rsls_core::Scheme;
+use rsls_faults::{FaultClass, FaultSchedule};
+use rsls_sparse::generators::{banded_spd, BandedConfig};
+use rsls_sparse::CsrMatrix;
+
+const RANKS: usize = 8;
+
+fn system() -> (CsrMatrix, Vec<f64>) {
+    let a = banded_spd(&BandedConfig::regular(400, 7, 0.02, 17));
+    let b = vec![1.0; 400];
+    (a, b)
+}
+
+/// Iterations a CR-LC run needs with `keep` mantissa bits, under one
+/// mid-run rollback per third of the fault-free run.
+fn lc_iterations(a: &CsrMatrix, b: &[f64], ff_iters: usize, keep: u8) -> usize {
+    let every = (ff_iters / 6).max(2);
+    let mut cfg = RunConfig::new(
+        Scheme::LossyCheckpoint {
+            interval: CheckpointInterval::EveryIterations(every),
+            keep_mantissa_bits: keep,
+        },
+        RANKS,
+    )
+    .with_faults(FaultSchedule::evenly_spaced(
+        3,
+        ff_iters,
+        RANKS,
+        FaultClass::Snf,
+        5,
+    ));
+    cfg.run_tag = format!("prop-lc-{keep}");
+    let r = run(a, b, &cfg);
+    assert!(r.converged, "CR-LC(keep={keep}) must converge");
+    r.iterations
+}
+
+#[test]
+fn cr_lc_iteration_ladder_is_monotone_in_kept_bits() {
+    // Deterministic full-ladder check: fewer kept bits → larger
+    // quantization error → at least as many reconvergence iterations.
+    let (a, b) = system();
+    let ff = run(&a, &b, &RunConfig::new(Scheme::FaultFree, RANKS));
+    let ladder = [4u8, 12, 20, 28, 36, 44];
+    let iters: Vec<usize> = ladder
+        .iter()
+        .map(|&k| lc_iterations(&a, &b, ff.iterations, k))
+        .collect();
+    for w in iters.windows(2) {
+        assert!(
+            w[0] >= w[1],
+            "coarser quantization may not reconverge faster: {iters:?}"
+        );
+    }
+    // The endpoints must actually separate: 2^-4 vs 2^-44 relative error
+    // is a ~12-order-of-magnitude gap in restored accuracy.
+    assert!(
+        iters[0] > iters[ladder.len() - 1],
+        "the compression knob must be observable: {iters:?}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn cr_lc_reconvergence_is_monotone_in_compression_error(
+        i in 0usize..6,
+        j in 0usize..6,
+    ) {
+        // Two rungs of the keep-bits ladder; the lower index keeps fewer
+        // mantissa bits, i.e. has the larger compression error.
+        const LADDER: [u8; 6] = [4, 12, 20, 28, 36, 44];
+        let (lo, hi) = (i.min(j), i.max(j));
+        let (a, b) = system();
+        let ff = run(&a, &b, &RunConfig::new(Scheme::FaultFree, RANKS));
+        let coarse = lc_iterations(&a, &b, ff.iterations, LADDER[lo]);
+        let fine = lc_iterations(&a, &b, ff.iterations, LADDER[hi]);
+        prop_assert!(
+            coarse >= fine,
+            "keep={} took {coarse} iters, keep={} took {fine}",
+            LADDER[lo],
+            LADDER[hi]
+        );
+    }
+
+    #[test]
+    fn mnf_runs_are_deterministic_for_any_failure_set(
+        raw_ranks in proptest::collection::vec(0usize..8, 1..5),
+        at_frac in 2usize..5,
+    ) {
+        let mut ranks = raw_ranks;
+        ranks.sort_unstable();
+        ranks.dedup();
+        let (a, b) = system();
+        let ff = run(&a, &b, &RunConfig::new(Scheme::FaultFree, RANKS));
+        let sched = FaultSchedule::multiple_at_iteration(
+            ff.iterations / at_frac,
+            &ranks,
+            FaultClass::Snf,
+        );
+        let cfg = RunConfig::new(Scheme::mnf(), RANKS).with_faults(sched);
+        let r1 = run(&a, &b, &cfg);
+        let r2 = run(&a, &b, &cfg);
+        prop_assert!(r1.converged);
+        prop_assert_eq!(r1.faults_injected, ranks.len());
+        prop_assert_eq!(r1.iterations, r2.iterations);
+        prop_assert_eq!(r1.time_s.to_bits(), r2.time_s.to_bits());
+        prop_assert_eq!(r1.energy_j.to_bits(), r2.energy_j.to_bits());
+    }
+}

@@ -37,8 +37,11 @@ fn usage() -> ! {
         "usage: rsls-run [--list] [--all] [--experiment <name>] [--csv <dir>] [--svg <dir>]\n\
          \x20               [--jobs <n>] [--cache-dir <dir>] [--resume] [--no-cache]\n\
          \x20               [--chaos-seed <n>] [--serve <addr>] [--query <sql>]\n\
-         experiments: {}",
-        ExperimentRegistry::builtin().ids().join(", ")
+         \x20               [--schemes <label,label,...>]\n\
+         experiments: {}\n\
+         schemes: {}",
+        ExperimentRegistry::builtin().ids().join(", "),
+        rsls_core::Scheme::KNOWN_LABELS.join(", ")
     );
     std::process::exit(2);
 }
@@ -92,6 +95,7 @@ fn main() {
     let mut chaos_seed: Option<u64> = None;
     let mut serve_addr: Option<String> = None;
     let mut query_sql: Option<String> = None;
+    let mut scheme_filter: Option<Vec<String>> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -172,6 +176,30 @@ fn main() {
                 }
                 query_sql = Some(args[i].clone());
             }
+            "--schemes" => {
+                i += 1;
+                if i >= args.len() {
+                    usage();
+                }
+                // Validate every label up front and canonicalize it
+                // (`LI` → `LI (CG)`), so the filter compares against
+                // exactly what `Scheme::label()` prints.
+                let mut labels = Vec::new();
+                for raw in args[i].split(',') {
+                    match rsls_core::Scheme::parse_label(raw) {
+                        Some(scheme) => labels.push(scheme.label()),
+                        None => {
+                            eprintln!(
+                                "--schemes: unknown scheme label '{}' (known: {})",
+                                raw.trim(),
+                                rsls_core::Scheme::KNOWN_LABELS.join(", ")
+                            );
+                            std::process::exit(2);
+                        }
+                    }
+                }
+                scheme_filter = Some(labels);
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 usage();
@@ -182,6 +210,11 @@ fn main() {
 
     if let Some(addr) = serve_addr {
         serve_passthrough(&addr, jobs, &cache_dir, use_cache);
+    }
+
+    if let Some(labels) = scheme_filter {
+        println!("schemes: restricted to FF + {}", labels.join(", "));
+        rsls_experiments::runners::set_scheme_filter(labels);
     }
 
     // Fail fast on a malformed --query before any unit runs: a typo

@@ -1,21 +1,23 @@
 //! Figure 5 — iterations to convergence for the full suite, 10 faults.
 
 use crate::output::{f2, Table};
-use crate::runners::{run_standard_lineup, workload};
+use crate::runners::{lineup_labels, run_standard_lineup, workload};
 use crate::{Scale, SUITE};
 
 /// Reproduces Figure 5: for every suite matrix, the number of iterations
 /// to convergence under each recovery mechanism, normalized to the
 /// fault-free run of that matrix (10 evenly spaced faults, tol 1e-12,
-/// CR to disk).
+/// CR to disk). Headers follow the active `--schemes` filter.
 pub fn run(scale: Scale) -> Vec<Table> {
     let ranks = scale.default_ranks();
+    let mut headers = vec!["matrix".to_string()];
+    headers.extend(lineup_labels());
     let mut t = Table::new(
         format!(
             "Figure 5 — normalized iterations to convergence ({} processes, 10 faults)",
             ranks
         ),
-        &["matrix", "FF", "RD", "F0", "FI", "LI", "LSI", "CR"],
+        &headers.iter().map(String::as_str).collect::<Vec<_>>(),
     );
     for spec in SUITE {
         let (a, b) = workload(spec.name, scale);

@@ -8,6 +8,7 @@ pub mod fig1;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;
+pub mod fig5x;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
@@ -51,6 +52,11 @@ pub static ALL: &[Experiment] = &[
         name: "fig5",
         description: "Iterations to convergence, 14 matrices, 10 faults",
         run: fig5::run,
+    },
+    Experiment {
+        name: "fig5x",
+        description: "Related-work schemes (CR-LC, ABFT-CR, MNF) vs the paper line-up",
+        run: fig5x::run,
     },
     Experiment {
         name: "fig6",

@@ -1,7 +1,7 @@
 //! Table 4 — normalized iterations vs process count (crystm02).
 
 use crate::output::{f2, Table};
-use crate::runners::{run_standard_lineup, workload};
+use crate::runners::{lineup_labels, run_standard_lineup, workload};
 use crate::Scale;
 
 /// Process counts exercised per scale (the paper uses 4–256; quick runs
@@ -20,9 +20,11 @@ fn process_counts(scale: Scale) -> Vec<usize> {
 /// a larger process count means a *smaller* lost block per fault.
 pub fn run(scale: Scale) -> Vec<Table> {
     let (a, b) = workload("crystm02", scale);
+    let mut headers = vec!["#p".to_string()];
+    headers.extend(lineup_labels());
     let mut t = Table::new(
         "Table 4 — normalized iterations vs process count (crystm02, 10 faults)",
-        &["#p", "FF", "RD", "F0", "FI", "LI", "LSI", "CR"],
+        &headers.iter().map(String::as_str).collect::<Vec<_>>(),
     );
     for p in process_counts(scale) {
         let (ff, reports) = run_standard_lineup(&a, &b, p, 10, "crystm02-t4", scale);

@@ -5,7 +5,7 @@
 //! by content address when the engine has a cache, and executed on its
 //! worker pool when a batch allows it.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use rsls_core::driver::RunConfig;
 use rsls_core::interval::CheckpointInterval;
@@ -40,6 +40,43 @@ pub fn standard_schemes(cr_interval: usize) -> Vec<(Scheme, DvfsPolicy)> {
             DvfsPolicy::OsDefault,
         ),
     ]
+}
+
+/// The process-wide scheme filter (`rsls-run --schemes CR-LC,MNF`):
+/// when set, line-up harnesses only run the listed scheme labels.
+/// FF always runs — it anchors fault schedules and normalizations.
+static SCHEME_FILTER: OnceLock<Vec<String>> = OnceLock::new();
+
+/// Restricts line-up harnesses to the given scheme labels (canonical
+/// [`Scheme::label`] strings — validate with [`Scheme::parse_label`]
+/// before calling). First call wins; returns `false` if a filter was
+/// already installed. The default (never called) runs everything.
+pub fn set_scheme_filter(labels: Vec<String>) -> bool {
+    SCHEME_FILTER.set(labels).is_ok()
+}
+
+/// Whether the scheme filter lets `scheme` run. FF is always allowed;
+/// without an installed filter everything is.
+pub fn scheme_allowed(scheme: &Scheme) -> bool {
+    if matches!(scheme, Scheme::FaultFree) {
+        return true;
+    }
+    match SCHEME_FILTER.get() {
+        None => true,
+        Some(labels) => labels.iter().any(|l| *l == scheme.label()),
+    }
+}
+
+/// Column labels for the line-up [`run_standard_lineup`] will actually
+/// execute (FF first, then the filtered scheme order) — positional
+/// tables derive their headers from this so a `--schemes` filter
+/// narrows the columns instead of misaligning them.
+pub fn lineup_labels() -> Vec<String> {
+    standard_schemes(100)
+        .into_iter()
+        .filter(|(scheme, _)| scheme_allowed(scheme))
+        .map(|(scheme, _)| scheme.label())
+        .collect()
 }
 
 /// Checkpoint interval standing in for the paper's "every 100 iterations".
@@ -217,7 +254,7 @@ pub fn run_standard_lineup(
     let interval = cr_interval_for(scale, ff.iterations);
     let specs: Vec<_> = standard_schemes(interval)
         .into_iter()
-        .filter(|(scheme, _)| *scheme != Scheme::FaultFree)
+        .filter(|(scheme, _)| *scheme != Scheme::FaultFree && scheme_allowed(scheme))
         .map(|(scheme, dvfs)| {
             let faults = evenly_spaced_faults(k_faults, ff.iterations, ranks, name);
             let run = SchemeRun::new(a, b, ranks, scheme)

@@ -44,8 +44,10 @@ pub const DETERMINISTIC_ROOTS: &[(&str, &str)] = &[
 ];
 
 /// Crates whose `std::fs` / `std::net` usage must be registered
-/// chaos-injection sites (R7).
-pub const IO_SCOPED_CRATES: &[&str] = &["campaign", "load", "serve"];
+/// chaos-injection sites (R7). `core` joined when the checkpoint
+/// `DiskStore` became a chaos-hardened injection target (the
+/// `ckpt-*` sites).
+pub const IO_SCOPED_CRATES: &[&str] = &["campaign", "core", "load", "serve"];
 
 /// Identifiers that enter the filesystem or the network when used in
 /// path position (`fs::read`, `TcpStream::connect`, …).
@@ -77,6 +79,8 @@ pub const CHAOS_SITE_NAMES: &[&str] = &[
     "server-accept",
     "server-read",
     "server-write",
+    "ckpt-write-torn",
+    "ckpt-read-error",
 ];
 
 /// One direct use of a banned source inside a fn body.

@@ -79,6 +79,7 @@ mod tests {
             faults_injected: faults,
             construction_fallbacks: 0,
             checkpoint_interval_iters: Some(100),
+            checkpoint_bytes_written: 0,
             breakdown,
             history: ResidualHistory::new(),
             power_profile: Vec::new(),

@@ -30,7 +30,7 @@ pub use advisor::{estimate_all, recommend, Objective, SchemeEstimate, Situation}
 pub use fit::FittedParams;
 pub use general::FaultFreeModel;
 pub use projection::{project_scheme, ProjectionConfig, ProjectionPoint, ProjectionScheme};
-pub use schemes::{CrModel, FwModel, RdModel};
+pub use schemes::{CrModel, FwModel, LcModel, RdModel};
 pub use validation::{validate, ValidationRow};
 
 /// Young's interval from a checkpoint cost and a failure *rate*

@@ -149,6 +149,67 @@ impl FwModel {
     }
 }
 
+/// CR-LC reconvergence model: the compression-error / extra-iteration
+/// trade-off of lossy-compressed checkpointing (Tao et al.,
+/// arXiv:1804.11268), specialized to the mantissa-truncation codec.
+///
+/// A rollback restores an iterate carrying the codec's bounded relative
+/// error `ε = 2^-keep`. When `ε` exceeds the solver's residual at the
+/// checkpointed iterate, the restored state is *less converged* than the
+/// exact rollback CR-D would produce, and CG must iterate the difference
+/// away. With an asymptotic per-iteration contraction `ρ` the penalty is
+///
+/// `Δiters ≈ ln(ε / relres_ckpt) / ln(1/ρ)`,
+///
+/// clamped at zero once the quantization error is already below the
+/// checkpointed residual — the regime where CR-LC is free accuracy-wise
+/// and strictly cheaper in stored bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LcModel {
+    /// Mantissa bits kept per double (1–52).
+    pub keep_mantissa_bits: u8,
+    /// Asymptotic CG contraction factor per iteration, `ρ ∈ (0, 1)`:
+    /// the relative residual shrinks by `ρ` each step. Fit it from a
+    /// fault-free run with [`LcModel::contraction_from_run`].
+    pub contraction_per_iter: f64,
+}
+
+impl LcModel {
+    /// Bound on the restored iterate's relative error: `2^-keep`.
+    pub fn relative_error(&self) -> f64 {
+        (-f64::from(self.keep_mantissa_bits.clamp(1, 52))).exp2()
+    }
+
+    /// Stored bytes relative to an uncompressed checkpoint:
+    /// `(12 + keep) / 64` (sign + exponent + kept mantissa, bit-packed).
+    pub fn stored_bytes_fraction(&self) -> f64 {
+        (12.0 + f64::from(self.keep_mantissa_bits.clamp(1, 52))) / 64.0
+    }
+
+    /// Fits the contraction factor from a fault-free run that reduced the
+    /// relative residual from 1 to `final_relres` over `iterations` steps:
+    /// `ρ = final_relres^(1/iterations)`.
+    pub fn contraction_from_run(final_relres: f64, iterations: usize) -> f64 {
+        assert!(final_relres > 0.0 && final_relres < 1.0);
+        assert!(iterations > 0);
+        final_relres.powf(1.0 / iterations as f64)
+    }
+
+    /// Extra iterations one rollback costs *beyond* an exact (CR-D)
+    /// rollback to the same checkpoint, given the relative residual the
+    /// checkpointed iterate had reached.
+    pub fn extra_iterations_per_restore(&self, relres_at_checkpoint: f64) -> f64 {
+        assert!(relres_at_checkpoint > 0.0);
+        let rho = self.contraction_per_iter;
+        assert!(rho > 0.0 && rho < 1.0, "contraction must be in (0,1)");
+        let eps = self.relative_error();
+        if eps <= relres_at_checkpoint {
+            return 0.0;
+        }
+        (eps / relres_at_checkpoint).ln() / (1.0 / rho).ln()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -251,6 +312,34 @@ mod tests {
         let avg = m.avg_power_frac(100.0, 1e-3).unwrap();
         assert!(avg < 1.0);
         assert!(avg > m.construction_power_frac());
+    }
+
+    #[test]
+    fn lc_penalty_is_monotone_in_compression_error() {
+        let rho = LcModel::contraction_from_run(1e-12, 100);
+        let penalty = |keep: u8| {
+            LcModel {
+                keep_mantissa_bits: keep,
+                contraction_per_iter: rho,
+            }
+            .extra_iterations_per_restore(1e-9)
+        };
+        // Fewer kept bits → larger error → more reconvergence iterations.
+        assert!(penalty(4) > penalty(12));
+        assert!(penalty(12) > penalty(20));
+        // Once the quantization error drops below the checkpointed
+        // residual the rollback is effectively exact.
+        assert_eq!(penalty(40), 0.0);
+    }
+
+    #[test]
+    fn lc_stored_bytes_track_the_bit_packing() {
+        let m = LcModel {
+            keep_mantissa_bits: 20,
+            contraction_per_iter: 0.7,
+        };
+        assert!((m.stored_bytes_fraction() - 0.5).abs() < 1e-12);
+        assert!((m.relative_error() - (2.0f64).powi(-20)).abs() < 1e-18);
     }
 
     #[test]

@@ -129,6 +129,7 @@ mod tests {
             } else {
                 None
             },
+            checkpoint_bytes_written: 0,
             breakdown: PhaseBreakdown {
                 solve_s: time * 0.9,
                 checkpoint_s: if scheme.starts_with("CR") {

@@ -1,0 +1,116 @@
+//! Validates the CR-LC reconvergence model against *measured* extra
+//! iterations: the analytical `LcModel` penalty must predict the
+//! CR-LC-minus-CR-D iteration gap the driver actually produces.
+
+use rsls_core::driver::{run, RunConfig};
+use rsls_core::interval::CheckpointInterval;
+use rsls_core::{CheckpointStorage, Scheme};
+use rsls_faults::{FaultClass, FaultSchedule};
+use rsls_models::LcModel;
+use rsls_sparse::generators::{banded_spd, BandedConfig};
+
+const RANKS: usize = 8;
+
+#[test]
+fn lc_model_predicts_the_measured_reconvergence_penalty() {
+    let a = banded_spd(&BandedConfig::regular(400, 7, 0.02, 17));
+    let b = vec![1.0; 400];
+    let ff = run(&a, &b, &RunConfig::new(Scheme::FaultFree, RANKS));
+    let rho = LcModel::contraction_from_run(ff.final_relative_residual, ff.iterations);
+
+    // One fault strictly between two checkpoints, so both schemes roll
+    // back to the same known checkpoint iteration.
+    let every = ((ff.iterations / 6).max(2) / 2) * 2;
+    let interval = CheckpointInterval::EveryIterations(every);
+    let ckpt_iter = 2 * every;
+    let fault_iter = ckpt_iter + every / 2;
+    assert!(fault_iter < ff.iterations);
+    let sched = FaultSchedule::single_at_iteration(fault_iter, 3, FaultClass::Snf);
+
+    let mut d_cfg = RunConfig::new(
+        Scheme::Checkpoint {
+            storage: CheckpointStorage::Disk,
+            interval,
+        },
+        RANKS,
+    )
+    .with_faults(sched.clone());
+    d_cfg.run_tag = "lcval-crd".into();
+    let crd = run(&a, &b, &d_cfg);
+
+    let keep = 8u8;
+    let mut lc_cfg = RunConfig::new(
+        Scheme::LossyCheckpoint {
+            interval,
+            keep_mantissa_bits: keep,
+        },
+        RANKS,
+    )
+    .with_faults(sched);
+    lc_cfg.run_tag = "lcval-lc".into();
+    let lc = run(&a, &b, &lc_cfg);
+
+    assert!(crd.converged && lc.converged);
+    let measured = lc.iterations as f64 - crd.iterations as f64;
+    assert!(
+        measured > 0.0,
+        "an 8-bit mantissa must cost iterations: CR-LC {} vs CR-D {}",
+        lc.iterations,
+        crd.iterations
+    );
+
+    // Model prediction: the checkpointed iterate had contracted for
+    // `ckpt_iter` steps, so its residual is ~rho^ckpt_iter; restoring it
+    // with relative error 2^-keep sets the solver back by the log-ratio.
+    let model = LcModel {
+        keep_mantissa_bits: keep,
+        contraction_per_iter: rho,
+    };
+    let relres_at_ckpt = rho.powi(ckpt_iter as i32);
+    let predicted = model.extra_iterations_per_restore(relres_at_ckpt);
+    assert!(
+        predicted > 0.0,
+        "the model must predict a penalty for keep={keep}"
+    );
+    // CG contraction is only asymptotically linear; demand agreement
+    // within a factor of 2.5 (the paper-style model-vs-experiment band).
+    let ratio = predicted / measured;
+    assert!(
+        (0.4..=2.5).contains(&ratio),
+        "model {predicted:.1} vs measured {measured:.1} extra iterations (ratio {ratio:.2})"
+    );
+
+    // And the stored-bytes side of the trade-off must match the driver's
+    // accounting: (12 + keep)/64 of the plain payload. Compare fault-free
+    // runs so both schemes take exactly the same number of checkpoints
+    // (the faulted CR-LC run iterates — and checkpoints — longer).
+    let mut d_ff = RunConfig::new(
+        Scheme::Checkpoint {
+            storage: CheckpointStorage::Disk,
+            interval,
+        },
+        RANKS,
+    );
+    d_ff.run_tag = "lcval-crd-ff".into();
+    let crd_ff = run(&a, &b, &d_ff);
+    let mut lc_ff = RunConfig::new(
+        Scheme::LossyCheckpoint {
+            interval,
+            keep_mantissa_bits: keep,
+        },
+        RANKS,
+    );
+    lc_ff.run_tag = "lcval-lc-ff".into();
+    let lc_ff = run(&a, &b, &lc_ff);
+    assert_eq!(
+        lc_ff.iterations, crd_ff.iterations,
+        "without rollbacks the quantizer must not touch the trajectory"
+    );
+    let frac = lc_ff.checkpoint_bytes_written as f64 / crd_ff.checkpoint_bytes_written as f64;
+    // Per-save ceil() rounding is the only slack.
+    assert!(
+        (frac - model.stored_bytes_fraction()).abs() < 0.02,
+        "stored-bytes fraction {frac} vs model {}",
+        model.stored_bytes_fraction()
+    );
+}

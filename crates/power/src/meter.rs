@@ -79,6 +79,18 @@ impl EnergyMeter {
         self.last_t = t1;
     }
 
+    /// Accounts the storage subsystem's own energy for `bytes` of
+    /// checkpoint traffic (writes or restore reads), at the model's
+    /// joules-per-byte rate.
+    ///
+    /// Storage energy is not tied to a time segment — the cores' power
+    /// during the transfer is accounted separately as `StorageWait` — so
+    /// it adds joules without touching the power profile (it shows up in
+    /// the run's average power, as a shared storage tier's draw would).
+    pub fn account_storage_bytes(&mut self, bytes: u64) {
+        self.joules += bytes as f64 * self.model.config().storage_energy_per_byte_j;
+    }
+
     /// Total accumulated energy, joules.
     pub fn joules(&self) -> f64 {
         self.joules
@@ -228,6 +240,21 @@ mod tests {
         let series = m.resample(0.25);
         assert_eq!(series.len(), 8);
         assert!(series[0].1 > series[7].1);
+    }
+
+    #[test]
+    fn storage_bytes_add_energy_without_a_profile_segment() {
+        let mut m = meter();
+        let per_byte = m.model().config().storage_energy_per_byte_j;
+        m.account_storage_bytes(1_000_000);
+        assert!((m.joules() - 1e6 * per_byte).abs() < 1e-12);
+        assert!(m.profile().is_empty(), "no time segment for storage bytes");
+        // Interleaves freely with time-segment accounting.
+        let f = m.model().freq_table().max();
+        m.account(0.0, 1.0, &[(CoreState::Compute, f, 1)]);
+        let with_segment = m.joules();
+        m.account_storage_bytes(500);
+        assert!(m.joules() > with_segment);
     }
 
     #[test]

@@ -44,6 +44,12 @@ pub struct PowerModelConfig {
     /// `time ∝ (f_max/f)^γ`. CG is memory-bound, so γ < 1; γ = 0 would be
     /// fully memory-bound, γ = 1 fully compute-bound.
     pub time_freq_exponent: f64,
+    /// Energy the storage subsystem itself (controllers, links, media)
+    /// draws per byte of checkpoint traffic, joules/byte — on top of the
+    /// cores' `StorageWait` draw, which only covers the CPU side of a
+    /// checkpoint. ~5 nJ/B is disk-array-class; this is the knob the
+    /// CR-LC stored-bytes accounting trades against reconvergence.
+    pub storage_energy_per_byte_j: f64,
 }
 
 impl Default for PowerModelConfig {
@@ -57,6 +63,7 @@ impl Default for PowerModelConfig {
             idle_frac: 0.15,
             freq_table: FreqTable::default(),
             time_freq_exponent: 0.5,
+            storage_energy_per_byte_j: 5.0e-9,
         }
     }
 }

@@ -562,6 +562,29 @@ impl Metrics {
             );
         }
 
+        // Per-scheme campaign mix. Every registered scheme label is
+        // pre-seeded at 0 so dashboards can alert on a scheme that
+        // *stopped* appearing, not just count the ones that did.
+        let _ = writeln!(
+            out,
+            "# HELP rsls_campaign_scheme_units_total Units submitted, by recovery-scheme label."
+        );
+        let _ = writeln!(out, "# TYPE rsls_campaign_scheme_units_total counter");
+        let mut scheme_units: std::collections::BTreeMap<&str, u64> =
+            rsls_core::Scheme::KNOWN_LABELS
+                .iter()
+                .map(|&l| (l, 0))
+                .collect();
+        for (label, n) in &campaign.scheme_units {
+            *scheme_units.entry(label.as_str()).or_insert(0) += n;
+        }
+        for (label, n) in &scheme_units {
+            let _ = writeln!(
+                out,
+                "rsls_campaign_scheme_units_total{{scheme=\"{label}\"}} {n}"
+            );
+        }
+
         let _ = writeln!(
             out,
             "# HELP rsls_serve_requests_total Requests served, by route and status."
@@ -673,6 +696,9 @@ mod tests {
             quarantined: 2,
             circuits_open: 1,
             unit_wall_s: 1.5,
+            scheme_units: [("FF".to_string(), 4), ("CR-LC".to_string(), 3)]
+                .into_iter()
+                .collect(),
         };
         let artifacts = ArtifactCounters {
             sparse_hits: 9,
@@ -705,6 +731,11 @@ mod tests {
         assert!(text.contains("rsls_campaign_cache_corrupt_detected_total 2"));
         assert!(text.contains("rsls_campaign_cache_quarantined_total 2"));
         assert!(text.contains("rsls_campaign_circuit_state 1"));
+        assert!(text.contains("rsls_campaign_scheme_units_total{scheme=\"FF\"} 4"));
+        assert!(text.contains("rsls_campaign_scheme_units_total{scheme=\"CR-LC\"} 3"));
+        // Registered-but-unseen schemes are pre-seeded at zero.
+        assert!(text.contains("rsls_campaign_scheme_units_total{scheme=\"ABFT-CR\"} 0"));
+        assert!(text.contains("rsls_campaign_scheme_units_total{scheme=\"MNF\"} 0"));
         assert!(text.contains("rsls_serve_client_retries_total"));
         assert!(text.contains("rsls_artifact_sparse_cache_hits_total 9"));
         assert!(text.contains("rsls_artifact_sparse_cache_misses_total 4"));

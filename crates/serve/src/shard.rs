@@ -135,6 +135,9 @@ impl ShardSet {
                     total.quarantined += s.quarantined;
                     total.circuits_open += s.circuits_open;
                     total.unit_wall_s += s.unit_wall_s;
+                    for (label, n) in s.scheme_units {
+                        *total.scheme_units.entry(label).or_insert(0) += n;
+                    }
                 }
                 total
             }

@@ -314,6 +314,7 @@ fn reports_round_trip_from_the_content_addressed_store() {
         faults_injected: 0,
         construction_fallbacks: 0,
         checkpoint_interval_iters: None,
+        checkpoint_bytes_written: 0,
         breakdown: Default::default(),
         history: Default::default(),
         power_profile: Vec::new(),

@@ -21,6 +21,29 @@ impl Default for CgConfig {
     }
 }
 
+/// A full Krylov-state snapshot: everything [`Cg::step`] reads besides
+/// the fixed operator and rhs.
+///
+/// Restoring it with [`Cg::restore_state`] resumes the *exact* fault-free
+/// iteration sequence — no residual recompute, no search-direction reset,
+/// no reconvergence penalty — which is what the exact-state ABFT-CR
+/// checkpoint scheme stores to disk (`x`, `r`, `p`, and the `rᵀr`
+/// scalar, per Pachajoa et al.).
+#[derive(Debug, Clone, PartialEq)]
+pub struct KrylovState {
+    /// Iteration count at capture time (bookkeeping only; restores do not
+    /// rewind the monotonic work counter).
+    pub iteration: usize,
+    /// The iterate.
+    pub x: Vec<f64>,
+    /// The recurrence residual.
+    pub r: Vec<f64>,
+    /// The search direction.
+    pub p: Vec<f64>,
+    /// The cached `rᵀr` scalar.
+    pub rr: f64,
+}
+
 /// A resumable CG iteration on `A x = b` for SPD `A`.
 ///
 /// The struct owns the full iteration state (`x`, `r`, `p`); the caller
@@ -170,6 +193,38 @@ impl<'a> Cg<'a> {
         self.x.copy_from_slice(x);
     }
 
+    /// Snapshots the full Krylov state (`x`, `r`, `p`, `rᵀr`).
+    ///
+    /// `ap` is excluded: every [`Cg::step`] overwrites it before reading.
+    pub fn capture_state(&self) -> KrylovState {
+        KrylovState {
+            iteration: self.iteration,
+            x: self.x.clone(),
+            r: self.r.clone(),
+            p: self.p.clone(),
+            rr: self.rr,
+        }
+    }
+
+    /// Restores a [`KrylovState`] snapshot taken on this system.
+    ///
+    /// Unlike [`Cg::set_x`] + [`Cg::restart`], this needs no residual
+    /// recompute: subsequent steps replay the captured run bit-for-bit.
+    /// The iteration counter is *not* rewound — it keeps counting total
+    /// work performed, including the replayed stretch.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatches.
+    pub fn restore_state(&mut self, state: &KrylovState) {
+        assert_eq!(state.x.len(), self.x.len(), "state dimension mismatch");
+        assert_eq!(state.r.len(), self.r.len(), "state dimension mismatch");
+        assert_eq!(state.p.len(), self.p.len(), "state dimension mismatch");
+        self.x.copy_from_slice(&state.x);
+        self.r.copy_from_slice(&state.r);
+        self.p.copy_from_slice(&state.p);
+        self.rr = state.rr;
+    }
+
     /// True when the relative residual is at or below `tol`.
     pub fn converged(&self, tol: f64) -> bool {
         self.relative_residual() <= tol
@@ -302,6 +357,49 @@ mod tests {
         cg.set_x(&checkpoint);
         cg.restart();
         assert!((cg.true_relative_residual() - res_at_checkpoint).abs() < 1e-12);
+    }
+
+    #[test]
+    fn restore_state_replays_the_fault_free_run_bit_for_bit() {
+        let cfg = BandedConfig::regular(120, 5, 0.6, 3);
+        let a = banded_spd(&cfg);
+        let b = vec![1.0; 120];
+
+        // Fault-free reference trajectory.
+        let mut reference = Cg::from_zero(&a, &b);
+        for _ in 0..10 {
+            reference.step();
+        }
+        let snapshot = reference.capture_state();
+        let (ref_iters, ok) = reference.solve(&CgConfig::default());
+        assert!(ok);
+        let ref_bits: Vec<u64> = reference.x().iter().map(|v| v.to_bits()).collect();
+
+        // Faulted run: corrupt everything after the snapshot point, then
+        // restore the exact Krylov state and run to convergence.
+        let mut faulted = Cg::from_zero(&a, &b);
+        for _ in 0..10 {
+            faulted.step();
+        }
+        for _ in 0..7 {
+            faulted.step();
+        }
+        for v in faulted.x_slice_mut(0..120) {
+            *v = f64::NAN;
+        }
+        faulted.restore_state(&snapshot);
+        let (faulted_iters, ok) = faulted.solve(&CgConfig::default());
+        assert!(ok);
+        let faulted_bits: Vec<u64> = faulted.x().iter().map(|v| v.to_bits()).collect();
+
+        assert_eq!(ref_bits, faulted_bits, "iterates must be bit-identical");
+        assert_eq!(
+            faulted.relative_residual().to_bits(),
+            reference.relative_residual().to_bits(),
+            "final residual must be bit-identical"
+        );
+        // The monotonic work counter records the 7 replayed iterations.
+        assert_eq!(faulted_iters, ref_iters + 7);
     }
 
     #[test]

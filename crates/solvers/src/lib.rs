@@ -24,7 +24,7 @@ pub mod convergence;
 pub mod dist;
 pub mod jacobi;
 
-pub use cg::{Cg, CgConfig};
+pub use cg::{Cg, CgConfig, KrylovState};
 pub use cgls::{Cgls, CglsConfig};
 pub use convergence::{ResidualHistory, SolveOutcome};
 pub use dist::{halo_plan_cache_stats, DistCg, HaloPlan};
