@@ -12,6 +12,8 @@ use rsls_core::interval::CheckpointInterval;
 use rsls_core::{CheckpointStorage, DvfsPolicy, Scheme};
 use rsls_faults::{FaultClass, FaultSchedule};
 use rsls_power::PowerModelConfig;
+use rsls_solvers::{Cg, CgConfig, Ic0Pcg, JacobiPcg};
+use rsls_sparse::generators::stencil_2d;
 use rsls_sparse::generators::{banded_spd, BandedConfig};
 use rsls_sparse::Partition;
 
@@ -131,6 +133,44 @@ fn ablation_interval(c: &mut Criterion) {
     g.finish();
 }
 
+/// Preconditioner ablation: plain CG vs Jacobi-PCG vs IC(0)-PCG on the
+/// suite model matrices, solved to a fixed tolerance. The measured body
+/// is the whole solve, so the bench shows the iteration-count lever
+/// directly (IC(0) trades two triangular solves per step for far fewer
+/// steps); each solver's iteration count prints once per operand so the
+/// reduction is visible in the bench log.
+fn ablation_preconditioner(c: &mut Criterion) {
+    let cfg = CgConfig {
+        tolerance: 1e-8,
+        max_iterations: 20_000,
+    };
+    let mut g = c.benchmark_group("ablation_preconditioner");
+    let operands: [(&str, rsls_sparse::CsrMatrix); 2] = [
+        ("stencil_48", stencil_2d(48, 48)),
+        ("regular_1200", small_regular().0),
+    ];
+    for (name, a) in &operands {
+        let b = rhs(a);
+        let cg_iters = Cg::from_zero(a, &b).solve(&cfg).0;
+        let jacobi_iters = JacobiPcg::new(a, &b).solve(&cfg).0;
+        let ic0_iters = Ic0Pcg::new(a, &b).expect("SPD operand").solve(&cfg).0;
+        println!(
+            "ablation_preconditioner/{name}: cg {cg_iters} iters, \
+             jacobi {jacobi_iters} iters, ic0 {ic0_iters} iters"
+        );
+        g.bench_with_input(BenchmarkId::new("cg", name), name, |bch, _| {
+            bch.iter(|| black_box(Cg::from_zero(a, &b).solve(&cfg).0));
+        });
+        g.bench_with_input(BenchmarkId::new("jacobi_pcg", name), name, |bch, _| {
+            bch.iter(|| black_box(JacobiPcg::new(a, &b).solve(&cfg).0));
+        });
+        g.bench_with_input(BenchmarkId::new("ic0_pcg", name), name, |bch, _| {
+            bch.iter(|| black_box(Ic0Pcg::new(a, &b).expect("SPD operand").solve(&cfg).0));
+        });
+    }
+    g.finish();
+}
+
 /// Extension schemes vs the paper's: TMR and multilevel checkpointing.
 fn ablation_extensions(c: &mut Criterion) {
     let (a, b) = small_regular();
@@ -157,6 +197,7 @@ fn ablation_extensions(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = ablation_construction, ablation_gamma, ablation_interval, ablation_extensions
+    targets = ablation_construction, ablation_gamma, ablation_interval,
+        ablation_preconditioner, ablation_extensions
 }
 criterion_main!(benches);

@@ -9,8 +9,9 @@
 //! ```
 //!
 //! `run` measures the PR's hot paths with fixed workloads and iteration
-//! counts: kernel throughput (serial vs chunked-parallel SpMV, fused
-//! `axpy_dot`), solver allocation counts via an instrumented global
+//! counts: the threads × format SpMV matrix (serial and chunk-parallel
+//! CSR and SELL-C-σ under 1/2/4-thread pools), the fused `axpy_dot`
+//! kernel, solver allocation counts via an instrumented global
 //! allocator, artifact-cache hit rates, and a cold-vs-warm faulty
 //! mini-campaign. `compare` applies [`rsls_bench::gate`] and exits
 //! nonzero when any counter regresses beyond tolerance, printing one
@@ -25,21 +26,25 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use rsls_bench::{
-    gate, large_stencil, serve_gate, small_regular, time_seconds, AllocBench, BenchReport,
-    CacheBench, E2eBench, GateResult, KernelBench, ServeBenchReport,
+    gate, large_stencil, rhs, serve_gate, small_regular, time_seconds, AllocBench, BenchReport,
+    CacheBench, E2eBench, GateResult, KernelBench, KernelCell, ServeBenchReport,
 };
 use rsls_core::construction::{li_with, lsi_with, ConstructionMethod, Workspace};
 use rsls_core::Scheme;
 use rsls_experiments::runners::{evenly_spaced_faults, workload, SchemeRun};
 use rsls_experiments::{Scale, SUITE};
-use rsls_solvers::Cg;
+use rsls_solvers::{Cg, Ic0Pcg, JacobiPcg};
 use rsls_sparse::artifacts::MatrixKey;
 use rsls_sparse::csr::PAR_SPMV_CHUNK_ROWS;
+use rsls_sparse::generators::stencil_2d;
+use rsls_sparse::sell::{SELL_DEFAULT_C, SELL_DEFAULT_SIGMA};
 use rsls_sparse::vector::{axpy, axpy_dot, dot};
-use rsls_sparse::{CsrMatrix, Partition};
+use rsls_sparse::{CsrMatrix, Format, Partition, SellMatrix};
 
-/// Schema version of the emitted report.
-const REPORT_VERSION: u32 = 1;
+/// Schema version of the emitted report. Version 2 adds the
+/// threads × format SpMV matrix and the PCG warm-allocation counters;
+/// v1 baselines still load (missing sections default to empty/zero).
+const REPORT_VERSION: u32 = 2;
 
 // ---------------------------------------------------------------------------
 // Counting allocator: exact, deterministic allocation counters for the
@@ -148,10 +153,38 @@ fn measure_alloc() -> AllocBench {
             1e-6,
         );
     });
+    // Warm PCG steady states on a SELL-selected operator: stencil_2d(64,
+    // 64) clears SELL_MIN_NNZ (so the format heuristic binds the solvers
+    // to the SELL kernel) while staying under the parallel-SpMV
+    // threshold, keeping the counted section single-threaded. Both
+    // solvers preallocate every buffer in `new`, so 100 warm steps must
+    // be allocation-free.
+    let sp = stencil_2d(64, 64);
+    let sb = rhs(&sp);
+    let mut pcg = JacobiPcg::new(&sp, &sb);
+    assert_eq!(pcg.format(), Format::Sell, "stencil must select SELL");
+    pcg.step();
+    pcg.step();
+    let jacobi_warm_allocs = allocations(|| {
+        for _ in 0..100 {
+            pcg.step();
+        }
+    });
+    let mut ic = Ic0Pcg::new(&sp, &sb).expect("stencil is SPD");
+    ic.step();
+    ic.step();
+    let ic0_warm_allocs = allocations(|| {
+        for _ in 0..100 {
+            ic.step();
+        }
+    });
+
     AllocBench {
         cg_steps_allocs,
         li_warm_allocs,
         lsi_warm_allocs,
+        jacobi_warm_allocs,
+        ic0_warm_allocs,
     }
 }
 
@@ -240,23 +273,112 @@ fn measure_e2e() -> E2eBench {
     }
 }
 
+/// Thread budgets of the parallel columns of the SpMV matrix.
+const MATRIX_THREADS: [usize; 3] = [1, 2, 4];
+
 fn measure_kernel() -> KernelBench {
     let (a, _) = large_stencil();
+    let sell = SellMatrix::from_csr_with(&a, SELL_DEFAULT_C, SELL_DEFAULT_SIGMA);
     let n = a.nrows();
     let x: Vec<f64> = (0..n).map(|i| (i % 17) as f64 / 17.0).collect();
     let mut y = vec![0.0; n];
     const SPMV_ITERS: usize = 20;
     let flops = SPMV_ITERS as f64 * a.spmv_flops() as f64;
-    let serial_s = time_seconds(5, || {
-        for _ in 0..SPMV_ITERS {
-            a.spmv(std::hint::black_box(&x), &mut y);
+
+    // Pools are built once per thread budget so the matrix is measured
+    // identically whether the ambient pool was pinned
+    // (RAYON_NUM_THREADS=4 in CI) or not. `effective` records what the
+    // machine actually supplied — on a small box the kernels
+    // serial-delegate and the cell documents that honestly.
+    let pools: Vec<(usize, rayon::ThreadPool, usize)> = MATRIX_THREADS
+        .iter()
+        .map(|&threads| {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("thread pool");
+            let effective = pool.install(rayon::effective_num_threads);
+            (threads, pool, effective)
+        })
+        .collect();
+
+    // Interleaved passes: one timed rep of *every* cell per pass,
+    // best-of across passes. Timing each cell to completion in sequence
+    // lets slow drift (thermal throttling, a container CPU quota
+    // burning down) penalize whichever cell happens to run last;
+    // round-robin exposes every cell to the same conditions, and the
+    // min converges on each cell's unthrottled speed. The starting cell
+    // rotates each pass: with a fixed order, periodic interference
+    // (quota refill windows) can alias onto fixed cell positions and
+    // read as a persistent speed difference between identical kernels.
+    const PASSES: usize = 12;
+    let n_cells = 2 + 2 * MATRIX_THREADS.len();
+    let mut best = [f64::INFINITY; 2 + 2 * MATRIX_THREADS.len()];
+    for pass in 0..PASSES {
+        for slot in 0..n_cells {
+            let ci = (slot + pass) % n_cells;
+            let t = match ci {
+                0 => time_seconds(1, || {
+                    for _ in 0..SPMV_ITERS {
+                        a.spmv(std::hint::black_box(&x), &mut y);
+                    }
+                }),
+                1 => time_seconds(1, || {
+                    for _ in 0..SPMV_ITERS {
+                        sell.spmv(std::hint::black_box(&x), &mut y);
+                    }
+                }),
+                _ => {
+                    let (_, pool, _) = &pools[(ci - 2) / 2];
+                    if ci.is_multiple_of(2) {
+                        pool.install(|| {
+                            time_seconds(1, || {
+                                for _ in 0..SPMV_ITERS {
+                                    a.par_spmv_chunked(
+                                        std::hint::black_box(&x),
+                                        &mut y,
+                                        PAR_SPMV_CHUNK_ROWS,
+                                    );
+                                }
+                            })
+                        })
+                    } else {
+                        pool.install(|| {
+                            time_seconds(1, || {
+                                for _ in 0..SPMV_ITERS {
+                                    sell.par_spmv(std::hint::black_box(&x), &mut y);
+                                }
+                            })
+                        })
+                    }
+                }
+            };
+            best[ci] = best[ci].min(t);
         }
-    });
-    let par_s = time_seconds(5, || {
-        for _ in 0..SPMV_ITERS {
-            a.par_spmv_chunked(std::hint::black_box(&x), &mut y, PAR_SPMV_CHUNK_ROWS);
+    }
+
+    let serial_csr_s = best[0];
+    let serial_sell_s = best[1];
+    let cell = |format: &str, parallel: bool, threads, effective_threads, secs: f64| KernelCell {
+        format: format.to_string(),
+        parallel,
+        threads,
+        effective_threads,
+        mflops: flops / secs.max(1e-9) / 1e6,
+        speedup_vs_serial_csr: serial_csr_s / secs.max(1e-9),
+    };
+    let mut matrix = vec![
+        cell("csr", false, 1, 1, serial_csr_s),
+        cell("sell", false, 1, 1, serial_sell_s),
+    ];
+    let mut par4_csr_s = serial_csr_s;
+    for (pi, &(threads, _, effective)) in pools.iter().enumerate() {
+        matrix.push(cell("csr", true, threads, effective, best[2 + 2 * pi]));
+        matrix.push(cell("sell", true, threads, effective, best[3 + 2 * pi]));
+        if threads == 4 {
+            par4_csr_s = best[2 + 2 * pi];
         }
-    });
+    }
 
     // Fused axpy_dot vs the separate axpy-then-dot it replaces in the CG
     // update (one pass over the vectors instead of two).
@@ -275,12 +397,17 @@ fn measure_kernel() -> KernelBench {
     });
     std::hint::black_box(acc);
 
+    // Legacy aggregate scalars (v1 schema) derive from the 4-thread
+    // parallel-CSR column so old and new baselines describe the same
+    // measurement.
     KernelBench {
         threads: rayon::current_num_threads(),
-        spmv_serial_mflops: flops / serial_s.max(1e-9) / 1e6,
-        par_spmv_mflops: flops / par_s.max(1e-9) / 1e6,
-        par_spmv_speedup: serial_s / par_s.max(1e-9),
+        effective_threads: rayon::effective_num_threads(),
+        spmv_serial_mflops: flops / serial_csr_s.max(1e-9) / 1e6,
+        par_spmv_mflops: flops / par4_csr_s.max(1e-9) / 1e6,
+        par_spmv_speedup: serial_csr_s / par4_csr_s.max(1e-9),
         axpy_dot_speedup: sep_s / fused_s.max(1e-9),
+        matrix,
     }
 }
 

@@ -8,13 +8,16 @@
 //! experiment run by `rsls-run`).
 //!
 //! The `rsls-bench` binary (see `src/bin/rsls-bench.rs`) measures the
-//! hot-path counters — kernel speedups, solver allocation counts,
-//! artifact-cache hit rates — into a canonical JSON report
-//! (`BENCH_PR5.json`), and [`gate`] compares such a report against the
-//! committed baseline: deterministic counters must stay within 20% of
-//! the baseline, timing-derived counters are additionally capped by
-//! conservative machine-portable floors so a slow CI runner cannot flake
-//! the job.
+//! hot-path counters — the threads × format SpMV matrix (CSR and
+//! SELL-C-σ, serial and chunk-parallel, under 1/2/4-thread pools),
+//! kernel speedups, solver allocation counts, artifact-cache hit
+//! rates — into a canonical JSON report (`BENCH_PR10.json`), and
+//! [`gate`] compares such a report against the committed baseline:
+//! deterministic counters must stay within 20% of the baseline,
+//! timing-derived counters are additionally capped by conservative
+//! machine-portable floors so a slow CI runner cannot flake the job.
+//! Parallel cells are never silently skipped — a cell the baseline
+//! measured must be present and non-degraded in the current report.
 
 use rsls_sparse::generators::{banded_spd, stencil_2d, BandedConfig};
 use rsls_sparse::CsrMatrix;
@@ -74,11 +77,51 @@ pub fn time_seconds(reps: usize, mut f: impl FnMut()) -> f64 {
     best
 }
 
-/// Kernel-level measurements.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
-pub struct KernelBench {
-    /// Worker threads the parallel kernels ran with.
+/// One cell of the threads × format SpMV matrix: one kernel (a storage
+/// format, serial or parallel) timed under one requested thread budget.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct KernelCell {
+    /// Storage format the kernel ran on (`"csr"` or `"sell"`).
+    pub format: String,
+    /// Whether the chunk-parallel kernel was measured (serial otherwise).
+    pub parallel: bool,
+    /// Worker threads requested from the pool (1 for serial cells).
     pub threads: usize,
+    /// Threads the machine could actually supply
+    /// (`rayon::effective_num_threads()` inside the pool): when this is
+    /// below `threads`, the parallel kernel delegated to the serial one
+    /// and the cell measures a degraded configuration.
+    pub effective_threads: usize,
+    /// Throughput (flops-per-second proxy), in Mflop/s.
+    pub mflops: f64,
+    /// Time of the serial CSR reference divided by this cell's time.
+    pub speedup_vs_serial_csr: f64,
+}
+
+impl KernelCell {
+    /// Whether the machine supplied fewer threads than requested (the
+    /// parallel kernel then serial-delegated, so the cell is measured
+    /// but does not exercise real parallelism).
+    pub fn degraded(&self) -> bool {
+        self.parallel && self.effective_threads < self.threads
+    }
+
+    /// Stable gate/display label, e.g. `csr.par4` or `sell.ser1`.
+    pub fn label(&self) -> String {
+        let kind = if self.parallel { "par" } else { "ser" };
+        format!("{}.{kind}{}", self.format, self.threads)
+    }
+}
+
+/// Kernel-level measurements.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct KernelBench {
+    /// Worker threads the ambient pool reported (`RAYON_NUM_THREADS`
+    /// pins this to 4 in CI regardless of runner size).
+    pub threads: usize,
+    /// Threads the machine could actually supply for the parallel
+    /// measurements (`min(threads, available cores)`).
+    pub effective_threads: usize,
     /// Serial SpMV throughput (flops-per-second proxy), in Mflop/s.
     pub spmv_serial_mflops: f64,
     /// Chunked parallel SpMV throughput, in Mflop/s.
@@ -88,12 +131,47 @@ pub struct KernelBench {
     /// Fused `axpy_dot` time relative to separate `axpy` + `dot`
     /// (&gt; 1 means the fused kernel is faster).
     pub axpy_dot_speedup: f64,
+    /// The threads × format SpMV matrix (v2 reports; empty in v1).
+    pub matrix: Vec<KernelCell>,
+}
+
+// Hand-written (not derived) so v1 baselines stay loadable: the
+// vendored serde's derive errors on any missing field, and v1 reports
+// predate `effective_threads` and the cell matrix.
+impl serde::Deserialize for KernelBench {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let threads: usize = serde::helpers::field(v, "threads")?;
+        Ok(KernelBench {
+            threads,
+            effective_threads: match v.get("effective_threads") {
+                Some(e) => <usize as serde::Deserialize>::from_value(e)?,
+                None => threads,
+            },
+            spmv_serial_mflops: serde::helpers::field(v, "spmv_serial_mflops")?,
+            par_spmv_mflops: serde::helpers::field(v, "par_spmv_mflops")?,
+            par_spmv_speedup: serde::helpers::field(v, "par_spmv_speedup")?,
+            axpy_dot_speedup: serde::helpers::field(v, "axpy_dot_speedup")?,
+            matrix: match v.get("matrix") {
+                Some(m) => <Vec<KernelCell> as serde::Deserialize>::from_value(m)?,
+                None => Vec::new(),
+            },
+        })
+    }
+}
+
+impl KernelBench {
+    /// The matrix cell for `(format, parallel, threads)`, if measured.
+    pub fn cell(&self, format: &str, parallel: bool, threads: usize) -> Option<&KernelCell> {
+        self.matrix
+            .iter()
+            .find(|c| c.format == format && c.parallel == parallel && c.threads == threads)
+    }
 }
 
 /// Allocation counters over fixed solver workloads (counted by the
 /// `rsls-bench` binary's instrumented global allocator — exact, not
 /// timed, so gated tightly).
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
 pub struct AllocBench {
     /// Heap allocations across 100 `Cg::step` calls (post-setup).
     pub cg_steps_allocs: u64,
@@ -101,6 +179,34 @@ pub struct AllocBench {
     pub li_warm_allocs: u64,
     /// Allocations of one warm-cache `lsi_with` reconstruction.
     pub lsi_warm_allocs: u64,
+    /// Allocations across 100 warm `JacobiPcg::step` calls on a
+    /// SELL-selected operator (steady state must be allocation-free).
+    pub jacobi_warm_allocs: u64,
+    /// Allocations across 100 warm `Ic0Pcg::step` calls (factor and
+    /// workspace preallocated; steady state must be allocation-free).
+    pub ic0_warm_allocs: u64,
+}
+
+// Hand-written for the same v1-compatibility reason as [`KernelBench`]:
+// the PCG counters default to 0 when a pre-matrix baseline omits them,
+// which keeps the zero-alloc requirement intact (the gate then allows
+// at most the +2 slack).
+impl serde::Deserialize for AllocBench {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let opt = |name: &str| -> Result<u64, serde::DeError> {
+            match v.get(name) {
+                Some(inner) => <u64 as serde::Deserialize>::from_value(inner),
+                None => Ok(0),
+            }
+        };
+        Ok(AllocBench {
+            cg_steps_allocs: serde::helpers::field(v, "cg_steps_allocs")?,
+            li_warm_allocs: serde::helpers::field(v, "li_warm_allocs")?,
+            lsi_warm_allocs: serde::helpers::field(v, "lsi_warm_allocs")?,
+            jacobi_warm_allocs: opt("jacobi_warm_allocs")?,
+            ic0_warm_allocs: opt("ic0_warm_allocs")?,
+        })
+    }
 }
 
 /// Artifact-cache effectiveness over a deterministic mini-campaign.
@@ -126,8 +232,8 @@ pub struct E2eBench {
     pub campaign_warm_speedup: f64,
 }
 
-/// The full `rsls-bench` report (`BENCH_PR5.json`).
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+/// The full `rsls-bench` report (`BENCH_PR10.json`).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct BenchReport {
     /// Report schema version.
     pub version: u32,
@@ -145,7 +251,7 @@ pub struct BenchReport {
 #[derive(Debug, Clone, PartialEq)]
 pub struct GateResult {
     /// Counter name.
-    pub name: &'static str,
+    pub name: String,
     /// Measured value.
     pub current: f64,
     /// Value required to pass (already direction- and floor-adjusted).
@@ -159,14 +265,29 @@ pub struct GateResult {
 /// Regression tolerance: a counter may degrade 20% vs the baseline.
 pub const GATE_TOLERANCE: f64 = 0.20;
 
+/// Speedup floor for parallel matrix cells: below this, even a
+/// serial-delegating parallel kernel has regressed (it should time
+/// within noise of the serial reference).
+pub const PAR_CELL_FLOOR: f64 = 0.9;
+
+/// Speedup floor for the serial SELL cell: the format must actually be
+/// faster than serial CSR on the suite model matrix, machine-portably.
+pub const SELL_SERIAL_FLOOR: f64 = 1.05;
+
 /// Compares `current` against the committed `baseline`.
 ///
 /// Deterministic counters (allocations, hit rates) gate at ±20% of the
 /// baseline. Timing-derived speedups gate at `min(0.8 × baseline,
 /// floor)` — the floor keeps the requirement machine-portable, the
-/// baseline term catches real regressions on comparable machines. The
-/// parallel-kernel gate is skipped below 4 worker threads (the ISSUE's
-/// measurement precondition); raw Mflop/s numbers are informational.
+/// baseline term catches real regressions on comparable machines.
+///
+/// Parallel-kernel gates are never silently skipped: a current report
+/// measured below 4 worker threads **fails** the aggregate
+/// `kernel.par_spmv_speedup` gate unless the baseline was also measured
+/// below 4 threads, and a threads × format matrix cell that the
+/// baseline measured fails when the current report dropped it or
+/// degraded it (serial-delegated under a thread budget the baseline
+/// machine could actually supply).
 pub fn gate(current: &BenchReport, baseline: &BenchReport) -> Vec<GateResult> {
     let slack = 1.0 - GATE_TOLERANCE;
     let mut out = Vec::new();
@@ -176,7 +297,7 @@ pub fn gate(current: &BenchReport, baseline: &BenchReport) -> Vec<GateResult> {
     let mut alloc_gate = |name: &'static str, cur: u64, base: u64| {
         let required = (base as f64 * (1.0 + GATE_TOLERANCE)).max(base as f64 + 2.0);
         out.push(GateResult {
-            name,
+            name: name.to_string(),
             current: cur as f64,
             required,
             ok: (cur as f64) <= required,
@@ -198,69 +319,136 @@ pub fn gate(current: &BenchReport, baseline: &BenchReport) -> Vec<GateResult> {
         current.alloc.lsi_warm_allocs,
         baseline.alloc.lsi_warm_allocs,
     );
+    alloc_gate(
+        "alloc.jacobi_warm_allocs",
+        current.alloc.jacobi_warm_allocs,
+        baseline.alloc.jacobi_warm_allocs,
+    );
+    alloc_gate(
+        "alloc.ic0_warm_allocs",
+        current.alloc.ic0_warm_allocs,
+        baseline.alloc.ic0_warm_allocs,
+    );
 
     // Higher-is-better counters. `floor` caps the requirement so slow CI
     // hardware cannot flake the gate; `None` gates purely vs baseline.
-    let mut higher_gate = |name: &'static str,
-                           cur: f64,
-                           base: f64,
-                           floor: Option<f64>,
-                           skip: Option<&'static str>| {
-        let mut required = base * slack;
+    fn higher_gate_into(
+        out: &mut Vec<GateResult>,
+        name: &'static str,
+        cur: f64,
+        base: f64,
+        floor: Option<f64>,
+        skip: Option<&'static str>,
+    ) {
+        let mut required = base * (1.0 - GATE_TOLERANCE);
         if let Some(f) = floor {
             required = required.min(f);
         }
         out.push(GateResult {
-            name,
+            name: name.to_string(),
             current: cur,
             required,
             ok: skip.is_some() || cur >= required,
             skipped: skip,
         });
-    };
-    higher_gate(
+    }
+    higher_gate_into(
+        &mut out,
         "cache.artifact_hit_rate",
         current.cache.artifact_hit_rate,
         baseline.cache.artifact_hit_rate,
         None,
         None,
     );
-    higher_gate(
+    higher_gate_into(
+        &mut out,
         "cache.workload_hit_rate",
         current.cache.workload_hit_rate,
         baseline.cache.workload_hit_rate,
         None,
         None,
     );
-    higher_gate(
+    higher_gate_into(
+        &mut out,
         "cache.suite_warm_speedup",
         current.cache.suite_warm_speedup,
         baseline.cache.suite_warm_speedup,
         Some(2.0),
         None,
     );
+    // Aggregate parallel-SpMV gate. Under 4 worker threads the
+    // measurement is not comparable — but that is a FAILURE (a CI
+    // misconfiguration, e.g. a dropped RAYON_NUM_THREADS pin) unless the
+    // baseline itself was measured under 4 threads.
     let few_threads = current.kernel.threads < 4;
-    higher_gate(
-        "kernel.par_spmv_speedup",
-        current.kernel.par_spmv_speedup,
-        baseline.kernel.par_spmv_speedup,
-        Some(1.2),
-        few_threads.then_some("fewer than 4 worker threads"),
-    );
-    higher_gate(
+    let baseline_few = baseline.kernel.threads < 4;
+    if few_threads && !baseline_few {
+        out.push(GateResult {
+            name: "kernel.par_spmv_speedup".to_string(),
+            current: current.kernel.par_spmv_speedup,
+            required: baseline.kernel.par_spmv_speedup * slack,
+            ok: false,
+            skipped: None,
+        });
+    } else {
+        higher_gate_into(
+            &mut out,
+            "kernel.par_spmv_speedup",
+            current.kernel.par_spmv_speedup,
+            baseline.kernel.par_spmv_speedup,
+            Some(1.2),
+            (few_threads && baseline_few).then_some("baseline also under 4 worker threads"),
+        );
+    }
+    higher_gate_into(
+        &mut out,
         "kernel.axpy_dot_speedup",
         current.kernel.axpy_dot_speedup,
         baseline.kernel.axpy_dot_speedup,
         Some(0.95),
         None,
     );
-    higher_gate(
+    higher_gate_into(
+        &mut out,
         "e2e.campaign_warm_speedup",
         current.e2e.campaign_warm_speedup,
         baseline.e2e.campaign_warm_speedup,
         Some(1.0),
         None,
     );
+
+    // Per-cell gates over the threads × format matrix: every cell the
+    // baseline measured must be present, non-degraded (unless the
+    // baseline's machine could not supply the threads either), and
+    // within tolerance of the baseline speedup. A missing or
+    // newly-degraded cell is a hard failure, never a skip.
+    for b in &baseline.kernel.matrix {
+        let name = format!("kernel.cell[{}]", b.label());
+        let floor = match (b.parallel, b.format.as_str()) {
+            (true, _) => PAR_CELL_FLOOR,
+            (false, "sell") => SELL_SERIAL_FLOOR,
+            (false, _) => PAR_CELL_FLOOR,
+        };
+        let required = (b.speedup_vs_serial_csr * slack).min(floor);
+        let Some(c) = current.kernel.cell(&b.format, b.parallel, b.threads) else {
+            out.push(GateResult {
+                name,
+                current: 0.0,
+                required,
+                ok: false,
+                skipped: None,
+            });
+            continue;
+        };
+        let newly_degraded = c.degraded() && !b.degraded();
+        out.push(GateResult {
+            name,
+            current: c.speedup_vs_serial_csr,
+            required,
+            ok: !newly_degraded && c.speedup_vs_serial_csr >= required,
+            skipped: None,
+        });
+    }
     out
 }
 
@@ -315,7 +503,7 @@ pub struct ServeBenchReport {
 pub fn serve_gate(current: &ServeBenchReport, baseline: &ServeBenchReport) -> Vec<GateResult> {
     let mut out = Vec::new();
     out.push(GateResult {
-        name: "serve.protocol_errors",
+        name: "serve.protocol_errors".to_string(),
         current: current.protocol_errors as f64,
         required: 0.0,
         ok: current.protocol_errors == 0,
@@ -325,7 +513,7 @@ pub fn serve_gate(current: &ServeBenchReport, baseline: &ServeBenchReport) -> Ve
     let skip = few_threads.then_some("fewer than 4 worker threads");
     let throughput_required = (baseline.throughput_rps * (1.0 - GATE_TOLERANCE)).min(200.0);
     out.push(GateResult {
-        name: "serve.throughput_rps",
+        name: "serve.throughput_rps".to_string(),
         current: current.throughput_rps,
         required: throughput_required,
         ok: skip.is_some() || current.throughput_rps >= throughput_required,
@@ -336,7 +524,7 @@ pub fn serve_gate(current: &ServeBenchReport, baseline: &ServeBenchReport) -> Ve
     let mut latency_gate = |name: &'static str, cur: u64, base: u64, floor: u64| {
         let required = (base as f64 * (1.0 + GATE_TOLERANCE)).max(floor as f64);
         out.push(GateResult {
-            name,
+            name: name.to_string(),
             current: cur as f64,
             required,
             ok: skip.is_some() || (cur as f64) <= required,
@@ -382,20 +570,40 @@ mod tests {
         assert!(a.nnz() >= rsls_sparse::csr::PAR_SPMV_NNZ_DEFAULT);
     }
 
+    fn cell(format: &str, parallel: bool, threads: usize, speedup: f64) -> KernelCell {
+        KernelCell {
+            format: format.to_string(),
+            parallel,
+            threads,
+            effective_threads: threads,
+            mflops: 2000.0 * speedup,
+            speedup_vs_serial_csr: speedup,
+        }
+    }
+
     fn report() -> BenchReport {
         BenchReport {
-            version: 1,
+            version: 2,
             kernel: KernelBench {
                 threads: 8,
+                effective_threads: 8,
                 spmv_serial_mflops: 2000.0,
                 par_spmv_mflops: 6000.0,
                 par_spmv_speedup: 3.0,
                 axpy_dot_speedup: 1.1,
+                matrix: vec![
+                    cell("csr", false, 1, 1.0),
+                    cell("sell", false, 1, 1.5),
+                    cell("csr", true, 4, 3.0),
+                    cell("sell", true, 4, 3.5),
+                ],
             },
             alloc: AllocBench {
                 cg_steps_allocs: 0,
                 li_warm_allocs: 8,
                 lsi_warm_allocs: 20,
+                jacobi_warm_allocs: 0,
+                ic0_warm_allocs: 0,
             },
             cache: CacheBench {
                 artifact_hit_rate: 0.9,
@@ -419,7 +627,7 @@ mod tests {
     #[test]
     fn alloc_regressions_beyond_tolerance_fail() {
         let base = report();
-        let mut cur = base;
+        let mut cur = base.clone();
         cur.alloc.lsi_warm_allocs = 40; // 2x the baseline's 20
         let gates = gate(&cur, &base);
         let g = gates
@@ -432,7 +640,7 @@ mod tests {
     #[test]
     fn hit_rate_collapse_fails_and_floors_cap_timing_gates() {
         let base = report();
-        let mut cur = base;
+        let mut cur = base.clone();
         cur.cache.artifact_hit_rate = 0.5; // down from 0.9: > 20% regression
         cur.cache.suite_warm_speedup = 3.0; // way below baseline 50, above floor 2.0
         let gates = gate(&cur, &base);
@@ -453,9 +661,11 @@ mod tests {
     }
 
     #[test]
-    fn parallel_gate_skips_on_small_machines() {
+    fn under_threaded_parallel_gate_fails_unless_baseline_also_skipped() {
+        // Baseline measured at 4+ threads, current at 2: that is a CI
+        // misconfiguration (lost RAYON_NUM_THREADS pin), not a skip.
         let base = report();
-        let mut cur = base;
+        let mut cur = base.clone();
         cur.kernel.threads = 2;
         cur.kernel.par_spmv_speedup = 0.7;
         let gates = gate(&cur, &base);
@@ -463,7 +673,123 @@ mod tests {
             .iter()
             .find(|g| g.name == "kernel.par_spmv_speedup")
             .unwrap();
+        assert!(!g.ok && g.skipped.is_none());
+
+        // Both under 4 threads: the measurements agree in kind, skip.
+        let mut small_base = base.clone();
+        small_base.kernel.threads = 2;
+        let gates = gate(&cur, &small_base);
+        let g = gates
+            .iter()
+            .find(|g| g.name == "kernel.par_spmv_speedup")
+            .unwrap();
         assert!(g.ok && g.skipped.is_some());
+    }
+
+    #[test]
+    fn missing_matrix_cell_fails_when_baseline_measured_it() {
+        let base = report();
+        let mut cur = base.clone();
+        cur.kernel
+            .matrix
+            .retain(|c| !(c.format == "sell" && c.parallel));
+        let gates = gate(&cur, &base);
+        let g = gates
+            .iter()
+            .find(|g| g.name == "kernel.cell[sell.par4]")
+            .unwrap();
+        assert!(!g.ok && g.skipped.is_none());
+    }
+
+    #[test]
+    fn newly_degraded_cell_fails_but_matching_degradation_passes() {
+        let base = report();
+        // Current machine could only supply 1 thread for the 4-thread
+        // cell: degraded, while the baseline measured real parallelism.
+        let mut cur = base.clone();
+        let i = cur
+            .kernel
+            .matrix
+            .iter()
+            .position(|c| c.format == "csr" && c.parallel)
+            .unwrap();
+        cur.kernel.matrix[i].effective_threads = 1;
+        cur.kernel.matrix[i].speedup_vs_serial_csr = 1.0;
+        let gates = gate(&cur, &base);
+        let g = gates
+            .iter()
+            .find(|g| g.name == "kernel.cell[csr.par4]")
+            .unwrap();
+        assert!(!g.ok, "degrading a cell the baseline measured must fail");
+
+        // When the baseline cell was degraded too (both measured on a
+        // small machine), a near-1.0 serial-delegated ratio passes.
+        let mut small_base = base.clone();
+        let j = small_base
+            .kernel
+            .matrix
+            .iter()
+            .position(|c| c.format == "csr" && c.parallel)
+            .unwrap();
+        small_base.kernel.matrix[j].effective_threads = 1;
+        small_base.kernel.matrix[j].speedup_vs_serial_csr = 1.0;
+        let gates = gate(&cur, &small_base);
+        let g = gates
+            .iter()
+            .find(|g| g.name == "kernel.cell[csr.par4]")
+            .unwrap();
+        assert!(g.ok, "matching degradation gates on the relaxed floor");
+    }
+
+    #[test]
+    fn sell_serial_cell_gates_against_its_floor() {
+        let base = report();
+        let mut cur = base.clone();
+        let i = cur
+            .kernel
+            .matrix
+            .iter()
+            .position(|c| c.format == "sell" && !c.parallel)
+            .unwrap();
+        cur.kernel.matrix[i].speedup_vs_serial_csr = 0.95; // slower than CSR
+        let gates = gate(&cur, &base);
+        let g = gates
+            .iter()
+            .find(|g| g.name == "kernel.cell[sell.ser1]")
+            .unwrap();
+        assert!(!g.ok, "SELL losing to serial CSR must fail the gate");
+        assert!((g.required - SELL_SERIAL_FLOOR).abs() < 1e-12);
+    }
+
+    #[test]
+    fn v1_reports_without_matrix_or_pcg_counters_still_load() {
+        // The committed BENCH_PR5.json predates the threads × format
+        // matrix and the PCG alloc counters; it must stay comparable.
+        let v1 = r#"{
+            "version": 1,
+            "kernel": {
+                "threads": 1,
+                "spmv_serial_mflops": 500.0,
+                "par_spmv_mflops": 420.0,
+                "par_spmv_speedup": 0.84,
+                "axpy_dot_speedup": 1.05
+            },
+            "alloc": {"cg_steps_allocs": 0, "li_warm_allocs": 8, "lsi_warm_allocs": 20},
+            "cache": {"artifact_hit_rate": 0.9, "workload_hit_rate": 0.85, "suite_warm_speedup": 50.0},
+            "e2e": {"campaign_cold_s": 2.0, "campaign_warm_s": 1.0, "campaign_warm_speedup": 2.0}
+        }"#;
+        let base: BenchReport = serde_json::from_str(v1).unwrap();
+        assert_eq!(base.kernel.matrix, Vec::new());
+        assert_eq!(base.kernel.effective_threads, base.kernel.threads);
+        assert_eq!(base.alloc.jacobi_warm_allocs, 0);
+        assert_eq!(base.alloc.ic0_warm_allocs, 0);
+        // A v2 report gates cleanly against it: the v1 baseline has no
+        // matrix cells to demand, and its sub-4-thread parallel
+        // measurement licenses a skip on equally small machines only.
+        let mut cur = report();
+        cur.kernel.threads = 1;
+        let gates = gate(&cur, &base);
+        assert!(gates.iter().all(|g| g.ok), "{gates:?}");
     }
 
     #[test]

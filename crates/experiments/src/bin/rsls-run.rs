@@ -374,15 +374,19 @@ fn main() {
 
     // --query passthrough: load the warehouse over the store this run
     // populated (or an existing one) and print canonical JSON — the
-    // same bytes `rsls-lab query` and `rsls-serve /query` produce.
+    // same bytes `rsls-lab query` and `rsls-serve /query` produce. The
+    // committed BENCH_*.json baselines in the working directory attach
+    // as the `kernels` view, so the perf trajectory across PRs plots
+    // from the same query surface as the experiment results.
     if let Some(sql) = &query_sql {
-        let warehouse = match rsls_lab::Warehouse::load(&cache_dir, Some(&journal_path)) {
+        let mut warehouse = match rsls_lab::Warehouse::load(&cache_dir, Some(&journal_path)) {
             Ok(w) => w,
             Err(e) => {
                 eprintln!("failed to load warehouse from {}: {e}", cache_dir.display());
                 std::process::exit(1);
             }
         };
+        warehouse.attach_kernels(std::path::Path::new("."));
         match warehouse.query(sql) {
             Ok(result) => println!("{}", result.to_canonical_json()),
             Err(e) => {

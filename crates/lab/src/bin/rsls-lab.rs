@@ -24,7 +24,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: rsls-lab <command> [options]\n\
          commands:\n\
-         \x20 query <sql>            run a SQL query (views: runs, units, schemes, chaos)\n\
+         \x20 query <sql>            run a SQL query (views: runs, units, schemes, chaos, kernels)\n\
          \x20 views                  list views with columns and row counts\n\
          \x20 scoreboard             render the per-scheme energy ranking\n\
          \x20 compare <dirA> <dirB>  diff two campaign stores\n\
@@ -33,6 +33,8 @@ fn usage() -> ! {
          options:\n\
          \x20 --cache-dir <dir>      campaign cache (default results/cache)\n\
          \x20 --journal <file>       campaign journal (default <cache-dir>/../campaign.journal)\n\
+         \x20 --bench-dir <dir>      directory of committed BENCH_*.json baselines\n\
+         \x20                        for the kernels view (default .)\n\
          \x20 --format <json|table>  query output format (default json)\n\
          \x20 --ticks <n>            views-live: number of polls (default 10)\n\
          \x20 --interval-ms <ms>     views-live: delay between polls (default 500)"
@@ -61,6 +63,16 @@ fn load(cache_dir: &std::path::Path, journal: &Option<PathBuf>) -> Warehouse {
     }
 }
 
+fn load_with_bench(
+    cache_dir: &std::path::Path,
+    journal: &Option<PathBuf>,
+    bench_dir: &std::path::Path,
+) -> Warehouse {
+    let mut w = load(cache_dir, journal);
+    w.attach_kernels(bench_dir);
+    w
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
@@ -70,6 +82,7 @@ fn main() {
     let mut positional: Vec<String> = Vec::new();
     let mut cache_dir = PathBuf::from("results/cache");
     let mut journal: Option<PathBuf> = None;
+    let mut bench_dir = PathBuf::from(".");
     let mut format = "json".to_string();
     let mut filter_a: Option<String> = None;
     let mut filter_b: Option<String> = None;
@@ -92,6 +105,11 @@ fn main() {
                 need(i);
                 i += 1;
                 journal = Some(PathBuf::from(&args[i]));
+            }
+            "--bench-dir" => {
+                need(i);
+                i += 1;
+                bench_dir = PathBuf::from(&args[i]);
             }
             "--format" => {
                 need(i);
@@ -149,7 +167,7 @@ fn main() {
                 eprintln!("query: missing SQL text");
                 usage();
             };
-            let w = load(&cache_dir, &journal);
+            let w = load_with_bench(&cache_dir, &journal, &bench_dir);
             match w.query(sql) {
                 Ok(result) => {
                     if format == "table" {
@@ -165,7 +183,7 @@ fn main() {
             }
         }
         "views" => {
-            let w = load(&cache_dir, &journal);
+            let w = load_with_bench(&cache_dir, &journal, &bench_dir);
             for view in w.views() {
                 println!(
                     "{:<10} {:>6} rows  ({})",

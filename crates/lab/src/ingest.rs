@@ -73,6 +73,10 @@ const SCHEMES_COLUMNS: &[&str] = &[
 /// Column names of the `chaos` view (injection-site summaries).
 const CHAOS_COLUMNS: &[&str] = &["site", "fired"];
 
+/// Column names of the `kernels` view (committed bench baselines,
+/// long format: one row per scalar leaf of each `BENCH_*.json`).
+const KERNELS_COLUMNS: &[&str] = &["source", "metric", "value"];
+
 /// Per-unit activity accumulated from the journal.
 #[derive(Debug, Default, Clone)]
 struct UnitActivity {
@@ -97,6 +101,10 @@ pub struct Warehouse {
     pub schemes: Table,
     /// One row per chaos site the journal recorded, in site order.
     pub chaos: Table,
+    /// One row per scalar leaf of each committed `BENCH_*.json`
+    /// baseline, in (source, metric) order — empty until
+    /// [`Warehouse::attach_kernels`] points at a directory of them.
+    pub kernels: Table,
     /// Objects this load ingested successfully.
     pub ingested: u64,
     /// Store entries this load rejected (tolerant decode, counted).
@@ -226,9 +234,64 @@ impl Warehouse {
             units,
             schemes,
             chaos: chaos_table,
+            kernels: Table::new("kernels", KERNELS_COLUMNS),
             ingested,
             rejected,
         })
+    }
+
+    /// Populates the `kernels` view from the committed bench baselines
+    /// in `dir`: every `BENCH_*.json` (sorted by file name — the
+    /// canonical order, independent of directory enumeration) flattens
+    /// into long-format rows `(source, metric, value)`, one per scalar
+    /// leaf, with dotted paths for nesting and numeric indices for
+    /// arrays (`kernel.matrix.3.mflops`). Decoding is tolerant in the
+    /// warehouse tradition: a missing directory is an empty view and an
+    /// unparsable file counts as rejected, never an error — so the perf
+    /// trajectory across committed baselines (`BENCH_PR5`,
+    /// `BENCH_PR10`, …) is queryable next to the run views.
+    pub fn attach_kernels(&mut self, dir: &Path) {
+        let mut files: Vec<std::path::PathBuf> = match std::fs::read_dir(dir) {
+            Ok(entries) => entries
+                .filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| {
+                    p.file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+                })
+                .collect(),
+            Err(_) => Vec::new(),
+        };
+        files.sort();
+        let mut rows: Vec<(String, String, Datum)> = Vec::new();
+        let mut rejected = 0u64;
+        for path in files {
+            let source = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or_default()
+                .to_string();
+            let parsed = std::fs::read(&path)
+                .ok()
+                .and_then(|bytes| serde_json::from_slice::<Value>(&bytes).ok());
+            let Some(report) = parsed else {
+                rejected += 1;
+                continue;
+            };
+            flatten_scalars(&report, String::new(), &mut |metric, value| {
+                rows.push((source.clone(), metric, value));
+            });
+        }
+        rows.sort_by(|(sa, ma, _), (sb, mb, _)| sa.cmp(sb).then_with(|| ma.cmp(mb)));
+        self.kernels = Table::new("kernels", KERNELS_COLUMNS);
+        for (source, metric, value) in rows {
+            self.kernels
+                .rows
+                .push(vec![Datum::Str(source), Datum::Str(metric), value]);
+        }
+        crate::note_rejected(rejected);
+        self.rejected += rejected;
     }
 
     /// The view named `name`, if the warehouse has it.
@@ -238,13 +301,20 @@ impl Warehouse {
             "units" => Some(&self.units),
             "schemes" => Some(&self.schemes),
             "chaos" => Some(&self.chaos),
+            "kernels" => Some(&self.kernels),
             _ => None,
         }
     }
 
     /// Every view, in stable presentation order.
-    pub fn views(&self) -> [&Table; 4] {
-        [&self.runs, &self.units, &self.schemes, &self.chaos]
+    pub fn views(&self) -> [&Table; 5] {
+        [
+            &self.runs,
+            &self.units,
+            &self.schemes,
+            &self.chaos,
+            &self.kernels,
+        ]
     }
 
     /// Parses and executes one query against the warehouse's views,
@@ -253,13 +323,42 @@ impl Warehouse {
         let q = sql::parse(text)?;
         let Some(table) = self.view(&q.table) else {
             return Err(LabError::Eval(format!(
-                "unknown table `{}` (views: runs, units, schemes, chaos)",
+                "unknown table `{}` (views: runs, units, schemes, chaos, kernels)",
                 q.table
             )));
         };
         let result = exec::execute(table, &q)?;
         crate::note_query();
         Ok(result)
+    }
+}
+
+/// Depth-first walk over a JSON tree emitting `(dotted.path, datum)`
+/// for every scalar leaf. Objects keep insertion order (the vendored
+/// parser preserves it), arrays contribute numeric path segments, and
+/// `null` leaves are skipped — a metric that was not measured has no
+/// row, which is the long-format equivalent of `NULL`.
+fn flatten_scalars(v: &Value, prefix: String, emit: &mut impl FnMut(String, Datum)) {
+    let join = |prefix: &str, seg: &str| {
+        if prefix.is_empty() {
+            seg.to_string()
+        } else {
+            format!("{prefix}.{seg}")
+        }
+    };
+    match v {
+        Value::Object(fields) => {
+            for (key, inner) in fields {
+                flatten_scalars(inner, join(&prefix, key), emit);
+            }
+        }
+        Value::Array(items) => {
+            for (idx, inner) in items.iter().enumerate() {
+                flatten_scalars(inner, join(&prefix, &idx.to_string()), emit);
+            }
+        }
+        Value::Null => {}
+        leaf => emit(prefix, Datum::from_json(leaf)),
     }
 }
 

@@ -12,7 +12,10 @@
 //!   spec-hash order and materializes relational views — `runs` (one
 //!   row per unit, joining report metrics with provenance and journal
 //!   activity), `units` (journal timelines), `schemes` (per-scheme
-//!   aggregates), and `chaos` (injection-site fired counts). Decoding
+//!   aggregates), `chaos` (injection-site fired counts), and `kernels`
+//!   ([`Warehouse::attach_kernels`]: the committed `BENCH_*.json`
+//!   baselines flattened to long-format `(source, metric, value)` rows,
+//!   so the perf trajectory across PRs is queryable). Decoding
 //!   is **tolerant**: reports or provenance written by older engine
 //!   versions read missing fields as explicit `NULL`, and an
 //!   unparsable object increments [`ingest_rejected_total`] instead of

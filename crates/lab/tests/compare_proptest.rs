@@ -38,6 +38,7 @@ fn warehouse(rows: &[(u8, u8, u8, f64, u8)]) -> Warehouse {
         units: Table::new("units", &["unit"]),
         schemes: Table::new("schemes", &["scheme"]),
         chaos: Table::new("chaos", &["site"]),
+        kernels: Table::new("kernels", &["source", "metric", "value"]),
         ingested: n,
         rejected: 0,
     }

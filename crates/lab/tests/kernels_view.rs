@@ -1,0 +1,100 @@
+//! The `kernels` view: committed `BENCH_*.json` baselines flattened to
+//! long-format rows, queryable through the same SQL surface as the
+//! campaign views, with tolerant decode and deterministic bytes.
+
+use std::path::PathBuf;
+
+use rsls_lab::{Datum, Warehouse};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rsls-lab-kernels-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("creates temp dir");
+    dir
+}
+
+/// An empty warehouse (the store need not exist) with kernels attached
+/// from `dir`.
+fn warehouse_over(dir: &std::path::Path) -> Warehouse {
+    let missing = dir.join("no-such-store");
+    let mut w = Warehouse::load(&missing, None).expect("missing store loads empty");
+    w.attach_kernels(dir);
+    w
+}
+
+#[test]
+fn bench_baselines_flatten_sorted_and_queryable() {
+    let dir = tmp_dir("flatten");
+    std::fs::write(
+        dir.join("BENCH_PR5.json"),
+        r#"{"version": 1, "kernel": {"threads": 1, "par_spmv_speedup": 0.8356}}"#,
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("BENCH_PR10.json"),
+        r#"{"version": 2, "kernel": {"par_spmv_speedup": 1.0,
+            "matrix": [{"format": "sell", "mflops": 900.5}]}}"#,
+    )
+    .unwrap();
+    // Non-bench files are ignored; unparsable bench files are rejected.
+    std::fs::write(dir.join("README.json"), "{}").unwrap();
+    std::fs::write(dir.join("BENCH_BROKEN.json"), "not json").unwrap();
+
+    let w = warehouse_over(&dir);
+    assert_eq!(w.rejected, 1, "the unparsable baseline counts as rejected");
+    let kernels = w.view("kernels").expect("kernels view exists");
+    assert_eq!(kernels.columns, vec!["source", "metric", "value"]);
+    // Long-format rows in (source, metric) order; array leaves get
+    // numeric path segments.
+    let rows: Vec<(String, String, Datum)> = kernels
+        .rows
+        .iter()
+        .map(|r| match (&r[0], &r[1]) {
+            (Datum::Str(s), Datum::Str(m)) => (s.clone(), m.clone(), r[2].clone()),
+            other => panic!("unexpected row shape: {other:?}"),
+        })
+        .collect();
+    let expected: Vec<(String, String, Datum)> = [
+        (
+            "BENCH_PR10",
+            "kernel.matrix.0.format",
+            Datum::Str("sell".to_string()),
+        ),
+        ("BENCH_PR10", "kernel.matrix.0.mflops", Datum::Float(900.5)),
+        ("BENCH_PR10", "kernel.par_spmv_speedup", Datum::Float(1.0)),
+        ("BENCH_PR10", "version", Datum::Int(2)),
+        ("BENCH_PR5", "kernel.par_spmv_speedup", Datum::Float(0.8356)),
+        ("BENCH_PR5", "kernel.threads", Datum::Int(1)),
+        ("BENCH_PR5", "version", Datum::Int(1)),
+    ]
+    .into_iter()
+    .map(|(s, m, v)| (s.to_string(), m.to_string(), v))
+    .collect();
+    assert_eq!(rows, expected);
+
+    // The SQL surface sees the view like any other, and repeated loads
+    // return byte-identical canonical JSON (the perf-trajectory query).
+    let sql = "SELECT source, value FROM kernels \
+               WHERE metric = 'kernel.par_spmv_speedup' ORDER BY source";
+    let first = w.query(sql).expect("query runs").to_canonical_json();
+    assert!(
+        first.contains("BENCH_PR10") && first.contains("0.8356"),
+        "{first}"
+    );
+    let again = warehouse_over(&dir)
+        .query(sql)
+        .expect("query runs")
+        .to_canonical_json();
+    assert_eq!(first, again, "kernels queries are deterministic");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn missing_bench_dir_is_an_empty_view() {
+    let dir = tmp_dir("missing");
+    let w = warehouse_over(&dir.join("does-not-exist"));
+    assert_eq!(w.view("kernels").unwrap().rows.len(), 0);
+    assert_eq!(w.rejected, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,7 +1,7 @@
 //! Step-wise Conjugate Gradient.
 
 use rsls_sparse::vector::{axpy, axpy_dot, dot, norm2, xpby};
-use rsls_sparse::CsrMatrix;
+use rsls_sparse::{CsrMatrix, SpmvOperator};
 
 /// CG termination parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -68,7 +68,7 @@ pub struct KrylovState {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Cg<'a> {
-    a: &'a CsrMatrix,
+    op: SpmvOperator<'a>,
     b: &'a [f64],
     x: Vec<f64>,
     r: Vec<f64>,
@@ -90,8 +90,12 @@ impl<'a> Cg<'a> {
         assert_eq!(x0.len(), a.nrows(), "initial guess length mismatch");
         let n = a.nrows();
         let b_norm = norm2(b).max(f64::MIN_POSITIVE);
+        // Bind the operator to the format the deterministic heuristic
+        // selects; every kernel behind `apply` is bit-identical to the
+        // CSR reference, so trajectories (including the replayed ABFT
+        // ones) do not depend on the choice.
         let mut cg = Cg {
-            a,
+            op: SpmvOperator::select(a),
             b,
             x: x0,
             r: vec![0.0; n],
@@ -113,7 +117,7 @@ impl<'a> Cg<'a> {
 
     /// Performs one CG iteration, returning the new relative residual.
     pub fn step(&mut self) -> f64 {
-        self.a.spmv_auto(&self.p, &mut self.ap);
+        self.op.apply(&self.p, &mut self.ap);
         let pap = dot(&self.p, &self.ap);
         if pap <= 0.0 || !pap.is_finite() {
             // Breakdown (indefinite operator or poisoned state): restart
@@ -141,7 +145,7 @@ impl<'a> Cg<'a> {
     }
 
     fn recompute_residual(&mut self) {
-        self.a.spmv_auto(&self.x, &mut self.r);
+        self.op.apply(&self.x, &mut self.r);
         for (ri, bi) in self.r.iter_mut().zip(self.b) {
             *ri = bi - *ri;
         }
@@ -161,7 +165,7 @@ impl<'a> Cg<'a> {
     /// [`Cg::step`] overwrites before reading, so clobbering it here is
     /// invisible to the iteration.
     pub fn true_relative_residual(&mut self) -> f64 {
-        self.a.spmv_auto(&self.x, &mut self.ap);
+        self.op.apply(&self.x, &mut self.ap);
         let mut diff = 0.0;
         for (axi, bi) in self.ap.iter().zip(self.b) {
             diff += (bi - axi) * (bi - axi);
@@ -172,6 +176,11 @@ impl<'a> Cg<'a> {
     /// Completed iterations.
     pub fn iteration(&self) -> usize {
         self.iteration
+    }
+
+    /// The storage format the operator was bound to.
+    pub fn format(&self) -> rsls_sparse::Format {
+        self.op.format()
     }
 
     /// The current iterate.

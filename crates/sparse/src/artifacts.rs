@@ -21,6 +21,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 
 use crate::dense::DenseMatrix;
+use crate::sell::SellMatrix;
 use crate::CsrMatrix;
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -87,6 +88,9 @@ type BlockKey = (MatrixKey, usize, usize, usize, usize);
 /// `(matrix, rows.start, rows.end)` — identity of one row-range artifact.
 type RowKey = (MatrixKey, usize, usize);
 
+/// `(matrix, C, σ)` — identity of one SELL-C-σ conversion.
+type SellKey = (MatrixKey, usize, usize);
+
 /// Hit/miss/occupancy counters, snapshot via [`ArtifactCache::stats`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ArtifactStats {
@@ -125,6 +129,7 @@ pub struct ArtifactCache {
     row_panels: Mutex<BTreeMap<RowKey, Arc<CsrMatrix>>>,
     grams: Mutex<BTreeMap<RowKey, Arc<DenseMatrix>>>,
     support_panels: Mutex<BTreeMap<RowKey, SupportPanel>>,
+    sells: Mutex<BTreeMap<SellKey, Arc<SellMatrix>>>,
     hits: AtomicU64,
     misses: AtomicU64,
     disabled: AtomicBool,
@@ -154,6 +159,7 @@ impl ArtifactCache {
         lock(&self.row_panels).clear();
         lock(&self.grams).clear();
         lock(&self.support_panels).clear();
+        lock(&self.sells).clear();
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
     }
@@ -167,7 +173,8 @@ impl ArtifactCache {
                 + lock(&self.dense_blocks).len()
                 + lock(&self.row_panels).len()
                 + lock(&self.grams).len()
-                + lock(&self.support_panels).len(),
+                + lock(&self.support_panels).len()
+                + lock(&self.sells).len(),
         }
     }
 
@@ -222,6 +229,16 @@ impl ArtifactCache {
         build: impl FnOnce() -> (CsrMatrix, Vec<usize>),
     ) -> Arc<(CsrMatrix, Vec<usize>)> {
         self.memo(&self.support_panels, (key, rows.start, rows.end), build)
+    }
+
+    /// Memoized [`SellMatrix::from_csr_with`] conversion: every solver
+    /// workspace and campaign unit reusing one operator shares a single
+    /// SELL materialization, like `row_panel` shares panel extractions.
+    pub fn sell(&self, key: MatrixKey, a: &CsrMatrix, c: usize, sigma: usize) -> Arc<SellMatrix> {
+        self.memo(&self.sells, (key, c, sigma), || {
+            crate::sell::CONVERSIONS.fetch_add(1, Ordering::Relaxed);
+            SellMatrix::from_csr_with(a, c, sigma)
+        })
     }
 
     /// Shared lookup-or-build path. The builder runs outside the lock,
@@ -327,6 +344,21 @@ mod tests {
         let p = cache.row_panel(key, &a, 0..2);
         assert_eq!(p.ncols(), 4);
         assert_eq!(cache.stats().entries, 4);
+    }
+
+    #[test]
+    fn sell_conversions_are_shared_per_parameter_set() {
+        let cache = ArtifactCache::new();
+        let a = sample();
+        let key = MatrixKey::of(&a);
+        let first = cache.sell(key, &a, 4, 8);
+        let second = cache.sell(key, &a, 4, 8);
+        assert!(Arc::ptr_eq(&first, &second));
+        let other_c = cache.sell(key, &a, 2, 8);
+        assert!(!Arc::ptr_eq(&first, &other_c));
+        assert_eq!(first.nnz(), a.nnz());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 2));
     }
 
     #[test]

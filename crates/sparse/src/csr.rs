@@ -231,8 +231,15 @@ impl CsrMatrix {
 
     /// Serial sparse matrix–vector product `y = A x`.
     ///
+    /// `inline(never)` keeps exactly one compiled copy of this loop:
+    /// the parallel kernels delegate here when only one worker is
+    /// effective, and an inlined duplicate inside a delegating caller
+    /// can codegen a few percent differently — enough to read as a
+    /// phantom "parallel slowdown" in the kernel matrix.
+    ///
     /// # Panics
     /// Panics if `x.len() != ncols` or `y.len() != nrows`.
+    #[inline(never)]
     pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.ncols, "spmv: x length mismatch");
         assert_eq!(y.len(), self.nrows, "spmv: y length mismatch");
@@ -283,6 +290,14 @@ impl CsrMatrix {
         assert_eq!(x.len(), self.ncols, "par_spmv_chunked: x length mismatch");
         assert_eq!(y.len(), self.nrows, "par_spmv_chunked: y length mismatch");
         assert!(chunk_rows > 0, "par_spmv_chunked: chunk_rows must be > 0");
+        // One effective worker cannot win anything from the chunked
+        // dispatch, but its differently-shaped inner loop can lose to
+        // the serial kernel's codegen (BENCH_PR5 recorded exactly that
+        // as a 0.84x "parallel speedup" measured on one thread). Run
+        // the serial kernel itself instead.
+        if rayon::effective_num_threads() <= 1 {
+            return self.spmv(x, y);
+        }
         let row_ptr = &self.row_ptr;
         let col_idx = &self.col_idx;
         let values = &self.values;
@@ -307,7 +322,7 @@ impl CsrMatrix {
     /// otherwise. Both kernels are bit-identical, so the gate is purely
     /// a performance decision.
     pub fn spmv_auto(&self, x: &[f64], y: &mut [f64]) {
-        if self.nnz() >= par_spmv_threshold() && rayon::current_num_threads() > 1 {
+        if self.nnz() >= par_spmv_threshold() && rayon::effective_num_threads() > 1 {
             self.par_spmv_chunked(x, y, PAR_SPMV_CHUNK_ROWS);
         } else {
             self.spmv(x, y);

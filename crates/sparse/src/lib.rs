@@ -12,6 +12,9 @@
 //!
 //! * [`CooMatrix`] / [`CsrMatrix`] — sparse matrix storage with serial and
 //!   [rayon]-parallel sparse matrix–vector products,
+//! * [`sell`] — SELL-C-σ (sliced ELLPACK) storage with bit-identical
+//!   serial and window-parallel SpMV, plus the deterministic
+//!   format-selection heuristic solver workspaces use ([`SpmvOperator`]),
 //! * [`Partition`] — contiguous block-row partitions used to emulate the
 //!   paper's MPI data distribution (Figure 2),
 //! * [`generators`] — procedural SPD matrix generators (5-point stencil,
@@ -33,12 +36,14 @@ pub mod dense;
 pub mod generators;
 pub mod io;
 pub mod partition;
+pub mod sell;
 pub mod vector;
 
 pub use coo::CooMatrix;
 pub use csr::CsrMatrix;
 pub use dense::DenseMatrix;
 pub use partition::Partition;
+pub use sell::{Format, SellMatrix, SpmvOperator};
 
 /// Errors produced by matrix construction and factorization routines.
 #[derive(Debug, Clone, PartialEq)]

@@ -3,7 +3,7 @@
 use proptest::prelude::*;
 use rsls_sparse::generators::{banded_spd, BandedConfig};
 use rsls_sparse::vector::{axpy, dot, norm2};
-use rsls_sparse::{CooMatrix, CsrMatrix, Partition};
+use rsls_sparse::{CooMatrix, CsrMatrix, Partition, SellMatrix};
 
 /// Strategy: a random small COO matrix with possibly duplicate entries.
 fn coo_strategy() -> impl Strategy<Value = CooMatrix> {
@@ -126,6 +126,37 @@ proptest! {
         let mut chunked = vec![f64::NAN; a.nrows()];
         a.par_spmv_chunked(&x, &mut chunked, chunk);
         prop_assert_eq!(&chunked, &serial);
+    }
+
+    #[test]
+    fn sell_spmv_is_bit_identical_to_csr(
+        coo in coo_strategy(),
+        seed in 0u64..1000,
+        c_pick in 0usize..2,
+        sigma in 1usize..24,
+    ) {
+        let a = coo.to_csr();
+        let c = [4usize, 8][c_pick];
+        let mut rng_state = seed.wrapping_add(41);
+        let x: Vec<f64> = (0..a.ncols()).map(|_| {
+            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((rng_state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        }).collect();
+        let mut serial = vec![0.0; a.nrows()];
+        a.spmv(&x, &mut serial);
+        let sell = SellMatrix::from_csr_with(&a, c, sigma);
+        // Byte-identical across format, thread budget, and kernel: each
+        // row is the same left-to-right reduction everywhere, padding is
+        // never folded in, and the σ-window permutation is window-local.
+        let mut sell_serial = vec![f64::NAN; a.nrows()];
+        sell.spmv(&x, &mut sell_serial);
+        prop_assert_eq!(&sell_serial, &serial);
+        for threads in [1usize, 4] {
+            let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            let mut par = vec![f64::NAN; a.nrows()];
+            pool.install(|| sell.par_spmv(&x, &mut par));
+            prop_assert_eq!(&par, &serial);
+        }
     }
 
     #[test]

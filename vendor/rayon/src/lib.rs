@@ -30,16 +30,55 @@ thread_local! {
     static CURRENT_THREADS: Cell<usize> = const { Cell::new(0) };
 }
 
+/// Default thread count when no pool is installed: `RAYON_NUM_THREADS`
+/// if set to a positive integer (matching upstream rayon), else the
+/// machine's available parallelism. Read once and cached.
+fn default_num_threads() -> usize {
+    static DEFAULT: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        if let Ok(raw) = std::env::var("RAYON_NUM_THREADS") {
+            if let Ok(n) = raw.trim().parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        machine_parallelism()
+    })
+}
+
+/// Hardware thread count (`available_parallelism`, floor 1). Read once
+/// and cached: `available_parallelism` re-reads cgroup quota files on
+/// every call, which is far too slow for the kernel hot paths that
+/// consult [`effective_num_threads`] per operation.
+fn machine_parallelism() -> usize {
+    static MACHINE: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *MACHINE.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
 /// Number of worker threads parallel operations use right now.
 pub fn current_num_threads() -> usize {
     let installed = CURRENT_THREADS.with(Cell::get);
     if installed > 0 {
         installed
     } else {
-        std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
+        default_num_threads()
     }
+}
+
+/// Worker count that can actually run concurrently for compute-bound
+/// work: [`current_num_threads`] clamped to the hardware thread count.
+///
+/// A configured budget above the machine's parallelism only helps work
+/// that blocks (I/O, waiting on other jobs); for pure-CPU kernels the
+/// extra workers just time-slice. Kernels that are bit-identical at any
+/// worker count can use this to skip spawn overhead that cannot pay off.
+pub fn effective_num_threads() -> usize {
+    current_num_threads().min(machine_parallelism())
 }
 
 /// Error building a thread pool (the stand-in cannot actually fail; the
@@ -496,6 +535,18 @@ mod tests {
             assert_eq!(out[63], 64);
         });
         assert_ne!(CURRENT_THREADS.with(std::cell::Cell::get), 2);
+    }
+
+    #[test]
+    fn effective_threads_clamped_to_machine() {
+        let pool = ThreadPoolBuilder::new().num_threads(512).build().unwrap();
+        pool.install(|| {
+            assert_eq!(current_num_threads(), 512);
+            let eff = effective_num_threads();
+            assert!(eff >= 1);
+            assert!(eff <= 512);
+            assert!(eff <= std::thread::available_parallelism().map_or(1, |n| n.get()));
+        });
     }
 
     #[test]
